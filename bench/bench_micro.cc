@@ -1,0 +1,134 @@
+// M1-M3 — Microbenchmarks of the hot primitives (google-benchmark).
+#include <benchmark/benchmark.h>
+
+#include "src/adt/bank_account_adt.h"
+#include "src/adt/btree.h"
+#include "src/adt/queue_adt.h"
+#include "src/cc/hts.h"
+#include "src/cc/lock_manager.h"
+#include "src/common/rng.h"
+#include "src/runtime/object.h"
+#include "src/runtime/txn.h"
+
+namespace objectbase {
+namespace {
+
+// --- M1: lock table -------------------------------------------------------
+
+void BM_LockAcquireRelease(benchmark::State& state) {
+  cc::LockManager lm;
+  rt::Object obj(0, "acct", adt::MakeBankAccountSpec(100));
+  rt::TxnNode txn(1, nullptr, UINT32_MAX, "t");
+  cc::LockManager::Request req;
+  req.op = "deposit";
+  req.args = {Value(1)};
+  req.ret = Value::None();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lm.Acquire(txn, obj, req));
+    lm.ReleaseSubtree(txn);
+  }
+}
+BENCHMARK(BM_LockAcquireRelease);
+
+void BM_LockConflictScan(benchmark::State& state) {
+  // Table pre-loaded with `n` compatible (deposit) locks; measure the scan
+  // cost of one more acquisition.
+  const int n = static_cast<int>(state.range(0));
+  cc::LockManager lm;
+  rt::Object obj(0, "acct", adt::MakeBankAccountSpec(100));
+  std::vector<std::unique_ptr<rt::TxnNode>> holders;
+  cc::LockManager::Request dep;
+  dep.op = "deposit";
+  dep.args = {Value(1)};
+  dep.ret = Value::None();
+  for (int i = 0; i < n; ++i) {
+    holders.push_back(
+        std::make_unique<rt::TxnNode>(i + 10, nullptr, UINT32_MAX, "h"));
+    lm.Acquire(*holders.back(), obj, dep);
+  }
+  rt::TxnNode txn(1, nullptr, UINT32_MAX, "t");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lm.Acquire(txn, obj, dep));
+    lm.ReleaseSubtree(txn);
+  }
+}
+BENCHMARK(BM_LockConflictScan)->Arg(8)->Arg(64)->Arg(512);
+
+// --- M2: hierarchical timestamps --------------------------------------------
+
+void BM_HtsCompare(benchmark::State& state) {
+  cc::Hts a = cc::Hts::TopLevel(12345).Child(3).Child(9).Child(1);
+  cc::Hts b = cc::Hts::TopLevel(12345).Child(3).Child(9).Child(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.Compare(b));
+    benchmark::DoNotOptimize(a.IncomparableWith(b));
+  }
+}
+BENCHMARK(BM_HtsCompare);
+
+void BM_HtsChild(benchmark::State& state) {
+  cc::Hts parent = cc::Hts::TopLevel(7).Child(1).Child(2);
+  uint64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(parent.Child(++i));
+  }
+}
+BENCHMARK(BM_HtsChild);
+
+// --- M3: B-tree -------------------------------------------------------------
+
+void BM_BTreeInsert(benchmark::State& state) {
+  adt::BTree tree(16);
+  Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        tree.Insert(static_cast<int64_t>(rng.NextU64() % 1'000'000), 1));
+  }
+}
+BENCHMARK(BM_BTreeInsert);
+
+void BM_BTreeLookupHit(benchmark::State& state) {
+  adt::BTree tree(16);
+  const int n = 100'000;
+  for (int64_t i = 0; i < n; ++i) tree.Insert(i, i);
+  Rng rng(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree.Lookup(static_cast<int64_t>(rng.Uniform(n))));
+  }
+}
+BENCHMARK(BM_BTreeLookupHit);
+
+void BM_BTreeConcurrentLookup(benchmark::State& state) {
+  static adt::BTree* tree = [] {
+    auto* t = new adt::BTree(16);
+    for (int64_t i = 0; i < 100'000; ++i) t->Insert(i, i);
+    return t;
+  }();
+  Rng rng(3 + state.thread_index());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        tree->Lookup(static_cast<int64_t>(rng.Uniform(100'000))));
+  }
+}
+BENCHMARK(BM_BTreeConcurrentLookup)->Threads(1)->Threads(4)->Threads(8);
+
+// --- Value/step plumbing ---------------------------------------------------
+
+void BM_StepConflictQueue(benchmark::State& state) {
+  auto spec = adt::MakeQueueSpec();
+  Args enq_args{Value(7)};
+  Args none{};
+  Value enq_ret = Value::None();
+  Value deq_ret(int64_t{9});
+  adt::StepView a{"enqueue", &enq_args, &enq_ret};
+  adt::StepView b{"dequeue", &none, &deq_ret};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(spec->StepConflicts(a, b));
+  }
+}
+BENCHMARK(BM_StepConflictQueue);
+
+}  // namespace
+}  // namespace objectbase
+
+BENCHMARK_MAIN();

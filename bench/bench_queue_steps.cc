@@ -1,0 +1,80 @@
+// E2 — Step-granularity (return-value-aware) locks vs operation locks on
+// queues.
+//
+// Claim (Section 5.1): "an Enqueue conflicts with a Dequeue only if the
+// latter returns the item placed into the queue by the former.  Thus, if we
+// locked operations with no regard to their return values, an Enqueue
+// operation would delay any Dequeue operation" — step locks recover that
+// concurrency, most visibly when queues stay non-empty.
+#include "bench/bench_util.h"
+
+#include "src/adt/queue_adt.h"
+
+using namespace objectbase;  // NOLINT
+
+namespace {
+
+// Pre-loads each queue so dequeues rarely observe empty (an empty-queue
+// dequeue conflicts with every enqueue even at step granularity).
+void Prefill(rt::Executor& exec, const workload::QueueParams& p) {
+  for (int q = 0; q < p.queues; ++q) {
+    std::string name = "queue:" + std::to_string(q);
+    exec.RunTransaction("prefill", [&](rt::MethodCtx& txn) {
+      for (int64_t i = 0; i < p.prefill; ++i) {
+        txn.Invoke(name, "enqueue", {-1000 - i});
+      }
+      return Value();
+    });
+  }
+}
+
+}  // namespace
+
+int main() {
+  bench::Banner("E2: queue step vs operation locking",
+                "Section 5.1's Enqueue/Dequeue example: return-value-aware "
+                "locks vs operation-class locks under N2PL");
+  const int scale = bench::Scale();
+
+  TablePrinter table({"queues", "prefill", "granularity", "tput/s",
+                      "abort-ratio", "deadlock", "p99-ms"});
+  for (int queues : {1, 4}) {
+    for (int64_t prefill : {int64_t{0}, int64_t{512}}) {
+      for (cc::Granularity g :
+           {cc::Granularity::kOperation, cc::Granularity::kStep}) {
+        workload::QueueParams p;
+        p.queues = queues;
+        p.batch = 2;
+        p.prefill = prefill;
+        p.spin_per_op = 30000;  // long methods: blocking dominates mechanics
+        workload::WorkloadSpec spec = workload::MakeQueueSpec(p);
+        spec.threads = 8;
+        spec.txns_per_thread = 100 * scale;
+        spec.seed = 7 + queues;
+
+        rt::ObjectBase base;
+        workload::SetupQueues(base, p);
+        rt::Executor exec(base, {.protocol = rt::Protocol::kN2pl,
+                                 .granularity = g,
+                                 .record = false});
+        Prefill(exec, p);
+        workload::RunMetrics m = workload::RunWorkload(exec, spec);
+        table.AddRow(
+            {TablePrinter::Fmt(int64_t{queues}), TablePrinter::Fmt(prefill),
+             g == cc::Granularity::kOperation ? "operation" : "step",
+             TablePrinter::Fmt(m.Throughput(), 0),
+             TablePrinter::Fmt(m.AbortRatio(), 3),
+             TablePrinter::Fmt(m.deadlocks),
+             TablePrinter::Fmt(m.latency_ns.Percentile(0.99) / 1e6, 2)});
+      }
+    }
+  }
+  table.Print();
+  std::printf("\nExpected shape: step >= operation everywhere; the largest "
+              "gap at few queues with\nprefill>0 (non-empty queues: "
+              "enqueues and dequeues of distinct items commute).\nWith "
+              "prefill=0 dequeues often see the empty queue, which "
+              "conflicts with every\nenqueue — the step-mode advantage "
+              "shrinks, exactly as the paper predicts.\n");
+  return 0;
+}

@@ -1,0 +1,90 @@
+// E5 — Cost of the serialisability machinery itself.
+//
+// Claim (Theorem 2): acyclicity of SG(h) is a practical correctness test.
+// This bench measures building SG(h), the full oracle (CheckSerialisable:
+// SG + serial replay + equivalence) and the literal Theorem 2 procedure
+// (Serialise) as history size grows.
+#include "bench/bench_util.h"
+
+#include "src/adt/bank_account_adt.h"
+#include "src/adt/counter_adt.h"
+#include "src/common/stats.h"
+#include "src/model/legality.h"
+#include "src/model/serialiser.h"
+#include "src/runtime/executor.h"
+
+using namespace objectbase;  // NOLINT
+
+namespace {
+
+model::History MakeHistory(int txns, int ops_per_txn, int objects,
+                           uint64_t seed) {
+  rt::ObjectBase base;
+  for (int i = 0; i < objects; ++i) {
+    base.CreateObject("acct:" + std::to_string(i),
+                      adt::MakeBankAccountSpec(1'000'000));
+  }
+  rt::Executor exec(base, {.protocol = rt::Protocol::kN2pl});
+  Rng rng(seed);
+  for (int t = 0; t < txns; ++t) {
+    std::vector<int> targets;
+    for (int k = 0; k < ops_per_txn; ++k) {
+      targets.push_back(static_cast<int>(rng.Uniform(objects)));
+    }
+    exec.RunTransaction("t", [&](rt::MethodCtx& txn) {
+      for (int tgt : targets) {
+        txn.Invoke("acct:" + std::to_string(tgt), "withdraw", {1});
+      }
+      return Value();
+    });
+  }
+  return exec.recorder().Snapshot();
+}
+
+}  // namespace
+
+int main() {
+  bench::Banner("E5: serialisation-graph checker cost",
+                "SG(h) build, the full Theorem-2 oracle and the literal => "
+                "procedure vs history size");
+  const int scale = bench::Scale();
+
+  TablePrinter table({"txns", "steps", "execs", "SG-build-ms", "SG-edges",
+                      "oracle-ms", "serialise-ms"});
+  for (int txns : {50, 100, 200, 400}) {
+    model::History h = MakeHistory(txns * scale, 4, 16, 99 + txns);
+    Stopwatch sg_clock;
+    model::Digraph sg = model::BuildSerialisationGraph(h);
+    double sg_ms = sg_clock.ElapsedNanos() / 1e6;
+
+    Stopwatch oracle_clock;
+    model::SerialisabilityCheck check = model::CheckSerialisable(h);
+    double oracle_ms = oracle_clock.ElapsedNanos() / 1e6;
+    if (!check.serialisable) std::printf("UNEXPECTED: %s\n", check.detail.c_str());
+
+    // The literal => procedure is cubic-ish (descendant closure per level);
+    // measure it only on the smaller histories.
+    double ser_ms = -1;
+    if (txns <= 100) {
+      Stopwatch ser_clock;
+      model::SerialiseResult ser = model::Serialise(h);
+      ser_ms = ser_clock.ElapsedNanos() / 1e6;
+      if (!ser.ok) std::printf("UNEXPECTED: %s\n", ser.error.c_str());
+    }
+
+    table.AddRow({TablePrinter::Fmt(int64_t{txns} * scale),
+                  TablePrinter::Fmt(uint64_t{h.steps.size()}),
+                  TablePrinter::Fmt(uint64_t{h.executions.size()}),
+                  TablePrinter::Fmt(sg_ms, 2),
+                  TablePrinter::Fmt(uint64_t{sg.EdgeCount()}),
+                  TablePrinter::Fmt(oracle_ms, 2),
+                  ser_ms < 0 ? "-" : TablePrinter::Fmt(ser_ms, 2)});
+  }
+  table.Print();
+  std::printf("\nExpected shape: SG build grows with conflicting-step pairs "
+              "(superlinear in steps\nper object); the oracle adds replay "
+              "(linear); the literal => procedure is the most\nexpensive "
+              "(level-by-level descendant closure) — it exists for "
+              "fidelity, the oracle\nis the practical checker.\n");
+  return 0;
+}

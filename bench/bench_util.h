@@ -1,0 +1,46 @@
+// Shared helpers for the experiment binaries (E1..E8).
+//
+// Scale: set OBJBASE_BENCH_SCALE (default 1) to multiply per-thread
+// transaction counts for longer, steadier runs.
+#ifndef OBJECTBASE_BENCH_BENCH_UTIL_H_
+#define OBJECTBASE_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "src/common/table_printer.h"
+#include "src/workload/generators.h"
+#include "src/workload/runner.h"
+
+namespace objectbase::bench {
+
+inline int Scale() {
+  const char* s = std::getenv("OBJBASE_BENCH_SCALE");
+  if (s == nullptr) return 1;
+  int v = std::atoi(s);
+  return v > 0 ? v : 1;
+}
+
+inline void Banner(const char* id, const char* claim) {
+  std::printf("\n=== %s ===\n%s\n\n", id, claim);
+}
+
+/// Runs `spec` under `protocol`/`granularity` on a freshly set-up base.
+template <typename SetupFn>
+workload::RunMetrics RunOnce(SetupFn&& setup, const workload::WorkloadSpec& spec,
+                             rt::Protocol protocol,
+                             cc::Granularity granularity,
+                             bool nto_gc = true) {
+  rt::ObjectBase base;
+  setup(base);
+  rt::Executor exec(base, {.protocol = protocol,
+                           .granularity = granularity,
+                           .record = false,
+                           .nto_gc = nto_gc});
+  return workload::RunWorkload(exec, spec);
+}
+
+}  // namespace objectbase::bench
+
+#endif  // OBJECTBASE_BENCH_BENCH_UTIL_H_

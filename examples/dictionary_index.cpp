@@ -1,0 +1,92 @@
+// Dictionary index: modular synchronisation in action (Section 2 /
+// Theorem 5).
+//
+// A B-tree dictionary object runs its own latch-crabbing algorithm for
+// intra-object synchronisation while ordinary counter objects use local
+// locks or timestamps — all under the MIXED protocol's inter-object
+// certifier, which keeps the per-object serialisation orders compatible.
+//
+// Build & run:  ./build/examples/example_dictionary_index
+#include <cstdio>
+#include <thread>
+
+#include "src/adt/btree_dictionary_adt.h"
+#include "src/adt/counter_adt.h"
+#include "src/common/rng.h"
+#include "src/model/legality.h"
+#include "src/model/local_graphs.h"
+#include "src/model/serialiser.h"
+#include "src/runtime/executor.h"
+
+using namespace objectbase;  // NOLINT: example brevity
+
+int main() {
+  rt::ObjectBase base;
+  base.CreateObject("index", adt::MakeBTreeDictionarySpec(16));
+  base.CreateObject("size-cache", adt::MakeCounterSpec(0));
+  base.CreateObject("op-log", adt::MakeCounterSpec(0));
+
+  rt::Executor exec(base, {.protocol = rt::Protocol::kMixed});
+  // Per-object intra-object policies (the Section 2 pitch): the B-tree
+  // defaults to its own crabbing; the size cache uses local 2PL; the op
+  // log — commuting appends — goes optimistic.
+  exec.SetIntraPolicy("size-cache", cc::IntraPolicy::kLocal2pl);
+  exec.SetIntraPolicy("op-log", cc::IntraPolicy::kOptimistic);
+
+  const int kThreads = 4, kTxns = 200;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t]() {
+      Rng rng(7000 + t);
+      for (int i = 0; i < kTxns; ++i) {
+        int64_t key = rng.Range(0, 255);
+        double dice = rng.NextDouble();
+        exec.RunTransaction("index-op", [&, key, dice](rt::MethodCtx& txn)
+                                -> Value {
+          txn.Invoke("op-log", "add", {1});
+          if (dice < 0.5) {  // upsert
+            Value old = txn.Invoke("index", "put", {key, key * key});
+            if (old.is_none()) txn.Invoke("size-cache", "add", {1});
+          } else if (dice < 0.75) {  // delete
+            if (txn.Invoke("index", "del", {key}).AsBool()) {
+              txn.Invoke("size-cache", "add", {-1});
+            }
+          } else {  // lookup
+            txn.Invoke("index", "get", {key});
+          }
+          return Value();
+        });
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+
+  int64_t tree_count = 0, cache = 0, ops = 0;
+  exec.RunTransaction("report", [&](rt::MethodCtx& txn) {
+    tree_count = txn.Invoke("index", "count").AsInt();
+    cache = txn.Invoke("size-cache", "get").AsInt();
+    ops = txn.Invoke("op-log", "get").AsInt();
+    return Value();
+  });
+  std::printf("index entries: %lld, size cache: %lld (%s), ops logged: %lld\n",
+              static_cast<long long>(tree_count),
+              static_cast<long long>(cache),
+              tree_count == cache ? "consistent" : "INCONSISTENT",
+              static_cast<long long>(ops));
+
+  model::History h = exec.recorder().Snapshot();
+  bool ok = model::CheckLegal(h, true).legal &&
+            model::CheckSerialisable(h).serialisable &&
+            model::CheckTheorem5(h).holds;
+  std::printf("formal verification (Defs. 6/8, Thms. 2/5): %s\n",
+              ok ? "passed" : "FAILED");
+  std::printf("aborts: validation=%llu doomed=%llu cascade=%llu "
+              "(the certifier's price for local freedom, Section 6)\n",
+              static_cast<unsigned long long>(
+                  exec.stats().AbortsFor(cc::AbortReason::kValidation)),
+              static_cast<unsigned long long>(
+                  exec.stats().AbortsFor(cc::AbortReason::kDoomed)),
+              static_cast<unsigned long long>(
+                  exec.stats().AbortsFor(cc::AbortReason::kCascade)));
+  return ok && tree_count == cache ? 0 : 1;
+}

@@ -1,0 +1,70 @@
+// Queue pipeline: the Section 5.1 Enqueue/Dequeue story.
+//
+// Producers and consumers share FIFO queues.  With operation-granularity
+// locks every Enqueue delays every Dequeue on the same queue; with
+// step-granularity (return-value-aware) locks an Enqueue only delays the
+// Dequeue that returns its item.  This example runs both and prints the
+// difference — a miniature of experiment E2.
+//
+// Build & run:  ./build/examples/example_queue_pipeline
+#include <cstdio>
+
+#include "src/common/table_printer.h"
+#include "src/model/legality.h"
+#include "src/model/serialiser.h"
+#include "src/workload/generators.h"
+#include "src/workload/runner.h"
+
+using namespace objectbase;  // NOLINT: example brevity
+
+int main() {
+  workload::QueueParams params;
+  params.queues = 2;       // few queues: contention is the point
+  params.batch = 3;
+  params.prefill = 0;
+
+  TablePrinter table(
+      {"granularity", "committed", "tput/s", "abort-ratio", "verified"});
+
+  for (cc::Granularity g :
+       {cc::Granularity::kOperation, cc::Granularity::kStep}) {
+    rt::ObjectBase base;
+    workload::SetupQueues(base, params);
+    rt::Executor exec(base, {.protocol = rt::Protocol::kN2pl,
+                             .granularity = g,
+                             .record = true});
+    // Prefill so dequeues rarely observe an empty queue (an empty-queue
+    // dequeue conflicts with every enqueue even at step granularity).
+    exec.RunTransaction("prefill", [&](rt::MethodCtx& txn) {
+      for (int q = 0; q < params.queues; ++q) {
+        for (int i = 0; i < 64; ++i) {
+          txn.Invoke("queue:" + std::to_string(q), "enqueue",
+                     {1'000'000 + q * 1000 + i});
+        }
+      }
+      return Value();
+    });
+    exec.ResetRecorder();
+
+    workload::WorkloadSpec spec = workload::MakeQueueSpec(params);
+    spec.threads = 4;
+    spec.txns_per_thread = 120;
+    workload::RunMetrics m = workload::RunWorkload(exec, spec);
+
+    model::History h = exec.recorder().Snapshot();
+    bool verified = model::CheckLegal(h, true).legal &&
+                    model::CheckSerialisable(h).serialisable;
+
+    table.AddRow({g == cc::Granularity::kOperation ? "operation" : "step",
+                  TablePrinter::Fmt(m.committed),
+                  TablePrinter::Fmt(m.Throughput(), 0),
+                  TablePrinter::Fmt(m.AbortRatio(), 3),
+                  verified ? "yes" : "NO"});
+  }
+  std::printf("Producer/consumer pipeline, 2 queues, 4 threads, N2PL\n");
+  table.Print();
+  std::printf("\nSection 5.1: \"if we locked operations with no regard to "
+              "their return values, an Enqueue\nwould delay any Dequeue of "
+              "an incomparable method execution\" — step locks avoid it.\n");
+  return 0;
+}

@@ -1,0 +1,109 @@
+// Serialisability explorer: the formal model as a standalone tool.
+//
+// Recreates the paper's Section 2 example by hand — two transactions whose
+// method executions are serialised in opposite orders at two objects —
+// enumerates EVERY interleaving of their steps, and reports which are
+// serialisable (Theorem 2) and which violate Theorem 5's condition (a).
+// No runtime, no locks: just the model machinery on constructed histories.
+//
+// Build & run:  ./build/examples/example_serialisability_explorer
+#include <cstdio>
+#include <functional>
+#include <vector>
+
+#include "src/adt/register_adt.h"
+#include "src/common/table_printer.h"
+#include "src/model/legality.h"
+#include "src/model/local_graphs.h"
+#include "src/model/serialiser.h"
+#include "tests/history_builder.h"
+
+using namespace objectbase;  // NOLINT: example brevity
+
+namespace {
+
+// T1: write(A,1); write(B,1).   T2: write(B,2); write(A,2).
+// An interleaving is a sequence over {0,1}, each appearing twice.
+model::History BuildInterleaving(const std::vector<int>& schedule) {
+  model::HistoryBuilder b;
+  model::ObjectId a = b.AddObject("A", adt::MakeRegisterSpec(0));
+  model::ObjectId bb = b.AddObject("B", adt::MakeRegisterSpec(0));
+  model::ExecId t1 = b.Top("T1");
+  model::ExecId e1 = b.Child(t1, a, "m1");
+  model::ExecId t2 = b.Top("T2");
+  model::ExecId e2 = b.Child(t2, bb, "m2");
+  int pos1 = 0, pos2 = 0;
+  for (int t : schedule) {
+    if (t == 0) {
+      b.Local(e1, pos1 == 0 ? a : bb, "write", {1});
+      ++pos1;
+    } else {
+      b.Local(e2, pos2 == 0 ? bb : a, "write", {2});
+      ++pos2;
+    }
+  }
+  return b.Build();
+}
+
+std::string ScheduleName(const std::vector<int>& s) {
+  const char* steps[2][2] = {{"w1(A)", "w1(B)"}, {"w2(B)", "w2(A)"}};
+  int pos[2] = {0, 0};
+  std::string out;
+  for (int t : s) {
+    if (!out.empty()) out += " ";
+    out += steps[t][pos[t]++];
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Section 2's example: T1 = w(A,1); w(B,1)   "
+              "T2 = w(B,2); w(A,2)\n"
+              "Every interleaving, judged by the formal machinery:\n\n");
+  TablePrinter table({"interleaving", "SG(h)", "serialisable", "Theorem 5",
+                      "witness order"});
+  std::vector<int> schedule;
+  int remaining[2] = {2, 2};
+  std::function<void()> rec = [&]() {
+    if (schedule.size() == 4) {
+      model::History h = BuildInterleaving(schedule);
+      auto legal = model::CheckLegal(h);
+      if (!legal.legal) {
+        std::printf("unexpected illegal history: %s\n", legal.error.c_str());
+        return;
+      }
+      model::Digraph sg = model::BuildSerialisationGraph(h);
+      auto check = model::CheckSerialisable(h);
+      auto t5 = model::CheckTheorem5(h);
+      std::string witness;
+      for (model::ExecId e : check.witness_top_order) {
+        witness += h.executions[e].method + " ";
+      }
+      table.AddRow({ScheduleName(schedule),
+                    sg.IsAcyclic() ? "acyclic" : "CYCLIC",
+                    check.serialisable ? "yes" : "NO",
+                    t5.holds ? "holds" : "violated",
+                    check.serialisable ? witness : "-"});
+      return;
+    }
+    for (int t = 0; t < 2; ++t) {
+      if (remaining[t] == 0) continue;
+      remaining[t]--;
+      schedule.push_back(t);
+      rec();
+      schedule.pop_back();
+      remaining[t]++;
+    }
+  };
+  rec();
+  table.Print();
+  std::printf("\nThe cyclic interleavings are exactly those where each "
+              "object serialises the two\ntransactions in opposite orders — "
+              "\"the effect of such an execution is not the\nsame as running "
+              "the two transactions serially in either order\" (Section 2).\n"
+              "Theorem 5's condition (a) flags the same interleavings at "
+              "the environment object.\n");
+  return 0;
+}

@@ -1,0 +1,155 @@
+#include "src/adt/bag_adt.h"
+
+#include <map>
+
+#include "src/adt/spec_base.h"
+
+namespace objectbase::adt {
+namespace {
+
+class BagState : public AdtState {
+ public:
+  BagState() = default;
+  explicit BagState(std::map<int64_t, int64_t> c) : counts(std::move(c)) {}
+
+  std::unique_ptr<AdtState> Clone() const override {
+    return std::make_unique<BagState>(counts);
+  }
+  bool Equals(const AdtState& other) const override {
+    auto* o = dynamic_cast<const BagState*>(&other);
+    return o != nullptr && o->counts == counts;
+  }
+  std::string ToString() const override {
+    std::string s = "bag{";
+    bool first = true;
+    for (const auto& [k, n] : counts) {
+      if (!first) s += ",";
+      s += std::to_string(k) + "x" + std::to_string(n);
+      first = false;
+    }
+    return s + "}";
+  }
+
+  std::map<int64_t, int64_t> counts;  // key -> multiplicity (> 0)
+};
+
+int64_t KeyOf(const StepView& t) { return t.args->at(0).AsInt(); }
+
+class BagSpec : public SpecBase {
+ public:
+  BagSpec() {
+    AddOp("add", /*read_only=*/false, [](AdtState& s, const Args& args) {
+      auto& st = static_cast<BagState&>(s);
+      int64_t k = args.at(0).AsInt();
+      st.counts[k]++;
+      return ApplyResult{Value::None(), [k](AdtState& u) {
+                           auto& b = static_cast<BagState&>(u);
+                           if (--b.counts[k] == 0) b.counts.erase(k);
+                         }};
+    });
+    AddOp("remove", /*read_only=*/false, [](AdtState& s, const Args& args) {
+      auto& st = static_cast<BagState&>(s);
+      int64_t k = args.at(0).AsInt();
+      auto it = st.counts.find(k);
+      if (it == st.counts.end()) return ApplyResult{Value(false), UndoFn()};
+      if (--it->second == 0) st.counts.erase(it);
+      return ApplyResult{Value(true), [k](AdtState& u) {
+                           static_cast<BagState&>(u).counts[k]++;
+                         }};
+    });
+    AddOp("multiplicity", /*read_only=*/true,
+          [](AdtState& s, const Args& args) {
+            auto& st = static_cast<BagState&>(s);
+            auto it = st.counts.find(args.at(0).AsInt());
+            int64_t n = it == st.counts.end() ? 0 : it->second;
+            return ApplyResult{Value(n), UndoFn()};
+          });
+    AddOp("total", /*read_only=*/true, [](AdtState& s, const Args&) {
+      auto& st = static_cast<BagState&>(s);
+      int64_t n = 0;
+      for (const auto& [k, c] : st.counts) n += c;
+      return ApplyResult{Value(n), UndoFn()};
+    });
+    // Operation granularity: adds commute with adds (always succeed, reveal
+    // nothing); everything else involving a mutator conflicts.
+    Conflict("add", "remove");
+    Conflict("add", "multiplicity");
+    Conflict("add", "total");
+    Conflict("remove", "remove");
+    Conflict("remove", "multiplicity");
+    Conflict("remove", "total");
+  }
+
+  std::string_view type_name() const override { return "bag"; }
+
+  std::unique_ptr<AdtState> MakeInitialState() const override {
+    return std::make_unique<BagState>();
+  }
+
+  bool StepConflicts(const StepView& first,
+                     const StepView& second) const override {
+    auto mutation = [](const StepView& t) {
+      if (t.op == "add") return true;
+      if (t.op != "remove") return false;
+      return t.ret == nullptr || (t.ret->is_bool() && t.ret->AsBool());
+    };
+    bool m1 = mutation(first);
+    bool m2 = mutation(second);
+    if (!m1 && !m2) return false;
+    if (first.op == "total" || second.op == "total") return m1 || m2;
+    // add/add always commute (even same key): both increments.
+    if (first.op == "add" && second.op == "add") return false;
+    // Different keys commute.
+    if (KeyOf(first) != KeyOf(second)) return false;
+    // Same key cases with known outcomes:
+    const StepView* rem = nullptr;
+    const StepView* other = nullptr;
+    if (first.op == "remove") {
+      rem = &first;
+      other = &second;
+    } else if (second.op == "remove") {
+      rem = &second;
+      other = &first;
+    }
+    if (rem != nullptr && rem->ret != nullptr) {
+      bool removed = rem->ret->AsBool();
+      if (other->op == "remove" && other->ret != nullptr) {
+        // remove-true ; remove-true: first;second legal => multiplicity >= 2
+        // before, and either order removes two instances: commute.
+        // remove-false involved: a failed remove reveals absence, which an
+        // adjacent successful remove (or add) would change: conflict unless
+        // both failed.
+        bool removed2 = other->ret->AsBool();
+        if (removed && removed2) return false;
+        if (!removed && !removed2) return false;
+        return true;
+      }
+      if (other->op == "add") {
+        // add;remove-true — did it take the added instance?  Transposing
+        // remove-true before the add is legal iff multiplicity was >= 1
+        // without the add; can fail when the add supplied the only
+        // instance: conflict.  add;remove-false can't be adjacent-legal
+        // (after an add the key exists): vacuously commutes, but the
+        // REVERSE pair remove-false;add transposes to add;remove which
+        // would succeed: conflict.
+        if (&first == other) return removed;   // add ; remove
+        return !removed ? true : false;        // remove ; add
+      }
+      // remove vs multiplicity read: successful removal changes the count.
+      if (other->op == "multiplicity") return removed;
+    }
+    // Unknown return values or add-vs-read: conservative.
+    if (first.op == "multiplicity" || second.op == "multiplicity") {
+      return m1 || m2;
+    }
+    return true;
+  }
+};
+
+}  // namespace
+
+std::shared_ptr<const AdtSpec> MakeBagSpec() {
+  return std::make_shared<BagSpec>();
+}
+
+}  // namespace objectbase::adt

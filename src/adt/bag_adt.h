@@ -1,0 +1,28 @@
+// Bag: a multiset whose add/remove operations are highly commutative.
+//
+// The bag is the extreme of Section 1(b)'s point: unlike a Set, adding an
+// element ALWAYS succeeds and never reveals state, so add(k) commutes with
+// add(k) (even on the same key).  remove(k) returns whether an instance
+// was removed; two removes of a key commute when both succeed (multiset
+// semantics: each takes one instance) — a finer table than Set's.
+//
+// Operations:
+//   add(k)        -> none
+//   remove(k)     -> bool (true iff an instance of k was removed)
+//   multiplicity(k) -> int      (read-only)
+//   total()       -> int        (read-only)
+#ifndef OBJECTBASE_ADT_BAG_ADT_H_
+#define OBJECTBASE_ADT_BAG_ADT_H_
+
+#include <memory>
+
+#include "src/adt/adt.h"
+
+namespace objectbase::adt {
+
+/// Creates an empty Bag spec.
+std::shared_ptr<const AdtSpec> MakeBagSpec();
+
+}  // namespace objectbase::adt
+
+#endif  // OBJECTBASE_ADT_BAG_ADT_H_

@@ -1,0 +1,27 @@
+// BankAccount: Weihl's atomic-data-type example with asymmetric conflicts.
+//
+// A successful Withdraw commutes with a *later* Deposit (adding money never
+// invalidates a completed withdrawal), but a Deposit does not commute with a
+// later successful Withdraw (the withdrawal might have depended on the
+// deposit).  This exercises the paper's remark after Definition 3 that
+// commutativity — and hence conflict — is not necessarily symmetric.
+//
+// Operations:
+//   balance()    -> int                             (read-only)
+//   deposit(a)   -> none
+//   withdraw(a)  -> bool (true iff the balance covered `a` and was debited)
+#ifndef OBJECTBASE_ADT_BANK_ACCOUNT_ADT_H_
+#define OBJECTBASE_ADT_BANK_ACCOUNT_ADT_H_
+
+#include <memory>
+
+#include "src/adt/adt.h"
+
+namespace objectbase::adt {
+
+/// Creates a BankAccount spec with the given opening balance.
+std::shared_ptr<const AdtSpec> MakeBankAccountSpec(int64_t initial = 0);
+
+}  // namespace objectbase::adt
+
+#endif  // OBJECTBASE_ADT_BANK_ACCOUNT_ADT_H_

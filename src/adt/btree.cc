@@ -1,0 +1,408 @@
+#include "src/adt/btree.h"
+
+#include <algorithm>
+#include <functional>
+#include <sstream>
+
+namespace objectbase::adt {
+
+struct BTree::Node {
+  explicit Node(bool is_leaf) : leaf(is_leaf) {}
+
+  bool leaf;
+  std::vector<int64_t> keys;
+  std::vector<int64_t> values;  // leaves only; values[i] pairs keys[i]
+  std::vector<Node*> children;  // internal only; children.size()==keys.size()+1
+  mutable std::shared_mutex latch;
+
+  bool Full(int order) const { return static_cast<int>(keys.size()) >= order; }
+};
+
+BTree::BTree(int order) : order_(order < 3 ? 3 : order) {
+  // An internal node with `order` keys splits into floor((order-1)/2) and
+  // ceil((order-1)/2) keys (one moves up), so the occupancy floor must be
+  // (order-1)/2; it also keeps merges within capacity:
+  // 2*min + 1 <= order.
+  min_keys_ = (order_ - 1) / 2;
+  root_ = NewLeaf();
+}
+
+BTree::~BTree() { FreeTree(root_); }
+
+BTree::Node* BTree::NewLeaf() { return new Node(/*is_leaf=*/true); }
+BTree::Node* BTree::NewInternal() { return new Node(/*is_leaf=*/false); }
+
+void BTree::FreeTree(Node* n) {
+  if (n == nullptr) return;
+  for (Node* c : n->children) FreeTree(c);
+  delete n;
+}
+
+namespace {
+// Index of the child to descend into: keys equal to a separator live in the
+// right subtree (leaf separators are copied up from leaf fronts).
+int ChildIndex(const std::vector<int64_t>& keys, int64_t key) {
+  return static_cast<int>(
+      std::upper_bound(keys.begin(), keys.end(), key) - keys.begin());
+}
+}  // namespace
+
+std::optional<int64_t> BTree::Lookup(int64_t key) const {
+  std::shared_lock<std::shared_mutex> root_guard(root_latch_);
+  const Node* node = root_;
+  node->latch.lock_shared();
+  root_guard.unlock();
+  while (!node->leaf) {
+    const Node* child = node->children[ChildIndex(node->keys, key)];
+    child->latch.lock_shared();
+    node->latch.unlock_shared();
+    node = child;
+  }
+  auto it = std::lower_bound(node->keys.begin(), node->keys.end(), key);
+  std::optional<int64_t> result;
+  if (it != node->keys.end() && *it == key) {
+    result = node->values[it - node->keys.begin()];
+  }
+  node->latch.unlock_shared();
+  return result;
+}
+
+void BTree::SplitChild(Node* parent, int idx) {
+  // Caller holds exclusive latches on `parent` and the (full) child.
+  Node* child = parent->children[idx];
+  Node* right = child->leaf ? NewLeaf() : NewInternal();
+  int64_t separator;
+  if (child->leaf) {
+    int mid = (order_ + 1) / 2;
+    right->keys.assign(child->keys.begin() + mid, child->keys.end());
+    right->values.assign(child->values.begin() + mid, child->values.end());
+    child->keys.resize(mid);
+    child->values.resize(mid);
+    separator = right->keys.front();  // copied up
+  } else {
+    int mid = order_ / 2;
+    separator = child->keys[mid];  // moved up
+    right->keys.assign(child->keys.begin() + mid + 1, child->keys.end());
+    right->children.assign(child->children.begin() + mid + 1,
+                           child->children.end());
+    child->keys.resize(mid);
+    child->children.resize(mid + 1);
+  }
+  parent->keys.insert(parent->keys.begin() + idx, separator);
+  parent->children.insert(parent->children.begin() + idx + 1, right);
+}
+
+std::optional<int64_t> BTree::Insert(int64_t key, int64_t value) {
+  std::unique_lock<std::shared_mutex> root_guard(root_latch_);
+  Node* node = root_;
+  node->latch.lock();
+  if (node->Full(order_)) {
+    // Pre-emptive root split: afterwards the root pointer is stable for the
+    // rest of this insert, so the root guard can be dropped.
+    Node* new_root = NewInternal();
+    new_root->children.push_back(node);
+    root_ = new_root;
+    new_root->latch.lock();
+    SplitChild(new_root, 0);
+    node->latch.unlock();
+    node = new_root;
+  }
+  root_guard.unlock();
+  // Invariant on entry to each iteration: `node` is exclusively latched and
+  // not full (so a child split below cannot propagate above it).
+  while (!node->leaf) {
+    int idx = ChildIndex(node->keys, key);
+    Node* child = node->children[idx];
+    child->latch.lock();
+    if (child->Full(order_)) {
+      SplitChild(node, idx);
+      int new_idx = ChildIndex(node->keys, key);
+      if (new_idx != idx) {
+        Node* right = node->children[new_idx];
+        right->latch.lock();
+        child->latch.unlock();
+        child = right;
+      }
+    }
+    node->latch.unlock();
+    node = child;
+  }
+  auto it = std::lower_bound(node->keys.begin(), node->keys.end(), key);
+  std::optional<int64_t> old;
+  if (it != node->keys.end() && *it == key) {
+    size_t i = it - node->keys.begin();
+    old = node->values[i];
+    node->values[i] = value;
+  } else {
+    size_t i = it - node->keys.begin();
+    node->keys.insert(it, key);
+    node->values.insert(node->values.begin() + i, value);
+    size_.fetch_add(1, std::memory_order_relaxed);
+  }
+  node->latch.unlock();
+  return old;
+}
+
+BTree::Node* BTree::FixChildForErase(Node* parent, int idx) {
+  // Caller holds exclusive latches on `parent` and child = children[idx],
+  // which has exactly min_keys_ keys.  Returns the surviving, exclusively
+  // latched node to descend into (the child itself, or the left sibling it
+  // was merged into).  All sibling inspection happens under the sibling's
+  // latch; this is race-free because structural changes to a node always
+  // hold that node's latch, and we hold the parent latch so the sibling
+  // pointers themselves are stable.
+  Node* child = parent->children[idx];
+  if (idx > 0) {
+    Node* left = parent->children[idx - 1];
+    left->latch.lock();
+    if (static_cast<int>(left->keys.size()) > min_keys_) {
+      // Borrow from the left sibling.
+      if (child->leaf) {
+        child->keys.insert(child->keys.begin(), left->keys.back());
+        child->values.insert(child->values.begin(), left->values.back());
+        left->keys.pop_back();
+        left->values.pop_back();
+        parent->keys[idx - 1] = child->keys.front();
+      } else {
+        child->keys.insert(child->keys.begin(), parent->keys[idx - 1]);
+        child->children.insert(child->children.begin(),
+                               left->children.back());
+        parent->keys[idx - 1] = left->keys.back();
+        left->keys.pop_back();
+        left->children.pop_back();
+      }
+      left->latch.unlock();
+      return child;
+    }
+    left->latch.unlock();
+  }
+  if (idx + 1 < static_cast<int>(parent->children.size())) {
+    Node* right = parent->children[idx + 1];
+    right->latch.lock();
+    if (static_cast<int>(right->keys.size()) > min_keys_) {
+      // Borrow from the right sibling.
+      if (child->leaf) {
+        child->keys.push_back(right->keys.front());
+        child->values.push_back(right->values.front());
+        right->keys.erase(right->keys.begin());
+        right->values.erase(right->values.begin());
+        parent->keys[idx] = right->keys.front();
+      } else {
+        child->keys.push_back(parent->keys[idx]);
+        parent->keys[idx] = right->keys.front();
+        child->children.push_back(right->children.front());
+        right->keys.erase(right->keys.begin());
+        right->children.erase(right->children.begin());
+      }
+      right->latch.unlock();
+      return child;
+    }
+    // Merge the right sibling into the child.
+    if (child->leaf) {
+      child->keys.insert(child->keys.end(), right->keys.begin(),
+                         right->keys.end());
+      child->values.insert(child->values.end(), right->values.begin(),
+                           right->values.end());
+    } else {
+      child->keys.push_back(parent->keys[idx]);
+      child->keys.insert(child->keys.end(), right->keys.begin(),
+                         right->keys.end());
+      child->children.insert(child->children.end(), right->children.begin(),
+                             right->children.end());
+    }
+    parent->keys.erase(parent->keys.begin() + idx);
+    parent->children.erase(parent->children.begin() + idx + 1);
+    right->latch.unlock();
+    delete right;
+    return child;
+  }
+  // No right sibling and the left one is minimal: merge child into left.
+  Node* left = parent->children[idx - 1];
+  left->latch.lock();
+  if (child->leaf) {
+    left->keys.insert(left->keys.end(), child->keys.begin(),
+                      child->keys.end());
+    left->values.insert(left->values.end(), child->values.begin(),
+                        child->values.end());
+  } else {
+    left->keys.push_back(parent->keys[idx - 1]);
+    left->keys.insert(left->keys.end(), child->keys.begin(),
+                      child->keys.end());
+    left->children.insert(left->children.end(), child->children.begin(),
+                          child->children.end());
+  }
+  parent->keys.erase(parent->keys.begin() + idx - 1);
+  parent->children.erase(parent->children.begin() + idx);
+  child->latch.unlock();
+  delete child;
+  return left;
+}
+
+std::optional<int64_t> BTree::Erase(int64_t key) {
+  std::unique_lock<std::shared_mutex> root_guard(root_latch_);
+  Node* node = root_;
+  node->latch.lock();
+  // Hold the root guard while the root might still collapse during this
+  // erase: only an internal root with a single key can lose it to a merge
+  // of its two children.
+  auto root_stable = [](const Node* n) {
+    return n->leaf || n->keys.size() > 1;
+  };
+  if (root_stable(node)) root_guard.unlock();
+
+  while (!node->leaf) {
+    int idx = ChildIndex(node->keys, key);
+    Node* child = node->children[idx];
+    child->latch.lock();
+    if (static_cast<int>(child->keys.size()) <= min_keys_) {
+      child = FixChildForErase(node, idx);
+    }
+    if (root_guard.owns_lock() && node == root_ && node->keys.empty()) {
+      // The root's two children merged; collapse the root.
+      root_ = child;
+      node->latch.unlock();
+      delete node;
+      node = child;
+      if (root_stable(node)) root_guard.unlock();
+      continue;
+    }
+    if (root_guard.owns_lock()) root_guard.unlock();
+    node->latch.unlock();
+    node = child;
+  }
+  if (root_guard.owns_lock()) root_guard.unlock();
+  auto it = std::lower_bound(node->keys.begin(), node->keys.end(), key);
+  std::optional<int64_t> old;
+  if (it != node->keys.end() && *it == key) {
+    size_t i = it - node->keys.begin();
+    old = node->values[i];
+    node->keys.erase(it);
+    node->values.erase(node->values.begin() + i);
+    size_.fetch_sub(1, std::memory_order_relaxed);
+  }
+  node->latch.unlock();
+  return old;
+}
+
+int64_t BTree::Size() const { return size_.load(std::memory_order_relaxed); }
+
+std::vector<std::pair<int64_t, int64_t>> BTree::Items() const {
+  // Requires external quiescence (no concurrent mutators); used for
+  // snapshots, equality tests and invariant checks only.
+  std::unique_lock<std::shared_mutex> root_guard(root_latch_);
+  std::vector<std::pair<int64_t, int64_t>> out;
+  std::function<void(const Node*)> walk = [&](const Node* n) {
+    if (n->leaf) {
+      for (size_t i = 0; i < n->keys.size(); ++i) {
+        out.emplace_back(n->keys[i], n->values[i]);
+      }
+      return;
+    }
+    for (const Node* c : n->children) walk(c);
+  };
+  walk(root_);
+  return out;
+}
+
+int64_t BTree::RangeCount(int64_t lo, int64_t hi) const {
+  int64_t n = 0;
+  Range(lo, hi, [&n](int64_t, int64_t) { ++n; });
+  return n;
+}
+
+std::vector<std::pair<int64_t, int64_t>> BTree::Range(int64_t lo,
+                                                      int64_t hi) const {
+  std::vector<std::pair<int64_t, int64_t>> out;
+  Range(lo, hi, [&out](int64_t k, int64_t v) { out.emplace_back(k, v); });
+  return out;
+}
+
+void BTree::Range(int64_t lo, int64_t hi,
+                  const std::function<void(int64_t, int64_t)>& fn) const {
+  if (lo >= hi) return;
+  std::shared_lock<std::shared_mutex> root_guard(root_latch_);
+  const Node* root = root_;
+  root->latch.lock_shared();
+  root_guard.unlock();
+  // Recursive latch-coupled traversal: a node stays shared-latched while
+  // its in-range children are visited (readers coexist; writers queue).
+  std::function<void(const Node*)> walk = [&](const Node* n) {
+    if (n->leaf) {
+      auto it = std::lower_bound(n->keys.begin(), n->keys.end(), lo);
+      for (; it != n->keys.end() && *it < hi; ++it) {
+        fn(*it, n->values[it - n->keys.begin()]);
+      }
+      return;
+    }
+    int first = ChildIndex(n->keys, lo);
+    int last = ChildIndex(n->keys, hi - 1);
+    for (int i = first; i <= last; ++i) {
+      const Node* c = n->children[i];
+      c->latch.lock_shared();
+      walk(c);
+      c->latch.unlock_shared();
+    }
+  };
+  walk(root);
+  root->latch.unlock_shared();
+}
+
+int BTree::Height() const {
+  std::shared_lock<std::shared_mutex> root_guard(root_latch_);
+  int h = 1;
+  const Node* n = root_;
+  while (!n->leaf) {
+    ++h;
+    n = n->children[0];
+  }
+  return h;
+}
+
+std::string BTree::CheckInvariants() const {
+  std::unique_lock<std::shared_mutex> root_guard(root_latch_);
+  std::ostringstream err;
+  int leaf_depth = -1;
+  std::function<void(const Node*, int, std::optional<int64_t>,
+                     std::optional<int64_t>, bool)>
+      walk = [&](const Node* n, int depth, std::optional<int64_t> lo,
+                 std::optional<int64_t> hi, bool is_root) {
+        if (!std::is_sorted(n->keys.begin(), n->keys.end())) {
+          err << "unsorted keys at depth " << depth << "; ";
+        }
+        for (int64_t k : n->keys) {
+          if ((lo && k < *lo) || (hi && k >= *hi)) {
+            err << "key " << k << " outside separator range; ";
+          }
+        }
+        if (!is_root && static_cast<int>(n->keys.size()) < min_keys_) {
+          err << "underfull node (" << n->keys.size() << " keys) at depth "
+              << depth << "; ";
+        }
+        if (static_cast<int>(n->keys.size()) > order_) {
+          err << "overfull node at depth " << depth << "; ";
+        }
+        if (n->leaf) {
+          if (n->keys.size() != n->values.size()) {
+            err << "leaf key/value count mismatch; ";
+          }
+          if (leaf_depth == -1) {
+            leaf_depth = depth;
+          } else if (leaf_depth != depth) {
+            err << "leaves at different depths; ";
+          }
+          return;
+        }
+        if (n->children.size() != n->keys.size() + 1) {
+          err << "internal child count mismatch; ";
+        }
+        for (size_t i = 0; i < n->children.size(); ++i) {
+          std::optional<int64_t> clo = i == 0 ? lo : n->keys[i - 1];
+          std::optional<int64_t> chi = i == n->keys.size() ? hi : n->keys[i];
+          walk(n->children[i], depth + 1, clo, chi, false);
+        }
+      };
+  walk(root_, 0, std::nullopt, std::nullopt, true);
+  return err.str();
+}
+
+}  // namespace objectbase::adt

@@ -1,0 +1,142 @@
+#include "src/adt/btree_dictionary_adt.h"
+
+#include "src/adt/btree.h"
+#include "src/adt/spec_base.h"
+
+namespace objectbase::adt {
+namespace {
+
+class BTreeDictionaryState : public AdtState {
+ public:
+  explicit BTreeDictionaryState(int order) : order_(order), tree_(order) {}
+
+  std::unique_ptr<AdtState> Clone() const override {
+    auto copy = std::make_unique<BTreeDictionaryState>(order_);
+    for (const auto& [k, v] : tree_.Items()) copy->tree_.Insert(k, v);
+    return copy;
+  }
+  bool Equals(const AdtState& other) const override {
+    auto* o = dynamic_cast<const BTreeDictionaryState*>(&other);
+    return o != nullptr && o->tree_.Items() == tree_.Items();
+  }
+  std::string ToString() const override {
+    return "btree_dict{n=" + std::to_string(tree_.Size()) + "}";
+  }
+
+  BTree& tree() { return tree_; }
+
+ private:
+  int order_;
+  BTree tree_;
+};
+
+bool IsMutation(const StepView& t) {
+  if (t.op == "get" || t.op == "count" || t.op == "range_count") return false;
+  if (t.op == "put") return true;  // conservatively, even overwrites
+  if (t.ret == nullptr) return true;
+  return t.ret->is_bool() && t.ret->AsBool();  // del
+}
+
+class BTreeDictionarySpec : public SpecBase {
+ public:
+  explicit BTreeDictionarySpec(int order) : order_(order) {
+    AddOp("get", /*read_only=*/true, [](AdtState& s, const Args& args) {
+      auto& st = static_cast<BTreeDictionaryState&>(s);
+      auto v = st.tree().Lookup(args.at(0).AsInt());
+      return ApplyResult{v ? Value(*v) : Value::None(), UndoFn()};
+    });
+    AddOp("put", /*read_only=*/false, [](AdtState& s, const Args& args) {
+      auto& st = static_cast<BTreeDictionaryState&>(s);
+      int64_t k = args.at(0).AsInt();
+      int64_t v = args.at(1).AsInt();
+      auto old = st.tree().Insert(k, v);
+      UndoFn undo;
+      if (old) {
+        int64_t prev = *old;
+        undo = [k, prev](AdtState& u) {
+          static_cast<BTreeDictionaryState&>(u).tree().Insert(k, prev);
+        };
+      } else {
+        undo = [k](AdtState& u) {
+          static_cast<BTreeDictionaryState&>(u).tree().Erase(k);
+        };
+      }
+      return ApplyResult{old ? Value(*old) : Value::None(), std::move(undo)};
+    });
+    AddOp("del", /*read_only=*/false, [](AdtState& s, const Args& args) {
+      auto& st = static_cast<BTreeDictionaryState&>(s);
+      int64_t k = args.at(0).AsInt();
+      auto old = st.tree().Erase(k);
+      UndoFn undo;
+      if (old) {
+        int64_t prev = *old;
+        undo = [k, prev](AdtState& u) {
+          static_cast<BTreeDictionaryState&>(u).tree().Insert(k, prev);
+        };
+      }
+      return ApplyResult{Value(old.has_value()), std::move(undo)};
+    });
+    AddOp("count", /*read_only=*/true, [](AdtState& s, const Args&) {
+      auto& st = static_cast<BTreeDictionaryState&>(s);
+      return ApplyResult{Value(st.tree().Size()), UndoFn()};
+    });
+    AddOp("range_count", /*read_only=*/true,
+          [](AdtState& s, const Args& args) {
+            auto& st = static_cast<BTreeDictionaryState&>(s);
+            return ApplyResult{
+                Value(st.tree().RangeCount(args.at(0).AsInt(),
+                                           args.at(1).AsInt())),
+                UndoFn()};
+          });
+    // Operation granularity: only get/get and get/count style read pairs
+    // commute.
+    Conflict("put", "put");
+    Conflict("put", "del");
+    Conflict("put", "get");
+    Conflict("put", "count");
+    Conflict("put", "range_count");
+    Conflict("del", "del");
+    Conflict("del", "get");
+    Conflict("del", "count");
+    Conflict("del", "range_count");
+  }
+
+  std::string_view type_name() const override { return "btree_dictionary"; }
+
+  std::unique_ptr<AdtState> MakeInitialState() const override {
+    return std::make_unique<BTreeDictionaryState>(order_);
+  }
+
+  bool supports_concurrent_apply() const override { return true; }
+
+  bool StepConflicts(const StepView& first,
+                     const StepView& second) const override {
+    bool m1 = IsMutation(first);
+    bool m2 = IsMutation(second);
+    if (!m1 && !m2) return false;
+    if (first.op == "count" || second.op == "count") return m1 || m2;
+    // Range scans conflict with mutations whose key falls in the range —
+    // step-granularity phantom protection.
+    if (first.op == "range_count" || second.op == "range_count") {
+      const StepView& scan = first.op == "range_count" ? first : second;
+      const StepView& other = first.op == "range_count" ? second : first;
+      if (other.op == "range_count") return false;  // two reads
+      int64_t k = other.args->at(0).AsInt();
+      return k >= scan.args->at(0).AsInt() && k < scan.args->at(1).AsInt();
+    }
+    // Key operations on different keys commute.
+    if (first.args->at(0).AsInt() != second.args->at(0).AsInt()) return false;
+    return true;
+  }
+
+ private:
+  int order_;
+};
+
+}  // namespace
+
+std::shared_ptr<const AdtSpec> MakeBTreeDictionarySpec(int order) {
+  return std::make_shared<BTreeDictionarySpec>(order);
+}
+
+}  // namespace objectbase::adt

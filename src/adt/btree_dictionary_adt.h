@@ -1,0 +1,28 @@
+// BTreeDictionary: a dictionary object backed by the latch-crabbing B-tree.
+//
+// This is the Section 2 scenario end-to-end: the object's own methods are
+// synchronised by a special-purpose B-tree algorithm (intra-object
+// synchronisation), while the inter-object layer sees key-granularity
+// conflicts.  The spec reports supports_concurrent_apply(), so under the
+// MIXED protocol the runtime does not serialise applications on this object.
+//
+// Operations:
+//   get(k)     -> v or none                       (read-only)
+//   put(k, v)  -> previous value or none
+//   del(k)     -> bool (true iff k was present)
+//   count()    -> int                             (read-only)
+#ifndef OBJECTBASE_ADT_BTREE_DICTIONARY_ADT_H_
+#define OBJECTBASE_ADT_BTREE_DICTIONARY_ADT_H_
+
+#include <memory>
+
+#include "src/adt/adt.h"
+
+namespace objectbase::adt {
+
+/// Creates an empty BTreeDictionary spec; `order` is the B-tree node width.
+std::shared_ptr<const AdtSpec> MakeBTreeDictionarySpec(int order = 16);
+
+}  // namespace objectbase::adt
+
+#endif  // OBJECTBASE_ADT_BTREE_DICTIONARY_ADT_H_

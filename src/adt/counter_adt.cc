@@ -1,0 +1,61 @@
+#include "src/adt/counter_adt.h"
+
+#include "src/adt/spec_base.h"
+
+namespace objectbase::adt {
+namespace {
+
+class CounterState : public AdtState {
+ public:
+  explicit CounterState(int64_t v) : value(v) {}
+
+  std::unique_ptr<AdtState> Clone() const override {
+    return std::make_unique<CounterState>(value);
+  }
+  bool Equals(const AdtState& other) const override {
+    auto* o = dynamic_cast<const CounterState*>(&other);
+    return o != nullptr && o->value == value;
+  }
+  std::string ToString() const override {
+    return "counter{" + std::to_string(value) + "}";
+  }
+
+  int64_t value;
+};
+
+class CounterSpec : public SpecBase {
+ public:
+  explicit CounterSpec(int64_t initial) : initial_(initial) {
+    AddOp("get", /*read_only=*/true, [](AdtState& s, const Args&) {
+      return ApplyResult{Value(static_cast<CounterState&>(s).value), UndoFn()};
+    });
+    AddOp("add", /*read_only=*/false, [](AdtState& s, const Args& args) {
+      auto& st = static_cast<CounterState&>(s);
+      int64_t d = args.at(0).AsInt();
+      st.value += d;
+      return ApplyResult{Value::None(), [d](AdtState& u) {
+                           static_cast<CounterState&>(u).value -= d;
+                         }};
+    });
+    // add/add commute; get/get commute; add/get conflict (the return value
+    // of get depends on whether the add happened first).
+    Conflict("get", "add");
+  }
+
+  std::string_view type_name() const override { return "counter"; }
+
+  std::unique_ptr<AdtState> MakeInitialState() const override {
+    return std::make_unique<CounterState>(initial_);
+  }
+
+ private:
+  int64_t initial_;
+};
+
+}  // namespace
+
+std::shared_ptr<const AdtSpec> MakeCounterSpec(int64_t initial) {
+  return std::make_shared<CounterSpec>(initial);
+}
+
+}  // namespace objectbase::adt

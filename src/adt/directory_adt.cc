@@ -1,0 +1,130 @@
+#include "src/adt/directory_adt.h"
+
+#include <map>
+
+#include "src/adt/spec_base.h"
+
+namespace objectbase::adt {
+namespace {
+
+class DirectoryState : public AdtState {
+ public:
+  DirectoryState() = default;
+  explicit DirectoryState(std::map<std::string, std::string> e)
+      : entries(std::move(e)) {}
+
+  std::unique_ptr<AdtState> Clone() const override {
+    return std::make_unique<DirectoryState>(entries);
+  }
+  bool Equals(const AdtState& other) const override {
+    auto* o = dynamic_cast<const DirectoryState*>(&other);
+    return o != nullptr && o->entries == entries;
+  }
+  std::string ToString() const override {
+    return "directory{n=" + std::to_string(entries.size()) + "}";
+  }
+
+  std::map<std::string, std::string> entries;
+};
+
+// Restores name -> previous binding (or absence).
+UndoFn RestoreUndo(std::string name, bool had, std::string old) {
+  return [name = std::move(name), had, old = std::move(old)](AdtState& u) {
+    auto& d = static_cast<DirectoryState&>(u);
+    if (had) {
+      d.entries[name] = old;
+    } else {
+      d.entries.erase(name);
+    }
+  };
+}
+
+class DirectorySpec : public SpecBase {
+ public:
+  DirectorySpec() {
+    AddOp("bind", /*read_only=*/false, [](AdtState& s, const Args& args) {
+      auto& st = static_cast<DirectoryState&>(s);
+      const std::string& name = args.at(0).AsString();
+      auto [it, inserted] = st.entries.emplace(name, args.at(1).AsString());
+      UndoFn undo;
+      if (inserted) undo = RestoreUndo(name, false, "");
+      return ApplyResult{Value(inserted), std::move(undo)};
+    });
+    AddOp("rebind", /*read_only=*/false, [](AdtState& s, const Args& args) {
+      auto& st = static_cast<DirectoryState&>(s);
+      const std::string& name = args.at(0).AsString();
+      auto it = st.entries.find(name);
+      bool had = it != st.entries.end();
+      Value old = had ? Value(it->second) : Value::None();
+      UndoFn undo = RestoreUndo(name, had, had ? it->second : "");
+      st.entries[name] = args.at(1).AsString();
+      return ApplyResult{std::move(old), std::move(undo)};
+    });
+    AddOp("unbind", /*read_only=*/false, [](AdtState& s, const Args& args) {
+      auto& st = static_cast<DirectoryState&>(s);
+      const std::string& name = args.at(0).AsString();
+      auto it = st.entries.find(name);
+      if (it == st.entries.end()) {
+        return ApplyResult{Value::None(), UndoFn()};
+      }
+      Value old(it->second);
+      UndoFn undo = RestoreUndo(name, true, it->second);
+      st.entries.erase(it);
+      return ApplyResult{std::move(old), std::move(undo)};
+    });
+    AddOp("lookup", /*read_only=*/true, [](AdtState& s, const Args& args) {
+      auto& st = static_cast<DirectoryState&>(s);
+      auto it = st.entries.find(args.at(0).AsString());
+      return ApplyResult{
+          it == st.entries.end() ? Value::None() : Value(it->second),
+          UndoFn()};
+    });
+    AddOp("entries", /*read_only=*/true, [](AdtState& s, const Args&) {
+      auto& st = static_cast<DirectoryState&>(s);
+      return ApplyResult{Value(static_cast<int64_t>(st.entries.size())),
+                         UndoFn()};
+    });
+    // Operation granularity: only pure reads commute.
+    for (const char* m : {"bind", "rebind", "unbind"}) {
+      Conflict(m, "bind");
+      Conflict(m, "rebind");
+      Conflict(m, "unbind");
+      Conflict(m, "lookup");
+      Conflict(m, "entries");
+    }
+  }
+
+  std::string_view type_name() const override { return "directory"; }
+
+  std::unique_ptr<AdtState> MakeInitialState() const override {
+    return std::make_unique<DirectoryState>();
+  }
+
+  bool StepConflicts(const StepView& first,
+                     const StepView& second) const override {
+    auto mutation = [](const StepView& t) {
+      if (t.op == "lookup" || t.op == "entries") return false;
+      if (t.op == "rebind") return true;  // always writes
+      if (t.ret == nullptr) return true;  // unknown outcome
+      if (t.op == "bind") return t.ret->is_bool() && t.ret->AsBool();
+      return !t.ret->is_none();  // unbind succeeded
+    };
+    bool m1 = mutation(first);
+    bool m2 = mutation(second);
+    if (!m1 && !m2) return false;
+    if (first.op == "entries" || second.op == "entries") return m1 || m2;
+    // Name-aware: different names commute.
+    if (first.args->at(0).AsString() != second.args->at(0).AsString()) {
+      return false;
+    }
+    return true;
+  }
+};
+
+}  // namespace
+
+std::shared_ptr<const AdtSpec> MakeDirectorySpec() {
+  return std::make_shared<DirectorySpec>();
+}
+
+}  // namespace objectbase::adt

@@ -1,0 +1,29 @@
+// Directory: a string-keyed map (name -> value), the object-base flavour
+// of a naming service / catalogue.
+//
+// Exercises string-valued arguments and returns through the whole stack
+// (conflict tables, locks, timestamp entries, replay).  Step-granularity
+// conflicts are name-aware: operations on different names commute; a
+// failed bind (name taken) behaves like a read.
+//
+// Operations:
+//   bind(name, v)   -> bool (true iff name was free and is now bound)
+//   rebind(name, v) -> old value or none (upsert)
+//   unbind(name)    -> old value or none
+//   lookup(name)    -> value or none       (read-only)
+//   entries()       -> int                 (read-only)
+#ifndef OBJECTBASE_ADT_DIRECTORY_ADT_H_
+#define OBJECTBASE_ADT_DIRECTORY_ADT_H_
+
+#include <memory>
+
+#include "src/adt/adt.h"
+
+namespace objectbase::adt {
+
+/// Creates an empty Directory spec.
+std::shared_ptr<const AdtSpec> MakeDirectorySpec();
+
+}  // namespace objectbase::adt
+
+#endif  // OBJECTBASE_ADT_DIRECTORY_ADT_H_

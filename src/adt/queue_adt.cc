@@ -1,0 +1,144 @@
+#include "src/adt/queue_adt.h"
+
+#include <deque>
+
+#include "src/adt/spec_base.h"
+
+namespace objectbase::adt {
+namespace {
+
+class QueueState : public AdtState {
+ public:
+  QueueState() = default;
+  explicit QueueState(std::deque<int64_t> i) : items(std::move(i)) {}
+
+  std::unique_ptr<AdtState> Clone() const override {
+    return std::make_unique<QueueState>(items);
+  }
+  bool Equals(const AdtState& other) const override {
+    auto* o = dynamic_cast<const QueueState*>(&other);
+    return o != nullptr && o->items == items;
+  }
+  std::string ToString() const override {
+    std::string s = "queue[";
+    for (size_t i = 0; i < items.size(); ++i) {
+      if (i > 0) s += ",";
+      s += std::to_string(items[i]);
+    }
+    return s + "]";
+  }
+
+  std::deque<int64_t> items;
+};
+
+class QueueSpec : public SpecBase {
+ public:
+  QueueSpec() {
+    AddOp("enqueue", /*read_only=*/false, [](AdtState& s, const Args& args) {
+      auto& st = static_cast<QueueState&>(s);
+      st.items.push_back(args.at(0).AsInt());
+      return ApplyResult{Value::None(), [](AdtState& u) {
+                           static_cast<QueueState&>(u).items.pop_back();
+                         }};
+    });
+    AddOp("dequeue", /*read_only=*/false, [](AdtState& s, const Args&) {
+      auto& st = static_cast<QueueState&>(s);
+      if (st.items.empty()) return ApplyResult{Value::None(), UndoFn()};
+      int64_t v = st.items.front();
+      st.items.pop_front();
+      return ApplyResult{Value(v), [v](AdtState& u) {
+                           static_cast<QueueState&>(u).items.push_front(v);
+                         }};
+    });
+    AddOp("peek", /*read_only=*/true, [](AdtState& s, const Args&) {
+      auto& st = static_cast<QueueState&>(s);
+      if (st.items.empty()) return ApplyResult{Value::None(), UndoFn()};
+      return ApplyResult{Value(st.items.front()), UndoFn()};
+    });
+    AddOp("length", /*read_only=*/true, [](AdtState& s, const Args&) {
+      auto& st = static_cast<QueueState&>(s);
+      return ApplyResult{Value(static_cast<int64_t>(st.items.size())),
+                         UndoFn()};
+    });
+    // Operation granularity: every pair involving a mutator conflicts —
+    // exactly the conservative regime Section 5.1 criticises.
+    Conflict("enqueue", "enqueue");
+    Conflict("enqueue", "dequeue");
+    Conflict("enqueue", "peek");
+    Conflict("enqueue", "length");
+    Conflict("dequeue", "dequeue");
+    Conflict("dequeue", "peek");
+    Conflict("dequeue", "length");
+  }
+
+  std::string_view type_name() const override { return "queue"; }
+
+  std::unique_ptr<AdtState> MakeInitialState() const override {
+    return std::make_unique<QueueState>();
+  }
+
+  bool StepConflicts(const StepView& first,
+                     const StepView& second) const override {
+    // Unknown return values: fall back to the conservative table.
+    auto known = [](const StepView& t) {
+      return t.ret != nullptr || t.op == "enqueue";  // enqueue's ret is fixed
+    };
+    if (!known(first) || !known(second)) {
+      return OpConflicts(first.op, second.op);
+    }
+    const bool e1 = first.op == "enqueue";
+    const bool e2 = second.op == "enqueue";
+    const bool d1 = first.op == "dequeue";
+    const bool d2 = second.op == "dequeue";
+    if (e1 && e2) {
+      // Two enqueues commute iff they insert equal values (the resulting
+      // sequences coincide).
+      return first.args->at(0).AsInt() != second.args->at(0).AsInt();
+    }
+    if (d1 && d2) {
+      // Two dequeues commute iff they returned equal values (including both
+      // observing the empty queue).
+      return !(*first.ret == *second.ret);
+    }
+    if ((e1 && d2) || (d1 && e2)) {
+      // The Section 5.1 rule: conflict iff the dequeue returned the
+      // enqueued value, or the dequeue observed an empty queue (an enqueue
+      // on the other side of it would change that observation).
+      const StepView& enq = e1 ? first : second;
+      const StepView& deq = e1 ? second : first;
+      if (deq.ret->is_none()) return true;
+      return deq.ret->AsInt() == enq.args->at(0).AsInt();
+    }
+    // peek/length observers.
+    auto mutates = [](const StepView& t) {
+      if (t.op == "enqueue") return true;
+      if (t.op == "dequeue") return !t.ret->is_none();
+      return false;
+    };
+    if (first.op == "peek" || second.op == "peek") {
+      const StepView& other = first.op == "peek" ? second : first;
+      // peek conflicts with a dequeue (head changes) and with an enqueue
+      // that made the queue non-empty (peek would have seen none).
+      if (other.op == "dequeue") return mutates(other);
+      if (other.op == "enqueue") {
+        const StepView& peek = first.op == "peek" ? first : second;
+        return peek.ret->is_none() ||
+               peek.ret->AsInt() == other.args->at(0).AsInt();
+      }
+      return false;  // peek/peek, peek/length
+    }
+    if (first.op == "length" || second.op == "length") {
+      const StepView& other = first.op == "length" ? second : first;
+      return mutates(other);
+    }
+    return false;
+  }
+};
+
+}  // namespace
+
+std::shared_ptr<const AdtSpec> MakeQueueSpec() {
+  return std::make_shared<QueueSpec>();
+}
+
+}  // namespace objectbase::adt

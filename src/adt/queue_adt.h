@@ -1,0 +1,28 @@
+// Queue: the paper's running example for return-value-aware conflicts.
+//
+// Section 5.1: "in many reasonable representations of queues, an Enqueue
+// conflicts with a Dequeue only if the latter returns the item placed into
+// the queue by the former.  Thus, if we locked operations with no regard to
+// their return values, an Enqueue operation would delay any Dequeue
+// operation of an incomparable method execution."
+//
+// Operations:
+//   enqueue(v) -> none
+//   dequeue()  -> v (front item) or none when the queue is empty
+//   peek()     -> v or none                     (read-only)
+//   length()   -> int                           (read-only)
+#ifndef OBJECTBASE_ADT_QUEUE_ADT_H_
+#define OBJECTBASE_ADT_QUEUE_ADT_H_
+
+#include <memory>
+
+#include "src/adt/adt.h"
+
+namespace objectbase::adt {
+
+/// Creates an empty FIFO Queue spec.
+std::shared_ptr<const AdtSpec> MakeQueueSpec();
+
+}  // namespace objectbase::adt
+
+#endif  // OBJECTBASE_ADT_QUEUE_ADT_H_

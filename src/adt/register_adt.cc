@@ -1,0 +1,74 @@
+#include "src/adt/register_adt.h"
+
+#include "src/adt/spec_base.h"
+
+namespace objectbase::adt {
+namespace {
+
+class RegisterState : public AdtState {
+ public:
+  explicit RegisterState(int64_t v) : value(v) {}
+
+  std::unique_ptr<AdtState> Clone() const override {
+    return std::make_unique<RegisterState>(value);
+  }
+  bool Equals(const AdtState& other) const override {
+    auto* o = dynamic_cast<const RegisterState*>(&other);
+    return o != nullptr && o->value == value;
+  }
+  std::string ToString() const override {
+    return "register{" + std::to_string(value) + "}";
+  }
+
+  int64_t value;
+};
+
+class RegisterSpec : public SpecBase {
+ public:
+  explicit RegisterSpec(int64_t initial) : initial_(initial) {
+    AddOp("read", /*read_only=*/true, [](AdtState& s, const Args&) {
+      auto& st = static_cast<RegisterState&>(s);
+      return ApplyResult{Value(st.value), UndoFn()};
+    });
+    AddOp("write", /*read_only=*/false, [](AdtState& s, const Args& args) {
+      auto& st = static_cast<RegisterState&>(s);
+      int64_t old = st.value;
+      st.value = args.at(0).AsInt();
+      return ApplyResult{Value::None(), [old](AdtState& u) {
+                           static_cast<RegisterState&>(u).value = old;
+                         }};
+    });
+    AddOp("increment", /*read_only=*/false, [](AdtState& s, const Args& args) {
+      auto& st = static_cast<RegisterState&>(s);
+      int64_t d = args.at(0).AsInt();
+      st.value += d;
+      return ApplyResult{Value::None(), [d](AdtState& u) {
+                           static_cast<RegisterState&>(u).value -= d;
+                         }};
+    });
+    // read/read commute; increment/increment commute (addition is
+    // commutative and neither returns a state-dependent value).  Everything
+    // else conflicts.
+    Conflict("read", "write");
+    Conflict("write", "write");
+    Conflict("write", "increment");
+    Conflict("read", "increment");
+  }
+
+  std::string_view type_name() const override { return "register"; }
+
+  std::unique_ptr<AdtState> MakeInitialState() const override {
+    return std::make_unique<RegisterState>(initial_);
+  }
+
+ private:
+  int64_t initial_;
+};
+
+}  // namespace
+
+std::shared_ptr<const AdtSpec> MakeRegisterSpec(int64_t initial) {
+  return std::make_shared<RegisterSpec>(initial);
+}
+
+}  // namespace objectbase::adt

@@ -1,0 +1,123 @@
+#include "src/adt/set_adt.h"
+
+#include <set>
+
+#include "src/adt/spec_base.h"
+
+namespace objectbase::adt {
+namespace {
+
+class SetState : public AdtState {
+ public:
+  SetState() = default;
+  explicit SetState(std::set<int64_t> k) : keys(std::move(k)) {}
+
+  std::unique_ptr<AdtState> Clone() const override {
+    return std::make_unique<SetState>(keys);
+  }
+  bool Equals(const AdtState& other) const override {
+    auto* o = dynamic_cast<const SetState*>(&other);
+    return o != nullptr && o->keys == keys;
+  }
+  std::string ToString() const override {
+    std::string s = "set{";
+    bool first = true;
+    for (int64_t k : keys) {
+      if (!first) s += ",";
+      s += std::to_string(k);
+      first = false;
+    }
+    return s + "}";
+  }
+
+  std::set<int64_t> keys;
+};
+
+// A step is a "successful mutation" if it actually changed the set.  With an
+// unknown return value we must assume mutation (sound fallback).
+bool IsMutation(const StepView& t) {
+  if (t.op == "contains" || t.op == "size") return false;
+  if (t.ret == nullptr) return true;  // unknown outcome
+  return t.ret->is_bool() && t.ret->AsBool();
+}
+
+bool HasKey(const StepView& t) { return t.op != "size"; }
+
+int64_t KeyOf(const StepView& t) { return t.args->at(0).AsInt(); }
+
+class SetSpec : public SpecBase {
+ public:
+  SetSpec() {
+    AddOp("insert", /*read_only=*/false, [](AdtState& s, const Args& args) {
+      auto& st = static_cast<SetState&>(s);
+      int64_t k = args.at(0).AsInt();
+      bool inserted = st.keys.insert(k).second;
+      UndoFn undo;
+      if (inserted) {
+        undo = [k](AdtState& u) { static_cast<SetState&>(u).keys.erase(k); };
+      }
+      return ApplyResult{Value(inserted), std::move(undo)};
+    });
+    AddOp("erase", /*read_only=*/false, [](AdtState& s, const Args& args) {
+      auto& st = static_cast<SetState&>(s);
+      int64_t k = args.at(0).AsInt();
+      bool erased = st.keys.erase(k) > 0;
+      UndoFn undo;
+      if (erased) {
+        undo = [k](AdtState& u) { static_cast<SetState&>(u).keys.insert(k); };
+      }
+      return ApplyResult{Value(erased), std::move(undo)};
+    });
+    AddOp("contains", /*read_only=*/true, [](AdtState& s, const Args& args) {
+      auto& st = static_cast<SetState&>(s);
+      return ApplyResult{Value(st.keys.count(args.at(0).AsInt()) > 0),
+                         UndoFn()};
+    });
+    AddOp("size", /*read_only=*/true, [](AdtState& s, const Args&) {
+      auto& st = static_cast<SetState&>(s);
+      return ApplyResult{Value(static_cast<int64_t>(st.keys.size())),
+                         UndoFn()};
+    });
+    // Operation granularity is key-blind: only read-only pairs commute.
+    Conflict("insert", "insert");
+    Conflict("insert", "erase");
+    Conflict("insert", "contains");
+    Conflict("insert", "size");
+    Conflict("erase", "erase");
+    Conflict("erase", "contains");
+    Conflict("erase", "size");
+  }
+
+  std::string_view type_name() const override { return "set"; }
+
+  std::unique_ptr<AdtState> MakeInitialState() const override {
+    return std::make_unique<SetState>();
+  }
+
+  bool StepConflicts(const StepView& first,
+                     const StepView& second) const override {
+    bool m1 = IsMutation(first);
+    bool m2 = IsMutation(second);
+    // Two non-mutating steps always commute.
+    if (!m1 && !m2) return false;
+    // size() observes every successful mutation.
+    if (first.op == "size" || second.op == "size") return m1 || m2;
+    // Key operations on different keys commute.
+    if (HasKey(first) && HasKey(second) && KeyOf(first) != KeyOf(second)) {
+      return false;
+    }
+    // Same key, at least one successful mutation: conflict.  (This is a
+    // slight over-approximation for vacuously-commuting pairs such as two
+    // insert->true steps on the same key, which can never be adjacent-legal;
+    // treating them as conflicting is sound.)
+    return true;
+  }
+};
+
+}  // namespace
+
+std::shared_ptr<const AdtSpec> MakeSetSpec() {
+  return std::make_shared<SetSpec>();
+}
+
+}  // namespace objectbase::adt

@@ -1,0 +1,69 @@
+// Shared implementation scaffolding for concrete AdtSpecs.
+#ifndef OBJECTBASE_ADT_SPEC_BASE_H_
+#define OBJECTBASE_ADT_SPEC_BASE_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/adt/adt.h"
+
+namespace objectbase::adt {
+
+/// Base class holding an operation registry and a symmetric
+/// operation-granularity conflict table.  Subclasses register operations and
+/// conflict pairs in their constructor and may override StepConflicts() to
+/// refine conflicts using arguments/returns.
+class SpecBase : public AdtSpec {
+ public:
+  const OpDescriptor* FindOp(std::string_view name) const override {
+    auto it = op_index_.find(std::string(name));
+    if (it == op_index_.end()) return nullptr;
+    return &ops_[it->second];
+  }
+
+  std::vector<std::string_view> OpNames() const override {
+    std::vector<std::string_view> names;
+    names.reserve(ops_.size());
+    for (const auto& op : ops_) names.push_back(op.name);
+    return names;
+  }
+
+  bool OpConflicts(std::string_view a, std::string_view b) const override {
+    return conflicts_.count(Key(a, b)) > 0;
+  }
+
+  /// Default: step conflicts coincide with operation conflicts.
+  bool StepConflicts(const StepView& t1, const StepView& t2) const override {
+    return OpConflicts(t1.op, t2.op);
+  }
+
+ protected:
+  void AddOp(std::string name, bool read_only,
+             std::function<ApplyResult(AdtState&, const Args&)> apply) {
+    op_index_[name] = ops_.size();
+    ops_.push_back(OpDescriptor{std::move(name), read_only, std::move(apply)});
+  }
+
+  /// Declares a symmetric operation-level conflict between `a` and `b`.
+  void Conflict(std::string_view a, std::string_view b) {
+    conflicts_.insert(Key(a, b));
+    conflicts_.insert(Key(b, a));
+  }
+
+ private:
+  static std::pair<std::string, std::string> Key(std::string_view a,
+                                                 std::string_view b) {
+    return {std::string(a), std::string(b)};
+  }
+
+  std::vector<OpDescriptor> ops_;
+  std::map<std::string, size_t> op_index_;
+  std::set<std::pair<std::string, std::string>> conflicts_;
+};
+
+}  // namespace objectbase::adt
+
+#endif  // OBJECTBASE_ADT_SPEC_BASE_H_

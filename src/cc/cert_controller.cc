@@ -1,0 +1,178 @@
+#include "src/cc/cert_controller.h"
+
+#include <algorithm>
+#include <functional>
+#include <set>
+
+#include "src/runtime/apply.h"
+
+namespace objectbase::cc {
+
+CertController::CertController(rt::Recorder& recorder, Granularity granularity)
+    : recorder_(recorder), granularity_(granularity) {}
+
+void CertController::OnTopBegin(rt::TxnNode& top) {
+  deps_.Register(top.uid(), top.hts().top_component());
+}
+
+OpOutcome CertController::ExecuteLocal(rt::TxnNode& txn, rt::Object& obj,
+                                       const std::string& op,
+                                       const Args& args) {
+  const uint64_t my_top = txn.top()->uid();
+  if (deps_.IsDoomed(my_top)) return OpOutcome::Abort(AbortReason::kDoomed);
+  const adt::OpDescriptor* desc = obj.spec().FindOp(op);
+  if (desc == nullptr) return OpOutcome::Abort(AbortReason::kUser);
+
+  const std::vector<uint64_t> chain = txn.AncestorChain();
+
+  // Opportunistic watermark GC (the same retirement rule as NTO); folds a
+  // committed prefix of the journal into the base state.
+  {
+    size_t size;
+    {
+      std::lock_guard<std::mutex> g(obj.log_mu());
+      size = obj.applied_log().size();
+    }
+    if (size >= 64 && size % 32 == 0) {
+      obj.FoldPrefix(deps_.MinActiveCounter());
+    }
+  }
+
+  // Objects that synchronise internally (the latch-crabbing B-tree) run
+  // their operations concurrently — UNLESS a history is being recorded, in
+  // which case applications are serialised so the recorded application
+  // order is exact (the formal oracle needs it).
+  std::unique_lock<std::shared_mutex> excl_guard(obj.state_mu(),
+                                                 std::defer_lock);
+  std::shared_lock<std::shared_mutex> shared_guard(obj.state_mu(),
+                                                   std::defer_lock);
+  if (!obj.concurrent_apply() || recorder_.enabled()) {
+    excl_guard.lock();
+  } else {
+    shared_guard.lock();
+  }
+  // Apply first (optimistic), then report conflicts; with kStep granularity
+  // the scan sees the actual return value.
+  adt::ApplyResult applied = desc->apply(obj.state(), args);
+  {
+    std::lock_guard<std::mutex> g(obj.log_mu());
+    for (const rt::Object::Applied& e : obj.applied_log()) {
+      if (e.aborted) continue;
+      if (!e.IncomparableWith(chain)) continue;
+      bool conflict;
+      if (granularity_ == Granularity::kStep) {
+        adt::StepView first{e.op, &e.args, &e.ret};
+        adt::StepView second{op, &args, &applied.ret};
+        conflict = obj.spec().StepConflicts(first, second);
+      } else {
+        conflict = obj.spec().OpConflicts(e.op, op);
+      }
+      if (!conflict) continue;
+      if (e.top_uid != my_top) {
+        deps_.AddDependency(e.top_uid, my_top);
+      } else {
+        std::lock_guard<std::mutex> sg(sibling_mu_);
+        sibling_edges_[my_top].push_back(SiblingEdge{e.chain, chain});
+      }
+    }
+    uint64_t seq = recorder_.NextSeq();
+    txn.PushUndo(rt::UndoRecord{seq, &obj, std::move(applied.undo)});
+    recorder_.RecordLocalStep(txn.exec_id, txn.NextPo(), obj.id(), op, args,
+                              applied.ret, seq, seq);
+    rt::Object::Applied entry;
+    entry.seq = seq;
+    entry.exec_uid = txn.uid();
+    entry.top_uid = my_top;
+    entry.chain = chain;
+    entry.hts = txn.hts();
+    entry.op = op;
+    entry.args = args;
+    entry.ret = applied.ret;
+    obj.applied_log().push_back(std::move(entry));
+  }
+  return OpOutcome::Ok(std::move(applied.ret));
+}
+
+void CertController::OnChildCommit(rt::TxnNode&) {}
+
+bool CertController::SiblingGraphAcyclic(uint64_t top_uid) {
+  std::vector<SiblingEdge> edges;
+  {
+    std::lock_guard<std::mutex> g(sibling_mu_);
+    auto it = sibling_edges_.find(top_uid);
+    if (it == sibling_edges_.end()) return true;
+    edges = it->second;
+  }
+  // Lift each observation to the pair of executions just below the least
+  // common ancestor (chains are self..top, so compare from the back).
+  std::map<uint64_t, std::set<uint64_t>> adj;
+  for (const SiblingEdge& e : edges) {
+    size_t i = e.from_chain.size();
+    size_t j = e.to_chain.size();
+    while (i > 0 && j > 0 && e.from_chain[i - 1] == e.to_chain[j - 1]) {
+      --i;
+      --j;
+    }
+    if (i == 0 || j == 0) continue;  // comparable (defensive)
+    adj[e.from_chain[i - 1]].insert(e.to_chain[j - 1]);
+  }
+  // DFS cycle detection.
+  std::map<uint64_t, int> colour;  // 0/absent white, 1 grey, 2 black
+  std::function<bool(uint64_t)> dfs = [&](uint64_t v) {
+    colour[v] = 1;
+    for (uint64_t w : adj[v]) {
+      if (colour[w] == 1) return false;
+      if (colour[w] == 0 && !dfs(w)) return false;
+    }
+    colour[v] = 2;
+    return true;
+  };
+  for (const auto& [v, _] : adj) {
+    if (colour[v] == 0 && !dfs(v)) return false;
+  }
+  return true;
+}
+
+bool CertController::OnTopCommit(rt::TxnNode& top, AbortReason* reason) {
+  if (!SiblingGraphAcyclic(top.uid())) {
+    *reason = AbortReason::kValidation;
+    return false;
+  }
+  if (!deps_.ValidateAndWait(top.uid(), reason)) return false;
+  deps_.MarkCommitted(top.uid());
+  return true;
+}
+
+namespace {
+
+void CollectObjects(rt::TxnNode& node, std::vector<rt::Object*>& out) {
+  for (const rt::UndoRecord& u : node.undo_log()) {
+    if (std::find(out.begin(), out.end(), u.object) == out.end()) {
+      out.push_back(u.object);
+    }
+  }
+  for (auto& child : node.children()) CollectObjects(*child, out);
+}
+
+}  // namespace
+
+void CertController::OnAbort(rt::TxnNode& node) {
+  // Mark the subtree's journal entries aborted and rebuild each touched
+  // object's state from its base (see Object::AbortEntriesAndRebuild).
+  std::vector<rt::Object*> touched;
+  CollectObjects(node, touched);
+  for (rt::Object* obj : touched) {
+    obj->AbortEntriesAndRebuild(node.uid());
+  }
+  if (node.parent() == nullptr) deps_.MarkAborted(node.uid());
+}
+
+void CertController::OnTopFinished(rt::TxnNode& top) {
+  {
+    std::lock_guard<std::mutex> g(sibling_mu_);
+    sibling_edges_.erase(top.uid());
+  }
+  if (finished_since_prune_.fetch_add(1) % 32 == 31) deps_.Prune();
+}
+
+}  // namespace objectbase::cc

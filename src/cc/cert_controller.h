@@ -1,0 +1,73 @@
+// Optimistic inter-object certification — the Section 6 trade-off point.
+//
+// "There are techniques that resemble certifiers (or 'optimistic'
+// schedulers) in conventional database concurrency control which favour
+// (ii) [unrestricted intra-object synchronisation] at the expense of (i)
+// [communication] — and the increased danger of scheduling errors
+// requiring abortions."
+//
+// Objects apply operations immediately (serialised per object only by the
+// apply mutex) and report every conflict between incomparable executions:
+//   * cross-top-level conflicts become edges in the shared DependencyGraph;
+//     a commit is certified only if the transaction lies on no dependency
+//     cycle (Theorem 2 applied at commit time) and all its predecessors
+//     committed;
+//   * conflicts between incomparable executions INSIDE one top-level
+//     transaction feed the per-top sibling graph, whose acyclicity is
+//     Theorem 5's condition (b); a cycle vetoes the commit.
+#ifndef OBJECTBASE_CC_CERT_CONTROLLER_H_
+#define OBJECTBASE_CC_CERT_CONTROLLER_H_
+
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "src/cc/controller.h"
+#include "src/cc/dependency_graph.h"
+
+namespace objectbase::rt {
+class Recorder;
+}  // namespace objectbase::rt
+
+namespace objectbase::cc {
+
+class CertController : public Controller {
+ public:
+  CertController(rt::Recorder& recorder, Granularity granularity);
+
+  const char* name() const override { return "CERT"; }
+
+  void OnTopBegin(rt::TxnNode& top) override;
+  OpOutcome ExecuteLocal(rt::TxnNode& txn, rt::Object& obj,
+                         const std::string& op, const Args& args) override;
+  void OnChildCommit(rt::TxnNode& child) override;
+  bool OnTopCommit(rt::TxnNode& top, AbortReason* reason) override;
+  void OnAbort(rt::TxnNode& node) override;
+  void OnTopFinished(rt::TxnNode& top) override;
+
+  bool SupportsPartialAbort() const override { return false; }
+  bool RollbackByRebuild() const override { return true; }
+
+  DependencyGraph& deps() { return deps_; }
+
+ private:
+  // One intra-top conflict observation: the earlier and later execution's
+  // ancestor chains (self first).  Lifted to sibling edges at commit.
+  struct SiblingEdge {
+    std::vector<uint64_t> from_chain;
+    std::vector<uint64_t> to_chain;
+  };
+
+  bool SiblingGraphAcyclic(uint64_t top_uid);
+
+  rt::Recorder& recorder_;
+  Granularity granularity_;
+  DependencyGraph deps_;
+  std::mutex sibling_mu_;
+  std::map<uint64_t, std::vector<SiblingEdge>> sibling_edges_;  // by top uid
+  std::atomic<uint64_t> finished_since_prune_{0};
+};
+
+}  // namespace objectbase::cc
+
+#endif  // OBJECTBASE_CC_CERT_CONTROLLER_H_

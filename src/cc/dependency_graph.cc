@@ -1,0 +1,204 @@
+#include "src/cc/dependency_graph.h"
+
+#include <vector>
+
+namespace objectbase::cc {
+
+const char* AbortReasonName(AbortReason r) {
+  switch (r) {
+    case AbortReason::kNone: return "none";
+    case AbortReason::kDeadlock: return "deadlock";
+    case AbortReason::kTimestampOrder: return "timestamp-order";
+    case AbortReason::kValidation: return "validation";
+    case AbortReason::kCascade: return "cascade";
+    case AbortReason::kDoomed: return "doomed";
+    case AbortReason::kUser: return "user";
+    case AbortReason::kInjected: return "injected";
+  }
+  return "?";
+}
+
+void DependencyGraph::Register(uint64_t top, uint64_t counter) {
+  std::lock_guard<std::mutex> g(mu_);
+  Node& n = nodes_[top];
+  n.status = Status::kActive;
+  n.counter = counter;
+  n.doomed = false;
+}
+
+void DependencyGraph::AddDependency(uint64_t from, uint64_t to) {
+  if (from == to) return;
+  std::lock_guard<std::mutex> g(mu_);
+  auto fit = nodes_.find(from);
+  auto tit = nodes_.find(to);
+  if (fit == nodes_.end() || tit == nodes_.end()) return;
+  // A dependency on an already-aborted transaction dooms the successor
+  // immediately: it observed state that has been undone.
+  if (fit->second.status == Status::kAborted) {
+    tit->second.doomed = true;
+    cv_.notify_all();
+    return;
+  }
+  // A dependency on a committed transaction is inert: it constrains the
+  // serialisation order but needs no waiting.  Cycle detection still wants
+  // the edge, so record it either way.
+  fit->second.successors.insert(to);
+  tit->second.predecessors.insert(from);
+}
+
+bool DependencyGraph::IsDoomed(uint64_t top) const {
+  std::lock_guard<std::mutex> g(mu_);
+  auto it = nodes_.find(top);
+  return it != nodes_.end() && it->second.doomed;
+}
+
+void DependencyGraph::Doom(uint64_t top) {
+  std::lock_guard<std::mutex> g(mu_);
+  auto it = nodes_.find(top);
+  if (it != nodes_.end()) {
+    it->second.doomed = true;
+    cv_.notify_all();
+  }
+}
+
+bool DependencyGraph::OnCycleLocked(uint64_t start) const {
+  // DFS from `start` through unfinished successors; a path back to `start`
+  // is a dependency cycle (= serialisation cycle among live transactions).
+  std::vector<uint64_t> stack;
+  std::set<uint64_t> visited;
+  stack.push_back(start);
+  while (!stack.empty()) {
+    uint64_t v = stack.back();
+    stack.pop_back();
+    auto it = nodes_.find(v);
+    if (it == nodes_.end()) continue;
+    for (uint64_t w : it->second.successors) {
+      if (w == start) return true;
+      auto wit = nodes_.find(w);
+      if (wit == nodes_.end()) continue;
+      if (wit->second.status == Status::kCommitted ||
+          wit->second.status == Status::kAborted) {
+        // Finished transactions cannot extend a live cycle through their
+        // own future steps, but their recorded edges still matter; keep
+        // following them.
+      }
+      if (visited.insert(w).second) stack.push_back(w);
+    }
+  }
+  return false;
+}
+
+bool DependencyGraph::ValidateAndWait(uint64_t top, AbortReason* reason) {
+  std::unique_lock<std::mutex> g(mu_);
+  auto it = nodes_.find(top);
+  if (it == nodes_.end()) {
+    *reason = AbortReason::kNone;
+    return true;  // untracked (recording disabled edge case)
+  }
+  if (it->second.doomed) {
+    *reason = AbortReason::kDoomed;
+    return false;
+  }
+  if (OnCycleLocked(top)) {
+    *reason = AbortReason::kValidation;
+    return false;
+  }
+  it->second.status = Status::kCommitting;
+  for (;;) {
+    if (it->second.doomed) {
+      it->second.status = Status::kActive;
+      *reason = AbortReason::kDoomed;
+      return false;
+    }
+    bool all_committed = true;
+    for (uint64_t pred : it->second.predecessors) {
+      auto pit = nodes_.find(pred);
+      if (pit == nodes_.end()) continue;  // pruned => committed long ago
+      if (pit->second.status == Status::kAborted) {
+        it->second.status = Status::kActive;
+        *reason = AbortReason::kCascade;
+        return false;
+      }
+      if (pit->second.status != Status::kCommitted) {
+        all_committed = false;
+      }
+    }
+    if (all_committed) return true;
+    cv_.wait(g);
+  }
+}
+
+void DependencyGraph::MarkCommitted(uint64_t top) {
+  std::lock_guard<std::mutex> g(mu_);
+  auto it = nodes_.find(top);
+  if (it != nodes_.end()) it->second.status = Status::kCommitted;
+  cv_.notify_all();
+}
+
+void DependencyGraph::MarkAborted(uint64_t top) {
+  std::lock_guard<std::mutex> g(mu_);
+  auto it = nodes_.find(top);
+  if (it == nodes_.end()) return;
+  it->second.status = Status::kAborted;
+  // Cascade: every unfinished transaction that conflicted after this one
+  // observed state that has now been undone.
+  for (uint64_t succ : it->second.successors) {
+    auto sit = nodes_.find(succ);
+    if (sit == nodes_.end()) continue;
+    if (sit->second.status == Status::kActive ||
+        sit->second.status == Status::kCommitting) {
+      sit->second.doomed = true;
+    }
+  }
+  cv_.notify_all();
+}
+
+size_t DependencyGraph::Prune() {
+  std::lock_guard<std::mutex> g(mu_);
+  size_t dropped = 0;
+  for (auto it = nodes_.begin(); it != nodes_.end();) {
+    const Node& n = it->second;
+    bool finished = n.status == Status::kCommitted ||
+                    n.status == Status::kAborted;
+    bool successors_done = true;
+    for (uint64_t s : n.successors) {
+      auto sit = nodes_.find(s);
+      if (sit != nodes_.end() &&
+          sit->second.status != Status::kCommitted &&
+          sit->second.status != Status::kAborted) {
+        successors_done = false;
+        break;
+      }
+    }
+    if (finished && successors_done) {
+      // Remove back-references from predecessors to keep the map tidy.
+      for (uint64_t p : n.predecessors) {
+        auto pit = nodes_.find(p);
+        if (pit != nodes_.end()) pit->second.successors.erase(it->first);
+      }
+      it = nodes_.erase(it);
+      ++dropped;
+    } else {
+      ++it;
+    }
+  }
+  return dropped;
+}
+
+uint64_t DependencyGraph::MinActiveCounter() const {
+  std::lock_guard<std::mutex> g(mu_);
+  uint64_t min = UINT64_MAX;
+  for (const auto& [id, n] : nodes_) {
+    if (n.status == Status::kActive || n.status == Status::kCommitting) {
+      if (n.counter < min) min = n.counter;
+    }
+  }
+  return min;
+}
+
+size_t DependencyGraph::TrackedCount() const {
+  std::lock_guard<std::mutex> g(mu_);
+  return nodes_.size();
+}
+
+}  // namespace objectbase::cc

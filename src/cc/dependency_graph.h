@@ -1,0 +1,101 @@
+// Transaction registry with conflict-dependency tracking.
+//
+// Shared infrastructure for the non-blocking protocols (NTO, CERT, MIXED).
+// The paper's model treats Abort as a local operation whose semantics
+// require an aborted execution to leave no trace (Section 3, (a)).  With
+// immediate updates that forces two mechanisms the registry provides:
+//
+//   * DOOMING / CASCADE — if transaction T applied a step conflicting-after
+//     a step of U and U later aborts (undoing its effects), T's subsequent
+//     behaviour may depend on state that never "happened"; T must abort too.
+//   * COMMIT DEPENDENCIES — T may only commit once every transaction it
+//     conflicted-after has committed (otherwise a later abort of that
+//     transaction would have to cascade into a committed T, which is
+//     unrecoverable).
+//
+// Edges U -> T ("T conflicted after U") always point from the earlier step's
+// transaction to the later's.  Under NTO they follow timestamp order, so
+// waiting always terminates; under CERT cycles are possible and are exactly
+// serialisation cycles — ValidateAndWait detects them and vetoes the commit.
+#ifndef OBJECTBASE_CC_DEPENDENCY_GRAPH_H_
+#define OBJECTBASE_CC_DEPENDENCY_GRAPH_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <set>
+#include <string>
+
+#include "src/cc/controller.h"
+
+namespace objectbase::cc {
+
+/// Thread-safe registry of top-level transactions and their conflict
+/// dependencies.
+class DependencyGraph {
+ public:
+  enum class Status { kActive, kCommitting, kCommitted, kAborted };
+
+  /// Registers a new active top-level transaction.  `counter` is its
+  /// environment-issued serial number (the first hts component); the
+  /// minimum active counter is the NTO garbage-collection watermark of
+  /// Section 5.2.
+  void Register(uint64_t top, uint64_t counter);
+
+  /// Records "to conflicted after from" (from must precede to in any
+  /// serialisation).  Self-edges are ignored.
+  void AddDependency(uint64_t from, uint64_t to);
+
+  /// True iff `top` has been doomed by a cascading abort.
+  bool IsDoomed(uint64_t top) const;
+
+  /// Explicitly dooms a transaction (fault injection, validation).
+  void Doom(uint64_t top);
+
+  /// Commit protocol: returns false with *reason set if the transaction is
+  /// doomed, participates in a dependency cycle (validation failure), or
+  /// one of its predecessors aborted (cascade).  Otherwise blocks until all
+  /// predecessors have committed and returns true.  The caller must then
+  /// MarkCommitted() or MarkAborted().
+  bool ValidateAndWait(uint64_t top, AbortReason* reason);
+
+  /// Marks the transaction committed and wakes waiters.
+  void MarkCommitted(uint64_t top);
+
+  /// Marks the transaction aborted, dooms every active transaction that
+  /// conflicted after it, and wakes waiters.
+  void MarkAborted(uint64_t top);
+
+  /// Drops bookkeeping for finished transactions that can no longer affect
+  /// any active one (all their successors finished).  Returns the number of
+  /// entries dropped.
+  size_t Prune();
+
+  /// The smallest serial counter among active transactions, or UINT64_MAX
+  /// when none are active.  NTO uses this to retire remembered steps.
+  uint64_t MinActiveCounter() const;
+
+  /// Registry size (for E8's memory accounting).
+  size_t TrackedCount() const;
+
+ private:
+  struct Node {
+    Status status = Status::kActive;
+    uint64_t counter = 0;
+    bool doomed = false;
+    std::set<uint64_t> predecessors;  // transactions this one depends on
+    std::set<uint64_t> successors;    // transactions depending on this one
+  };
+
+  // Requires mu_ held.  DFS over unfinished transactions.
+  bool OnCycleLocked(uint64_t start) const;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::map<uint64_t, Node> nodes_;
+};
+
+}  // namespace objectbase::cc
+
+#endif  // OBJECTBASE_CC_DEPENDENCY_GRAPH_H_

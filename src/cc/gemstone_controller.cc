@@ -1,0 +1,46 @@
+#include "src/cc/gemstone_controller.h"
+
+#include "src/runtime/apply.h"
+
+namespace objectbase::cc {
+
+GemstoneController::GemstoneController(rt::Recorder& recorder)
+    : recorder_(recorder) {}
+
+void GemstoneController::OnTopBegin(rt::TxnNode&) {}
+
+OpOutcome GemstoneController::ExecuteLocal(rt::TxnNode& txn, rt::Object& obj,
+                                           const std::string& op,
+                                           const Args& args) {
+  const adt::OpDescriptor* desc = obj.spec().FindOp(op);
+  if (desc == nullptr) return OpOutcome::Abort(AbortReason::kUser);
+  // The whole-object lock is owned by the TOP-LEVEL transaction directly
+  // (the reduction flattens the nesting: the object is one data item and
+  // the user transaction reads/writes it).
+  LockManager::Request req;
+  req.exclusive = true;
+  if (locks_.Acquire(*txn.top(), obj, std::move(req)) ==
+      LockManager::Outcome::kDeadlock) {
+    return OpOutcome::Abort(AbortReason::kDeadlock);
+  }
+  std::lock_guard<std::shared_mutex> g(obj.state_mu());
+  rt::AppliedOutcome out = rt::ApplyLocked(txn, obj, *desc, args, recorder_,
+                                           /*append_applied_log=*/false);
+  return OpOutcome::Ok(std::move(out.ret));
+}
+
+void GemstoneController::OnChildCommit(rt::TxnNode&) {}
+
+bool GemstoneController::OnTopCommit(rt::TxnNode&, AbortReason*) {
+  return true;
+}
+
+void GemstoneController::OnAbort(rt::TxnNode& node) {
+  if (node.parent() == nullptr) locks_.ReleaseSubtree(node);
+}
+
+void GemstoneController::OnTopFinished(rt::TxnNode& top) {
+  locks_.ReleaseSubtree(top);
+}
+
+}  // namespace objectbase::cc

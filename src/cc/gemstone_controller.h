@@ -1,0 +1,56 @@
+// The Gemstone-style baseline: the Section 1 conservative reduction.
+//
+// "First, we shall view each object as a data item.  We shall treat a
+// method invocation as a group of read or write operations on those data
+// items ... Furthermore, we shall require that only one method execution
+// can be active at each object at any one time.  With these restrictions,
+// any conventional database concurrency control method ... can be
+// employed.  This approach ... is, for example, the approach taken in the
+// Gemstone project and product."
+//
+// Realisation: each top-level transaction takes an EXCLUSIVE whole-object
+// lock (held, strict-2PL style, until top-level completion) before touching
+// an object; applications are serialised per object, so at most one method
+// execution is active per object.  Deadlocks are detected on the waits-for
+// graph.  This is the baseline every experiment compares against (E1, E6).
+#ifndef OBJECTBASE_CC_GEMSTONE_CONTROLLER_H_
+#define OBJECTBASE_CC_GEMSTONE_CONTROLLER_H_
+
+#include "src/cc/controller.h"
+#include "src/cc/lock_manager.h"
+
+namespace objectbase::rt {
+class Recorder;
+}  // namespace objectbase::rt
+
+namespace objectbase::cc {
+
+class GemstoneController : public Controller {
+ public:
+  explicit GemstoneController(rt::Recorder& recorder);
+
+  const char* name() const override { return "GEMSTONE"; }
+
+  void OnTopBegin(rt::TxnNode& top) override;
+  OpOutcome ExecuteLocal(rt::TxnNode& txn, rt::Object& obj,
+                         const std::string& op, const Args& args) override;
+  void OnChildCommit(rt::TxnNode& child) override;
+  bool OnTopCommit(rt::TxnNode& top, AbortReason* reason) override;
+  void OnAbort(rt::TxnNode& node) override;
+  void OnTopFinished(rt::TxnNode& top) override;
+
+  /// Whole-object exclusive locks make intra-top visibility of an aborted
+  /// sibling's effects possible (siblings never block each other), so child
+  /// aborts escalate to the top like the optimistic protocols.
+  bool SupportsPartialAbort() const override { return false; }
+
+  LockManager& lock_manager() { return locks_; }
+
+ private:
+  rt::Recorder& recorder_;
+  LockManager locks_;
+};
+
+}  // namespace objectbase::cc
+
+#endif  // OBJECTBASE_CC_GEMSTONE_CONTROLLER_H_

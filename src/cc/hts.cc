@@ -1,0 +1,32 @@
+#include "src/cc/hts.h"
+
+#include <algorithm>
+
+namespace objectbase::cc {
+
+int Hts::Compare(const Hts& other) const {
+  size_t n = std::min(c_.size(), other.c_.size());
+  for (size_t i = 0; i < n; ++i) {
+    if (c_[i] < other.c_[i]) return -1;
+    if (c_[i] > other.c_[i]) return 1;
+  }
+  if (c_.size() < other.c_.size()) return -1;
+  if (c_.size() > other.c_.size()) return 1;
+  return 0;
+}
+
+bool Hts::IsPrefixOf(const Hts& other) const {
+  if (c_.size() > other.c_.size()) return false;
+  return std::equal(c_.begin(), c_.end(), other.c_.begin());
+}
+
+std::string Hts::ToString() const {
+  std::string s = "(";
+  for (size_t i = 0; i < c_.size(); ++i) {
+    if (i > 0) s += ".";
+    s += std::to_string(c_[i]);
+  }
+  return s + ")";
+}
+
+}  // namespace objectbase::cc

@@ -1,0 +1,68 @@
+// Hierarchical timestamps, Section 5.2 (Reed's NTO).
+//
+// Each method execution e carries hts(e) = (a1, ..., ak) where
+// (a1, ..., a(k-1)) is the parent's timestamp; top-level executions have a
+// single component.  Timestamps are totally ordered lexicographically.
+// Components come from per-execution counters (rule 2's implementation:
+// Increment(ctr_e) before each message), so children of one parent are
+// uniquely and monotonically numbered.
+#ifndef OBJECTBASE_CC_HTS_H_
+#define OBJECTBASE_CC_HTS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace objectbase::cc {
+
+/// A hierarchical timestamp: a non-empty component vector.
+class Hts {
+ public:
+  Hts() = default;
+  explicit Hts(std::vector<uint64_t> components)
+      : c_(std::move(components)) {}
+
+  /// Timestamp for a top-level execution numbered `counter` by the
+  /// environment.
+  static Hts TopLevel(uint64_t counter) { return Hts({counter}); }
+
+  /// Timestamp for the child created by this execution's message number
+  /// `child_counter` (rule 2).
+  Hts Child(uint64_t child_counter) const {
+    std::vector<uint64_t> v = c_;
+    v.push_back(child_counter);
+    return Hts(std::move(v));
+  }
+
+  const std::vector<uint64_t>& components() const { return c_; }
+  bool empty() const { return c_.empty(); }
+  size_t depth() const { return c_.size(); }
+  uint64_t top_component() const { return c_.front(); }
+
+  /// Lexicographic comparison; a proper prefix precedes its extensions.
+  int Compare(const Hts& other) const;
+
+  bool operator<(const Hts& o) const { return Compare(o) < 0; }
+  bool operator>(const Hts& o) const { return Compare(o) > 0; }
+  bool operator==(const Hts& o) const { return c_ == o.c_; }
+  bool operator!=(const Hts& o) const { return c_ != o.c_; }
+
+  /// True iff this timestamp is a prefix of `other` (i.e. the owning
+  /// execution is an ancestor-or-self of other's owner).  Rule 1 of NTO
+  /// applies only to INCOMPARABLE executions, so prefix pairs are exempt.
+  bool IsPrefixOf(const Hts& other) const;
+
+  /// True iff neither timestamp is a prefix of the other.
+  bool IncomparableWith(const Hts& other) const {
+    return !IsPrefixOf(other) && !other.IsPrefixOf(*this);
+  }
+
+  std::string ToString() const;
+
+ private:
+  std::vector<uint64_t> c_;
+};
+
+}  // namespace objectbase::cc
+
+#endif  // OBJECTBASE_CC_HTS_H_

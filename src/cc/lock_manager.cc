@@ -1,0 +1,272 @@
+#include "src/cc/lock_manager.h"
+
+#include <chrono>
+#include <functional>
+#include <thread>
+
+#include "src/runtime/object.h"
+#include "src/runtime/txn.h"
+
+namespace objectbase::cc {
+
+uint64_t ThisThreadKey() {
+  return std::hash<std::thread::id>{}(std::this_thread::get_id());
+}
+
+LockManager::LockManager() = default;
+LockManager::~LockManager() = default;
+
+namespace {
+
+// Does the held lock `entry` block the new request `req`?  The direction
+// matters (Definition 3 is order-sensitive): the holder's step happened
+// first, so the question is whether holder-then-requester fails to commute,
+// i.e. conflicts(held, requested).
+bool EntryBlocks(const adt::AdtSpec& spec, const LockManager::Request& held,
+                 const LockManager::Request& req) {
+  if (held.exclusive || req.exclusive) return true;
+  if (held.ret.has_value() && req.ret.has_value()) {
+    adt::StepView first{held.op, &held.args, &*held.ret};
+    adt::StepView second{req.op, &req.args, &*req.ret};
+    return spec.StepConflicts(first, second);
+  }
+  // Operation granularity (or a mixed pair): be conservative.
+  return spec.OpConflicts(held.op, req.op);
+}
+
+// Would granting `req` to `txn` barge past an earlier conflicting waiter?
+// Without this check a stream of mutually-commuting acquisitions can starve
+// a conflicting waiter forever (e.g. continuous Counter.adds starving a
+// get).  Conservative symmetric test; ancestors are exempt like in rule 2.
+bool BargesPastWaiter(const adt::AdtSpec& spec, rt::TxnNode& txn,
+                      const LockManager::Request& req,
+                      rt::TxnNode* waiter_txn,
+                      const LockManager::Request& waiter_req) {
+  if (waiter_txn == &txn || txn.HasAncestorOrSelf(waiter_txn)) return false;
+  return EntryBlocks(spec, waiter_req, req) ||
+         EntryBlocks(spec, req, waiter_req);
+}
+
+}  // namespace
+
+LockManager::ObjTable& LockManager::GetTable(uint32_t object_id) {
+  {
+    std::lock_guard<std::mutex> g(tables_mu_);
+    if (object_id >= tables_.size()) tables_.resize(object_id + 1);
+    if (tables_[object_id] == nullptr) {
+      tables_[object_id] = std::make_unique<ObjTable>();
+    }
+    return *tables_[object_id];
+  }
+}
+
+bool LockManager::HoldsHereLocked(const ObjTable& table, rt::TxnNode& txn) {
+  for (const Entry& e : table.entries) {
+    if (txn.HasAncestorOrSelf(e.owner)) return true;
+  }
+  return false;
+}
+
+bool LockManager::AlreadyHeldLocked(const ObjTable& table, rt::TxnNode& txn,
+                                    const Request& req) {
+  for (const Entry& e : table.entries) {
+    if (e.owner == &txn && e.req.exclusive == req.exclusive &&
+        e.req.op == req.op && !e.req.ret.has_value() &&
+        !req.ret.has_value() && e.req.args == req.args) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<uint64_t> LockManager::BlockersLocked(const ObjTable& table,
+                                                  rt::TxnNode& txn,
+                                                  rt::Object& obj,
+                                                  const Request& req,
+                                                  uint64_t my_wait_seq) {
+  std::vector<uint64_t> blockers;
+  for (const Entry& e : table.entries) {
+    // Rule 2: owners that are ancestors of the requester never block it.
+    if (txn.HasAncestorOrSelf(e.owner)) continue;
+    if (EntryBlocks(obj.spec(), e.req, req)) {
+      blockers.push_back(e.owner->uid());
+    }
+  }
+  // Fairness: also wait behind earlier conflicting waiters so they cannot
+  // starve (they will be granted before us) — EXCEPT when this transaction
+  // is already in progress on the object (it or an ancestor holds a lock
+  // here).  Queueing an in-progress holder behind a waiter that waits for
+  // that very holder would be a deadlock by construction (lock convoys);
+  // letting it finish is what unblocks the waiter.
+  if (!table.waiters.empty() && !HoldsHereLocked(table, txn)) {
+    for (const Waiter& w : table.waiters) {
+      if (w.seq >= my_wait_seq) continue;
+      if (BargesPastWaiter(obj.spec(), txn, req, w.txn, *w.req)) {
+        blockers.push_back(w.txn->uid());
+      }
+    }
+  }
+  return blockers;
+}
+
+LockManager::Outcome LockManager::Acquire(rt::TxnNode& txn, rt::Object& obj,
+                                          Request req) {
+  const uint64_t thread_key = ThisThreadKey();
+  ObjTable& table = GetTable(obj.id());
+  std::unique_lock<std::mutex> g(table.mu);
+  if (AlreadyHeldLocked(table, txn, req)) return Outcome::kGranted;
+  uint64_t my_seq = UINT64_MAX;  // not a registered waiter yet
+  auto unregister = [&]() {
+    if (my_seq == UINT64_MAX) return;
+    for (auto it = table.waiters.begin(); it != table.waiters.end(); ++it) {
+      if (it->seq == my_seq) {
+        table.waiters.erase(it);
+        break;
+      }
+    }
+    table.cv.notify_all();  // waiters behind us may now proceed
+  };
+  for (;;) {
+    std::vector<uint64_t> blockers =
+        BlockersLocked(table, txn, obj, req, my_seq);
+    if (blockers.empty()) {
+      unregister();
+      table.entries.push_back(Entry{&txn, std::move(req)});
+      txn.NoteLockedObject(obj.id());
+      return Outcome::kGranted;
+    }
+    if (my_seq == UINT64_MAX) {
+      my_seq = table.next_wait_seq++;
+      table.waiters.push_back(Waiter{my_seq, &txn, &req});
+    }
+    if (wfg_.SetWaitingWouldDeadlock(thread_key, blockers)) {
+      unregister();
+      return Outcome::kDeadlock;
+    }
+    // Re-check with a timeout so a release that raced the wait registration
+    // cannot strand us.
+    table.cv.wait_for(g, std::chrono::milliseconds(5));
+    wfg_.ClearWaiting(thread_key);
+  }
+}
+
+LockManager::TryOutcome LockManager::TryAcquire(rt::TxnNode& txn,
+                                                rt::Object& obj,
+                                                const Request& req) {
+  ObjTable& table = GetTable(obj.id());
+  std::lock_guard<std::mutex> g(table.mu);
+  std::vector<uint64_t> blockers =
+      BlockersLocked(table, txn, obj, req, UINT64_MAX);
+  if (blockers.empty()) {
+    table.entries.push_back(Entry{&txn, req});
+    txn.NoteLockedObject(obj.id());
+    return TryOutcome::kGranted;
+  }
+  return TryOutcome::kWouldBlock;
+}
+
+LockManager::Outcome LockManager::WaitWhileBlocked(rt::TxnNode& txn,
+                                                   rt::Object& obj,
+                                                   const Request& req) {
+  const uint64_t thread_key = ThisThreadKey();
+  ObjTable& table = GetTable(obj.id());
+  std::unique_lock<std::mutex> g(table.mu);
+  uint64_t my_seq = table.next_wait_seq++;
+  table.waiters.push_back(Waiter{my_seq, &txn, &req});
+  auto unregister = [&]() {
+    for (auto it = table.waiters.begin(); it != table.waiters.end(); ++it) {
+      if (it->seq == my_seq) {
+        table.waiters.erase(it);
+        break;
+      }
+    }
+    table.cv.notify_all();
+  };
+  for (;;) {
+    std::vector<uint64_t> blockers =
+        BlockersLocked(table, txn, obj, req, my_seq);
+    if (blockers.empty()) {
+      unregister();
+      return Outcome::kGranted;
+    }
+    if (wfg_.SetWaitingWouldDeadlock(thread_key, blockers)) {
+      unregister();
+      return Outcome::kDeadlock;
+    }
+    table.cv.wait_for(g, std::chrono::milliseconds(5));
+    wfg_.ClearWaiting(thread_key);
+  }
+}
+
+void LockManager::ForEachTable(const std::function<void(ObjTable&)>& fn) {
+  size_t n;
+  {
+    std::lock_guard<std::mutex> g(tables_mu_);
+    n = tables_.size();
+  }
+  for (size_t i = 0; i < n; ++i) {
+    ObjTable* table;
+    {
+      std::lock_guard<std::mutex> g(tables_mu_);
+      table = tables_[i].get();
+    }
+    if (table != nullptr) fn(*table);
+  }
+}
+
+void LockManager::TransferToParent(rt::TxnNode& child) {
+  rt::TxnNode* parent = child.parent();
+  if (parent == nullptr) return;
+  // Only the tables of objects the child actually locked are touched (rule
+  // 5's inheritance); the set then belongs to the parent.
+  std::vector<uint32_t> touched = child.TakeLockedObjects();
+  for (uint32_t obj_id : touched) {
+    ObjTable& table = GetTable(obj_id);
+    std::lock_guard<std::mutex> g(table.mu);
+    bool changed = false;
+    for (Entry& e : table.entries) {
+      if (e.owner == &child) {
+        e.owner = parent;
+        changed = true;
+      }
+    }
+    if (changed) table.cv.notify_all();
+  }
+  parent->MergeLockedObjects(touched);
+}
+
+namespace {
+void CollectLockedObjects(rt::TxnNode& node, std::vector<uint32_t>& out) {
+  for (uint32_t o : node.SnapshotLockedObjects()) out.push_back(o);
+  for (auto& child : node.children()) CollectLockedObjects(*child, out);
+}
+}  // namespace
+
+void LockManager::ReleaseSubtree(rt::TxnNode& root) {
+  std::vector<uint32_t> touched;
+  CollectLockedObjects(root, touched);
+  for (uint32_t obj_id : touched) {
+    ObjTable& table = GetTable(obj_id);
+    std::lock_guard<std::mutex> g(table.mu);
+    size_t before = table.entries.size();
+    for (auto it = table.entries.begin(); it != table.entries.end();) {
+      if (it->owner->HasAncestorOrSelf(&root)) {
+        it = table.entries.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    if (table.entries.size() != before) table.cv.notify_all();
+  }
+}
+
+size_t LockManager::LockCount() {
+  size_t n = 0;
+  ForEachTable([&](ObjTable& table) {
+    std::lock_guard<std::mutex> g(table.mu);
+    n += table.entries.size();
+  });
+  return n;
+}
+
+}  // namespace objectbase::cc

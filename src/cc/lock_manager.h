@@ -1,0 +1,148 @@
+// The N2PL lock manager, Section 5.1 (Moss' algorithm, Argus variant).
+//
+// Locks are held by method executions and obey the five rules:
+//   1. an execution issues a step only while owning its lock — enforced by
+//      acquiring before ApplyLocked (operation granularity) or by the
+//      provisional-execution loop (step granularity);
+//   2. a lock is granted only if every owner of a conflicting lock is an
+//      ancestor of the requester;
+//   3. two-phase: no acquisition after release — we implement the stricter
+//      Argus discipline (footnote 6): locks are only ever released by
+//      inheritance at child commit (rule 5) or wholesale at top-level
+//      completion, which trivially satisfies rules 3 and 4;
+//   4. a lock is released only after the children released theirs —
+//      immediate from the Argus discipline;
+//   5. on child commit every lock transfers to the parent.
+//
+// Lock modes: a lock is identified by the step (or operation class) it
+// protects; two locks conflict iff the steps do (Definition 3 through the
+// object's spec).  `exclusive` entries implement the Gemstone baseline's
+// whole-object locks.
+#ifndef OBJECTBASE_CC_LOCK_MANAGER_H_
+#define OBJECTBASE_CC_LOCK_MANAGER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/cc/waits_for.h"
+#include "src/common/value.h"
+
+namespace objectbase::rt {
+class Object;
+class TxnNode;
+}  // namespace objectbase::rt
+
+namespace objectbase::cc {
+
+class LockManager {
+ public:
+  LockManager();
+  ~LockManager();
+
+  enum class Outcome { kGranted, kDeadlock };
+
+  /// A lock request; `ret` present means step granularity.
+  struct Request {
+    std::string op;  // empty for exclusive whole-object locks
+    Args args;
+    std::optional<Value> ret;
+    bool exclusive = false;
+  };
+
+  /// Blocking acquire obeying rule 2.  Returns kDeadlock when blocking
+  /// would close a waits-for cycle (the requester is the victim).
+  /// Reentrant by construction: locks owned by ancestors never block.
+  Outcome Acquire(rt::TxnNode& txn, rt::Object& obj, Request req);
+
+  /// Non-blocking variant for the provisional-execution loop: returns
+  /// kGranted and inserts the entry, or kWouldBlock/kDeadlock without
+  /// inserting.
+  enum class TryOutcome { kGranted, kWouldBlock, kDeadlock };
+  TryOutcome TryAcquire(rt::TxnNode& txn, rt::Object& obj, const Request& req);
+
+  /// Blocks until the table changes in a way that could make `req`
+  /// grantable (or deadlock is detected).  Used between TryAcquire retries.
+  Outcome WaitWhileBlocked(rt::TxnNode& txn, rt::Object& obj,
+                           const Request& req);
+
+  /// Rule 5: every lock owned by `child` transfers to its parent.
+  void TransferToParent(rt::TxnNode& child);
+
+  /// Releases every lock owned by any execution in the subtree rooted at
+  /// `root` (abort path) or by the top-level execution (commit path —
+  /// after inheritance all live locks have bubbled up to it).
+  void ReleaseSubtree(rt::TxnNode& root);
+
+  /// Thread registry hooks for deadlock detection (see WaitsForGraph).
+  void NoteRunning(uint64_t thread_key, rt::TxnNode* node) {
+    wfg_.SetRunning(thread_key, node);
+  }
+  void NoteFinished(uint64_t thread_key) { wfg_.ClearRunning(thread_key); }
+
+  size_t LockCount();
+
+ private:
+  struct Entry {
+    rt::TxnNode* owner;
+    Request req;
+  };
+
+  // A registered waiting request (for fairness: later conflicting
+  // acquisitions queue behind it instead of barging).
+  struct Waiter {
+    uint64_t seq;
+    rt::TxnNode* txn;
+    const Request* req;  // owned by the waiting call's stack frame
+  };
+
+  // Per-object lock table: the hot path contends only on the object it
+  // touches.
+  struct ObjTable {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::vector<Entry> entries;
+    std::vector<Waiter> waiters;
+    uint64_t next_wait_seq = 0;
+  };
+
+  ObjTable& GetTable(uint32_t object_id);
+  void ForEachTable(const std::function<void(ObjTable&)>& fn);
+
+  // Returns owners of entries conflicting with `req` that are not ancestors
+  // of `txn`, plus earlier conflicting waiters (fairness).  `my_wait_seq`
+  // is the requester's waiter seq (UINT64_MAX when not registered).
+  // Requires table.mu held.
+  static std::vector<uint64_t> BlockersLocked(const ObjTable& table,
+                                              rt::TxnNode& txn,
+                                              rt::Object& obj,
+                                              const Request& req,
+                                              uint64_t my_wait_seq);
+
+  // True if `txn` (or an ancestor) holds ANY lock on the object: such a
+  // transaction is in progress there and bypasses the fairness queue.
+  // Requires table.mu held.
+  static bool HoldsHereLocked(const ObjTable& table, rt::TxnNode& txn);
+
+  // True if `txn` itself already holds an identical operation-granularity
+  // (or exclusive) lock on the object; avoids table bloat on re-acquires.
+  // Requires table.mu held.
+  static bool AlreadyHeldLocked(const ObjTable& table, rt::TxnNode& txn,
+                                const Request& req);
+
+  std::mutex tables_mu_;  // guards the vector, not the tables
+  std::vector<std::unique_ptr<ObjTable>> tables_;  // indexed by object id
+  WaitsForGraph wfg_;
+};
+
+/// Key identifying the calling thread in the waits-for graph.
+uint64_t ThisThreadKey();
+
+}  // namespace objectbase::cc
+
+#endif  // OBJECTBASE_CC_LOCK_MANAGER_H_

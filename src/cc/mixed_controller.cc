@@ -1,0 +1,100 @@
+#include "src/cc/mixed_controller.h"
+
+#include "src/runtime/apply.h"
+
+namespace objectbase::cc {
+
+const char* IntraPolicyName(IntraPolicy p) {
+  switch (p) {
+    case IntraPolicy::kLocal2pl: return "local-2pl";
+    case IntraPolicy::kTimestamp: return "local-timestamp";
+    case IntraPolicy::kOptimistic: return "optimistic";
+    case IntraPolicy::kCrabbing: return "crabbing";
+  }
+  return "?";
+}
+
+MixedController::MixedController(rt::Recorder& recorder)
+    : recorder_(recorder),
+      certifier_(recorder, Granularity::kStep) {}
+
+void MixedController::SetPolicy(uint32_t object_id, IntraPolicy policy) {
+  std::lock_guard<std::mutex> g(policy_mu_);
+  policies_[object_id] = policy;
+}
+
+IntraPolicy MixedController::PolicyFor(const rt::Object& obj) const {
+  std::lock_guard<std::mutex> g(policy_mu_);
+  auto it = policies_.find(obj.id());
+  if (it != policies_.end()) return it->second;
+  return obj.concurrent_apply() ? IntraPolicy::kCrabbing
+                                : IntraPolicy::kOptimistic;
+}
+
+void MixedController::OnTopBegin(rt::TxnNode& top) {
+  certifier_.OnTopBegin(top);
+}
+
+OpOutcome MixedController::ExecuteLocal(rt::TxnNode& txn, rt::Object& obj,
+                                        const std::string& op,
+                                        const Args& args) {
+  IntraPolicy policy = PolicyFor(obj);
+  switch (policy) {
+    case IntraPolicy::kLocal2pl: {
+      // Object-local strict operation locks: intra-object order is fixed by
+      // blocking, so SG_local(h, obj) stays acyclic by construction; the
+      // certifier still collects the inter-object (SG_mesg) constraints.
+      LockManager::Request req;
+      req.op = op;
+      req.args = args;
+      if (locks_.Acquire(txn, obj, std::move(req)) ==
+          LockManager::Outcome::kDeadlock) {
+        return OpOutcome::Abort(AbortReason::kDeadlock);
+      }
+      return certifier_.ExecuteLocal(txn, obj, op, args);
+    }
+    case IntraPolicy::kTimestamp: {
+      // Object-local NTO rule 1: abort when a conflicting remembered step
+      // of an incomparable execution carries a larger timestamp.
+      const std::vector<uint64_t> chain = txn.AncestorChain();
+      {
+        std::lock_guard<std::mutex> g(obj.log_mu());
+        for (const rt::Object::Applied& e : obj.applied_log()) {
+          if (!e.IncomparableWith(chain)) continue;
+          if (!obj.spec().OpConflicts(e.op, op)) continue;
+          if (e.hts > txn.hts()) {
+            return OpOutcome::Abort(AbortReason::kTimestampOrder);
+          }
+        }
+      }
+      return certifier_.ExecuteLocal(txn, obj, op, args);
+    }
+    case IntraPolicy::kOptimistic:
+    case IntraPolicy::kCrabbing:
+      // The certifier already runs concurrent-apply objects without the
+      // state mutex (unless recording), so crabbing is pure delegation.
+      return certifier_.ExecuteLocal(txn, obj, op, args);
+  }
+  return OpOutcome::Abort(AbortReason::kUser);
+}
+
+void MixedController::OnChildCommit(rt::TxnNode& child) {
+  locks_.TransferToParent(child);
+  certifier_.OnChildCommit(child);
+}
+
+bool MixedController::OnTopCommit(rt::TxnNode& top, AbortReason* reason) {
+  return certifier_.OnTopCommit(top, reason);
+}
+
+void MixedController::OnAbort(rt::TxnNode& node) {
+  locks_.ReleaseSubtree(node);
+  certifier_.OnAbort(node);
+}
+
+void MixedController::OnTopFinished(rt::TxnNode& top) {
+  locks_.ReleaseSubtree(top);
+  certifier_.OnTopFinished(top);
+}
+
+}  // namespace objectbase::cc

@@ -1,0 +1,95 @@
+#include "src/cc/n2pl_controller.h"
+
+#include "src/runtime/apply.h"
+
+namespace objectbase::cc {
+
+N2plController::N2plController(rt::Recorder& recorder, Granularity granularity)
+    : recorder_(recorder), granularity_(granularity) {}
+
+void N2plController::OnTopBegin(rt::TxnNode&) {}
+
+OpOutcome N2plController::ExecuteLocal(rt::TxnNode& txn, rt::Object& obj,
+                                       const std::string& op,
+                                       const Args& args) {
+  const adt::OpDescriptor* desc = obj.spec().FindOp(op);
+  if (desc == nullptr) return OpOutcome::Abort(AbortReason::kUser);
+  if (granularity_ == Granularity::kOperation) {
+    return ExecuteOperationMode(txn, obj, *desc, args);
+  }
+  return ExecuteStepMode(txn, obj, *desc, args);
+}
+
+OpOutcome N2plController::ExecuteOperationMode(rt::TxnNode& txn,
+                                               rt::Object& obj,
+                                               const adt::OpDescriptor& op,
+                                               const Args& args) {
+  // Rule 1: own L(a) before issuing a.  Operation-class lock: no ret.
+  LockManager::Request req;
+  req.op = op.name;
+  req.args = args;
+  if (locks_.Acquire(txn, obj, std::move(req)) ==
+      LockManager::Outcome::kDeadlock) {
+    return OpOutcome::Abort(AbortReason::kDeadlock);
+  }
+  std::lock_guard<std::shared_mutex> g(obj.state_mu());
+  rt::AppliedOutcome out = rt::ApplyLocked(txn, obj, op, args, recorder_,
+                                           /*append_applied_log=*/false);
+  return OpOutcome::Ok(std::move(out.ret));
+}
+
+OpOutcome N2plController::ExecuteStepMode(rt::TxnNode& txn, rt::Object& obj,
+                                          const adt::OpDescriptor& op,
+                                          const Args& args) {
+  // The Section 5.1 provisional-execution loop: execute, observe the return
+  // value, try to lock the resulting STEP; on failure undo the provisional
+  // effect (atomically w.r.t. the object's other local operations — we are
+  // inside state_mu) and retry after the lock table changes.
+  for (;;) {
+    std::unique_lock<std::shared_mutex> state_guard(obj.state_mu());
+    adt::ApplyResult provisional = op.apply(obj.state(), args);
+    LockManager::Request req;
+    req.op = op.name;
+    req.args = args;
+    req.ret = provisional.ret;
+    LockManager::TryOutcome attempt = locks_.TryAcquire(txn, obj, req);
+    if (attempt == LockManager::TryOutcome::kGranted) {
+      // Keep the provisional effect; record it as the real step.
+      uint64_t seq = recorder_.NextSeq();
+      txn.PushUndo(rt::UndoRecord{seq, &obj, std::move(provisional.undo)});
+      recorder_.RecordLocalStep(txn.exec_id, txn.NextPo(), obj.id(), op.name,
+                                args, provisional.ret, seq, seq);
+      return OpOutcome::Ok(std::move(provisional.ret));
+    }
+    // Undo the provisional effect before letting anyone else in.
+    if (provisional.undo) provisional.undo(obj.state());
+    state_guard.unlock();
+    if (locks_.WaitWhileBlocked(txn, obj, req) ==
+        LockManager::Outcome::kDeadlock) {
+      return OpOutcome::Abort(AbortReason::kDeadlock);
+    }
+    // Lock table changed; retry the provisional execution (the return
+    // value, and hence the required lock, may differ now).
+  }
+}
+
+void N2plController::OnChildCommit(rt::TxnNode& child) {
+  // Rule 5: the parent inherits every lock the child owns.
+  locks_.TransferToParent(child);
+}
+
+bool N2plController::OnTopCommit(rt::TxnNode&, AbortReason*) { return true; }
+
+void N2plController::OnAbort(rt::TxnNode& node) {
+  // The aborted subtree's steps have been undone by the runtime; its locks
+  // simply disappear.
+  locks_.ReleaseSubtree(node);
+}
+
+void N2plController::OnTopFinished(rt::TxnNode& top) {
+  // Argus discipline: all locks (inherited up to the top by rule 5) are
+  // released when the top-level transaction completes.
+  locks_.ReleaseSubtree(top);
+}
+
+}  // namespace objectbase::cc

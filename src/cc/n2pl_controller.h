@@ -1,0 +1,66 @@
+// Nested two-phase locking (Moss' algorithm, Argus variant) — Section 5.1.
+//
+// Two conflict-testing granularities (the paper's two "implementation
+// considerations"):
+//   * kOperation — locks are associated with operation classes; an
+//     execution acquires L(a) before issuing operation a.  Conservative:
+//     Enqueue blocks every Dequeue.
+//   * kStep — the provisional-execution scheme: the operation is executed
+//     provisionally (atomically with respect to the object's other local
+//     operations), its return value observed, and the lock for the actual
+//     STEP acquired; if the lock cannot be granted the provisional effect
+//     is undone and the operation retried later.  Exploits return values
+//     (after Weihl): an Enqueue only delays the Dequeue that returns its
+//     item.
+//
+// Deadlocks are possible (locking); detected on the waits-for graph with
+// the requester as victim.  Child aborts are local: strict lock retention
+// guarantees no incomparable execution observed the aborted child's
+// effects, so the parent may survive and try an alternative (Section 3).
+#ifndef OBJECTBASE_CC_N2PL_CONTROLLER_H_
+#define OBJECTBASE_CC_N2PL_CONTROLLER_H_
+
+#include "src/adt/adt.h"
+#include "src/cc/controller.h"
+#include "src/cc/lock_manager.h"
+
+namespace objectbase::rt {
+class Recorder;
+}  // namespace objectbase::rt
+
+namespace objectbase::cc {
+
+class N2plController : public Controller {
+ public:
+  N2plController(rt::Recorder& recorder, Granularity granularity);
+
+  const char* name() const override { return "N2PL"; }
+
+  void OnTopBegin(rt::TxnNode& top) override;
+  OpOutcome ExecuteLocal(rt::TxnNode& txn, rt::Object& obj,
+                         const std::string& op, const Args& args) override;
+  void OnChildCommit(rt::TxnNode& child) override;
+  bool OnTopCommit(rt::TxnNode& top, AbortReason* reason) override;
+  void OnAbort(rt::TxnNode& node) override;
+  void OnTopFinished(rt::TxnNode& top) override;
+
+  /// N2PL tolerates child aborts without dooming the top (see header).
+  bool SupportsPartialAbort() const override { return true; }
+
+  LockManager& lock_manager() { return locks_; }
+
+ private:
+  OpOutcome ExecuteOperationMode(rt::TxnNode& txn, rt::Object& obj,
+                                 const adt::OpDescriptor& op,
+                                 const Args& args);
+  OpOutcome ExecuteStepMode(rt::TxnNode& txn, rt::Object& obj,
+                            const adt::OpDescriptor& op, const Args& args);
+
+  rt::Recorder& recorder_;
+  Granularity granularity_;
+  LockManager locks_;
+};
+
+}  // namespace objectbase::cc
+
+#endif  // OBJECTBASE_CC_N2PL_CONTROLLER_H_

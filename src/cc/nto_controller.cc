@@ -1,0 +1,157 @@
+#include "src/cc/nto_controller.h"
+
+#include <algorithm>
+
+#include "src/runtime/apply.h"
+
+namespace objectbase::cc {
+
+NtoController::NtoController(rt::Recorder& recorder, Granularity granularity,
+                             bool gc_enabled)
+    : recorder_(recorder),
+      granularity_(granularity),
+      gc_enabled_(gc_enabled) {}
+
+void NtoController::OnTopBegin(rt::TxnNode& top) {
+  deps_.Register(top.uid(), top.hts().top_component());
+}
+
+namespace {
+
+// Retires remembered steps that can no longer matter: every active
+// transaction's timestamp exceeds theirs, so rule 1 can never compare
+// against them again (the active-watermark mechanism of Section 5.2).
+// Folding keeps the journal a suffix of the object's history, which the
+// rebuild-based rollback relies on.  Caller must hold no object locks.
+void MaybeGc(rt::Object& obj, DependencyGraph& deps) {
+  size_t size;
+  {
+    std::lock_guard<std::mutex> g(obj.log_mu());
+    size = obj.applied_log().size();
+  }
+  if (size < 64 || size % 32 != 0) return;
+  obj.FoldPrefix(deps.MinActiveCounter());
+}
+
+}  // namespace
+
+OpOutcome NtoController::ExecuteLocal(rt::TxnNode& txn, rt::Object& obj,
+                                      const std::string& op,
+                                      const Args& args) {
+  if (deps_.IsDoomed(txn.top()->uid())) {
+    return OpOutcome::Abort(AbortReason::kDoomed);
+  }
+  const adt::OpDescriptor* desc = obj.spec().FindOp(op);
+  if (desc == nullptr) return OpOutcome::Abort(AbortReason::kUser);
+  if (gc_enabled_) MaybeGc(obj, deps_);
+
+  const std::vector<uint64_t> chain = txn.AncestorChain();
+  const Hts& my_hts = txn.hts();
+  const uint64_t my_top = txn.top()->uid();
+
+  std::lock_guard<std::shared_mutex> state_guard(obj.state_mu());
+
+  if (granularity_ == Granularity::kOperation) {
+    // Conservative test against remembered operation classes before
+    // executing (Section 5.2's first implementation).
+    {
+      std::lock_guard<std::mutex> g(obj.log_mu());
+      for (const rt::Object::Applied& e : obj.applied_log()) {
+        if (e.aborted) continue;
+        if (!e.IncomparableWith(chain)) continue;  // rule 1 exempts kin
+        if (!obj.spec().OpConflicts(e.op, op)) continue;
+        if (e.hts > my_hts) {
+          return OpOutcome::Abort(AbortReason::kTimestampOrder);
+        }
+        if (e.top_uid != my_top) deps_.AddDependency(e.top_uid, my_top);
+      }
+    }
+    rt::AppliedOutcome out = rt::ApplyLocked(txn, obj, *desc, args, recorder_,
+                                             /*append_applied_log=*/true);
+    return OpOutcome::Ok(std::move(out.ret));
+  }
+
+  // Step granularity: provisional execution first (atomic w.r.t. the
+  // object's other local operations — we hold state_mu), then the conflict
+  // test sees the actual return value.
+  adt::ApplyResult provisional = desc->apply(obj.state(), args);
+  {
+    std::lock_guard<std::mutex> g(obj.log_mu());
+    for (const rt::Object::Applied& e : obj.applied_log()) {
+      if (e.aborted) continue;
+      if (!e.IncomparableWith(chain)) continue;
+      adt::StepView first{e.op, &e.args, &e.ret};
+      adt::StepView second{op, &args, &provisional.ret};
+      if (!obj.spec().StepConflicts(first, second)) continue;
+      if (e.hts > my_hts) {
+        if (provisional.undo) provisional.undo(obj.state());
+        return OpOutcome::Abort(AbortReason::kTimestampOrder);
+      }
+      if (e.top_uid != my_top) deps_.AddDependency(e.top_uid, my_top);
+    }
+    // Accept the provisional step as real.
+    uint64_t seq = recorder_.NextSeq();
+    txn.PushUndo(rt::UndoRecord{seq, &obj, std::move(provisional.undo)});
+    recorder_.RecordLocalStep(txn.exec_id, txn.NextPo(), obj.id(), op, args,
+                              provisional.ret, seq, seq);
+    rt::Object::Applied entry;
+    entry.seq = seq;
+    entry.exec_uid = txn.uid();
+    entry.top_uid = my_top;
+    entry.chain = chain;
+    entry.hts = my_hts;
+    entry.op = op;
+    entry.args = args;
+    entry.ret = provisional.ret;
+    obj.applied_log().push_back(std::move(entry));
+  }
+  return OpOutcome::Ok(std::move(provisional.ret));
+}
+
+void NtoController::OnChildCommit(rt::TxnNode&) {}
+
+bool NtoController::OnTopCommit(rt::TxnNode& top, AbortReason* reason) {
+  if (!deps_.ValidateAndWait(top.uid(), reason)) return false;
+  deps_.MarkCommitted(top.uid());
+  return true;
+}
+
+namespace {
+
+void CollectObjects(rt::TxnNode& node, std::vector<rt::Object*>& out) {
+  for (const rt::UndoRecord& u : node.undo_log()) {
+    if (std::find(out.begin(), out.end(), u.object) == out.end()) {
+      out.push_back(u.object);
+    }
+  }
+  for (auto& child : node.children()) CollectObjects(*child, out);
+}
+
+}  // namespace
+
+void NtoController::OnAbort(rt::TxnNode& node) {
+  // Mark the subtree's journal entries aborted and rebuild each touched
+  // object's state from its base (see the recovery note in the header).
+  std::vector<rt::Object*> touched;
+  CollectObjects(node, touched);
+  for (rt::Object* obj : touched) {
+    obj->AbortEntriesAndRebuild(node.uid());
+  }
+  if (node.parent() == nullptr) deps_.MarkAborted(node.uid());
+}
+
+void NtoController::OnTopFinished(rt::TxnNode&) {
+  if (finished_since_prune_.fetch_add(1) % 32 == 31) deps_.Prune();
+}
+
+size_t NtoController::RememberedEntries(
+    const std::vector<rt::Object*>& objects) {
+  size_t n = 0;
+  for (rt::Object* o : objects) {
+    std::lock_guard<std::mutex> g(o->log_mu());
+    n += o->applied_log().size();
+  }
+  return n;
+}
+
+}  // namespace objectbase::cc

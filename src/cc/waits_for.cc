@@ -1,0 +1,79 @@
+#include "src/cc/waits_for.h"
+
+#include "src/runtime/txn.h"
+
+namespace objectbase::cc {
+
+std::atomic<rt::TxnNode*>& WaitsForGraph::SlotFor(uint64_t thread_key) {
+  {
+    std::shared_lock<std::shared_mutex> g(running_mu_);
+    auto it = running_.find(thread_key);
+    if (it != running_.end()) return it->second;
+  }
+  std::unique_lock<std::shared_mutex> g(running_mu_);
+  return running_[thread_key];  // default-constructs an atomic slot
+}
+
+void WaitsForGraph::SetRunning(uint64_t thread_key, rt::TxnNode* node) {
+  SlotFor(thread_key).store(node, std::memory_order_release);
+}
+
+void WaitsForGraph::ClearRunning(uint64_t thread_key) {
+  SlotFor(thread_key).store(nullptr, std::memory_order_release);
+  std::lock_guard<std::mutex> g(wait_mu_);
+  waiting_.erase(thread_key);
+}
+
+std::vector<uint64_t> WaitsForGraph::ServingThreadsLocked(
+    uint64_t exec_uid) const {
+  std::vector<uint64_t> threads;
+  for (const auto& [thread, slot] : running_) {
+    rt::TxnNode* node = slot.load(std::memory_order_acquire);
+    if (node != nullptr && node->HasAncestorOrSelf(exec_uid)) {
+      threads.push_back(thread);
+    }
+  }
+  return threads;
+}
+
+bool WaitsForGraph::CycleBackToLocked(uint64_t start_thread,
+                                      uint64_t from_thread,
+                                      std::set<uint64_t>& visited) const {
+  auto it = waiting_.find(from_thread);
+  if (it == waiting_.end()) return false;  // thread can progress
+  for (uint64_t holder : it->second) {
+    for (uint64_t serving : ServingThreadsLocked(holder)) {
+      if (serving == start_thread) return true;
+      if (visited.insert(serving).second &&
+          CycleBackToLocked(start_thread, serving, visited)) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+bool WaitsForGraph::SetWaitingWouldDeadlock(
+    uint64_t thread_key, const std::vector<uint64_t>& holder_uids) {
+  std::shared_lock<std::shared_mutex> rg(running_mu_);
+  std::lock_guard<std::mutex> g(wait_mu_);
+  waiting_[thread_key] = holder_uids;
+  std::set<uint64_t> visited;
+  if (CycleBackToLocked(thread_key, thread_key, visited)) {
+    waiting_.erase(thread_key);
+    return true;
+  }
+  return false;
+}
+
+void WaitsForGraph::ClearWaiting(uint64_t thread_key) {
+  std::lock_guard<std::mutex> g(wait_mu_);
+  waiting_.erase(thread_key);
+}
+
+size_t WaitsForGraph::BlockedCount() const {
+  std::lock_guard<std::mutex> g(wait_mu_);
+  return waiting_.size();
+}
+
+}  // namespace objectbase::cc

@@ -1,0 +1,76 @@
+// Thread-level waits-for deadlock detection for blocking protocols.
+//
+// N2PL (and the Gemstone baseline) block lock requesters.  Because method
+// executions nest and locks are inherited upwards (rule 5), the entity that
+// eventually releases a lock held by execution h is the set of threads
+// currently running h or a descendent of h.  Deadlock therefore lives at
+// thread granularity: the requesting thread t is deadlocked iff following
+//   t -> (executions blocking t) -> (threads serving those executions)
+// leads back to t through blocked threads only.  Note that a sibling
+// blocking a sibling inside one top-level transaction is NOT a deadlock by
+// itself: the sibling commits, its locks pass to the common parent (an
+// ancestor of the waiter), and rule 2 then grants the request.
+//
+// The running-execution registry sits on the hot path (every method
+// invocation updates it), so it is a map of per-thread atomic slots: after
+// a thread's first registration, updates are a shared-lock lookup plus an
+// atomic store.  The waiting registry is only touched when a request
+// actually blocks.
+#ifndef OBJECTBASE_CC_WAITS_FOR_H_
+#define OBJECTBASE_CC_WAITS_FOR_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <set>
+#include <shared_mutex>
+#include <vector>
+
+namespace objectbase::rt {
+class TxnNode;
+}  // namespace objectbase::rt
+
+namespace objectbase::cc {
+
+/// Tracks, per thread, the innermost running execution and (while blocked)
+/// the set of execution uids being waited for.  Thread-safe.
+class WaitsForGraph {
+ public:
+  /// Registers/updates the innermost execution run by `thread_key`.  The
+  /// node must outlive its registration.
+  void SetRunning(uint64_t thread_key, rt::TxnNode* node);
+  /// Clears the thread's current execution (finished) — outer frames
+  /// re-register via SetRunning.
+  void ClearRunning(uint64_t thread_key);
+
+  /// Declares that `thread_key` is about to block waiting for the given
+  /// holder executions.  Returns true if blocking would close a cycle of
+  /// blocked threads (deadlock); in that case the wait is NOT registered.
+  bool SetWaitingWouldDeadlock(uint64_t thread_key,
+                               const std::vector<uint64_t>& holder_uids);
+
+  /// Clears the waiting state of `thread_key` (lock granted or aborted).
+  void ClearWaiting(uint64_t thread_key);
+
+  /// Number of currently blocked threads (for stats/tests).
+  size_t BlockedCount() const;
+
+ private:
+  std::atomic<rt::TxnNode*>& SlotFor(uint64_t thread_key);
+  // Threads currently running a descendant-or-self of `exec_uid`.
+  // Requires running_mu_ held (shared suffices).
+  std::vector<uint64_t> ServingThreadsLocked(uint64_t exec_uid) const;
+  // Requires wait_mu_ and running_mu_ (shared) held.
+  bool CycleBackToLocked(uint64_t start_thread, uint64_t from_thread,
+                         std::set<uint64_t>& visited) const;
+
+  mutable std::shared_mutex running_mu_;  // guards map structure only
+  std::map<uint64_t, std::atomic<rt::TxnNode*>> running_;
+  mutable std::mutex wait_mu_;
+  std::map<uint64_t, std::vector<uint64_t>> waiting_;
+};
+
+}  // namespace objectbase::cc
+
+#endif  // OBJECTBASE_CC_WAITS_FOR_H_

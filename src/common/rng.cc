@@ -1,0 +1,81 @@
+#include "src/common/rng.h"
+
+#include <cmath>
+
+namespace objectbase {
+namespace {
+
+uint64_t SplitMix64(uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t x = seed;
+  for (auto& s : s_) s = SplitMix64(x);
+}
+
+uint64_t Rng::NextU64() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+uint64_t Rng::Uniform(uint64_t n) { return NextU64() % n; }
+
+int64_t Rng::Range(int64_t lo, int64_t hi) {
+  return lo + static_cast<int64_t>(Uniform(static_cast<uint64_t>(hi - lo + 1)));
+}
+
+bool Rng::Bernoulli(double p) { return NextDouble() < p; }
+
+double Rng::NextDouble() {
+  return static_cast<double>(NextU64() >> 11) * (1.0 / 9007199254740992.0);
+}
+
+Rng Rng::Fork() { return Rng(NextU64()); }
+
+size_t Rng::WeightedIndex(const std::vector<double>& weights) {
+  double total = 0;
+  for (double w : weights) total += w;
+  double x = NextDouble() * total;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    x -= weights[i];
+    if (x <= 0) return i;
+  }
+  return weights.size() - 1;
+}
+
+ZipfGenerator::ZipfGenerator(uint64_t n, double theta) : n_(n), theta_(theta) {
+  zetan_ = 0;
+  for (uint64_t i = 1; i <= n_; ++i) zetan_ += 1.0 / std::pow(i, theta_);
+  double zeta2 = 0;
+  for (uint64_t i = 1; i <= 2 && i <= n_; ++i) zeta2 += 1.0 / std::pow(i, theta_);
+  alpha_ = 1.0 / (1.0 - theta_);
+  eta_ = (1.0 - std::pow(2.0 / n_, 1.0 - theta_)) / (1.0 - zeta2 / zetan_);
+}
+
+uint64_t ZipfGenerator::Next(Rng& rng) {
+  if (theta_ == 0.0) return rng.Uniform(n_);
+  double u = rng.NextDouble();
+  double uz = u * zetan_;
+  if (uz < 1.0) return 0;
+  if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+  return static_cast<uint64_t>(
+      n_ * std::pow(eta_ * u - eta_ + 1.0, alpha_));
+}
+
+}  // namespace objectbase

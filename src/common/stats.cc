@@ -1,0 +1,88 @@
+#include "src/common/stats.h"
+
+#include <chrono>
+#include <cmath>
+#include <sstream>
+
+namespace objectbase {
+
+Histogram::Histogram() : buckets_(kBuckets, 0) {}
+
+int Histogram::BucketFor(uint64_t value) {
+  if (value == 0) return 0;
+  int msb = 63 - __builtin_clzll(value);
+  int sub = 0;
+  if (msb >= 3) {
+    sub = static_cast<int>((value >> (msb - 3)) & 0x7);
+  } else {
+    sub = static_cast<int>(value & 0x7);
+  }
+  int b = msb * 8 + sub;
+  return b >= kBuckets ? kBuckets - 1 : b;
+}
+
+uint64_t Histogram::BucketLow(int bucket) {
+  int msb = bucket / 8;
+  int sub = bucket % 8;
+  if (msb < 3) return static_cast<uint64_t>(sub);
+  return (1ULL << msb) + (static_cast<uint64_t>(sub) << (msb - 3));
+}
+
+void Histogram::Record(uint64_t value) {
+  buckets_[BucketFor(value)]++;
+  count_++;
+  sum_ += value;
+  if (value < min_) min_ = value;
+  if (value > max_) max_ = value;
+}
+
+void Histogram::Merge(const Histogram& other) {
+  for (int i = 0; i < kBuckets; ++i) buckets_[i] += other.buckets_[i];
+  count_ += other.count_;
+  sum_ += other.sum_;
+  if (other.count_ > 0) {
+    if (other.min_ < min_) min_ = other.min_;
+    if (other.max_ > max_) max_ = other.max_;
+  }
+}
+
+double Histogram::Mean() const {
+  return count_ == 0 ? 0.0 : static_cast<double>(sum_) / count_;
+}
+
+uint64_t Histogram::Percentile(double q) const {
+  if (count_ == 0) return 0;
+  if (q < 0) q = 0;
+  if (q > 1) q = 1;
+  uint64_t target = static_cast<uint64_t>(q * (count_ - 1));
+  uint64_t seen = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    if (seen + buckets_[i] > target) return BucketLow(i);
+    seen += buckets_[i];
+  }
+  return max_;
+}
+
+std::string Histogram::Summary() const {
+  std::ostringstream os;
+  os << "n=" << count_ << " mean=" << Mean() << " p50=" << Percentile(0.5)
+     << " p99=" << Percentile(0.99) << " max=" << max();
+  return os.str();
+}
+
+uint64_t NowNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+Stopwatch::Stopwatch() : start_ns_(NowNanos()) {}
+
+uint64_t Stopwatch::ElapsedNanos() const { return NowNanos() - start_ns_; }
+
+double Stopwatch::ElapsedSeconds() const { return ElapsedNanos() * 1e-9; }
+
+void Stopwatch::Reset() { start_ns_ = NowNanos(); }
+
+}  // namespace objectbase

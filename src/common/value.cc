@@ -1,0 +1,22 @@
+#include "src/common/value.h"
+
+namespace objectbase {
+
+std::string Value::ToString() const {
+  if (is_none()) return "none";
+  if (is_int()) return std::to_string(AsInt());
+  if (is_bool()) return AsBool() ? "true" : "false";
+  return "\"" + AsString() + "\"";
+}
+
+std::string ArgsToString(const Args& args) {
+  std::string out = "(";
+  for (size_t i = 0; i < args.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += args[i].ToString();
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace objectbase

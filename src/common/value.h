@@ -1,0 +1,66 @@
+// Value: the dynamic value type flowing through the object base.
+//
+// The paper's model lets local operations return arbitrary values (a step is
+// a pair (a, v) of operation and return value, Definition 2).  Value is the
+// closed set of return/argument types used by the ADT library: none (no
+// meaningful value), 64-bit integers, booleans and strings.
+#ifndef OBJECTBASE_COMMON_VALUE_H_
+#define OBJECTBASE_COMMON_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace objectbase {
+
+/// A dynamically-typed value: one of {none, int64, bool, string}.
+///
+/// Values are used for operation arguments, operation return values and
+/// method return values.  Equality is structural and is the equality used by
+/// the formal model when checking legality (a replayed step must return a
+/// value equal to the recorded one, Definition 6 condition 3).
+class Value {
+ public:
+  /// Constructs the distinguished "none" value.
+  Value() : v_(std::monostate{}) {}
+  Value(int64_t v) : v_(v) {}            // NOLINT(runtime/explicit)
+  Value(int v) : v_(int64_t{v}) {}       // NOLINT(runtime/explicit)
+  Value(bool v) : v_(v) {}               // NOLINT(runtime/explicit)
+  Value(std::string v) : v_(std::move(v)) {}  // NOLINT(runtime/explicit)
+  Value(const char* v) : v_(std::string(v)) {}  // NOLINT(runtime/explicit)
+
+  /// Returns the distinguished "none" value.
+  static Value None() { return Value(); }
+
+  bool is_none() const { return std::holds_alternative<std::monostate>(v_); }
+  bool is_int() const { return std::holds_alternative<int64_t>(v_); }
+  bool is_bool() const { return std::holds_alternative<bool>(v_); }
+  bool is_string() const { return std::holds_alternative<std::string>(v_); }
+
+  /// Returns the integer payload; requires is_int().
+  int64_t AsInt() const { return std::get<int64_t>(v_); }
+  /// Returns the boolean payload; requires is_bool().
+  bool AsBool() const { return std::get<bool>(v_); }
+  /// Returns the string payload; requires is_string().
+  const std::string& AsString() const { return std::get<std::string>(v_); }
+
+  bool operator==(const Value& other) const { return v_ == other.v_; }
+  bool operator!=(const Value& other) const { return v_ != other.v_; }
+
+  /// Human-readable rendering, e.g. "42", "true", "\"abc\"", "none".
+  std::string ToString() const;
+
+ private:
+  std::variant<std::monostate, int64_t, bool, std::string> v_;
+};
+
+/// Argument vector for operations and method invocations.
+using Args = std::vector<Value>;
+
+/// Renders an argument list as "(a, b, c)".
+std::string ArgsToString(const Args& args);
+
+}  // namespace objectbase
+
+#endif  // OBJECTBASE_COMMON_VALUE_H_

@@ -1,0 +1,90 @@
+#include "src/model/history.h"
+
+namespace objectbase::model {
+
+History History::Clone() const {
+  History h;
+  h.executions = executions;
+  h.steps = steps;
+  h.specs = specs;
+  h.object_names = object_names;
+  h.object_order = object_order;
+  h.initial_states.reserve(initial_states.size());
+  for (const auto& s : initial_states) {
+    h.initial_states.push_back(s == nullptr ? nullptr : s->Clone());
+  }
+  return h;
+}
+
+bool History::IsAncestorOrSelf(ExecId a, ExecId d) const {
+  while (d != kNoExec) {
+    if (d == a) return true;
+    d = executions[d].parent;
+  }
+  return false;
+}
+
+bool History::Incomparable(ExecId a, ExecId b) const {
+  return !IsAncestorOrSelf(a, b) && !IsAncestorOrSelf(b, a);
+}
+
+ExecId History::Lca(ExecId a, ExecId b) const {
+  // Walk both chains to the same depth, then in lockstep.
+  int la = Level(a);
+  int lb = Level(b);
+  while (la > lb) {
+    a = executions[a].parent;
+    --la;
+  }
+  while (lb > la) {
+    b = executions[b].parent;
+    --lb;
+  }
+  while (a != b) {
+    if (a == kNoExec || b == kNoExec) return kNoExec;
+    a = executions[a].parent;
+    b = executions[b].parent;
+  }
+  return a;  // may be kNoExec when in different trees
+}
+
+int History::Level(ExecId e) const {
+  int l = 0;
+  e = executions[e].parent;
+  while (e != kNoExec) {
+    ++l;
+    e = executions[e].parent;
+  }
+  return l;
+}
+
+ExecId History::TopAncestor(ExecId e) const {
+  while (executions[e].parent != kNoExec) e = executions[e].parent;
+  return e;
+}
+
+std::vector<ExecId> History::TopLevel() const {
+  std::vector<ExecId> tops;
+  for (const auto& e : executions) {
+    if (e.parent == kNoExec) tops.push_back(e.id);
+  }
+  return tops;
+}
+
+bool History::EffectivelyAborted(ExecId e) const {
+  while (e != kNoExec) {
+    if (executions[e].aborted) return true;
+    e = executions[e].parent;
+  }
+  return false;
+}
+
+bool History::StepConflicts(const Step& first, const Step& second) const {
+  if (first.object != second.object) return false;
+  const adt::AdtSpec& spec = *specs[first.object];
+  adt::StepView a{first.op, &first.args, &first.ret};
+  adt::StepView b{second.op, &second.args, &second.ret};
+  return spec.StepConflicts(a, b);
+}
+
+}  // namespace objectbase::model

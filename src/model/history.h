@@ -1,0 +1,143 @@
+// The formal model: steps, method executions and histories.
+//
+// A history h = (E, <, B, S) (Definition 5) captures one concurrent
+// computation over the object base:
+//   E — the set of method executions (each a partially ordered set of
+//       steps, Definition 4),
+//   < — the temporal order between steps (t < t' iff t completed before t'
+//       was initiated),
+//   B — the mapping from message steps to the method executions they
+//       invoke,
+//   S — the initial state of every object.
+//
+// Representation notes:
+//   * < is stored in two concrete, queryable forms: a per-object total
+//     application order over local steps (which orders all conflicting
+//     pairs, satisfying condition 2b of Definition 6) and per-step temporal
+//     intervals [start_seq, end_seq] stamped from a global counter.
+//   * ◁ (the program order inside one method execution, Definition 4) is
+//     encoded by po_index: steps with strictly smaller po_index precede
+//     steps with larger ones; steps issued by a parallel batch share a
+//     po_index and are unordered — Section 1(c)'s internal parallelism.
+//   * B is encoded by Step::callee together with MethodExecution::parent.
+//   * S is the vector of cloned initial object states.
+#ifndef OBJECTBASE_MODEL_HISTORY_H_
+#define OBJECTBASE_MODEL_HISTORY_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/adt/adt.h"
+#include "src/common/value.h"
+
+namespace objectbase::model {
+
+using ExecId = uint32_t;
+using StepId = uint32_t;
+using ObjectId = uint32_t;
+
+inline constexpr ExecId kNoExec = static_cast<ExecId>(-1);
+/// The distinguished environment object whose methods are the user
+/// transactions (Definition 1).  It has no variables and no local steps.
+inline constexpr ObjectId kEnvironmentObject = static_cast<ObjectId>(-1);
+
+enum class StepKind { kLocal, kMessage };
+
+/// One step of a method execution: a local step (a, v) or a message step
+/// (m, v) (Definition 2).
+struct Step {
+  StepId id = 0;
+  StepKind kind = StepKind::kLocal;
+  ExecId exec = kNoExec;  ///< The method execution containing this step.
+
+  /// Program-order index within the containing execution; strictly smaller
+  /// index means this step ◁-precedes the other.  Equal indices are
+  /// ◁-unordered (parallel batch).
+  uint32_t po_index = 0;
+
+  /// Temporal interval: the step was initiated at start_seq and completed
+  /// at end_seq (global monotonic stamps).  t < t' iff end_seq < t'.start_seq.
+  uint64_t start_seq = 0;
+  uint64_t end_seq = 0;
+
+  // --- local steps ---
+  ObjectId object = kEnvironmentObject;
+  std::string op;
+  Args args;
+  Value ret;
+
+  // --- message steps ---
+  ExecId callee = kNoExec;  ///< B(t): the invoked method execution.
+};
+
+/// A method execution (transaction), Definition 4: a set of steps with the
+/// program order ◁.  `aborted` marks executions that terminated with the
+/// Abort operation (Section 3, Transaction Failures); their local steps are
+/// excluded from the committed projection.
+struct MethodExecution {
+  ExecId id = kNoExec;
+  ExecId parent = kNoExec;  ///< kNoExec for top-level (environment) methods.
+  ObjectId object = kEnvironmentObject;
+  std::string method;
+  bool aborted = false;
+  std::vector<StepId> steps;  ///< In recording order (consistent with ◁).
+};
+
+/// A history (Definition 5).  Move-only because it owns state snapshots;
+/// use Clone() for copies.
+struct History {
+  std::vector<MethodExecution> executions;
+  std::vector<Step> steps;
+
+  /// Per-object behaviour and initial state (S); indexed by ObjectId.
+  std::vector<std::shared_ptr<const adt::AdtSpec>> specs;
+  std::vector<std::unique_ptr<adt::AdtState>> initial_states;
+  std::vector<std::string> object_names;
+
+  /// Per-object total order in which local steps were applied.  This is the
+  /// restriction of < to each object's local steps; it orders every
+  /// conflicting pair (Definition 6, condition 2b).
+  std::vector<std::vector<StepId>> object_order;
+
+  History() = default;
+  History(History&&) = default;
+  History& operator=(History&&) = default;
+
+  History Clone() const;
+
+  size_t num_objects() const { return specs.size(); }
+
+  /// True iff `a` is an ancestor of `d` or a == d.
+  bool IsAncestorOrSelf(ExecId a, ExecId d) const;
+
+  /// True iff neither execution is a descendent of the other.
+  bool Incomparable(ExecId a, ExecId b) const;
+
+  /// Least common ancestor, or kNoExec if the executions are in different
+  /// top-level trees.
+  ExecId Lca(ExecId a, ExecId b) const;
+
+  /// Number of proper ancestors (top-level executions are level 0).
+  int Level(ExecId e) const;
+
+  /// The top-level ancestor of `e`.
+  ExecId TopAncestor(ExecId e) const;
+
+  /// Ids of all top-level executions.
+  std::vector<ExecId> TopLevel() const;
+
+  /// True iff the execution or any of its ancestors aborted (an aborted
+  /// execution's descendents are aborted too, Section 3 semantics (b);
+  /// the recorder marks them, but this is the defensive closure).
+  bool EffectivelyAborted(ExecId e) const;
+
+  /// Order-sensitive step conflict (Definition 3) via the object's spec.
+  /// Both steps must be local steps of the same object.
+  bool StepConflicts(const Step& first, const Step& second) const;
+};
+
+}  // namespace objectbase::model
+
+#endif  // OBJECTBASE_MODEL_HISTORY_H_

@@ -1,0 +1,173 @@
+#include "src/model/legality.h"
+
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "src/model/replay.h"
+
+namespace objectbase::model {
+namespace {
+
+std::string Err(const std::string& msg) { return msg; }
+
+}  // namespace
+
+LegalityResult CheckLegal(const History& h, bool committed_only) {
+  LegalityResult r;
+
+  // --- Condition 1: B is 1-1, ancestry is acyclic, top-level executions
+  // belong to the environment. ---
+  std::map<ExecId, int> invocation_count;
+  for (const Step& s : h.steps) {
+    if (s.kind != StepKind::kMessage) continue;
+    if (s.callee == kNoExec || s.callee >= h.executions.size()) {
+      r.error = Err("message step with missing callee");
+      return r;
+    }
+    invocation_count[s.callee]++;
+    if (invocation_count[s.callee] > 1) {
+      r.error = Err("B is not 1-1: execution invoked by two messages");
+      return r;
+    }
+    if (h.executions[s.callee].parent != s.exec) {
+      r.error = Err("B inconsistent with parent pointers");
+      return r;
+    }
+  }
+  for (const MethodExecution& e : h.executions) {
+    if (e.parent == kNoExec) {
+      if (e.object != kEnvironmentObject) {
+        // Top-level method executions are methods of the environment in the
+        // paper.  Our runtime's top-level transactions are environment
+        // methods; objects' executions always have a parent.
+        r.error = Err("top-level execution not owned by the environment");
+        return r;
+      }
+      continue;
+    }
+    if (invocation_count[e.id] != 1) {
+      r.error = Err("non-top-level execution with no invoking message");
+      return r;
+    }
+    // Acyclic ancestry: walk up with a step bound.
+    ExecId cur = e.id;
+    size_t hops = 0;
+    while (cur != kNoExec) {
+      cur = h.executions[cur].parent;
+      if (++hops > h.executions.size()) {
+        r.error = Err("ancestry cycle: execution is its own proper ancestor");
+        return r;
+      }
+    }
+  }
+
+  // --- Condition 2a: < contains ◁.  With interval stamps, t ◁ t' (strictly
+  // smaller po_index in the same execution) must imply end(t) <= start(t'). ---
+  for (const MethodExecution& e : h.executions) {
+    for (size_t i = 0; i < e.steps.size(); ++i) {
+      for (size_t j = i + 1; j < e.steps.size(); ++j) {
+        const Step& a = h.steps[e.steps[i]];
+        const Step& b = h.steps[e.steps[j]];
+        if (a.po_index < b.po_index && a.end_seq > b.start_seq) {
+          std::ostringstream os;
+          os << "program order violated in execution " << e.id << ": step #"
+             << a.id << " (po " << a.po_index << ") overlaps step #" << b.id
+             << " (po " << b.po_index << ")";
+          r.error = os.str();
+          return r;
+        }
+      }
+    }
+  }
+
+  // --- Condition 2b: all conflicting local steps of the same object are
+  // ordered.  Every local step appears in the per-object application order
+  // (a total order), so it suffices to check membership and that the order
+  // is consistent with the temporal intervals. ---
+  std::set<StepId> in_order;
+  for (ObjectId o = 0; o < h.num_objects(); ++o) {
+    uint64_t last_end = 0;
+    (void)last_end;
+    for (size_t i = 0; i < h.object_order[o].size(); ++i) {
+      StepId sid = h.object_order[o][i];
+      const Step& s = h.steps[sid];
+      if (s.kind != StepKind::kLocal || s.object != o) {
+        r.error = Err("object_order contains a foreign step");
+        return r;
+      }
+      if (!in_order.insert(sid).second) {
+        r.error = Err("object_order repeats a step");
+        return r;
+      }
+      // Application order must not contradict real time: a step that
+      // temporally completed before another began must not be ordered
+      // after it.
+      for (size_t j = i + 1; j < h.object_order[o].size(); ++j) {
+        const Step& later = h.steps[h.object_order[o][j]];
+        if (later.end_seq < s.start_seq) {
+          std::ostringstream os;
+          os << "object " << h.object_names[o]
+             << ": application order contradicts temporal order (steps #"
+             << s.id << ", #" << later.id << ")";
+          r.error = os.str();
+          return r;
+        }
+      }
+    }
+  }
+  for (const Step& s : h.steps) {
+    if (s.kind == StepKind::kLocal && in_order.count(s.id) == 0) {
+      r.error = Err("local step missing from its object's application order");
+      return r;
+    }
+  }
+
+  // --- Condition 2c: descendents inherit <.  For two message steps of one
+  // execution with m ◁ m', every step under B(m) must complete before any
+  // step under B(m') starts.  (Steps sharing a po_index — a parallel batch —
+  // are unordered and impose nothing.) ---
+  for (const MethodExecution& e : h.executions) {
+    for (size_t i = 0; i < e.steps.size(); ++i) {
+      const Step& m = h.steps[e.steps[i]];
+      if (m.kind != StepKind::kMessage) continue;
+      for (size_t j = 0; j < e.steps.size(); ++j) {
+        const Step& m2 = h.steps[e.steps[j]];
+        if (m2.kind != StepKind::kMessage || m.po_index >= m2.po_index) {
+          continue;
+        }
+        // All steps of descendents of B(m) vs descendents of B(m2).
+        for (const MethodExecution& f : h.executions) {
+          if (!h.IsAncestorOrSelf(m.callee, f.id)) continue;
+          for (StepId sa : f.steps) {
+            for (const MethodExecution& g : h.executions) {
+              if (!h.IsAncestorOrSelf(m2.callee, g.id)) continue;
+              for (StepId sb : g.steps) {
+                if (h.steps[sa].end_seq > h.steps[sb].start_seq) {
+                  std::ostringstream os;
+                  os << "condition 2c violated between descendents of "
+                        "messages #"
+                     << m.id << " and #" << m2.id;
+                  r.error = os.str();
+                  return r;
+                }
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+
+  // --- Condition 3: the recorded application order replays legally. ---
+  ReplayResult replay = Replay(h, committed_only);
+  if (!replay.ok) {
+    r.error = "condition 3 (replay) failed: " + replay.error;
+    return r;
+  }
+
+  r.legal = true;
+  return r;
+}
+
+}  // namespace objectbase::model

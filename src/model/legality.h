@@ -1,0 +1,36 @@
+// Legality checking, Definition 6.
+//
+// A quadruple (E, <, B, S) is a legal history iff
+//   (1) B is 1-1, no execution is its own proper ancestor, and every
+//       top-level execution belongs to the environment object;
+//   (2) < contains every execution's program order ◁ (2a), orders every
+//       conflicting pair of local steps (2b), and is inherited by
+//       descendents (2c);
+//   (3) some <-consistent topological sort of each object's local steps is
+//       legal on the object's initial state (every step returns what rho
+//       says it should).
+//
+// The checker validates all three against the recorded representation.
+#ifndef OBJECTBASE_MODEL_LEGALITY_H_
+#define OBJECTBASE_MODEL_LEGALITY_H_
+
+#include <string>
+
+#include "src/model/history.h"
+
+namespace objectbase::model {
+
+struct LegalityResult {
+  bool legal = false;
+  std::string error;  ///< Empty when legal.
+};
+
+/// Checks Definition 6 on `h`.  `committed_only` applies the failure
+/// semantics projection before checking condition 3 (an aborted execution's
+/// steps must be removable without perturbing the remaining computation —
+/// Section 3, requirement (a)).
+LegalityResult CheckLegal(const History& h, bool committed_only = false);
+
+}  // namespace objectbase::model
+
+#endif  // OBJECTBASE_MODEL_LEGALITY_H_

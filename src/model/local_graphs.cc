@@ -1,0 +1,191 @@
+#include "src/model/local_graphs.h"
+
+#include <sstream>
+
+namespace objectbase::model {
+namespace {
+
+// All ordered conflicting local-step pairs (first.exec, second.exec) with
+// their object, restricted to incomparable executions.  These are the raw
+// Definition 10 facts both graphs are built from.
+struct ConflictEdge {
+  ExecId from;
+  ExecId to;
+  ObjectId object;
+};
+
+std::vector<ConflictEdge> CollectConflictEdges(const History& h,
+                                               bool committed_only) {
+  std::vector<ConflictEdge> edges;
+  for (ObjectId o = 0; o < h.num_objects(); ++o) {
+    const auto& order = h.object_order[o];
+    for (size_t i = 0; i < order.size(); ++i) {
+      const Step& first = h.steps[order[i]];
+      if (committed_only && h.EffectivelyAborted(first.exec)) continue;
+      for (size_t j = i + 1; j < order.size(); ++j) {
+        const Step& second = h.steps[order[j]];
+        if (committed_only && h.EffectivelyAborted(second.exec)) continue;
+        if (first.exec == second.exec) continue;
+        if (!h.StepConflicts(first, second)) continue;
+        edges.push_back({first.exec, second.exec, o});
+      }
+    }
+  }
+  return edges;
+}
+
+// Distinct objects owning method executions in h (environment included when
+// it has executions, i.e. always for runtime histories).
+std::vector<ObjectId> ObjectsWithExecutions(const History& h) {
+  std::vector<ObjectId> objs;
+  auto seen = [&](ObjectId o) {
+    for (ObjectId x : objs) {
+      if (x == o) return true;
+    }
+    return false;
+  };
+  for (const MethodExecution& e : h.executions) {
+    if (!seen(e.object)) objs.push_back(e.object);
+  }
+  return objs;
+}
+
+}  // namespace
+
+LocalGraphs BuildLocalGraphs(const History& h, bool committed_only) {
+  LocalGraphs graphs;
+  const size_t n = h.executions.size();
+  for (ObjectId o : ObjectsWithExecutions(h)) {
+    graphs.local.emplace(o, Digraph(n));
+    graphs.mesg.emplace(o, Digraph(n));
+  }
+
+  std::vector<ConflictEdge> conflicts = CollectConflictEdges(h, committed_only);
+
+  // SG_local(h, o): edges between incomparable method executions OF o whose
+  // own steps conflict.
+  for (const ConflictEdge& c : conflicts) {
+    const MethodExecution& ef = h.executions[c.from];
+    const MethodExecution& et = h.executions[c.to];
+    if (ef.object == c.object && et.object == c.object &&
+        h.Incomparable(c.from, c.to)) {
+      auto it = graphs.local.find(c.object);
+      if (it != graphs.local.end()) it->second.AddEdge(c.from, c.to);
+    }
+  }
+
+  // SG_mesg(h, o): lift every SG_local edge (f, f') to all pairs of proper
+  // ancestors (e, e') that are incomparable executions of the same object.
+  for (const ConflictEdge& c : conflicts) {
+    // The SG_local edge exists between the executions owning the steps
+    // (they are executions of c.object by construction).
+    if (!h.Incomparable(c.from, c.to)) continue;
+    // Proper ancestors of each endpoint.
+    for (ExecId e = h.executions[c.from].parent; e != kNoExec;
+         e = h.executions[e].parent) {
+      for (ExecId e2 = h.executions[c.to].parent; e2 != kNoExec;
+           e2 = h.executions[e2].parent) {
+        if (e == e2) continue;
+        if (h.executions[e].object != h.executions[e2].object) continue;
+        if (!h.Incomparable(e, e2)) continue;
+        auto it = graphs.mesg.find(h.executions[e].object);
+        if (it != graphs.mesg.end()) it->second.AddEdge(e, e2);
+      }
+    }
+  }
+  return graphs;
+}
+
+Theorem5Result CheckTheorem5(const History& h, bool committed_only) {
+  Theorem5Result result;
+  LocalGraphs graphs = BuildLocalGraphs(h, committed_only);
+
+  // Condition (a): SG_local(h,o) U SG_mesg(h,o) acyclic per object.
+  for (auto& [o, local] : graphs.local) {
+    Digraph u = local;
+    u.UnionWith(graphs.mesg.at(o));
+    if (auto cycle = u.FindCycle()) {
+      std::ostringstream os;
+      os << "condition (a) fails at object "
+         << (o == kEnvironmentObject ? std::string("environment")
+                                     : h.object_names[o])
+         << ": cycle";
+      for (uint32_t v : *cycle) os << " " << v;
+      result.detail = os.str();
+      return result;
+    }
+  }
+
+  // Condition (b): ->_e acyclic for every execution e.
+  for (const MethodExecution& e : h.executions) {
+    if (committed_only && h.EffectivelyAborted(e.id)) continue;
+    std::vector<StepId> messages;
+    for (StepId sid : e.steps) {
+      if (h.steps[sid].kind == StepKind::kMessage) {
+        if (committed_only &&
+            h.EffectivelyAborted(h.steps[sid].callee)) {
+          continue;
+        }
+        messages.push_back(sid);
+      }
+    }
+    if (messages.size() < 2) continue;
+    Digraph arrow(messages.size());
+    // Precompute, per message, the set of steps of its descendents.
+    auto descendent_steps = [&](StepId m) {
+      std::vector<const Step*> out;
+      ExecId callee = h.steps[m].callee;
+      for (const MethodExecution& f : h.executions) {
+        if (!h.IsAncestorOrSelf(callee, f.id)) continue;
+        if (committed_only && h.EffectivelyAborted(f.id)) continue;
+        for (StepId sid : f.steps) {
+          if (h.steps[sid].kind == StepKind::kLocal) {
+            out.push_back(&h.steps[sid]);
+          }
+        }
+      }
+      return out;
+    };
+    // Position of each local step in its object's application order.
+    std::map<StepId, size_t> position;
+    for (ObjectId o = 0; o < h.num_objects(); ++o) {
+      for (size_t i = 0; i < h.object_order[o].size(); ++i) {
+        position[h.object_order[o][i]] = i;
+      }
+    }
+    for (size_t i = 0; i < messages.size(); ++i) {
+      for (size_t j = 0; j < messages.size(); ++j) {
+        if (i == j) continue;
+        const Step& u = h.steps[messages[i]];
+        const Step& u2 = h.steps[messages[j]];
+        bool edge = u.po_index < u2.po_index;
+        if (!edge) {
+          for (const Step* t : descendent_steps(messages[i])) {
+            if (edge) break;
+            for (const Step* t2 : descendent_steps(messages[j])) {
+              if (t->object != t2->object) continue;
+              if (position[t->id] < position[t2->id] &&
+                  (h.StepConflicts(*t, *t2) || h.StepConflicts(*t2, *t))) {
+                edge = true;
+                break;
+              }
+            }
+          }
+        }
+        if (edge) arrow.AddEdge(i, j);
+      }
+    }
+    if (auto cycle = arrow.FindCycle()) {
+      std::ostringstream os;
+      os << "condition (b) fails at execution " << e.id
+         << ": message cycle of length " << cycle->size() - 1;
+      result.detail = os.str();
+      return result;
+    }
+  }
+
+  result.holds = true;
+  return result;
+}
+
+}  // namespace objectbase::model

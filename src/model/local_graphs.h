@@ -1,0 +1,55 @@
+// Intra-/inter-object serialisation graphs, Definition 10 and Theorem 5.
+//
+// For each object o:
+//   SG_local(h, o) — nodes are o's method executions; edge e -> e' iff the
+//       executions are incomparable and some step OF e (not of descendents)
+//       precedes and conflicts with some step of e'.  Keeping this acyclic
+//       is the job of intra-object synchronisation.
+//   SG_mesg(h, o) — same nodes; edge e -> e' iff incomparable and proper
+//       descendents f, f' of e, e' have an SG_local(h, o') edge in some
+//       object o'.  Keeping this (unioned with SG_local) acyclic is the job
+//       of inter-object synchronisation.
+//
+// Theorem 5: h is serialisable provided (a) SG_local(h,o) U SG_mesg(h,o) is
+// acyclic for every object o, and (b) for every execution e the relation
+// ->_e between messages of e (u ->_e u' iff u ◁ u' or conflicting
+// descendent steps of u, u' are <-ordered that way) is acyclic.
+#ifndef OBJECTBASE_MODEL_LOCAL_GRAPHS_H_
+#define OBJECTBASE_MODEL_LOCAL_GRAPHS_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/model/history.h"
+#include "src/model/serialisation_graph.h"
+
+namespace objectbase::model {
+
+/// Per-object graphs over the full execution id space (nodes that are not
+/// method executions of the object simply have no incident edges).
+struct LocalGraphs {
+  /// Object id -> SG_local(h, o).
+  std::map<ObjectId, Digraph> local;
+  /// Object id -> SG_mesg(h, o).
+  std::map<ObjectId, Digraph> mesg;
+};
+
+/// Builds SG_local and SG_mesg for every object (committed projection when
+/// `committed_only`).  The environment object is included: its method
+/// executions are the top-level transactions, and SG_mesg(environment)
+/// relates them through conflicts anywhere below — mirroring the proof of
+/// Theorem 5, which starts the descent at the environment.
+LocalGraphs BuildLocalGraphs(const History& h, bool committed_only = true);
+
+struct Theorem5Result {
+  bool holds = false;
+  std::string detail;  ///< Which condition failed and where.
+};
+
+/// Checks conditions (a) and (b) of Theorem 5 on `h`.
+Theorem5Result CheckTheorem5(const History& h, bool committed_only = true);
+
+}  // namespace objectbase::model
+
+#endif  // OBJECTBASE_MODEL_LOCAL_GRAPHS_H_

@@ -1,0 +1,52 @@
+#include "src/model/replay.h"
+
+#include <sstream>
+
+namespace objectbase::model {
+
+ReplayResult Replay(const History& h, bool committed_only,
+                    const std::vector<std::vector<StepId>>* order) {
+  const auto& orders = order != nullptr ? *order : h.object_order;
+  ReplayResult result;
+  result.final_states.resize(h.num_objects());
+  for (ObjectId o = 0; o < h.num_objects(); ++o) {
+    if (h.initial_states[o] == nullptr) continue;
+    auto state = h.initial_states[o]->Clone();
+    const adt::AdtSpec& spec = *h.specs[o];
+    for (StepId sid : orders[o]) {
+      const Step& step = h.steps[sid];
+      if (committed_only && h.EffectivelyAborted(step.exec)) continue;
+      const adt::OpDescriptor* op = spec.FindOp(step.op);
+      if (op == nullptr) {
+        result.error = "unknown operation '" + step.op + "' on object " +
+                       h.object_names[o];
+        return result;
+      }
+      adt::ApplyResult applied = op->apply(*state, step.args);
+      if (!(applied.ret == step.ret)) {
+        std::ostringstream os;
+        os << "return-value divergence on object " << h.object_names[o]
+           << " step #" << sid << " (" << step.op << ArgsToString(step.args)
+           << "): recorded " << step.ret.ToString() << ", replay got "
+           << applied.ret.ToString();
+        result.error = os.str();
+        return result;
+      }
+    }
+    result.final_states[o] = std::move(state);
+  }
+  result.ok = true;
+  return result;
+}
+
+bool FinalStatesEqual(const std::vector<std::unique_ptr<adt::AdtState>>& a,
+                      const std::vector<std::unique_ptr<adt::AdtState>>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if ((a[i] == nullptr) != (b[i] == nullptr)) return false;
+    if (a[i] != nullptr && !a[i]->Equals(*b[i])) return false;
+  }
+  return true;
+}
+
+}  // namespace objectbase::model

@@ -1,0 +1,48 @@
+// Replay: executing a history's local steps against its initial states.
+//
+// This is the executable form of Definition 6, condition 3 (every step's
+// recorded return value must equal rho of the operation on the state it was
+// applied to) and of Theorem 1 (the final state is independent of which
+// <-consistent topological sort is replayed).  Replay is the ground truth
+// behind the legality checker, the equivalence checker (Definition 7) and
+// the serialisability oracle.
+#ifndef OBJECTBASE_MODEL_REPLAY_H_
+#define OBJECTBASE_MODEL_REPLAY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/model/history.h"
+
+namespace objectbase::model {
+
+struct ReplayResult {
+  bool ok = false;
+  std::string error;  ///< Empty when ok; else the first divergence found.
+  /// Final state per object after applying all replayed steps.
+  std::vector<std::unique_ptr<adt::AdtState>> final_states;
+};
+
+/// Replays every object's local steps in the given per-object orders
+/// (defaults to h.object_order, i.e. the order in which the steps actually
+/// applied).  When `committed_only` is true, steps belonging to aborted
+/// executions (or descendents of aborted executions) are skipped — the
+/// projection of Section 3's failure semantics (a).
+///
+/// Each replayed step's return value is compared with the recorded one;
+/// a mismatch makes the replay fail, which signals either an illegal
+/// history or (when replaying a permuted order) a non-conflict-consistent
+/// permutation.
+ReplayResult Replay(const History& h, bool committed_only,
+                    const std::vector<std::vector<StepId>>* order = nullptr);
+
+/// True iff the two final-state vectors are equal object-by-object
+/// (Definition 7's requirement for history equivalence).
+bool FinalStatesEqual(
+    const std::vector<std::unique_ptr<adt::AdtState>>& a,
+    const std::vector<std::unique_ptr<adt::AdtState>>& b);
+
+}  // namespace objectbase::model
+
+#endif  // OBJECTBASE_MODEL_REPLAY_H_

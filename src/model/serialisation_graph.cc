@@ -1,0 +1,188 @@
+#include "src/model/serialisation_graph.h"
+
+#include <algorithm>
+
+namespace objectbase::model {
+
+void Digraph::AddEdge(uint32_t from, uint32_t to) {
+  if (from == to) return;
+  adj_[from].insert(to);
+}
+
+bool Digraph::HasEdge(uint32_t from, uint32_t to) const {
+  return adj_[from].count(to) > 0;
+}
+
+size_t Digraph::EdgeCount() const {
+  size_t n = 0;
+  for (const auto& s : adj_) n += s.size();
+  return n;
+}
+
+bool Digraph::IsAcyclic() const { return !FindCycle().has_value(); }
+
+std::optional<std::vector<uint32_t>> Digraph::FindCycle() const {
+  enum { kWhite, kGrey, kBlack };
+  std::vector<int> colour(adj_.size(), kWhite);
+  std::vector<uint32_t> stack;
+
+  // Iterative DFS with an explicit stack of (vertex, iterator position).
+  for (uint32_t start = 0; start < adj_.size(); ++start) {
+    if (colour[start] != kWhite) continue;
+    std::vector<std::pair<uint32_t, std::set<uint32_t>::const_iterator>> dfs;
+    colour[start] = kGrey;
+    stack.push_back(start);
+    dfs.emplace_back(start, adj_[start].begin());
+    while (!dfs.empty()) {
+      auto& [v, it] = dfs.back();
+      if (it == adj_[v].end()) {
+        colour[v] = kBlack;
+        stack.pop_back();
+        dfs.pop_back();
+        continue;
+      }
+      uint32_t w = *it;
+      ++it;
+      if (colour[w] == kGrey) {
+        // Found a cycle: extract it from the grey stack.
+        std::vector<uint32_t> cycle;
+        auto pos = std::find(stack.begin(), stack.end(), w);
+        cycle.assign(pos, stack.end());
+        cycle.push_back(w);
+        return cycle;
+      }
+      if (colour[w] == kWhite) {
+        colour[w] = kGrey;
+        stack.push_back(w);
+        dfs.emplace_back(w, adj_[w].begin());
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+std::vector<uint32_t> Digraph::TopologicalOrder(
+    const std::vector<uint32_t>& nodes) const {
+  std::set<uint32_t> in_set(nodes.begin(), nodes.end());
+  std::vector<uint32_t> order;
+  std::vector<int> state(adj_.size(), 0);  // 0 unvisited, 1 active, 2 done
+  std::vector<std::pair<uint32_t, std::set<uint32_t>::const_iterator>> dfs;
+  for (uint32_t start : nodes) {
+    if (state[start] != 0) continue;
+    state[start] = 1;
+    dfs.emplace_back(start, adj_[start].begin());
+    while (!dfs.empty()) {
+      auto& [v, it] = dfs.back();
+      // Skip edges leaving the node set.
+      while (it != adj_[v].end() && (in_set.count(*it) == 0 || state[*it] == 2)) {
+        ++it;
+      }
+      if (it == adj_[v].end()) {
+        state[v] = 2;
+        order.push_back(v);
+        dfs.pop_back();
+        continue;
+      }
+      uint32_t w = *it;
+      ++it;
+      if (state[w] == 0) {
+        state[w] = 1;
+        dfs.emplace_back(w, adj_[w].begin());
+      }
+      // state[w] == 1 would be a cycle; callers guarantee acyclicity.
+    }
+  }
+  std::reverse(order.begin(), order.end());
+  return order;
+}
+
+void Digraph::UnionWith(const Digraph& other) {
+  for (uint32_t v = 0; v < other.adj_.size(); ++v) {
+    for (uint32_t w : other.adj_[v]) adj_[v].insert(w);
+  }
+}
+
+namespace {
+
+// Collects the chain of ancestors of `e` (inclusive) into `out`, nearest
+// first.
+void AncestorChain(const History& h, ExecId e, std::vector<ExecId>& out) {
+  out.clear();
+  while (e != kNoExec) {
+    out.push_back(e);
+    e = h.executions[e].parent;
+  }
+}
+
+// Adds SG edges for a pair of ordered conflicting steps (or ◁-ordered
+// messages): an edge u -> u' for every pair of incomparable executions
+// (u, u') with u an ancestor-or-self of `a` and u' an ancestor-or-self of
+// `b` (the Observation after Definition 9).
+void AddEdgesForPair(const History& h, ExecId a, ExecId b, Digraph& g) {
+  std::vector<ExecId> ca, cb;
+  AncestorChain(h, a, ca);
+  AncestorChain(h, b, cb);
+  for (ExecId u : ca) {
+    for (ExecId u2 : cb) {
+      if (u == u2) continue;
+      if (h.Incomparable(u, u2)) g.AddEdge(u, u2);
+    }
+  }
+}
+
+}  // namespace
+
+Digraph BuildSerialisationGraph(const History& h, bool committed_only) {
+  Digraph g(h.executions.size());
+
+  // Type (a) edges: ordered conflicting local steps.
+  for (ObjectId o = 0; o < h.num_objects(); ++o) {
+    const auto& order = h.object_order[o];
+    for (size_t i = 0; i < order.size(); ++i) {
+      const Step& first = h.steps[order[i]];
+      if (committed_only && h.EffectivelyAborted(first.exec)) continue;
+      for (size_t j = i + 1; j < order.size(); ++j) {
+        const Step& second = h.steps[order[j]];
+        if (committed_only && h.EffectivelyAborted(second.exec)) continue;
+        if (first.exec == second.exec) continue;
+        if (!h.Incomparable(first.exec, second.exec)) continue;
+        // Symmetric closure is NOT taken: the edge reflects that `second`
+        // cannot be moved before `first`, which is exactly
+        // conflicts(first, second) in Definition 3's order-sensitive sense.
+        if (h.StepConflicts(first, second)) {
+          AddEdgesForPair(h, first.exec, second.exec, g);
+        }
+      }
+    }
+  }
+
+  // Type (b) edges: ◁-ordered message steps of a common ancestor.
+  for (const MethodExecution& e : h.executions) {
+    if (committed_only && h.EffectivelyAborted(e.id)) continue;
+    for (StepId si : e.steps) {
+      const Step& m = h.steps[si];
+      if (m.kind != StepKind::kMessage) continue;
+      if (committed_only && h.EffectivelyAborted(m.callee)) continue;
+      for (StepId sj : e.steps) {
+        const Step& m2 = h.steps[sj];
+        if (m2.kind != StepKind::kMessage) continue;
+        if (m.po_index >= m2.po_index) continue;
+        if (committed_only && h.EffectivelyAborted(m2.callee)) continue;
+        // Every descendent of B(m) precedes every descendent of B(m2).
+        for (const MethodExecution& f : h.executions) {
+          if (!h.IsAncestorOrSelf(m.callee, f.id)) continue;
+          if (committed_only && h.EffectivelyAborted(f.id)) continue;
+          for (const MethodExecution& f2 : h.executions) {
+            if (!h.IsAncestorOrSelf(m2.callee, f2.id)) continue;
+            if (committed_only && h.EffectivelyAborted(f2.id)) continue;
+            g.AddEdge(f.id, f2.id);
+          }
+        }
+      }
+    }
+  }
+
+  return g;
+}
+
+}  // namespace objectbase::model

@@ -1,0 +1,64 @@
+// The serialisation graph SG(h), Definition 9.
+//
+// Nodes are method executions; there is an edge e -> e' iff e, e' are
+// incomparable and either
+//   (a) descendents f, f' of e, e' contain steps t, t' with t preceding and
+//       conflicting with t'; or
+//   (b) the least common ancestor of e, e' orders the messages leading to
+//       e, e' by its program order ◁.
+//
+// Theorem 2: if SG(h) is acyclic, h is serialisable.  The checker below is
+// the workhorse of every protocol-correctness test and of the
+// serialisability oracle.
+#ifndef OBJECTBASE_MODEL_SERIALISATION_GRAPH_H_
+#define OBJECTBASE_MODEL_SERIALISATION_GRAPH_H_
+
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/model/history.h"
+
+namespace objectbase::model {
+
+/// A directed graph over method executions (or any dense id space).
+class Digraph {
+ public:
+  explicit Digraph(size_t n) : adj_(n) {}
+
+  size_t size() const { return adj_.size(); }
+
+  void AddEdge(uint32_t from, uint32_t to);
+  bool HasEdge(uint32_t from, uint32_t to) const;
+  const std::set<uint32_t>& Successors(uint32_t from) const {
+    return adj_[from];
+  }
+
+  size_t EdgeCount() const;
+
+  bool IsAcyclic() const;
+
+  /// A cycle as a vertex sequence (first == last), if one exists.
+  std::optional<std::vector<uint32_t>> FindCycle() const;
+
+  /// Topological order restricted to `nodes` (which must induce an acyclic
+  /// subgraph); edges to vertices outside `nodes` are ignored.
+  std::vector<uint32_t> TopologicalOrder(
+      const std::vector<uint32_t>& nodes) const;
+
+  /// Union with another graph of the same size.
+  void UnionWith(const Digraph& other);
+
+ private:
+  std::vector<std::set<uint32_t>> adj_;
+};
+
+/// Builds SG(h).  When `committed_only` is true (the default, matching the
+/// failure semantics of Section 3), steps and executions that aborted are
+/// excluded.
+Digraph BuildSerialisationGraph(const History& h, bool committed_only = true);
+
+}  // namespace objectbase::model
+
+#endif  // OBJECTBASE_MODEL_SERIALISATION_GRAPH_H_

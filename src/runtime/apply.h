@@ -1,0 +1,60 @@
+// ApplyLocked: the one place a local operation touches an object's state.
+//
+// Callers (the protocol controllers) must have completed protocol admission
+// (locks granted / timestamps validated) and must hold the object's apply
+// serialisation unless the spec supports concurrent application.  The helper
+// applies the state transformer, pushes the undo record onto the issuing
+// execution's undo log (Section 3 Abort semantics), mirrors the step into
+// the recorder (inside the same critical section, so the recorded
+// application order is the real one) and appends the applied-step entry the
+// timestamp/certification protocols scan.
+#ifndef OBJECTBASE_RUNTIME_APPLY_H_
+#define OBJECTBASE_RUNTIME_APPLY_H_
+
+#include <string>
+
+#include "src/runtime/object.h"
+#include "src/runtime/recorder.h"
+#include "src/runtime/txn.h"
+
+namespace objectbase::rt {
+
+struct AppliedOutcome {
+  Value ret;
+  uint64_t seq = 0;
+};
+
+/// Applies `op` and records everything.  `append_applied_log` is set by the
+/// protocols that scan object logs (NTO/CERT/MIXED); N2PL and Gemstone skip
+/// it (their lock tables carry the information).
+inline AppliedOutcome ApplyLocked(TxnNode& txn, Object& obj,
+                                  const adt::OpDescriptor& op,
+                                  const Args& args, Recorder& recorder,
+                                  bool append_applied_log) {
+  uint64_t start = recorder.NextSeq();
+  adt::ApplyResult applied = op.apply(obj.state(), args);
+  uint64_t end = recorder.NextSeq();
+  // Read-only steps get an (empty) undo record too: the abort path uses the
+  // log to know which objects the execution touched.
+  txn.PushUndo(UndoRecord{end, &obj, std::move(applied.undo)});
+  recorder.RecordLocalStep(txn.exec_id, txn.NextPo(), obj.id(), op.name, args,
+                           applied.ret, start, end);
+  if (append_applied_log) {
+    std::lock_guard<std::mutex> g(obj.log_mu());
+    Object::Applied entry;
+    entry.seq = end;
+    entry.exec_uid = txn.uid();
+    entry.top_uid = txn.top()->uid();
+    entry.chain = txn.AncestorChain();
+    entry.hts = txn.hts();
+    entry.op = op.name;
+    entry.args = args;
+    entry.ret = applied.ret;
+    obj.applied_log().push_back(std::move(entry));
+  }
+  return AppliedOutcome{std::move(applied.ret), end};
+}
+
+}  // namespace objectbase::rt
+
+#endif  // OBJECTBASE_RUNTIME_APPLY_H_

@@ -1,0 +1,345 @@
+#include "src/runtime/executor.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "src/cc/cert_controller.h"
+#include "src/cc/gemstone_controller.h"
+#include "src/cc/lock_manager.h"
+#include "src/cc/n2pl_controller.h"
+#include "src/cc/nto_controller.h"
+
+namespace objectbase::rt {
+
+const char* ProtocolName(Protocol p) {
+  switch (p) {
+    case Protocol::kN2pl: return "N2PL";
+    case Protocol::kNto: return "NTO";
+    case Protocol::kCert: return "CERT";
+    case Protocol::kGemstone: return "GEMSTONE";
+    case Protocol::kMixed: return "MIXED";
+  }
+  return "?";
+}
+
+Executor::Executor(ObjectBase& base, ExecutorOptions options)
+    : base_(base), options_(options), recorder_(options.record) {
+  switch (options_.protocol) {
+    case Protocol::kN2pl:
+      controller_ = std::make_unique<cc::N2plController>(
+          recorder_, options_.granularity);
+      break;
+    case Protocol::kNto:
+      controller_ = std::make_unique<cc::NtoController>(
+          recorder_, options_.granularity, options_.nto_gc);
+      break;
+    case Protocol::kCert:
+      controller_ = std::make_unique<cc::CertController>(
+          recorder_, options_.granularity);
+      break;
+    case Protocol::kGemstone:
+      controller_ = std::make_unique<cc::GemstoneController>(recorder_);
+      break;
+    case Protocol::kMixed: {
+      auto mixed = std::make_unique<cc::MixedController>(recorder_);
+      mixed_ = mixed.get();
+      controller_ = std::move(mixed);
+      break;
+    }
+  }
+  supports_partial_abort_ = controller_->SupportsPartialAbort();
+  recorder_.Reset(base_);
+}
+
+Executor::~Executor() = default;
+
+void Executor::DefineMethod(const std::string& object,
+                            const std::string& method, MethodFn fn) {
+  Object* obj = base_.Find(object);
+  if (obj == nullptr) return;
+  methods_[{obj->id(), method}] = std::move(fn);
+}
+
+void Executor::SetIntraPolicy(const std::string& object,
+                              cc::IntraPolicy policy) {
+  Object* obj = base_.Find(object);
+  if (obj != nullptr && mixed_ != nullptr) {
+    mixed_->SetPolicy(obj->id(), policy);
+  }
+}
+
+void Executor::ResetStats() {
+  stats_.committed.store(0);
+  stats_.aborted.store(0);
+  stats_.retries.store(0);
+  for (auto& a : stats_.aborts_by_reason) a.store(0);
+}
+
+const MethodFn* Executor::FindMethod(const Object& obj,
+                                     const std::string& method) const {
+  auto it = methods_.find({obj.id(), method});
+  if (it == methods_.end()) return nullptr;
+  return &it->second;
+}
+
+void Executor::NoteThreadRunning(TxnNode* node) {
+  // Only the lock-based protocols track threads (deadlock detection).
+  cc::LockManager* lm = nullptr;
+  if (auto* p = dynamic_cast<cc::N2plController*>(controller_.get())) {
+    lm = &p->lock_manager();
+  } else if (auto* g =
+                 dynamic_cast<cc::GemstoneController*>(controller_.get())) {
+    lm = &g->lock_manager();
+  } else if (mixed_ != nullptr) {
+    lm = &mixed_->lock_manager();
+  }
+  if (lm == nullptr) return;
+  if (node == nullptr) {
+    lm->NoteFinished(cc::ThisThreadKey());
+  } else {
+    lm->NoteRunning(cc::ThisThreadKey(), node);
+  }
+}
+
+void Executor::NoteThreadFinished() { NoteThreadRunning(nullptr); }
+
+TxnResult Executor::RunTransaction(const std::string& name, MethodFn body) {
+  TxnResult result;
+  for (int attempt = 1; attempt <= options_.max_top_retries; ++attempt) {
+    TxnResult r = RunAttempt(name, body);
+    result = r;
+    result.attempts = attempt;
+    if (r.committed) return result;
+    stats_.retries.fetch_add(1);
+    // Exponential-ish backoff with a deterministic per-attempt jitter so
+    // colliding transactions de-synchronise.
+    if (attempt < options_.max_top_retries) {
+      int us = std::min(20 * attempt * attempt, 1000);
+      std::this_thread::sleep_for(std::chrono::microseconds(us));
+    }
+  }
+  return result;
+}
+
+TxnResult Executor::RunTransactionOnce(const std::string& name,
+                                       MethodFn body) {
+  TxnResult r = RunAttempt(name, body);
+  r.attempts = 1;
+  return r;
+}
+
+TxnResult Executor::RunAttempt(const std::string& name, const MethodFn& body) {
+  TxnResult result;
+  uint64_t counter = next_top_counter_.fetch_add(1) + 1;
+  auto top = std::make_unique<TxnNode>(next_uid_.fetch_add(1) + 1, nullptr,
+                                       UINT32_MAX, name);
+  top->hts() = cc::Hts::TopLevel(counter);
+  top->exec_id =
+      recorder_.BeginExecution(model::kNoExec, model::kEnvironmentObject, name);
+  controller_->OnTopBegin(*top);
+  NoteThreadRunning(top.get());
+  try {
+    MethodCtx ctx(*this, *top, /*object=*/nullptr, Args{});
+    Value v = body(ctx);
+    cc::AbortReason reason = cc::AbortReason::kNone;
+    if (!controller_->OnTopCommit(*top, &reason)) {
+      throw AbortSignal{reason};
+    }
+    controller_->OnTopFinished(*top);
+    NoteThreadFinished();
+    stats_.committed.fetch_add(1);
+    result.committed = true;
+    result.ret = std::move(v);
+    return result;
+  } catch (AbortSignal& s) {
+    AbortSubtree(*top, s.reason);
+    controller_->OnTopFinished(*top);
+    NoteThreadFinished();
+    stats_.aborted.fetch_add(1);
+    stats_.aborts_by_reason[static_cast<size_t>(s.reason)].fetch_add(1);
+    result.committed = false;
+    result.last_abort = s.reason;
+    return result;
+  }
+}
+
+Value Executor::InvokeChild(TxnNode& parent, Object& obj,
+                            const std::string& method, Args args, uint32_t po,
+                            TxnNode* restore) {
+  uint64_t child_counter = parent.NextChildCounter();
+  auto owned = std::make_unique<TxnNode>(next_uid_.fetch_add(1) + 1, &parent,
+                                         obj.id(), method);
+  TxnNode* child = parent.AddChild(std::move(owned));
+  child->hts() = parent.hts().Child(child_counter);
+  uint64_t start = recorder_.NextSeq();
+  child->exec_id = recorder_.BeginExecution(parent.exec_id, obj.id(), method);
+  NoteThreadRunning(child);
+  try {
+    const MethodFn* fn = FindMethod(obj, method);
+    Value v;
+    if (fn != nullptr) {
+      MethodCtx ctx(*this, *child, &obj, std::move(args));
+      v = (*fn)(ctx);
+    } else if (obj.spec().FindOp(method) != nullptr) {
+      // Implicit method: a single local step executing the operation.
+      MethodCtx ctx(*this, *child, &obj, args);
+      v = ctx.Local(method, args);
+    } else {
+      throw AbortSignal{cc::AbortReason::kUser};
+    }
+    controller_->OnChildCommit(*child);
+    if (restore != nullptr) {
+      NoteThreadRunning(restore);
+    } else {
+      NoteThreadFinished();
+    }
+    uint64_t end = recorder_.NextSeq();
+    recorder_.RecordMessageStep(parent.exec_id, po, child->exec_id, start,
+                                end);
+    return v;
+  } catch (AbortSignal& s) {
+    AbortSubtree(*child, s.reason);
+    if (restore != nullptr) {
+      NoteThreadRunning(restore);
+    } else {
+      NoteThreadFinished();
+    }
+    uint64_t end = recorder_.NextSeq();
+    recorder_.RecordMessageStep(parent.exec_id, po, child->exec_id, start,
+                                end);
+    throw;
+  }
+}
+
+namespace {
+
+void CollectUndoRecords(TxnNode& node, std::vector<UndoRecord*>& out) {
+  for (UndoRecord& u : node.undo_log()) out.push_back(&u);
+  for (auto& child : node.children()) CollectUndoRecords(*child, out);
+}
+
+void MarkSubtreeAborted(Recorder& recorder, TxnNode& node,
+                        cc::AbortReason reason) {
+  if (!node.aborted()) {
+    node.set_aborted(reason);
+    recorder.MarkAborted(node.exec_id);
+  }
+  for (auto& child : node.children()) {
+    MarkSubtreeAborted(recorder, *child, reason);
+  }
+}
+
+}  // namespace
+
+void Executor::AbortSubtree(TxnNode& node, cc::AbortReason reason) {
+  // Semantics (b): the abort of a method execution aborts its descendents.
+  MarkSubtreeAborted(recorder_, node, reason);
+  if (controller_->RollbackByRebuild()) {
+    // The controller rebuilds object states from their journals in OnAbort.
+    controller_->OnAbort(node);
+    return;
+  }
+  // Strict protocols: apply the subtree's undo closures in reverse
+  // application order.  Strictness guarantees no incomparable execution
+  // interleaved conflicting steps, so subtree-local reverse order suffices.
+  std::vector<UndoRecord*> undos;
+  CollectUndoRecords(node, undos);
+  std::sort(undos.begin(), undos.end(),
+            [](const UndoRecord* a, const UndoRecord* b) {
+              return a->seq > b->seq;
+            });
+  for (UndoRecord* u : undos) {
+    if (!u->undo) continue;
+    std::lock_guard<std::shared_mutex> g(u->object->state_mu());
+    u->undo(u->object->state());
+    u->undo = nullptr;  // idempotence if the subtree aborts again
+  }
+  controller_->OnAbort(node);
+}
+
+// --- MethodCtx -------------------------------------------------------------
+
+Value MethodCtx::Invoke(const std::string& object, const std::string& method,
+                        Args args) {
+  Object* obj = exec_.base_.Find(object);
+  if (obj == nullptr) throw Executor::AbortSignal{cc::AbortReason::kUser};
+  uint32_t po = node_.NextPo();
+  return exec_.InvokeChild(node_, *obj, method, std::move(args), po, &node_);
+}
+
+MethodCtx::InvokeOutcome MethodCtx::TryInvoke(const std::string& object,
+                                              const std::string& method,
+                                              Args args) {
+  Object* obj = exec_.base_.Find(object);
+  if (obj == nullptr) {
+    return InvokeOutcome{false, Value::None(), cc::AbortReason::kUser};
+  }
+  uint32_t po = node_.NextPo();
+  try {
+    Value v =
+        exec_.InvokeChild(node_, *obj, method, std::move(args), po, &node_);
+    return InvokeOutcome{true, std::move(v), cc::AbortReason::kNone};
+  } catch (Executor::AbortSignal& s) {
+    if (exec_.supports_partial_abort_) {
+      // The child (and its descendents) aborted; this execution survives
+      // and may try an alternative (Section 3).
+      return InvokeOutcome{false, Value::None(), s.reason};
+    }
+    throw;
+  }
+}
+
+std::vector<MethodCtx::InvokeOutcome> MethodCtx::InvokeParallel(
+    std::vector<Call> calls) {
+  std::vector<InvokeOutcome> outcomes(calls.size());
+  if (calls.empty()) return outcomes;
+  // All messages of the batch share one program-order index: they are
+  // ◁-unordered (Definition 4 allows it; condition 2c imposes nothing).
+  uint32_t po = node_.NextPo();
+  std::vector<std::thread> threads;
+  threads.reserve(calls.size());
+  for (size_t i = 0; i < calls.size(); ++i) {
+    threads.emplace_back([this, &calls, &outcomes, i, po]() {
+      Object* obj = exec_.base_.Find(calls[i].object);
+      if (obj == nullptr) {
+        outcomes[i] = InvokeOutcome{false, Value::None(),
+                                    cc::AbortReason::kUser};
+        return;
+      }
+      try {
+        Value v = exec_.InvokeChild(node_, *obj, calls[i].method,
+                                    std::move(calls[i].args), po,
+                                    /*restore=*/nullptr);
+        outcomes[i] = InvokeOutcome{true, std::move(v),
+                                    cc::AbortReason::kNone};
+      } catch (Executor::AbortSignal& s) {
+        outcomes[i] = InvokeOutcome{false, Value::None(), s.reason};
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  if (!exec_.supports_partial_abort_) {
+    for (const InvokeOutcome& o : outcomes) {
+      if (!o.ok) throw Executor::AbortSignal{o.reason};
+    }
+  }
+  return outcomes;
+}
+
+Value MethodCtx::Local(const std::string& op, Args args) {
+  if (object_ == nullptr) {
+    // The environment has no variables (Definition 1).
+    throw Executor::AbortSignal{cc::AbortReason::kUser};
+  }
+  cc::OpOutcome out =
+      exec_.controller_->ExecuteLocal(node_, *object_, op, args);
+  if (!out.ok) throw Executor::AbortSignal{out.reason};
+  return std::move(out.ret);
+}
+
+void MethodCtx::Abort() {
+  throw Executor::AbortSignal{cc::AbortReason::kUser};
+}
+
+}  // namespace objectbase::rt

@@ -1,0 +1,217 @@
+// Executor: runs nested transactions over an ObjectBase under a protocol.
+//
+// This is the public entry point of the library:
+//
+//   rt::ObjectBase base;
+//   base.CreateObject("acct", adt::MakeBankAccountSpec(100));
+//   rt::Executor exec(base, {.protocol = rt::Protocol::kN2pl});
+//   auto result = exec.RunTransaction("transfer", [&](rt::MethodCtx& txn) {
+//     txn.Invoke("acct", "withdraw", {50});   // message -> method execution
+//     return Value();
+//   });
+//
+// Model correspondence:
+//   * RunTransaction creates a top-level method execution of the
+//     environment object (Definition 1);
+//   * MethodCtx::Invoke sends a message: a child method execution runs to
+//     completion and its value returns to the sender (Section 1);
+//   * MethodCtx::InvokeParallel sends several messages simultaneously —
+//     internal parallelism (Section 1(c));
+//   * MethodCtx::Local issues a local step on the method's own object;
+//   * aborts cascade to descendents but not ancestors: under protocols with
+//     SupportsPartialAbort() a parent can catch a child's abort via
+//     TryInvoke and try an alternative (Section 3).
+//
+// Every run can be recorded as a model::History and checked against the
+// paper's definitions (see Recorder).
+#ifndef OBJECTBASE_RUNTIME_EXECUTOR_H_
+#define OBJECTBASE_RUNTIME_EXECUTOR_H_
+
+#include <array>
+#include <atomic>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/cc/controller.h"
+#include "src/cc/mixed_controller.h"
+#include "src/runtime/object_base.h"
+#include "src/runtime/recorder.h"
+#include "src/runtime/txn.h"
+
+namespace objectbase::rt {
+
+enum class Protocol { kN2pl, kNto, kCert, kGemstone, kMixed };
+
+const char* ProtocolName(Protocol p);
+
+struct ExecutorOptions {
+  Protocol protocol = Protocol::kN2pl;
+  cc::Granularity granularity = cc::Granularity::kStep;
+  /// Record a model::History of every run (tests/examples: on;
+  /// benchmarks: off).
+  bool record = true;
+  /// Top-level retry budget on abort; retries re-run the transaction body
+  /// with a fresh timestamp.
+  int max_top_retries = 100;
+  /// NTO remembered-step garbage collection (E8 ablation).
+  bool nto_gc = true;
+};
+
+class MethodCtx;
+using MethodFn = std::function<Value(MethodCtx&)>;
+
+struct TxnResult {
+  bool committed = false;
+  Value ret;
+  cc::AbortReason last_abort = cc::AbortReason::kNone;
+  int attempts = 0;
+};
+
+class Executor {
+ public:
+  Executor(ObjectBase& base, ExecutorOptions options);
+  ~Executor();
+
+  Executor(const Executor&) = delete;
+  Executor& operator=(const Executor&) = delete;
+
+  /// Registers a method body on an object.  Unregistered method names that
+  /// match an ADT operation get an implicit body executing that single
+  /// local step.
+  void DefineMethod(const std::string& object, const std::string& method,
+                    MethodFn fn);
+
+  /// MIXED only: assigns the object's intra-object policy.
+  void SetIntraPolicy(const std::string& object, cc::IntraPolicy policy);
+
+  /// Runs a top-level transaction (with retries on abort).
+  TxnResult RunTransaction(const std::string& name, MethodFn body);
+
+  /// Single attempt, no retry (tests that assert on specific aborts).
+  TxnResult RunTransactionOnce(const std::string& name, MethodFn body);
+
+  Recorder& recorder() { return recorder_; }
+  /// Clears the recorded history and re-snapshots initial states.
+  void ResetRecorder() { recorder_.Reset(base_); }
+
+  cc::Controller& controller() { return *controller_; }
+  ObjectBase& base() { return base_; }
+  const ExecutorOptions& options() const { return options_; }
+
+  struct Stats {
+    std::atomic<uint64_t> committed{0};
+    std::atomic<uint64_t> aborted{0};   ///< Top-level aborts (incl. retried).
+    std::atomic<uint64_t> retries{0};
+    std::array<std::atomic<uint64_t>, 8> aborts_by_reason{};
+
+    uint64_t AbortsFor(cc::AbortReason r) const {
+      return aborts_by_reason[static_cast<size_t>(r)].load();
+    }
+  };
+  Stats& stats() { return stats_; }
+  void ResetStats();
+
+ private:
+  friend class MethodCtx;
+
+  /// Thrown to unwind an aborting method execution; caught at invocation
+  /// boundaries and at the top level.
+  struct AbortSignal {
+    cc::AbortReason reason;
+  };
+
+  TxnResult RunAttempt(const std::string& name, const MethodFn& body);
+
+  /// Runs `method` of `obj` as a child of `parent`; `po` is the message's
+  /// program-order index (shared within a parallel batch).  `restore` is
+  /// the node to re-register for this thread afterwards (nullptr on
+  /// freshly-spawned threads).  Throws AbortSignal on child abort.
+  Value InvokeChild(TxnNode& parent, Object& obj, const std::string& method,
+                    Args args, uint32_t po, TxnNode* restore);
+
+  /// Marks the subtree aborted (recorder included), rolls back its effects
+  /// and informs the controller.
+  void AbortSubtree(TxnNode& node, cc::AbortReason reason);
+
+  const MethodFn* FindMethod(const Object& obj,
+                             const std::string& method) const;
+
+  void NoteThreadRunning(TxnNode* node);
+  void NoteThreadFinished();
+
+  ObjectBase& base_;
+  ExecutorOptions options_;
+  Recorder recorder_;
+  std::unique_ptr<cc::Controller> controller_;
+  cc::MixedController* mixed_ = nullptr;  // non-null iff protocol == kMixed
+  bool supports_partial_abort_ = false;
+  std::atomic<uint64_t> next_uid_{0};
+  std::atomic<uint64_t> next_top_counter_{0};
+  Stats stats_;
+  std::map<std::pair<uint32_t, std::string>, MethodFn> methods_;
+};
+
+/// Handle passed to method bodies; all interaction with the object base
+/// goes through it.
+class MethodCtx {
+ public:
+  struct InvokeOutcome {
+    bool ok = false;
+    Value ret;
+    cc::AbortReason reason = cc::AbortReason::kNone;
+  };
+
+  struct Call {
+    std::string object;
+    std::string method;
+    Args args;
+  };
+
+  /// Sends a message: runs `method` on `object` as a child execution and
+  /// returns its value.  A child abort propagates (aborting this execution
+  /// too) — use TryInvoke to survive it.
+  Value Invoke(const std::string& object, const std::string& method,
+               Args args = {});
+
+  /// Like Invoke, but under protocols that support partial aborts a child
+  /// abort is reported instead of propagated — the paper's alternative-path
+  /// pattern: "If M' fails and aborts, M is not also doomed to failure."
+  InvokeOutcome TryInvoke(const std::string& object, const std::string& method,
+                          Args args = {});
+
+  /// Sends several messages simultaneously (internal parallelism); blocks
+  /// until all children finish.  Under partial-abort protocols failed calls
+  /// are reported in the outcomes; otherwise any failure aborts this
+  /// execution after all branches joined.
+  std::vector<InvokeOutcome> InvokeParallel(std::vector<Call> calls);
+
+  /// Issues a local operation on this method's own object.  Only valid
+  /// inside an object method (not in a top-level environment body).
+  Value Local(const std::string& op, Args args = {});
+
+  /// Application-requested abort of this method execution (Section 3).
+  [[noreturn]] void Abort();
+
+  /// Arguments the invoking message carried.
+  const Args& args() const { return args_; }
+
+  TxnNode& node() { return node_; }
+  Executor& executor() { return exec_; }
+
+ private:
+  friend class Executor;
+  MethodCtx(Executor& exec, TxnNode& node, Object* object, Args args)
+      : exec_(exec), node_(node), object_(object), args_(std::move(args)) {}
+
+  Executor& exec_;
+  TxnNode& node_;
+  Object* object_;  // nullptr for environment (top-level) bodies
+  Args args_;
+};
+
+}  // namespace objectbase::rt
+
+#endif  // OBJECTBASE_RUNTIME_EXECUTOR_H_

@@ -1,0 +1,78 @@
+#include "src/runtime/object.h"
+
+#include <algorithm>
+
+namespace objectbase::rt {
+
+Object::Object(uint32_t id, std::string name,
+               std::shared_ptr<const adt::AdtSpec> spec)
+    : id_(id),
+      name_(std::move(name)),
+      spec_(std::move(spec)),
+      state_(spec_->MakeInitialState()),
+      base_state_(spec_->MakeInitialState()) {}
+
+void Object::ResetState() {
+  state_ = spec_->MakeInitialState();
+  base_state_ = spec_->MakeInitialState();
+  std::lock_guard<std::mutex> g(log_mu_);
+  applied_log_.clear();
+}
+
+void Object::AbortEntriesAndRebuild(uint64_t subtree_root_uid) {
+  std::scoped_lock guard(state_mu_, log_mu_);
+  bool any = false;
+  for (Applied& e : applied_log_) {
+    if (!e.aborted &&
+        std::find(e.chain.begin(), e.chain.end(), subtree_root_uid) !=
+            e.chain.end()) {
+      e.aborted = true;
+      any = true;
+    }
+  }
+  if (!any) return;
+  // Rebuild: base + surviving journal entries in application order.  The
+  // surviving entries' effects are independent of the excised ones (any
+  // conflicting-later entry belongs to a doomed transaction whose own abort
+  // marks it here too), so re-application reproduces their recorded steps.
+  auto rebuilt = base_state_->Clone();
+  for (const Applied& e : applied_log_) {
+    if (e.aborted) continue;
+    const adt::OpDescriptor* op = spec_->FindOp(e.op);
+    if (op != nullptr) op->apply(*rebuilt, e.args);
+  }
+  state_ = std::move(rebuilt);
+}
+
+size_t Object::FoldPrefix(uint64_t watermark) {
+  std::scoped_lock guard(state_mu_, log_mu_);
+  size_t folded = 0;
+  while (!applied_log_.empty()) {
+    const Applied& e = applied_log_.front();
+    if (e.hts.top_component() >= watermark) break;
+    if (!e.aborted) {
+      const adt::OpDescriptor* op = spec_->FindOp(e.op);
+      if (op != nullptr) op->apply(*base_state_, e.args);
+    }
+    applied_log_.pop_front();
+    ++folded;
+  }
+  return folded;
+}
+
+bool Object::Applied::IncomparableWith(
+    const std::vector<uint64_t>& other_chain) const {
+  // Comparable iff one execution's uid appears in the other's chain.
+  if (std::find(other_chain.begin(), other_chain.end(), exec_uid) !=
+      other_chain.end()) {
+    return false;
+  }
+  if (!other_chain.empty() &&
+      std::find(chain.begin(), chain.end(), other_chain.front()) !=
+          chain.end()) {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace objectbase::rt

@@ -1,0 +1,109 @@
+// Object: a runtime object of the object base.
+//
+// Pairs an AdtSpec with a live state, the per-object serialisation mutex
+// (local steps are atomic state transformers, Definition 2 — unless the
+// spec provides its own internal synchronisation), and an applied-step log
+// the timestamp/certification protocols use for conflict detection.
+#ifndef OBJECTBASE_RUNTIME_OBJECT_H_
+#define OBJECTBASE_RUNTIME_OBJECT_H_
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "src/adt/adt.h"
+#include "src/cc/hts.h"
+#include "src/common/value.h"
+
+namespace objectbase::rt {
+
+class Object {
+ public:
+  Object(uint32_t id, std::string name,
+         std::shared_ptr<const adt::AdtSpec> spec);
+
+  uint32_t id() const { return id_; }
+  const std::string& name() const { return name_; }
+  const adt::AdtSpec& spec() const { return *spec_; }
+  std::shared_ptr<const adt::AdtSpec> spec_ptr() const { return spec_; }
+
+  adt::AdtState& state() { return *state_; }
+  const adt::AdtState& state() const { return *state_; }
+
+  /// Resets the state to a fresh initial state (between workload runs).
+  void ResetState();
+
+  /// The per-object apply latch.  Held EXCLUSIVE around apply for every
+  /// spec that does not support concurrent application (and always while
+  /// recording, so the recorded application order matches the true one).
+  /// Concurrent-apply objects take it SHARED around apply, which lets
+  /// their internal latches provide the synchronisation while still
+  /// excluding rebuild/fold (which take it exclusive).
+  std::shared_mutex& state_mu() { return state_mu_; }
+
+  bool concurrent_apply() const { return spec_->supports_concurrent_apply(); }
+
+  /// One remembered applied step (NTO's per-operation timestamp memory, the
+  /// certifier's conflict window, and the rollback journal).  Lifetime-
+  /// decoupled from TxnNode: identity is carried by uids/chains.
+  struct Applied {
+    uint64_t seq = 0;       ///< Global apply sequence number.
+    uint64_t exec_uid = 0;  ///< Issuing method execution.
+    uint64_t top_uid = 0;   ///< Its top-level ancestor.
+    std::vector<uint64_t> chain;  ///< Ancestor uids, self first.
+    cc::Hts hts;
+    std::string op;
+    Args args;
+    Value ret;
+    bool aborted = false;  ///< Excluded from the object's real history.
+
+    /// True iff the recording execution and `other_chain`'s execution are
+    /// incomparable (neither uid appears in the other's chain).
+    bool IncomparableWith(const std::vector<uint64_t>& other_chain) const;
+  };
+
+  /// Guarded by log_mu().  Protocols append on apply and prune on
+  /// transaction completion / watermark advance.
+  std::mutex& log_mu() { return log_mu_; }
+  std::deque<Applied>& applied_log() { return applied_log_; }
+
+  // --- rebuild-based rollback (NTO/CERT/MIXED) -----------------------------
+  //
+  // The non-blocking protocols allow conflicting steps on top of uncommitted
+  // ones; a later cascade of aborts cannot be rolled back with per-step
+  // inverse operations (undo order would have to be globally reverse-
+  // chronological across transactions).  Instead the object keeps a base
+  // state plus the applied journal: aborting a subtree marks its entries
+  // aborted and REBUILDS state = base + non-aborted entries in order — the
+  // executable form of the paper's failure-semantics requirement (a): the
+  // committed projection is what the state reflects.
+
+  /// Marks every journal entry issued by the subtree rooted at
+  /// `subtree_root_uid` as aborted and rebuilds the state from the base.
+  /// Takes state_mu and log_mu.
+  void AbortEntriesAndRebuild(uint64_t subtree_root_uid);
+
+  /// Folds the maximal journal prefix whose top-level serial number is
+  /// below `watermark` (every such transaction has finished) into the base
+  /// state and drops it — Section 5.2's "mechanism to forget".  Takes
+  /// state_mu and log_mu.  Returns entries folded.
+  size_t FoldPrefix(uint64_t watermark);
+
+ private:
+  uint32_t id_;
+  std::string name_;
+  std::shared_ptr<const adt::AdtSpec> spec_;
+  std::unique_ptr<adt::AdtState> state_;
+  std::unique_ptr<adt::AdtState> base_state_;  // journal base (see above)
+  std::shared_mutex state_mu_;
+  std::mutex log_mu_;
+  std::deque<Applied> applied_log_;
+};
+
+}  // namespace objectbase::rt
+
+#endif  // OBJECTBASE_RUNTIME_OBJECT_H_

@@ -1,0 +1,24 @@
+#include "src/runtime/object_base.h"
+
+namespace objectbase::rt {
+
+uint32_t ObjectBase::CreateObject(std::string name,
+                                  std::shared_ptr<const adt::AdtSpec> spec) {
+  uint32_t id = static_cast<uint32_t>(objects_.size());
+  by_name_[name] = id;
+  objects_.push_back(std::make_unique<Object>(id, std::move(name),
+                                              std::move(spec)));
+  return id;
+}
+
+Object* ObjectBase::Find(const std::string& name) {
+  auto it = by_name_.find(name);
+  if (it == by_name_.end()) return nullptr;
+  return objects_[it->second].get();
+}
+
+void ObjectBase::ResetAll() {
+  for (auto& o : objects_) o->ResetState();
+}
+
+}  // namespace objectbase::rt

@@ -1,0 +1,40 @@
+// ObjectBase: the set of objects (Definition 1).
+#ifndef OBJECTBASE_RUNTIME_OBJECT_BASE_H_
+#define OBJECTBASE_RUNTIME_OBJECT_BASE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/runtime/object.h"
+
+namespace objectbase::rt {
+
+/// Owns the objects.  Objects are created before execution starts and live
+/// for the lifetime of the base; creation is not thread-safe (do it before
+/// running transactions).
+class ObjectBase {
+ public:
+  /// Creates an object with a fresh initial state from `spec`.  Names must
+  /// be unique.  Returns its dense id.
+  uint32_t CreateObject(std::string name,
+                        std::shared_ptr<const adt::AdtSpec> spec);
+
+  Object* Find(const std::string& name);
+  Object& Get(uint32_t id) { return *objects_[id]; }
+  const Object& Get(uint32_t id) const { return *objects_[id]; }
+
+  size_t size() const { return objects_.size(); }
+
+  /// Resets every object to its initial state (between benchmark runs).
+  void ResetAll();
+
+ private:
+  std::vector<std::unique_ptr<Object>> objects_;
+  std::map<std::string, uint32_t> by_name_;
+};
+
+}  // namespace objectbase::rt
+
+#endif  // OBJECTBASE_RUNTIME_OBJECT_BASE_H_

@@ -1,0 +1,84 @@
+#include "src/runtime/recorder.h"
+
+namespace objectbase::rt {
+
+void Recorder::Reset(const ObjectBase& base) {
+  if (!enabled_) return;
+  std::lock_guard<std::mutex> g(mu_);
+  history_ = model::History();
+  seq_.store(0);
+  for (uint32_t i = 0; i < base.size(); ++i) {
+    const Object& o = base.Get(i);
+    history_.specs.push_back(o.spec_ptr());
+    history_.initial_states.push_back(o.state().Clone());
+    history_.object_names.push_back(o.name());
+    history_.object_order.emplace_back();
+  }
+}
+
+model::ExecId Recorder::BeginExecution(model::ExecId parent,
+                                       model::ObjectId object,
+                                       const std::string& method) {
+  if (!enabled_) return model::kNoExec;
+  std::lock_guard<std::mutex> g(mu_);
+  model::ExecId id = static_cast<model::ExecId>(history_.executions.size());
+  model::MethodExecution e;
+  e.id = id;
+  e.parent = parent;
+  e.object = object;
+  e.method = method;
+  history_.executions.push_back(std::move(e));
+  return id;
+}
+
+void Recorder::MarkAborted(model::ExecId exec) {
+  if (!enabled_ || exec == model::kNoExec) return;
+  std::lock_guard<std::mutex> g(mu_);
+  history_.executions[exec].aborted = true;
+}
+
+void Recorder::RecordLocalStep(model::ExecId exec, uint32_t po_index,
+                               model::ObjectId object, const std::string& op,
+                               const Args& args, const Value& ret,
+                               uint64_t start_seq, uint64_t end_seq) {
+  if (!enabled_ || exec == model::kNoExec) return;
+  std::lock_guard<std::mutex> g(mu_);
+  model::Step s;
+  s.id = static_cast<model::StepId>(history_.steps.size());
+  s.kind = model::StepKind::kLocal;
+  s.exec = exec;
+  s.po_index = po_index;
+  s.object = object;
+  s.op = op;
+  s.args = args;
+  s.ret = ret;
+  s.start_seq = start_seq;
+  s.end_seq = end_seq;
+  history_.executions[exec].steps.push_back(s.id);
+  history_.object_order[object].push_back(s.id);
+  history_.steps.push_back(std::move(s));
+}
+
+void Recorder::RecordMessageStep(model::ExecId exec, uint32_t po_index,
+                                 model::ExecId callee, uint64_t start_seq,
+                                 uint64_t end_seq) {
+  if (!enabled_ || exec == model::kNoExec || callee == model::kNoExec) return;
+  std::lock_guard<std::mutex> g(mu_);
+  model::Step s;
+  s.id = static_cast<model::StepId>(history_.steps.size());
+  s.kind = model::StepKind::kMessage;
+  s.exec = exec;
+  s.po_index = po_index;
+  s.callee = callee;
+  s.start_seq = start_seq;
+  s.end_seq = end_seq;
+  history_.executions[exec].steps.push_back(s.id);
+  history_.steps.push_back(std::move(s));
+}
+
+model::History Recorder::Snapshot() const {
+  std::lock_guard<std::mutex> g(mu_);
+  return history_.Clone();
+}
+
+}  // namespace objectbase::rt

@@ -1,0 +1,68 @@
+// Recorder: builds the formal history (E, <, B, S) of a run.
+//
+// Every execution/step the runtime performs is mirrored into a
+// model::History so that the formal machinery (legality, SG(h), Theorem 2's
+// serialiser, Theorem 5's graphs) can check the run after the fact.  The
+// per-object application order is captured inside each object's apply
+// critical section, so it is exactly the order in which the state
+// transformers composed — the concrete form of the < relation on local
+// steps.
+//
+// Recording is optional (benchmarks disable it); when disabled all methods
+// are cheap no-ops.
+#ifndef OBJECTBASE_RUNTIME_RECORDER_H_
+#define OBJECTBASE_RUNTIME_RECORDER_H_
+
+#include <atomic>
+#include <mutex>
+
+#include "src/model/history.h"
+#include "src/runtime/object_base.h"
+
+namespace objectbase::rt {
+
+class Recorder {
+ public:
+  explicit Recorder(bool enabled) : enabled_(enabled) {}
+
+  bool enabled() const { return enabled_; }
+
+  /// Clears the history and snapshots every object's current state as the
+  /// S component.  Call before a recorded run, after objects are created.
+  void Reset(const ObjectBase& base);
+
+  /// Global monotonic stamp (also used for undo ordering).
+  uint64_t NextSeq() { return seq_.fetch_add(1) + 1; }
+
+  /// Registers a new method execution; returns its model id.
+  model::ExecId BeginExecution(model::ExecId parent, model::ObjectId object,
+                               const std::string& method);
+
+  void MarkAborted(model::ExecId exec);
+
+  /// Records a local step.  MUST be called while the caller still holds the
+  /// object's apply serialisation (state_mu or equivalent), so that
+  /// object_order matches the true application order.
+  void RecordLocalStep(model::ExecId exec, uint32_t po_index,
+                       model::ObjectId object, const std::string& op,
+                       const Args& args, const Value& ret,
+                       uint64_t start_seq, uint64_t end_seq);
+
+  /// Records a message step (the invocation that created `callee`).
+  void RecordMessageStep(model::ExecId exec, uint32_t po_index,
+                         model::ExecId callee, uint64_t start_seq,
+                         uint64_t end_seq);
+
+  /// Deep-copies the history accumulated so far.
+  model::History Snapshot() const;
+
+ private:
+  bool enabled_;
+  std::atomic<uint64_t> seq_{0};
+  mutable std::mutex mu_;
+  model::History history_;
+};
+
+}  // namespace objectbase::rt
+
+#endif  // OBJECTBASE_RUNTIME_RECORDER_H_

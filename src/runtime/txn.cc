@@ -1,0 +1,41 @@
+#include "src/runtime/txn.h"
+
+namespace objectbase::rt {
+
+TxnNode::TxnNode(uint64_t uid, TxnNode* parent, uint32_t object_id,
+                 std::string method)
+    : uid_(uid),
+      parent_(parent),
+      top_(parent == nullptr ? this : parent->top_),
+      object_id_(object_id),
+      method_(std::move(method)) {}
+
+bool TxnNode::HasAncestorOrSelf(const TxnNode* a) const {
+  for (const TxnNode* n = this; n != nullptr; n = n->parent_) {
+    if (n == a) return true;
+  }
+  return false;
+}
+
+bool TxnNode::HasAncestorOrSelf(uint64_t a_uid) const {
+  for (const TxnNode* n = this; n != nullptr; n = n->parent_) {
+    if (n->uid_ == a_uid) return true;
+  }
+  return false;
+}
+
+std::vector<uint64_t> TxnNode::AncestorChain() const {
+  std::vector<uint64_t> chain;
+  for (const TxnNode* n = this; n != nullptr; n = n->parent_) {
+    chain.push_back(n->uid_);
+  }
+  return chain;
+}
+
+TxnNode* TxnNode::AddChild(std::unique_ptr<TxnNode> child) {
+  std::lock_guard<std::mutex> g(mu_);
+  children_.push_back(std::move(child));
+  return children_.back().get();
+}
+
+}  // namespace objectbase::rt

@@ -1,0 +1,139 @@
+// TxnNode: one method execution in the runtime's transaction tree.
+//
+// Every Invoke() creates a child node; the tree mirrors the paper's
+// forest of method executions (B's forest structure, Definition 6 cond. 1).
+// A node carries its hierarchical timestamp (Section 5.2), its program-order
+// counter (the ◁ relation), its undo log (Section 3's Abort semantics) and
+// recorder bookkeeping.
+//
+// Threading: a node's fields are written by the single thread executing that
+// node, except `children` (parallel batches append concurrently, guarded by
+// mu_) and `doomed` (set by cascading aborts from other threads).
+#ifndef OBJECTBASE_RUNTIME_TXN_H_
+#define OBJECTBASE_RUNTIME_TXN_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/adt/adt.h"
+#include "src/cc/controller.h"
+#include "src/cc/hts.h"
+#include "src/model/history.h"
+
+namespace objectbase::rt {
+
+class Object;
+
+/// One undone-able effect: an applied local step's inverse.
+struct UndoRecord {
+  uint64_t seq = 0;  ///< Global apply sequence; undo happens in reverse.
+  Object* object = nullptr;
+  adt::UndoFn undo;  ///< Empty for read-only steps.
+};
+
+class TxnNode {
+ public:
+  TxnNode(uint64_t uid, TxnNode* parent, uint32_t object_id,
+          std::string method);
+
+  uint64_t uid() const { return uid_; }
+  TxnNode* parent() const { return parent_; }
+  TxnNode* top() { return top_; }
+  const TxnNode* top() const { return top_; }
+  uint32_t object_id() const { return object_id_; }
+  const std::string& method() const { return method_; }
+
+  cc::Hts& hts() { return hts_; }
+  const cc::Hts& hts() const { return hts_; }
+
+  /// Issues the next child counter (NTO rule 2's Increment(ctr_e)).
+  uint64_t NextChildCounter() { return child_counter_.fetch_add(1) + 1; }
+
+  /// Program-order index for the next step; parallel batches reserve one
+  /// index for all their messages.
+  uint32_t NextPo() { return next_po_.fetch_add(1); }
+  uint32_t CurrentPo() const { return next_po_.load(); }
+
+  /// True iff `a` is this node or one of its ancestors.
+  bool HasAncestorOrSelf(const TxnNode* a) const;
+  bool HasAncestorOrSelf(uint64_t a_uid) const;
+
+  /// Uids from self up to the top-level ancestor (self first).
+  std::vector<uint64_t> AncestorChain() const;
+
+  // --- undo log (appended only by the node's own thread) ---
+  void PushUndo(UndoRecord r) { undo_log_.push_back(std::move(r)); }
+  std::vector<UndoRecord>& undo_log() { return undo_log_; }
+
+  // --- lock bookkeeping (which objects this execution holds locks on) ---
+  // Lets the lock manager touch only the relevant tables on inheritance
+  // and release.  Guarded by the node's mutex (parallel children merge
+  // their sets into the parent concurrently).
+  void NoteLockedObject(uint32_t object_id) {
+    std::lock_guard<std::mutex> g(mu_);
+    for (uint32_t o : locked_objects_) {
+      if (o == object_id) return;
+    }
+    locked_objects_.push_back(object_id);
+  }
+  std::vector<uint32_t> TakeLockedObjects() {
+    std::lock_guard<std::mutex> g(mu_);
+    return std::move(locked_objects_);
+  }
+  void MergeLockedObjects(const std::vector<uint32_t>& objs) {
+    std::lock_guard<std::mutex> g(mu_);
+    for (uint32_t o : objs) {
+      bool present = false;
+      for (uint32_t mine : locked_objects_) {
+        if (mine == o) {
+          present = true;
+          break;
+        }
+      }
+      if (!present) locked_objects_.push_back(o);
+    }
+  }
+  std::vector<uint32_t> SnapshotLockedObjects() {
+    std::lock_guard<std::mutex> g(mu_);
+    return locked_objects_;
+  }
+
+  // --- children (parallel batches may append concurrently) ---
+  TxnNode* AddChild(std::unique_ptr<TxnNode> child);
+  std::vector<std::unique_ptr<TxnNode>>& children() { return children_; }
+
+  // --- status ---
+  bool aborted() const { return aborted_; }
+  void set_aborted(cc::AbortReason r) {
+    aborted_ = true;
+    abort_reason_ = r;
+  }
+  cc::AbortReason abort_reason() const { return abort_reason_; }
+
+  // --- recorder bookkeeping ---
+  model::ExecId exec_id = model::kNoExec;
+
+ private:
+  uint64_t uid_;
+  TxnNode* parent_;
+  TxnNode* top_;
+  uint32_t object_id_;
+  std::string method_;
+  cc::Hts hts_;
+  std::atomic<uint64_t> child_counter_{0};
+  std::atomic<uint32_t> next_po_{0};
+  std::vector<UndoRecord> undo_log_;
+  std::vector<uint32_t> locked_objects_;
+  std::mutex mu_;
+  std::vector<std::unique_ptr<TxnNode>> children_;
+  bool aborted_ = false;
+  cc::AbortReason abort_reason_ = cc::AbortReason::kNone;
+};
+
+}  // namespace objectbase::rt
+
+#endif  // OBJECTBASE_RUNTIME_TXN_H_

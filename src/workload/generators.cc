@@ -1,0 +1,325 @@
+#include "src/workload/generators.h"
+
+#include <atomic>
+#include <memory>
+
+#include "src/adt/bank_account_adt.h"
+#include "src/adt/btree_dictionary_adt.h"
+#include "src/adt/counter_adt.h"
+#include "src/adt/queue_adt.h"
+#include "src/adt/register_adt.h"
+
+namespace objectbase::workload {
+namespace {
+
+std::string AccountName(int i) { return "acct:" + std::to_string(i); }
+std::string BranchName(int i) { return "branch:" + std::to_string(i); }
+std::string QueueName(int i) { return "queue:" + std::to_string(i); }
+std::string ObjName(const char* prefix, int i) {
+  return std::string(prefix) + ":" + std::to_string(i);
+}
+
+}  // namespace
+
+// --- Banking ---------------------------------------------------------------
+
+void SetupBanking(rt::ObjectBase& base, const BankingParams& p) {
+  for (int i = 0; i < p.accounts; ++i) {
+    base.CreateObject(AccountName(i), adt::MakeBankAccountSpec(p.initial));
+  }
+  for (int i = 0; i < p.branches; ++i) {
+    base.CreateObject(BranchName(i), adt::MakeCounterSpec(0));
+  }
+}
+
+WorkloadSpec MakeBankingSpec(const BankingParams& p) {
+  WorkloadSpec spec;
+  spec.name = "banking";
+  auto zipf = std::make_shared<ZipfGenerator>(p.accounts, p.theta);
+  const BankingParams params = p;
+
+  TxnTemplate transfer;
+  transfer.name = "transfer";
+  transfer.weight = 1.0 - p.audit_weight;
+  transfer.make = [params, zipf](Rng& rng) -> rt::MethodFn {
+    int from = static_cast<int>(zipf->Next(rng));
+    int to = static_cast<int>(zipf->Next(rng));
+    if (to == from) to = (to + 1) % static_cast<int>(zipf->n());
+    int64_t amount = rng.Range(1, 20);
+    int branch_from = from % params.branches;
+    int branch_to = to % params.branches;
+    return [params, from, to, amount, branch_from,
+            branch_to](rt::MethodCtx& txn) -> Value {
+      Value ok = txn.Invoke(AccountName(from), "withdraw", {amount});
+      SpinWork(params.spin_per_op);
+      if (!ok.AsBool()) return Value(false);  // insufficient funds: no-op txn
+      if (params.parallel_transfer) {
+        txn.InvokeParallel({
+            {AccountName(to), "deposit", {amount}},
+            {BranchName(branch_from), "add", {-amount}},
+            {BranchName(branch_to), "add", {amount}},
+        });
+      } else {
+        txn.Invoke(AccountName(to), "deposit", {amount});
+        SpinWork(params.spin_per_op);
+        txn.Invoke(BranchName(branch_from), "add", {-amount});
+        txn.Invoke(BranchName(branch_to), "add", {amount});
+        SpinWork(params.spin_per_op);
+      }
+      return Value(true);
+    };
+  };
+  spec.mix.push_back(std::move(transfer));
+
+  if (p.audit_weight > 0) {
+    TxnTemplate audit;
+    audit.name = "audit";
+    audit.weight = p.audit_weight;
+    audit.make = [params, zipf](Rng& rng) -> rt::MethodFn {
+      std::vector<int> targets;
+      for (int i = 0; i < params.audit_scan; ++i) {
+        targets.push_back(static_cast<int>(zipf->Next(rng)));
+      }
+      return [params, targets](rt::MethodCtx& txn) -> Value {
+        int64_t sum = 0;
+        for (int t : targets) {
+          sum += txn.Invoke(AccountName(t), "balance").AsInt();
+          SpinWork(params.spin_per_op);
+        }
+        return Value(sum);
+      };
+    };
+    spec.mix.push_back(std::move(audit));
+  }
+  return spec;
+}
+
+// --- Queue pipeline ----------------------------------------------------------
+
+void SetupQueues(rt::ObjectBase& base, const QueueParams& p) {
+  for (int i = 0; i < p.queues; ++i) {
+    base.CreateObject(QueueName(i), adt::MakeQueueSpec());
+  }
+}
+
+WorkloadSpec MakeQueueSpec(const QueueParams& p) {
+  WorkloadSpec spec;
+  spec.name = "queue-pipeline";
+  const QueueParams params = p;
+  // A global tag source keeps enqueued values distinct, which is what lets
+  // step-granularity conflict tests tell items apart.
+  auto tag = std::make_shared<std::atomic<int64_t>>(1'000'000);
+
+  TxnTemplate producer;
+  producer.name = "produce";
+  producer.weight = p.producer_weight;
+  producer.make = [params, tag](Rng& rng) -> rt::MethodFn {
+    int q = static_cast<int>(rng.Uniform(params.queues));
+    int64_t base_tag = tag->fetch_add(params.batch);
+    return [params, q, base_tag](rt::MethodCtx& txn) -> Value {
+      for (int i = 0; i < params.batch; ++i) {
+        txn.Invoke(QueueName(q), "enqueue", {base_tag + i});
+        SpinWork(params.spin_per_op);
+      }
+      return Value(static_cast<int64_t>(params.batch));
+    };
+  };
+  spec.mix.push_back(std::move(producer));
+
+  TxnTemplate consumer;
+  consumer.name = "consume";
+  consumer.weight = p.consumer_weight;
+  consumer.make = [params](Rng& rng) -> rt::MethodFn {
+    int q = static_cast<int>(rng.Uniform(params.queues));
+    return [params, q](rt::MethodCtx& txn) -> Value {
+      int64_t got = 0;
+      for (int i = 0; i < params.batch; ++i) {
+        Value v = txn.Invoke(QueueName(q), "dequeue");
+        SpinWork(params.spin_per_op);
+        if (!v.is_none()) ++got;
+      }
+      return Value(got);
+    };
+  };
+  spec.mix.push_back(std::move(consumer));
+  return spec;
+}
+
+// --- Semantic ADTs -------------------------------------------------------------
+
+void SetupSemantic(rt::ObjectBase& base, const SemanticParams& p) {
+  for (int i = 0; i < p.objects; ++i) {
+    if (p.use_counters) {
+      base.CreateObject(ObjName("ctr", i), adt::MakeCounterSpec(0));
+    } else {
+      base.CreateObject(ObjName("ctr", i), adt::MakeRegisterSpec(0));
+    }
+  }
+}
+
+WorkloadSpec MakeSemanticSpec(const SemanticParams& p) {
+  WorkloadSpec spec;
+  spec.name = p.use_counters ? "semantic-counters" : "rw-registers";
+  const SemanticParams params = p;
+
+  TxnTemplate update;
+  update.name = "bump";
+  update.weight = 1.0 - p.read_fraction;
+  update.make = [params](Rng& rng) -> rt::MethodFn {
+    std::vector<std::pair<int, int64_t>> ops;
+    for (int i = 0; i < params.ops_per_txn; ++i) {
+      ops.emplace_back(static_cast<int>(rng.Uniform(params.objects)),
+                       rng.Range(1, 5));
+    }
+    return [params, ops](rt::MethodCtx& txn) -> Value {
+      for (const auto& [obj, d] : ops) {
+        if (params.use_counters) {
+          // Semantic: a single commuting add.
+          txn.Invoke(ObjName("ctr", obj), "add", {d});
+        } else {
+          // Classical: read-modify-write, the only way to bump a value
+          // with read/write operations — and it conflicts with every
+          // concurrent bump.
+          int64_t v = txn.Invoke(ObjName("ctr", obj), "read").AsInt();
+          txn.Invoke(ObjName("ctr", obj), "write", {v + d});
+        }
+        SpinWork(params.spin_per_op);
+      }
+      return Value();
+    };
+  };
+  spec.mix.push_back(std::move(update));
+
+  if (p.read_fraction > 0) {
+    TxnTemplate read;
+    read.name = "read";
+    read.weight = p.read_fraction;
+    read.make = [params](Rng& rng) -> rt::MethodFn {
+      int obj = static_cast<int>(rng.Uniform(params.objects));
+      return [params, obj](rt::MethodCtx& txn) -> Value {
+        return txn.Invoke(ObjName("ctr", obj),
+                          params.use_counters ? "get" : "read");
+      };
+    };
+    spec.mix.push_back(std::move(read));
+  }
+  return spec;
+}
+
+// --- Nested fan-out -------------------------------------------------------------
+
+void SetupFanout(rt::ObjectBase& base, const FanoutParams& p,
+                 int max_threads) {
+  int shards = p.shards_per_thread * max_threads;
+  for (int i = 0; i < shards * p.fanout; ++i) {
+    base.CreateObject(ObjName("shard", i), adt::MakeCounterSpec(0));
+  }
+}
+
+WorkloadSpec MakeFanoutSpec(const FanoutParams& p) {
+  WorkloadSpec spec;
+  spec.name = "nested-fanout";
+  const FanoutParams params = p;
+
+  // Register a "heavy" method on every shard: work_per_child local adds
+  // interleaved with spin (a long-running method body, Section 1(b)).
+  spec.prepare = [params](rt::Executor& exec) {
+    int shards = params.shards_per_thread * 64;  // covers any thread count
+    for (int i = 0; i < shards; ++i) {
+      std::string name = ObjName("shard", i);
+      if (exec.base().Find(name) == nullptr) break;
+      exec.DefineMethod(name, "heavy", [params](rt::MethodCtx& m) -> Value {
+        for (int w = 0; w < params.work_per_child; ++w) {
+          m.Local("add", {int64_t{1}});
+          SpinWork(params.spin_per_op);
+        }
+        return Value();
+      });
+    }
+  };
+
+  TxnTemplate txn;
+  txn.name = "fanout";
+  txn.weight = 1.0;
+  txn.make = [params](Rng& rng) -> rt::MethodFn {
+    // Each branch works on its own shard: no contention, pure parallelism.
+    int64_t shard_base = static_cast<int64_t>(
+        rng.Uniform(params.shards_per_thread)) * params.fanout;
+    return [params, shard_base](rt::MethodCtx& t) -> Value {
+      // One parallel batch of `fanout` long-running child methods
+      // (Section 1(c): a method sends several messages simultaneously).
+      std::vector<rt::MethodCtx::Call> calls;
+      for (int b = 0; b < params.fanout; ++b) {
+        calls.push_back({ObjName("shard", static_cast<int>(shard_base) + b),
+                         "heavy",
+                         {}});
+      }
+      t.InvokeParallel(std::move(calls));
+      return Value();
+    };
+  };
+  spec.mix.push_back(std::move(txn));
+  return spec;
+}
+
+// --- Dictionary mix ---------------------------------------------------------------
+
+void SetupDictionary(rt::ObjectBase& base, const DictionaryParams& p) {
+  for (int i = 0; i < p.dicts; ++i) {
+    base.CreateObject(ObjName("dict", i), adt::MakeBTreeDictionarySpec());
+  }
+  base.CreateObject("dict-total", adt::MakeCounterSpec(0));
+}
+
+WorkloadSpec MakeDictionarySpec(const DictionaryParams& p) {
+  WorkloadSpec spec;
+  spec.name = "dictionary-mix";
+  const DictionaryParams params = p;
+  auto zipf = std::make_shared<ZipfGenerator>(p.keyspace, p.theta);
+  double total =
+      params.get_weight + params.put_weight + params.del_weight;
+
+  TxnTemplate mixed;
+  mixed.name = "dict-ops";
+  mixed.weight = 1.0;
+  mixed.make = [params, zipf, total](Rng& rng) -> rt::MethodFn {
+    struct Op {
+      int dict;
+      int kind;  // 0 get, 1 put, 2 del
+      int64_t key;
+      int64_t val;
+    };
+    std::vector<Op> ops;
+    for (int i = 0; i < params.ops_per_txn; ++i) {
+      double x = rng.NextDouble() * total;
+      int kind = x < params.get_weight
+                     ? 0
+                     : (x < params.get_weight + params.put_weight ? 1 : 2);
+      ops.push_back(Op{static_cast<int>(rng.Uniform(params.dicts)), kind,
+                       static_cast<int64_t>(zipf->Next(rng)),
+                       rng.Range(1, 1'000'000)});
+    }
+    return [params, ops](rt::MethodCtx& txn) -> Value {
+      int64_t delta = 0;
+      for (const Op& op : ops) {
+        SpinWork(params.spin_per_op);
+        std::string dict = ObjName("dict", op.dict);
+        if (op.kind == 0) {
+          txn.Invoke(dict, "get", {op.key});
+        } else if (op.kind == 1) {
+          Value old = txn.Invoke(dict, "put", {op.key, op.val});
+          if (old.is_none()) ++delta;
+        } else {
+          Value was = txn.Invoke(dict, "del", {op.key});
+          if (was.AsBool()) --delta;
+        }
+      }
+      if (delta != 0) txn.Invoke("dict-total", "add", {delta});
+      return Value();
+    };
+  };
+  spec.mix.push_back(std::move(mixed));
+  return spec;
+}
+
+}  // namespace objectbase::workload

@@ -1,0 +1,53 @@
+#include "src/workload/runner.h"
+
+#include <mutex>
+#include <thread>
+
+namespace objectbase::workload {
+
+RunMetrics RunWorkload(rt::Executor& exec, const WorkloadSpec& spec) {
+  if (spec.prepare) spec.prepare(exec);
+  exec.ResetStats();
+  RunMetrics metrics;
+  std::mutex agg_mu;
+  std::vector<double> weights;
+  weights.reserve(spec.mix.size());
+  for (const TxnTemplate& t : spec.mix) weights.push_back(t.weight);
+
+  Stopwatch clock;
+  std::vector<std::thread> threads;
+  threads.reserve(spec.threads);
+  for (int t = 0; t < spec.threads; ++t) {
+    threads.emplace_back([&, t]() {
+      Rng rng(spec.seed * 1315423911u + t * 2654435761u + 1);
+      Histogram local_latency;
+      uint64_t local_gave_up = 0;
+      std::vector<double> w = weights;
+      for (uint64_t i = 0; i < spec.txns_per_thread; ++i) {
+        const TxnTemplate& tmpl = spec.mix[rng.WeightedIndex(w)];
+        rt::MethodFn body = tmpl.make(rng);
+        Stopwatch txn_clock;
+        rt::TxnResult r = exec.RunTransaction(tmpl.name, std::move(body));
+        local_latency.Record(txn_clock.ElapsedNanos());
+        if (!r.committed) ++local_gave_up;
+      }
+      std::lock_guard<std::mutex> g(agg_mu);
+      metrics.latency_ns.Merge(local_latency);
+      metrics.gave_up += local_gave_up;
+    });
+  }
+  for (auto& th : threads) th.join();
+  metrics.seconds = clock.ElapsedSeconds();
+
+  const rt::Executor::Stats& s = exec.stats();
+  metrics.committed = s.committed.load();
+  metrics.aborted_attempts = s.aborted.load();
+  metrics.deadlocks = s.AbortsFor(cc::AbortReason::kDeadlock);
+  metrics.ts_rejects = s.AbortsFor(cc::AbortReason::kTimestampOrder);
+  metrics.validation_fails = s.AbortsFor(cc::AbortReason::kValidation);
+  metrics.cascades = s.AbortsFor(cc::AbortReason::kCascade) +
+                     s.AbortsFor(cc::AbortReason::kDoomed);
+  return metrics;
+}
+
+}  // namespace objectbase::workload

@@ -1,0 +1,10 @@
+#include "src/workload/spec.h"
+
+namespace objectbase::workload {
+
+void SpinWork(int iters) {
+  volatile uint64_t sink = 0;
+  for (int i = 0; i < iters; ++i) sink = sink + i;
+}
+
+}  // namespace objectbase::workload

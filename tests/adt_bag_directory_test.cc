@@ -1,0 +1,144 @@
+// Behaviour + conflict-table tests for the Bag and Directory ADTs.
+#include <gtest/gtest.h>
+
+#include "src/adt/bag_adt.h"
+#include "src/adt/directory_adt.h"
+
+namespace objectbase::adt {
+namespace {
+
+Value Apply(const AdtSpec& spec, AdtState& state, const std::string& op,
+            const Args& args = {}) {
+  const OpDescriptor* d = spec.FindOp(op);
+  EXPECT_NE(d, nullptr) << op;
+  return d->apply(state, args).ret;
+}
+
+ApplyResult ApplyFull(const AdtSpec& spec, AdtState& state,
+                      const std::string& op, const Args& args = {}) {
+  return spec.FindOp(op)->apply(state, args);
+}
+
+// --- Bag --------------------------------------------------------------------
+
+TEST(BagAdtTest, MultisetSemantics) {
+  auto spec = MakeBagSpec();
+  auto s = spec->MakeInitialState();
+  Apply(*spec, *s, "add", {7});
+  Apply(*spec, *s, "add", {7});
+  Apply(*spec, *s, "add", {9});
+  EXPECT_EQ(Apply(*spec, *s, "multiplicity", {7}), Value(2));
+  EXPECT_EQ(Apply(*spec, *s, "total"), Value(3));
+  EXPECT_EQ(Apply(*spec, *s, "remove", {7}), Value(true));
+  EXPECT_EQ(Apply(*spec, *s, "multiplicity", {7}), Value(1));
+  EXPECT_EQ(Apply(*spec, *s, "remove", {7}), Value(true));
+  EXPECT_EQ(Apply(*spec, *s, "remove", {7}), Value(false));
+  EXPECT_EQ(Apply(*spec, *s, "total"), Value(1));
+}
+
+TEST(BagAdtTest, UndoRestoresMultiplicity) {
+  auto spec = MakeBagSpec();
+  auto s = spec->MakeInitialState();
+  Apply(*spec, *s, "add", {1});
+  ApplyResult add2 = ApplyFull(*spec, *s, "add", {1});
+  ApplyResult rem = ApplyFull(*spec, *s, "remove", {1});
+  rem.undo(*s);
+  add2.undo(*s);
+  EXPECT_EQ(Apply(*spec, *s, "multiplicity", {1}), Value(1));
+}
+
+TEST(BagAdtTest, AddsCommuteEvenOnSameKey) {
+  auto spec = MakeBagSpec();
+  EXPECT_FALSE(spec->OpConflicts("add", "add"));
+  Args k{Value(5)};
+  Value none = Value::None();
+  EXPECT_FALSE(spec->StepConflicts({"add", &k, &none}, {"add", &k, &none}));
+}
+
+TEST(BagAdtTest, SuccessfulRemovesCommute) {
+  auto spec = MakeBagSpec();
+  Args k{Value(5)};
+  Value t(true), f(false);
+  EXPECT_FALSE(spec->StepConflicts({"remove", &k, &t}, {"remove", &k, &t}));
+  EXPECT_FALSE(spec->StepConflicts({"remove", &k, &f}, {"remove", &k, &f}));
+  EXPECT_TRUE(spec->StepConflicts({"remove", &k, &t}, {"remove", &k, &f}));
+}
+
+TEST(BagAdtTest, AddThenSuccessfulRemoveConflicts) {
+  auto spec = MakeBagSpec();
+  Args k{Value(5)};
+  Value none = Value::None(), t(true), f(false);
+  // add;remove-true: the removal may have consumed the added instance.
+  EXPECT_TRUE(spec->StepConflicts({"add", &k, &none}, {"remove", &k, &t}));
+  // remove-true;add commutes (the add only raises the count afterwards).
+  EXPECT_FALSE(spec->StepConflicts({"remove", &k, &t}, {"add", &k, &none}));
+  // remove-false;add conflicts (the add could have rescued it).
+  EXPECT_TRUE(spec->StepConflicts({"remove", &k, &f}, {"add", &k, &none}));
+  // Different keys always commute.
+  Args k2{Value(6)};
+  EXPECT_FALSE(spec->StepConflicts({"add", &k, &none}, {"remove", &k2, &t}));
+}
+
+// --- Directory ----------------------------------------------------------------
+
+TEST(DirectoryAdtTest, BindRebindUnbindLookup) {
+  auto spec = MakeDirectorySpec();
+  auto s = spec->MakeInitialState();
+  EXPECT_EQ(Apply(*spec, *s, "bind", {"db", "host-1"}), Value(true));
+  EXPECT_EQ(Apply(*spec, *s, "bind", {"db", "host-2"}), Value(false));
+  EXPECT_EQ(Apply(*spec, *s, "lookup", {"db"}), Value("host-1"));
+  EXPECT_EQ(Apply(*spec, *s, "rebind", {"db", "host-2"}), Value("host-1"));
+  EXPECT_EQ(Apply(*spec, *s, "lookup", {"db"}), Value("host-2"));
+  EXPECT_EQ(Apply(*spec, *s, "entries"), Value(1));
+  EXPECT_EQ(Apply(*spec, *s, "unbind", {"db"}), Value("host-2"));
+  EXPECT_EQ(Apply(*spec, *s, "unbind", {"db"}), Value::None());
+  EXPECT_EQ(Apply(*spec, *s, "lookup", {"db"}), Value::None());
+}
+
+TEST(DirectoryAdtTest, UndoRestoresBindings) {
+  auto spec = MakeDirectorySpec();
+  auto s = spec->MakeInitialState();
+  Apply(*spec, *s, "bind", {"a", "1"});
+  ApplyResult re = ApplyFull(*spec, *s, "rebind", {"a", "2"});
+  ApplyResult un = ApplyFull(*spec, *s, "unbind", {"a"});
+  un.undo(*s);
+  EXPECT_EQ(Apply(*spec, *s, "lookup", {"a"}), Value("2"));
+  re.undo(*s);
+  EXPECT_EQ(Apply(*spec, *s, "lookup", {"a"}), Value("1"));
+}
+
+TEST(DirectoryAdtTest, NameAwareStepConflicts) {
+  auto spec = MakeDirectorySpec();
+  Args a{Value("a"), Value("x")}, b{Value("b"), Value("y")};
+  Args la{Value("a")};
+  Value t(true), f(false), none = Value::None();
+  // Different names commute even for mutations.
+  EXPECT_FALSE(spec->StepConflicts({"bind", &a, &t}, {"bind", &b, &t}));
+  // Same name: a successful bind conflicts with a lookup.
+  EXPECT_TRUE(spec->StepConflicts({"bind", &a, &t}, {"lookup", &la, &none}));
+  // A failed bind behaves like a read: two failed binds commute.
+  EXPECT_FALSE(spec->StepConflicts({"bind", &a, &f}, {"bind", &a, &f}));
+  // rebind always mutates.
+  EXPECT_TRUE(spec->StepConflicts({"rebind", &a, &none}, {"lookup", &la, &none}));
+  // entries() observes every successful mutation.
+  Args no_args{};
+  Value one(int64_t{1});
+  EXPECT_TRUE(
+      spec->StepConflicts({"bind", &a, &t}, {"entries", &no_args, &one}));
+  EXPECT_FALSE(
+      spec->StepConflicts({"bind", &a, &f}, {"entries", &no_args, &one}));
+}
+
+TEST(DirectoryAdtTest, CloneAndEquals) {
+  auto spec = MakeDirectorySpec();
+  auto s = spec->MakeInitialState();
+  Apply(*spec, *s, "bind", {"k1", "v1"});
+  Apply(*spec, *s, "bind", {"k2", "v2"});
+  auto copy = s->Clone();
+  EXPECT_TRUE(s->Equals(*copy));
+  Apply(*spec, *copy, "unbind", {"k1"});
+  EXPECT_FALSE(s->Equals(*copy));
+}
+
+}  // namespace
+}  // namespace objectbase::adt

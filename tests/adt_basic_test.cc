@@ -1,0 +1,258 @@
+// Behavioural tests for every ADT: operations, return values, undo closures,
+// state equality and the conservative operation-granularity tables.
+#include <gtest/gtest.h>
+
+#include "src/adt/bank_account_adt.h"
+#include "src/adt/btree_dictionary_adt.h"
+#include "src/adt/counter_adt.h"
+#include "src/adt/queue_adt.h"
+#include "src/adt/register_adt.h"
+#include "src/adt/set_adt.h"
+
+namespace objectbase::adt {
+namespace {
+
+Value Apply(const AdtSpec& spec, AdtState& state, const std::string& op,
+            const Args& args = {}) {
+  const OpDescriptor* d = spec.FindOp(op);
+  EXPECT_NE(d, nullptr) << op;
+  return d->apply(state, args).ret;
+}
+
+// Applies and returns the full result (for undo tests).
+ApplyResult ApplyFull(const AdtSpec& spec, AdtState& state,
+                      const std::string& op, const Args& args = {}) {
+  return spec.FindOp(op)->apply(state, args);
+}
+
+TEST(RegisterAdtTest, ReadWriteIncrement) {
+  auto spec = MakeRegisterSpec(10);
+  auto s = spec->MakeInitialState();
+  EXPECT_EQ(Apply(*spec, *s, "read"), Value(10));
+  Apply(*spec, *s, "write", {77});
+  EXPECT_EQ(Apply(*spec, *s, "read"), Value(77));
+  Apply(*spec, *s, "increment", {5});
+  EXPECT_EQ(Apply(*spec, *s, "read"), Value(82));
+}
+
+TEST(RegisterAdtTest, UndoRestores) {
+  auto spec = MakeRegisterSpec(10);
+  auto s = spec->MakeInitialState();
+  ApplyResult w = ApplyFull(*spec, *s, "write", {99});
+  ApplyResult i = ApplyFull(*spec, *s, "increment", {5});
+  i.undo(*s);
+  w.undo(*s);
+  EXPECT_EQ(Apply(*spec, *s, "read"), Value(10));
+}
+
+TEST(RegisterAdtTest, OpConflictTable) {
+  auto spec = MakeRegisterSpec();
+  EXPECT_FALSE(spec->OpConflicts("read", "read"));
+  EXPECT_TRUE(spec->OpConflicts("read", "write"));
+  EXPECT_TRUE(spec->OpConflicts("write", "write"));
+  EXPECT_TRUE(spec->OpConflicts("increment", "read"));
+  EXPECT_FALSE(spec->OpConflicts("increment", "increment"));
+}
+
+TEST(CounterAdtTest, AddAndGet) {
+  auto spec = MakeCounterSpec(5);
+  auto s = spec->MakeInitialState();
+  Apply(*spec, *s, "add", {3});
+  Apply(*spec, *s, "add", {-10});
+  EXPECT_EQ(Apply(*spec, *s, "get"), Value(-2));
+}
+
+TEST(CounterAdtTest, AddsCommuteGetConflicts) {
+  auto spec = MakeCounterSpec();
+  EXPECT_FALSE(spec->OpConflicts("add", "add"));
+  EXPECT_TRUE(spec->OpConflicts("add", "get"));
+  EXPECT_FALSE(spec->OpConflicts("get", "get"));
+}
+
+TEST(SetAdtTest, InsertEraseContainsSize) {
+  auto spec = MakeSetSpec();
+  auto s = spec->MakeInitialState();
+  EXPECT_EQ(Apply(*spec, *s, "insert", {7}), Value(true));
+  EXPECT_EQ(Apply(*spec, *s, "insert", {7}), Value(false));
+  EXPECT_EQ(Apply(*spec, *s, "contains", {7}), Value(true));
+  EXPECT_EQ(Apply(*spec, *s, "size"), Value(1));
+  EXPECT_EQ(Apply(*spec, *s, "erase", {7}), Value(true));
+  EXPECT_EQ(Apply(*spec, *s, "erase", {7}), Value(false));
+  EXPECT_EQ(Apply(*spec, *s, "size"), Value(0));
+}
+
+TEST(SetAdtTest, UndoOnlyWhenMutated) {
+  auto spec = MakeSetSpec();
+  auto s = spec->MakeInitialState();
+  ApplyResult first = ApplyFull(*spec, *s, "insert", {3});
+  EXPECT_TRUE(static_cast<bool>(first.undo));
+  ApplyResult second = ApplyFull(*spec, *s, "insert", {3});
+  EXPECT_FALSE(static_cast<bool>(second.undo));  // no change, no undo
+  first.undo(*s);
+  EXPECT_EQ(Apply(*spec, *s, "contains", {3}), Value(false));
+}
+
+TEST(SetAdtTest, StepConflictsKeyAware) {
+  auto spec = MakeSetSpec();
+  Args k1{Value(1)}, k2{Value(2)};
+  Value t(true), f(false);
+  // Different keys commute even for successful mutations.
+  EXPECT_FALSE(spec->StepConflicts({"insert", &k1, &t}, {"insert", &k2, &t}));
+  // Same key with a successful mutation conflicts.
+  EXPECT_TRUE(spec->StepConflicts({"insert", &k1, &t}, {"contains", &k1, &t}));
+  // Two failed mutations on the same key commute (no state change).
+  EXPECT_FALSE(spec->StepConflicts({"insert", &k1, &f}, {"insert", &k1, &f}));
+  // size observes successful mutations only.
+  Args none{};
+  Value five(int64_t{5});
+  EXPECT_TRUE(spec->StepConflicts({"insert", &k1, &t}, {"size", &none, &five}));
+  EXPECT_FALSE(
+      spec->StepConflicts({"insert", &k1, &f}, {"size", &none, &five}));
+}
+
+TEST(QueueAdtTest, FifoSemantics) {
+  auto spec = MakeQueueSpec();
+  auto s = spec->MakeInitialState();
+  EXPECT_EQ(Apply(*spec, *s, "dequeue"), Value::None());
+  Apply(*spec, *s, "enqueue", {1});
+  Apply(*spec, *s, "enqueue", {2});
+  EXPECT_EQ(Apply(*spec, *s, "peek"), Value(1));
+  EXPECT_EQ(Apply(*spec, *s, "length"), Value(2));
+  EXPECT_EQ(Apply(*spec, *s, "dequeue"), Value(1));
+  EXPECT_EQ(Apply(*spec, *s, "dequeue"), Value(2));
+  EXPECT_EQ(Apply(*spec, *s, "length"), Value(0));
+}
+
+TEST(QueueAdtTest, UndoRestoresOrder) {
+  auto spec = MakeQueueSpec();
+  auto s = spec->MakeInitialState();
+  Apply(*spec, *s, "enqueue", {1});
+  Apply(*spec, *s, "enqueue", {2});
+  ApplyResult d = ApplyFull(*spec, *s, "dequeue");
+  EXPECT_EQ(d.ret, Value(1));
+  d.undo(*s);
+  EXPECT_EQ(Apply(*spec, *s, "peek"), Value(1));
+  EXPECT_EQ(Apply(*spec, *s, "length"), Value(2));
+}
+
+TEST(QueueAdtTest, PaperStepConflictRule) {
+  // Section 5.1: an Enqueue conflicts with a Dequeue only if the latter
+  // returns the item placed into the queue by the former.
+  auto spec = MakeQueueSpec();
+  Args enq7{Value(7)}, none{};
+  Value ret7(int64_t{7}), ret9(int64_t{9}), empty = Value::None();
+  Value enq_ret = Value::None();
+  EXPECT_TRUE(
+      spec->StepConflicts({"enqueue", &enq7, &enq_ret}, {"dequeue", &none, &ret7}));
+  EXPECT_FALSE(
+      spec->StepConflicts({"enqueue", &enq7, &enq_ret}, {"dequeue", &none, &ret9}));
+  // A dequeue that saw the empty queue conflicts with any enqueue.
+  EXPECT_TRUE(
+      spec->StepConflicts({"dequeue", &none, &empty}, {"enqueue", &enq7, &enq_ret}));
+  // Operation granularity is blanket-conservative.
+  EXPECT_TRUE(spec->OpConflicts("enqueue", "dequeue"));
+  EXPECT_TRUE(spec->OpConflicts("enqueue", "enqueue"));
+}
+
+TEST(BankAccountAdtTest, WithdrawRespectsBalance) {
+  auto spec = MakeBankAccountSpec(100);
+  auto s = spec->MakeInitialState();
+  EXPECT_EQ(Apply(*spec, *s, "withdraw", {60}), Value(true));
+  EXPECT_EQ(Apply(*spec, *s, "withdraw", {60}), Value(false));
+  EXPECT_EQ(Apply(*spec, *s, "balance"), Value(40));
+  Apply(*spec, *s, "deposit", {30});
+  EXPECT_EQ(Apply(*spec, *s, "withdraw", {60}), Value(true));
+  EXPECT_EQ(Apply(*spec, *s, "balance"), Value(10));
+}
+
+TEST(BankAccountAdtTest, AsymmetricStepConflicts) {
+  auto spec = MakeBankAccountSpec();
+  Args a10{Value(10)};
+  Value ok(true), fail(false), dep_ret = Value::None();
+  // withdraw-ok then deposit commutes...
+  EXPECT_FALSE(spec->StepConflicts({"withdraw", &a10, &ok},
+                                   {"deposit", &a10, &dep_ret}));
+  // ...but deposit then withdraw-ok conflicts (Definition 3 asymmetry).
+  EXPECT_TRUE(spec->StepConflicts({"deposit", &a10, &dep_ret},
+                                  {"withdraw", &a10, &ok}));
+  // Failed withdrawals are readish: commute after anything but before a
+  // deposit they conflict (the deposit could have rescued them).
+  EXPECT_TRUE(spec->StepConflicts({"withdraw", &a10, &fail},
+                                  {"deposit", &a10, &dep_ret}));
+  EXPECT_FALSE(spec->StepConflicts({"deposit", &a10, &dep_ret},
+                                   {"withdraw", &a10, &fail}));
+  // Two successful withdrawals commute.
+  EXPECT_FALSE(
+      spec->StepConflicts({"withdraw", &a10, &ok}, {"withdraw", &a10, &ok}));
+}
+
+TEST(BTreeDictionaryAdtTest, PutGetDelCount) {
+  auto spec = MakeBTreeDictionarySpec(4);
+  auto s = spec->MakeInitialState();
+  EXPECT_EQ(Apply(*spec, *s, "get", {1}), Value::None());
+  EXPECT_EQ(Apply(*spec, *s, "put", {1, 100}), Value::None());
+  EXPECT_EQ(Apply(*spec, *s, "put", {1, 200}), Value(100));
+  EXPECT_EQ(Apply(*spec, *s, "get", {1}), Value(200));
+  EXPECT_EQ(Apply(*spec, *s, "count"), Value(1));
+  EXPECT_EQ(Apply(*spec, *s, "del", {1}), Value(true));
+  EXPECT_EQ(Apply(*spec, *s, "del", {1}), Value(false));
+}
+
+TEST(BTreeDictionaryAdtTest, UndoRestoresPreviousMapping) {
+  auto spec = MakeBTreeDictionarySpec(4);
+  auto s = spec->MakeInitialState();
+  Apply(*spec, *s, "put", {5, 50});
+  ApplyResult overwrite = ApplyFull(*spec, *s, "put", {5, 99});
+  overwrite.undo(*s);
+  EXPECT_EQ(Apply(*spec, *s, "get", {5}), Value(50));
+  ApplyResult del = ApplyFull(*spec, *s, "del", {5});
+  del.undo(*s);
+  EXPECT_EQ(Apply(*spec, *s, "get", {5}), Value(50));
+}
+
+TEST(BTreeDictionaryAdtTest, CloneAndEquals) {
+  auto spec = MakeBTreeDictionarySpec(4);
+  auto s = spec->MakeInitialState();
+  for (int i = 0; i < 100; ++i) Apply(*spec, *s, "put", {i, i * 10});
+  auto copy = s->Clone();
+  EXPECT_TRUE(s->Equals(*copy));
+  Apply(*spec, *copy, "del", {50});
+  EXPECT_FALSE(s->Equals(*copy));
+}
+
+TEST(AllAdtsTest, CloneEqualsInitial) {
+  std::vector<std::shared_ptr<const AdtSpec>> specs = {
+      MakeRegisterSpec(3),     MakeCounterSpec(4),   MakeSetSpec(),
+      MakeQueueSpec(),         MakeBankAccountSpec(5),
+      MakeBTreeDictionarySpec()};
+  for (const auto& spec : specs) {
+    auto a = spec->MakeInitialState();
+    auto b = a->Clone();
+    EXPECT_TRUE(a->Equals(*b)) << spec->type_name();
+    EXPECT_TRUE(b->Equals(*a)) << spec->type_name();
+  }
+}
+
+TEST(AllAdtsTest, OpNamesResolve) {
+  std::vector<std::shared_ptr<const AdtSpec>> specs = {
+      MakeRegisterSpec(),      MakeCounterSpec(), MakeSetSpec(),
+      MakeQueueSpec(),         MakeBankAccountSpec(),
+      MakeBTreeDictionarySpec()};
+  for (const auto& spec : specs) {
+    EXPECT_FALSE(spec->OpNames().empty());
+    for (std::string_view name : spec->OpNames()) {
+      EXPECT_NE(spec->FindOp(name), nullptr) << spec->type_name() << "::"
+                                             << name;
+    }
+    EXPECT_EQ(spec->FindOp("no-such-op"), nullptr);
+  }
+}
+
+TEST(AllAdtsTest, OnlyBTreeSupportsConcurrentApply) {
+  EXPECT_FALSE(MakeRegisterSpec()->supports_concurrent_apply());
+  EXPECT_FALSE(MakeQueueSpec()->supports_concurrent_apply());
+  EXPECT_TRUE(MakeBTreeDictionarySpec()->supports_concurrent_apply());
+}
+
+}  // namespace
+}  // namespace objectbase::adt

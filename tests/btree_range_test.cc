@@ -1,0 +1,130 @@
+// B-tree range scans and the dictionary's range_count conflicts (phantom
+// protection at step granularity).
+#include <gtest/gtest.h>
+
+#include <map>
+#include <thread>
+
+#include "src/adt/btree.h"
+#include "src/adt/btree_dictionary_adt.h"
+#include "src/common/rng.h"
+
+namespace objectbase::adt {
+namespace {
+
+TEST(BTreeRangeTest, EmptyAndDegenerate) {
+  BTree tree(4);
+  EXPECT_EQ(tree.RangeCount(0, 100), 0);
+  tree.Insert(5, 50);
+  EXPECT_EQ(tree.RangeCount(5, 5), 0);   // empty interval
+  EXPECT_EQ(tree.RangeCount(6, 5), 0);   // inverted interval
+  EXPECT_EQ(tree.RangeCount(5, 6), 1);   // [5,6) hits 5
+  EXPECT_EQ(tree.RangeCount(0, 5), 0);   // exclusive upper bound
+}
+
+TEST(BTreeRangeTest, MatchesReferenceOverRandomData) {
+  BTree tree(5);
+  std::map<int64_t, int64_t> reference;
+  Rng rng(77);
+  for (int i = 0; i < 3000; ++i) {
+    int64_t k = rng.Range(0, 999);
+    if (rng.Bernoulli(0.7)) {
+      tree.Insert(k, k * 2);
+      reference[k] = k * 2;
+    } else {
+      tree.Erase(k);
+      reference.erase(k);
+    }
+  }
+  for (int trial = 0; trial < 200; ++trial) {
+    int64_t lo = rng.Range(-50, 1050);
+    int64_t hi = rng.Range(-50, 1050);
+    int64_t expected_count =
+        lo >= hi ? 0
+                 : std::distance(reference.lower_bound(lo),
+                                 reference.lower_bound(hi));
+    ASSERT_EQ(tree.RangeCount(lo, hi), expected_count) << lo << ".." << hi;
+    auto items = tree.Range(lo, hi);
+    ASSERT_EQ(static_cast<int64_t>(items.size()), expected_count);
+    // In order and in range, with correct values.
+    for (size_t i = 0; i < items.size(); ++i) {
+      EXPECT_GE(items[i].first, lo);
+      EXPECT_LT(items[i].first, hi);
+      EXPECT_EQ(items[i].second, reference.at(items[i].first));
+      if (i > 0) EXPECT_LT(items[i - 1].first, items[i].first);
+    }
+  }
+}
+
+TEST(BTreeRangeTest, ConcurrentScansDuringWrites) {
+  BTree tree(8);
+  // Even keys are stable; odd keys churn.
+  for (int64_t k = 0; k < 2000; k += 2) tree.Insert(k, k);
+  std::atomic<bool> stop{false};
+  std::thread writer([&]() {
+    Rng rng(5);
+    while (!stop.load()) {
+      int64_t k = rng.Range(0, 999) * 2 + 1;
+      if (rng.Bernoulli(0.5)) {
+        tree.Insert(k, k);
+      } else {
+        tree.Erase(k);
+      }
+    }
+  });
+  for (int i = 0; i < 200; ++i) {
+    // Scanning only even keys would require predicate scans; instead check
+    // the scan result is a superset of the stable even keys in range.
+    auto items = tree.Range(100, 300);
+    int evens = 0;
+    for (auto& [k, v] : items) {
+      if (k % 2 == 0) {
+        ++evens;
+        EXPECT_EQ(v, k);
+      }
+    }
+    EXPECT_EQ(evens, 100);  // all stable keys in [100,300) present
+  }
+  stop.store(true);
+  writer.join();
+  EXPECT_EQ(tree.CheckInvariants(), "");
+}
+
+TEST(DictionaryRangeTest, RangeCountOperation) {
+  auto spec = MakeBTreeDictionarySpec(4);
+  auto s = spec->MakeInitialState();
+  for (int64_t k = 0; k < 50; ++k) {
+    spec->FindOp("put")->apply(*s, {k, k});
+  }
+  Value n = spec->FindOp("range_count")->apply(*s, {10, 20}).ret;
+  EXPECT_EQ(n, Value(10));
+}
+
+TEST(DictionaryRangeTest, PhantomAwareConflicts) {
+  auto spec = MakeBTreeDictionarySpec();
+  Args scan_args{Value(10), Value(20)};
+  Value ten(int64_t{10});
+  adt::StepView scan{"range_count", &scan_args, &ten};
+  // A put INSIDE the scanned range conflicts (it would change the count —
+  // the phantom the scan must be protected from).
+  Args put_in{Value(15), Value(1)};
+  Value none = Value::None();
+  EXPECT_TRUE(spec->StepConflicts(scan, {"put", &put_in, &none}));
+  EXPECT_TRUE(spec->StepConflicts({"put", &put_in, &none}, scan));
+  // A put OUTSIDE the range commutes with the scan.
+  Args put_out{Value(25), Value(1)};
+  EXPECT_FALSE(spec->StepConflicts(scan, {"put", &put_out, &none}));
+  // Boundary semantics: [lo, hi) — hi itself is outside.
+  Args put_hi{Value(20), Value(1)};
+  EXPECT_FALSE(spec->StepConflicts(scan, {"put", &put_hi, &none}));
+  Args put_lo{Value(10), Value(1)};
+  EXPECT_TRUE(spec->StepConflicts(scan, {"put", &put_lo, &none}));
+  // Two scans commute.
+  EXPECT_FALSE(spec->StepConflicts(scan, scan));
+  // Operation granularity remains blanket-conservative.
+  EXPECT_TRUE(spec->OpConflicts("range_count", "put"));
+  EXPECT_FALSE(spec->OpConflicts("range_count", "get"));
+}
+
+}  // namespace
+}  // namespace objectbase::adt

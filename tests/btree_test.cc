@@ -1,0 +1,141 @@
+// Single-threaded B-tree tests: correctness against a reference std::map,
+// structural invariants across orders, split/merge edge cases.
+#include "src/adt/btree.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "src/common/rng.h"
+
+namespace objectbase::adt {
+namespace {
+
+TEST(BTreeTest, EmptyTree) {
+  BTree tree(4);
+  EXPECT_EQ(tree.Size(), 0);
+  EXPECT_EQ(tree.Lookup(1), std::nullopt);
+  EXPECT_EQ(tree.Erase(1), std::nullopt);
+  EXPECT_EQ(tree.Height(), 1);
+  EXPECT_EQ(tree.CheckInvariants(), "");
+}
+
+TEST(BTreeTest, InsertLookupOverwrite) {
+  BTree tree(4);
+  EXPECT_EQ(tree.Insert(1, 10), std::nullopt);
+  EXPECT_EQ(tree.Insert(1, 20), std::make_optional<int64_t>(10));
+  EXPECT_EQ(tree.Lookup(1), std::make_optional<int64_t>(20));
+  EXPECT_EQ(tree.Size(), 1);
+}
+
+TEST(BTreeTest, SequentialInsertCausesSplits) {
+  BTree tree(4);
+  for (int64_t i = 0; i < 200; ++i) {
+    ASSERT_EQ(tree.Insert(i, i * 2), std::nullopt);
+    ASSERT_EQ(tree.CheckInvariants(), "") << "after insert " << i;
+  }
+  EXPECT_EQ(tree.Size(), 200);
+  EXPECT_GT(tree.Height(), 2);
+  for (int64_t i = 0; i < 200; ++i) {
+    ASSERT_EQ(tree.Lookup(i), std::make_optional<int64_t>(i * 2));
+  }
+}
+
+TEST(BTreeTest, ReverseInsert) {
+  BTree tree(4);
+  for (int64_t i = 199; i >= 0; --i) {
+    tree.Insert(i, i);
+    ASSERT_EQ(tree.CheckInvariants(), "");
+  }
+  auto items = tree.Items();
+  ASSERT_EQ(items.size(), 200u);
+  for (size_t i = 0; i < items.size(); ++i) {
+    EXPECT_EQ(items[i].first, static_cast<int64_t>(i));
+  }
+}
+
+TEST(BTreeTest, EraseDownToEmpty) {
+  BTree tree(4);
+  for (int64_t i = 0; i < 100; ++i) tree.Insert(i, i);
+  for (int64_t i = 0; i < 100; ++i) {
+    ASSERT_EQ(tree.Erase(i), std::make_optional<int64_t>(i)) << i;
+    ASSERT_EQ(tree.CheckInvariants(), "") << "after erase " << i;
+  }
+  EXPECT_EQ(tree.Size(), 0);
+  EXPECT_EQ(tree.Height(), 1);
+}
+
+TEST(BTreeTest, EraseInReverse) {
+  BTree tree(4);
+  for (int64_t i = 0; i < 100; ++i) tree.Insert(i, i);
+  for (int64_t i = 99; i >= 0; --i) {
+    ASSERT_EQ(tree.Erase(i), std::make_optional<int64_t>(i));
+    ASSERT_EQ(tree.CheckInvariants(), "") << "after erase " << i;
+  }
+  EXPECT_EQ(tree.Size(), 0);
+}
+
+TEST(BTreeTest, MinimumOrderClamped) {
+  BTree tree(1);  // clamps to 3
+  EXPECT_EQ(tree.order(), 3);
+  for (int64_t i = 0; i < 50; ++i) tree.Insert(i, i);
+  EXPECT_EQ(tree.CheckInvariants(), "");
+  EXPECT_EQ(tree.Size(), 50);
+}
+
+class BTreeRandomTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(BTreeRandomTest, MatchesReferenceMap) {
+  const int order = GetParam();
+  BTree tree(order);
+  std::map<int64_t, int64_t> reference;
+  Rng rng(0xDEAD0000 + order);
+  for (int step = 0; step < 6000; ++step) {
+    int64_t key = rng.Range(0, 500);
+    switch (rng.Uniform(3)) {
+      case 0: {  // insert
+        int64_t value = rng.Range(0, 1'000'000);
+        auto expected = reference.count(key)
+                            ? std::make_optional(reference[key])
+                            : std::nullopt;
+        EXPECT_EQ(tree.Insert(key, value), expected);
+        reference[key] = value;
+        break;
+      }
+      case 1: {  // erase
+        auto expected = reference.count(key)
+                            ? std::make_optional(reference[key])
+                            : std::nullopt;
+        EXPECT_EQ(tree.Erase(key), expected);
+        reference.erase(key);
+        break;
+      }
+      case 2: {  // lookup
+        auto expected = reference.count(key)
+                            ? std::make_optional(reference[key])
+                            : std::nullopt;
+        EXPECT_EQ(tree.Lookup(key), expected);
+        break;
+      }
+    }
+    if (step % 500 == 0) {
+      ASSERT_EQ(tree.CheckInvariants(), "") << "at step " << step;
+      ASSERT_EQ(tree.Size(), static_cast<int64_t>(reference.size()));
+    }
+  }
+  ASSERT_EQ(tree.CheckInvariants(), "");
+  auto items = tree.Items();
+  ASSERT_EQ(items.size(), reference.size());
+  size_t i = 0;
+  for (const auto& [k, v] : reference) {
+    EXPECT_EQ(items[i].first, k);
+    EXPECT_EQ(items[i].second, v);
+    ++i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Orders, BTreeRandomTest,
+                         ::testing::Values(3, 4, 5, 8, 16, 64));
+
+}  // namespace
+}  // namespace objectbase::adt

@@ -1,0 +1,155 @@
+// DependencyGraph unit tests: dooming, cascades, commit waits, cycle
+// validation and pruning.
+#include "src/cc/dependency_graph.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+namespace objectbase::cc {
+namespace {
+
+TEST(DependencyGraphTest, CommitWithNoDeps) {
+  DependencyGraph g;
+  g.Register(1, 1);
+  AbortReason reason;
+  EXPECT_TRUE(g.ValidateAndWait(1, &reason));
+  g.MarkCommitted(1);
+}
+
+TEST(DependencyGraphTest, DoomedTransactionCannotCommit) {
+  DependencyGraph g;
+  g.Register(1, 1);
+  g.Doom(1);
+  EXPECT_TRUE(g.IsDoomed(1));
+  AbortReason reason = AbortReason::kNone;
+  EXPECT_FALSE(g.ValidateAndWait(1, &reason));
+  EXPECT_EQ(reason, AbortReason::kDoomed);
+}
+
+TEST(DependencyGraphTest, AbortDoomsSuccessors) {
+  DependencyGraph g;
+  g.Register(1, 1);
+  g.Register(2, 2);
+  g.AddDependency(1, 2);  // 2 conflicted after 1
+  EXPECT_FALSE(g.IsDoomed(2));
+  g.MarkAborted(1);
+  EXPECT_TRUE(g.IsDoomed(2));
+}
+
+TEST(DependencyGraphTest, DependencyOnAlreadyAbortedDoomsImmediately) {
+  DependencyGraph g;
+  g.Register(1, 1);
+  g.Register(2, 2);
+  g.MarkAborted(1);
+  g.AddDependency(1, 2);
+  EXPECT_TRUE(g.IsDoomed(2));
+}
+
+TEST(DependencyGraphTest, CommitWaitsForPredecessor) {
+  DependencyGraph g;
+  g.Register(1, 1);
+  g.Register(2, 2);
+  g.AddDependency(1, 2);
+  std::atomic<bool> committed{false};
+  std::thread waiter([&]() {
+    AbortReason reason;
+    EXPECT_TRUE(g.ValidateAndWait(2, &reason));
+    g.MarkCommitted(2);
+    committed.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  EXPECT_FALSE(committed.load());
+  g.MarkCommitted(1);
+  waiter.join();
+  EXPECT_TRUE(committed.load());
+}
+
+TEST(DependencyGraphTest, PredecessorAbortCascadesAtCommit) {
+  DependencyGraph g;
+  g.Register(1, 1);
+  g.Register(2, 2);
+  g.AddDependency(1, 2);
+  std::atomic<bool> done{false};
+  AbortReason reason = AbortReason::kNone;
+  bool ok = true;
+  std::thread waiter([&]() {
+    ok = g.ValidateAndWait(2, &reason);
+    done.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  g.MarkAborted(1);
+  waiter.join();
+  EXPECT_FALSE(ok);
+  // Either observed as explicit cascade or via the doomed flag.
+  EXPECT_TRUE(reason == AbortReason::kCascade ||
+              reason == AbortReason::kDoomed);
+}
+
+TEST(DependencyGraphTest, CycleDetectedAtValidation) {
+  DependencyGraph g;
+  g.Register(1, 1);
+  g.Register(2, 2);
+  g.AddDependency(1, 2);
+  g.AddDependency(2, 1);  // cycle: a serialisation error
+  AbortReason reason = AbortReason::kNone;
+  EXPECT_FALSE(g.ValidateAndWait(1, &reason));
+  EXPECT_EQ(reason, AbortReason::kValidation);
+  // After aborting one participant, the other still cannot validate (it is
+  // doomed as a successor of the aborted one).
+  g.MarkAborted(1);
+  EXPECT_FALSE(g.ValidateAndWait(2, &reason));
+}
+
+TEST(DependencyGraphTest, CommittedPredecessorIsInert) {
+  DependencyGraph g;
+  g.Register(1, 1);
+  g.Register(2, 2);
+  g.AddDependency(1, 2);
+  g.MarkCommitted(1);
+  AbortReason reason;
+  EXPECT_TRUE(g.ValidateAndWait(2, &reason));
+}
+
+TEST(DependencyGraphTest, MinActiveCounterTracksWatermark) {
+  DependencyGraph g;
+  EXPECT_EQ(g.MinActiveCounter(), UINT64_MAX);
+  g.Register(10, 5);
+  g.Register(11, 9);
+  EXPECT_EQ(g.MinActiveCounter(), 5u);
+  g.MarkCommitted(10);
+  EXPECT_EQ(g.MinActiveCounter(), 9u);
+  g.MarkCommitted(11);
+  EXPECT_EQ(g.MinActiveCounter(), UINT64_MAX);
+}
+
+TEST(DependencyGraphTest, PruneDropsSettledTransactions) {
+  DependencyGraph g;
+  g.Register(1, 1);
+  g.Register(2, 2);
+  g.Register(3, 3);
+  g.AddDependency(1, 2);
+  g.MarkCommitted(1);
+  AbortReason reason;
+  ASSERT_TRUE(g.ValidateAndWait(2, &reason));
+  g.MarkCommitted(2);
+  EXPECT_EQ(g.TrackedCount(), 3u);
+  size_t dropped = g.Prune();
+  EXPECT_EQ(dropped, 2u);  // 1 and 2 settled; 3 still active
+  EXPECT_EQ(g.TrackedCount(), 1u);
+}
+
+TEST(DependencyGraphTest, PruneKeepsPredecessorsOfActive) {
+  DependencyGraph g;
+  g.Register(1, 1);
+  g.Register(2, 2);
+  g.AddDependency(1, 2);
+  g.MarkCommitted(1);
+  // 2 is still active; 1 must be kept (2's commit wait consults it).
+  EXPECT_EQ(g.Prune(), 0u);
+  EXPECT_EQ(g.TrackedCount(), 2u);
+}
+
+}  // namespace
+}  // namespace objectbase::cc

@@ -1,0 +1,104 @@
+#include <gtest/gtest.h>
+
+#include "src/model/serialisation_graph.h"
+
+namespace objectbase::model {
+namespace {
+
+TEST(DigraphTest, EmptyGraphAcyclic) {
+  Digraph g(5);
+  EXPECT_TRUE(g.IsAcyclic());
+  EXPECT_EQ(g.EdgeCount(), 0u);
+}
+
+TEST(DigraphTest, SelfEdgeIgnored) {
+  Digraph g(3);
+  g.AddEdge(1, 1);
+  EXPECT_EQ(g.EdgeCount(), 0u);
+  EXPECT_TRUE(g.IsAcyclic());
+}
+
+TEST(DigraphTest, ChainIsAcyclic) {
+  Digraph g(4);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  g.AddEdge(2, 3);
+  EXPECT_TRUE(g.IsAcyclic());
+  EXPECT_FALSE(g.FindCycle().has_value());
+}
+
+TEST(DigraphTest, TwoCycleDetected) {
+  Digraph g(3);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 0);
+  auto cycle = g.FindCycle();
+  ASSERT_TRUE(cycle.has_value());
+  EXPECT_GE(cycle->size(), 3u);  // first == last
+  EXPECT_EQ(cycle->front(), cycle->back());
+}
+
+TEST(DigraphTest, LongCycleDetected) {
+  Digraph g(6);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  g.AddEdge(2, 3);
+  g.AddEdge(3, 4);
+  g.AddEdge(4, 1);  // cycle 1-2-3-4
+  auto cycle = g.FindCycle();
+  ASSERT_TRUE(cycle.has_value());
+  // The reported cycle must actually be a cycle in the graph.
+  for (size_t i = 0; i + 1 < cycle->size(); ++i) {
+    EXPECT_TRUE(g.HasEdge((*cycle)[i], (*cycle)[i + 1]))
+        << (*cycle)[i] << "->" << (*cycle)[i + 1];
+  }
+}
+
+TEST(DigraphTest, DuplicateEdgesCollapse) {
+  Digraph g(2);
+  g.AddEdge(0, 1);
+  g.AddEdge(0, 1);
+  EXPECT_EQ(g.EdgeCount(), 1u);
+}
+
+TEST(DigraphTest, TopologicalOrderRespectsEdges) {
+  Digraph g(5);
+  g.AddEdge(3, 1);
+  g.AddEdge(1, 4);
+  g.AddEdge(3, 4);
+  g.AddEdge(0, 3);
+  std::vector<uint32_t> nodes{0, 1, 3, 4};
+  std::vector<uint32_t> order = g.TopologicalOrder(nodes);
+  ASSERT_EQ(order.size(), nodes.size());
+  auto pos = [&](uint32_t v) {
+    return std::find(order.begin(), order.end(), v) - order.begin();
+  };
+  EXPECT_LT(pos(0), pos(3));
+  EXPECT_LT(pos(3), pos(1));
+  EXPECT_LT(pos(1), pos(4));
+}
+
+TEST(DigraphTest, TopologicalOrderIgnoresOutsideEdges) {
+  Digraph g(4);
+  g.AddEdge(0, 9 % 4);  // edge 0->1
+  g.AddEdge(2, 3);
+  // Restrict to {2, 3}: edge 0->1 is outside and must not matter.
+  std::vector<uint32_t> order = g.TopologicalOrder({2, 3});
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], 2u);
+  EXPECT_EQ(order[1], 3u);
+}
+
+TEST(DigraphTest, UnionWithMergesEdges) {
+  Digraph a(3), b(3);
+  a.AddEdge(0, 1);
+  b.AddEdge(1, 2);
+  a.UnionWith(b);
+  EXPECT_TRUE(a.HasEdge(0, 1));
+  EXPECT_TRUE(a.HasEdge(1, 2));
+  b.AddEdge(2, 0);
+  a.UnionWith(b);
+  EXPECT_FALSE(a.IsAcyclic());
+}
+
+}  // namespace
+}  // namespace objectbase::model

@@ -1,0 +1,211 @@
+// Abort semantics (Section 3): no effect on state, cascade to descendents
+// (not ancestors), the alternative-path pattern, and committed-projection
+// legality after aborts.
+#include <gtest/gtest.h>
+
+#include "src/model/legality.h"
+#include "src/model/serialiser.h"
+#include "src/adt/bank_account_adt.h"
+#include "src/adt/counter_adt.h"
+#include "src/adt/register_adt.h"
+#include "src/adt/set_adt.h"
+#include "src/runtime/executor.h"
+
+namespace objectbase::rt {
+namespace {
+
+class AbortTest : public ::testing::TestWithParam<Protocol> {};
+
+TEST_P(AbortTest, AbortedTransactionLeavesNoTrace) {
+  ObjectBase base;
+  base.CreateObject("a", adt::MakeRegisterSpec(10));
+  base.CreateObject("s", adt::MakeSetSpec());
+  Executor exec(base, {.protocol = GetParam(), .max_top_retries = 1});
+  TxnResult r = exec.RunTransaction("t", [](MethodCtx& txn) -> Value {
+    txn.Invoke("a", "write", {99});
+    txn.Invoke("s", "insert", {1});
+    txn.Invoke("s", "insert", {2});
+    txn.Abort();  // user abort after mutations
+  });
+  EXPECT_FALSE(r.committed);
+  EXPECT_EQ(r.last_abort, cc::AbortReason::kUser);
+  // Section 3 (a): an aborted execution has no effect on object states.
+  TxnResult check = exec.RunTransaction("check", [](MethodCtx& txn) {
+    EXPECT_EQ(txn.Invoke("a", "read"), Value(10));
+    EXPECT_EQ(txn.Invoke("s", "contains", {1}), Value(false));
+    return txn.Invoke("s", "size");
+  });
+  ASSERT_TRUE(check.committed);
+  EXPECT_EQ(check.ret, Value(0));
+}
+
+TEST_P(AbortTest, NestedMutationsUndoneThroughDepth) {
+  ObjectBase base;
+  base.CreateObject("c", adt::MakeCounterSpec(0));
+  Executor exec(base, {.protocol = GetParam(), .max_top_retries = 1});
+  exec.DefineMethod("c", "deep_add", [](MethodCtx& m) -> Value {
+    m.Local("add", {m.args().at(0)});
+    if (m.args().at(0).AsInt() < 8) {
+      m.Invoke("c", "deep_add", {m.args().at(0).AsInt() * 2});
+    }
+    return Value();
+  });
+  TxnResult r = exec.RunTransaction("t", [](MethodCtx& txn) -> Value {
+    txn.Invoke("c", "deep_add", {1});  // adds 1+2+4+8 at depths 1..4
+    txn.Abort();
+  });
+  EXPECT_FALSE(r.committed);
+  TxnResult check = exec.RunTransaction("check", [](MethodCtx& txn) {
+    return txn.Invoke("c", "get");
+  });
+  EXPECT_EQ(check.ret, Value(0));
+}
+
+TEST_P(AbortTest, HistoryAfterAbortsStaysLegalAndSerialisable) {
+  ObjectBase base;
+  base.CreateObject("a", adt::MakeCounterSpec(0));
+  base.CreateObject("b", adt::MakeCounterSpec(0));
+  Executor exec(base, {.protocol = GetParam(), .max_top_retries = 1});
+  for (int i = 0; i < 6; ++i) {
+    exec.RunTransaction("t", [i](MethodCtx& txn) -> Value {
+      txn.Invoke("a", "add", {1});
+      txn.Invoke("b", "add", {1});
+      if (i % 2 == 0) txn.Abort();
+      return Value();
+    });
+  }
+  model::History h = exec.recorder().Snapshot();
+  model::LegalityResult legal = model::CheckLegal(h, /*committed_only=*/true);
+  EXPECT_TRUE(legal.legal) << legal.error;
+  model::SerialisabilityCheck check = model::CheckSerialisable(h);
+  EXPECT_TRUE(check.serialisable) << check.detail;
+  // Only the odd iterations committed.
+  TxnResult sum = exec.RunTransaction("check", [](MethodCtx& txn) {
+    return txn.Invoke("a", "get");
+  });
+  EXPECT_EQ(sum.ret, Value(3));
+}
+
+TEST_P(AbortTest, RetryCommitsAfterTransientAbort) {
+  ObjectBase base;
+  base.CreateObject("c", adt::MakeCounterSpec(0));
+  Executor exec(base, {.protocol = GetParam(), .max_top_retries = 5});
+  int attempts = 0;
+  TxnResult r = exec.RunTransaction("t", [&attempts](MethodCtx& txn) -> Value {
+    ++attempts;
+    txn.Invoke("c", "add", {1});
+    if (attempts < 3) txn.Abort();
+    return Value();
+  });
+  EXPECT_TRUE(r.committed);
+  EXPECT_EQ(r.attempts, 3);
+  TxnResult check = exec.RunTransaction("check", [](MethodCtx& txn) {
+    return txn.Invoke("c", "get");
+  });
+  // Aborted attempts left no residue: exactly one add survived.
+  EXPECT_EQ(check.ret, Value(1));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllProtocols, AbortTest,
+    ::testing::Values(Protocol::kN2pl, Protocol::kNto, Protocol::kCert,
+                      Protocol::kGemstone, Protocol::kMixed),
+    [](const ::testing::TestParamInfo<Protocol>& info) {
+      return ProtocolName(info.param);
+    });
+
+TEST(PartialAbortTest, N2plParentSurvivesChildAbort) {
+  // Section 3: "A method M can invoke another method M' to accomplish a
+  // certain task.  If M' fails and aborts, M is not also doomed to
+  // failure: it may still try an alternative way."
+  ObjectBase base;
+  base.CreateObject("primary", adt::MakeBankAccountSpec(5));
+  base.CreateObject("backup", adt::MakeBankAccountSpec(100));
+  Executor exec(base, {.protocol = Protocol::kN2pl});
+  exec.DefineMethod("primary", "strict_withdraw", [](MethodCtx& m) -> Value {
+    Value ok = m.Local("withdraw", m.args());
+    if (!ok.AsBool()) m.Abort();  // insufficient funds: abort this method
+    return ok;
+  });
+  exec.DefineMethod("backup", "strict_withdraw", [](MethodCtx& m) -> Value {
+    Value ok = m.Local("withdraw", m.args());
+    if (!ok.AsBool()) m.Abort();
+    return ok;
+  });
+  TxnResult r = exec.RunTransaction("pay", [](MethodCtx& txn) -> Value {
+    auto first = txn.TryInvoke("primary", "strict_withdraw", {50});
+    if (first.ok) return Value("primary");
+    // The alternative path (the child's abort did not doom us).
+    auto second = txn.TryInvoke("backup", "strict_withdraw", {50});
+    EXPECT_TRUE(second.ok);
+    return Value("backup");
+  });
+  ASSERT_TRUE(r.committed);
+  EXPECT_EQ(r.ret, Value("backup"));
+  // The failed child's (non-)effects: primary untouched, backup debited.
+  exec.RunTransaction("check", [](MethodCtx& txn) {
+    EXPECT_EQ(txn.Invoke("primary", "balance"), Value(5));
+    EXPECT_EQ(txn.Invoke("backup", "balance"), Value(50));
+    return Value();
+  });
+  // The recorded history (with the aborted child) stays legal.
+  model::History h = exec.recorder().Snapshot();
+  model::LegalityResult legal = model::CheckLegal(h, /*committed_only=*/true);
+  EXPECT_TRUE(legal.legal) << legal.error;
+}
+
+TEST(PartialAbortTest, NonStrictProtocolsEscalateChildAborts) {
+  // NTO/CERT/Gemstone/MIXED escalate a child abort to the top (see the
+  // recovery note in nto_controller.h); TryInvoke does not mask it.
+  for (Protocol p : {Protocol::kNto, Protocol::kCert, Protocol::kGemstone,
+                     Protocol::kMixed}) {
+    ObjectBase base;
+    base.CreateObject("c", adt::MakeCounterSpec(0));
+    Executor exec(base, {.protocol = p, .max_top_retries = 1});
+    exec.DefineMethod("c", "fail", [](MethodCtx& m) -> Value { m.Abort(); });
+    TxnResult r = exec.RunTransaction("t", [](MethodCtx& txn) -> Value {
+      auto out = txn.TryInvoke("c", "fail");
+      EXPECT_TRUE(false) << "TryInvoke must not return under " << int(out.ok);
+      return Value();
+    });
+    EXPECT_FALSE(r.committed) << ProtocolName(p);
+  }
+}
+
+TEST(PartialAbortTest, ParallelBranchFailureAbortsWholeBatchCaller) {
+  ObjectBase base;
+  base.CreateObject("c", adt::MakeCounterSpec(0));
+  Executor exec(base, {.protocol = Protocol::kNto, .max_top_retries = 1});
+  exec.DefineMethod("c", "fail", [](MethodCtx& m) -> Value { m.Abort(); });
+  TxnResult r = exec.RunTransaction("t", [](MethodCtx& txn) -> Value {
+    txn.InvokeParallel({{"c", "add", {1}}, {"c", "fail", {}}});
+    ADD_FAILURE() << "batch with a failed branch must abort the caller";
+    return Value();
+  });
+  EXPECT_FALSE(r.committed);
+  TxnResult check = exec.RunTransaction("check", [](MethodCtx& txn) {
+    return txn.Invoke("c", "get");
+  });
+  EXPECT_EQ(check.ret, Value(0));  // the successful branch was undone too
+}
+
+TEST(PartialAbortTest, N2plParallelBatchReportsPerBranch) {
+  ObjectBase base;
+  base.CreateObject("c", adt::MakeCounterSpec(0));
+  Executor exec(base, {.protocol = Protocol::kN2pl});
+  exec.DefineMethod("c", "fail", [](MethodCtx& m) -> Value { m.Abort(); });
+  TxnResult r = exec.RunTransaction("t", [](MethodCtx& txn) -> Value {
+    auto outcomes = txn.InvokeParallel({{"c", "add", {1}}, {"c", "fail", {}}});
+    EXPECT_TRUE(outcomes[0].ok);
+    EXPECT_FALSE(outcomes[1].ok);
+    return Value();
+  });
+  EXPECT_TRUE(r.committed);
+  TxnResult check = exec.RunTransaction("check", [](MethodCtx& txn) {
+    return txn.Invoke("c", "get");
+  });
+  EXPECT_EQ(check.ret, Value(1));  // successful branch survived
+}
+
+}  // namespace
+}  // namespace objectbase::rt

@@ -1,0 +1,231 @@
+// Exhaustive verification of Theorem 2 on small universes.
+//
+// For every interleaving of two (or three) straight-line transactions over
+// one or two objects, build the history and check BOTH directions of the
+// theory on it:
+//   * if SG(h) is acyclic, the oracle must produce an equivalent serial
+//     history (Theorem 2 — checked constructively, not just asserted);
+//   * the oracle must never claim serialisability while the serial replay
+//     diverges (its internal replay check guarantees this; here we also
+//     track that cyclic-SG cases actually occur, so the sweep is not
+//     vacuous).
+//
+// Unlike the randomized property tests, this enumerates the FULL
+// interleaving space, so every boundary case of the conflict tables and
+// graph construction in these universes is exercised.
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "src/adt/bank_account_adt.h"
+#include "src/adt/counter_adt.h"
+#include "src/adt/queue_adt.h"
+#include "src/adt/register_adt.h"
+#include "src/adt/set_adt.h"
+#include "src/model/legality.h"
+#include "src/model/serialiser.h"
+#include "tests/history_builder.h"
+
+namespace objectbase::model {
+namespace {
+
+// One transaction: a straight-line sequence of (object, op, args).
+struct TxnScript {
+  struct Op {
+    int object;
+    std::string op;
+    Args args;
+  };
+  std::vector<Op> ops;
+};
+
+struct Universe {
+  std::string name;
+  std::vector<std::shared_ptr<const adt::AdtSpec>> objects;
+  std::vector<TxnScript> txns;
+};
+
+// Builds the history for one interleaving (a sequence of txn indices, each
+// appearing exactly txns[i].ops.size() times) and returns it.
+History BuildInterleaving(const Universe& u,
+                          const std::vector<int>& schedule) {
+  HistoryBuilder b;
+  std::vector<ObjectId> objs;
+  for (size_t i = 0; i < u.objects.size(); ++i) {
+    objs.push_back(b.AddObject("o" + std::to_string(i), u.objects[i]));
+  }
+  std::vector<ExecId> tops, bodies;
+  for (size_t i = 0; i < u.txns.size(); ++i) {
+    ExecId t = b.Top("T" + std::to_string(i));
+    tops.push_back(t);
+    // One child method execution per transaction holding all local steps
+    // (the minimal nested shape).  The child needs an owning object; use
+    // the first object its script touches.
+    int first_obj = u.txns[i].ops.empty() ? 0 : u.txns[i].ops[0].object;
+    bodies.push_back(b.Child(t, objs[first_obj], "body"));
+  }
+  std::vector<size_t> position(u.txns.size(), 0);
+  for (int t : schedule) {
+    const TxnScript::Op& op = u.txns[t].ops[position[t]++];
+    b.Local(bodies[t], objs[op.object], op.op, op.args);
+  }
+  return b.Build();
+}
+
+// Enumerates all interleavings of the universe's transactions, applying fn.
+void ForAllInterleavings(const Universe& u,
+                         const std::function<void(const std::vector<int>&)>& fn) {
+  std::vector<size_t> remaining;
+  size_t total = 0;
+  for (const TxnScript& t : u.txns) {
+    remaining.push_back(t.ops.size());
+    total += t.ops.size();
+  }
+  std::vector<int> schedule;
+  std::function<void()> rec = [&]() {
+    if (schedule.size() == total) {
+      fn(schedule);
+      return;
+    }
+    for (size_t t = 0; t < remaining.size(); ++t) {
+      if (remaining[t] == 0) continue;
+      remaining[t]--;
+      schedule.push_back(static_cast<int>(t));
+      rec();
+      schedule.pop_back();
+      remaining[t]++;
+    }
+  };
+  rec();
+}
+
+// Runs the exhaustive check over a universe; returns (total, cyclic).
+std::pair<int, int> CheckUniverse(const Universe& u) {
+  int total = 0, cyclic = 0;
+  ForAllInterleavings(u, [&](const std::vector<int>& schedule) {
+    ++total;
+    History h = BuildInterleaving(u, schedule);
+    // Every built history is legal by construction (returns recorded from
+    // live replay) — validate anyway.
+    LegalityResult legal = CheckLegal(h);
+    ASSERT_TRUE(legal.legal) << u.name << ": " << legal.error;
+    Digraph sg = BuildSerialisationGraph(h);
+    SerialisabilityCheck check = CheckSerialisable(h);
+    if (sg.IsAcyclic()) {
+      // Theorem 2: acyclic SG => an equivalent serial history exists; the
+      // oracle constructs and replays it.
+      EXPECT_TRUE(check.serialisable)
+          << u.name << " schedule failed Theorem 2: " << check.detail;
+    } else {
+      ++cyclic;
+      EXPECT_FALSE(check.serialisable)
+          << u.name << ": oracle accepted a cyclic SG";
+    }
+  });
+  return {total, cyclic};
+}
+
+TEST(ExhaustiveTheorem2Test, TwoRegisterWriters) {
+  // The Section 2 shape: two txns writing A then B in opposite orders.
+  Universe u;
+  u.name = "two-register-writers";
+  u.objects = {adt::MakeRegisterSpec(0), adt::MakeRegisterSpec(0)};
+  u.txns = {
+      {{{0, "write", {1}}, {1, "write", {1}}}},
+      {{{1, "write", {2}}, {0, "write", {2}}}},
+  };
+  auto [total, cyclic] = CheckUniverse(u);
+  EXPECT_EQ(total, 6);  // C(4,2) interleavings
+  EXPECT_GT(cyclic, 0);  // the crossing interleavings are non-serialisable
+  EXPECT_LT(cyclic, total);
+}
+
+TEST(ExhaustiveTheorem2Test, ReadersAndWriters) {
+  Universe u;
+  u.name = "readers-writers";
+  u.objects = {adt::MakeRegisterSpec(0)};
+  u.txns = {
+      {{{0, "write", {1}}, {0, "read", {}}}},
+      {{{0, "read", {}}, {0, "write", {2}}}},
+  };
+  auto [total, cyclic] = CheckUniverse(u);
+  EXPECT_EQ(total, 6);
+  EXPECT_GT(cyclic, 0);
+}
+
+TEST(ExhaustiveTheorem2Test, CommutingCountersNeverCyclic) {
+  Universe u;
+  u.name = "commuting-counters";
+  u.objects = {adt::MakeCounterSpec(0)};
+  u.txns = {
+      {{{0, "add", {1}}, {0, "add", {2}}}},
+      {{{0, "add", {3}}, {0, "add", {4}}}},
+  };
+  auto [total, cyclic] = CheckUniverse(u);
+  EXPECT_EQ(total, 6);
+  EXPECT_EQ(cyclic, 0);  // adds commute: every interleaving serialisable
+}
+
+TEST(ExhaustiveTheorem2Test, BankAccountAsymmetry) {
+  // deposits and successful withdrawals: the asymmetric table means some
+  // orders create edges and others do not; every interleaving must still
+  // satisfy Theorem 2.
+  Universe u;
+  u.name = "bank-asymmetry";
+  u.objects = {adt::MakeBankAccountSpec(100)};
+  u.txns = {
+      {{{0, "withdraw", {10}}, {0, "balance", {}}}},
+      {{{0, "deposit", {5}}, {0, "withdraw", {200}}}},  // 2nd may fail
+  };
+  auto [total, cyclic] = CheckUniverse(u);
+  EXPECT_EQ(total, 6);
+  EXPECT_GT(cyclic, 0);  // balance-vs-deposit crossings
+}
+
+TEST(ExhaustiveTheorem2Test, QueueReturnValues) {
+  Universe u;
+  u.name = "queue-return-values";
+  u.objects = {adt::MakeQueueSpec()};
+  u.txns = {
+      {{{0, "enqueue", {1}}, {0, "dequeue", {}}}},
+      {{{0, "enqueue", {2}}, {0, "dequeue", {}}}},
+  };
+  auto [total, cyclic] = CheckUniverse(u);
+  EXPECT_EQ(total, 6);
+  // Some interleavings cross-deliver items (T1 dequeues T2's element and
+  // vice versa) — those are the cyclic ones.
+  EXPECT_GT(cyclic, 0);
+}
+
+TEST(ExhaustiveTheorem2Test, ThreeTransactionsOnSharedSet) {
+  Universe u;
+  u.name = "three-on-set";
+  u.objects = {adt::MakeSetSpec()};
+  u.txns = {
+      {{{0, "insert", {1}}, {0, "contains", {2}}}},
+      {{{0, "insert", {2}}, {0, "erase", {1}}}},
+      {{{0, "contains", {1}}}},
+  };
+  auto [total, cyclic] = CheckUniverse(u);
+  EXPECT_EQ(total, 30);  // 5! / (2! 2! 1!)
+  EXPECT_GT(cyclic, 0);
+  EXPECT_LT(cyclic, total);
+}
+
+TEST(ExhaustiveTheorem2Test, TwoObjectsThreeTransactions) {
+  Universe u;
+  u.name = "two-objects-three-txns";
+  u.objects = {adt::MakeRegisterSpec(0), adt::MakeCounterSpec(0)};
+  u.txns = {
+      {{{0, "write", {1}}, {1, "add", {1}}}},
+      {{{1, "get", {}}, {0, "read", {}}}},
+      {{{0, "increment", {1}}}},
+  };
+  auto [total, cyclic] = CheckUniverse(u);
+  EXPECT_EQ(total, 30);
+  EXPECT_GT(cyclic, 0);
+  EXPECT_LT(cyclic, total);
+}
+
+}  // namespace
+}  // namespace objectbase::model

@@ -1,0 +1,150 @@
+// Test helper: concise construction of model::History values.
+//
+// Builds histories the way the runtime would record them: local steps are
+// applied to live object states so that return values (and hence condition
+// 3 of Definition 6) hold by construction; LocalRaw lets a test forge a
+// return value to build deliberately-illegal histories.  Message-step
+// temporal intervals are recomputed at Build() to cover the invoked
+// execution's steps, matching the runtime's sequential nesting.
+#ifndef OBJECTBASE_TESTS_HISTORY_BUILDER_H_
+#define OBJECTBASE_TESTS_HISTORY_BUILDER_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/model/history.h"
+
+namespace objectbase::model {
+
+class HistoryBuilder {
+ public:
+  ObjectId AddObject(std::string name,
+                     std::shared_ptr<const adt::AdtSpec> spec) {
+    ObjectId id = static_cast<ObjectId>(h_.specs.size());
+    h_.specs.push_back(spec);
+    h_.initial_states.push_back(spec->MakeInitialState());
+    h_.object_names.push_back(std::move(name));
+    h_.object_order.emplace_back();
+    live_.push_back(h_.initial_states.back()->Clone());
+    return id;
+  }
+
+  /// A top-level (environment) method execution.
+  ExecId Top(std::string name) {
+    return NewExec(kNoExec, kEnvironmentObject, std::move(name));
+  }
+
+  /// Invokes a child method execution; records the message step in the
+  /// parent with the parent's next program-order index.
+  ExecId Child(ExecId parent, ObjectId object, std::string method) {
+    return ChildAt(parent, object, std::move(method), next_po_[parent]++);
+  }
+
+  /// Invokes a child with an explicit program-order index (share an index
+  /// across siblings to model a parallel batch).
+  ExecId ChildAt(ExecId parent, ObjectId object, std::string method,
+                 uint32_t po) {
+    ExecId id = NewExec(parent, object, std::move(method));
+    Step m;
+    m.id = static_cast<StepId>(h_.steps.size());
+    m.kind = StepKind::kMessage;
+    m.exec = parent;
+    m.po_index = po;
+    if (po >= next_po_[parent]) next_po_[parent] = po + 1;
+    m.callee = id;
+    m.start_seq = ++seq_;
+    m.end_seq = m.start_seq;
+    h_.executions[parent].steps.push_back(m.id);
+    message_of_[id] = m.id;
+    h_.steps.push_back(std::move(m));
+    return id;
+  }
+
+  /// Applies `op` to the object's live state and records the local step
+  /// with the actual return value.  Returns the recorded return value.
+  Value Local(ExecId exec, ObjectId object, const std::string& op,
+              const Args& args = {}) {
+    const adt::OpDescriptor* d = h_.specs[object]->FindOp(op);
+    adt::ApplyResult applied = d->apply(*live_[object], args);
+    RecordLocal(exec, object, op, args, applied.ret);
+    return applied.ret;
+  }
+
+  /// Records a local step with a FORGED return value (illegal-history
+  /// tests); does not touch the live state.
+  void LocalRaw(ExecId exec, ObjectId object, const std::string& op,
+                const Args& args, const Value& ret) {
+    RecordLocal(exec, object, op, args, ret);
+  }
+
+  void MarkAborted(ExecId exec) { h_.executions[exec].aborted = true; }
+
+  /// Finalises message-step intervals and returns the history.
+  History Build() {
+    for (auto& [exec, step_id] : message_of_) {
+      uint64_t lo = UINT64_MAX, hi = 0;
+      CoverSubtree(exec, &lo, &hi);
+      if (lo != UINT64_MAX) {
+        h_.steps[step_id].start_seq =
+            std::min(h_.steps[step_id].start_seq, lo);
+        h_.steps[step_id].end_seq = std::max(h_.steps[step_id].end_seq, hi);
+      }
+    }
+    return std::move(h_);
+  }
+
+ private:
+  ExecId NewExec(ExecId parent, ObjectId object, std::string method) {
+    ExecId id = static_cast<ExecId>(h_.executions.size());
+    MethodExecution e;
+    e.id = id;
+    e.parent = parent;
+    e.object = object;
+    e.method = std::move(method);
+    h_.executions.push_back(std::move(e));
+    next_po_[id] = 0;
+    return id;
+  }
+
+  void RecordLocal(ExecId exec, ObjectId object, const std::string& op,
+                   const Args& args, const Value& ret) {
+    Step s;
+    s.id = static_cast<StepId>(h_.steps.size());
+    s.kind = StepKind::kLocal;
+    s.exec = exec;
+    s.po_index = next_po_[exec]++;
+    s.object = object;
+    s.op = op;
+    s.args = args;
+    s.ret = ret;
+    s.start_seq = ++seq_;
+    s.end_seq = s.start_seq;
+    h_.executions[exec].steps.push_back(s.id);
+    h_.object_order[object].push_back(s.id);
+    h_.steps.push_back(std::move(s));
+  }
+
+  void CoverSubtree(ExecId root, uint64_t* lo, uint64_t* hi) {
+    for (const MethodExecution& e : h_.executions) {
+      if (!h_.IsAncestorOrSelf(root, e.id)) continue;
+      for (StepId sid : e.steps) {
+        const Step& s = h_.steps[sid];
+        if (s.start_seq < *lo) *lo = s.start_seq;
+        if (s.end_seq > *hi) *hi = s.end_seq;
+      }
+    }
+  }
+
+  History h_;
+  std::vector<std::unique_ptr<adt::AdtState>> live_;
+  std::map<ExecId, uint32_t> next_po_;
+  std::map<ExecId, StepId> message_of_;
+  uint64_t seq_ = 0;
+};
+
+}  // namespace objectbase::model
+
+#endif  // OBJECTBASE_TESTS_HISTORY_BUILDER_H_

@@ -1,0 +1,201 @@
+// Tests for the History structure: ancestry, lca, levels, replay and the
+// Theorem 1 property (any conflict-consistent order replays to the same
+// final state).
+#include "src/model/history.h"
+
+#include <gtest/gtest.h>
+
+#include "src/adt/counter_adt.h"
+#include "src/adt/register_adt.h"
+#include "src/adt/set_adt.h"
+#include "src/model/replay.h"
+#include "tests/history_builder.h"
+
+namespace objectbase::model {
+namespace {
+
+TEST(HistoryTest, AncestryAndLevels) {
+  HistoryBuilder b;
+  ObjectId obj = b.AddObject("o", adt::MakeCounterSpec());
+  ExecId t1 = b.Top("T1");
+  ExecId c1 = b.Child(t1, obj, "m1");
+  ExecId g1 = b.Child(c1, obj, "m2");
+  ExecId t2 = b.Top("T2");
+  History h = b.Build();
+
+  EXPECT_TRUE(h.IsAncestorOrSelf(t1, t1));
+  EXPECT_TRUE(h.IsAncestorOrSelf(t1, c1));
+  EXPECT_TRUE(h.IsAncestorOrSelf(t1, g1));
+  EXPECT_FALSE(h.IsAncestorOrSelf(c1, t1));
+  EXPECT_FALSE(h.IsAncestorOrSelf(t1, t2));
+
+  EXPECT_FALSE(h.Incomparable(t1, g1));
+  EXPECT_TRUE(h.Incomparable(t1, t2));
+  EXPECT_TRUE(h.Incomparable(g1, t2));
+
+  EXPECT_EQ(h.Level(t1), 0);
+  EXPECT_EQ(h.Level(c1), 1);
+  EXPECT_EQ(h.Level(g1), 2);
+
+  EXPECT_EQ(h.TopAncestor(g1), t1);
+  EXPECT_EQ(h.TopAncestor(t2), t2);
+  EXPECT_EQ(h.TopLevel().size(), 2u);
+}
+
+TEST(HistoryTest, LcaWithinAndAcrossTrees) {
+  HistoryBuilder b;
+  ObjectId obj = b.AddObject("o", adt::MakeCounterSpec());
+  ExecId t1 = b.Top("T1");
+  ExecId c1 = b.Child(t1, obj, "a");
+  ExecId c2 = b.Child(t1, obj, "b");
+  ExecId g1 = b.Child(c1, obj, "c");
+  ExecId t2 = b.Top("T2");
+  History h = b.Build();
+
+  EXPECT_EQ(h.Lca(c1, c2), t1);
+  EXPECT_EQ(h.Lca(g1, c2), t1);
+  EXPECT_EQ(h.Lca(g1, c1), c1);
+  EXPECT_EQ(h.Lca(t1, t2), kNoExec);
+  EXPECT_EQ(h.Lca(g1, t2), kNoExec);
+}
+
+TEST(HistoryTest, EffectivelyAbortedClosesOverAncestors) {
+  HistoryBuilder b;
+  ObjectId obj = b.AddObject("o", adt::MakeCounterSpec());
+  ExecId t1 = b.Top("T1");
+  ExecId c1 = b.Child(t1, obj, "a");
+  ExecId g1 = b.Child(c1, obj, "b");
+  b.MarkAborted(c1);
+  History h = b.Build();
+  EXPECT_FALSE(h.EffectivelyAborted(t1));
+  EXPECT_TRUE(h.EffectivelyAborted(c1));
+  EXPECT_TRUE(h.EffectivelyAborted(g1));  // descendent of an aborted exec
+}
+
+TEST(HistoryTest, CloneIsDeep) {
+  HistoryBuilder b;
+  ObjectId obj = b.AddObject("o", adt::MakeCounterSpec());
+  ExecId t1 = b.Top("T1");
+  ExecId c1 = b.Child(t1, obj, "m");
+  b.Local(c1, obj, "add", {5});
+  History h = b.Build();
+  History copy = h.Clone();
+  EXPECT_EQ(copy.executions.size(), h.executions.size());
+  EXPECT_EQ(copy.steps.size(), h.steps.size());
+  EXPECT_NE(copy.initial_states[0].get(), h.initial_states[0].get());
+  EXPECT_TRUE(copy.initial_states[0]->Equals(*h.initial_states[0]));
+}
+
+TEST(ReplayTest, ReplaysToRecordedReturns) {
+  HistoryBuilder b;
+  ObjectId obj = b.AddObject("o", adt::MakeRegisterSpec(10));
+  ExecId t1 = b.Top("T1");
+  ExecId c1 = b.Child(t1, obj, "m");
+  b.Local(c1, obj, "write", {42});
+  EXPECT_EQ(b.Local(c1, obj, "read"), Value(42));
+  History h = b.Build();
+  ReplayResult r = Replay(h, /*committed_only=*/false);
+  ASSERT_TRUE(r.ok) << r.error;
+  // Final state must reflect the write.
+  auto final_expected = adt::MakeRegisterSpec(42)->MakeInitialState();
+  EXPECT_TRUE(r.final_states[obj]->Equals(*final_expected));
+}
+
+TEST(ReplayTest, DetectsForgedReturn) {
+  HistoryBuilder b;
+  ObjectId obj = b.AddObject("o", adt::MakeRegisterSpec(10));
+  ExecId t1 = b.Top("T1");
+  ExecId c1 = b.Child(t1, obj, "m");
+  b.LocalRaw(c1, obj, "read", {}, Value(999));  // register holds 10
+  History h = b.Build();
+  ReplayResult r = Replay(h, /*committed_only=*/false);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("divergence"), std::string::npos);
+}
+
+TEST(ReplayTest, CommittedProjectionSkipsAborted) {
+  HistoryBuilder b;
+  ObjectId obj = b.AddObject("o", adt::MakeCounterSpec(0));
+  ExecId t1 = b.Top("T1");
+  ExecId c1 = b.Child(t1, obj, "m");
+  b.Local(c1, obj, "add", {100});
+  ExecId t2 = b.Top("T2");
+  ExecId c2 = b.Child(t2, obj, "m");
+  b.Local(c2, obj, "add", {1});
+  b.MarkAborted(t1);
+  History h = b.Build();
+  ReplayResult all = Replay(h, /*committed_only=*/false);
+  ReplayResult committed = Replay(h, /*committed_only=*/true);
+  ASSERT_TRUE(all.ok);
+  ASSERT_TRUE(committed.ok);
+  EXPECT_TRUE(
+      committed.final_states[obj]->Equals(
+          *adt::MakeCounterSpec(1)->MakeInitialState()));
+  EXPECT_TRUE(all.final_states[obj]->Equals(
+      *adt::MakeCounterSpec(101)->MakeInitialState()));
+}
+
+TEST(ReplayTest, Theorem1AnyConflictConsistentOrderSameState) {
+  // Two transactions adding to a counter (adds commute): swapping their
+  // steps is conflict-consistent and must reach the same final state with
+  // the same returns (Theorem 1 / Lemma 2).
+  HistoryBuilder b;
+  ObjectId obj = b.AddObject("o", adt::MakeCounterSpec(0));
+  ExecId t1 = b.Top("T1");
+  ExecId c1 = b.Child(t1, obj, "m");
+  ExecId t2 = b.Top("T2");
+  ExecId c2 = b.Child(t2, obj, "m");
+  b.Local(c1, obj, "add", {5});
+  b.Local(c2, obj, "add", {7});
+  b.Local(c1, obj, "add", {11});
+  History h = b.Build();
+
+  ReplayResult original = Replay(h, false);
+  ASSERT_TRUE(original.ok);
+
+  // Swap the commuting adds.
+  std::vector<std::vector<StepId>> permuted = h.object_order;
+  std::swap(permuted[obj][0], permuted[obj][1]);
+  ReplayResult swapped = Replay(h, false, &permuted);
+  ASSERT_TRUE(swapped.ok) << swapped.error;
+  EXPECT_TRUE(FinalStatesEqual(original.final_states, swapped.final_states));
+}
+
+TEST(ReplayTest, NonConflictConsistentOrderFailsLegality) {
+  // A read reordered across a write is NOT conflict-consistent: the replay
+  // must detect the return-value divergence.
+  HistoryBuilder b;
+  ObjectId obj = b.AddObject("o", adt::MakeRegisterSpec(0));
+  ExecId t1 = b.Top("T1");
+  ExecId c1 = b.Child(t1, obj, "m");
+  ExecId t2 = b.Top("T2");
+  ExecId c2 = b.Child(t2, obj, "m");
+  b.Local(c1, obj, "write", {1});
+  EXPECT_EQ(b.Local(c2, obj, "read"), Value(1));
+  History h = b.Build();
+
+  std::vector<std::vector<StepId>> permuted = h.object_order;
+  std::swap(permuted[obj][0], permuted[obj][1]);
+  ReplayResult r = Replay(h, false, &permuted);
+  EXPECT_FALSE(r.ok);
+}
+
+TEST(HistoryTest, StepConflictsUsesSpecAndObject) {
+  HistoryBuilder b;
+  ObjectId s = b.AddObject("set", adt::MakeSetSpec());
+  ObjectId c = b.AddObject("ctr", adt::MakeCounterSpec());
+  ExecId t1 = b.Top("T1");
+  ExecId e1 = b.Child(t1, s, "m");
+  ExecId e2 = b.Child(t1, c, "m");
+  b.Local(e1, s, "insert", {1});
+  b.Local(e2, c, "add", {1});
+  History h = b.Build();
+  const Step& ins = h.steps[h.object_order[s][0]];
+  const Step& add = h.steps[h.object_order[c][0]];
+  // Different objects never conflict.
+  EXPECT_FALSE(h.StepConflicts(ins, add));
+  EXPECT_FALSE(h.StepConflicts(add, ins));
+}
+
+}  // namespace
+}  // namespace objectbase::model

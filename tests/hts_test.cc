@@ -1,0 +1,68 @@
+#include "src/cc/hts.h"
+
+#include <gtest/gtest.h>
+
+namespace objectbase::cc {
+namespace {
+
+TEST(HtsTest, TopLevelSingleComponent) {
+  Hts t = Hts::TopLevel(7);
+  EXPECT_EQ(t.depth(), 1u);
+  EXPECT_EQ(t.top_component(), 7u);
+  EXPECT_EQ(t.ToString(), "(7)");
+}
+
+TEST(HtsTest, ChildExtendsParent) {
+  Hts parent = Hts::TopLevel(3);
+  Hts child = parent.Child(2);
+  EXPECT_EQ(child.depth(), 2u);
+  EXPECT_EQ(child.ToString(), "(3.2)");
+  EXPECT_TRUE(parent.IsPrefixOf(child));
+  EXPECT_FALSE(child.IsPrefixOf(parent));
+}
+
+TEST(HtsTest, LexicographicOrder) {
+  EXPECT_LT(Hts::TopLevel(1), Hts::TopLevel(2));
+  EXPECT_LT(Hts({1, 5}), Hts({2, 1}));
+  EXPECT_LT(Hts({1, 1}), Hts({1, 2}));
+  EXPECT_LT(Hts({1}), Hts({1, 1}));  // prefix precedes extensions
+  EXPECT_GT(Hts({2}), Hts({1, 99, 99}));
+}
+
+TEST(HtsTest, CompareReflexive) {
+  Hts a({3, 1, 4});
+  EXPECT_EQ(a.Compare(a), 0);
+  EXPECT_EQ(a, Hts({3, 1, 4}));
+  EXPECT_NE(a, Hts({3, 1}));
+}
+
+TEST(HtsTest, IncomparabilityMirrorsAncestry) {
+  Hts parent = Hts::TopLevel(1);
+  Hts c1 = parent.Child(1);
+  Hts c2 = parent.Child(2);
+  Hts gc = c1.Child(1);
+  // Ancestor/descendant pairs are comparable (prefix), rule 1 exempts them.
+  EXPECT_FALSE(parent.IncomparableWith(c1));
+  EXPECT_FALSE(c1.IncomparableWith(gc));
+  EXPECT_FALSE(parent.IncomparableWith(gc));
+  // Siblings and cousins are incomparable.
+  EXPECT_TRUE(c1.IncomparableWith(c2));
+  EXPECT_TRUE(gc.IncomparableWith(c2));
+  // Different top-level transactions always incomparable.
+  EXPECT_TRUE(parent.IncomparableWith(Hts::TopLevel(2)));
+}
+
+TEST(HtsTest, Rule2SiblingOrder) {
+  // Sequential messages m ◁ m' get increasing child counters, hence
+  // hts(B(m)) < hts(B(m')).
+  Hts parent = Hts::TopLevel(9);
+  Hts first = parent.Child(1);
+  Hts second = parent.Child(2);
+  EXPECT_LT(first, second);
+  // And the order nests below: every descendant of first precedes every
+  // descendant of second.
+  EXPECT_LT(first.Child(17), second.Child(1));
+}
+
+}  // namespace
+}  // namespace objectbase::cc

@@ -1,0 +1,190 @@
+// Definition 6 checker tests: each condition violated in isolation.
+#include "src/model/legality.h"
+
+#include <gtest/gtest.h>
+
+#include "src/adt/counter_adt.h"
+#include "src/adt/register_adt.h"
+#include "tests/history_builder.h"
+
+namespace objectbase::model {
+namespace {
+
+TEST(LegalityTest, WellFormedHistoryIsLegal) {
+  HistoryBuilder b;
+  ObjectId obj = b.AddObject("o", adt::MakeRegisterSpec(0));
+  ExecId t1 = b.Top("T1");
+  ExecId c1 = b.Child(t1, obj, "m");
+  b.Local(c1, obj, "write", {1});
+  ExecId t2 = b.Top("T2");
+  ExecId c2 = b.Child(t2, obj, "m");
+  b.Local(c2, obj, "read");
+  History h = b.Build();
+  LegalityResult r = CheckLegal(h);
+  EXPECT_TRUE(r.legal) << r.error;
+}
+
+TEST(LegalityTest, EmptyHistoryIsLegal) {
+  HistoryBuilder b;
+  b.AddObject("o", adt::MakeRegisterSpec(0));
+  History h = b.Build();
+  EXPECT_TRUE(CheckLegal(h).legal);
+}
+
+TEST(LegalityTest, Condition1TopLevelMustBeEnvironment) {
+  // Hand-craft an execution whose parent is kNoExec but whose object is a
+  // real object: Definition 6 condition 1 requires top-level executions to
+  // belong to the environment.
+  HistoryBuilder b;
+  ObjectId obj = b.AddObject("o", adt::MakeRegisterSpec(0));
+  b.Top("T1");
+  History h = b.Build();
+  h.executions[0].object = obj;  // corrupt
+  LegalityResult r = CheckLegal(h);
+  EXPECT_FALSE(r.legal);
+  EXPECT_NE(r.error.find("environment"), std::string::npos);
+}
+
+TEST(LegalityTest, Condition1BMustBeOneToOne) {
+  HistoryBuilder b;
+  ObjectId obj = b.AddObject("o", adt::MakeRegisterSpec(0));
+  ExecId t1 = b.Top("T1");
+  ExecId c1 = b.Child(t1, obj, "m");
+  b.Local(c1, obj, "read");
+  History h = b.Build();
+  // Duplicate the message step: two messages now invoke the same execution.
+  Step dup = h.steps[0];
+  dup.id = static_cast<StepId>(h.steps.size());
+  h.executions[t1].steps.push_back(dup.id);
+  h.steps.push_back(dup);
+  LegalityResult r = CheckLegal(h);
+  EXPECT_FALSE(r.legal);
+  EXPECT_NE(r.error.find("1-1"), std::string::npos);
+}
+
+TEST(LegalityTest, Condition1NoOrphanExecutions) {
+  HistoryBuilder b;
+  ObjectId obj = b.AddObject("o", adt::MakeRegisterSpec(0));
+  ExecId t1 = b.Top("T1");
+  ExecId c1 = b.Child(t1, obj, "m");
+  b.Local(c1, obj, "read");
+  History h = b.Build();
+  // Remove the message step: c1 now has no invoking message.
+  h.executions[t1].steps.clear();
+  h.steps[0].callee = kNoExec;
+  h.steps[0].kind = StepKind::kLocal;
+  h.steps[0].object = obj;
+  h.steps[0].op = "read";
+  h.steps[0].exec = c1;
+  // (The corrupted step is not in object_order; condition 2b will also
+  // complain, but the 1-1 violation is checked first.)
+  LegalityResult r = CheckLegal(h);
+  EXPECT_FALSE(r.legal);
+}
+
+TEST(LegalityTest, Condition2aProgramOrderVsTime) {
+  HistoryBuilder b;
+  ObjectId obj = b.AddObject("o", adt::MakeRegisterSpec(0));
+  ExecId t1 = b.Top("T1");
+  ExecId c1 = b.Child(t1, obj, "m");
+  b.Local(c1, obj, "read");
+  b.Local(c1, obj, "read");
+  History h = b.Build();
+  // Make the po-earlier step temporally overlap the later one.
+  StepId first = h.executions[c1].steps[0];
+  StepId second = h.executions[c1].steps[1];
+  h.steps[first].end_seq = h.steps[second].start_seq + 1;
+  LegalityResult r = CheckLegal(h);
+  EXPECT_FALSE(r.legal);
+  EXPECT_NE(r.error.find("program order"), std::string::npos);
+}
+
+TEST(LegalityTest, Condition2bApplicationOrderVsTime) {
+  HistoryBuilder b;
+  ObjectId obj = b.AddObject("o", adt::MakeRegisterSpec(0));
+  ExecId t1 = b.Top("T1");
+  ExecId c1 = b.Child(t1, obj, "m");
+  ExecId t2 = b.Top("T2");
+  ExecId c2 = b.Child(t2, obj, "m");
+  b.Local(c1, obj, "read");
+  b.Local(c2, obj, "read");
+  History h = b.Build();
+  // Reverse the application order without touching the timestamps: the
+  // second step temporally finished after the first started, so a reversed
+  // order contradicts <.
+  std::swap(h.object_order[obj][0], h.object_order[obj][1]);
+  LegalityResult r = CheckLegal(h);
+  EXPECT_FALSE(r.legal);
+}
+
+TEST(LegalityTest, Condition2cChildStepsNestInMessageOrder) {
+  HistoryBuilder b;
+  ObjectId obj = b.AddObject("o", adt::MakeRegisterSpec(0));
+  ExecId t1 = b.Top("T1");
+  ExecId c1 = b.Child(t1, obj, "m1");
+  b.Local(c1, obj, "read");
+  ExecId c2 = b.Child(t1, obj, "m2");
+  b.Local(c2, obj, "read");
+  History h = b.Build();
+  ASSERT_TRUE(CheckLegal(h).legal);
+  // Corrupt: make a step of the ◁-later child temporally precede a step of
+  // the earlier child.
+  StepId s1 = h.executions[c1].steps[0];
+  StepId s2 = h.executions[c2].steps[0];
+  std::swap(h.steps[s1].start_seq, h.steps[s2].start_seq);
+  std::swap(h.steps[s1].end_seq, h.steps[s2].end_seq);
+  // Also swap in the application order to keep 2b consistent.
+  std::swap(h.object_order[obj][0], h.object_order[obj][1]);
+  LegalityResult r = CheckLegal(h);
+  EXPECT_FALSE(r.legal);
+}
+
+TEST(LegalityTest, ParallelSiblingsMayInterleave) {
+  // Messages sharing a po_index (a parallel batch) impose no 2c ordering:
+  // interleaved child steps are fine.
+  HistoryBuilder b;
+  ObjectId obj = b.AddObject("o", adt::MakeCounterSpec(0));
+  ExecId t1 = b.Top("T1");
+  ExecId c1 = b.ChildAt(t1, obj, "m1", 0);
+  ExecId c2 = b.ChildAt(t1, obj, "m2", 0);
+  b.Local(c1, obj, "add", {1});
+  b.Local(c2, obj, "add", {2});
+  b.Local(c1, obj, "add", {3});
+  History h = b.Build();
+  LegalityResult r = CheckLegal(h);
+  EXPECT_TRUE(r.legal) << r.error;
+}
+
+TEST(LegalityTest, Condition3ForgedReturnValue) {
+  HistoryBuilder b;
+  ObjectId obj = b.AddObject("o", adt::MakeRegisterSpec(5));
+  ExecId t1 = b.Top("T1");
+  ExecId c1 = b.Child(t1, obj, "m");
+  b.LocalRaw(c1, obj, "read", {}, Value(0));  // should be 5
+  History h = b.Build();
+  LegalityResult r = CheckLegal(h);
+  EXPECT_FALSE(r.legal);
+  EXPECT_NE(r.error.find("condition 3"), std::string::npos);
+}
+
+TEST(LegalityTest, AbortedProjectionChecked) {
+  // Section 3 requirement (a): removing aborted steps must leave a legal
+  // computation.  Here the committed read's value depends on an aborted
+  // write — the projection is illegal.
+  HistoryBuilder b;
+  ObjectId obj = b.AddObject("o", adt::MakeRegisterSpec(0));
+  ExecId t1 = b.Top("T1");
+  ExecId c1 = b.Child(t1, obj, "m");
+  ExecId t2 = b.Top("T2");
+  ExecId c2 = b.Child(t2, obj, "m");
+  b.Local(c1, obj, "write", {9});
+  b.Local(c2, obj, "read");  // records 9
+  b.MarkAborted(t1);
+  History h = b.Build();
+  EXPECT_TRUE(CheckLegal(h, /*committed_only=*/false).legal);
+  LegalityResult projected = CheckLegal(h, /*committed_only=*/true);
+  EXPECT_FALSE(projected.legal);
+}
+
+}  // namespace
+}  // namespace objectbase::model

@@ -1,0 +1,141 @@
+// Definition 10 / Theorem 5 tests: SG_local, SG_mesg and the ->_e relation.
+#include "src/model/local_graphs.h"
+
+#include <gtest/gtest.h>
+
+#include "src/adt/counter_adt.h"
+#include "src/adt/register_adt.h"
+#include "tests/history_builder.h"
+
+namespace objectbase::model {
+namespace {
+
+TEST(LocalGraphsTest, LocalEdgesStayWithinObject) {
+  HistoryBuilder b;
+  ObjectId a = b.AddObject("A", adt::MakeRegisterSpec(0));
+  ExecId t1 = b.Top("T1");
+  ExecId e1 = b.Child(t1, a, "m");
+  ExecId t2 = b.Top("T2");
+  ExecId e2 = b.Child(t2, a, "m");
+  b.Local(e1, a, "write", {1});
+  b.Local(e2, a, "write", {2});
+  History h = b.Build();
+  LocalGraphs g = BuildLocalGraphs(h);
+  // SG_local(A): edge e1 -> e2 between A's own method executions.
+  EXPECT_TRUE(g.local.at(a).HasEdge(e1, e2));
+  // SG_mesg(environment): lifted edge t1 -> t2.
+  EXPECT_TRUE(g.mesg.at(kEnvironmentObject).HasEdge(t1, t2));
+  // And no local edges at the environment (it has no local steps).
+  EXPECT_EQ(g.local.at(kEnvironmentObject).EdgeCount(), 0u);
+}
+
+TEST(LocalGraphsTest, Section2ExampleFailsConditionA) {
+  // Intra-object orders are each acyclic, but the lifted SG_mesg at the
+  // environment is cyclic: exactly the situation Theorem 5 condition (a)
+  // rejects.
+  HistoryBuilder b;
+  ObjectId a = b.AddObject("A", adt::MakeRegisterSpec(0));
+  ObjectId bb = b.AddObject("B", adt::MakeRegisterSpec(0));
+  ExecId t1 = b.Top("T1");
+  ExecId t2 = b.Top("T2");
+  b.Local(b.Child(t1, a, "m"), a, "write", {1});
+  b.Local(b.Child(t2, a, "m"), a, "write", {2});
+  b.Local(b.Child(t2, bb, "m"), bb, "write", {2});
+  b.Local(b.Child(t1, bb, "m"), bb, "write", {1});
+  History h = b.Build();
+  LocalGraphs g = BuildLocalGraphs(h);
+  EXPECT_TRUE(g.local.at(a).IsAcyclic());
+  EXPECT_TRUE(g.local.at(bb).IsAcyclic());
+  Digraph u = g.local.at(kEnvironmentObject);
+  u.UnionWith(g.mesg.at(kEnvironmentObject));
+  EXPECT_FALSE(u.IsAcyclic());
+
+  Theorem5Result r = CheckTheorem5(h);
+  EXPECT_FALSE(r.holds);
+  EXPECT_NE(r.detail.find("condition (a)"), std::string::npos);
+}
+
+TEST(LocalGraphsTest, CleanHistorySatisfiesTheorem5) {
+  HistoryBuilder b;
+  ObjectId a = b.AddObject("A", adt::MakeRegisterSpec(0));
+  ObjectId bb = b.AddObject("B", adt::MakeRegisterSpec(0));
+  ExecId t1 = b.Top("T1");
+  ExecId t2 = b.Top("T2");
+  // T1 before T2 at both objects: compatible serialisation orders.
+  b.Local(b.Child(t1, a, "m"), a, "write", {1});
+  b.Local(b.Child(t1, bb, "m"), bb, "write", {1});
+  b.Local(b.Child(t2, a, "m"), a, "write", {2});
+  b.Local(b.Child(t2, bb, "m"), bb, "write", {2});
+  History h = b.Build();
+  Theorem5Result r = CheckTheorem5(h);
+  EXPECT_TRUE(r.holds) << r.detail;
+}
+
+TEST(LocalGraphsTest, ConditionBParallelMessagesConflictBothWays) {
+  // One parent sends two PARALLEL messages whose subtrees conflict in both
+  // directions on two further objects: every per-object graph is acyclic
+  // (condition (a) holds) yet ->_e at the parent has a cycle — the exact
+  // situation condition (b) exists to reject ("two concurrent messages may
+  // result in two pairs of conflicting steps, each pair requiring the
+  // serialisation of the concurrent messages in the opposite order").
+  HistoryBuilder b;
+  ObjectId a = b.AddObject("A", adt::MakeRegisterSpec(0));
+  ObjectId c = b.AddObject("C", adt::MakeRegisterSpec(0));
+  ObjectId x = b.AddObject("X", adt::MakeRegisterSpec(0));
+  ObjectId y = b.AddObject("Y", adt::MakeRegisterSpec(0));
+  ExecId t1 = b.Top("T1");
+  ExecId c1 = b.ChildAt(t1, a, "m1", 0);  // parallel batch: shared po
+  ExecId c2 = b.ChildAt(t1, c, "m2", 0);
+  ExecId c1x = b.ChildAt(c1, x, "nx", 0);
+  ExecId c1y = b.ChildAt(c1, y, "ny", 0);
+  ExecId c2x = b.ChildAt(c2, x, "nx", 0);
+  ExecId c2y = b.ChildAt(c2, y, "ny", 0);
+  b.Local(c1x, x, "write", {1});  // X: c1's side first
+  b.Local(c2x, x, "write", {2});
+  b.Local(c2y, y, "write", {2});  // Y: c2's side first
+  b.Local(c1y, y, "write", {1});
+  History h = b.Build();
+  // Per-object graphs are fine...
+  LocalGraphs g = BuildLocalGraphs(h);
+  for (auto& [obj, local] : g.local) {
+    Digraph u = local;
+    u.UnionWith(g.mesg.at(obj));
+    EXPECT_TRUE(u.IsAcyclic());
+  }
+  // ...but condition (b) fails at the parent.
+  Theorem5Result r = CheckTheorem5(h);
+  EXPECT_FALSE(r.holds);
+  EXPECT_NE(r.detail.find("condition (b)"), std::string::npos);
+}
+
+TEST(LocalGraphsTest, SequentialMessagesSatisfyConditionB) {
+  HistoryBuilder b;
+  ObjectId a = b.AddObject("A", adt::MakeRegisterSpec(0));
+  ExecId t1 = b.Top("T1");
+  ExecId c1 = b.Child(t1, a, "m1");
+  b.Local(c1, a, "write", {1});
+  ExecId c2 = b.Child(t1, a, "m2");
+  b.Local(c2, a, "write", {2});
+  History h = b.Build();
+  Theorem5Result r = CheckTheorem5(h);
+  EXPECT_TRUE(r.holds) << r.detail;
+}
+
+TEST(LocalGraphsTest, CommittedProjectionIgnoresAbortedConflicts) {
+  HistoryBuilder b;
+  ObjectId a = b.AddObject("A", adt::MakeRegisterSpec(0));
+  ObjectId bb = b.AddObject("B", adt::MakeRegisterSpec(0));
+  ExecId t1 = b.Top("T1");
+  ExecId t2 = b.Top("T2");
+  b.Local(b.Child(t1, a, "m"), a, "write", {1});
+  b.Local(b.Child(t2, a, "m"), a, "write", {2});
+  b.Local(b.Child(t2, bb, "m"), bb, "write", {2});
+  b.Local(b.Child(t1, bb, "m"), bb, "write", {1});
+  b.MarkAborted(t2);
+  History h = b.Build();
+  EXPECT_TRUE(CheckTheorem5(h, /*committed_only=*/true).holds);
+  EXPECT_FALSE(CheckTheorem5(h, /*committed_only=*/false).holds);
+}
+
+}  // namespace
+}  // namespace objectbase::model

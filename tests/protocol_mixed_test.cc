@@ -1,0 +1,116 @@
+// MIXED (per-object intra-object policies + global certifier, Theorem 5)
+// end-to-end correctness, including the B-tree crabbing object.
+#include <gtest/gtest.h>
+
+#include "src/adt/btree_dictionary_adt.h"
+#include "tests/protocol_harness.h"
+
+namespace objectbase::rt {
+namespace {
+
+constexpr Protocol kP = Protocol::kMixed;
+
+TEST(MixedProtocolTest, Banking) {
+  RunBankingScenario(kP, cc::Granularity::kStep, 4, 40, 4, 41);
+}
+
+TEST(MixedProtocolTest, HotCounter) {
+  RunCounterScenario(kP, cc::Granularity::kStep, 6, 60, 42);
+}
+
+TEST(MixedProtocolTest, QueueStepMode) {
+  RunQueueScenario(kP, cc::Granularity::kStep, 4, 50, 43);
+}
+
+TEST(MixedProtocolTest, MixedStress) {
+  RunMixedStressScenario(kP, cc::Granularity::kStep, 4, 40, 44);
+}
+
+TEST(MixedProtocolTest, PerObjectPoliciesCoexist) {
+  // One object per intra-object policy, all in one workload (the Section 2
+  // pitch: each object runs its most suitable algorithm, the inter-object
+  // layer keeps them compatible).
+  ObjectBase base;
+  base.CreateObject("locked", adt::MakeCounterSpec(0));
+  base.CreateObject("timestamped", adt::MakeCounterSpec(0));
+  base.CreateObject("optimistic", adt::MakeCounterSpec(0));
+  base.CreateObject("tree", adt::MakeBTreeDictionarySpec(8));
+  Executor exec(base, {.protocol = kP});
+  exec.SetIntraPolicy("locked", cc::IntraPolicy::kLocal2pl);
+  exec.SetIntraPolicy("timestamped", cc::IntraPolicy::kTimestamp);
+  exec.SetIntraPolicy("optimistic", cc::IntraPolicy::kOptimistic);
+  // "tree" defaults to kCrabbing via supports_concurrent_apply.
+
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 4; ++t) {
+    workers.emplace_back([&, t]() {
+      Rng rng(4242 + t);
+      for (int i = 0; i < 40; ++i) {
+        int64_t key = rng.Range(0, 63);
+        exec.RunTransaction("mixed", [&, key](MethodCtx& txn) -> Value {
+          txn.Invoke("locked", "add", {1});
+          txn.Invoke("timestamped", "add", {1});
+          txn.Invoke("optimistic", "add", {1});
+          txn.Invoke("tree", "put", {key, key * 2});
+          return Value();
+        });
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  uint64_t committed = exec.stats().committed.load();
+  EXPECT_GT(committed, 0u);
+  exec.RunTransaction("check", [&](MethodCtx& txn) {
+    // Every committed transaction bumped all three counters exactly once.
+    EXPECT_EQ(txn.Invoke("locked", "get").AsInt(),
+              static_cast<int64_t>(committed));
+    EXPECT_EQ(txn.Invoke("timestamped", "get").AsInt(),
+              static_cast<int64_t>(committed));
+    EXPECT_EQ(txn.Invoke("optimistic", "get").AsInt(),
+              static_cast<int64_t>(committed));
+    return Value();
+  });
+  VerifyHistory(exec, "MIXED coexisting policies");
+}
+
+TEST(MixedProtocolTest, BTreeObjectUnderContention) {
+  ObjectBase base;
+  base.CreateObject("tree", adt::MakeBTreeDictionarySpec(8));
+  base.CreateObject("total", adt::MakeCounterSpec(0));
+  Executor exec(base, {.protocol = kP});
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 4; ++t) {
+    workers.emplace_back([&, t]() {
+      Rng rng(999 + t);
+      for (int i = 0; i < 50; ++i) {
+        int64_t key = rng.Range(0, 31);
+        bool put = rng.Bernoulli(0.6);
+        exec.RunTransaction("dict", [&, key, put](MethodCtx& txn) -> Value {
+          int64_t delta = 0;
+          if (put) {
+            if (txn.Invoke("tree", "put", {key, key}).is_none()) delta = 1;
+          } else {
+            if (txn.Invoke("tree", "del", {key}).AsBool()) delta = -1;
+          }
+          if (delta != 0) txn.Invoke("total", "add", {delta});
+          return Value();
+        });
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  // Inter-object constraint: the counter tracks the tree's cardinality.
+  exec.RunTransaction("check", [&](MethodCtx& txn) {
+    EXPECT_EQ(txn.Invoke("tree", "count"), txn.Invoke("total", "get"));
+    return Value();
+  });
+  VerifyHistory(exec, "MIXED btree scenario");
+}
+
+TEST(MixedProtocolTest, PolicyNamesExposed) {
+  EXPECT_STREQ(cc::IntraPolicyName(cc::IntraPolicy::kLocal2pl), "local-2pl");
+  EXPECT_STREQ(cc::IntraPolicyName(cc::IntraPolicy::kCrabbing), "crabbing");
+}
+
+}  // namespace
+}  // namespace objectbase::rt

@@ -1,0 +1,127 @@
+// NTO end-to-end correctness (Theorem 4 made executable) plus the
+// timestamp-specific behaviours: rule-1 rejections, watermark GC.
+#include <gtest/gtest.h>
+
+#include "src/cc/nto_controller.h"
+#include "tests/protocol_harness.h"
+
+namespace objectbase::rt {
+namespace {
+
+constexpr Protocol kP = Protocol::kNto;
+
+TEST(NtoProtocolTest, BankingOperationGranularity) {
+  RunBankingScenario(kP, cc::Granularity::kOperation, 4, 40, 4, 11);
+}
+
+TEST(NtoProtocolTest, BankingStepGranularity) {
+  RunBankingScenario(kP, cc::Granularity::kStep, 4, 40, 4, 12);
+}
+
+TEST(NtoProtocolTest, BankingWithParallelDeposit) {
+  RunBankingScenario(kP, cc::Granularity::kStep, 3, 25, 4, 13,
+                     /*parallel_deposit=*/true);
+}
+
+TEST(NtoProtocolTest, HotCounter) {
+  RunCounterScenario(kP, cc::Granularity::kStep, 6, 60, 14);
+}
+
+TEST(NtoProtocolTest, QueueStepMode) {
+  RunQueueScenario(kP, cc::Granularity::kStep, 4, 50, 15);
+}
+
+TEST(NtoProtocolTest, QueueOperationMode) {
+  RunQueueScenario(kP, cc::Granularity::kOperation, 4, 50, 16);
+}
+
+TEST(NtoProtocolTest, MixedStress) {
+  RunMixedStressScenario(kP, cc::Granularity::kStep, 4, 40, 17);
+}
+
+TEST(NtoProtocolTest, LateConflictingStepIsRejected) {
+  // Deterministic rule-1 rejection: T_late is created first (smaller hts)
+  // but issues its conflicting step after T_early's: NTO must abort the
+  // attempt and the retry (fresh, larger timestamp) must succeed.
+  ObjectBase base;
+  base.CreateObject("r", adt::MakeRegisterSpec(0));
+  Executor exec(base, {.protocol = kP,
+                       .granularity = cc::Granularity::kOperation});
+  std::atomic<int> phase{0};
+  std::thread late([&]() {
+    exec.RunTransaction("late", [&](MethodCtx& txn) -> Value {
+      // First attempt: wait until the other transaction has written.
+      if (phase.load() == 0) {
+        phase.store(1);
+        while (phase.load() != 2) std::this_thread::yield();
+      }
+      txn.Invoke("r", "write", {1});
+      return Value();
+    });
+  });
+  while (phase.load() != 1) std::this_thread::yield();
+  exec.RunTransaction("early", [&](MethodCtx& txn) -> Value {
+    txn.Invoke("r", "write", {2});
+    return Value();
+  });
+  phase.store(2);
+  late.join();
+  EXPECT_GE(exec.stats().AbortsFor(cc::AbortReason::kTimestampOrder), 1u);
+  VerifyHistory(exec, "NTO late-step scenario");
+}
+
+TEST(NtoProtocolTest, WatermarkGcBoundsRememberedSteps) {
+  ObjectBase base;
+  base.CreateObject("c", adt::MakeCounterSpec(0));
+  Executor exec(base, {.protocol = kP, .record = false, .nto_gc = true});
+  for (int i = 0; i < 2000; ++i) {
+    exec.RunTransaction("t", [](MethodCtx& txn) {
+      txn.Invoke("c", "add", {1});
+      return Value();
+    });
+  }
+  std::vector<Object*> objects{base.Find("c")};
+  size_t remembered = cc::NtoController::RememberedEntries(objects);
+  // Without GC this would be ~4000 entries (one per local step: the add
+  // plus nothing else) — with the watermark it stays small.
+  EXPECT_LT(remembered, 512u);
+}
+
+TEST(NtoProtocolTest, WithoutGcRememberedStepsGrow) {
+  ObjectBase base;
+  base.CreateObject("c", adt::MakeCounterSpec(0));
+  Executor exec(base, {.protocol = kP, .record = false, .nto_gc = false});
+  for (int i = 0; i < 500; ++i) {
+    exec.RunTransaction("t", [](MethodCtx& txn) {
+      txn.Invoke("c", "add", {1});
+      return Value();
+    });
+  }
+  std::vector<Object*> objects{base.Find("c")};
+  EXPECT_GE(cc::NtoController::RememberedEntries(objects), 500u);
+}
+
+TEST(NtoProtocolTest, SequentialSiblingsNeverSelfAbort) {
+  // Rule 2 gives ◁-ordered messages increasing timestamps, so a purely
+  // sequential nested transaction conflicts only in timestamp order with
+  // itself — and kin are exempt from rule 1 anyway.  No aborts expected.
+  ObjectBase base;
+  base.CreateObject("r", adt::MakeRegisterSpec(0));
+  Executor exec(base, {.protocol = kP});
+  exec.DefineMethod("r", "write_twice", [](MethodCtx& m) -> Value {
+    m.Local("write", {1});
+    m.Local("write", {2});
+    m.Invoke("r", "write", {3});  // nested sibling-of-self message
+    return Value();
+  });
+  TxnResult r = exec.RunTransaction("t", [](MethodCtx& txn) {
+    txn.Invoke("r", "write_twice");
+    return txn.Invoke("r", "read");
+  });
+  ASSERT_TRUE(r.committed);
+  EXPECT_EQ(r.attempts, 1);
+  EXPECT_EQ(r.ret, Value(3));
+}
+
+}  // namespace
+}  // namespace objectbase::rt

@@ -1,0 +1,98 @@
+#include "src/common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace objectbase {
+namespace {
+
+TEST(RngTest, DeterministicFromSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextU64(), b.NextU64());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextU64() == b.NextU64()) ++same;
+  }
+  EXPECT_LT(same, 4);
+}
+
+TEST(RngTest, UniformInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    uint64_t v = rng.Uniform(10);
+    EXPECT_LT(v, 10u);
+  }
+}
+
+TEST(RngTest, RangeInclusive) {
+  Rng rng(7);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    int64_t v = rng.Range(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, BernoulliRoughlyCalibrated) {
+  Rng rng(11);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) hits += rng.Bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.03);
+}
+
+TEST(RngTest, ForkIndependent) {
+  Rng a(5);
+  Rng b = a.Fork();
+  // The fork should not replay the parent's stream.
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextU64() == b.NextU64()) ++same;
+  }
+  EXPECT_LT(same, 4);
+}
+
+TEST(RngTest, WeightedIndexRespectsWeights) {
+  Rng rng(13);
+  std::map<size_t, int> counts;
+  for (int i = 0; i < 30000; ++i) counts[rng.WeightedIndex({1.0, 3.0})]++;
+  double frac1 = static_cast<double>(counts[1]) / 30000;
+  EXPECT_NEAR(frac1, 0.75, 0.03);
+}
+
+TEST(ZipfTest, ThetaZeroIsUniformish) {
+  Rng rng(17);
+  ZipfGenerator zipf(100, 0.0);
+  std::map<uint64_t, int> counts;
+  for (int i = 0; i < 50000; ++i) counts[zipf.Next(rng)]++;
+  // Every key hit, none dominating.
+  EXPECT_EQ(counts.size(), 100u);
+  for (const auto& [k, c] : counts) EXPECT_LT(c, 2000);
+}
+
+TEST(ZipfTest, HighThetaSkews) {
+  Rng rng(19);
+  ZipfGenerator zipf(100, 0.9);
+  std::map<uint64_t, int> counts;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    uint64_t v = zipf.Next(rng);
+    ASSERT_LT(v, 100u);
+    counts[v]++;
+  }
+  // Key 0 should take a disproportionate share.
+  EXPECT_GT(counts[0], n / 20);
+}
+
+}  // namespace
+}  // namespace objectbase

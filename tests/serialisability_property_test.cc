@@ -1,0 +1,163 @@
+// The headline property test: FOR EVERY protocol, granularity and seed,
+// every history the runtime produces under contention is legal (Definition
+// 6), has an acyclic serialisation graph whose serial replay is equivalent
+// (Theorem 2 / Definition 7) and satisfies Theorem 5's conditions.
+//
+// This is the executable form of Theorems 3 and 4 (and of the certifier's
+// correctness): a bug in any lock rule, timestamp check, undo path or
+// cascade would surface here as a cyclic SG, a replay divergence or an
+// illegal committed projection.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "src/adt/bank_account_adt.h"
+#include "src/adt/counter_adt.h"
+#include "src/adt/queue_adt.h"
+#include "src/adt/register_adt.h"
+#include "src/adt/set_adt.h"
+#include "src/common/rng.h"
+#include "src/model/legality.h"
+#include "src/model/local_graphs.h"
+#include "src/model/serialiser.h"
+#include "src/runtime/executor.h"
+
+namespace objectbase::rt {
+namespace {
+
+struct Config {
+  Protocol protocol;
+  cc::Granularity granularity;
+  uint64_t seed;
+};
+
+std::string ConfigName(const ::testing::TestParamInfo<Config>& info) {
+  return std::string(ProtocolName(info.param.protocol)) +
+         (info.param.granularity == cc::Granularity::kStep ? "_step" : "_op") +
+         "_s" + std::to_string(info.param.seed);
+}
+
+class SerialisabilityPropertyTest : public ::testing::TestWithParam<Config> {};
+
+TEST_P(SerialisabilityPropertyTest, RandomContendedRunsAreSerialisable) {
+  const Config cfg = GetParam();
+  ObjectBase base;
+  base.CreateObject("r0", adt::MakeRegisterSpec(0));
+  base.CreateObject("r1", adt::MakeRegisterSpec(0));
+  base.CreateObject("ctr", adt::MakeCounterSpec(0));
+  base.CreateObject("set", adt::MakeSetSpec());
+  base.CreateObject("q", adt::MakeQueueSpec());
+  base.CreateObject("acct", adt::MakeBankAccountSpec(500));
+  Executor exec(base, {.protocol = cfg.protocol,
+                       .granularity = cfg.granularity,
+                       .max_top_retries = 50});
+
+  const int threads = 4;
+  const int txns = 30;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t]() {
+      Rng rng(cfg.seed * 101 + t);
+      for (int i = 0; i < txns; ++i) {
+        // Random transaction shape: 1-4 operations over random objects,
+        // with nesting and occasional parallel batches and user aborts.
+        int n_ops = 1 + static_cast<int>(rng.Uniform(4));
+        std::vector<int> kinds;
+        std::vector<int64_t> keys;
+        for (int k = 0; k < n_ops; ++k) {
+          kinds.push_back(static_cast<int>(rng.Uniform(7)));
+          keys.push_back(rng.Range(0, 5));
+        }
+        bool user_abort = rng.Bernoulli(0.08);
+        exec.RunTransaction("rand", [&, kinds, keys,
+                            user_abort](MethodCtx& txn) -> Value {
+          for (size_t k = 0; k < kinds.size(); ++k) {
+            int64_t key = keys[k];
+            switch (kinds[k]) {
+              case 0: txn.Invoke("r0", "write", {key}); break;
+              case 1: txn.Invoke("r1", "read"); break;
+              case 2: txn.Invoke("ctr", "add", {key + 1}); break;
+              case 3: txn.Invoke("set", "insert", {key}); break;
+              case 4: txn.Invoke("set", "erase", {key}); break;
+              case 5:
+                if (txn.Invoke("acct", "withdraw", {key + 1}).AsBool()) {
+                  txn.Invoke("ctr", "add", {1});
+                }
+                break;
+              default:
+                txn.InvokeParallel({{"q", "enqueue", {key}},
+                                    {"ctr", "add", {1}}});
+                break;
+            }
+          }
+          if (user_abort) txn.Abort();
+          return Value();
+        });
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+
+  model::History h = exec.recorder().Snapshot();
+  model::LegalityResult legal = model::CheckLegal(h, /*committed_only=*/true);
+  ASSERT_TRUE(legal.legal) << legal.error;
+  model::SerialisabilityCheck check = model::CheckSerialisable(h);
+  ASSERT_TRUE(check.serialisable) << check.detail;
+  model::Theorem5Result t5 = model::CheckTheorem5(h);
+  ASSERT_TRUE(t5.holds) << t5.detail;
+  EXPECT_GT(exec.stats().committed.load(), 0u);
+}
+
+std::vector<Config> AllConfigs() {
+  std::vector<Config> configs;
+  for (Protocol p : {Protocol::kN2pl, Protocol::kNto, Protocol::kCert,
+                     Protocol::kGemstone, Protocol::kMixed}) {
+    for (cc::Granularity g :
+         {cc::Granularity::kOperation, cc::Granularity::kStep}) {
+      for (uint64_t seed : {1u, 2u, 3u}) {
+        configs.push_back({p, g, seed});
+      }
+    }
+  }
+  return configs;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, SerialisabilityPropertyTest,
+                         ::testing::ValuesIn(AllConfigs()), ConfigName);
+
+// A negative control: the oracle is not vacuous.  Running the same
+// contended workload with NO concurrency control (a deliberately broken
+// "controller" emulated by direct state access) must be flagged — here we
+// emulate it by building a history with a known cycle and checking the
+// oracle rejects it (the Section 2 example lives in
+// serialisation_graph_test; this guards the end-to-end path).
+TEST(SerialisabilityOracleControl, OracleRejectsKnownBadHistory) {
+  // Build via the runtime with CERT but forge the history afterwards:
+  // swap two conflicting steps' application order to fabricate a cycle.
+  ObjectBase base;
+  base.CreateObject("a", adt::MakeRegisterSpec(0));
+  base.CreateObject("b", adt::MakeRegisterSpec(0));
+  Executor exec(base, {.protocol = Protocol::kCert});
+  exec.RunTransaction("T1", [](MethodCtx& txn) {
+    txn.Invoke("a", "write", {1});
+    txn.Invoke("b", "write", {1});
+    return Value();
+  });
+  exec.RunTransaction("T2", [](MethodCtx& txn) {
+    txn.Invoke("a", "write", {2});
+    txn.Invoke("b", "write", {2});
+    return Value();
+  });
+  model::History h = exec.recorder().Snapshot();
+  ASSERT_TRUE(model::CheckSerialisable(h).serialisable);
+  // Forge: reverse B's application order (T2's write before T1's) => the
+  // serialisation orders at A and B now disagree.
+  model::ObjectId b_id = 1;
+  ASSERT_EQ(h.object_names[b_id], "b");
+  std::swap(h.object_order[b_id][0], h.object_order[b_id][1]);
+  model::SerialisabilityCheck check = model::CheckSerialisable(h);
+  EXPECT_FALSE(check.serialisable);
+}
+
+}  // namespace
+}  // namespace objectbase::rt

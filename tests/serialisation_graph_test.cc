@@ -1,0 +1,190 @@
+// SG(h) construction tests, Definition 9 — including the paper's Section 2
+// motivating example (intra-object serialisable but globally cyclic).
+#include "src/model/serialisation_graph.h"
+
+#include <gtest/gtest.h>
+
+#include "src/adt/bank_account_adt.h"
+#include "src/adt/counter_adt.h"
+#include "src/adt/queue_adt.h"
+#include "src/adt/register_adt.h"
+#include "tests/history_builder.h"
+
+namespace objectbase::model {
+namespace {
+
+TEST(SerialisationGraphTest, NoConflictsNoEdges) {
+  HistoryBuilder b;
+  ObjectId o1 = b.AddObject("o1", adt::MakeCounterSpec());
+  ObjectId o2 = b.AddObject("o2", adt::MakeCounterSpec());
+  ExecId t1 = b.Top("T1");
+  ExecId t2 = b.Top("T2");
+  b.Local(b.Child(t1, o1, "m"), o1, "add", {1});
+  b.Local(b.Child(t2, o2, "m"), o2, "add", {1});
+  History h = b.Build();
+  Digraph sg = BuildSerialisationGraph(h);
+  EXPECT_EQ(sg.EdgeCount(), 0u);
+  EXPECT_TRUE(sg.IsAcyclic());
+}
+
+TEST(SerialisationGraphTest, CommutingStepsNoEdges) {
+  // Two adds on the same counter commute: no type (a) edge.
+  HistoryBuilder b;
+  ObjectId o = b.AddObject("o", adt::MakeCounterSpec());
+  ExecId t1 = b.Top("T1");
+  ExecId t2 = b.Top("T2");
+  b.Local(b.Child(t1, o, "m"), o, "add", {1});
+  b.Local(b.Child(t2, o, "m"), o, "add", {2});
+  History h = b.Build();
+  EXPECT_EQ(BuildSerialisationGraph(h).EdgeCount(), 0u);
+}
+
+TEST(SerialisationGraphTest, TypeAEdgeAndAncestorClosure) {
+  HistoryBuilder b;
+  ObjectId o = b.AddObject("o", adt::MakeRegisterSpec(0));
+  ExecId t1 = b.Top("T1");
+  ExecId c1 = b.Child(t1, o, "m");
+  ExecId t2 = b.Top("T2");
+  ExecId c2 = b.Child(t2, o, "m");
+  b.Local(c1, o, "write", {1});
+  b.Local(c2, o, "read");
+  History h = b.Build();
+  Digraph sg = BuildSerialisationGraph(h);
+  // The edge exists between the conflicting executions AND all incomparable
+  // ancestor pairs (the Observation after Definition 9).
+  EXPECT_TRUE(sg.HasEdge(c1, c2));
+  EXPECT_TRUE(sg.HasEdge(t1, t2));
+  EXPECT_TRUE(sg.HasEdge(t1, c2));
+  EXPECT_TRUE(sg.HasEdge(c1, t2));
+  // No reverse edges.
+  EXPECT_FALSE(sg.HasEdge(c2, c1));
+  EXPECT_FALSE(sg.HasEdge(t2, t1));
+  EXPECT_TRUE(sg.IsAcyclic());
+}
+
+TEST(SerialisationGraphTest, Section2CycleExample) {
+  // The paper's Section 2 example: T1 and T2 each access objects A and B;
+  // A serialises T1 before T2, B serialises T2 before T1.  Each object's
+  // computation is serialisable but SG(h) has a cycle.
+  HistoryBuilder b;
+  ObjectId a = b.AddObject("A", adt::MakeRegisterSpec(0));
+  ObjectId bb = b.AddObject("B", adt::MakeRegisterSpec(0));
+  ExecId t1 = b.Top("T1");
+  ExecId t2 = b.Top("T2");
+  ExecId t1a = b.Child(t1, a, "m");
+  ExecId t2a = b.Child(t2, a, "m");
+  ExecId t1b = b.Child(t1, bb, "m");
+  ExecId t2b = b.Child(t2, bb, "m");
+  b.Local(t1a, a, "write", {1});   // A: T1 first
+  b.Local(t2a, a, "write", {2});
+  b.Local(t2b, bb, "write", {2});  // B: T2 first
+  b.Local(t1b, bb, "write", {1});
+  History h = b.Build();
+  Digraph sg = BuildSerialisationGraph(h);
+  EXPECT_TRUE(sg.HasEdge(t1, t2));
+  EXPECT_TRUE(sg.HasEdge(t2, t1));
+  EXPECT_FALSE(sg.IsAcyclic());
+}
+
+TEST(SerialisationGraphTest, TypeBEdgesFromMessageOrder) {
+  // Sequential messages of one parent order their subtrees (type (b)).
+  HistoryBuilder b;
+  ObjectId o = b.AddObject("o", adt::MakeCounterSpec());
+  ExecId t1 = b.Top("T1");
+  ExecId c1 = b.Child(t1, o, "m1");
+  b.Local(c1, o, "add", {1});
+  ExecId c2 = b.Child(t1, o, "m2");
+  b.Local(c2, o, "add", {1});
+  History h = b.Build();
+  Digraph sg = BuildSerialisationGraph(h);
+  EXPECT_TRUE(sg.HasEdge(c1, c2));
+  EXPECT_FALSE(sg.HasEdge(c2, c1));
+  EXPECT_TRUE(sg.IsAcyclic());
+}
+
+TEST(SerialisationGraphTest, ParallelMessagesNoTypeBEdges) {
+  HistoryBuilder b;
+  ObjectId o = b.AddObject("o", adt::MakeCounterSpec());
+  ExecId t1 = b.Top("T1");
+  ExecId c1 = b.ChildAt(t1, o, "m1", 0);
+  ExecId c2 = b.ChildAt(t1, o, "m2", 0);
+  b.Local(c1, o, "add", {1});
+  b.Local(c2, o, "add", {1});
+  History h = b.Build();
+  Digraph sg = BuildSerialisationGraph(h);
+  EXPECT_FALSE(sg.HasEdge(c1, c2));
+  EXPECT_FALSE(sg.HasEdge(c2, c1));
+}
+
+TEST(SerialisationGraphTest, CommittedProjectionDropsAbortedEdges) {
+  HistoryBuilder b;
+  ObjectId o = b.AddObject("o", adt::MakeRegisterSpec(0));
+  ExecId t1 = b.Top("T1");
+  ExecId c1 = b.Child(t1, o, "m");
+  ExecId t2 = b.Top("T2");
+  ExecId c2 = b.Child(t2, o, "m");
+  b.Local(c1, o, "write", {1});
+  b.Local(c2, o, "write", {2});
+  b.MarkAborted(t1);
+  History h = b.Build();
+  EXPECT_EQ(BuildSerialisationGraph(h, /*committed_only=*/true).EdgeCount(),
+            0u);
+  EXPECT_GT(BuildSerialisationGraph(h, /*committed_only=*/false).EdgeCount(),
+            0u);
+}
+
+TEST(SerialisationGraphTest, AsymmetricConflictSingleDirection) {
+  // withdraw-ok then deposit commutes, so that order yields NO edge; the
+  // reverse order (deposit then withdraw-ok) conflicts and yields one.
+  HistoryBuilder b;
+  ObjectId o = b.AddObject("acct", adt::MakeBankAccountSpec(100));
+  ExecId t1 = b.Top("T1");
+  ExecId c1 = b.Child(t1, o, "m");
+  ExecId t2 = b.Top("T2");
+  ExecId c2 = b.Child(t2, o, "m");
+  b.Local(c1, o, "withdraw", {10});  // ok
+  b.Local(c2, o, "deposit", {10});
+  History h = b.Build();
+  Digraph sg = BuildSerialisationGraph(h);
+  EXPECT_FALSE(sg.HasEdge(t1, t2));
+  EXPECT_FALSE(sg.HasEdge(t2, t1));
+
+  HistoryBuilder b2;
+  ObjectId o2 = b2.AddObject("acct", adt::MakeBankAccountSpec(100));
+  ExecId u1 = b2.Top("U1");
+  ExecId d1 = b2.Child(u1, o2, "m");
+  ExecId u2 = b2.Top("U2");
+  ExecId d2 = b2.Child(u2, o2, "m");
+  b2.Local(d1, o2, "deposit", {10});
+  b2.Local(d2, o2, "withdraw", {10});  // ok
+  History h2 = b2.Build();
+  Digraph sg2 = BuildSerialisationGraph(h2);
+  EXPECT_TRUE(sg2.HasEdge(u1, u2));
+  EXPECT_FALSE(sg2.HasEdge(u2, u1));
+}
+
+TEST(SerialisationGraphTest, QueueReturnValueEdges) {
+  // Section 5.1: the enqueue only constrains the dequeue that returned its
+  // item.
+  HistoryBuilder b;
+  ObjectId q = b.AddObject("q", adt::MakeQueueSpec());
+  ExecId t0 = b.Top("T0");  // preloads the queue
+  ExecId c0 = b.Child(t0, q, "m");
+  b.Local(c0, q, "enqueue", {1});
+  ExecId t1 = b.Top("T1");
+  ExecId c1 = b.Child(t1, q, "m");
+  ExecId t2 = b.Top("T2");
+  ExecId c2 = b.Child(t2, q, "m");
+  b.Local(c1, q, "enqueue", {2});
+  EXPECT_EQ(b.Local(c2, q, "dequeue"), Value(1));  // returns T0's item
+  History h = b.Build();
+  Digraph sg = BuildSerialisationGraph(h);
+  // T0's enqueue was returned by T2's dequeue: edge T0 -> T2.
+  EXPECT_TRUE(sg.HasEdge(t0, t2));
+  // T1's enqueue(2) was NOT returned: no edge between T1 and T2.
+  EXPECT_FALSE(sg.HasEdge(t1, t2));
+  EXPECT_FALSE(sg.HasEdge(t2, t1));
+}
+
+}  // namespace
+}  // namespace objectbase::model

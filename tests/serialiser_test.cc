@@ -1,0 +1,171 @@
+// Theorem 2 tests: the constructive serialiser and the end-to-end
+// serialisability oracle.
+#include "src/model/serialiser.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/adt/counter_adt.h"
+#include "src/adt/register_adt.h"
+#include "src/adt/set_adt.h"
+#include "tests/history_builder.h"
+
+namespace objectbase::model {
+namespace {
+
+TEST(SerialiserTest, SerialHistoryIsItsOwnWitness) {
+  HistoryBuilder b;
+  ObjectId o = b.AddObject("o", adt::MakeRegisterSpec(0));
+  ExecId t1 = b.Top("T1");
+  b.Local(b.Child(t1, o, "m"), o, "write", {1});
+  ExecId t2 = b.Top("T2");
+  EXPECT_EQ(b.Local(b.Child(t2, o, "m"), o, "read"), Value(1));
+  History h = b.Build();
+  SerialiseResult r = Serialise(h);
+  ASSERT_TRUE(r.ok) << r.error;
+  ASSERT_EQ(r.top_order.size(), 2u);
+  EXPECT_EQ(r.top_order[0], t1);
+  EXPECT_EQ(r.top_order[1], t2);
+  // Ranks respect the => relation: t1 before t2.
+  EXPECT_LT(r.rank[t1], r.rank[t2]);
+}
+
+TEST(SerialiserTest, CyclicHistoryFails) {
+  HistoryBuilder b;
+  ObjectId a = b.AddObject("A", adt::MakeRegisterSpec(0));
+  ObjectId bb = b.AddObject("B", adt::MakeRegisterSpec(0));
+  ExecId t1 = b.Top("T1");
+  ExecId t2 = b.Top("T2");
+  b.Local(b.Child(t1, a, "m"), a, "write", {1});
+  b.Local(b.Child(t2, a, "m"), a, "write", {2});
+  b.Local(b.Child(t2, bb, "m"), bb, "write", {2});
+  b.Local(b.Child(t1, bb, "m"), bb, "write", {1});
+  History h = b.Build();
+  SerialiseResult r = Serialise(h);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("cycle"), std::string::npos);
+  SerialisabilityCheck check = CheckSerialisable(h);
+  EXPECT_FALSE(check.serialisable);
+}
+
+TEST(SerialiserTest, RanksNestAcrossLevels) {
+  HistoryBuilder b;
+  ObjectId o = b.AddObject("o", adt::MakeRegisterSpec(0));
+  ExecId t1 = b.Top("T1");
+  ExecId c1 = b.Child(t1, o, "m1");
+  b.Local(c1, o, "write", {1});
+  ExecId c2 = b.Child(t1, o, "m2");
+  b.Local(c2, o, "write", {2});
+  ExecId t2 = b.Top("T2");
+  ExecId c3 = b.Child(t2, o, "m");
+  b.Local(c3, o, "write", {3});
+  History h = b.Build();
+  SerialiseResult r = Serialise(h);
+  ASSERT_TRUE(r.ok) << r.error;
+  // Incomparable pairs ordered by =>: c1 before c2 (type (b) edge),
+  // and everything of T1 before everything of T2 (conflicts).
+  EXPECT_LT(r.rank[c1], r.rank[c2]);
+  EXPECT_LT(r.rank[t1], r.rank[t2]);
+  EXPECT_LT(r.rank[c2], r.rank[c3]);
+}
+
+TEST(SerialiserTest, SerialStepOrderGroupsByTop) {
+  HistoryBuilder b;
+  ObjectId o = b.AddObject("o", adt::MakeCounterSpec(0));
+  ExecId t1 = b.Top("T1");
+  ExecId c1 = b.Child(t1, o, "m");
+  ExecId t2 = b.Top("T2");
+  ExecId c2 = b.Child(t2, o, "m");
+  // Interleaved commuting steps.
+  b.Local(c1, o, "add", {1});
+  b.Local(c2, o, "add", {10});
+  b.Local(c1, o, "add", {2});
+  b.Local(c2, o, "add", {20});
+  History h = b.Build();
+  auto serial = SerialStepOrder(h, {t2, t1});
+  ASSERT_EQ(serial[o].size(), 4u);
+  // T2's steps first (both, in original relative order), then T1's.
+  EXPECT_EQ(h.steps[serial[o][0]].exec, c2);
+  EXPECT_EQ(h.steps[serial[o][1]].exec, c2);
+  EXPECT_EQ(h.steps[serial[o][2]].exec, c1);
+  EXPECT_EQ(h.steps[serial[o][3]].exec, c1);
+  EXPECT_EQ(h.steps[serial[o][0]].args[0], Value(10));
+  EXPECT_EQ(h.steps[serial[o][2]].args[0], Value(1));
+}
+
+TEST(SerialiserTest, OracleAcceptsInterleavedCommutingHistory) {
+  HistoryBuilder b;
+  ObjectId o = b.AddObject("o", adt::MakeCounterSpec(0));
+  ExecId t1 = b.Top("T1");
+  ExecId c1 = b.Child(t1, o, "m");
+  ExecId t2 = b.Top("T2");
+  ExecId c2 = b.Child(t2, o, "m");
+  b.Local(c1, o, "add", {1});
+  b.Local(c2, o, "add", {10});
+  b.Local(c1, o, "add", {2});
+  History h = b.Build();
+  SerialisabilityCheck check = CheckSerialisable(h);
+  EXPECT_TRUE(check.serialisable) << check.detail;
+  EXPECT_EQ(check.witness_top_order.size(), 2u);
+}
+
+TEST(SerialiserTest, OracleRespectsConflictOrder) {
+  // T1 writes, T2 reads the written value: the witness order must put T1
+  // first.
+  HistoryBuilder b;
+  ObjectId o = b.AddObject("o", adt::MakeRegisterSpec(0));
+  ExecId t2 = b.Top("T2");  // created first, but serialises second
+  ExecId c2 = b.Child(t2, o, "m");
+  ExecId t1 = b.Top("T1");
+  ExecId c1 = b.Child(t1, o, "m");
+  b.Local(c1, o, "write", {5});
+  EXPECT_EQ(b.Local(c2, o, "read"), Value(5));
+  History h = b.Build();
+  SerialisabilityCheck check = CheckSerialisable(h);
+  ASSERT_TRUE(check.serialisable) << check.detail;
+  auto pos = [&](ExecId e) {
+    return std::find(check.witness_top_order.begin(),
+                     check.witness_top_order.end(), e) -
+           check.witness_top_order.begin();
+  };
+  EXPECT_LT(pos(t1), pos(t2));
+}
+
+TEST(SerialiserTest, OracleSkipsAbortedTransactions) {
+  HistoryBuilder b;
+  ObjectId o = b.AddObject("o", adt::MakeSetSpec());
+  ExecId t1 = b.Top("T1");
+  ExecId c1 = b.Child(t1, o, "m");
+  ExecId t2 = b.Top("T2");
+  ExecId c2 = b.Child(t2, o, "m");
+  b.Local(c1, o, "insert", {1});
+  b.Local(c2, o, "insert", {2});
+  b.MarkAborted(t1);
+  History h = b.Build();
+  // The committed projection: only T2's insert.  NOTE: replay of the
+  // committed projection is only legal because insert(1) and insert(2)
+  // commute (different keys).
+  SerialisabilityCheck check = CheckSerialisable(h);
+  ASSERT_TRUE(check.serialisable) << check.detail;
+  ASSERT_EQ(check.witness_top_order.size(), 1u);
+  EXPECT_EQ(check.witness_top_order[0], t2);
+}
+
+TEST(SerialiserTest, ThreeWayChainSerialises) {
+  HistoryBuilder b;
+  ObjectId o = b.AddObject("o", adt::MakeRegisterSpec(0));
+  ExecId t1 = b.Top("T1");
+  ExecId t2 = b.Top("T2");
+  ExecId t3 = b.Top("T3");
+  b.Local(b.Child(t1, o, "m"), o, "write", {1});
+  b.Local(b.Child(t2, o, "m"), o, "write", {2});
+  b.Local(b.Child(t3, o, "m"), o, "write", {3});
+  History h = b.Build();
+  SerialisabilityCheck check = CheckSerialisable(h);
+  ASSERT_TRUE(check.serialisable) << check.detail;
+  EXPECT_EQ(check.witness_top_order, (std::vector<ExecId>{t1, t2, t3}));
+}
+
+}  // namespace
+}  // namespace objectbase::model

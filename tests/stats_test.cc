@@ -1,0 +1,88 @@
+#include "src/common/stats.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/table_printer.h"
+
+namespace objectbase {
+namespace {
+
+TEST(HistogramTest, EmptyHistogram) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.Mean(), 0.0);
+  EXPECT_EQ(h.Percentile(0.5), 0u);
+}
+
+TEST(HistogramTest, SingleValue) {
+  Histogram h;
+  h.Record(100);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.min(), 100u);
+  EXPECT_EQ(h.max(), 100u);
+  EXPECT_EQ(h.Mean(), 100.0);
+}
+
+TEST(HistogramTest, PercentilesMonotone) {
+  Histogram h;
+  for (uint64_t i = 1; i <= 10000; ++i) h.Record(i);
+  uint64_t p50 = h.Percentile(0.5);
+  uint64_t p90 = h.Percentile(0.9);
+  uint64_t p99 = h.Percentile(0.99);
+  EXPECT_LE(p50, p90);
+  EXPECT_LE(p90, p99);
+  // Log-bucket approximation: within a factor of ~1.15.
+  EXPECT_NEAR(static_cast<double>(p50), 5000.0, 700.0);
+  EXPECT_NEAR(static_cast<double>(p99), 9900.0, 1300.0);
+}
+
+TEST(HistogramTest, MergeCombines) {
+  Histogram a, b;
+  for (int i = 0; i < 100; ++i) a.Record(10);
+  for (int i = 0; i < 100; ++i) b.Record(1000);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 200u);
+  EXPECT_EQ(a.min(), 10u);
+  EXPECT_EQ(a.max(), 1000u);
+}
+
+TEST(HistogramTest, RecordZero) {
+  Histogram h;
+  h.Record(0);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.min(), 0u);
+}
+
+TEST(StopwatchTest, Advances) {
+  Stopwatch w;
+  volatile uint64_t x = 0;
+  for (int i = 0; i < 100000; ++i) x += i;
+  EXPECT_GT(w.ElapsedNanos(), 0u);
+  EXPECT_GT(w.ElapsedSeconds(), 0.0);
+}
+
+TEST(TablePrinterTest, RendersAlignedTable) {
+  TablePrinter t({"protocol", "tput"});
+  t.AddRow({"N2PL", "123.45"});
+  t.AddRow({"GEMSTONE", "7.00"});
+  std::string out = t.Render();
+  EXPECT_NE(out.find("| protocol | tput"), std::string::npos);
+  EXPECT_NE(out.find("| N2PL"), std::string::npos);
+  EXPECT_NE(out.find("| GEMSTONE | 7.00"), std::string::npos);
+}
+
+TEST(TablePrinterTest, PadsShortRows) {
+  TablePrinter t({"a", "b", "c"});
+  t.AddRow({"1"});
+  std::string out = t.Render();
+  EXPECT_NE(out.find("| 1 |"), std::string::npos);
+}
+
+TEST(TablePrinterTest, FmtHelpers) {
+  EXPECT_EQ(TablePrinter::Fmt(1.23456, 2), "1.23");
+  EXPECT_EQ(TablePrinter::Fmt(uint64_t{42}), "42");
+  EXPECT_EQ(TablePrinter::Fmt(int64_t{-42}), "-42");
+}
+
+}  // namespace
+}  // namespace objectbase

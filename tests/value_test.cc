@@ -1,0 +1,71 @@
+#include "src/common/value.h"
+
+#include <gtest/gtest.h>
+
+namespace objectbase {
+namespace {
+
+TEST(ValueTest, DefaultIsNone) {
+  Value v;
+  EXPECT_TRUE(v.is_none());
+  EXPECT_FALSE(v.is_int());
+  EXPECT_FALSE(v.is_bool());
+  EXPECT_FALSE(v.is_string());
+}
+
+TEST(ValueTest, IntRoundTrip) {
+  Value v(int64_t{42});
+  ASSERT_TRUE(v.is_int());
+  EXPECT_EQ(v.AsInt(), 42);
+}
+
+TEST(ValueTest, IntFromPlainIntLiteral) {
+  Value v(7);
+  ASSERT_TRUE(v.is_int());
+  EXPECT_EQ(v.AsInt(), 7);
+}
+
+TEST(ValueTest, BoolRoundTrip) {
+  Value v(true);
+  ASSERT_TRUE(v.is_bool());
+  EXPECT_TRUE(v.AsBool());
+}
+
+TEST(ValueTest, StringRoundTrip) {
+  Value v("hello");
+  ASSERT_TRUE(v.is_string());
+  EXPECT_EQ(v.AsString(), "hello");
+}
+
+TEST(ValueTest, EqualityIsStructural) {
+  EXPECT_EQ(Value(3), Value(3));
+  EXPECT_NE(Value(3), Value(4));
+  EXPECT_NE(Value(3), Value("3"));
+  EXPECT_NE(Value(true), Value(1));
+  EXPECT_EQ(Value::None(), Value());
+  EXPECT_NE(Value::None(), Value(0));
+}
+
+TEST(ValueTest, BoolAndIntAreDistinctTypes) {
+  // A step returning true must not be confused with one returning 1 when
+  // the legality checker compares recorded and replayed values.
+  EXPECT_NE(Value(true), Value(int64_t{1}));
+  EXPECT_NE(Value(false), Value(int64_t{0}));
+}
+
+TEST(ValueTest, ToString) {
+  EXPECT_EQ(Value::None().ToString(), "none");
+  EXPECT_EQ(Value(5).ToString(), "5");
+  EXPECT_EQ(Value(-5).ToString(), "-5");
+  EXPECT_EQ(Value(true).ToString(), "true");
+  EXPECT_EQ(Value(false).ToString(), "false");
+  EXPECT_EQ(Value("x").ToString(), "\"x\"");
+}
+
+TEST(ValueTest, ArgsToString) {
+  EXPECT_EQ(ArgsToString({}), "()");
+  EXPECT_EQ(ArgsToString({Value(1), Value(true)}), "(1, true)");
+}
+
+}  // namespace
+}  // namespace objectbase

@@ -1,0 +1,103 @@
+// WaitsForGraph unit tests: thread registry, serving-thread resolution
+// through the execution tree, and cycle detection.
+#include "src/cc/waits_for.h"
+
+#include <gtest/gtest.h>
+
+#include "src/runtime/txn.h"
+
+namespace objectbase::cc {
+namespace {
+
+TEST(WaitsForTest, NoCycleWithoutWaits) {
+  WaitsForGraph wfg;
+  rt::TxnNode t1(1, nullptr, UINT32_MAX, "T1");
+  wfg.SetRunning(100, &t1);
+  EXPECT_FALSE(wfg.SetWaitingWouldDeadlock(100, {999}));
+  EXPECT_EQ(wfg.BlockedCount(), 1u);
+  wfg.ClearWaiting(100);
+  EXPECT_EQ(wfg.BlockedCount(), 0u);
+}
+
+TEST(WaitsForTest, DirectTwoThreadCycle) {
+  WaitsForGraph wfg;
+  rt::TxnNode t1(1, nullptr, UINT32_MAX, "T1");
+  rt::TxnNode t2(2, nullptr, UINT32_MAX, "T2");
+  wfg.SetRunning(100, &t1);
+  wfg.SetRunning(200, &t2);
+  // Thread 100 waits for exec 2 (served by thread 200): no cycle yet.
+  EXPECT_FALSE(wfg.SetWaitingWouldDeadlock(100, {2}));
+  // Thread 200 waiting for exec 1 (served by thread 100, which is blocked)
+  // closes the cycle.
+  EXPECT_TRUE(wfg.SetWaitingWouldDeadlock(200, {1}));
+  // The refused wait was not registered.
+  EXPECT_EQ(wfg.BlockedCount(), 1u);
+}
+
+TEST(WaitsForTest, ThreeThreadCycle) {
+  WaitsForGraph wfg;
+  rt::TxnNode a(1, nullptr, UINT32_MAX, "A");
+  rt::TxnNode b(2, nullptr, UINT32_MAX, "B");
+  rt::TxnNode c(3, nullptr, UINT32_MAX, "C");
+  wfg.SetRunning(10, &a);
+  wfg.SetRunning(20, &b);
+  wfg.SetRunning(30, &c);
+  EXPECT_FALSE(wfg.SetWaitingWouldDeadlock(10, {2}));
+  EXPECT_FALSE(wfg.SetWaitingWouldDeadlock(20, {3}));
+  EXPECT_TRUE(wfg.SetWaitingWouldDeadlock(30, {1}));
+}
+
+TEST(WaitsForTest, HolderServedByDescendantThread) {
+  // A lock owned by a PARENT execution is served by the thread running its
+  // child (rule 5: the child's completion moves things along).
+  WaitsForGraph wfg;
+  rt::TxnNode parent(1, nullptr, UINT32_MAX, "P");
+  rt::TxnNode child(2, &parent, 0, "c");
+  rt::TxnNode other(3, nullptr, UINT32_MAX, "O");
+  wfg.SetRunning(10, &child);  // thread 10 runs the child
+  wfg.SetRunning(20, &other);
+  // Thread 20 waits for exec 1 (the parent).  Thread 10 serves it (runs a
+  // descendant), and thread 10 is not blocked: no deadlock.
+  EXPECT_FALSE(wfg.SetWaitingWouldDeadlock(20, {1}));
+  // Now thread 10 waits for exec 3: cycle through the descendant.
+  EXPECT_TRUE(wfg.SetWaitingWouldDeadlock(10, {3}));
+}
+
+TEST(WaitsForTest, SiblingWaitIsNotADeadlock) {
+  // One thread running a sibling that holds the lock, but that thread is
+  // NOT blocked: the sibling will finish, inherit the lock upward, and the
+  // waiter proceeds.
+  WaitsForGraph wfg;
+  rt::TxnNode top(1, nullptr, UINT32_MAX, "T");
+  rt::TxnNode s1(2, &top, 0, "s1");
+  rt::TxnNode s2(3, &top, 0, "s2");
+  wfg.SetRunning(10, &s1);
+  wfg.SetRunning(20, &s2);
+  EXPECT_FALSE(wfg.SetWaitingWouldDeadlock(10, {3}));  // s1 waits for s2
+}
+
+TEST(WaitsForTest, ClearRunningDropsWaits) {
+  WaitsForGraph wfg;
+  rt::TxnNode t1(1, nullptr, UINT32_MAX, "T1");
+  wfg.SetRunning(100, &t1);
+  EXPECT_FALSE(wfg.SetWaitingWouldDeadlock(100, {2}));
+  wfg.ClearRunning(100);
+  EXPECT_EQ(wfg.BlockedCount(), 0u);
+}
+
+TEST(WaitsForTest, ReRegistrationReplacesNode) {
+  WaitsForGraph wfg;
+  rt::TxnNode t1(1, nullptr, UINT32_MAX, "T1");
+  rt::TxnNode t2(2, nullptr, UINT32_MAX, "T2");
+  wfg.SetRunning(100, &t1);
+  wfg.SetRunning(100, &t2);  // thread now runs t2
+  rt::TxnNode waiter(3, nullptr, UINT32_MAX, "W");
+  wfg.SetRunning(200, &waiter);
+  // Thread 200 waits for exec 1 — no longer served by anyone: no cycle and
+  // also no serving thread (the lock must have been released; the re-check
+  // loop will discover that).
+  EXPECT_FALSE(wfg.SetWaitingWouldDeadlock(200, {1}));
+}
+
+}  // namespace
+}  // namespace objectbase::cc
