@@ -72,6 +72,14 @@ int main() {
                     TablePrinter::Fmt(invocations.load()),
                     TablePrinter::Fmt(invocations.load() - committed),
                     TablePrinter::Fmt(ms, 1)});
+      bench::JsonLine("abort_retry")
+          .Field("name", "child_retry")
+          .Field("fail_rate", fail_rate)
+          .Field("committed", committed)
+          .Field("wasted", invocations.load() - committed)
+          .Field("ns_per_op", committed > 0 ? ms * 1e6 / committed : 0.0)
+          .Field("throughput", ms > 0 ? committed * 1e3 / ms : 0.0)
+          .Emit();
     }
     // Strategy B: same flaky child, but the whole transaction retries
     // (the only option for the non-partial-abort protocols; shown here
@@ -100,6 +108,14 @@ int main() {
                     TablePrinter::Fmt(invocations.load()),
                     TablePrinter::Fmt(invocations.load() - committed),
                     TablePrinter::Fmt(ms, 1)});
+      bench::JsonLine("abort_retry")
+          .Field("name", "top_retry")
+          .Field("fail_rate", fail_rate)
+          .Field("committed", committed)
+          .Field("wasted", invocations.load() - committed)
+          .Field("ns_per_op", committed > 0 ? ms * 1e6 / committed : 0.0)
+          .Field("throughput", ms > 0 ? committed * 1e3 / ms : 0.0)
+          .Emit();
     }
   }
   table.Print();

@@ -1,0 +1,91 @@
+// Machine-readable benchmark output: one JSON object per line.
+//
+// Every bench_* binary emits, alongside its human-readable table, one
+// JSON line per measured configuration so that per-PR trajectories can be
+// collected mechanically:
+//
+//   bench_sg_checker | grep '^{"bench"' > BENCH_sg_checker.json
+//
+// Schema: {"bench": <binary>, "name": <row>, ...params..., "ns_per_op": N,
+// "throughput": T} — params are flat key/value pairs; only the fields a
+// given bench sets are present.
+#ifndef OBJECTBASE_BENCH_BENCH_JSON_H_
+#define OBJECTBASE_BENCH_BENCH_JSON_H_
+
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <sstream>
+#include <string>
+
+namespace objectbase::bench {
+
+class JsonLine {
+ public:
+  explicit JsonLine(const std::string& bench) {
+    os_ << "{\"bench\":\"" << Escaped(bench) << "\"";
+  }
+
+  JsonLine& Field(const char* key, const std::string& v) {
+    os_ << ",\"" << key << "\":\"" << Escaped(v) << "\"";
+    return *this;
+  }
+  JsonLine& Field(const char* key, const char* v) {
+    return Field(key, std::string(v));
+  }
+  JsonLine& Field(const char* key, double v) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    os_ << ",\"" << key << "\":" << buf;
+    return *this;
+  }
+  JsonLine& Field(const char* key, int64_t v) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%" PRId64, v);
+    os_ << ",\"" << key << "\":" << buf;
+    return *this;
+  }
+  JsonLine& Field(const char* key, uint64_t v) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+    os_ << ",\"" << key << "\":" << buf;
+    return *this;
+  }
+  JsonLine& Field(const char* key, int v) {
+    return Field(key, static_cast<int64_t>(v));
+  }
+  JsonLine& Field(const char* key, bool v) {
+    os_ << ",\"" << key << "\":" << (v ? "true" : "false");
+    return *this;
+  }
+
+  /// Prints the line to stdout (flushed, so interleaving with table output
+  /// keeps whole lines intact).  The leading newline guarantees the object
+  /// starts in column 0 even after colourised console output, keeping
+  /// `grep '^{"bench"'` reliable.
+  void Emit() {
+    std::printf("\n%s}\n", os_.str().c_str());
+    std::fflush(stdout);
+  }
+
+ private:
+  static std::string Escaped(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+      if (c == '"' || c == '\\') out.push_back('\\');
+      if (c == '\n') {
+        out += "\\n";
+        continue;
+      }
+      out.push_back(c);
+    }
+    return out;
+  }
+
+  std::ostringstream os_;
+};
+
+}  // namespace objectbase::bench
+
+#endif  // OBJECTBASE_BENCH_BENCH_JSON_H_

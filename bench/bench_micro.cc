@@ -1,6 +1,7 @@
 // M1-M3 — Microbenchmarks of the hot primitives (google-benchmark).
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_json.h"
 #include "src/adt/bank_account_adt.h"
 #include "src/adt/btree.h"
 #include "src/adt/queue_adt.h"
@@ -128,7 +129,33 @@ void BM_StepConflictQueue(benchmark::State& state) {
 }
 BENCHMARK(BM_StepConflictQueue);
 
+// Console output plus one JSON line per benchmark (the BENCH_*.json
+// trajectory format shared by every bench_* binary).
+class JsonLineReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    benchmark::ConsoleReporter::ReportRuns(runs);
+    for (const Run& run : runs) {
+      if (run.error_occurred) continue;
+      const double ns = run.GetAdjustedRealTime();
+      bench::JsonLine("micro")
+          .Field("name", run.benchmark_name())
+          .Field("iterations", static_cast<int64_t>(run.iterations))
+          .Field("ns_per_op", ns)
+          .Field("throughput", ns > 0 ? 1e9 / ns : 0.0)
+          .Emit();
+    }
+  }
+};
+
 }  // namespace
 }  // namespace objectbase
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  objectbase::JsonLineReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  return 0;
+}

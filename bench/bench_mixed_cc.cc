@@ -53,6 +53,14 @@ int main() {
                     TablePrinter::Fmt(m.AbortRatio(), 3),
                     TablePrinter::Fmt(
                         m.latency_ns.Percentile(0.99) / 1e6, 2)});
+      bench::JsonLine("mixed_cc")
+          .Field("name", cfg.name)
+          .Field("threads", threads)
+          .Field("ns_per_op", m.Throughput() > 0 ? 1e9 / m.Throughput() : 0.0)
+          .Field("throughput", m.Throughput())
+          .Field("abort_ratio", m.AbortRatio())
+          .Field("p99_ms", m.latency_ns.Percentile(0.99) / 1e6)
+          .Emit();
     }
   }
   table.Print();

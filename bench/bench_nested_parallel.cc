@@ -41,6 +41,13 @@ int main() {
                   TablePrinter::Fmt(m.latency_ns.Percentile(0.99) / 1e6, 3),
                   TablePrinter::Fmt(m.Throughput(), 0),
                   TablePrinter::Fmt(base_mean / mean_ms, 2)});
+    bench::JsonLine("nested_parallel")
+        .Field("name", "fanout")
+        .Field("fanout", fanout)
+        .Field("ns_per_op", m.latency_ns.Mean())
+        .Field("throughput", m.Throughput())
+        .Field("speedup", base_mean / mean_ms)
+        .Emit();
   }
   table.Print();
   std::printf("\nExpected shape: transaction latency falls as fanout grows "

@@ -55,6 +55,13 @@ int main() {
                     TablePrinter::Fmt(
                         static_cast<double>(remembered) / (txns * scale),
                         4)});
+      bench::JsonLine("nto_gc")
+          .Field("name", gc ? "gc_on" : "gc_off")
+          .Field("txns", int64_t{txns} * scale)
+          .Field("remembered", uint64_t{remembered})
+          .Field("ns_per_op", seconds * 1e9 / (txns * scale))
+          .Field("throughput", txns * scale / seconds)
+          .Emit();
     }
   }
   table.Print();

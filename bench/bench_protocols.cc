@@ -48,6 +48,15 @@ int main() {
                       TablePrinter::Fmt(m.cascades),
                       TablePrinter::Fmt(
                           m.latency_ns.Percentile(0.99) / 1e6, 2)});
+        bench::JsonLine("protocols")
+            .Field("name", rt::ProtocolName(protocol))
+            .Field("accounts", accounts)
+            .Field("threads", threads)
+            .Field("ns_per_op", m.Throughput() > 0 ? 1e9 / m.Throughput() : 0.0)
+            .Field("throughput", m.Throughput())
+            .Field("abort_ratio", m.AbortRatio())
+            .Field("p99_ms", m.latency_ns.Percentile(0.99) / 1e6)
+            .Emit();
       }
     }
     std::printf("accounts=%d (zipf 0.4, 5%% audits, spin 20000/op)\n",

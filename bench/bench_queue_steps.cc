@@ -66,6 +66,15 @@ int main() {
              TablePrinter::Fmt(m.AbortRatio(), 3),
              TablePrinter::Fmt(m.deadlocks),
              TablePrinter::Fmt(m.latency_ns.Percentile(0.99) / 1e6, 2)});
+        bench::JsonLine("queue_steps")
+            .Field("name",
+                   g == cc::Granularity::kOperation ? "operation" : "step")
+            .Field("queues", queues)
+            .Field("prefill", prefill)
+            .Field("ns_per_op", m.Throughput() > 0 ? 1e9 / m.Throughput() : 0.0)
+            .Field("throughput", m.Throughput())
+            .Field("abort_ratio", m.AbortRatio())
+            .Emit();
       }
     }
   }

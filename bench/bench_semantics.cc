@@ -41,6 +41,14 @@ int main() {
                       TablePrinter::Fmt(m.deadlocks),
                       TablePrinter::Fmt(
                           m.latency_ns.Percentile(0.99) / 1e6, 2)});
+        bench::JsonLine("semantics")
+            .Field("name", counters ? "counter" : "register")
+            .Field("objects", objects)
+            .Field("threads", threads)
+            .Field("ns_per_op", m.Throughput() > 0 ? 1e9 / m.Throughput() : 0.0)
+            .Field("throughput", m.Throughput())
+            .Field("abort_ratio", m.AbortRatio())
+            .Emit();
       }
     }
   }

@@ -1,17 +1,23 @@
 // E5 — Cost of the serialisability machinery itself.
 //
 // Claim (Theorem 2): acyclicity of SG(h) is a practical correctness test.
-// This bench measures building SG(h), the full oracle (CheckSerialisable:
-// SG + serial replay + equivalence) and the literal Theorem 2 procedure
-// (Serialise) as history size grows.
+// Two workloads:
+//   * runtime-recorded flat histories (the original E5 rows): SG build, the
+//     full oracle (CheckSerialisable: SG + serial replay + equivalence) and
+//     the literal Theorem-2 procedure (Serialise) as history size grows;
+//   * synthetic deep-nested histories (10^2..10^4 method executions,
+//     nesting depth >= 4): SG construction throughput — the target of the
+//     flat-graph + ancestry-precomputation engine.
 #include "bench/bench_util.h"
 
 #include "src/adt/bank_account_adt.h"
 #include "src/adt/counter_adt.h"
+#include "src/common/rng.h"
 #include "src/common/stats.h"
 #include "src/model/legality.h"
 #include "src/model/serialiser.h"
 #include "src/runtime/executor.h"
+#include "tests/history_builder.h"
 
 using namespace objectbase;  // NOLINT
 
@@ -39,6 +45,40 @@ model::History MakeHistory(int txns, int ops_per_txn, int objects,
     });
   }
   return exec.recorder().Snapshot();
+}
+
+// A deep-nested history: `tops` top-level transactions, each sending
+// `branch` messages that start chains of `depth` nested method executions;
+// every leaf issues `ops_per_leaf` conflicting local steps (withdraw /
+// balance mix) on a random account.  Executions per top = 1 + branch*depth.
+model::History MakeDeepHistory(int tops, int depth, int branch,
+                               int ops_per_leaf, int objects, uint64_t seed) {
+  model::HistoryBuilder b;
+  std::vector<model::ObjectId> accts;
+  for (int i = 0; i < objects; ++i) {
+    accts.push_back(b.AddObject("acct:" + std::to_string(i),
+                                adt::MakeBankAccountSpec(1'000'000'000)));
+  }
+  Rng rng(seed);
+  for (int t = 0; t < tops; ++t) {
+    model::ExecId top = b.Top("t" + std::to_string(t));
+    for (int c = 0; c < branch; ++c) {
+      model::ExecId node = top;
+      model::ObjectId leaf_obj = 0;
+      for (int d = 0; d < depth; ++d) {
+        leaf_obj = accts[rng.Uniform(objects)];
+        node = b.Child(node, leaf_obj, "m");
+      }
+      for (int k = 0; k < ops_per_leaf; ++k) {
+        if (rng.Uniform(4) == 0) {
+          b.Local(node, leaf_obj, "balance");
+        } else {
+          b.Local(node, leaf_obj, "withdraw", {1});
+        }
+      }
+    }
+  }
+  return b.Build();
 }
 
 }  // namespace
@@ -79,8 +119,61 @@ int main() {
                   TablePrinter::Fmt(uint64_t{sg.EdgeCount()}),
                   TablePrinter::Fmt(oracle_ms, 2),
                   ser_ms < 0 ? "-" : TablePrinter::Fmt(ser_ms, 2)});
+    bench::JsonLine("sg_checker")
+        .Field("name", "flat")
+        .Field("txns", int64_t{txns} * scale)
+        .Field("steps", uint64_t{h.steps.size()})
+        .Field("execs", uint64_t{h.executions.size()})
+        .Field("edges", uint64_t{sg.EdgeCount()})
+        .Field("ns_per_op", sg_ms * 1e6)
+        .Field("throughput", sg_ms > 0 ? 1e3 / sg_ms : 0.0)
+        .Field("oracle_ms", oracle_ms)
+        .Field("serialise_ms", ser_ms)
+        .Emit();
   }
   table.Print();
+
+  std::printf("\n--- deep-nested histories (branch=2, 25%% balance reads) "
+              "---\n");
+  TablePrinter deep({"execs", "depth", "steps", "SG-build-ms", "SG-edges",
+                     "build/s"});
+  struct DeepCase {
+    int tops;
+    int depth;
+  };
+  // execs per top = 1 + 2*depth: covers ~10^2, ~10^3, ~10^4 executions.
+  for (DeepCase dc : {DeepCase{12, 4}, DeepCase{112, 4}, DeepCase{1112, 4},
+                      DeepCase{84, 6}, DeepCase{770, 6}}) {
+    model::History h =
+        MakeDeepHistory(dc.tops, dc.depth, /*branch=*/2,
+                        /*ops_per_leaf=*/3, /*objects=*/24, 7 + dc.tops);
+    // Repeat small builds for a stable ns/op figure.
+    const size_t execs = h.executions.size();
+    int iters = execs <= 200 ? 20 : execs <= 2000 ? 5 : 1;
+    size_t edges = 0;
+    Stopwatch clock;
+    for (int i = 0; i < iters; ++i) {
+      model::Digraph sg = model::BuildSerialisationGraph(h);
+      edges = sg.EdgeCount();
+    }
+    double ms = clock.ElapsedNanos() / 1e6 / iters;
+    deep.AddRow({TablePrinter::Fmt(uint64_t{execs}),
+                 TablePrinter::Fmt(int64_t{dc.depth}),
+                 TablePrinter::Fmt(uint64_t{h.steps.size()}),
+                 TablePrinter::Fmt(ms, 2), TablePrinter::Fmt(uint64_t{edges}),
+                 TablePrinter::Fmt(ms > 0 ? 1e3 / ms : 0.0, 1)});
+    bench::JsonLine("sg_checker")
+        .Field("name", "deep")
+        .Field("execs", uint64_t{execs})
+        .Field("depth", dc.depth)
+        .Field("steps", uint64_t{h.steps.size()})
+        .Field("edges", uint64_t{edges})
+        .Field("ns_per_op", ms * 1e6)
+        .Field("throughput", ms > 0 ? 1e3 / ms : 0.0)
+        .Emit();
+  }
+  deep.Print();
+
   std::printf("\nExpected shape: SG build grows with conflicting-step pairs "
               "(superlinear in steps\nper object); the oracle adds replay "
               "(linear); the literal => procedure is the most\nexpensive "

@@ -9,6 +9,7 @@
 #include <cstdlib>
 #include <string>
 
+#include "bench/bench_json.h"
 #include "src/common/table_printer.h"
 #include "src/workload/generators.h"
 #include "src/workload/runner.h"

@@ -1,0 +1,52 @@
+# Driver for the `check` target: configure + build Release and Debug trees,
+# run ctest in both, then run bench_sg_checker as a smoke test (small
+# history sizes finish in seconds; the JSON lines land in the log).
+#
+# Usage (equivalent to `cmake --build build --target check`):
+#   cmake -DSOURCE_DIR=. -DBINARY_ROOT=build/check -P cmake/check.cmake
+if(NOT DEFINED SOURCE_DIR OR NOT DEFINED BINARY_ROOT)
+  message(FATAL_ERROR "check.cmake needs -DSOURCE_DIR=... -DBINARY_ROOT=...")
+endif()
+
+include(ProcessorCount)
+ProcessorCount(NPROC)
+if(NPROC EQUAL 0)
+  set(NPROC 2)
+endif()
+
+foreach(config Release Debug)
+  set(tree ${BINARY_ROOT}/${config})
+  message(STATUS "==== ${config}: configure ====")
+  execute_process(
+    COMMAND ${CMAKE_COMMAND} -B ${tree} -S ${SOURCE_DIR}
+            -DCMAKE_BUILD_TYPE=${config}
+    RESULT_VARIABLE rc)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "${config} configure failed")
+  endif()
+  message(STATUS "==== ${config}: build ====")
+  execute_process(
+    COMMAND ${CMAKE_COMMAND} --build ${tree} -j ${NPROC}
+    RESULT_VARIABLE rc)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "${config} build failed")
+  endif()
+  message(STATUS "==== ${config}: ctest ====")
+  execute_process(
+    COMMAND ctest --output-on-failure -j ${NPROC}
+    WORKING_DIRECTORY ${tree}
+    RESULT_VARIABLE rc)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "${config} tests failed")
+  endif()
+endforeach()
+
+message(STATUS "==== bench smoke: bench_sg_checker (Release) ====")
+execute_process(
+  COMMAND ${BINARY_ROOT}/Release/bench_sg_checker
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "bench_sg_checker smoke run failed")
+endif()
+
+message(STATUS "check: all green")

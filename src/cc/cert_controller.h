@@ -18,6 +18,8 @@
 #ifndef OBJECTBASE_CC_CERT_CONTROLLER_H_
 #define OBJECTBASE_CC_CERT_CONTROLLER_H_
 
+#include <atomic>
+#include <cstdint>
 #include <map>
 #include <mutex>
 #include <vector>

@@ -62,27 +62,33 @@ void DependencyGraph::Doom(uint64_t top) {
 }
 
 bool DependencyGraph::OnCycleLocked(uint64_t start) const {
-  // DFS from `start` through unfinished successors; a path back to `start`
-  // is a dependency cycle (= serialisation cycle among live transactions).
-  std::vector<uint64_t> stack;
-  std::set<uint64_t> visited;
-  stack.push_back(start);
-  while (!stack.empty()) {
-    uint64_t v = stack.back();
-    stack.pop_back();
+  // DFS from `start` through successors; a path back to `start` is a
+  // dependency cycle (= a serialisation cycle involving `start`).  Finished
+  // (committed/aborted) transactions cannot extend a cycle through their
+  // own FUTURE steps, but the edges they already recorded still constrain
+  // the serialisation order, so the search follows them — a cycle routed
+  // through a committed node vetoes the commit just like an all-active one
+  // (pinned by DependencyGraphTest.CycleThroughCommittedNodeStillDetected).
+  //
+  // Visited bookkeeping is a per-node generation stamp plus a reusable
+  // stack: validation runs on every commit, so the hot path allocates
+  // nothing once the stack has grown to its high-water mark.
+  ++visit_gen_;
+  visit_stack_.clear();
+  visit_stack_.push_back(start);
+  while (!visit_stack_.empty()) {
+    uint64_t v = visit_stack_.back();
+    visit_stack_.pop_back();
     auto it = nodes_.find(v);
     if (it == nodes_.end()) continue;
     for (uint64_t w : it->second.successors) {
       if (w == start) return true;
       auto wit = nodes_.find(w);
       if (wit == nodes_.end()) continue;
-      if (wit->second.status == Status::kCommitted ||
-          wit->second.status == Status::kAborted) {
-        // Finished transactions cannot extend a live cycle through their
-        // own future steps, but their recorded edges still matter; keep
-        // following them.
+      if (wit->second.visit_mark != visit_gen_) {
+        wit->second.visit_mark = visit_gen_;
+        visit_stack_.push_back(w);
       }
-      if (visited.insert(w).second) stack.push_back(w);
     }
   }
   return false;

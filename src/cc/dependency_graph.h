@@ -26,6 +26,7 @@
 #include <mutex>
 #include <set>
 #include <string>
+#include <vector>
 
 #include "src/cc/controller.h"
 
@@ -86,14 +87,20 @@ class DependencyGraph {
     bool doomed = false;
     std::set<uint64_t> predecessors;  // transactions this one depends on
     std::set<uint64_t> successors;    // transactions depending on this one
+    /// OnCycleLocked visited stamp (== visit_gen_ when reached this run).
+    mutable uint64_t visit_mark = 0;
   };
 
-  // Requires mu_ held.  DFS over unfinished transactions.
+  // Requires mu_ held.  DFS from `start` over recorded edges (finished
+  // nodes' edges included — see the implementation comment).
   bool OnCycleLocked(uint64_t start) const;
 
   mutable std::mutex mu_;
   std::condition_variable cv_;
   std::map<uint64_t, Node> nodes_;
+  // OnCycleLocked scratch, guarded by mu_ like the nodes it walks.
+  mutable uint64_t visit_gen_ = 0;
+  mutable std::vector<uint64_t> visit_stack_;
 };
 
 }  // namespace objectbase::cc

@@ -124,14 +124,23 @@ LockManager::Outcome LockManager::Acquire(rt::TxnNode& txn, rt::Object& obj,
         break;
       }
     }
+    ++table.version;
     table.cv.notify_all();  // waiters behind us may now proceed
   };
   for (;;) {
+    // The version is captured while mu is held, so any table mutation
+    // between the blocker computation and the wait below bumps it and the
+    // wait returns immediately — no release can be missed.
+    const uint64_t seen = table.version;
     std::vector<uint64_t> blockers =
         BlockersLocked(table, txn, obj, req, my_seq);
     if (blockers.empty()) {
       unregister();
       table.entries.push_back(Entry{&txn, std::move(req)});
+      // A new entry can unblock a waiter too: it may flip the requester's
+      // HoldsHereLocked fairness exemption, so it counts as a mutation.
+      ++table.version;
+      table.cv.notify_all();
       txn.NoteLockedObject(obj.id());
       return Outcome::kGranted;
     }
@@ -143,9 +152,11 @@ LockManager::Outcome LockManager::Acquire(rt::TxnNode& txn, rt::Object& obj,
       unregister();
       return Outcome::kDeadlock;
     }
-    // Re-check with a timeout so a release that raced the wait registration
-    // cannot strand us.
-    table.cv.wait_for(g, std::chrono::milliseconds(5));
+    // Notification-driven: woken the moment a release/inheritance/waiter
+    // departure bumps the version.  The long timeout is a safety net only,
+    // not a polling interval.
+    table.cv.wait_for(g, std::chrono::milliseconds(250),
+                      [&] { return table.version != seen; });
     wfg_.ClearWaiting(thread_key);
   }
 }
@@ -159,6 +170,8 @@ LockManager::TryOutcome LockManager::TryAcquire(rt::TxnNode& txn,
       BlockersLocked(table, txn, obj, req, UINT64_MAX);
   if (blockers.empty()) {
     table.entries.push_back(Entry{&txn, req});
+    ++table.version;
+    table.cv.notify_all();
     txn.NoteLockedObject(obj.id());
     return TryOutcome::kGranted;
   }
@@ -180,9 +193,11 @@ LockManager::Outcome LockManager::WaitWhileBlocked(rt::TxnNode& txn,
         break;
       }
     }
+    ++table.version;
     table.cv.notify_all();
   };
   for (;;) {
+    const uint64_t seen = table.version;
     std::vector<uint64_t> blockers =
         BlockersLocked(table, txn, obj, req, my_seq);
     if (blockers.empty()) {
@@ -193,7 +208,8 @@ LockManager::Outcome LockManager::WaitWhileBlocked(rt::TxnNode& txn,
       unregister();
       return Outcome::kDeadlock;
     }
-    table.cv.wait_for(g, std::chrono::milliseconds(5));
+    table.cv.wait_for(g, std::chrono::milliseconds(250),
+                      [&] { return table.version != seen; });
     wfg_.ClearWaiting(thread_key);
   }
 }
@@ -230,7 +246,10 @@ void LockManager::TransferToParent(rt::TxnNode& child) {
         changed = true;
       }
     }
-    if (changed) table.cv.notify_all();
+    if (changed) {
+      ++table.version;
+      table.cv.notify_all();
+    }
   }
   parent->MergeLockedObjects(touched);
 }
@@ -256,7 +275,10 @@ void LockManager::ReleaseSubtree(rt::TxnNode& root) {
         ++it;
       }
     }
-    if (table.entries.size() != before) table.cv.notify_all();
+    if (table.entries.size() != before) {
+      ++table.version;
+      table.cv.notify_all();
+    }
   }
 }
 

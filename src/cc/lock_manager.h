@@ -103,12 +103,20 @@ class LockManager {
 
   // Per-object lock table: the hot path contends only on the object it
   // touches.
+  //
+  // `version` is a generation counter bumped (under mu) by every mutation
+  // that could unblock a waiter — lock release, grant (it can flip a
+  // waiter's HoldsHereLocked fairness exemption), inheritance to a parent,
+  // waiter departure.  Blocked acquirers sleep on cv until the version
+  // moves, so wakeups are notification-driven rather than quantised to a
+  // polling interval.
   struct ObjTable {
     std::mutex mu;
     std::condition_variable cv;
     std::vector<Entry> entries;
     std::vector<Waiter> waiters;
     uint64_t next_wait_seq = 0;
+    uint64_t version = 0;
   };
 
   ObjTable& GetTable(uint32_t object_id);

@@ -1,0 +1,85 @@
+#include "src/model/history_index.h"
+
+namespace objectbase::model {
+
+HistoryIndex::HistoryIndex(const History& h) {
+  const size_t n = h.executions.size();
+  parent_.resize(n);
+  top_.resize(n);
+  depth_.resize(n);
+  tin_.resize(n);
+  tout_.resize(n);
+  by_tin_.reserve(n);
+  aborted_.resize(n);
+
+  // Children lists via counting sort over parents (roots excluded).
+  std::vector<uint32_t> child_count(n, 0);
+  for (size_t e = 0; e < n; ++e) {
+    ExecId p = h.executions[e].parent;
+    parent_[e] = p;
+    if (p != kNoExec) ++child_count[p];
+  }
+  std::vector<uint32_t> child_offset(n + 1, 0);
+  for (size_t e = 0; e < n; ++e) {
+    child_offset[e + 1] = child_offset[e] + child_count[e];
+  }
+  std::vector<ExecId> children(child_offset[n]);
+  std::vector<uint32_t> fill = child_offset;
+  for (size_t e = 0; e < n; ++e) {
+    ExecId p = parent_[e];
+    if (p != kNoExec) children[fill[p]++] = static_cast<ExecId>(e);
+  }
+
+  // Preorder walk per root: stamps tin on entry; tout is tin plus the
+  // subtree size, so descendants form the by_tin_ slice [tin, tout).
+  uint32_t clock = 0;
+  std::vector<ExecId> stack;
+  for (size_t r = 0; r < n; ++r) {
+    if (parent_[r] != kNoExec) continue;
+    stack.push_back(static_cast<ExecId>(r));
+    while (!stack.empty()) {
+      ExecId e = stack.back();
+      stack.pop_back();
+      ExecId p = parent_[e];
+      if (p == kNoExec) {
+        depth_[e] = 0;
+        top_[e] = e;
+        aborted_[e] = h.executions[e].aborted ? 1 : 0;
+      } else {
+        depth_[e] = depth_[p] + 1;
+        top_[e] = top_[p];
+        aborted_[e] = (aborted_[p] || h.executions[e].aborted) ? 1 : 0;
+      }
+      tin_[e] = clock++;
+      by_tin_.push_back(e);
+      // Push children reversed so they pop in recording order.
+      for (uint32_t i = child_offset[e + 1]; i > child_offset[e]; --i) {
+        stack.push_back(children[i - 1]);
+      }
+    }
+    // Close tout for the finished tree: every node's subtree ends where the
+    // next preorder sibling (or the tree) begins.
+  }
+  // tout[e] = tin[e] + subtree_size(e); accumulate bottom-up over the
+  // preorder (children have larger tin than parents, so a reverse sweep
+  // sees every child before its parent).
+  for (size_t e = 0; e < n; ++e) tout_[e] = tin_[e] + 1;
+  for (size_t i = n; i > 0; --i) {
+    ExecId e = by_tin_[i - 1];
+    ExecId p = parent_[e];
+    if (p != kNoExec && tout_[e] > tout_[p]) tout_[p] = tout_[e];
+  }
+}
+
+ExecId HistoryIndex::Lca(ExecId a, ExecId b) const {
+  if (top_[a] != top_[b]) return kNoExec;
+  while (depth_[a] > depth_[b]) a = parent_[a];
+  while (depth_[b] > depth_[a]) b = parent_[b];
+  while (a != b) {
+    a = parent_[a];
+    b = parent_[b];
+  }
+  return a;
+}
+
+}  // namespace objectbase::model

@@ -1,0 +1,93 @@
+// One-pass ancestry/abort precomputation over a History.
+//
+// Every consumer of the execution forest (SG construction, the local
+// graphs of Definition 10, the serialiser, replay bucketing) needs the
+// same queries — "is a an ancestor of d?", "are a and b incomparable?",
+// "did e effectively abort?", "which executions descend from e?" — and the
+// History struct answers them by pointer-chasing parent links on every
+// call.  HistoryIndex answers all of them in O(1) (or returns a
+// precomputed contiguous slice) after a single O(|E|) pass:
+//
+//   * depth / parent / top arrays — flat copies of the forest structure;
+//   * an Euler-tour (preorder) numbering tin/tout with the standard
+//     interval property: a is an ancestor-or-self of d iff
+//     tin[a] <= tin[d] < tout[a];
+//   * by_tin — executions in preorder, so the descendants of e (self
+//     included) are exactly the contiguous slice by_tin[tin[e]..tout[e]);
+//   * effectively_aborted — the upward closure of the aborted flags
+//     (Section 3 semantics (b)) as a bitmap.
+//
+// The index is a snapshot: it must not outlive mutations of the history's
+// execution forest.
+#ifndef OBJECTBASE_MODEL_HISTORY_INDEX_H_
+#define OBJECTBASE_MODEL_HISTORY_INDEX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/model/history.h"
+
+namespace objectbase::model {
+
+class HistoryIndex {
+ public:
+  explicit HistoryIndex(const History& h);
+
+  size_t size() const { return parent_.size(); }
+
+  /// True iff `a` is an ancestor of `d` or a == d.  O(1).
+  bool IsAncestorOrSelf(ExecId a, ExecId d) const {
+    return tin_[a] <= tin_[d] && tin_[d] < tout_[a];
+  }
+
+  /// True iff neither execution is a descendent of the other.  O(1).
+  bool Incomparable(ExecId a, ExecId b) const {
+    return !IsAncestorOrSelf(a, b) && !IsAncestorOrSelf(b, a);
+  }
+
+  /// True iff the execution or any ancestor aborted.  O(1).
+  bool EffectivelyAborted(ExecId e) const { return aborted_[e] != 0; }
+
+  ExecId Parent(ExecId e) const { return parent_[e]; }
+  ExecId Top(ExecId e) const { return top_[e]; }
+  uint32_t Depth(ExecId e) const { return depth_[e]; }
+
+  /// Least common ancestor, or kNoExec when the executions live in
+  /// different top-level trees.  O(depth difference + distance to the lca).
+  ExecId Lca(ExecId a, ExecId b) const;
+
+  /// Executions of the subtree rooted at `e` (self included), preorder.
+  struct Slice {
+    const ExecId* first;
+    const ExecId* last;
+    const ExecId* begin() const { return first; }
+    const ExecId* end() const { return last; }
+    size_t size() const { return static_cast<size_t>(last - first); }
+  };
+  Slice DescendantsOf(ExecId e) const {
+    return Slice{by_tin_.data() + tin_[e], by_tin_.data() + tout_[e]};
+  }
+
+  /// All executions in preorder (roots in id order).
+  const std::vector<ExecId>& Preorder() const { return by_tin_; }
+
+  /// Appends the ancestors of `a` strictly below `stop` (i.e. the path
+  /// a, parent(a), ... up to but excluding `stop`) to `out`.  `stop` must
+  /// be an ancestor-or-self of `a`, or kNoExec for the whole chain.
+  void ChainBelow(ExecId a, ExecId stop, std::vector<ExecId>& out) const {
+    for (ExecId e = a; e != stop; e = parent_[e]) out.push_back(e);
+  }
+
+ private:
+  std::vector<ExecId> parent_;
+  std::vector<ExecId> top_;
+  std::vector<uint32_t> depth_;
+  std::vector<uint32_t> tin_;
+  std::vector<uint32_t> tout_;
+  std::vector<ExecId> by_tin_;
+  std::vector<uint8_t> aborted_;
+};
+
+}  // namespace objectbase::model
+
+#endif  // OBJECTBASE_MODEL_HISTORY_INDEX_H_

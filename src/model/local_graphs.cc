@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "src/model/history_index.h"
+
 namespace objectbase::model {
 namespace {
 
@@ -15,16 +17,21 @@ struct ConflictEdge {
 };
 
 std::vector<ConflictEdge> CollectConflictEdges(const History& h,
+                                               const HistoryIndex& idx,
                                                bool committed_only) {
   std::vector<ConflictEdge> edges;
+  std::vector<const Step*> live;
   for (ObjectId o = 0; o < h.num_objects(); ++o) {
-    const auto& order = h.object_order[o];
-    for (size_t i = 0; i < order.size(); ++i) {
-      const Step& first = h.steps[order[i]];
-      if (committed_only && h.EffectivelyAborted(first.exec)) continue;
-      for (size_t j = i + 1; j < order.size(); ++j) {
-        const Step& second = h.steps[order[j]];
-        if (committed_only && h.EffectivelyAborted(second.exec)) continue;
+    live.clear();
+    for (StepId sid : h.object_order[o]) {
+      const Step* s = &h.steps[sid];
+      if (committed_only && idx.EffectivelyAborted(s->exec)) continue;
+      live.push_back(s);
+    }
+    for (size_t i = 0; i < live.size(); ++i) {
+      const Step& first = *live[i];
+      for (size_t j = i + 1; j < live.size(); ++j) {
+        const Step& second = *live[j];
         if (first.exec == second.exec) continue;
         if (!h.StepConflicts(first, second)) continue;
         edges.push_back({first.exec, second.exec, o});
@@ -53,6 +60,12 @@ std::vector<ObjectId> ObjectsWithExecutions(const History& h) {
 }  // namespace
 
 LocalGraphs BuildLocalGraphs(const History& h, bool committed_only) {
+  const HistoryIndex idx(h);
+  return BuildLocalGraphs(h, idx, committed_only);
+}
+
+LocalGraphs BuildLocalGraphs(const History& h, const HistoryIndex& idx,
+                             bool committed_only) {
   LocalGraphs graphs;
   const size_t n = h.executions.size();
   for (ObjectId o : ObjectsWithExecutions(h)) {
@@ -60,7 +73,8 @@ LocalGraphs BuildLocalGraphs(const History& h, bool committed_only) {
     graphs.mesg.emplace(o, Digraph(n));
   }
 
-  std::vector<ConflictEdge> conflicts = CollectConflictEdges(h, committed_only);
+  std::vector<ConflictEdge> conflicts =
+      CollectConflictEdges(h, idx, committed_only);
 
   // SG_local(h, o): edges between incomparable method executions OF o whose
   // own steps conflict.
@@ -68,7 +82,7 @@ LocalGraphs BuildLocalGraphs(const History& h, bool committed_only) {
     const MethodExecution& ef = h.executions[c.from];
     const MethodExecution& et = h.executions[c.to];
     if (ef.object == c.object && et.object == c.object &&
-        h.Incomparable(c.from, c.to)) {
+        idx.Incomparable(c.from, c.to)) {
       auto it = graphs.local.find(c.object);
       if (it != graphs.local.end()) it->second.AddEdge(c.from, c.to);
     }
@@ -79,15 +93,12 @@ LocalGraphs BuildLocalGraphs(const History& h, bool committed_only) {
   for (const ConflictEdge& c : conflicts) {
     // The SG_local edge exists between the executions owning the steps
     // (they are executions of c.object by construction).
-    if (!h.Incomparable(c.from, c.to)) continue;
-    // Proper ancestors of each endpoint.
-    for (ExecId e = h.executions[c.from].parent; e != kNoExec;
-         e = h.executions[e].parent) {
-      for (ExecId e2 = h.executions[c.to].parent; e2 != kNoExec;
-           e2 = h.executions[e2].parent) {
+    if (!idx.Incomparable(c.from, c.to)) continue;
+    for (ExecId e = idx.Parent(c.from); e != kNoExec; e = idx.Parent(e)) {
+      for (ExecId e2 = idx.Parent(c.to); e2 != kNoExec; e2 = idx.Parent(e2)) {
         if (e == e2) continue;
         if (h.executions[e].object != h.executions[e2].object) continue;
-        if (!h.Incomparable(e, e2)) continue;
+        if (!idx.Incomparable(e, e2)) continue;
         auto it = graphs.mesg.find(h.executions[e].object);
         if (it != graphs.mesg.end()) it->second.AddEdge(e, e2);
       }
@@ -98,7 +109,8 @@ LocalGraphs BuildLocalGraphs(const History& h, bool committed_only) {
 
 Theorem5Result CheckTheorem5(const History& h, bool committed_only) {
   Theorem5Result result;
-  LocalGraphs graphs = BuildLocalGraphs(h, committed_only);
+  const HistoryIndex idx(h);
+  LocalGraphs graphs = BuildLocalGraphs(h, idx, committed_only);
 
   // Condition (a): SG_local(h,o) U SG_mesg(h,o) acyclic per object.
   for (auto& [o, local] : graphs.local) {
@@ -117,13 +129,22 @@ Theorem5Result CheckTheorem5(const History& h, bool committed_only) {
   }
 
   // Condition (b): ->_e acyclic for every execution e.
+  // Position of each local step in its object's application order, hoisted
+  // out of the per-execution loop.
+  std::vector<size_t> position(h.steps.size(), 0);
+  for (ObjectId o = 0; o < h.num_objects(); ++o) {
+    for (size_t i = 0; i < h.object_order[o].size(); ++i) {
+      position[h.object_order[o][i]] = i;
+    }
+  }
+  std::vector<std::vector<const Step*>> desc_steps;
   for (const MethodExecution& e : h.executions) {
-    if (committed_only && h.EffectivelyAborted(e.id)) continue;
+    if (committed_only && idx.EffectivelyAborted(e.id)) continue;
     std::vector<StepId> messages;
     for (StepId sid : e.steps) {
       if (h.steps[sid].kind == StepKind::kMessage) {
         if (committed_only &&
-            h.EffectivelyAborted(h.steps[sid].callee)) {
+            idx.EffectivelyAborted(h.steps[sid].callee)) {
           continue;
         }
         messages.push_back(sid);
@@ -131,26 +152,17 @@ Theorem5Result CheckTheorem5(const History& h, bool committed_only) {
     }
     if (messages.size() < 2) continue;
     Digraph arrow(messages.size());
-    // Precompute, per message, the set of steps of its descendents.
-    auto descendent_steps = [&](StepId m) {
-      std::vector<const Step*> out;
-      ExecId callee = h.steps[m].callee;
-      for (const MethodExecution& f : h.executions) {
-        if (!h.IsAncestorOrSelf(callee, f.id)) continue;
-        if (committed_only && h.EffectivelyAborted(f.id)) continue;
-        for (StepId sid : f.steps) {
+    // Local steps of each message's descendent executions, computed once
+    // per message (the executions of a subtree are one Euler slice).
+    desc_steps.assign(messages.size(), {});
+    for (size_t i = 0; i < messages.size(); ++i) {
+      for (ExecId f : idx.DescendantsOf(h.steps[messages[i]].callee)) {
+        if (committed_only && idx.EffectivelyAborted(f)) continue;
+        for (StepId sid : h.executions[f].steps) {
           if (h.steps[sid].kind == StepKind::kLocal) {
-            out.push_back(&h.steps[sid]);
+            desc_steps[i].push_back(&h.steps[sid]);
           }
         }
-      }
-      return out;
-    };
-    // Position of each local step in its object's application order.
-    std::map<StepId, size_t> position;
-    for (ObjectId o = 0; o < h.num_objects(); ++o) {
-      for (size_t i = 0; i < h.object_order[o].size(); ++i) {
-        position[h.object_order[o][i]] = i;
       }
     }
     for (size_t i = 0; i < messages.size(); ++i) {
@@ -160,9 +172,9 @@ Theorem5Result CheckTheorem5(const History& h, bool committed_only) {
         const Step& u2 = h.steps[messages[j]];
         bool edge = u.po_index < u2.po_index;
         if (!edge) {
-          for (const Step* t : descendent_steps(messages[i])) {
+          for (const Step* t : desc_steps[i]) {
             if (edge) break;
-            for (const Step* t2 : descendent_steps(messages[j])) {
+            for (const Step* t2 : desc_steps[j]) {
               if (t->object != t2->object) continue;
               if (position[t->id] < position[t2->id] &&
                   (h.StepConflicts(*t, *t2) || h.StepConflicts(*t2, *t))) {

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "src/model/history.h"
+#include "src/model/history_index.h"
 #include "src/model/serialisation_graph.h"
 
 namespace objectbase::model {
@@ -41,6 +42,11 @@ struct LocalGraphs {
 /// relates them through conflicts anywhere below — mirroring the proof of
 /// Theorem 5, which starts the descent at the environment.
 LocalGraphs BuildLocalGraphs(const History& h, bool committed_only = true);
+
+/// As above with a caller-supplied ancestry index over `h` (callers that
+/// already hold one, e.g. CheckTheorem5, avoid rebuilding it).
+LocalGraphs BuildLocalGraphs(const History& h, const HistoryIndex& idx,
+                             bool committed_only);
 
 struct Theorem5Result {
   bool holds = false;

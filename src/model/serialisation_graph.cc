@@ -1,21 +1,74 @@
 #include "src/model/serialisation_graph.h"
 
 #include <algorithm>
+#include <unordered_set>
+
+#include "src/model/history_index.h"
 
 namespace objectbase::model {
 
+Digraph::Digraph(size_t n, bool expect_dense)
+    : adj_(n), dirty_(n, 0), bits_(n, kDenseBitsLimit) {
+  if (expect_dense && bits_.eligible() && n <= kEagerBitsetNodes) {
+    bits_.Allocate();
+  }
+}
+
+void Digraph::ActivateBitset() {
+  // Canonicalise first so the backfill seeds exactly the current edge set.
+  CompactAll();
+  bits_.Allocate();
+  for (uint32_t v = 0; v < adj_.size(); ++v) {
+    for (uint32_t w : adj_[v]) bits_.TestAndSet(v, w);
+  }
+}
+
 void Digraph::AddEdge(uint32_t from, uint32_t to) {
   if (from == to) return;
-  adj_[from].insert(to);
+  if (bits_.active()) {
+    if (bits_.TestAndSet(from, to)) return;  // duplicate: already present
+    // The vector stays duplicate-free; it is merely unsorted until the
+    // next query of this node.
+  } else if (bits_.eligible() && ++raw_inserts_ >= kLazyActivationEdges) {
+    ActivateBitset();
+    if (bits_.TestAndSet(from, to)) return;
+  }
+  adj_[from].push_back(to);
+  dirty_[from] = 1;
+  any_dirty_ = true;
+}
+
+void Digraph::Compact(uint32_t v) const {
+  if (!dirty_[v]) return;
+  auto& succ = adj_[v];
+  std::sort(succ.begin(), succ.end());
+  if (!bits_.active()) {
+    succ.erase(std::unique(succ.begin(), succ.end()), succ.end());
+  }
+  dirty_[v] = 0;
+}
+
+void Digraph::CompactAll() const {
+  if (!any_dirty_) return;
+  for (uint32_t v = 0; v < adj_.size(); ++v) Compact(v);
+  any_dirty_ = false;
 }
 
 bool Digraph::HasEdge(uint32_t from, uint32_t to) const {
-  return adj_[from].count(to) > 0;
+  if (bits_.active()) return bits_.Test(from, to);
+  Compact(from);
+  return std::binary_search(adj_[from].begin(), adj_[from].end(), to);
+}
+
+const std::vector<uint32_t>& Digraph::Successors(uint32_t from) const {
+  Compact(from);
+  return adj_[from];
 }
 
 size_t Digraph::EdgeCount() const {
+  CompactAll();
   size_t n = 0;
-  for (const auto& s : adj_) n += s.size();
+  for (const auto& succ : adj_) n += succ.size();
   return n;
 }
 
@@ -23,38 +76,39 @@ bool Digraph::IsAcyclic() const { return !FindCycle().has_value(); }
 
 std::optional<std::vector<uint32_t>> Digraph::FindCycle() const {
   enum { kWhite, kGrey, kBlack };
-  std::vector<int> colour(adj_.size(), kWhite);
-  std::vector<uint32_t> stack;
+  state_.assign(adj_.size(), kWhite);
+  vstack_.clear();
+  dfs_.clear();
 
-  // Iterative DFS with an explicit stack of (vertex, iterator position).
+  // Iterative DFS with an explicit stack of (vertex, successor index).
+  // Duplicate edges (possible while a node is dirty) only revisit black
+  // vertices, so traversal needs no compaction.
   for (uint32_t start = 0; start < adj_.size(); ++start) {
-    if (colour[start] != kWhite) continue;
-    std::vector<std::pair<uint32_t, std::set<uint32_t>::const_iterator>> dfs;
-    colour[start] = kGrey;
-    stack.push_back(start);
-    dfs.emplace_back(start, adj_[start].begin());
-    while (!dfs.empty()) {
-      auto& [v, it] = dfs.back();
-      if (it == adj_[v].end()) {
-        colour[v] = kBlack;
-        stack.pop_back();
-        dfs.pop_back();
+    if (state_[start] != kWhite) continue;
+    state_[start] = kGrey;
+    vstack_.push_back(start);
+    dfs_.emplace_back(start, 0);
+    while (!dfs_.empty()) {
+      auto& [v, i] = dfs_.back();
+      if (i == adj_[v].size()) {
+        state_[v] = kBlack;
+        vstack_.pop_back();
+        dfs_.pop_back();
         continue;
       }
-      uint32_t w = *it;
-      ++it;
-      if (colour[w] == kGrey) {
+      uint32_t w = adj_[v][i++];
+      if (state_[w] == kGrey) {
         // Found a cycle: extract it from the grey stack.
         std::vector<uint32_t> cycle;
-        auto pos = std::find(stack.begin(), stack.end(), w);
-        cycle.assign(pos, stack.end());
+        auto pos = std::find(vstack_.begin(), vstack_.end(), w);
+        cycle.assign(pos, vstack_.end());
         cycle.push_back(w);
         return cycle;
       }
-      if (colour[w] == kWhite) {
-        colour[w] = kGrey;
-        stack.push_back(w);
-        dfs.emplace_back(w, adj_[w].begin());
+      if (state_[w] == kWhite) {
+        state_[w] = kGrey;
+        vstack_.push_back(w);
+        dfs_.emplace_back(w, 0);
       }
     }
   }
@@ -63,33 +117,35 @@ std::optional<std::vector<uint32_t>> Digraph::FindCycle() const {
 
 std::vector<uint32_t> Digraph::TopologicalOrder(
     const std::vector<uint32_t>& nodes) const {
-  std::set<uint32_t> in_set(nodes.begin(), nodes.end());
+  // 0 unvisited, 1 active, 2 done, 3 outside the node set.
+  state_.assign(adj_.size(), 3);
+  for (uint32_t v : nodes) state_[v] = 0;
   std::vector<uint32_t> order;
-  std::vector<int> state(adj_.size(), 0);  // 0 unvisited, 1 active, 2 done
-  std::vector<std::pair<uint32_t, std::set<uint32_t>::const_iterator>> dfs;
+  order.reserve(nodes.size());
+  dfs_.clear();
   for (uint32_t start : nodes) {
-    if (state[start] != 0) continue;
-    state[start] = 1;
-    dfs.emplace_back(start, adj_[start].begin());
-    while (!dfs.empty()) {
-      auto& [v, it] = dfs.back();
-      // Skip edges leaving the node set.
-      while (it != adj_[v].end() && (in_set.count(*it) == 0 || state[*it] == 2)) {
-        ++it;
+    if (state_[start] != 0) continue;
+    state_[start] = 1;
+    dfs_.emplace_back(start, 0);
+    while (!dfs_.empty()) {
+      auto& [v, i] = dfs_.back();
+      // Skip edges leaving the node set and edges to finished vertices.
+      while (i < adj_[v].size() &&
+             (state_[adj_[v][i]] == 3 || state_[adj_[v][i]] == 2)) {
+        ++i;
       }
-      if (it == adj_[v].end()) {
-        state[v] = 2;
+      if (i == adj_[v].size()) {
+        state_[v] = 2;
         order.push_back(v);
-        dfs.pop_back();
+        dfs_.pop_back();
         continue;
       }
-      uint32_t w = *it;
-      ++it;
-      if (state[w] == 0) {
-        state[w] = 1;
-        dfs.emplace_back(w, adj_[w].begin());
+      uint32_t w = adj_[v][i++];
+      if (state_[w] == 0) {
+        state_[w] = 1;
+        dfs_.emplace_back(w, 0);
       }
-      // state[w] == 1 would be a cycle; callers guarantee acyclicity.
+      // state_[w] == 1 would be a cycle; callers guarantee acyclicity.
     }
   }
   std::reverse(order.begin(), order.end());
@@ -97,85 +153,142 @@ std::vector<uint32_t> Digraph::TopologicalOrder(
 }
 
 void Digraph::UnionWith(const Digraph& other) {
+  if (&other == this) return;  // AddEdge would invalidate the iteration
   for (uint32_t v = 0; v < other.adj_.size(); ++v) {
-    for (uint32_t w : other.adj_[v]) adj_[v].insert(w);
+    for (uint32_t w : other.adj_[v]) AddEdge(v, w);
   }
 }
 
 namespace {
 
-// Collects the chain of ancestors of `e` (inclusive) into `out`, nearest
-// first.
-void AncestorChain(const History& h, ExecId e, std::vector<ExecId>& out) {
-  out.clear();
-  while (e != kNoExec) {
-    out.push_back(e);
-    e = h.executions[e].parent;
+// Marks distinct (from, to) execution pairs whose SG edge fan-out has been
+// emitted, so conflicting step pairs between the same two executions do the
+// chain work once.  Dense bitmap for small histories, hash set above that
+// (a single memo per build, so its budget is looser than Digraph's
+// per-graph one).
+class PairMemo {
+ public:
+  explicit PairMemo(size_t n) : bits_(n, kDenseLimit) {
+    // One memo per build: allocate eagerly, the budget is already sized
+    // for a single instance.
+    if (bits_.eligible()) bits_.Allocate();
   }
-}
 
-// Adds SG edges for a pair of ordered conflicting steps (or ◁-ordered
-// messages): an edge u -> u' for every pair of incomparable executions
-// (u, u') with u an ancestor-or-self of `a` and u' an ancestor-or-self of
-// `b` (the Observation after Definition 9).
-void AddEdgesForPair(const History& h, ExecId a, ExecId b, Digraph& g) {
-  std::vector<ExecId> ca, cb;
-  AncestorChain(h, a, ca);
-  AncestorChain(h, b, cb);
-  for (ExecId u : ca) {
-    for (ExecId u2 : cb) {
-      if (u == u2) continue;
-      if (h.Incomparable(u, u2)) g.AddEdge(u, u2);
-    }
+  bool Contains(uint32_t a, uint32_t b) const {
+    if (bits_.active()) return bits_.Test(a, b);
+    return set_.count((uint64_t{a} << 32) | b) > 0;
   }
-}
+
+  void Insert(uint32_t a, uint32_t b) {
+    if (bits_.active()) {
+      bits_.TestAndSet(a, b);
+      return;
+    }
+    set_.insert((uint64_t{a} << 32) | b);
+  }
+
+ private:
+  static constexpr uint64_t kDenseLimit = uint64_t{1} << 27;  // 16 MiB
+
+  DensePairBits bits_;
+  std::unordered_set<uint64_t> set_;
+};
 
 }  // namespace
 
 Digraph BuildSerialisationGraph(const History& h, bool committed_only) {
-  Digraph g(h.executions.size());
+  const size_t n = h.executions.size();
+  Digraph g(n, /*expect_dense=*/true);
+  if (n == 0) return g;
+
+  // One pass over the forest: depth, tops, Euler intervals (O(1) ancestry
+  // tests and contiguous descendant slices) and the effectively-aborted
+  // closure.  Nothing below re-walks parent chains per pair.
+  const HistoryIndex idx(h);
+  auto excluded = [&](ExecId e) {
+    return committed_only && idx.EffectivelyAborted(e);
+  };
+
+  // Adds the SG edges for a pair of ordered conflicting steps (or ◁-ordered
+  // messages) owned by incomparable executions a, b: an edge u -> u' for
+  // every pair of incomparable ancestors-or-self (the Observation after
+  // Definition 9).  Exactly the ancestors strictly below lca(a, b) qualify:
+  // at or above the lca the pair is comparable, and below it the two paths
+  // run through different children of the lca, hence every cross pair is
+  // incomparable — no per-pair incomparability tests needed.
+  PairMemo done(n);
+  std::vector<ExecId> chain_a, chain_b;
+  auto add_edges_for_pair = [&](ExecId a, ExecId b) {
+    const ExecId lca = idx.Lca(a, b);
+    chain_a.clear();
+    chain_b.clear();
+    idx.ChainBelow(a, lca, chain_a);
+    idx.ChainBelow(b, lca, chain_b);
+    for (ExecId u : chain_a) {
+      for (ExecId u2 : chain_b) g.AddEdge(u, u2);
+    }
+  };
 
   // Type (a) edges: ordered conflicting local steps.
+  std::vector<const Step*> live;
   for (ObjectId o = 0; o < h.num_objects(); ++o) {
-    const auto& order = h.object_order[o];
-    for (size_t i = 0; i < order.size(); ++i) {
-      const Step& first = h.steps[order[i]];
-      if (committed_only && h.EffectivelyAborted(first.exec)) continue;
-      for (size_t j = i + 1; j < order.size(); ++j) {
-        const Step& second = h.steps[order[j]];
-        if (committed_only && h.EffectivelyAborted(second.exec)) continue;
+    // Committed projection of the object's application order.
+    live.clear();
+    for (StepId sid : h.object_order[o]) {
+      const Step* s = &h.steps[sid];
+      if (!excluded(s->exec)) live.push_back(s);
+    }
+    for (size_t i = 0; i < live.size(); ++i) {
+      const Step& first = *live[i];
+      for (size_t j = i + 1; j < live.size(); ++j) {
+        const Step& second = *live[j];
         if (first.exec == second.exec) continue;
-        if (!h.Incomparable(first.exec, second.exec)) continue;
+        if (done.Contains(first.exec, second.exec)) continue;
+        if (!idx.Incomparable(first.exec, second.exec)) continue;
         // Symmetric closure is NOT taken: the edge reflects that `second`
         // cannot be moved before `first`, which is exactly
         // conflicts(first, second) in Definition 3's order-sensitive sense.
         if (h.StepConflicts(first, second)) {
-          AddEdgesForPair(h, first.exec, second.exec, g);
+          done.Insert(first.exec, second.exec);
+          add_edges_for_pair(first.exec, second.exec);
         }
       }
     }
   }
 
-  // Type (b) edges: ◁-ordered message steps of a common ancestor.
+  // Type (b) edges: ◁-ordered message steps of a common ancestor.  Every
+  // descendent of B(m) precedes every descendent of B(m2); descendants are
+  // contiguous Euler-order slices, filtered to the committed projection
+  // once per callee.
+  std::vector<std::vector<ExecId>> desc_cache(n);
+  std::vector<uint8_t> desc_cached(n, 0);
+  auto committed_descendants = [&](ExecId e) -> const std::vector<ExecId>& {
+    if (!desc_cached[e]) {
+      desc_cached[e] = 1;
+      auto& out = desc_cache[e];
+      for (ExecId f : idx.DescendantsOf(e)) {
+        if (!excluded(f)) out.push_back(f);
+      }
+    }
+    return desc_cache[e];
+  };
+
+  std::vector<const Step*> msgs;
   for (const MethodExecution& e : h.executions) {
-    if (committed_only && h.EffectivelyAborted(e.id)) continue;
+    if (excluded(e.id)) continue;
+    msgs.clear();
     for (StepId si : e.steps) {
       const Step& m = h.steps[si];
-      if (m.kind != StepKind::kMessage) continue;
-      if (committed_only && h.EffectivelyAborted(m.callee)) continue;
-      for (StepId sj : e.steps) {
-        const Step& m2 = h.steps[sj];
-        if (m2.kind != StepKind::kMessage) continue;
-        if (m.po_index >= m2.po_index) continue;
-        if (committed_only && h.EffectivelyAborted(m2.callee)) continue;
-        // Every descendent of B(m) precedes every descendent of B(m2).
-        for (const MethodExecution& f : h.executions) {
-          if (!h.IsAncestorOrSelf(m.callee, f.id)) continue;
-          if (committed_only && h.EffectivelyAborted(f.id)) continue;
-          for (const MethodExecution& f2 : h.executions) {
-            if (!h.IsAncestorOrSelf(m2.callee, f2.id)) continue;
-            if (committed_only && h.EffectivelyAborted(f2.id)) continue;
-            g.AddEdge(f.id, f2.id);
+      if (m.kind == StepKind::kMessage && !excluded(m.callee)) {
+        msgs.push_back(&m);
+      }
+    }
+    for (const Step* m : msgs) {
+      for (const Step* m2 : msgs) {
+        if (m->po_index >= m2->po_index) continue;
+        for (ExecId f : committed_descendants(m->callee)) {
+          for (ExecId f2 : committed_descendants(m2->callee)) {
+            g.AddEdge(f, f2);
           }
         }
       }

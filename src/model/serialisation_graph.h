@@ -10,30 +10,99 @@
 // Theorem 2: if SG(h) is acyclic, h is serialisable.  The checker below is
 // the workhorse of every protocol-correctness test and of the
 // serialisability oracle.
+//
+// Engineering notes (see docs/serialisation_graph.md):
+//   * Digraph stores per-node flat vectors (sorted + deduplicated lazily)
+//     instead of std::set nodes — AddEdge is an amortised-O(1) push_back;
+//     for small graphs a dense bitset additionally gives O(1) HasEdge and
+//     exact dedup on insert.
+//   * FindCycle / TopologicalOrder reuse scratch buffers across calls, so
+//     repeated acyclicity checks on one graph allocate nothing.
+//   * BuildSerialisationGraph precomputes ancestry once per history
+//     (HistoryIndex) instead of pointer-chasing parent links per pair.
 #ifndef OBJECTBASE_MODEL_SERIALISATION_GRAPH_H_
 #define OBJECTBASE_MODEL_SERIALISATION_GRAPH_H_
 
+#include <cstdint>
 #include <optional>
-#include <set>
-#include <string>
 #include <vector>
 
 #include "src/model/history.h"
 
 namespace objectbase::model {
 
+/// A dense bitset over an n x n (from, to) id space.  Construction only
+/// records whether the cell count fits the given bit budget (`eligible()`);
+/// the n^2-bit storage is allocated by an explicit Allocate() call, so
+/// holders can defer (or skip) the allocation for sparse graphs.  Shared
+/// by Digraph's edge table and the SG builder's pair memo so the cell
+/// addressing lives in one place.
+class DensePairBits {
+ public:
+  DensePairBits(size_t n, uint64_t max_bits)
+      : n_(n),
+        eligible_(n > 0 && static_cast<uint64_t>(n) * n <= max_bits) {}
+
+  bool eligible() const { return eligible_; }
+  bool active() const { return !bits_.empty(); }
+
+  /// Allocates (and zeroes) the storage; requires eligible().
+  void Allocate() {
+    bits_.resize((static_cast<uint64_t>(n_) * n_ + 63) / 64, 0);
+  }
+
+  /// Requires active().
+  bool Test(uint32_t a, uint32_t b) const {
+    const uint64_t cell = static_cast<uint64_t>(a) * n_ + b;
+    return (bits_[cell >> 6] >> (cell & 63)) & 1;
+  }
+
+  /// Sets the bit; returns its previous value.  Requires active().
+  bool TestAndSet(uint32_t a, uint32_t b) {
+    const uint64_t cell = static_cast<uint64_t>(a) * n_ + b;
+    uint64_t& word = bits_[cell >> 6];
+    const uint64_t mask = uint64_t{1} << (cell & 63);
+    if (word & mask) return true;
+    word |= mask;
+    return false;
+  }
+
+ private:
+  size_t n_;
+  bool eligible_;
+  std::vector<uint64_t> bits_;
+};
+
 /// A directed graph over method executions (or any dense id space).
+///
+/// Adjacency is a per-node flat vector.  AddEdge appends (amortised O(1));
+/// duplicate edges collapse either eagerly through the dense edge bitset
+/// (graphs up to kDenseBitsLimit potential edges) or lazily at the next
+/// query via sort+unique.  Query methods (HasEdge, Successors, EdgeCount,
+/// traversals) therefore observe set semantics, same as the previous
+/// std::set-based representation.
+///
+/// Thread safety: unlike the std::set representation, the const query
+/// methods mutate internal state (lazy compaction, reusable DFS scratch),
+/// so concurrent access — even read-only — to one Digraph requires
+/// external synchronisation.
 class Digraph {
  public:
-  explicit Digraph(size_t n) : adj_(n) {}
+  /// `expect_dense` pre-allocates the n^2-bit edge table up front (when n
+  /// is within budget) instead of waiting for kLazyActivationEdges
+  /// insertions; pass true when the graph is known to attract many
+  /// duplicate edges (the SG builder), leave false for graph populations
+  /// that are usually sparse (LocalGraphs holds two Digraphs per object,
+  /// so eager n^2-bit tables would scale with the object count).
+  explicit Digraph(size_t n, bool expect_dense = false);
 
   size_t size() const { return adj_.size(); }
 
   void AddEdge(uint32_t from, uint32_t to);
   bool HasEdge(uint32_t from, uint32_t to) const;
-  const std::set<uint32_t>& Successors(uint32_t from) const {
-    return adj_[from];
-  }
+
+  /// Successors of `from`, sorted ascending, no duplicates.
+  const std::vector<uint32_t>& Successors(uint32_t from) const;
 
   size_t EdgeCount() const;
 
@@ -51,7 +120,34 @@ class Digraph {
   void UnionWith(const Digraph& other);
 
  private:
-  std::vector<std::set<uint32_t>> adj_;
+  /// Maximum n*n for which the dense edge bitset is used (8 MiB of bits
+  /// per graph — LocalGraphs materialises two Digraphs per object, so this
+  /// is deliberately tighter than the SG builder's single pair memo).
+  static constexpr uint64_t kDenseBitsLimit = uint64_t{1} << 26;
+  /// Up to this many nodes an `expect_dense` graph allocates the bitset
+  /// eagerly; larger (or not-expected-dense) eligible graphs allocate
+  /// lazily once kLazyActivationEdges insertions show the graph is dense
+  /// enough to repay the n^2-bit memset — near-edge-free graphs (the
+  /// LocalGraphs common case) never pay it.
+  static constexpr size_t kEagerBitsetNodes = 2048;
+  static constexpr size_t kLazyActivationEdges = 1024;
+
+  void ActivateBitset();
+  void Compact(uint32_t v) const;
+  void CompactAll() const;
+
+  // adj_/dirty_ are mutable: queries compact lazily without changing the
+  // observable edge set.
+  mutable std::vector<std::vector<uint32_t>> adj_;
+  mutable std::vector<uint8_t> dirty_;
+  mutable bool any_dirty_ = false;
+  DensePairBits bits_;  ///< n*n dense edge set; inactive for large n.
+  size_t raw_inserts_ = 0;  ///< AddEdge calls before bitset activation.
+
+  // Scratch reused across FindCycle / TopologicalOrder calls.
+  mutable std::vector<int> state_;
+  mutable std::vector<uint32_t> vstack_;
+  mutable std::vector<std::pair<uint32_t, size_t>> dfs_;
 };
 
 /// Builds SG(h).  When `committed_only` is true (the default, matching the

@@ -4,6 +4,7 @@
 #include <map>
 #include <sstream>
 
+#include "src/model/history_index.h"
 #include "src/model/replay.h"
 
 namespace objectbase::model {
@@ -20,6 +21,7 @@ SerialiseResult Serialise(const History& h) {
   }
 
   const size_t n = h.executions.size();
+  const HistoryIndex idx(h);
   // The "=>" relation as an adjacency matrix (histories fed to the literal
   // procedure are test-sized).
   std::vector<std::vector<bool>> implies(n, std::vector<bool>(n, false));
@@ -30,18 +32,13 @@ SerialiseResult Serialise(const History& h) {
   int max_level = 0;
   std::vector<int> level(n);
   for (uint32_t v = 0; v < n; ++v) {
-    level[v] = h.Level(v);
+    level[v] = static_cast<int>(idx.Depth(v));
     max_level = std::max(max_level, level[v]);
   }
 
-  // Descendant closure for inheritance.
-  auto descendants_of = [&](uint32_t e) {
-    std::vector<uint32_t> out;
-    for (uint32_t f = 0; f < n; ++f) {
-      if (h.IsAncestorOrSelf(e, f)) out.push_back(f);
-    }
-    return out;
-  };
+  // Descendant closure for inheritance: one contiguous Euler slice per
+  // execution, no per-call scan of the whole forest.
+  auto descendants_of = [&](uint32_t e) { return idx.DescendantsOf(e); };
 
   for (int l = 0; l <= max_level; ++l) {
     std::vector<uint32_t> nodes;
@@ -102,6 +99,7 @@ std::vector<std::vector<StepId>> SerialStepOrder(
     bool committed_only) {
   std::map<ExecId, size_t> top_rank;
   for (size_t i = 0; i < top_order.size(); ++i) top_rank[top_order[i]] = i;
+  const HistoryIndex idx(h);
 
   std::vector<std::vector<StepId>> serial(h.num_objects());
   for (ObjectId o = 0; o < h.num_objects(); ++o) {
@@ -110,8 +108,8 @@ std::vector<std::vector<StepId>> SerialStepOrder(
     std::vector<std::vector<StepId>> buckets(top_order.size());
     for (StepId sid : h.object_order[o]) {
       const Step& s = h.steps[sid];
-      if (committed_only && h.EffectivelyAborted(s.exec)) continue;
-      auto it = top_rank.find(h.TopAncestor(s.exec));
+      if (committed_only && idx.EffectivelyAborted(s.exec)) continue;
+      auto it = top_rank.find(idx.Top(s.exec));
       if (it == top_rank.end()) continue;  // excluded top (aborted)
       buckets[it->second].push_back(sid);
     }

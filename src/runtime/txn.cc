@@ -7,14 +7,19 @@ TxnNode::TxnNode(uint64_t uid, TxnNode* parent, uint32_t object_id,
     : uid_(uid),
       parent_(parent),
       top_(parent == nullptr ? this : parent->top_),
+      depth_(parent == nullptr ? 0 : parent->depth_ + 1),
       object_id_(object_id),
       method_(std::move(method)) {}
 
 bool TxnNode::HasAncestorOrSelf(const TxnNode* a) const {
-  for (const TxnNode* n = this; n != nullptr; n = n->parent_) {
-    if (n == a) return true;
-  }
-  return false;
+  // Cached top/depth fast paths: nodes in different transaction trees (the
+  // common case on the lock-manager hot path) answer in O(1), and within a
+  // tree the walk climbs exactly depth() - a->depth() links.
+  if (a == nullptr) return false;
+  if (a->top_ != top_ || a->depth_ > depth_) return false;
+  const TxnNode* n = this;
+  for (uint32_t d = depth_; d > a->depth_; --d) n = n->parent_;
+  return n == a;
 }
 
 bool TxnNode::HasAncestorOrSelf(uint64_t a_uid) const {

@@ -44,6 +44,8 @@ class TxnNode {
   TxnNode* parent() const { return parent_; }
   TxnNode* top() { return top_; }
   const TxnNode* top() const { return top_; }
+  /// Nesting depth: 0 for top-level executions.
+  uint32_t depth() const { return depth_; }
   uint32_t object_id() const { return object_id_; }
   const std::string& method() const { return method_; }
 
@@ -121,6 +123,7 @@ class TxnNode {
   uint64_t uid_;
   TxnNode* parent_;
   TxnNode* top_;
+  uint32_t depth_;
   uint32_t object_id_;
   std::string method_;
   cc::Hts hts_;

@@ -102,6 +102,62 @@ TEST(DependencyGraphTest, CycleDetectedAtValidation) {
   EXPECT_FALSE(g.ValidateAndWait(2, &reason));
 }
 
+// Pins the OnCycleLocked semantics for finished nodes: edges recorded by a
+// committed (or aborted) transaction still constrain the serialisation
+// order, so a cycle routed THROUGH such a node must veto validation just
+// like an all-active cycle.  (The node itself will not take future steps,
+// but the cycle is already fully recorded.)
+TEST(DependencyGraphTest, CycleThroughCommittedNodeStillDetected) {
+  DependencyGraph g;
+  g.Register(1, 1);
+  g.Register(2, 2);
+  g.Register(3, 3);
+  g.AddDependency(1, 2);  // 2 after 1
+  g.AddDependency(2, 3);  // 3 after 2
+  g.AddDependency(3, 1);  // 1 after 3: cycle 1 -> 2 -> 3 -> 1
+  g.MarkCommitted(2);     // the middle node finishes first
+  AbortReason reason = AbortReason::kNone;
+  EXPECT_FALSE(g.ValidateAndWait(1, &reason));
+  EXPECT_EQ(reason, AbortReason::kValidation);
+  EXPECT_FALSE(g.ValidateAndWait(3, &reason));
+  EXPECT_EQ(reason, AbortReason::kValidation);
+}
+
+TEST(DependencyGraphTest, CycleThroughAbortedNodeStillDetected) {
+  DependencyGraph g;
+  g.Register(1, 1);
+  g.Register(2, 2);
+  g.Register(3, 3);
+  g.AddDependency(1, 2);
+  g.AddDependency(2, 3);
+  g.AddDependency(3, 1);
+  g.MarkAborted(2);  // dooms 3 (its successor); edges 2->3 remain recorded
+  AbortReason reason = AbortReason::kNone;
+  // 1 sits on a recorded cycle through the aborted node.
+  EXPECT_FALSE(g.ValidateAndWait(1, &reason));
+  EXPECT_TRUE(reason == AbortReason::kValidation ||
+              reason == AbortReason::kDoomed);
+}
+
+// Back-to-back validations reuse the generation-stamped visited marks; a
+// second query must not be confused by the first run's stamps.
+TEST(DependencyGraphTest, RepeatedValidationsAreIndependent) {
+  DependencyGraph g;
+  g.Register(1, 1);
+  g.Register(2, 2);
+  g.Register(3, 3);
+  g.AddDependency(1, 2);
+  g.AddDependency(2, 3);
+  AbortReason reason = AbortReason::kNone;
+  // No cycle yet: 1 validates clean (no predecessors, so no waiting).
+  EXPECT_TRUE(g.ValidateAndWait(1, &reason));
+  g.AddDependency(3, 1);  // now a cycle exists
+  EXPECT_FALSE(g.ValidateAndWait(1, &reason));
+  EXPECT_EQ(reason, AbortReason::kValidation);
+  EXPECT_FALSE(g.ValidateAndWait(1, &reason));
+  EXPECT_EQ(reason, AbortReason::kValidation);
+}
+
 TEST(DependencyGraphTest, CommittedPredecessorIsInert) {
   DependencyGraph g;
   g.Register(1, 1);

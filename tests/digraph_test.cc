@@ -100,5 +100,136 @@ TEST(DigraphTest, UnionWithMergesEdges) {
   EXPECT_FALSE(a.IsAcyclic());
 }
 
+TEST(DigraphTest, UnionWithOverlappingEdgesDoesNotDuplicate) {
+  Digraph a(4), b(4);
+  a.AddEdge(0, 1);
+  a.AddEdge(1, 2);
+  b.AddEdge(0, 1);  // shared with a
+  b.AddEdge(2, 3);
+  a.UnionWith(b);
+  EXPECT_EQ(a.EdgeCount(), 3u);
+  EXPECT_TRUE(a.HasEdge(0, 1));
+  EXPECT_TRUE(a.HasEdge(1, 2));
+  EXPECT_TRUE(a.HasEdge(2, 3));
+}
+
+TEST(DigraphTest, UnionWithSelfIsIdempotent) {
+  Digraph a(3);
+  a.AddEdge(0, 1);
+  a.AddEdge(1, 2);
+  Digraph copy = a;
+  a.UnionWith(copy);
+  EXPECT_EQ(a.EdgeCount(), 2u);
+  a.UnionWith(a);  // true self-union must be a no-op, not UB
+  EXPECT_EQ(a.EdgeCount(), 2u);
+}
+
+TEST(DigraphTest, SuccessorsSortedAndDeduplicated) {
+  Digraph g(6);
+  g.AddEdge(0, 5);
+  g.AddEdge(0, 2);
+  g.AddEdge(0, 4);
+  g.AddEdge(0, 2);  // duplicate
+  g.AddEdge(0, 1);
+  const std::vector<uint32_t>& succ = g.Successors(0);
+  EXPECT_EQ(succ, (std::vector<uint32_t>{1, 2, 4, 5}));
+  // Insertions after a query re-establish the invariant lazily.
+  g.AddEdge(0, 3);
+  EXPECT_EQ(g.Successors(0), (std::vector<uint32_t>{1, 2, 3, 4, 5}));
+}
+
+TEST(DigraphTest, TopologicalOrderOnSubsetOfLargerGraph) {
+  // Chain 0 -> 1 -> 2 -> 3 -> 4 plus a shortcut 0 -> 4; restrict to the odd
+  // subset {1, 3}: only the path-induced 1 -> ... -> 3 constraint survives
+  // as the direct edge set is empty, so any permutation is legal — but the
+  // returned nodes must be exactly the subset.
+  Digraph g(5);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  g.AddEdge(2, 3);
+  g.AddEdge(3, 4);
+  g.AddEdge(0, 4);
+  std::vector<uint32_t> order = g.TopologicalOrder({1, 3});
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_TRUE((order[0] == 1 && order[1] == 3) ||
+              (order[0] == 3 && order[1] == 1));
+}
+
+TEST(DigraphTest, TopologicalOrderEmptySubset) {
+  Digraph g(4);
+  g.AddEdge(0, 1);
+  EXPECT_TRUE(g.TopologicalOrder({}).empty());
+}
+
+TEST(DigraphTest, TopologicalOrderFullGraphRespectsAllEdges) {
+  // A diamond with a tail: 0 -> {1, 2} -> 3 -> 4.
+  Digraph g(5);
+  g.AddEdge(0, 1);
+  g.AddEdge(0, 2);
+  g.AddEdge(1, 3);
+  g.AddEdge(2, 3);
+  g.AddEdge(3, 4);
+  std::vector<uint32_t> nodes{0, 1, 2, 3, 4};
+  std::vector<uint32_t> order = g.TopologicalOrder(nodes);
+  ASSERT_EQ(order.size(), nodes.size());
+  std::vector<size_t> pos(5);
+  for (size_t i = 0; i < order.size(); ++i) pos[order[i]] = i;
+  for (uint32_t v = 0; v < 5; ++v) {
+    for (uint32_t w : g.Successors(v)) EXPECT_LT(pos[v], pos[w]);
+  }
+}
+
+TEST(DigraphTest, LargeGraphBeyondDenseBitsetStillDeduplicates) {
+  // 20k nodes is past the dense-bitset threshold: dedup happens lazily via
+  // sort+unique instead of the edge bitmap.
+  const uint32_t n = 20000;
+  Digraph g(n);
+  for (int round = 0; round < 3; ++round) {
+    for (uint32_t v = 0; v + 1 < n; v += 997) g.AddEdge(v, v + 1);
+  }
+  size_t expected = 0;
+  for (uint32_t v = 0; v + 1 < n; v += 997) ++expected;
+  EXPECT_EQ(g.EdgeCount(), expected);
+  EXPECT_TRUE(g.IsAcyclic());
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_FALSE(g.HasEdge(1, 0));
+}
+
+TEST(DigraphTest, MidSizeGraphLazyBitsetActivationPreservesEdges) {
+  // 4096 nodes: bitset-eligible but past the eager-allocation size, so the
+  // dense edge table engages only after enough insertions.  Duplicates
+  // inserted before and after the activation point must all collapse.
+  const uint32_t n = 4096;
+  Digraph g(n);
+  for (int round = 0; round < 2; ++round) {
+    for (uint32_t v = 0; v + 1 < n; v += 2) g.AddEdge(v, v + 1);  // 2047/round
+  }
+  size_t expected = 0;
+  for (uint32_t v = 0; v + 1 < n; v += 2) ++expected;
+  EXPECT_EQ(g.EdgeCount(), expected);
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_TRUE(g.HasEdge(n - 2, n - 1));
+  EXPECT_FALSE(g.HasEdge(1, 2));
+  EXPECT_TRUE(g.IsAcyclic());
+  g.AddEdge(1, 0);
+  g.AddEdge(1, 0);  // duplicate after activation
+  EXPECT_EQ(g.EdgeCount(), expected + 1);
+  EXPECT_FALSE(g.IsAcyclic());
+}
+
+TEST(DigraphTest, RepeatedCycleQueriesReuseScratch) {
+  Digraph g(100);
+  for (uint32_t v = 0; v + 1 < 100; ++v) g.AddEdge(v, v + 1);
+  EXPECT_TRUE(g.IsAcyclic());
+  EXPECT_TRUE(g.IsAcyclic());
+  g.AddEdge(99, 0);
+  auto cycle = g.FindCycle();
+  ASSERT_TRUE(cycle.has_value());
+  EXPECT_EQ(cycle->front(), cycle->back());
+  auto cycle2 = g.FindCycle();
+  ASSERT_TRUE(cycle2.has_value());
+  EXPECT_EQ(*cycle, *cycle2);
+}
+
 }  // namespace
 }  // namespace objectbase::model

@@ -1,0 +1,152 @@
+// HistoryIndex: the one-pass ancestry/abort precomputation must agree with
+// the History struct's pointer-chasing reference implementation on every
+// query, including Euler-slice descendant enumeration.
+#include "src/model/history_index.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "src/adt/counter_adt.h"
+#include "src/common/rng.h"
+#include "tests/history_builder.h"
+
+namespace objectbase::model {
+namespace {
+
+// A small fixed forest:
+//   t0 ── a ── b
+//      └─ c
+//   t1 ── d
+History MakeForest(ExecId* t0, ExecId* a, ExecId* b, ExecId* c, ExecId* t1,
+                   ExecId* d) {
+  HistoryBuilder hb;
+  ObjectId ctr = hb.AddObject("ctr", adt::MakeCounterSpec(0));
+  *t0 = hb.Top("t0");
+  *a = hb.Child(*t0, ctr, "m");
+  *b = hb.Child(*a, ctr, "m");
+  *c = hb.Child(*t0, ctr, "m");
+  *t1 = hb.Top("t1");
+  *d = hb.Child(*t1, ctr, "m");
+  hb.Local(*b, ctr, "add", {1});
+  hb.Local(*d, ctr, "add", {1});
+  return hb.Build();
+}
+
+TEST(HistoryIndexTest, AncestryMatchesHistory) {
+  ExecId t0, a, b, c, t1, d;
+  History h = MakeForest(&t0, &a, &b, &c, &t1, &d);
+  HistoryIndex idx(h);
+  const size_t n = h.executions.size();
+  for (ExecId x = 0; x < n; ++x) {
+    for (ExecId y = 0; y < n; ++y) {
+      EXPECT_EQ(idx.IsAncestorOrSelf(x, y), h.IsAncestorOrSelf(x, y))
+          << x << " vs " << y;
+      EXPECT_EQ(idx.Incomparable(x, y), h.Incomparable(x, y))
+          << x << " vs " << y;
+      EXPECT_EQ(idx.Lca(x, y), h.Lca(x, y)) << x << " vs " << y;
+    }
+    EXPECT_EQ(static_cast<int>(idx.Depth(x)), h.Level(x));
+    EXPECT_EQ(idx.Top(x), h.TopAncestor(x));
+  }
+}
+
+TEST(HistoryIndexTest, CrossTreeQueries) {
+  ExecId t0, a, b, c, t1, d;
+  History h = MakeForest(&t0, &a, &b, &c, &t1, &d);
+  HistoryIndex idx(h);
+  EXPECT_TRUE(idx.Incomparable(b, d));
+  EXPECT_EQ(idx.Lca(b, d), kNoExec);
+  EXPECT_EQ(idx.Top(b), t0);
+  EXPECT_EQ(idx.Top(d), t1);
+}
+
+TEST(HistoryIndexTest, DescendantSlices) {
+  ExecId t0, a, b, c, t1, d;
+  History h = MakeForest(&t0, &a, &b, &c, &t1, &d);
+  HistoryIndex idx(h);
+  auto as_sorted = [](HistoryIndex::Slice s) {
+    std::vector<ExecId> v(s.begin(), s.end());
+    std::sort(v.begin(), v.end());
+    return v;
+  };
+  EXPECT_EQ(as_sorted(idx.DescendantsOf(t0)),
+            (std::vector<ExecId>{t0, a, b, c}));
+  EXPECT_EQ(as_sorted(idx.DescendantsOf(a)), (std::vector<ExecId>{a, b}));
+  EXPECT_EQ(as_sorted(idx.DescendantsOf(b)), (std::vector<ExecId>{b}));
+  EXPECT_EQ(as_sorted(idx.DescendantsOf(t1)), (std::vector<ExecId>{t1, d}));
+  EXPECT_EQ(idx.Preorder().size(), h.executions.size());
+}
+
+TEST(HistoryIndexTest, ChainBelowStopsAtLca) {
+  ExecId t0, a, b, c, t1, d;
+  History h = MakeForest(&t0, &a, &b, &c, &t1, &d);
+  HistoryIndex idx(h);
+  std::vector<ExecId> chain;
+  // Chain of b strictly below lca(b, c) == t0: {b, a}.
+  idx.ChainBelow(b, idx.Lca(b, c), chain);
+  EXPECT_EQ(chain, (std::vector<ExecId>{b, a}));
+  chain.clear();
+  // Whole chain (stop == kNoExec): {b, a, t0}.
+  idx.ChainBelow(b, kNoExec, chain);
+  EXPECT_EQ(chain, (std::vector<ExecId>{b, a, t0}));
+}
+
+TEST(HistoryIndexTest, AbortClosure) {
+  HistoryBuilder hb;
+  ObjectId ctr = hb.AddObject("ctr", adt::MakeCounterSpec(0));
+  ExecId top = hb.Top("t");
+  ExecId mid = hb.Child(top, ctr, "m");
+  ExecId leaf = hb.Child(mid, ctr, "m");
+  ExecId sibling = hb.Child(top, ctr, "m");
+  hb.MarkAborted(mid);  // leaf is only transitively aborted
+  History h = hb.Build();
+  HistoryIndex idx(h);
+  EXPECT_FALSE(idx.EffectivelyAborted(top));
+  EXPECT_TRUE(idx.EffectivelyAborted(mid));
+  EXPECT_TRUE(idx.EffectivelyAborted(leaf));
+  EXPECT_FALSE(idx.EffectivelyAborted(sibling));
+  EXPECT_EQ(idx.EffectivelyAborted(leaf), h.EffectivelyAborted(leaf));
+}
+
+TEST(HistoryIndexTest, RandomisedAgreementWithHistory) {
+  Rng rng(2026);
+  for (int trial = 0; trial < 5; ++trial) {
+    HistoryBuilder hb;
+    ObjectId ctr = hb.AddObject("ctr", adt::MakeCounterSpec(0));
+    std::vector<ExecId> execs;
+    for (int t = 0; t < 3; ++t) execs.push_back(hb.Top("t"));
+    for (int i = 0; i < 40; ++i) {
+      ExecId parent = execs[rng.Uniform(execs.size())];
+      execs.push_back(hb.Child(parent, ctr, "m"));
+    }
+    for (int i = 0; i < 5; ++i) {
+      hb.MarkAborted(execs[rng.Uniform(execs.size())]);
+    }
+    History h = hb.Build();
+    HistoryIndex idx(h);
+    const size_t n = h.executions.size();
+    for (ExecId x = 0; x < n; ++x) {
+      EXPECT_EQ(idx.EffectivelyAborted(x), h.EffectivelyAborted(x));
+      EXPECT_EQ(idx.Top(x), h.TopAncestor(x));
+      for (ExecId y = 0; y < n; ++y) {
+        ASSERT_EQ(idx.IsAncestorOrSelf(x, y), h.IsAncestorOrSelf(x, y))
+            << "trial " << trial << ": " << x << " vs " << y;
+        ASSERT_EQ(idx.Lca(x, y), h.Lca(x, y));
+      }
+      // The descendant slice is exactly the IsAncestorOrSelf set.
+      auto slice = idx.DescendantsOf(x);
+      std::vector<ExecId> got(slice.begin(), slice.end());
+      std::sort(got.begin(), got.end());
+      std::vector<ExecId> want;
+      for (ExecId y = 0; y < n; ++y) {
+        if (h.IsAncestorOrSelf(x, y)) want.push_back(y);
+      }
+      ASSERT_EQ(got, want);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace objectbase::model

@@ -69,7 +69,13 @@ inline void RunBankingScenario(Protocol protocol, cc::Granularity granularity,
           Value ok = txn.Invoke(from_name, "withdraw", {amount});
           if (!ok.AsBool()) return Value(false);
           if (parallel_deposit) {
-            txn.InvokeParallel({{to_name, "deposit", {amount}}});
+            auto outcomes =
+                txn.InvokeParallel({{to_name, "deposit", {amount}}});
+            // Under partial-abort protocols (N2PL/CERT) a failed parallel
+            // branch is reported, not propagated; conservation needs the
+            // withdraw/deposit pair to be all-or-nothing, so abort (the
+            // top-level retry loop re-runs the transfer).
+            if (!outcomes[0].ok) txn.Abort();
           } else {
             txn.Invoke(to_name, "deposit", {amount});
           }
