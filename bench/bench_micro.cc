@@ -21,7 +21,7 @@ void BM_LockAcquireRelease(benchmark::State& state) {
   rt::Object obj(0, "acct", adt::MakeBankAccountSpec(100));
   rt::TxnNode txn(1, nullptr, UINT32_MAX, "t");
   cc::LockManager::Request req;
-  req.op = "deposit";
+  req.op = obj.spec().FindOp("deposit");
   req.args = {Value(1)};
   req.ret = Value::None();
   for (auto _ : state) {
@@ -39,7 +39,7 @@ void BM_LockConflictScan(benchmark::State& state) {
   rt::Object obj(0, "acct", adt::MakeBankAccountSpec(100));
   std::vector<std::unique_ptr<rt::TxnNode>> holders;
   cc::LockManager::Request dep;
-  dep.op = "deposit";
+  dep.op = obj.spec().FindOp("deposit");
   dep.args = {Value(1)};
   dep.ret = Value::None();
   for (int i = 0; i < n; ++i) {

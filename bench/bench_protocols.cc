@@ -68,5 +68,53 @@ int main() {
               "as threads grow;\nthe gap is larger with fewer accounts "
               "(hotter objects).  N2PL aborts only via\ndeadlock, NTO via "
               "timestamp order, CERT via validation/cascade.\n");
+
+  // --- E1b: thread scaling, recording on and off ---------------------------
+  //
+  // The interned-handle pipeline claim: with per-thread recording buffers
+  // and string-free dispatch, recorded-run throughput scales with worker
+  // threads instead of collapsing on a global recorder mutex.
+  bench::Banner("E1b: thread scaling (record on/off)",
+                "recorded vs unrecorded banking throughput across worker "
+                "threads (sharded recorder, handle dispatch)");
+  TablePrinter scaling({"protocol", "record", "threads", "tput/s",
+                        "abort-ratio", "p99-ms"});
+  for (rt::Protocol protocol :
+       {rt::Protocol::kN2pl, rt::Protocol::kNto, rt::Protocol::kCert}) {
+    for (bool record : {false, true}) {
+      for (int threads : {1, 2, 4, 8, 16}) {
+        workload::BankingParams p;
+        p.accounts = 64;
+        p.branches = 4;
+        p.theta = 0.2;
+        p.audit_weight = 0.05;
+        p.audit_scan = 3;
+        p.spin_per_op = 0;  // dispatch/recording dominated, not method length
+        workload::WorkloadSpec spec = workload::MakeBankingSpec(p);
+        spec.threads = threads;
+        spec.txns_per_thread = 300 * scale;
+        spec.seed = 1000 + threads;
+        workload::RunMetrics m = bench::RunOnce(
+            [&](rt::ObjectBase& base) { workload::SetupBanking(base, p); },
+            spec, protocol, cc::Granularity::kStep, /*nto_gc=*/true, record);
+        scaling.AddRow({rt::ProtocolName(protocol), record ? "on" : "off",
+                        TablePrinter::Fmt(int64_t{threads}),
+                        TablePrinter::Fmt(m.Throughput(), 0),
+                        TablePrinter::Fmt(m.AbortRatio(), 3),
+                        TablePrinter::Fmt(
+                            m.latency_ns.Percentile(0.99) / 1e6, 2)});
+        bench::JsonLine("thread_scaling")
+            .Field("protocol", rt::ProtocolName(protocol))
+            .Field("record", record)
+            .Field("threads", threads)
+            .Field("ns_per_op", m.Throughput() > 0 ? 1e9 / m.Throughput() : 0.0)
+            .Field("throughput", m.Throughput())
+            .Field("abort_ratio", m.AbortRatio())
+            .Field("p99_ms", m.latency_ns.Percentile(0.99) / 1e6)
+            .Emit();
+      }
+    }
+  }
+  scaling.Print();
   return 0;
 }

@@ -28,16 +28,18 @@ inline void Banner(const char* id, const char* claim) {
 }
 
 /// Runs `spec` under `protocol`/`granularity` on a freshly set-up base.
+/// `record` turns the history recorder on (the thread-scaling sweep
+/// measures both modes; every other experiment row runs unrecorded).
 template <typename SetupFn>
 workload::RunMetrics RunOnce(SetupFn&& setup, const workload::WorkloadSpec& spec,
                              rt::Protocol protocol,
                              cc::Granularity granularity,
-                             bool nto_gc = true) {
+                             bool nto_gc = true, bool record = false) {
   rt::ObjectBase base;
   setup(base);
   rt::Executor exec(base, {.protocol = protocol,
                            .granularity = granularity,
-                           .record = false,
+                           .record = record,
                            .nto_gc = nto_gc});
   return workload::RunWorkload(exec, spec);
 }

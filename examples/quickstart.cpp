@@ -40,15 +40,21 @@ int main() {
     return Value(true);
   });
 
+  // Resolve once, execute many: an interned handle skips every name lookup
+  // on the per-call path (see docs/runtime_pipeline.md).  The string form
+  // txn.Invoke("alice", "transfer_to", ...) still works and does the same
+  // resolution per call.
+  rt::MethodRef transfer_to = exec.Resolve("alice", "transfer_to");
+
   // Two user transactions race on the same objects.
   std::thread t1([&]() {
-    exec.RunTransaction("payment", [](rt::MethodCtx& txn) {
-      return txn.Invoke("alice", "transfer_to", {30});
+    exec.RunTransaction("payment", [&](rt::MethodCtx& txn) {
+      return txn.Invoke(transfer_to, {30});
     });
   });
   std::thread t2([&]() {
-    exec.RunTransaction("payment", [](rt::MethodCtx& txn) {
-      return txn.Invoke("alice", "transfer_to", {25});
+    exec.RunTransaction("payment", [&](rt::MethodCtx& txn) {
+      return txn.Invoke(transfer_to, {25});
     });
   });
   t1.join();

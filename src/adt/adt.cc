@@ -2,6 +2,11 @@
 
 namespace objectbase::adt {
 
+std::atomic<uint64_t>& FindOpCalls() {
+  static std::atomic<uint64_t> calls{0};
+  return calls;
+}
+
 bool StepsCommuteOnState(const AdtSpec& spec, const AdtState& state,
                          std::string_view op1, const Args& args1,
                          std::string_view op2, const Args& args2) {

@@ -21,6 +21,7 @@
 #ifndef OBJECTBASE_ADT_ADT_H_
 #define OBJECTBASE_ADT_ADT_H_
 
+#include <atomic>
 #include <functional>
 #include <memory>
 #include <string>
@@ -30,6 +31,12 @@
 #include "src/common/value.h"
 
 namespace objectbase::adt {
+
+/// Resolve-path instrumentation: counts FindOp name lookups process-wide so
+/// tests can assert the post-prepare steady state never resolves by name
+/// (the interned-handle pipeline's core invariant).  Negligible cost: one
+/// relaxed increment on a resolve-once path.
+std::atomic<uint64_t>& FindOpCalls();
 
 /// The mutable state of one object (the paper's "mapping associating values
 /// to the variables of an object").  Concrete ADTs subclass this.
@@ -60,6 +67,12 @@ struct ApplyResult {
   UndoFn undo;  // may be empty for read-only operations
 };
 
+/// Dense per-spec operation index: the i-th AddOp call gets id i.  The
+/// runtime's hot path dispatches and tests conflicts by OpId (flat table
+/// lookups); names are only touched at resolve time (FindOp).
+using OpId = uint32_t;
+inline constexpr OpId kNoOp = static_cast<OpId>(-1);
+
 /// One local operation of an ADT.
 struct OpDescriptor {
   std::string name;
@@ -68,15 +81,20 @@ struct OpDescriptor {
   /// Must be deterministic.  Thread safety: callers serialise applications
   /// per object unless the spec reports supports_concurrent_apply().
   std::function<ApplyResult(AdtState&, const Args&)> apply;
+  /// Dense id within the owning spec (index into OpAt).
+  OpId id = kNoOp;
 };
 
 /// A fully-identified step for conflict queries: operation name, arguments
 /// and (if known) the return value.  `ret` may be missing when a protocol
 /// tests conflicts before executing (operation-granularity locking).
+/// `op_id` may be missing (kNoOp) for offline callers that only carry the
+/// name; the runtime always fills it so conflict tests stay string-free.
 struct StepView {
   std::string_view op;
   const Args* args = nullptr;
   const Value* ret = nullptr;  // nullptr = unknown
+  OpId op_id = kNoOp;          // kNoOp = resolve via op name
 };
 
 /// The behaviour of one type of object: operations + conflict relation.
@@ -91,8 +109,16 @@ class AdtSpec {
   /// Fresh initial state for an object of this type.
   virtual std::unique_ptr<AdtState> MakeInitialState() const = 0;
 
-  /// Looks up an operation by name; nullptr if unknown.
+  /// Looks up an operation by name; nullptr if unknown.  This is the
+  /// resolve-once entry point — per-step dispatch goes through OpAt().
   virtual const OpDescriptor* FindOp(std::string_view name) const = 0;
+
+  /// Number of operations (OpIds are 0..NumOps()-1).
+  virtual size_t NumOps() const = 0;
+
+  /// Dense dispatch: the descriptor with the given id.  `id` must be a
+  /// valid OpId of this spec.
+  virtual const OpDescriptor& OpAt(OpId id) const = 0;
 
   /// All operation names (for tests and random workload generation).
   virtual std::vector<std::string_view> OpNames() const = 0;
@@ -102,6 +128,10 @@ class AdtSpec {
   /// by the caller if needed; implementations here already return the
   /// symmetric closure (a sound choice for locking, see Section 5.1).
   virtual bool OpConflicts(std::string_view a, std::string_view b) const = 0;
+
+  /// Same relation, dense form: one flat-table probe, no string handling.
+  /// Both ids must be valid OpIds of this spec.
+  virtual bool OpConflictsById(OpId a, OpId b) const = 0;
 
   /// Step-granularity conflict per Definition 3, ORDER-SENSITIVE: returns
   /// true iff `first` conflicts with `second` assuming `first` executed

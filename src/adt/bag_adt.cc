@@ -38,7 +38,7 @@ int64_t KeyOf(const StepView& t) { return t.args->at(0).AsInt(); }
 class BagSpec : public SpecBase {
  public:
   BagSpec() {
-    AddOp("add", /*read_only=*/false, [](AdtState& s, const Args& args) {
+    add_ = AddOp("add", /*read_only=*/false, [](AdtState& s, const Args& args) {
       auto& st = static_cast<BagState&>(s);
       int64_t k = args.at(0).AsInt();
       st.counts[k]++;
@@ -47,7 +47,7 @@ class BagSpec : public SpecBase {
                            if (--b.counts[k] == 0) b.counts.erase(k);
                          }};
     });
-    AddOp("remove", /*read_only=*/false, [](AdtState& s, const Args& args) {
+    remove_ = AddOp("remove", /*read_only=*/false, [](AdtState& s, const Args& args) {
       auto& st = static_cast<BagState&>(s);
       int64_t k = args.at(0).AsInt();
       auto it = st.counts.find(k);
@@ -57,14 +57,14 @@ class BagSpec : public SpecBase {
                            static_cast<BagState&>(u).counts[k]++;
                          }};
     });
-    AddOp("multiplicity", /*read_only=*/true,
+    mult_ = AddOp("multiplicity", /*read_only=*/true,
           [](AdtState& s, const Args& args) {
             auto& st = static_cast<BagState&>(s);
             auto it = st.counts.find(args.at(0).AsInt());
             int64_t n = it == st.counts.end() ? 0 : it->second;
             return ApplyResult{Value(n), UndoFn()};
           });
-    AddOp("total", /*read_only=*/true, [](AdtState& s, const Args&) {
+    total_ = AddOp("total", /*read_only=*/true, [](AdtState& s, const Args&) {
       auto& st = static_cast<BagState&>(s);
       int64_t n = 0;
       for (const auto& [k, c] : st.counts) n += c;
@@ -88,32 +88,38 @@ class BagSpec : public SpecBase {
 
   bool StepConflicts(const StepView& first,
                      const StepView& second) const override {
-    auto mutation = [](const StepView& t) {
-      if (t.op == "add") return true;
-      if (t.op != "remove") return false;
+    const OpId a = ViewId(first);
+    const OpId b = ViewId(second);
+    if (a == kNoOp || b == kNoOp) return false;
+    auto mutation = [&](const StepView& t, OpId id) {
+      if (id == add_) return true;
+      if (id != remove_) return false;
       return t.ret == nullptr || (t.ret->is_bool() && t.ret->AsBool());
     };
-    bool m1 = mutation(first);
-    bool m2 = mutation(second);
+    bool m1 = mutation(first, a);
+    bool m2 = mutation(second, b);
     if (!m1 && !m2) return false;
-    if (first.op == "total" || second.op == "total") return m1 || m2;
+    if (a == total_ || b == total_) return m1 || m2;
     // add/add always commute (even same key): both increments.
-    if (first.op == "add" && second.op == "add") return false;
+    if (a == add_ && b == add_) return false;
     // Different keys commute.
     if (KeyOf(first) != KeyOf(second)) return false;
     // Same key cases with known outcomes:
     const StepView* rem = nullptr;
     const StepView* other = nullptr;
-    if (first.op == "remove") {
+    OpId other_id = kNoOp;
+    if (a == remove_) {
       rem = &first;
       other = &second;
-    } else if (second.op == "remove") {
+      other_id = b;
+    } else if (b == remove_) {
       rem = &second;
       other = &first;
+      other_id = a;
     }
     if (rem != nullptr && rem->ret != nullptr) {
       bool removed = rem->ret->AsBool();
-      if (other->op == "remove" && other->ret != nullptr) {
+      if (other_id == remove_ && other->ret != nullptr) {
         // remove-true ; remove-true: first;second legal => multiplicity >= 2
         // before, and either order removes two instances: commute.
         // remove-false involved: a failed remove reveals absence, which an
@@ -124,7 +130,7 @@ class BagSpec : public SpecBase {
         if (!removed && !removed2) return false;
         return true;
       }
-      if (other->op == "add") {
+      if (other_id == add_) {
         // add;remove-true — did it take the added instance?  Transposing
         // remove-true before the add is legal iff multiplicity was >= 1
         // without the add; can fail when the add supplied the only
@@ -136,14 +142,20 @@ class BagSpec : public SpecBase {
         return !removed ? true : false;        // remove ; add
       }
       // remove vs multiplicity read: successful removal changes the count.
-      if (other->op == "multiplicity") return removed;
+      if (other_id == mult_) return removed;
     }
     // Unknown return values or add-vs-read: conservative.
-    if (first.op == "multiplicity" || second.op == "multiplicity") {
+    if (a == mult_ || b == mult_) {
       return m1 || m2;
     }
     return true;
   }
+
+ private:
+  OpId add_ = kNoOp;
+  OpId remove_ = kNoOp;
+  OpId mult_ = kNoOp;
+  OpId total_ = kNoOp;
 };
 
 }  // namespace

@@ -26,21 +26,14 @@ class BankAccountState : public AdtState {
 // Classifies a step for the conflict table.
 enum class Kind { kBalance, kDeposit, kWithdrawOk, kWithdrawFail, kWithdrawUnknown };
 
-Kind KindOf(const StepView& t) {
-  if (t.op == "balance") return Kind::kBalance;
-  if (t.op == "deposit") return Kind::kDeposit;
-  if (t.ret == nullptr) return Kind::kWithdrawUnknown;
-  return t.ret->AsBool() ? Kind::kWithdrawOk : Kind::kWithdrawFail;
-}
-
 class BankAccountSpec : public SpecBase {
  public:
   explicit BankAccountSpec(int64_t initial) : initial_(initial) {
-    AddOp("balance", /*read_only=*/true, [](AdtState& s, const Args&) {
+    balance_ = AddOp("balance", /*read_only=*/true, [](AdtState& s, const Args&) {
       return ApplyResult{Value(static_cast<BankAccountState&>(s).balance),
                          UndoFn()};
     });
-    AddOp("deposit", /*read_only=*/false, [](AdtState& s, const Args& args) {
+    deposit_ = AddOp("deposit", /*read_only=*/false, [](AdtState& s, const Args& args) {
       auto& st = static_cast<BankAccountState&>(s);
       int64_t a = args.at(0).AsInt();
       st.balance += a;
@@ -48,7 +41,7 @@ class BankAccountSpec : public SpecBase {
                            static_cast<BankAccountState&>(u).balance -= a;
                          }};
     });
-    AddOp("withdraw", /*read_only=*/false, [](AdtState& s, const Args& args) {
+    withdraw_ = AddOp("withdraw", /*read_only=*/false, [](AdtState& s, const Args& args) {
       auto& st = static_cast<BankAccountState&>(s);
       int64_t a = args.at(0).AsInt();
       if (st.balance < a) return ApplyResult{Value(false), UndoFn()};
@@ -73,11 +66,14 @@ class BankAccountSpec : public SpecBase {
 
   bool StepConflicts(const StepView& first,
                      const StepView& second) const override {
-    Kind k1 = KindOf(first);
-    Kind k2 = KindOf(second);
+    const OpId a = ViewId(first);
+    const OpId b = ViewId(second);
+    if (a == kNoOp || b == kNoOp) return false;
+    Kind k1 = KindOf(first, a);
+    Kind k2 = KindOf(second, b);
     auto is_withdraw_unknown = [](Kind k) { return k == Kind::kWithdrawUnknown; };
     if (is_withdraw_unknown(k1) || is_withdraw_unknown(k2)) {
-      return OpConflicts(first.op, second.op);
+      return OpConflictsById(a, b);
     }
     switch (k1) {
       case Kind::kBalance:
@@ -120,7 +116,17 @@ class BankAccountSpec : public SpecBase {
   }
 
  private:
+  Kind KindOf(const StepView& t, OpId id) const {
+    if (id == balance_) return Kind::kBalance;
+    if (id == deposit_) return Kind::kDeposit;
+    if (id != withdraw_ || t.ret == nullptr) return Kind::kWithdrawUnknown;
+    return t.ret->AsBool() ? Kind::kWithdrawOk : Kind::kWithdrawFail;
+  }
+
   int64_t initial_;
+  OpId balance_ = kNoOp;
+  OpId deposit_ = kNoOp;
+  OpId withdraw_ = kNoOp;
 };
 
 }  // namespace

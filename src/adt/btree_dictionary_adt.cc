@@ -30,22 +30,15 @@ class BTreeDictionaryState : public AdtState {
   BTree tree_;
 };
 
-bool IsMutation(const StepView& t) {
-  if (t.op == "get" || t.op == "count" || t.op == "range_count") return false;
-  if (t.op == "put") return true;  // conservatively, even overwrites
-  if (t.ret == nullptr) return true;
-  return t.ret->is_bool() && t.ret->AsBool();  // del
-}
-
 class BTreeDictionarySpec : public SpecBase {
  public:
   explicit BTreeDictionarySpec(int order) : order_(order) {
-    AddOp("get", /*read_only=*/true, [](AdtState& s, const Args& args) {
+    get_ = AddOp("get", /*read_only=*/true, [](AdtState& s, const Args& args) {
       auto& st = static_cast<BTreeDictionaryState&>(s);
       auto v = st.tree().Lookup(args.at(0).AsInt());
       return ApplyResult{v ? Value(*v) : Value::None(), UndoFn()};
     });
-    AddOp("put", /*read_only=*/false, [](AdtState& s, const Args& args) {
+    put_ = AddOp("put", /*read_only=*/false, [](AdtState& s, const Args& args) {
       auto& st = static_cast<BTreeDictionaryState&>(s);
       int64_t k = args.at(0).AsInt();
       int64_t v = args.at(1).AsInt();
@@ -63,7 +56,7 @@ class BTreeDictionarySpec : public SpecBase {
       }
       return ApplyResult{old ? Value(*old) : Value::None(), std::move(undo)};
     });
-    AddOp("del", /*read_only=*/false, [](AdtState& s, const Args& args) {
+    del_ = AddOp("del", /*read_only=*/false, [](AdtState& s, const Args& args) {
       auto& st = static_cast<BTreeDictionaryState&>(s);
       int64_t k = args.at(0).AsInt();
       auto old = st.tree().Erase(k);
@@ -76,11 +69,11 @@ class BTreeDictionarySpec : public SpecBase {
       }
       return ApplyResult{Value(old.has_value()), std::move(undo)};
     });
-    AddOp("count", /*read_only=*/true, [](AdtState& s, const Args&) {
+    count_ = AddOp("count", /*read_only=*/true, [](AdtState& s, const Args&) {
       auto& st = static_cast<BTreeDictionaryState&>(s);
       return ApplyResult{Value(st.tree().Size()), UndoFn()};
     });
-    AddOp("range_count", /*read_only=*/true,
+    range_count_ = AddOp("range_count", /*read_only=*/true,
           [](AdtState& s, const Args& args) {
             auto& st = static_cast<BTreeDictionaryState&>(s);
             return ApplyResult{
@@ -111,16 +104,20 @@ class BTreeDictionarySpec : public SpecBase {
 
   bool StepConflicts(const StepView& first,
                      const StepView& second) const override {
-    bool m1 = IsMutation(first);
-    bool m2 = IsMutation(second);
+    const OpId a = ViewId(first);
+    const OpId b = ViewId(second);
+    if (a == kNoOp || b == kNoOp) return false;
+    bool m1 = IsMutation(first, a);
+    bool m2 = IsMutation(second, b);
     if (!m1 && !m2) return false;
-    if (first.op == "count" || second.op == "count") return m1 || m2;
+    if (a == count_ || b == count_) return m1 || m2;
     // Range scans conflict with mutations whose key falls in the range —
     // step-granularity phantom protection.
-    if (first.op == "range_count" || second.op == "range_count") {
-      const StepView& scan = first.op == "range_count" ? first : second;
-      const StepView& other = first.op == "range_count" ? second : first;
-      if (other.op == "range_count") return false;  // two reads
+    if (a == range_count_ || b == range_count_) {
+      const bool s1 = a == range_count_;
+      const StepView& scan = s1 ? first : second;
+      const StepView& other = s1 ? second : first;
+      if ((s1 ? b : a) == range_count_) return false;  // two reads
       int64_t k = other.args->at(0).AsInt();
       return k >= scan.args->at(0).AsInt() && k < scan.args->at(1).AsInt();
     }
@@ -130,7 +127,19 @@ class BTreeDictionarySpec : public SpecBase {
   }
 
  private:
+  bool IsMutation(const StepView& t, OpId id) const {
+    if (id == get_ || id == count_ || id == range_count_) return false;
+    if (id == put_) return true;  // conservatively, even overwrites
+    if (t.ret == nullptr) return true;
+    return t.ret->is_bool() && t.ret->AsBool();  // del
+  }
+
   int order_;
+  OpId get_ = kNoOp;
+  OpId put_ = kNoOp;
+  OpId del_ = kNoOp;
+  OpId count_ = kNoOp;
+  OpId range_count_ = kNoOp;
 };
 
 }  // namespace

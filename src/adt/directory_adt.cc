@@ -42,7 +42,7 @@ UndoFn RestoreUndo(std::string name, bool had, std::string old) {
 class DirectorySpec : public SpecBase {
  public:
   DirectorySpec() {
-    AddOp("bind", /*read_only=*/false, [](AdtState& s, const Args& args) {
+    bind_ = AddOp("bind", /*read_only=*/false, [](AdtState& s, const Args& args) {
       auto& st = static_cast<DirectoryState&>(s);
       const std::string& name = args.at(0).AsString();
       auto [it, inserted] = st.entries.emplace(name, args.at(1).AsString());
@@ -50,7 +50,7 @@ class DirectorySpec : public SpecBase {
       if (inserted) undo = RestoreUndo(name, false, "");
       return ApplyResult{Value(inserted), std::move(undo)};
     });
-    AddOp("rebind", /*read_only=*/false, [](AdtState& s, const Args& args) {
+    rebind_ = AddOp("rebind", /*read_only=*/false, [](AdtState& s, const Args& args) {
       auto& st = static_cast<DirectoryState&>(s);
       const std::string& name = args.at(0).AsString();
       auto it = st.entries.find(name);
@@ -60,7 +60,7 @@ class DirectorySpec : public SpecBase {
       st.entries[name] = args.at(1).AsString();
       return ApplyResult{std::move(old), std::move(undo)};
     });
-    AddOp("unbind", /*read_only=*/false, [](AdtState& s, const Args& args) {
+    unbind_ = AddOp("unbind", /*read_only=*/false, [](AdtState& s, const Args& args) {
       auto& st = static_cast<DirectoryState&>(s);
       const std::string& name = args.at(0).AsString();
       auto it = st.entries.find(name);
@@ -72,14 +72,14 @@ class DirectorySpec : public SpecBase {
       st.entries.erase(it);
       return ApplyResult{std::move(old), std::move(undo)};
     });
-    AddOp("lookup", /*read_only=*/true, [](AdtState& s, const Args& args) {
+    lookup_ = AddOp("lookup", /*read_only=*/true, [](AdtState& s, const Args& args) {
       auto& st = static_cast<DirectoryState&>(s);
       auto it = st.entries.find(args.at(0).AsString());
       return ApplyResult{
           it == st.entries.end() ? Value::None() : Value(it->second),
           UndoFn()};
     });
-    AddOp("entries", /*read_only=*/true, [](AdtState& s, const Args&) {
+    entries_ = AddOp("entries", /*read_only=*/true, [](AdtState& s, const Args&) {
       auto& st = static_cast<DirectoryState&>(s);
       return ApplyResult{Value(static_cast<int64_t>(st.entries.size())),
                          UndoFn()};
@@ -102,23 +102,33 @@ class DirectorySpec : public SpecBase {
 
   bool StepConflicts(const StepView& first,
                      const StepView& second) const override {
-    auto mutation = [](const StepView& t) {
-      if (t.op == "lookup" || t.op == "entries") return false;
-      if (t.op == "rebind") return true;  // always writes
+    const OpId a = ViewId(first);
+    const OpId b = ViewId(second);
+    if (a == kNoOp || b == kNoOp) return false;
+    auto mutation = [&](const StepView& t, OpId id) {
+      if (id == lookup_ || id == entries_) return false;
+      if (id == rebind_) return true;     // always writes
       if (t.ret == nullptr) return true;  // unknown outcome
-      if (t.op == "bind") return t.ret->is_bool() && t.ret->AsBool();
+      if (id == bind_) return t.ret->is_bool() && t.ret->AsBool();
       return !t.ret->is_none();  // unbind succeeded
     };
-    bool m1 = mutation(first);
-    bool m2 = mutation(second);
+    bool m1 = mutation(first, a);
+    bool m2 = mutation(second, b);
     if (!m1 && !m2) return false;
-    if (first.op == "entries" || second.op == "entries") return m1 || m2;
+    if (a == entries_ || b == entries_) return m1 || m2;
     // Name-aware: different names commute.
     if (first.args->at(0).AsString() != second.args->at(0).AsString()) {
       return false;
     }
     return true;
   }
+
+ private:
+  OpId bind_ = kNoOp;
+  OpId rebind_ = kNoOp;
+  OpId unbind_ = kNoOp;
+  OpId lookup_ = kNoOp;
+  OpId entries_ = kNoOp;
 };
 
 }  // namespace

@@ -34,14 +34,14 @@ class QueueState : public AdtState {
 class QueueSpec : public SpecBase {
  public:
   QueueSpec() {
-    AddOp("enqueue", /*read_only=*/false, [](AdtState& s, const Args& args) {
+    enq_ = AddOp("enqueue", /*read_only=*/false, [](AdtState& s, const Args& args) {
       auto& st = static_cast<QueueState&>(s);
       st.items.push_back(args.at(0).AsInt());
       return ApplyResult{Value::None(), [](AdtState& u) {
                            static_cast<QueueState&>(u).items.pop_back();
                          }};
     });
-    AddOp("dequeue", /*read_only=*/false, [](AdtState& s, const Args&) {
+    deq_ = AddOp("dequeue", /*read_only=*/false, [](AdtState& s, const Args&) {
       auto& st = static_cast<QueueState&>(s);
       if (st.items.empty()) return ApplyResult{Value::None(), UndoFn()};
       int64_t v = st.items.front();
@@ -50,12 +50,12 @@ class QueueSpec : public SpecBase {
                            static_cast<QueueState&>(u).items.push_front(v);
                          }};
     });
-    AddOp("peek", /*read_only=*/true, [](AdtState& s, const Args&) {
+    peek_ = AddOp("peek", /*read_only=*/true, [](AdtState& s, const Args&) {
       auto& st = static_cast<QueueState&>(s);
       if (st.items.empty()) return ApplyResult{Value::None(), UndoFn()};
       return ApplyResult{Value(st.items.front()), UndoFn()};
     });
-    AddOp("length", /*read_only=*/true, [](AdtState& s, const Args&) {
+    len_ = AddOp("length", /*read_only=*/true, [](AdtState& s, const Args&) {
       auto& st = static_cast<QueueState&>(s);
       return ApplyResult{Value(static_cast<int64_t>(st.items.size())),
                          UndoFn()};
@@ -79,17 +79,20 @@ class QueueSpec : public SpecBase {
 
   bool StepConflicts(const StepView& first,
                      const StepView& second) const override {
+    const OpId a = ViewId(first);
+    const OpId b = ViewId(second);
+    if (a == kNoOp || b == kNoOp) return false;
     // Unknown return values: fall back to the conservative table.
-    auto known = [](const StepView& t) {
-      return t.ret != nullptr || t.op == "enqueue";  // enqueue's ret is fixed
+    auto known = [&](const StepView& t, OpId id) {
+      return t.ret != nullptr || id == enq_;  // enqueue's ret is fixed
     };
-    if (!known(first) || !known(second)) {
-      return OpConflicts(first.op, second.op);
+    if (!known(first, a) || !known(second, b)) {
+      return OpConflictsById(a, b);
     }
-    const bool e1 = first.op == "enqueue";
-    const bool e2 = second.op == "enqueue";
-    const bool d1 = first.op == "dequeue";
-    const bool d2 = second.op == "dequeue";
+    const bool e1 = a == enq_;
+    const bool e2 = b == enq_;
+    const bool d1 = a == deq_;
+    const bool d2 = b == deq_;
     if (e1 && e2) {
       // Two enqueues commute iff they insert equal values (the resulting
       // sequences coincide).
@@ -110,29 +113,38 @@ class QueueSpec : public SpecBase {
       return deq.ret->AsInt() == enq.args->at(0).AsInt();
     }
     // peek/length observers.
-    auto mutates = [](const StepView& t) {
-      if (t.op == "enqueue") return true;
-      if (t.op == "dequeue") return !t.ret->is_none();
+    auto mutates = [&](const StepView& t, OpId id) {
+      if (id == enq_) return true;
+      if (id == deq_) return !t.ret->is_none();
       return false;
     };
-    if (first.op == "peek" || second.op == "peek") {
-      const StepView& other = first.op == "peek" ? second : first;
+    if (a == peek_ || b == peek_) {
+      const bool p1 = a == peek_;
+      const StepView& other = p1 ? second : first;
+      const OpId other_id = p1 ? b : a;
       // peek conflicts with a dequeue (head changes) and with an enqueue
       // that made the queue non-empty (peek would have seen none).
-      if (other.op == "dequeue") return mutates(other);
-      if (other.op == "enqueue") {
-        const StepView& peek = first.op == "peek" ? first : second;
+      if (other_id == deq_) return mutates(other, other_id);
+      if (other_id == enq_) {
+        const StepView& peek = p1 ? first : second;
         return peek.ret->is_none() ||
                peek.ret->AsInt() == other.args->at(0).AsInt();
       }
       return false;  // peek/peek, peek/length
     }
-    if (first.op == "length" || second.op == "length") {
-      const StepView& other = first.op == "length" ? second : first;
-      return mutates(other);
+    if (a == len_ || b == len_) {
+      const bool l1 = a == len_;
+      const StepView& other = l1 ? second : first;
+      return mutates(other, l1 ? b : a);
     }
     return false;
   }
+
+ private:
+  OpId enq_ = kNoOp;
+  OpId deq_ = kNoOp;
+  OpId peek_ = kNoOp;
+  OpId len_ = kNoOp;
 };
 
 }  // namespace

@@ -33,22 +33,12 @@ class SetState : public AdtState {
   std::set<int64_t> keys;
 };
 
-// A step is a "successful mutation" if it actually changed the set.  With an
-// unknown return value we must assume mutation (sound fallback).
-bool IsMutation(const StepView& t) {
-  if (t.op == "contains" || t.op == "size") return false;
-  if (t.ret == nullptr) return true;  // unknown outcome
-  return t.ret->is_bool() && t.ret->AsBool();
-}
-
-bool HasKey(const StepView& t) { return t.op != "size"; }
-
 int64_t KeyOf(const StepView& t) { return t.args->at(0).AsInt(); }
 
 class SetSpec : public SpecBase {
  public:
   SetSpec() {
-    AddOp("insert", /*read_only=*/false, [](AdtState& s, const Args& args) {
+    insert_ = AddOp("insert", /*read_only=*/false, [](AdtState& s, const Args& args) {
       auto& st = static_cast<SetState&>(s);
       int64_t k = args.at(0).AsInt();
       bool inserted = st.keys.insert(k).second;
@@ -58,7 +48,7 @@ class SetSpec : public SpecBase {
       }
       return ApplyResult{Value(inserted), std::move(undo)};
     });
-    AddOp("erase", /*read_only=*/false, [](AdtState& s, const Args& args) {
+    erase_ = AddOp("erase", /*read_only=*/false, [](AdtState& s, const Args& args) {
       auto& st = static_cast<SetState&>(s);
       int64_t k = args.at(0).AsInt();
       bool erased = st.keys.erase(k) > 0;
@@ -68,12 +58,12 @@ class SetSpec : public SpecBase {
       }
       return ApplyResult{Value(erased), std::move(undo)};
     });
-    AddOp("contains", /*read_only=*/true, [](AdtState& s, const Args& args) {
+    contains_ = AddOp("contains", /*read_only=*/true, [](AdtState& s, const Args& args) {
       auto& st = static_cast<SetState&>(s);
       return ApplyResult{Value(st.keys.count(args.at(0).AsInt()) > 0),
                          UndoFn()};
     });
-    AddOp("size", /*read_only=*/true, [](AdtState& s, const Args&) {
+    size_ = AddOp("size", /*read_only=*/true, [](AdtState& s, const Args&) {
       auto& st = static_cast<SetState&>(s);
       return ApplyResult{Value(static_cast<int64_t>(st.keys.size())),
                          UndoFn()};
@@ -96,22 +86,38 @@ class SetSpec : public SpecBase {
 
   bool StepConflicts(const StepView& first,
                      const StepView& second) const override {
-    bool m1 = IsMutation(first);
-    bool m2 = IsMutation(second);
+    const OpId a = ViewId(first);
+    const OpId b = ViewId(second);
+    if (a == kNoOp || b == kNoOp) return false;
+    bool m1 = IsMutation(first, a);
+    bool m2 = IsMutation(second, b);
     // Two non-mutating steps always commute.
     if (!m1 && !m2) return false;
     // size() observes every successful mutation.
-    if (first.op == "size" || second.op == "size") return m1 || m2;
-    // Key operations on different keys commute.
-    if (HasKey(first) && HasKey(second) && KeyOf(first) != KeyOf(second)) {
-      return false;
-    }
+    if (a == size_ || b == size_) return m1 || m2;
+    // Key operations on different keys commute (size is already handled, so
+    // both steps carry a key argument here).
+    if (KeyOf(first) != KeyOf(second)) return false;
     // Same key, at least one successful mutation: conflict.  (This is a
     // slight over-approximation for vacuously-commuting pairs such as two
     // insert->true steps on the same key, which can never be adjacent-legal;
     // treating them as conflicting is sound.)
     return true;
   }
+
+ private:
+  // A step is a "successful mutation" if it actually changed the set.  With
+  // an unknown return value we must assume mutation (sound fallback).
+  bool IsMutation(const StepView& t, OpId id) const {
+    if (id == contains_ || id == size_) return false;
+    if (t.ret == nullptr) return true;  // unknown outcome
+    return t.ret->is_bool() && t.ret->AsBool();
+  }
+
+  OpId insert_ = kNoOp;
+  OpId erase_ = kNoOp;
+  OpId contains_ = kNoOp;
+  OpId size_ = kNoOp;
 };
 
 }  // namespace

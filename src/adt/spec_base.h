@@ -3,7 +3,6 @@
 #define OBJECTBASE_ADT_SPEC_BASE_H_
 
 #include <map>
-#include <set>
 #include <string>
 #include <utility>
 #include <vector>
@@ -16,13 +15,24 @@ namespace objectbase::adt {
 /// operation-granularity conflict table.  Subclasses register operations and
 /// conflict pairs in their constructor and may override StepConflicts() to
 /// refine conflicts using arguments/returns.
+///
+/// Registration builds two dense structures the per-step hot path relies on:
+/// a flat descriptor vector indexed by OpId (OpAt) and an n x n conflict
+/// bit-matrix (OpConflictsById).  The name index is a transparent-comparator
+/// map, so FindOp(string_view) never materialises a std::string; it is the
+/// resolve-once entry point, not part of steady-state execution.
 class SpecBase : public AdtSpec {
  public:
   const OpDescriptor* FindOp(std::string_view name) const override {
-    auto it = op_index_.find(std::string(name));
+    FindOpCalls().fetch_add(1, std::memory_order_relaxed);
+    auto it = op_index_.find(name);  // heterogeneous lookup, no allocation
     if (it == op_index_.end()) return nullptr;
     return &ops_[it->second];
   }
+
+  size_t NumOps() const override { return ops_.size(); }
+
+  const OpDescriptor& OpAt(OpId id) const override { return ops_[id]; }
 
   std::vector<std::string_view> OpNames() const override {
     std::vector<std::string_view> names;
@@ -32,36 +42,77 @@ class SpecBase : public AdtSpec {
   }
 
   bool OpConflicts(std::string_view a, std::string_view b) const override {
-    return conflicts_.count(Key(a, b)) > 0;
+    const OpId ia = IdOf(a);
+    const OpId ib = IdOf(b);
+    if (ia == kNoOp || ib == kNoOp) return false;
+    return OpConflictsById(ia, ib);
+  }
+
+  bool OpConflictsById(OpId a, OpId b) const override {
+    return conflict_bits_[static_cast<size_t>(a) * pitch_ + b] != 0;
   }
 
   /// Default: step conflicts coincide with operation conflicts.
   bool StepConflicts(const StepView& t1, const StepView& t2) const override {
-    return OpConflicts(t1.op, t2.op);
+    const OpId a = ViewId(t1);
+    const OpId b = ViewId(t2);
+    if (a == kNoOp || b == kNoOp) return false;
+    return OpConflictsById(a, b);
   }
 
  protected:
-  void AddOp(std::string name, bool read_only,
+  /// Registers an operation; returns its dense id so constructors can cache
+  /// ids for id-based StepConflicts overrides.
+  OpId AddOp(std::string name, bool read_only,
              std::function<ApplyResult(AdtState&, const Args&)> apply) {
-    op_index_[name] = ops_.size();
-    ops_.push_back(OpDescriptor{std::move(name), read_only, std::move(apply)});
+    const OpId id = static_cast<OpId>(ops_.size());
+    op_index_.emplace(name, id);
+    ops_.push_back(OpDescriptor{std::move(name), read_only, std::move(apply),
+                                id});
+    GrowMatrix();
+    return id;
   }
 
-  /// Declares a symmetric operation-level conflict between `a` and `b`.
+  /// Declares a symmetric operation-level conflict between `a` and `b`
+  /// (both must already be registered).
   void Conflict(std::string_view a, std::string_view b) {
-    conflicts_.insert(Key(a, b));
-    conflicts_.insert(Key(b, a));
+    const OpId ia = IdOf(a);
+    const OpId ib = IdOf(b);
+    if (ia == kNoOp || ib == kNoOp) return;
+    conflict_bits_[static_cast<size_t>(ia) * pitch_ + ib] = 1;
+    conflict_bits_[static_cast<size_t>(ib) * pitch_ + ia] = 1;
+  }
+
+  /// Resolve-time name -> id (kNoOp if unknown).  No allocation.
+  OpId IdOf(std::string_view name) const {
+    auto it = op_index_.find(name);
+    return it == op_index_.end() ? kNoOp : it->second;
+  }
+
+  /// The view's op id, resolving by name for offline callers that did not
+  /// fill op_id (the model layer's replay/legality checks).
+  OpId ViewId(const StepView& v) const {
+    return v.op_id != kNoOp ? v.op_id : IdOf(v.op);
   }
 
  private:
-  static std::pair<std::string, std::string> Key(std::string_view a,
-                                                 std::string_view b) {
-    return {std::string(a), std::string(b)};
+  void GrowMatrix() {
+    const size_t n = ops_.size();
+    std::vector<uint8_t> grown(n * n, 0);
+    for (size_t i = 0; i < pitch_; ++i) {
+      for (size_t j = 0; j < pitch_; ++j) {
+        grown[i * n + j] = conflict_bits_[i * pitch_ + j];
+      }
+    }
+    conflict_bits_ = std::move(grown);
+    pitch_ = n;
   }
 
   std::vector<OpDescriptor> ops_;
-  std::map<std::string, size_t> op_index_;
-  std::set<std::pair<std::string, std::string>> conflicts_;
+  std::map<std::string, OpId, std::less<>> op_index_;
+  /// Symmetric n x n matrix, row pitch pitch_ == ops_.size().
+  std::vector<uint8_t> conflict_bits_;
+  size_t pitch_ = 0;
 };
 
 }  // namespace objectbase::adt

@@ -1,9 +1,8 @@
 #include "src/cc/cert_controller.h"
 
 #include <algorithm>
-#include <functional>
-#include <set>
 
+#include "src/model/serialisation_graph.h"
 #include "src/runtime/apply.h"
 
 namespace objectbase::cc {
@@ -16,14 +15,12 @@ void CertController::OnTopBegin(rt::TxnNode& top) {
 }
 
 OpOutcome CertController::ExecuteLocal(rt::TxnNode& txn, rt::Object& obj,
-                                       const std::string& op,
+                                       const adt::OpDescriptor& op,
                                        const Args& args) {
   const uint64_t my_top = txn.top()->uid();
   if (deps_.IsDoomed(my_top)) return OpOutcome::Abort(AbortReason::kDoomed);
-  const adt::OpDescriptor* desc = obj.spec().FindOp(op);
-  if (desc == nullptr) return OpOutcome::Abort(AbortReason::kUser);
 
-  const std::vector<uint64_t> chain = txn.AncestorChain();
+  const std::vector<uint64_t>& chain = txn.AncestorChain();
 
   // Opportunistic watermark GC (the same retirement rule as NTO); folds a
   // committed prefix of the journal into the base state.
@@ -53,7 +50,7 @@ OpOutcome CertController::ExecuteLocal(rt::TxnNode& txn, rt::Object& obj,
   }
   // Apply first (optimistic), then report conflicts; with kStep granularity
   // the scan sees the actual return value.
-  adt::ApplyResult applied = desc->apply(obj.state(), args);
+  adt::ApplyResult applied = op.apply(obj.state(), args);
   {
     std::lock_guard<std::mutex> g(obj.log_mu());
     for (const rt::Object::Applied& e : obj.applied_log()) {
@@ -61,11 +58,12 @@ OpOutcome CertController::ExecuteLocal(rt::TxnNode& txn, rt::Object& obj,
       if (!e.IncomparableWith(chain)) continue;
       bool conflict;
       if (granularity_ == Granularity::kStep) {
-        adt::StepView first{e.op, &e.args, &e.ret};
-        adt::StepView second{op, &args, &applied.ret};
+        adt::StepView first{obj.spec().OpAt(e.op_id).name, &e.args, &e.ret,
+                            e.op_id};
+        adt::StepView second{op.name, &args, &applied.ret, op.id};
         conflict = obj.spec().StepConflicts(first, second);
       } else {
-        conflict = obj.spec().OpConflicts(e.op, op);
+        conflict = obj.spec().OpConflictsById(e.op_id, op.id);
       }
       if (!conflict) continue;
       if (e.top_uid != my_top) {
@@ -77,15 +75,15 @@ OpOutcome CertController::ExecuteLocal(rt::TxnNode& txn, rt::Object& obj,
     }
     uint64_t seq = recorder_.NextSeq();
     txn.PushUndo(rt::UndoRecord{seq, &obj, std::move(applied.undo)});
-    recorder_.RecordLocalStep(txn.exec_id, txn.NextPo(), obj.id(), op, args,
-                              applied.ret, seq, seq);
+    recorder_.RecordLocalStep(txn.exec_id, txn.NextPo(), obj.id(), op.name,
+                              args, applied.ret, seq, seq);
     rt::Object::Applied entry;
     entry.seq = seq;
     entry.exec_uid = txn.uid();
     entry.top_uid = my_top;
     entry.chain = chain;
     entry.hts = txn.hts();
-    entry.op = op;
+    entry.op_id = op.id;
     entry.args = args;
     entry.ret = applied.ret;
     obj.applied_log().push_back(std::move(entry));
@@ -105,7 +103,10 @@ bool CertController::SiblingGraphAcyclic(uint64_t top_uid) {
   }
   // Lift each observation to the pair of executions just below the least
   // common ancestor (chains are self..top, so compare from the back).
-  std::map<uint64_t, std::set<uint64_t>> adj;
+  std::vector<std::pair<uint64_t, uint64_t>> lifted;
+  std::vector<uint64_t> uids;
+  lifted.reserve(edges.size());
+  uids.reserve(edges.size() * 2);
   for (const SiblingEdge& e : edges) {
     size_t i = e.from_chain.size();
     size_t j = e.to_chain.size();
@@ -114,23 +115,25 @@ bool CertController::SiblingGraphAcyclic(uint64_t top_uid) {
       --j;
     }
     if (i == 0 || j == 0) continue;  // comparable (defensive)
-    adj[e.from_chain[i - 1]].insert(e.to_chain[j - 1]);
+    lifted.emplace_back(e.from_chain[i - 1], e.to_chain[j - 1]);
+    uids.push_back(e.from_chain[i - 1]);
+    uids.push_back(e.to_chain[j - 1]);
   }
-  // DFS cycle detection.
-  std::map<uint64_t, int> colour;  // 0/absent white, 1 grey, 2 black
-  std::function<bool(uint64_t)> dfs = [&](uint64_t v) {
-    colour[v] = 1;
-    for (uint64_t w : adj[v]) {
-      if (colour[w] == 1) return false;
-      if (colour[w] == 0 && !dfs(w)) return false;
-    }
-    colour[v] = 2;
-    return true;
+  if (lifted.empty()) return true;
+  // Compact the uids into dense indices and run the flat Digraph's
+  // scratch-reusing cycle check (the PR-1 SG machinery) instead of a
+  // map-of-sets DFS.
+  std::sort(uids.begin(), uids.end());
+  uids.erase(std::unique(uids.begin(), uids.end()), uids.end());
+  auto index_of = [&uids](uint64_t u) {
+    return static_cast<uint32_t>(
+        std::lower_bound(uids.begin(), uids.end(), u) - uids.begin());
   };
-  for (const auto& [v, _] : adj) {
-    if (colour[v] == 0 && !dfs(v)) return false;
+  model::Digraph graph(uids.size());
+  for (const auto& [from, to] : lifted) {
+    graph.AddEdge(index_of(from), index_of(to));
   }
-  return true;
+  return graph.IsAcyclic();
 }
 
 bool CertController::OnTopCommit(rt::TxnNode& top, AbortReason* reason) {

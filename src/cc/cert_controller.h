@@ -41,7 +41,8 @@ class CertController : public Controller {
 
   void OnTopBegin(rt::TxnNode& top) override;
   OpOutcome ExecuteLocal(rt::TxnNode& txn, rt::Object& obj,
-                         const std::string& op, const Args& args) override;
+                         const adt::OpDescriptor& op,
+                         const Args& args) override;
   void OnChildCommit(rt::TxnNode& child) override;
   bool OnTopCommit(rt::TxnNode& top, AbortReason* reason) override;
   void OnAbort(rt::TxnNode& node) override;

@@ -18,6 +18,10 @@
 
 #include "src/common/value.h"
 
+namespace objectbase::adt {
+struct OpDescriptor;
+}  // namespace objectbase::adt
+
 namespace objectbase::rt {
 class Object;
 class TxnNode;
@@ -80,8 +84,11 @@ class Controller {
   /// Executes one local operation of `txn` on `obj` under the protocol:
   /// acquires locks / validates timestamps / records dependencies, applies
   /// the operation, and records the step.  Blocking protocols may block.
+  /// `op` is the already-resolved descriptor (the runtime resolves once at
+  /// handle-creation time); no name lookup happens on this path.
   virtual OpOutcome ExecuteLocal(rt::TxnNode& txn, rt::Object& obj,
-                                 const std::string& op, const Args& args) = 0;
+                                 const adt::OpDescriptor& op,
+                                 const Args& args) = 0;
 
   /// A child (non-top-level) execution committed: inherit its locks to the
   /// parent (N2PL rule 5) or equivalent bookkeeping.

@@ -10,10 +10,8 @@ GemstoneController::GemstoneController(rt::Recorder& recorder)
 void GemstoneController::OnTopBegin(rt::TxnNode&) {}
 
 OpOutcome GemstoneController::ExecuteLocal(rt::TxnNode& txn, rt::Object& obj,
-                                           const std::string& op,
+                                           const adt::OpDescriptor& op,
                                            const Args& args) {
-  const adt::OpDescriptor* desc = obj.spec().FindOp(op);
-  if (desc == nullptr) return OpOutcome::Abort(AbortReason::kUser);
   // The whole-object lock is owned by the TOP-LEVEL transaction directly
   // (the reduction flattens the nesting: the object is one data item and
   // the user transaction reads/writes it).
@@ -24,7 +22,7 @@ OpOutcome GemstoneController::ExecuteLocal(rt::TxnNode& txn, rt::Object& obj,
     return OpOutcome::Abort(AbortReason::kDeadlock);
   }
   std::lock_guard<std::shared_mutex> g(obj.state_mu());
-  rt::AppliedOutcome out = rt::ApplyLocked(txn, obj, *desc, args, recorder_,
+  rt::AppliedOutcome out = rt::ApplyLocked(txn, obj, op, args, recorder_,
                                            /*append_applied_log=*/false);
   return OpOutcome::Ok(std::move(out.ret));
 }

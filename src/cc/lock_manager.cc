@@ -4,14 +4,13 @@
 #include <functional>
 #include <thread>
 
+#include "src/common/thread_slot.h"
 #include "src/runtime/object.h"
 #include "src/runtime/txn.h"
 
 namespace objectbase::cc {
 
-uint64_t ThisThreadKey() {
-  return std::hash<std::thread::id>{}(std::this_thread::get_id());
-}
+uint64_t ThisThreadKey() { return common::DenseThreadSlot(); }
 
 LockManager::LockManager() = default;
 LockManager::~LockManager() = default;
@@ -26,12 +25,12 @@ bool EntryBlocks(const adt::AdtSpec& spec, const LockManager::Request& held,
                  const LockManager::Request& req) {
   if (held.exclusive || req.exclusive) return true;
   if (held.ret.has_value() && req.ret.has_value()) {
-    adt::StepView first{held.op, &held.args, &*held.ret};
-    adt::StepView second{req.op, &req.args, &*req.ret};
+    adt::StepView first{held.op->name, &held.args, &*held.ret, held.op->id};
+    adt::StepView second{req.op->name, &req.args, &*req.ret, req.op->id};
     return spec.StepConflicts(first, second);
   }
   // Operation granularity (or a mixed pair): be conservative.
-  return spec.OpConflicts(held.op, req.op);
+  return spec.OpConflictsById(held.op->id, req.op->id);
 }
 
 // Would granting `req` to `txn` barge past an earlier conflicting waiter?
@@ -70,6 +69,8 @@ bool LockManager::HoldsHereLocked(const ObjTable& table, rt::TxnNode& txn) {
 bool LockManager::AlreadyHeldLocked(const ObjTable& table, rt::TxnNode& txn,
                                     const Request& req) {
   for (const Entry& e : table.entries) {
+    // Descriptor pointers are per-spec singletons, so identical-op tests
+    // are pointer comparisons.
     if (e.owner == &txn && e.req.exclusive == req.exclusive &&
         e.req.op == req.op && !e.req.ret.has_value() &&
         !req.ret.has_value() && e.req.args == req.args) {

@@ -27,9 +27,9 @@
 #include <memory>
 #include <mutex>
 #include <optional>
-#include <string>
 #include <vector>
 
+#include "src/adt/adt.h"
 #include "src/cc/waits_for.h"
 #include "src/common/value.h"
 
@@ -47,9 +47,12 @@ class LockManager {
 
   enum class Outcome { kGranted, kDeadlock };
 
-  /// A lock request; `ret` present means step granularity.
+  /// A lock request; `ret` present means step granularity.  `op` is the
+  /// resolved descriptor (nullptr for exclusive whole-object locks), so
+  /// conflict tests against held locks are dense-id probes — no strings
+  /// are copied into or compared inside the lock table.
   struct Request {
-    std::string op;  // empty for exclusive whole-object locks
+    const adt::OpDescriptor* op = nullptr;
     Args args;
     std::optional<Value> ret;
     bool exclusive = false;
@@ -148,7 +151,9 @@ class LockManager {
   WaitsForGraph wfg_;
 };
 
-/// Key identifying the calling thread in the waits-for graph.
+/// Key identifying the calling thread in the waits-for graph: a DENSE slot
+/// id drawn from a process-wide pool (released at thread exit and reused),
+/// so thread registries can be flat vectors instead of maps.
 uint64_t ThisThreadKey();
 
 }  // namespace objectbase::cc

@@ -19,14 +19,16 @@ MixedController::MixedController(rt::Recorder& recorder)
       certifier_(recorder, Granularity::kStep) {}
 
 void MixedController::SetPolicy(uint32_t object_id, IntraPolicy policy) {
-  std::lock_guard<std::mutex> g(policy_mu_);
-  policies_[object_id] = policy;
+  if (object_id >= policies_.size()) {
+    policies_.resize(object_id + 1, kUnsetPolicy);
+  }
+  policies_[object_id] = static_cast<int8_t>(policy);
 }
 
 IntraPolicy MixedController::PolicyFor(const rt::Object& obj) const {
-  std::lock_guard<std::mutex> g(policy_mu_);
-  auto it = policies_.find(obj.id());
-  if (it != policies_.end()) return it->second;
+  if (obj.id() < policies_.size() && policies_[obj.id()] != kUnsetPolicy) {
+    return static_cast<IntraPolicy>(policies_[obj.id()]);
+  }
   return obj.concurrent_apply() ? IntraPolicy::kCrabbing
                                 : IntraPolicy::kOptimistic;
 }
@@ -36,7 +38,7 @@ void MixedController::OnTopBegin(rt::TxnNode& top) {
 }
 
 OpOutcome MixedController::ExecuteLocal(rt::TxnNode& txn, rt::Object& obj,
-                                        const std::string& op,
+                                        const adt::OpDescriptor& op,
                                         const Args& args) {
   IntraPolicy policy = PolicyFor(obj);
   switch (policy) {
@@ -45,7 +47,7 @@ OpOutcome MixedController::ExecuteLocal(rt::TxnNode& txn, rt::Object& obj,
       // blocking, so SG_local(h, obj) stays acyclic by construction; the
       // certifier still collects the inter-object (SG_mesg) constraints.
       LockManager::Request req;
-      req.op = op;
+      req.op = &op;
       req.args = args;
       if (locks_.Acquire(txn, obj, std::move(req)) ==
           LockManager::Outcome::kDeadlock) {
@@ -56,12 +58,12 @@ OpOutcome MixedController::ExecuteLocal(rt::TxnNode& txn, rt::Object& obj,
     case IntraPolicy::kTimestamp: {
       // Object-local NTO rule 1: abort when a conflicting remembered step
       // of an incomparable execution carries a larger timestamp.
-      const std::vector<uint64_t> chain = txn.AncestorChain();
+      const std::vector<uint64_t>& chain = txn.AncestorChain();
       {
         std::lock_guard<std::mutex> g(obj.log_mu());
         for (const rt::Object::Applied& e : obj.applied_log()) {
           if (!e.IncomparableWith(chain)) continue;
-          if (!obj.spec().OpConflicts(e.op, op)) continue;
+          if (!obj.spec().OpConflictsById(e.op_id, op.id)) continue;
           if (e.hts > txn.hts()) {
             return OpOutcome::Abort(AbortReason::kTimestampOrder);
           }

@@ -26,8 +26,6 @@
 #ifndef OBJECTBASE_CC_MIXED_CONTROLLER_H_
 #define OBJECTBASE_CC_MIXED_CONTROLLER_H_
 
-#include <map>
-#include <mutex>
 #include <vector>
 
 #include "src/cc/cert_controller.h"
@@ -48,12 +46,15 @@ class MixedController : public Controller {
 
   /// Assigns the intra-object policy for an object (default: kOptimistic;
   /// specs with supports_concurrent_apply() default to kCrabbing).
+  /// Setup-time API: call before transactions run (like CreateObject /
+  /// DefineMethod); PolicyFor reads the dense table without locking.
   void SetPolicy(uint32_t object_id, IntraPolicy policy);
   IntraPolicy PolicyFor(const rt::Object& obj) const;
 
   void OnTopBegin(rt::TxnNode& top) override;
   OpOutcome ExecuteLocal(rt::TxnNode& txn, rt::Object& obj,
-                         const std::string& op, const Args& args) override;
+                         const adt::OpDescriptor& op,
+                         const Args& args) override;
   void OnChildCommit(rt::TxnNode& child) override;
   bool OnTopCommit(rt::TxnNode& top, AbortReason* reason) override;
   void OnAbort(rt::TxnNode& node) override;
@@ -70,8 +71,10 @@ class MixedController : public Controller {
   // dependency bookkeeping, sibling graphs and commit validation.
   CertController certifier_;
   LockManager locks_;  // serves the kLocal2pl objects
-  mutable std::mutex policy_mu_;
-  std::map<uint32_t, IntraPolicy> policies_;
+  /// Dense per-object policy table, indexed by object id; kUnset slots fall
+  /// back to the spec-derived default.  Written only at setup time.
+  static constexpr int8_t kUnsetPolicy = -1;
+  std::vector<int8_t> policies_;
 };
 
 }  // namespace objectbase::cc

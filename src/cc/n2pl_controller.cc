@@ -10,14 +10,12 @@ N2plController::N2plController(rt::Recorder& recorder, Granularity granularity)
 void N2plController::OnTopBegin(rt::TxnNode&) {}
 
 OpOutcome N2plController::ExecuteLocal(rt::TxnNode& txn, rt::Object& obj,
-                                       const std::string& op,
+                                       const adt::OpDescriptor& op,
                                        const Args& args) {
-  const adt::OpDescriptor* desc = obj.spec().FindOp(op);
-  if (desc == nullptr) return OpOutcome::Abort(AbortReason::kUser);
   if (granularity_ == Granularity::kOperation) {
-    return ExecuteOperationMode(txn, obj, *desc, args);
+    return ExecuteOperationMode(txn, obj, op, args);
   }
-  return ExecuteStepMode(txn, obj, *desc, args);
+  return ExecuteStepMode(txn, obj, op, args);
 }
 
 OpOutcome N2plController::ExecuteOperationMode(rt::TxnNode& txn,
@@ -26,7 +24,7 @@ OpOutcome N2plController::ExecuteOperationMode(rt::TxnNode& txn,
                                                const Args& args) {
   // Rule 1: own L(a) before issuing a.  Operation-class lock: no ret.
   LockManager::Request req;
-  req.op = op.name;
+  req.op = &op;
   req.args = args;
   if (locks_.Acquire(txn, obj, std::move(req)) ==
       LockManager::Outcome::kDeadlock) {
@@ -49,7 +47,7 @@ OpOutcome N2plController::ExecuteStepMode(rt::TxnNode& txn, rt::Object& obj,
     std::unique_lock<std::shared_mutex> state_guard(obj.state_mu());
     adt::ApplyResult provisional = op.apply(obj.state(), args);
     LockManager::Request req;
-    req.op = op.name;
+    req.op = &op;
     req.args = args;
     req.ret = provisional.ret;
     LockManager::TryOutcome attempt = locks_.TryAcquire(txn, obj, req);

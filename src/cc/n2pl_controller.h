@@ -38,7 +38,8 @@ class N2plController : public Controller {
 
   void OnTopBegin(rt::TxnNode& top) override;
   OpOutcome ExecuteLocal(rt::TxnNode& txn, rt::Object& obj,
-                         const std::string& op, const Args& args) override;
+                         const adt::OpDescriptor& op,
+                         const Args& args) override;
   void OnChildCommit(rt::TxnNode& child) override;
   bool OnTopCommit(rt::TxnNode& top, AbortReason* reason) override;
   void OnAbort(rt::TxnNode& node) override;

@@ -36,16 +36,14 @@ void MaybeGc(rt::Object& obj, DependencyGraph& deps) {
 }  // namespace
 
 OpOutcome NtoController::ExecuteLocal(rt::TxnNode& txn, rt::Object& obj,
-                                      const std::string& op,
+                                      const adt::OpDescriptor& op,
                                       const Args& args) {
   if (deps_.IsDoomed(txn.top()->uid())) {
     return OpOutcome::Abort(AbortReason::kDoomed);
   }
-  const adt::OpDescriptor* desc = obj.spec().FindOp(op);
-  if (desc == nullptr) return OpOutcome::Abort(AbortReason::kUser);
   if (gc_enabled_) MaybeGc(obj, deps_);
 
-  const std::vector<uint64_t> chain = txn.AncestorChain();
+  const std::vector<uint64_t>& chain = txn.AncestorChain();
   const Hts& my_hts = txn.hts();
   const uint64_t my_top = txn.top()->uid();
 
@@ -59,14 +57,14 @@ OpOutcome NtoController::ExecuteLocal(rt::TxnNode& txn, rt::Object& obj,
       for (const rt::Object::Applied& e : obj.applied_log()) {
         if (e.aborted) continue;
         if (!e.IncomparableWith(chain)) continue;  // rule 1 exempts kin
-        if (!obj.spec().OpConflicts(e.op, op)) continue;
+        if (!obj.spec().OpConflictsById(e.op_id, op.id)) continue;
         if (e.hts > my_hts) {
           return OpOutcome::Abort(AbortReason::kTimestampOrder);
         }
         if (e.top_uid != my_top) deps_.AddDependency(e.top_uid, my_top);
       }
     }
-    rt::AppliedOutcome out = rt::ApplyLocked(txn, obj, *desc, args, recorder_,
+    rt::AppliedOutcome out = rt::ApplyLocked(txn, obj, op, args, recorder_,
                                              /*append_applied_log=*/true);
     return OpOutcome::Ok(std::move(out.ret));
   }
@@ -74,14 +72,15 @@ OpOutcome NtoController::ExecuteLocal(rt::TxnNode& txn, rt::Object& obj,
   // Step granularity: provisional execution first (atomic w.r.t. the
   // object's other local operations — we hold state_mu), then the conflict
   // test sees the actual return value.
-  adt::ApplyResult provisional = desc->apply(obj.state(), args);
+  adt::ApplyResult provisional = op.apply(obj.state(), args);
   {
     std::lock_guard<std::mutex> g(obj.log_mu());
     for (const rt::Object::Applied& e : obj.applied_log()) {
       if (e.aborted) continue;
       if (!e.IncomparableWith(chain)) continue;
-      adt::StepView first{e.op, &e.args, &e.ret};
-      adt::StepView second{op, &args, &provisional.ret};
+      adt::StepView first{obj.spec().OpAt(e.op_id).name, &e.args, &e.ret,
+                          e.op_id};
+      adt::StepView second{op.name, &args, &provisional.ret, op.id};
       if (!obj.spec().StepConflicts(first, second)) continue;
       if (e.hts > my_hts) {
         if (provisional.undo) provisional.undo(obj.state());
@@ -92,15 +91,15 @@ OpOutcome NtoController::ExecuteLocal(rt::TxnNode& txn, rt::Object& obj,
     // Accept the provisional step as real.
     uint64_t seq = recorder_.NextSeq();
     txn.PushUndo(rt::UndoRecord{seq, &obj, std::move(provisional.undo)});
-    recorder_.RecordLocalStep(txn.exec_id, txn.NextPo(), obj.id(), op, args,
-                              provisional.ret, seq, seq);
+    recorder_.RecordLocalStep(txn.exec_id, txn.NextPo(), obj.id(), op.name,
+                              args, provisional.ret, seq, seq);
     rt::Object::Applied entry;
     entry.seq = seq;
     entry.exec_uid = txn.uid();
     entry.top_uid = my_top;
     entry.chain = chain;
     entry.hts = my_hts;
-    entry.op = op;
+    entry.op_id = op.id;
     entry.args = args;
     entry.ret = provisional.ret;
     obj.applied_log().push_back(std::move(entry));

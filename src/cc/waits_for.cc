@@ -1,5 +1,7 @@
 #include "src/cc/waits_for.h"
 
+#include <algorithm>
+
 #include "src/runtime/txn.h"
 
 namespace objectbase::cc {
@@ -7,11 +9,11 @@ namespace objectbase::cc {
 std::atomic<rt::TxnNode*>& WaitsForGraph::SlotFor(uint64_t thread_key) {
   {
     std::shared_lock<std::shared_mutex> g(running_mu_);
-    auto it = running_.find(thread_key);
-    if (it != running_.end()) return it->second;
+    if (thread_key < running_.size()) return running_[thread_key];
   }
   std::unique_lock<std::shared_mutex> g(running_mu_);
-  return running_[thread_key];  // default-constructs an atomic slot
+  while (running_.size() <= thread_key) running_.emplace_back(nullptr);
+  return running_[thread_key];
 }
 
 void WaitsForGraph::SetRunning(uint64_t thread_key, rt::TxnNode* node) {
@@ -21,16 +23,16 @@ void WaitsForGraph::SetRunning(uint64_t thread_key, rt::TxnNode* node) {
 void WaitsForGraph::ClearRunning(uint64_t thread_key) {
   SlotFor(thread_key).store(nullptr, std::memory_order_release);
   std::lock_guard<std::mutex> g(wait_mu_);
-  waiting_.erase(thread_key);
+  if (thread_key < waiting_.size()) waiting_[thread_key].clear();
 }
 
 std::vector<uint64_t> WaitsForGraph::ServingThreadsLocked(
     uint64_t exec_uid) const {
   std::vector<uint64_t> threads;
-  for (const auto& [thread, slot] : running_) {
-    rt::TxnNode* node = slot.load(std::memory_order_acquire);
+  for (uint64_t t = 0; t < running_.size(); ++t) {
+    rt::TxnNode* node = running_[t].load(std::memory_order_acquire);
     if (node != nullptr && node->HasAncestorOrSelf(exec_uid)) {
-      threads.push_back(thread);
+      threads.push_back(t);
     }
   }
   return threads;
@@ -38,15 +40,17 @@ std::vector<uint64_t> WaitsForGraph::ServingThreadsLocked(
 
 bool WaitsForGraph::CycleBackToLocked(uint64_t start_thread,
                                       uint64_t from_thread,
-                                      std::set<uint64_t>& visited) const {
-  auto it = waiting_.find(from_thread);
-  if (it == waiting_.end()) return false;  // thread can progress
-  for (uint64_t holder : it->second) {
+                                      std::vector<uint64_t>& visited) const {
+  if (from_thread >= waiting_.size() || waiting_[from_thread].empty()) {
+    return false;  // thread can progress
+  }
+  for (uint64_t holder : waiting_[from_thread]) {
     for (uint64_t serving : ServingThreadsLocked(holder)) {
       if (serving == start_thread) return true;
-      if (visited.insert(serving).second &&
-          CycleBackToLocked(start_thread, serving, visited)) {
-        return true;
+      if (std::find(visited.begin(), visited.end(), serving) ==
+          visited.end()) {
+        visited.push_back(serving);
+        if (CycleBackToLocked(start_thread, serving, visited)) return true;
       }
     }
   }
@@ -57,10 +61,11 @@ bool WaitsForGraph::SetWaitingWouldDeadlock(
     uint64_t thread_key, const std::vector<uint64_t>& holder_uids) {
   std::shared_lock<std::shared_mutex> rg(running_mu_);
   std::lock_guard<std::mutex> g(wait_mu_);
+  if (thread_key >= waiting_.size()) waiting_.resize(thread_key + 1);
   waiting_[thread_key] = holder_uids;
-  std::set<uint64_t> visited;
+  std::vector<uint64_t> visited;
   if (CycleBackToLocked(thread_key, thread_key, visited)) {
-    waiting_.erase(thread_key);
+    waiting_[thread_key].clear();
     return true;
   }
   return false;
@@ -68,12 +73,16 @@ bool WaitsForGraph::SetWaitingWouldDeadlock(
 
 void WaitsForGraph::ClearWaiting(uint64_t thread_key) {
   std::lock_guard<std::mutex> g(wait_mu_);
-  waiting_.erase(thread_key);
+  if (thread_key < waiting_.size()) waiting_[thread_key].clear();
 }
 
 size_t WaitsForGraph::BlockedCount() const {
   std::lock_guard<std::mutex> g(wait_mu_);
-  return waiting_.size();
+  size_t n = 0;
+  for (const auto& holders : waiting_) {
+    if (!holders.empty()) ++n;
+  }
+  return n;
 }
 
 }  // namespace objectbase::cc

@@ -12,18 +12,18 @@
 // ancestor of the waiter), and rule 2 then grants the request.
 //
 // The running-execution registry sits on the hot path (every method
-// invocation updates it), so it is a map of per-thread atomic slots: after
-// a thread's first registration, updates are a shared-lock lookup plus an
-// atomic store.  The waiting registry is only touched when a request
-// actually blocks.
+// invocation updates it).  Thread keys are DENSE pooled slot ids
+// (ThisThreadKey in lock_manager.h), so both registries are flat vectors
+// indexed by key: after a thread's first registration, an update is a
+// shared-lock (growth guard only) plus an atomic store — no map traversal.
+// The waiting registry is only touched when a request actually blocks.
 #ifndef OBJECTBASE_CC_WAITS_FOR_H_
 #define OBJECTBASE_CC_WAITS_FOR_H_
 
 #include <atomic>
 #include <cstdint>
-#include <map>
+#include <deque>
 #include <mutex>
-#include <set>
 #include <shared_mutex>
 #include <vector>
 
@@ -45,8 +45,9 @@ class WaitsForGraph {
   void ClearRunning(uint64_t thread_key);
 
   /// Declares that `thread_key` is about to block waiting for the given
-  /// holder executions.  Returns true if blocking would close a cycle of
-  /// blocked threads (deadlock); in that case the wait is NOT registered.
+  /// holder executions (must be non-empty).  Returns true if blocking would
+  /// close a cycle of blocked threads (deadlock); in that case the wait is
+  /// NOT registered.
   bool SetWaitingWouldDeadlock(uint64_t thread_key,
                                const std::vector<uint64_t>& holder_uids);
 
@@ -63,12 +64,15 @@ class WaitsForGraph {
   std::vector<uint64_t> ServingThreadsLocked(uint64_t exec_uid) const;
   // Requires wait_mu_ and running_mu_ (shared) held.
   bool CycleBackToLocked(uint64_t start_thread, uint64_t from_thread,
-                         std::set<uint64_t>& visited) const;
+                         std::vector<uint64_t>& visited) const;
 
-  mutable std::shared_mutex running_mu_;  // guards map structure only
-  std::map<uint64_t, std::atomic<rt::TxnNode*>> running_;
+  mutable std::shared_mutex running_mu_;  // guards growth only
+  // Dense by pooled thread key; deque so growth never moves the atomics.
+  mutable std::deque<std::atomic<rt::TxnNode*>> running_;
   mutable std::mutex wait_mu_;
-  std::map<uint64_t, std::vector<uint64_t>> waiting_;
+  // Dense by pooled thread key; an empty holder list means "not blocked"
+  // (a registered wait always names at least one holder).
+  std::vector<std::vector<uint64_t>> waiting_;
 };
 
 }  // namespace objectbase::cc

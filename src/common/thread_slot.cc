@@ -1,0 +1,38 @@
+#include "src/common/thread_slot.h"
+
+#include <mutex>
+#include <vector>
+
+namespace objectbase::common {
+
+namespace {
+
+std::mutex g_slot_mu;
+std::vector<uint64_t> g_free_slots;
+uint64_t g_next_slot = 0;
+
+struct ThreadSlot {
+  uint64_t id;
+  ThreadSlot() {
+    std::lock_guard<std::mutex> g(g_slot_mu);
+    if (!g_free_slots.empty()) {
+      id = g_free_slots.back();
+      g_free_slots.pop_back();
+    } else {
+      id = g_next_slot++;
+    }
+  }
+  ~ThreadSlot() {
+    std::lock_guard<std::mutex> g(g_slot_mu);
+    g_free_slots.push_back(id);
+  }
+};
+
+}  // namespace
+
+uint64_t DenseThreadSlot() {
+  thread_local ThreadSlot slot;
+  return slot.id;
+}
+
+}  // namespace objectbase::common

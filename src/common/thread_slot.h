@@ -1,0 +1,22 @@
+// Process-wide pool of dense per-thread slot ids.
+//
+// A thread takes the smallest free slot on first use and returns it at
+// thread exit, so the id space stays as dense as the peak number of live
+// threads.  That density is what lets hot-path registries (the lock
+// manager's waits-for tables, the recorder's per-thread buffers) be flat
+// vectors indexed by thread id instead of hash maps.  Pool traffic is one
+// mutex acquisition per thread LIFETIME, not per operation.
+#ifndef OBJECTBASE_COMMON_THREAD_SLOT_H_
+#define OBJECTBASE_COMMON_THREAD_SLOT_H_
+
+#include <cstdint>
+
+namespace objectbase::common {
+
+/// The calling thread's pooled dense slot id (stable for the thread's
+/// lifetime, recycled after it exits).
+uint64_t DenseThreadSlot();
+
+}  // namespace objectbase::common
+
+#endif  // OBJECTBASE_COMMON_THREAD_SLOT_H_

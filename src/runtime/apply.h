@@ -47,7 +47,7 @@ inline AppliedOutcome ApplyLocked(TxnNode& txn, Object& obj,
     entry.top_uid = txn.top()->uid();
     entry.chain = txn.AncestorChain();
     entry.hts = txn.hts();
-    entry.op = op.name;
+    entry.op_id = op.id;
     entry.args = args;
     entry.ret = applied.ret;
     obj.applied_log().push_back(std::move(entry));

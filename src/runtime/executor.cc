@@ -26,10 +26,13 @@ const char* ProtocolName(Protocol p) {
 Executor::Executor(ObjectBase& base, ExecutorOptions options)
     : base_(base), options_(options), recorder_(options.record) {
   switch (options_.protocol) {
-    case Protocol::kN2pl:
-      controller_ = std::make_unique<cc::N2plController>(
+    case Protocol::kN2pl: {
+      auto n2pl = std::make_unique<cc::N2plController>(
           recorder_, options_.granularity);
+      lock_manager_ = &n2pl->lock_manager();
+      controller_ = std::move(n2pl);
       break;
+    }
     case Protocol::kNto:
       controller_ = std::make_unique<cc::NtoController>(
           recorder_, options_.granularity, options_.nto_gc);
@@ -38,17 +41,22 @@ Executor::Executor(ObjectBase& base, ExecutorOptions options)
       controller_ = std::make_unique<cc::CertController>(
           recorder_, options_.granularity);
       break;
-    case Protocol::kGemstone:
-      controller_ = std::make_unique<cc::GemstoneController>(recorder_);
+    case Protocol::kGemstone: {
+      auto gem = std::make_unique<cc::GemstoneController>(recorder_);
+      lock_manager_ = &gem->lock_manager();
+      controller_ = std::move(gem);
       break;
+    }
     case Protocol::kMixed: {
       auto mixed = std::make_unique<cc::MixedController>(recorder_);
       mixed_ = mixed.get();
+      lock_manager_ = &mixed->lock_manager();
       controller_ = std::move(mixed);
       break;
     }
   }
   supports_partial_abort_ = controller_->SupportsPartialAbort();
+  method_tables_.resize(base_.size());
   recorder_.Reset(base_);
 }
 
@@ -58,7 +66,67 @@ void Executor::DefineMethod(const std::string& object,
                             const std::string& method, MethodFn fn) {
   Object* obj = base_.Find(object);
   if (obj == nullptr) return;
-  methods_[{obj->id(), method}] = std::move(fn);
+  if (obj->id() >= method_tables_.size()) {
+    method_tables_.resize(std::max<size_t>(base_.size(), obj->id() + 1));
+  }
+  MethodTable& table = method_tables_[obj->id()];
+  auto it = table.index.find(method);
+  if (it != table.index.end()) {
+    table.fns[it->second] = std::move(fn);  // redefinition: refs stay valid
+    return;
+  }
+  const uint32_t idx = static_cast<uint32_t>(table.fns.size());
+  table.fns.push_back(std::move(fn));
+  table.index.emplace(method, idx);
+}
+
+ObjectHandle Executor::FindObject(const std::string& name) {
+  return ObjectHandle(base_.Find(name));
+}
+
+const std::string& Executor::InternName(std::string_view name) {
+  std::lock_guard<std::mutex> g(intern_mu_);
+  auto it = interned_names_.find(name);
+  if (it == interned_names_.end()) {
+    it = interned_names_.emplace(name).first;
+  }
+  return *it;
+}
+
+MethodRef Executor::ResolveOnObject(Object& obj, std::string_view method) {
+  MethodRef ref;
+  ref.object = &obj;
+  if (obj.id() < method_tables_.size()) {
+    MethodTable& table = method_tables_[obj.id()];
+    auto it = table.index.find(method);
+    if (it != table.index.end()) {
+      ref.fn = &table.fns[it->second];
+      ref.name = &it->first;
+      return ref;
+    }
+  }
+  if (const adt::OpDescriptor* d = obj.spec().FindOp(method)) {
+    // Implicit method: a single local step executing the operation.
+    ref.op = d;
+    ref.name = &d->name;
+    return ref;
+  }
+  // Unknown method: invoking this ref aborts the child with kUser; the
+  // child node still carries the requested name.
+  ref.name = &InternName(method);
+  return ref;
+}
+
+MethodRef Executor::Resolve(const std::string& object,
+                            const std::string& method) {
+  Object* obj = base_.Find(object);
+  if (obj == nullptr) return MethodRef{};
+  return ResolveOnObject(*obj, method);
+}
+
+MethodRef Executor::Resolve(ObjectHandle object, const std::string& method) {
+  if (!object.valid()) return MethodRef{};
+  return ResolveOnObject(*object.obj_, method);
 }
 
 void Executor::SetIntraPolicy(const std::string& object,
@@ -76,29 +144,13 @@ void Executor::ResetStats() {
   for (auto& a : stats_.aborts_by_reason) a.store(0);
 }
 
-const MethodFn* Executor::FindMethod(const Object& obj,
-                                     const std::string& method) const {
-  auto it = methods_.find({obj.id(), method});
-  if (it == methods_.end()) return nullptr;
-  return &it->second;
-}
-
 void Executor::NoteThreadRunning(TxnNode* node) {
   // Only the lock-based protocols track threads (deadlock detection).
-  cc::LockManager* lm = nullptr;
-  if (auto* p = dynamic_cast<cc::N2plController*>(controller_.get())) {
-    lm = &p->lock_manager();
-  } else if (auto* g =
-                 dynamic_cast<cc::GemstoneController*>(controller_.get())) {
-    lm = &g->lock_manager();
-  } else if (mixed_ != nullptr) {
-    lm = &mixed_->lock_manager();
-  }
-  if (lm == nullptr) return;
+  if (lock_manager_ == nullptr) return;
   if (node == nullptr) {
-    lm->NoteFinished(cc::ThisThreadKey());
+    lock_manager_->NoteFinished(cc::ThisThreadKey());
   } else {
-    lm->NoteRunning(cc::ThisThreadKey(), node);
+    lock_manager_->NoteRunning(cc::ThisThreadKey(), node);
   }
 }
 
@@ -164,27 +216,26 @@ TxnResult Executor::RunAttempt(const std::string& name, const MethodFn& body) {
   }
 }
 
-Value Executor::InvokeChild(TxnNode& parent, Object& obj,
-                            const std::string& method, Args args, uint32_t po,
-                            TxnNode* restore) {
+Value Executor::InvokeChild(TxnNode& parent, const MethodRef& m, Args args,
+                            uint32_t po, TxnNode* restore) {
+  Object& obj = *m.object;
   uint64_t child_counter = parent.NextChildCounter();
   auto owned = std::make_unique<TxnNode>(next_uid_.fetch_add(1) + 1, &parent,
-                                         obj.id(), method);
+                                         obj.id(), *m.name);
   TxnNode* child = parent.AddChild(std::move(owned));
   child->hts() = parent.hts().Child(child_counter);
   uint64_t start = recorder_.NextSeq();
-  child->exec_id = recorder_.BeginExecution(parent.exec_id, obj.id(), method);
+  child->exec_id = recorder_.BeginExecution(parent.exec_id, obj.id(), *m.name);
   NoteThreadRunning(child);
   try {
-    const MethodFn* fn = FindMethod(obj, method);
     Value v;
-    if (fn != nullptr) {
+    if (m.fn != nullptr) {
       MethodCtx ctx(*this, *child, &obj, std::move(args));
-      v = (*fn)(ctx);
-    } else if (obj.spec().FindOp(method) != nullptr) {
+      v = (*m.fn)(ctx);
+    } else if (m.op != nullptr) {
       // Implicit method: a single local step executing the operation.
       MethodCtx ctx(*this, *child, &obj, args);
-      v = ctx.Local(method, args);
+      v = ctx.Local(*m.op, args);
     } else {
       throw AbortSignal{cc::AbortReason::kUser};
     }
@@ -260,25 +311,24 @@ void Executor::AbortSubtree(TxnNode& node, cc::AbortReason reason) {
 
 // --- MethodCtx -------------------------------------------------------------
 
-Value MethodCtx::Invoke(const std::string& object, const std::string& method,
-                        Args args) {
-  Object* obj = exec_.base_.Find(object);
-  if (obj == nullptr) throw Executor::AbortSignal{cc::AbortReason::kUser};
+Value MethodCtx::Invoke(const MethodRef& m, Args args) {
+  if (m.object == nullptr) throw Executor::AbortSignal{cc::AbortReason::kUser};
   uint32_t po = node_.NextPo();
-  return exec_.InvokeChild(node_, *obj, method, std::move(args), po, &node_);
+  return exec_.InvokeChild(node_, m, std::move(args), po, &node_);
 }
 
-MethodCtx::InvokeOutcome MethodCtx::TryInvoke(const std::string& object,
-                                              const std::string& method,
-                                              Args args) {
-  Object* obj = exec_.base_.Find(object);
-  if (obj == nullptr) {
+Value MethodCtx::Invoke(const std::string& object, const std::string& method,
+                        Args args) {
+  return Invoke(exec_.Resolve(object, method), std::move(args));
+}
+
+MethodCtx::InvokeOutcome MethodCtx::TryInvoke(const MethodRef& m, Args args) {
+  if (m.object == nullptr) {
     return InvokeOutcome{false, Value::None(), cc::AbortReason::kUser};
   }
   uint32_t po = node_.NextPo();
   try {
-    Value v =
-        exec_.InvokeChild(node_, *obj, method, std::move(args), po, &node_);
+    Value v = exec_.InvokeChild(node_, m, std::move(args), po, &node_);
     return InvokeOutcome{true, std::move(v), cc::AbortReason::kNone};
   } catch (Executor::AbortSignal& s) {
     if (exec_.supports_partial_abort_) {
@@ -290,8 +340,14 @@ MethodCtx::InvokeOutcome MethodCtx::TryInvoke(const std::string& object,
   }
 }
 
+MethodCtx::InvokeOutcome MethodCtx::TryInvoke(const std::string& object,
+                                              const std::string& method,
+                                              Args args) {
+  return TryInvoke(exec_.Resolve(object, method), std::move(args));
+}
+
 std::vector<MethodCtx::InvokeOutcome> MethodCtx::InvokeParallel(
-    std::vector<Call> calls) {
+    std::vector<BoundCall> calls) {
   std::vector<InvokeOutcome> outcomes(calls.size());
   if (calls.empty()) return outcomes;
   // All messages of the batch share one program-order index: they are
@@ -301,15 +357,14 @@ std::vector<MethodCtx::InvokeOutcome> MethodCtx::InvokeParallel(
   threads.reserve(calls.size());
   for (size_t i = 0; i < calls.size(); ++i) {
     threads.emplace_back([this, &calls, &outcomes, i, po]() {
-      Object* obj = exec_.base_.Find(calls[i].object);
-      if (obj == nullptr) {
+      const MethodRef& m = calls[i].method;
+      if (m.object == nullptr) {
         outcomes[i] = InvokeOutcome{false, Value::None(),
                                     cc::AbortReason::kUser};
         return;
       }
       try {
-        Value v = exec_.InvokeChild(node_, *obj, calls[i].method,
-                                    std::move(calls[i].args), po,
+        Value v = exec_.InvokeChild(node_, m, std::move(calls[i].args), po,
                                     /*restore=*/nullptr);
         outcomes[i] = InvokeOutcome{true, std::move(v),
                                     cc::AbortReason::kNone};
@@ -327,7 +382,18 @@ std::vector<MethodCtx::InvokeOutcome> MethodCtx::InvokeParallel(
   return outcomes;
 }
 
-Value MethodCtx::Local(const std::string& op, Args args) {
+std::vector<MethodCtx::InvokeOutcome> MethodCtx::InvokeParallel(
+    std::vector<Call> calls) {
+  std::vector<BoundCall> bound;
+  bound.reserve(calls.size());
+  for (Call& c : calls) {
+    bound.push_back(BoundCall{exec_.Resolve(c.object, c.method),
+                              std::move(c.args)});
+  }
+  return InvokeParallel(std::move(bound));
+}
+
+Value MethodCtx::Local(const adt::OpDescriptor& op, Args args) {
   if (object_ == nullptr) {
     // The environment has no variables (Definition 1).
     throw Executor::AbortSignal{cc::AbortReason::kUser};
@@ -336,6 +402,20 @@ Value MethodCtx::Local(const std::string& op, Args args) {
       exec_.controller_->ExecuteLocal(node_, *object_, op, args);
   if (!out.ok) throw Executor::AbortSignal{out.reason};
   return std::move(out.ret);
+}
+
+const adt::OpDescriptor* MethodCtx::ResolveLocal(std::string_view op) const {
+  if (object_ == nullptr) return nullptr;
+  return object_->spec().FindOp(op);
+}
+
+Value MethodCtx::Local(const std::string& op, Args args) {
+  if (object_ == nullptr) {
+    throw Executor::AbortSignal{cc::AbortReason::kUser};
+  }
+  const adt::OpDescriptor* d = object_->spec().FindOp(op);
+  if (d == nullptr) throw Executor::AbortSignal{cc::AbortReason::kUser};
+  return Local(*d, std::move(args));
 }
 
 void MethodCtx::Abort() {

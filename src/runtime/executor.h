@@ -10,6 +10,17 @@
 //     return Value();
 //   });
 //
+// Resolve-once / execute-many: the string forms of Invoke/Local above are
+// conveniences that resolve names on every call.  Steady-state callers
+// (workload generators, servers) resolve interned handles up front —
+//
+//   rt::MethodRef withdraw = exec.Resolve("acct", "withdraw");
+//   ... per transaction: txn.Invoke(withdraw, {50});   // no string maps
+//
+// — after which the per-step path touches no string map: method dispatch is
+// a stable function pointer or a dense OpId, and conflict tests are flat
+// table probes (see docs/runtime_pipeline.md).
+//
 // Model correspondence:
 //   * RunTransaction creates a top-level method execution of the
 //     environment object (Definition 1);
@@ -29,9 +40,11 @@
 
 #include <array>
 #include <atomic>
+#include <deque>
 #include <functional>
 #include <map>
 #include <memory>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -40,6 +53,10 @@
 #include "src/runtime/object_base.h"
 #include "src/runtime/recorder.h"
 #include "src/runtime/txn.h"
+
+namespace objectbase::cc {
+class LockManager;
+}  // namespace objectbase::cc
 
 namespace objectbase::rt {
 
@@ -63,6 +80,42 @@ struct ExecutorOptions {
 class MethodCtx;
 using MethodFn = std::function<Value(MethodCtx&)>;
 
+/// An interned object handle: resolved once (ObjectBase::Find), then id and
+/// spec access are pointer-cheap.  Valid as long as the ObjectBase lives.
+class ObjectHandle {
+ public:
+  ObjectHandle() = default;
+
+  bool valid() const { return obj_ != nullptr; }
+  uint32_t id() const { return obj_->id(); }
+  const std::string& name() const { return obj_->name(); }
+  const adt::AdtSpec& spec() const { return obj_->spec(); }
+
+ private:
+  friend class Executor;
+  friend class MethodCtx;
+  explicit ObjectHandle(Object* obj) : obj_(obj) {}
+  Object* obj_ = nullptr;
+};
+
+/// An interned (object, method) pair: the resolve-once handle of the
+/// execution pipeline.  Produced by Executor::Resolve; stable for the
+/// lifetime of the Executor (method bodies live in per-object deques, op
+/// descriptors in the immutable spec).  Invoking through a MethodRef
+/// touches no string map.
+struct MethodRef {
+  Object* object = nullptr;
+  const MethodFn* fn = nullptr;           ///< Registered body, or
+  const adt::OpDescriptor* op = nullptr;  ///< implicit single-step body.
+  const std::string* name = nullptr;      ///< Interned method name.
+
+  /// False when the object exists but no body or ADT operation matches;
+  /// invoking an invalid ref aborts the child with AbortReason::kUser.
+  bool valid() const {
+    return object != nullptr && (fn != nullptr || op != nullptr);
+  }
+};
+
 struct TxnResult {
   bool committed = false;
   Value ret;
@@ -80,11 +133,25 @@ class Executor {
 
   /// Registers a method body on an object.  Unregistered method names that
   /// match an ADT operation get an implicit body executing that single
-  /// local step.
+  /// local step.  Setup-time API: not thread-safe against running
+  /// transactions.  Redefining an already-registered method keeps
+  /// previously resolved MethodRefs valid (they see the new body); a ref
+  /// resolved while the name was still implicit keeps dispatching the raw
+  /// ADT operation — resolve after DefineMethod.
   void DefineMethod(const std::string& object, const std::string& method,
                     MethodFn fn);
 
-  /// MIXED only: assigns the object's intra-object policy.
+  /// Resolves an object name once; invalid handle if unknown.
+  ObjectHandle FindObject(const std::string& name);
+
+  /// Resolves (object, method) once into an interned handle.  Returns a
+  /// ref with object == nullptr when the object is unknown, and an
+  /// invalid-but-named ref when the method matches neither a registered
+  /// body nor an ADT operation.
+  MethodRef Resolve(const std::string& object, const std::string& method);
+  MethodRef Resolve(ObjectHandle object, const std::string& method);
+
+  /// MIXED only: assigns the object's intra-object policy.  Setup-time API.
   void SetIntraPolicy(const std::string& object, cc::IntraPolicy policy);
 
   /// Runs a top-level transaction (with retries on abort).
@@ -123,21 +190,33 @@ class Executor {
     cc::AbortReason reason;
   };
 
+  /// Per-object dense method table: bodies live in a deque (stable
+  /// addresses for MethodRef::fn), the name index is only consulted at
+  /// resolve time.
+  struct MethodTable {
+    std::deque<MethodFn> fns;
+    std::map<std::string, uint32_t, std::less<>> index;
+  };
+
   TxnResult RunAttempt(const std::string& name, const MethodFn& body);
 
-  /// Runs `method` of `obj` as a child of `parent`; `po` is the message's
-  /// program-order index (shared within a parallel batch).  `restore` is
-  /// the node to re-register for this thread afterwards (nullptr on
-  /// freshly-spawned threads).  Throws AbortSignal on child abort.
-  Value InvokeChild(TxnNode& parent, Object& obj, const std::string& method,
-                    Args args, uint32_t po, TxnNode* restore);
+  /// Runs the method `m` refers to as a child of `parent`; `po` is the
+  /// message's program-order index (shared within a parallel batch).
+  /// `restore` is the node to re-register for this thread afterwards
+  /// (nullptr on freshly-spawned threads).  Throws AbortSignal on child
+  /// abort (including invalid refs: the child records, aborts with kUser).
+  Value InvokeChild(TxnNode& parent, const MethodRef& m, Args args,
+                    uint32_t po, TxnNode* restore);
 
   /// Marks the subtree aborted (recorder included), rolls back its effects
   /// and informs the controller.
   void AbortSubtree(TxnNode& node, cc::AbortReason reason);
 
-  const MethodFn* FindMethod(const Object& obj,
-                             const std::string& method) const;
+  MethodRef ResolveOnObject(Object& obj, std::string_view method);
+
+  /// Stable storage for names of methods that resolve to nothing (the
+  /// aborting child still needs a name); touched only on that error path.
+  const std::string& InternName(std::string_view name);
 
   void NoteThreadRunning(TxnNode* node);
   void NoteThreadFinished();
@@ -147,11 +226,14 @@ class Executor {
   Recorder recorder_;
   std::unique_ptr<cc::Controller> controller_;
   cc::MixedController* mixed_ = nullptr;  // non-null iff protocol == kMixed
+  cc::LockManager* lock_manager_ = nullptr;  // non-null for locking protocols
   bool supports_partial_abort_ = false;
   std::atomic<uint64_t> next_uid_{0};
   std::atomic<uint64_t> next_top_counter_{0};
   Stats stats_;
-  std::map<std::pair<uint32_t, std::string>, MethodFn> methods_;
+  std::vector<MethodTable> method_tables_;  // indexed by object id
+  std::mutex intern_mu_;
+  std::set<std::string, std::less<>> interned_names_;
 };
 
 /// Handle passed to method bodies; all interaction with the object base
@@ -170,26 +252,46 @@ class MethodCtx {
     Args args;
   };
 
-  /// Sends a message: runs `method` on `object` as a child execution and
-  /// returns its value.  A child abort propagates (aborting this execution
-  /// too) — use TryInvoke to survive it.
-  Value Invoke(const std::string& object, const std::string& method,
-               Args args = {});
+  /// A pre-resolved parallel call (the handle-based fast path).
+  struct BoundCall {
+    MethodRef method;
+    Args args;
+  };
+
+  // --- handle-based primary path (resolve once, execute many) ---
+
+  /// Sends a message: runs the method `m` refers to as a child execution
+  /// and returns its value.  A child abort propagates (aborting this
+  /// execution too) — use TryInvoke to survive it.
+  Value Invoke(const MethodRef& m, Args args = {});
 
   /// Like Invoke, but under protocols that support partial aborts a child
   /// abort is reported instead of propagated — the paper's alternative-path
   /// pattern: "If M' fails and aborts, M is not also doomed to failure."
-  InvokeOutcome TryInvoke(const std::string& object, const std::string& method,
-                          Args args = {});
+  InvokeOutcome TryInvoke(const MethodRef& m, Args args = {});
 
   /// Sends several messages simultaneously (internal parallelism); blocks
   /// until all children finish.  Under partial-abort protocols failed calls
   /// are reported in the outcomes; otherwise any failure aborts this
   /// execution after all branches joined.
-  std::vector<InvokeOutcome> InvokeParallel(std::vector<Call> calls);
+  std::vector<InvokeOutcome> InvokeParallel(std::vector<BoundCall> calls);
 
   /// Issues a local operation on this method's own object.  Only valid
   /// inside an object method (not in a top-level environment body).
+  Value Local(const adt::OpDescriptor& op, Args args = {});
+
+  /// Resolves a local operation of this method's object once (nullptr if
+  /// unknown or in an environment body); pair with Local(const
+  /// OpDescriptor&).
+  const adt::OpDescriptor* ResolveLocal(std::string_view op) const;
+
+  // --- string conveniences (thin resolve-then-forward wrappers) ---
+
+  Value Invoke(const std::string& object, const std::string& method,
+               Args args = {});
+  InvokeOutcome TryInvoke(const std::string& object, const std::string& method,
+                          Args args = {});
+  std::vector<InvokeOutcome> InvokeParallel(std::vector<Call> calls);
   Value Local(const std::string& op, Args args = {});
 
   /// Application-requested abort of this method execution (Section 3).

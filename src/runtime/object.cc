@@ -38,8 +38,7 @@ void Object::AbortEntriesAndRebuild(uint64_t subtree_root_uid) {
   auto rebuilt = base_state_->Clone();
   for (const Applied& e : applied_log_) {
     if (e.aborted) continue;
-    const adt::OpDescriptor* op = spec_->FindOp(e.op);
-    if (op != nullptr) op->apply(*rebuilt, e.args);
+    spec_->OpAt(e.op_id).apply(*rebuilt, e.args);
   }
   state_ = std::move(rebuilt);
 }
@@ -51,8 +50,7 @@ size_t Object::FoldPrefix(uint64_t watermark) {
     const Applied& e = applied_log_.front();
     if (e.hts.top_component() >= watermark) break;
     if (!e.aborted) {
-      const adt::OpDescriptor* op = spec_->FindOp(e.op);
-      if (op != nullptr) op->apply(*base_state_, e.args);
+      spec_->OpAt(e.op_id).apply(*base_state_, e.args);
     }
     applied_log_.pop_front();
     ++folded;

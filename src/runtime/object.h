@@ -56,7 +56,7 @@ class Object {
     uint64_t top_uid = 0;   ///< Its top-level ancestor.
     std::vector<uint64_t> chain;  ///< Ancestor uids, self first.
     cc::Hts hts;
-    std::string op;
+    adt::OpId op_id = adt::kNoOp;  ///< Dense op id within the owning spec.
     Args args;
     Value ret;
     bool aborted = false;  ///< Excluded from the object's real history.

@@ -2,14 +2,19 @@
 #ifndef OBJECTBASE_RUNTIME_OBJECT_BASE_H_
 #define OBJECTBASE_RUNTIME_OBJECT_BASE_H_
 
-#include <map>
+#include <atomic>
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "src/runtime/object.h"
 
 namespace objectbase::rt {
+
+/// Resolve-path instrumentation: counts ObjectBase::Find name lookups
+/// process-wide (see adt::FindOpCalls; same purpose, object layer).
+std::atomic<uint64_t>& ObjectFindCalls();
 
 /// Owns the objects.  Objects are created before execution starts and live
 /// for the lifetime of the base; creation is not thread-safe (do it before
@@ -21,6 +26,9 @@ class ObjectBase {
   uint32_t CreateObject(std::string name,
                         std::shared_ptr<const adt::AdtSpec> spec);
 
+  /// Name lookup — the resolve-once entry point (Executor::Resolve /
+  /// FindObject).  Steady-state execution addresses objects by pointer or
+  /// dense id, never by name.
   Object* Find(const std::string& name);
   Object& Get(uint32_t id) { return *objects_[id]; }
   const Object& Get(uint32_t id) const { return *objects_[id]; }
@@ -32,7 +40,7 @@ class ObjectBase {
 
  private:
   std::vector<std::unique_ptr<Object>> objects_;
-  std::map<std::string, uint32_t> by_name_;
+  std::unordered_map<std::string, uint32_t> by_name_;  // resolve-time index
 };
 
 }  // namespace objectbase::rt

@@ -1,18 +1,63 @@
 #include "src/runtime/recorder.h"
 
+#include <algorithm>
+
+#include "src/common/thread_slot.h"
+
 namespace objectbase::rt {
+
+namespace {
+/// Never-repeating source for recorder identities: a thread_local cache
+/// entry (recorder address, ident) can only match a live recorder, even if
+/// a new recorder is allocated at a previous one's address.
+std::atomic<uint64_t> g_recorder_ident{1};
+}  // namespace
+
+Recorder::Recorder(bool enabled)
+    : enabled_(enabled), ident_(g_recorder_ident.fetch_add(1)) {}
+
+Recorder::ThreadBuf& Recorder::Buf() {
+  struct Cache {
+    const Recorder* recorder = nullptr;
+    uint64_t ident = 0;
+    ThreadBuf* buf = nullptr;
+  };
+  thread_local Cache cache;
+  if (cache.recorder == this && cache.ident == ident_) return *cache.buf;
+  // Slow path: first event from this thread (or the thread switched
+  // recorders since).  Buffers are keyed by the pooled dense thread slot,
+  // so a slot vacated by a finished thread hands its buffer to the next
+  // thread that takes the slot — recorded events are position-independent
+  // (ordering comes from the seq stamps), and bufs_ stays bounded by the
+  // peak thread count instead of the total threads ever spawned.
+  const uint64_t slot = common::DenseThreadSlot();
+  std::lock_guard<std::mutex> g(registry_mu_);
+  if (slot >= bufs_.size()) bufs_.resize(slot + 1);
+  if (bufs_[slot] == nullptr) bufs_[slot] = std::make_unique<ThreadBuf>();
+  cache = Cache{this, ident_, bufs_[slot].get()};
+  return *cache.buf;
+}
 
 void Recorder::Reset(const ObjectBase& base) {
   if (!enabled_) return;
-  std::lock_guard<std::mutex> g(mu_);
-  history_ = model::History();
+  std::lock_guard<std::mutex> g(registry_mu_);
+  for (auto& buf : bufs_) {
+    if (buf == nullptr) continue;
+    buf->execs.clear();
+    buf->locals.clear();
+    buf->msgs.clear();
+    buf->aborts.clear();
+  }
   seq_.store(0);
+  next_exec_.store(0);
+  specs_.clear();
+  initial_states_.clear();
+  object_names_.clear();
   for (uint32_t i = 0; i < base.size(); ++i) {
     const Object& o = base.Get(i);
-    history_.specs.push_back(o.spec_ptr());
-    history_.initial_states.push_back(o.state().Clone());
-    history_.object_names.push_back(o.name());
-    history_.object_order.emplace_back();
+    specs_.push_back(o.spec_ptr());
+    initial_states_.push_back(o.state().Clone());
+    object_names_.push_back(o.name());
   }
 }
 
@@ -20,21 +65,14 @@ model::ExecId Recorder::BeginExecution(model::ExecId parent,
                                        model::ObjectId object,
                                        const std::string& method) {
   if (!enabled_) return model::kNoExec;
-  std::lock_guard<std::mutex> g(mu_);
-  model::ExecId id = static_cast<model::ExecId>(history_.executions.size());
-  model::MethodExecution e;
-  e.id = id;
-  e.parent = parent;
-  e.object = object;
-  e.method = method;
-  history_.executions.push_back(std::move(e));
+  model::ExecId id = next_exec_.fetch_add(1);
+  Buf().execs.push_back(ExecEvent{id, parent, object, method});
   return id;
 }
 
 void Recorder::MarkAborted(model::ExecId exec) {
   if (!enabled_ || exec == model::kNoExec) return;
-  std::lock_guard<std::mutex> g(mu_);
-  history_.executions[exec].aborted = true;
+  Buf().aborts.push_back(exec);
 }
 
 void Recorder::RecordLocalStep(model::ExecId exec, uint32_t po_index,
@@ -42,43 +80,109 @@ void Recorder::RecordLocalStep(model::ExecId exec, uint32_t po_index,
                                const Args& args, const Value& ret,
                                uint64_t start_seq, uint64_t end_seq) {
   if (!enabled_ || exec == model::kNoExec) return;
-  std::lock_guard<std::mutex> g(mu_);
-  model::Step s;
-  s.id = static_cast<model::StepId>(history_.steps.size());
-  s.kind = model::StepKind::kLocal;
-  s.exec = exec;
-  s.po_index = po_index;
-  s.object = object;
-  s.op = op;
-  s.args = args;
-  s.ret = ret;
-  s.start_seq = start_seq;
-  s.end_seq = end_seq;
-  history_.executions[exec].steps.push_back(s.id);
-  history_.object_order[object].push_back(s.id);
-  history_.steps.push_back(std::move(s));
+  Buf().locals.push_back(
+      LocalEvent{exec, po_index, object, op, args, ret, start_seq, end_seq});
 }
 
 void Recorder::RecordMessageStep(model::ExecId exec, uint32_t po_index,
                                  model::ExecId callee, uint64_t start_seq,
                                  uint64_t end_seq) {
   if (!enabled_ || exec == model::kNoExec || callee == model::kNoExec) return;
-  std::lock_guard<std::mutex> g(mu_);
-  model::Step s;
-  s.id = static_cast<model::StepId>(history_.steps.size());
-  s.kind = model::StepKind::kMessage;
-  s.exec = exec;
-  s.po_index = po_index;
-  s.callee = callee;
-  s.start_seq = start_seq;
-  s.end_seq = end_seq;
-  history_.executions[exec].steps.push_back(s.id);
-  history_.steps.push_back(std::move(s));
+  Buf().msgs.push_back(MsgEvent{exec, po_index, callee, start_seq, end_seq});
 }
 
 model::History Recorder::Snapshot() const {
-  std::lock_guard<std::mutex> g(mu_);
-  return history_.Clone();
+  model::History h;
+  if (!enabled_) return h;
+  std::lock_guard<std::mutex> g(registry_mu_);
+
+  // S: specs, initial states, names.
+  for (size_t i = 0; i < specs_.size(); ++i) {
+    h.specs.push_back(specs_[i]);
+    h.initial_states.push_back(initial_states_[i]->Clone());
+    h.object_names.push_back(object_names_[i]);
+    h.object_order.emplace_back();
+  }
+
+  // E: executions are identified by the atomic id counter, so the merged
+  // vector is dense regardless of which thread began which execution.
+  h.executions.resize(next_exec_.load());
+  for (model::ExecId i = 0; i < h.executions.size(); ++i) {
+    h.executions[i].id = i;
+  }
+  for (const auto& buf : bufs_) {
+    if (buf == nullptr) continue;
+    for (const ExecEvent& e : buf->execs) {
+      model::MethodExecution& me = h.executions[e.id];
+      me.parent = e.parent;
+      me.object = e.object;
+      me.method = e.method;
+    }
+  }
+  for (const auto& buf : bufs_) {
+    if (buf == nullptr) continue;
+    for (model::ExecId a : buf->aborts) h.executions[a].aborted = true;
+  }
+
+  // Steps: every event carries a unique end-seq stamp (each is a distinct
+  // draw of the atomic counter), so sorting by it yields a deterministic
+  // total order that (a) equals the record-call order on single-threaded
+  // runs and (b) restricted to one object's local steps equals the true
+  // application order (the stamp is drawn inside the apply critical
+  // section).  The (buf, index) tiebreak only matters for hand-fed
+  // duplicate stamps in unit tests.
+  struct Ref {
+    uint64_t end_seq;
+    uint32_t buf;
+    uint32_t index;
+    bool is_local;
+  };
+  std::vector<Ref> refs;
+  for (uint32_t b = 0; b < bufs_.size(); ++b) {
+    if (bufs_[b] == nullptr) continue;
+    for (uint32_t i = 0; i < bufs_[b]->locals.size(); ++i) {
+      refs.push_back(Ref{bufs_[b]->locals[i].end_seq, b, i, true});
+    }
+    for (uint32_t i = 0; i < bufs_[b]->msgs.size(); ++i) {
+      refs.push_back(Ref{bufs_[b]->msgs[i].end_seq, b, i, false});
+    }
+  }
+  std::sort(refs.begin(), refs.end(), [](const Ref& a, const Ref& b) {
+    if (a.end_seq != b.end_seq) return a.end_seq < b.end_seq;
+    if (a.buf != b.buf) return a.buf < b.buf;
+    if (a.is_local != b.is_local) return a.is_local && !b.is_local;
+    return a.index < b.index;
+  });
+
+  h.steps.reserve(refs.size());
+  for (const Ref& r : refs) {
+    model::Step s;
+    s.id = static_cast<model::StepId>(h.steps.size());
+    if (r.is_local) {
+      const LocalEvent& e = bufs_[r.buf]->locals[r.index];
+      s.kind = model::StepKind::kLocal;
+      s.exec = e.exec;
+      s.po_index = e.po_index;
+      s.object = e.object;
+      s.op = e.op;
+      s.args = e.args;
+      s.ret = e.ret;
+      s.start_seq = e.start_seq;
+      s.end_seq = e.end_seq;
+      h.object_order[e.object].push_back(s.id);
+    } else {
+      const MsgEvent& e = bufs_[r.buf]->msgs[r.index];
+      s.kind = model::StepKind::kMessage;
+      s.exec = e.exec;
+      s.po_index = e.po_index;
+      s.callee = e.callee;
+      s.start_seq = e.start_seq;
+      s.end_seq = e.end_seq;
+    }
+    h.executions[s.exec].steps.push_back(s.id);
+    h.steps.push_back(std::move(s));
+  }
+  return h;
 }
 
 }  // namespace objectbase::rt

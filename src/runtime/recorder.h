@@ -8,13 +8,32 @@
 // transformers composed — the concrete form of the < relation on local
 // steps.
 //
+// Sharded recording: there is no global recorder lock.  Each worker thread
+// appends events (execution begins, local steps, message steps, abort
+// marks) to its own buffer; identity comes from two atomic counters (the
+// execution-id counter and the global seq stamp).  The paper's model only
+// needs the per-object application order to be exact, and that is captured
+// by the seq stamps drawn inside each object's apply critical section — a
+// global recording lock adds nothing but contention.  Snapshot() merges the
+// buffers deterministically (events sorted by their unique end-seq stamp),
+// which on a single-threaded run reproduces the exact history the previous
+// globally-locked recorder produced.
+//
+// Concurrency contract: Record*/BeginExecution/MarkAborted may be called
+// from any number of threads concurrently.  Reset() and Snapshot() require
+// the recording threads to be quiescent (between runs / after joins) —
+// which is when tests and benchmarks call them.
+//
 // Recording is optional (benchmarks disable it); when disabled all methods
 // are cheap no-ops.
 #ifndef OBJECTBASE_RUNTIME_RECORDER_H_
 #define OBJECTBASE_RUNTIME_RECORDER_H_
 
 #include <atomic>
+#include <memory>
 #include <mutex>
+#include <string>
+#include <vector>
 
 #include "src/model/history.h"
 #include "src/runtime/object_base.h"
@@ -23,7 +42,7 @@ namespace objectbase::rt {
 
 class Recorder {
  public:
-  explicit Recorder(bool enabled) : enabled_(enabled) {}
+  explicit Recorder(bool enabled);
 
   bool enabled() const { return enabled_; }
 
@@ -41,8 +60,9 @@ class Recorder {
   void MarkAborted(model::ExecId exec);
 
   /// Records a local step.  MUST be called while the caller still holds the
-  /// object's apply serialisation (state_mu or equivalent), so that
-  /// object_order matches the true application order.
+  /// object's apply serialisation (state_mu or equivalent) and `end_seq`
+  /// must have been drawn inside that critical section, so that the merged
+  /// per-object order matches the true application order.
   void RecordLocalStep(model::ExecId exec, uint32_t po_index,
                        model::ObjectId object, const std::string& op,
                        const Args& args, const Value& ret,
@@ -53,14 +73,60 @@ class Recorder {
                          model::ExecId callee, uint64_t start_seq,
                          uint64_t end_seq);
 
-  /// Deep-copies the history accumulated so far.
+  /// Merges the per-thread buffers into a model::History.  Deterministic:
+  /// events are ordered by their (unique) end-seq stamps.
   model::History Snapshot() const;
 
  private:
+  struct ExecEvent {
+    model::ExecId id;
+    model::ExecId parent;
+    model::ObjectId object;
+    std::string method;
+  };
+  struct LocalEvent {
+    model::ExecId exec;
+    uint32_t po_index;
+    model::ObjectId object;
+    std::string op;
+    Args args;
+    Value ret;
+    uint64_t start_seq;
+    uint64_t end_seq;
+  };
+  struct MsgEvent {
+    model::ExecId exec;
+    uint32_t po_index;
+    model::ExecId callee;
+    uint64_t start_seq;
+    uint64_t end_seq;
+  };
+  struct ThreadBuf {
+    std::vector<ExecEvent> execs;
+    std::vector<LocalEvent> locals;
+    std::vector<MsgEvent> msgs;
+    std::vector<model::ExecId> aborts;
+  };
+
+  /// The calling thread's buffer, keyed by its pooled dense thread slot
+  /// (common::DenseThreadSlot) and cached in a thread_local.  Slots are
+  /// recycled when threads exit, so short-lived InvokeParallel threads
+  /// reuse buffers instead of growing bufs_ without bound: the buffer
+  /// count stays at the peak number of CONCURRENT threads.
+  ThreadBuf& Buf();
+
   bool enabled_;
+  /// Unique per recorder instance; guards the thread_local buffer cache
+  /// against address reuse across recorder lifetimes.
+  const uint64_t ident_;
   std::atomic<uint64_t> seq_{0};
-  mutable std::mutex mu_;
-  model::History history_;
+  std::atomic<uint32_t> next_exec_{0};
+  mutable std::mutex registry_mu_;  // buffer registration, Reset, Snapshot
+  std::vector<std::unique_ptr<ThreadBuf>> bufs_;  // indexed by thread slot
+  // The S component, snapshotted by Reset().
+  std::vector<std::shared_ptr<const adt::AdtSpec>> specs_;
+  std::vector<std::unique_ptr<adt::AdtState>> initial_states_;
+  std::vector<std::string> object_names_;
 };
 
 }  // namespace objectbase::rt

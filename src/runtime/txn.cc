@@ -9,7 +9,15 @@ TxnNode::TxnNode(uint64_t uid, TxnNode* parent, uint32_t object_id,
       top_(parent == nullptr ? this : parent->top_),
       depth_(parent == nullptr ? 0 : parent->depth_ + 1),
       object_id_(object_id),
-      method_(std::move(method)) {}
+      method_(std::move(method)) {
+  // Ancestry is fixed at construction, so the chain is built once here
+  // instead of per step (the NTO/CERT conflict scans read it every local
+  // step).
+  chain_.reserve(depth_ + 1);
+  for (const TxnNode* n = this; n != nullptr; n = n->parent_) {
+    chain_.push_back(n->uid_);
+  }
+}
 
 bool TxnNode::HasAncestorOrSelf(const TxnNode* a) const {
   // Cached top/depth fast paths: nodes in different transaction trees (the
@@ -27,14 +35,6 @@ bool TxnNode::HasAncestorOrSelf(uint64_t a_uid) const {
     if (n->uid_ == a_uid) return true;
   }
   return false;
-}
-
-std::vector<uint64_t> TxnNode::AncestorChain() const {
-  std::vector<uint64_t> chain;
-  for (const TxnNode* n = this; n != nullptr; n = n->parent_) {
-    chain.push_back(n->uid_);
-  }
-  return chain;
 }
 
 TxnNode* TxnNode::AddChild(std::unique_ptr<TxnNode> child) {

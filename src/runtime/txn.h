@@ -64,8 +64,10 @@ class TxnNode {
   bool HasAncestorOrSelf(const TxnNode* a) const;
   bool HasAncestorOrSelf(uint64_t a_uid) const;
 
-  /// Uids from self up to the top-level ancestor (self first).
-  std::vector<uint64_t> AncestorChain() const;
+  /// Uids from self up to the top-level ancestor (self first).  Built once
+  /// at construction (ancestry never changes); per-step readers take it by
+  /// reference.
+  const std::vector<uint64_t>& AncestorChain() const { return chain_; }
 
   // --- undo log (appended only by the node's own thread) ---
   void PushUndo(UndoRecord r) { undo_log_.push_back(std::move(r)); }
@@ -126,6 +128,7 @@ class TxnNode {
   uint32_t depth_;
   uint32_t object_id_;
   std::string method_;
+  std::vector<uint64_t> chain_;  // self..top uids (see AncestorChain)
   cc::Hts hts_;
   std::atomic<uint64_t> child_counter_{0};
   std::atomic<uint32_t> next_po_{0};

@@ -9,6 +9,12 @@
 #include "src/adt/queue_adt.h"
 #include "src/adt/register_adt.h"
 
+// Every generator follows the resolve-once/execute-many discipline: the
+// spec's `prepare` hook (run once per executor, before the workers start)
+// resolves the MethodRefs the transaction bodies will use, so the per-step
+// hot path of the offered load touches no string maps — names only appear
+// at setup time.
+
 namespace objectbase::workload {
 namespace {
 
@@ -32,38 +38,64 @@ void SetupBanking(rt::ObjectBase& base, const BankingParams& p) {
   }
 }
 
+namespace {
+struct BankingHandles {
+  std::vector<rt::MethodRef> withdraw;
+  std::vector<rt::MethodRef> deposit;
+  std::vector<rt::MethodRef> balance;
+  std::vector<rt::MethodRef> branch_add;
+};
+}  // namespace
+
 WorkloadSpec MakeBankingSpec(const BankingParams& p) {
   WorkloadSpec spec;
   spec.name = "banking";
   auto zipf = std::make_shared<ZipfGenerator>(p.accounts, p.theta);
   const BankingParams params = p;
+  auto handles = std::make_shared<BankingHandles>();
+
+  spec.prepare = [params, handles](rt::Executor& exec) {
+    handles->withdraw.clear();
+    handles->deposit.clear();
+    handles->balance.clear();
+    handles->branch_add.clear();
+    for (int i = 0; i < params.accounts; ++i) {
+      rt::ObjectHandle acct = exec.FindObject(AccountName(i));
+      handles->withdraw.push_back(exec.Resolve(acct, "withdraw"));
+      handles->deposit.push_back(exec.Resolve(acct, "deposit"));
+      handles->balance.push_back(exec.Resolve(acct, "balance"));
+    }
+    for (int i = 0; i < params.branches; ++i) {
+      handles->branch_add.push_back(exec.Resolve(BranchName(i), "add"));
+    }
+  };
 
   TxnTemplate transfer;
   transfer.name = "transfer";
   transfer.weight = 1.0 - p.audit_weight;
-  transfer.make = [params, zipf](Rng& rng) -> rt::MethodFn {
+  transfer.make = [params, zipf, handles](Rng& rng) -> rt::MethodFn {
     int from = static_cast<int>(zipf->Next(rng));
     int to = static_cast<int>(zipf->Next(rng));
     if (to == from) to = (to + 1) % static_cast<int>(zipf->n());
     int64_t amount = rng.Range(1, 20);
     int branch_from = from % params.branches;
     int branch_to = to % params.branches;
-    return [params, from, to, amount, branch_from,
+    return [params, handles, from, to, amount, branch_from,
             branch_to](rt::MethodCtx& txn) -> Value {
-      Value ok = txn.Invoke(AccountName(from), "withdraw", {amount});
+      Value ok = txn.Invoke(handles->withdraw[from], {amount});
       SpinWork(params.spin_per_op);
       if (!ok.AsBool()) return Value(false);  // insufficient funds: no-op txn
       if (params.parallel_transfer) {
-        txn.InvokeParallel({
-            {AccountName(to), "deposit", {amount}},
-            {BranchName(branch_from), "add", {-amount}},
-            {BranchName(branch_to), "add", {amount}},
+        txn.InvokeParallel(std::vector<rt::MethodCtx::BoundCall>{
+            {handles->deposit[to], {amount}},
+            {handles->branch_add[branch_from], {-amount}},
+            {handles->branch_add[branch_to], {amount}},
         });
       } else {
-        txn.Invoke(AccountName(to), "deposit", {amount});
+        txn.Invoke(handles->deposit[to], {amount});
         SpinWork(params.spin_per_op);
-        txn.Invoke(BranchName(branch_from), "add", {-amount});
-        txn.Invoke(BranchName(branch_to), "add", {amount});
+        txn.Invoke(handles->branch_add[branch_from], {-amount});
+        txn.Invoke(handles->branch_add[branch_to], {amount});
         SpinWork(params.spin_per_op);
       }
       return Value(true);
@@ -75,15 +107,15 @@ WorkloadSpec MakeBankingSpec(const BankingParams& p) {
     TxnTemplate audit;
     audit.name = "audit";
     audit.weight = p.audit_weight;
-    audit.make = [params, zipf](Rng& rng) -> rt::MethodFn {
+    audit.make = [params, zipf, handles](Rng& rng) -> rt::MethodFn {
       std::vector<int> targets;
       for (int i = 0; i < params.audit_scan; ++i) {
         targets.push_back(static_cast<int>(zipf->Next(rng)));
       }
-      return [params, targets](rt::MethodCtx& txn) -> Value {
+      return [params, handles, targets](rt::MethodCtx& txn) -> Value {
         int64_t sum = 0;
         for (int t : targets) {
-          sum += txn.Invoke(AccountName(t), "balance").AsInt();
+          sum += txn.Invoke(handles->balance[t]).AsInt();
           SpinWork(params.spin_per_op);
         }
         return Value(sum);
@@ -102,6 +134,13 @@ void SetupQueues(rt::ObjectBase& base, const QueueParams& p) {
   }
 }
 
+namespace {
+struct QueueHandles {
+  std::vector<rt::MethodRef> enqueue;
+  std::vector<rt::MethodRef> dequeue;
+};
+}  // namespace
+
 WorkloadSpec MakeQueueSpec(const QueueParams& p) {
   WorkloadSpec spec;
   spec.name = "queue-pipeline";
@@ -109,16 +148,27 @@ WorkloadSpec MakeQueueSpec(const QueueParams& p) {
   // A global tag source keeps enqueued values distinct, which is what lets
   // step-granularity conflict tests tell items apart.
   auto tag = std::make_shared<std::atomic<int64_t>>(1'000'000);
+  auto handles = std::make_shared<QueueHandles>();
+
+  spec.prepare = [params, handles](rt::Executor& exec) {
+    handles->enqueue.clear();
+    handles->dequeue.clear();
+    for (int i = 0; i < params.queues; ++i) {
+      rt::ObjectHandle q = exec.FindObject(QueueName(i));
+      handles->enqueue.push_back(exec.Resolve(q, "enqueue"));
+      handles->dequeue.push_back(exec.Resolve(q, "dequeue"));
+    }
+  };
 
   TxnTemplate producer;
   producer.name = "produce";
   producer.weight = p.producer_weight;
-  producer.make = [params, tag](Rng& rng) -> rt::MethodFn {
+  producer.make = [params, tag, handles](Rng& rng) -> rt::MethodFn {
     int q = static_cast<int>(rng.Uniform(params.queues));
     int64_t base_tag = tag->fetch_add(params.batch);
-    return [params, q, base_tag](rt::MethodCtx& txn) -> Value {
+    return [params, handles, q, base_tag](rt::MethodCtx& txn) -> Value {
       for (int i = 0; i < params.batch; ++i) {
-        txn.Invoke(QueueName(q), "enqueue", {base_tag + i});
+        txn.Invoke(handles->enqueue[q], {base_tag + i});
         SpinWork(params.spin_per_op);
       }
       return Value(static_cast<int64_t>(params.batch));
@@ -129,12 +179,12 @@ WorkloadSpec MakeQueueSpec(const QueueParams& p) {
   TxnTemplate consumer;
   consumer.name = "consume";
   consumer.weight = p.consumer_weight;
-  consumer.make = [params](Rng& rng) -> rt::MethodFn {
+  consumer.make = [params, handles](Rng& rng) -> rt::MethodFn {
     int q = static_cast<int>(rng.Uniform(params.queues));
-    return [params, q](rt::MethodCtx& txn) -> Value {
+    return [params, handles, q](rt::MethodCtx& txn) -> Value {
       int64_t got = 0;
       for (int i = 0; i < params.batch; ++i) {
-        Value v = txn.Invoke(QueueName(q), "dequeue");
+        Value v = txn.Invoke(handles->dequeue[q]);
         SpinWork(params.spin_per_op);
         if (!v.is_none()) ++got;
       }
@@ -157,31 +207,51 @@ void SetupSemantic(rt::ObjectBase& base, const SemanticParams& p) {
   }
 }
 
+namespace {
+struct SemanticHandles {
+  std::vector<rt::MethodRef> update;  // add (counters) / write (registers)
+  std::vector<rt::MethodRef> read;    // get (counters) / read (registers)
+};
+}  // namespace
+
 WorkloadSpec MakeSemanticSpec(const SemanticParams& p) {
   WorkloadSpec spec;
   spec.name = p.use_counters ? "semantic-counters" : "rw-registers";
   const SemanticParams params = p;
+  auto handles = std::make_shared<SemanticHandles>();
+
+  spec.prepare = [params, handles](rt::Executor& exec) {
+    handles->update.clear();
+    handles->read.clear();
+    for (int i = 0; i < params.objects; ++i) {
+      rt::ObjectHandle obj = exec.FindObject(ObjName("ctr", i));
+      handles->update.push_back(
+          exec.Resolve(obj, params.use_counters ? "add" : "write"));
+      handles->read.push_back(
+          exec.Resolve(obj, params.use_counters ? "get" : "read"));
+    }
+  };
 
   TxnTemplate update;
   update.name = "bump";
   update.weight = 1.0 - p.read_fraction;
-  update.make = [params](Rng& rng) -> rt::MethodFn {
+  update.make = [params, handles](Rng& rng) -> rt::MethodFn {
     std::vector<std::pair<int, int64_t>> ops;
     for (int i = 0; i < params.ops_per_txn; ++i) {
       ops.emplace_back(static_cast<int>(rng.Uniform(params.objects)),
                        rng.Range(1, 5));
     }
-    return [params, ops](rt::MethodCtx& txn) -> Value {
+    return [params, handles, ops](rt::MethodCtx& txn) -> Value {
       for (const auto& [obj, d] : ops) {
         if (params.use_counters) {
           // Semantic: a single commuting add.
-          txn.Invoke(ObjName("ctr", obj), "add", {d});
+          txn.Invoke(handles->update[obj], {d});
         } else {
           // Classical: read-modify-write, the only way to bump a value
           // with read/write operations — and it conflicts with every
           // concurrent bump.
-          int64_t v = txn.Invoke(ObjName("ctr", obj), "read").AsInt();
-          txn.Invoke(ObjName("ctr", obj), "write", {v + d});
+          int64_t v = txn.Invoke(handles->read[obj]).AsInt();
+          txn.Invoke(handles->update[obj], {v + d});
         }
         SpinWork(params.spin_per_op);
       }
@@ -194,11 +264,10 @@ WorkloadSpec MakeSemanticSpec(const SemanticParams& p) {
     TxnTemplate read;
     read.name = "read";
     read.weight = p.read_fraction;
-    read.make = [params](Rng& rng) -> rt::MethodFn {
+    read.make = [params, handles](Rng& rng) -> rt::MethodFn {
       int obj = static_cast<int>(rng.Uniform(params.objects));
-      return [params, obj](rt::MethodCtx& txn) -> Value {
-        return txn.Invoke(ObjName("ctr", obj),
-                          params.use_counters ? "get" : "read");
+      return [handles, obj](rt::MethodCtx& txn) -> Value {
+        return txn.Invoke(handles->read[obj]);
       };
     };
     spec.mix.push_back(std::move(read));
@@ -216,42 +285,60 @@ void SetupFanout(rt::ObjectBase& base, const FanoutParams& p,
   }
 }
 
+namespace {
+struct FanoutHandles {
+  std::vector<rt::MethodRef> heavy;  // per shard
+};
+}  // namespace
+
 WorkloadSpec MakeFanoutSpec(const FanoutParams& p) {
   WorkloadSpec spec;
   spec.name = "nested-fanout";
   const FanoutParams params = p;
+  auto handles = std::make_shared<FanoutHandles>();
 
   // Register a "heavy" method on every shard: work_per_child local adds
-  // interleaved with spin (a long-running method body, Section 1(b)).
-  spec.prepare = [params](rt::Executor& exec) {
-    int shards = params.shards_per_thread * 64;  // covers any thread count
-    for (int i = 0; i < shards; ++i) {
+  // interleaved with spin (a long-running method body, Section 1(b)).  The
+  // add operation is resolved to its descriptor once, outside the body.
+  spec.prepare = [params, handles](rt::Executor& exec) {
+    handles->heavy.clear();
+    // Every shard object Setup created gets a body and a handle (the old
+    // fixed 64-thread cap could leave high shards uncovered when
+    // fanout/thread counts exceeded it).
+    for (int i = 0;; ++i) {
       std::string name = ObjName("shard", i);
-      if (exec.base().Find(name) == nullptr) break;
-      exec.DefineMethod(name, "heavy", [params](rt::MethodCtx& m) -> Value {
-        for (int w = 0; w < params.work_per_child; ++w) {
-          m.Local("add", {int64_t{1}});
-          SpinWork(params.spin_per_op);
-        }
-        return Value();
-      });
+      rt::Object* obj = exec.base().Find(name);
+      if (obj == nullptr) break;
+      const adt::OpDescriptor* add = obj->spec().FindOp("add");
+      exec.DefineMethod(name, "heavy",
+                        [params, add](rt::MethodCtx& m) -> Value {
+                          for (int w = 0; w < params.work_per_child; ++w) {
+                            m.Local(*add, {int64_t{1}});
+                            SpinWork(params.spin_per_op);
+                          }
+                          return Value();
+                        });
+      handles->heavy.push_back(exec.Resolve(name, "heavy"));
     }
   };
 
   TxnTemplate txn;
   txn.name = "fanout";
   txn.weight = 1.0;
-  txn.make = [params](Rng& rng) -> rt::MethodFn {
+  txn.make = [params, handles](Rng& rng) -> rt::MethodFn {
     // Each branch works on its own shard: no contention, pure parallelism.
     int64_t shard_base = static_cast<int64_t>(
         rng.Uniform(params.shards_per_thread)) * params.fanout;
-    return [params, shard_base](rt::MethodCtx& t) -> Value {
+    return [params, handles, shard_base](rt::MethodCtx& t) -> Value {
       // One parallel batch of `fanout` long-running child methods
       // (Section 1(c): a method sends several messages simultaneously).
-      std::vector<rt::MethodCtx::Call> calls;
+      std::vector<rt::MethodCtx::BoundCall> calls;
       for (int b = 0; b < params.fanout; ++b) {
-        calls.push_back({ObjName("shard", static_cast<int>(shard_base) + b),
-                         "heavy",
+        const size_t idx = static_cast<size_t>(shard_base) + b;
+        // Out-of-range shards (mis-sized setup) degrade to an invalid ref,
+        // which aborts the child with kUser — the old by-name behaviour.
+        calls.push_back({idx < handles->heavy.size() ? handles->heavy[idx]
+                                                     : rt::MethodRef{},
                          {}});
       }
       t.InvokeParallel(std::move(calls));
@@ -271,6 +358,15 @@ void SetupDictionary(rt::ObjectBase& base, const DictionaryParams& p) {
   base.CreateObject("dict-total", adt::MakeCounterSpec(0));
 }
 
+namespace {
+struct DictionaryHandles {
+  std::vector<rt::MethodRef> get;
+  std::vector<rt::MethodRef> put;
+  std::vector<rt::MethodRef> del;
+  rt::MethodRef total_add;
+};
+}  // namespace
+
 WorkloadSpec MakeDictionarySpec(const DictionaryParams& p) {
   WorkloadSpec spec;
   spec.name = "dictionary-mix";
@@ -278,11 +374,25 @@ WorkloadSpec MakeDictionarySpec(const DictionaryParams& p) {
   auto zipf = std::make_shared<ZipfGenerator>(p.keyspace, p.theta);
   double total =
       params.get_weight + params.put_weight + params.del_weight;
+  auto handles = std::make_shared<DictionaryHandles>();
+
+  spec.prepare = [params, handles](rt::Executor& exec) {
+    handles->get.clear();
+    handles->put.clear();
+    handles->del.clear();
+    for (int i = 0; i < params.dicts; ++i) {
+      rt::ObjectHandle dict = exec.FindObject(ObjName("dict", i));
+      handles->get.push_back(exec.Resolve(dict, "get"));
+      handles->put.push_back(exec.Resolve(dict, "put"));
+      handles->del.push_back(exec.Resolve(dict, "del"));
+    }
+    handles->total_add = exec.Resolve("dict-total", "add");
+  };
 
   TxnTemplate mixed;
   mixed.name = "dict-ops";
   mixed.weight = 1.0;
-  mixed.make = [params, zipf, total](Rng& rng) -> rt::MethodFn {
+  mixed.make = [params, zipf, total, handles](Rng& rng) -> rt::MethodFn {
     struct Op {
       int dict;
       int kind;  // 0 get, 1 put, 2 del
@@ -299,22 +409,21 @@ WorkloadSpec MakeDictionarySpec(const DictionaryParams& p) {
                        static_cast<int64_t>(zipf->Next(rng)),
                        rng.Range(1, 1'000'000)});
     }
-    return [params, ops](rt::MethodCtx& txn) -> Value {
+    return [params, handles, ops](rt::MethodCtx& txn) -> Value {
       int64_t delta = 0;
       for (const Op& op : ops) {
         SpinWork(params.spin_per_op);
-        std::string dict = ObjName("dict", op.dict);
         if (op.kind == 0) {
-          txn.Invoke(dict, "get", {op.key});
+          txn.Invoke(handles->get[op.dict], {op.key});
         } else if (op.kind == 1) {
-          Value old = txn.Invoke(dict, "put", {op.key, op.val});
+          Value old = txn.Invoke(handles->put[op.dict], {op.key, op.val});
           if (old.is_none()) ++delta;
         } else {
-          Value was = txn.Invoke(dict, "del", {op.key});
+          Value was = txn.Invoke(handles->del[op.dict], {op.key});
           if (was.AsBool()) --delta;
         }
       }
-      if (delta != 0) txn.Invoke("dict-total", "add", {delta});
+      if (delta != 0) txn.Invoke(handles->total_add, {delta});
       return Value();
     };
   };

@@ -21,9 +21,10 @@ rt::Object MakeRegisterObject(uint32_t id = 0) {
                     adt::MakeRegisterSpec(0));
 }
 
-LockManager::Request OpReq(const std::string& op, Args args = {}) {
+LockManager::Request OpReq(const rt::Object& obj, const std::string& op,
+                           Args args = {}) {
   LockManager::Request r;
-  r.op = op;
+  r.op = obj.spec().FindOp(op);
   r.args = std::move(args);
   return r;
 }
@@ -33,8 +34,8 @@ TEST(LockManagerTest, NonConflictingGrantsImmediately) {
   rt::Object obj = MakeRegisterObject();
   rt::TxnNode t1(1, nullptr, UINT32_MAX, "T1");
   rt::TxnNode t2(2, nullptr, UINT32_MAX, "T2");
-  EXPECT_EQ(lm.Acquire(t1, obj, OpReq("read")), LockManager::Outcome::kGranted);
-  EXPECT_EQ(lm.Acquire(t2, obj, OpReq("read")), LockManager::Outcome::kGranted);
+  EXPECT_EQ(lm.Acquire(t1, obj, OpReq(obj, "read")), LockManager::Outcome::kGranted);
+  EXPECT_EQ(lm.Acquire(t2, obj, OpReq(obj, "read")), LockManager::Outcome::kGranted);
   EXPECT_EQ(lm.LockCount(), 2u);
 }
 
@@ -43,12 +44,12 @@ TEST(LockManagerTest, ConflictBlocksUntilRelease) {
   rt::Object obj = MakeRegisterObject();
   rt::TxnNode t1(1, nullptr, UINT32_MAX, "T1");
   rt::TxnNode t2(2, nullptr, UINT32_MAX, "T2");
-  ASSERT_EQ(lm.Acquire(t1, obj, OpReq("write", {1})),
+  ASSERT_EQ(lm.Acquire(t1, obj, OpReq(obj, "write", {1})),
             LockManager::Outcome::kGranted);
   std::atomic<bool> granted{false};
   std::thread waiter([&]() {
     lm.NoteRunning(ThisThreadKey(), &t2);
-    EXPECT_EQ(lm.Acquire(t2, obj, OpReq("read")),
+    EXPECT_EQ(lm.Acquire(t2, obj, OpReq(obj, "read")),
               LockManager::Outcome::kGranted);
     granted.store(true);
     lm.NoteFinished(ThisThreadKey());
@@ -67,9 +68,9 @@ TEST(LockManagerTest, AncestorsNeverBlockDescendants) {
   rt::TxnNode top(1, nullptr, UINT32_MAX, "T");
   rt::TxnNode child(2, &top, 0, "m");
   rt::TxnNode grandchild(3, &child, 0, "n");
-  ASSERT_EQ(lm.Acquire(top, obj, OpReq("write", {1})),
+  ASSERT_EQ(lm.Acquire(top, obj, OpReq(obj, "write", {1})),
             LockManager::Outcome::kGranted);
-  EXPECT_EQ(lm.Acquire(grandchild, obj, OpReq("write", {2})),
+  EXPECT_EQ(lm.Acquire(grandchild, obj, OpReq(obj, "write", {2})),
             LockManager::Outcome::kGranted);
 }
 
@@ -79,14 +80,14 @@ TEST(LockManagerTest, SiblingsDoBlock) {
   rt::TxnNode top(1, nullptr, UINT32_MAX, "T");
   rt::TxnNode c1(2, &top, 0, "m1");
   rt::TxnNode c2(3, &top, 0, "m2");
-  ASSERT_EQ(lm.Acquire(c1, obj, OpReq("write", {1})),
+  ASSERT_EQ(lm.Acquire(c1, obj, OpReq(obj, "write", {1})),
             LockManager::Outcome::kGranted);
-  EXPECT_EQ(lm.TryAcquire(c2, obj, OpReq("write", {2})),
+  EXPECT_EQ(lm.TryAcquire(c2, obj, OpReq(obj, "write", {2})),
             LockManager::TryOutcome::kWouldBlock);
   // Rule 5: after c1's commit its lock passes to the parent — an ancestor
   // of c2, so c2 is now grantable.
   lm.TransferToParent(c1);
-  EXPECT_EQ(lm.TryAcquire(c2, obj, OpReq("write", {2})),
+  EXPECT_EQ(lm.TryAcquire(c2, obj, OpReq(obj, "write", {2})),
             LockManager::TryOutcome::kGranted);
 }
 
@@ -98,7 +99,7 @@ TEST(LockManagerTest, ExclusiveConflictsWithEverything) {
   LockManager::Request excl;
   excl.exclusive = true;
   ASSERT_EQ(lm.Acquire(t1, obj, excl), LockManager::Outcome::kGranted);
-  EXPECT_EQ(lm.TryAcquire(t2, obj, OpReq("read")),
+  EXPECT_EQ(lm.TryAcquire(t2, obj, OpReq(obj, "read")),
             LockManager::TryOutcome::kWouldBlock);
   EXPECT_EQ(lm.TryAcquire(t2, obj, excl), LockManager::TryOutcome::kWouldBlock);
   // Re-acquisition by the same owner is free (and deduplicated).
@@ -113,15 +114,15 @@ TEST(LockManagerTest, StepGranularityUsesReturnValues) {
   rt::Object obj(0, "q", adt::MakeQueueSpec());
   rt::TxnNode t1(1, nullptr, UINT32_MAX, "T1");
   rt::TxnNode t2(2, nullptr, UINT32_MAX, "T2");
-  LockManager::Request enq = OpReq("enqueue", {7});
+  LockManager::Request enq = OpReq(obj, "enqueue", {7});
   enq.ret = Value::None();
   ASSERT_EQ(lm.Acquire(t1, obj, enq), LockManager::Outcome::kGranted);
 
-  LockManager::Request deq9 = OpReq("dequeue");
+  LockManager::Request deq9 = OpReq(obj, "dequeue");
   deq9.ret = Value(9);
   EXPECT_EQ(lm.TryAcquire(t2, obj, deq9), LockManager::TryOutcome::kGranted);
 
-  LockManager::Request deq7 = OpReq("dequeue");
+  LockManager::Request deq7 = OpReq(obj, "dequeue");
   deq7.ret = Value(7);
   EXPECT_EQ(lm.TryAcquire(t2, obj, deq7),
             LockManager::TryOutcome::kWouldBlock);
@@ -132,10 +133,10 @@ TEST(LockManagerTest, OperationGranularityIsConservative) {
   rt::Object obj(0, "q", adt::MakeQueueSpec());
   rt::TxnNode t1(1, nullptr, UINT32_MAX, "T1");
   rt::TxnNode t2(2, nullptr, UINT32_MAX, "T2");
-  ASSERT_EQ(lm.Acquire(t1, obj, OpReq("enqueue", {7})),
+  ASSERT_EQ(lm.Acquire(t1, obj, OpReq(obj, "enqueue", {7})),
             LockManager::Outcome::kGranted);
   // Without return values every dequeue blocks.
-  EXPECT_EQ(lm.TryAcquire(t2, obj, OpReq("dequeue")),
+  EXPECT_EQ(lm.TryAcquire(t2, obj, OpReq(obj, "dequeue")),
             LockManager::TryOutcome::kWouldBlock);
 }
 
@@ -146,10 +147,10 @@ TEST(LockManagerTest, AsymmetricConflictRespectsHeldDirection) {
   rt::Object obj(0, "acct", adt::MakeBankAccountSpec(100));
   rt::TxnNode t1(1, nullptr, UINT32_MAX, "T1");
   rt::TxnNode t2(2, nullptr, UINT32_MAX, "T2");
-  LockManager::Request wd = OpReq("withdraw", {10});
+  LockManager::Request wd = OpReq(obj, "withdraw", {10});
   wd.ret = Value(true);
   ASSERT_EQ(lm.Acquire(t1, obj, wd), LockManager::Outcome::kGranted);
-  LockManager::Request dep = OpReq("deposit", {10});
+  LockManager::Request dep = OpReq(obj, "deposit", {10});
   dep.ret = Value::None();
   EXPECT_EQ(lm.TryAcquire(t2, obj, dep), LockManager::TryOutcome::kGranted);
   // The reverse held/request pair conflicts.
@@ -166,9 +167,9 @@ TEST(LockManagerTest, ReleaseSubtreeDropsDescendantLocks) {
   rt::Object obj = MakeRegisterObject();
   rt::TxnNode top(1, nullptr, UINT32_MAX, "T");
   rt::TxnNode child(2, &top, 0, "m");
-  ASSERT_EQ(lm.Acquire(top, obj, OpReq("write", {1})),
+  ASSERT_EQ(lm.Acquire(top, obj, OpReq(obj, "write", {1})),
             LockManager::Outcome::kGranted);
-  ASSERT_EQ(lm.Acquire(child, obj, OpReq("write", {2})),
+  ASSERT_EQ(lm.Acquire(child, obj, OpReq(obj, "write", {2})),
             LockManager::Outcome::kGranted);
   EXPECT_EQ(lm.LockCount(), 2u);
   lm.ReleaseSubtree(top);
@@ -185,20 +186,20 @@ TEST(LockManagerTest, TwoThreadDeadlockDetected) {
   std::atomic<int> grants{0};
   std::thread a([&]() {
     lm.NoteRunning(ThisThreadKey(), &t1);
-    EXPECT_EQ(lm.Acquire(t1, o1, OpReq("write", {1})),
+    EXPECT_EQ(lm.Acquire(t1, o1, OpReq(o1, "write", {1})),
               LockManager::Outcome::kGranted);
     std::this_thread::sleep_for(std::chrono::milliseconds(50));
-    auto r = lm.Acquire(t1, o2, OpReq("write", {1}));
+    auto r = lm.Acquire(t1, o2, OpReq(o2, "write", {1}));
     (r == LockManager::Outcome::kDeadlock ? deadlocks : grants)++;
     lm.NoteFinished(ThisThreadKey());
     lm.ReleaseSubtree(t1);
   });
   std::thread b([&]() {
     lm.NoteRunning(ThisThreadKey(), &t2);
-    EXPECT_EQ(lm.Acquire(t2, o2, OpReq("write", {2})),
+    EXPECT_EQ(lm.Acquire(t2, o2, OpReq(o2, "write", {2})),
               LockManager::Outcome::kGranted);
     std::this_thread::sleep_for(std::chrono::milliseconds(50));
-    auto r = lm.Acquire(t2, o1, OpReq("write", {2}));
+    auto r = lm.Acquire(t2, o1, OpReq(o1, "write", {2}));
     (r == LockManager::Outcome::kDeadlock ? deadlocks : grants)++;
     lm.NoteFinished(ThisThreadKey());
     lm.ReleaseSubtree(t2);

@@ -1,0 +1,199 @@
+// Sharded-recorder regression net.
+//
+// The Recorder keeps per-thread append-only buffers and merges them at
+// Snapshot() time.  These tests pin down the two properties the refactor
+// must preserve:
+//   * under genuinely concurrent recording (N worker threads, each issuing
+//     InvokeParallel fan-outs, across ALL FIVE protocols) the merged
+//     history is structurally well-formed, legal and SG-acyclic;
+//   * on deterministic single-threaded runs the merge is byte-identical
+//     across repetitions (same E, <, B, S — the old globally-locked
+//     recorder's output).
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "src/adt/counter_adt.h"
+#include "src/adt/register_adt.h"
+#include "src/model/legality.h"
+#include "src/model/serialiser.h"
+#include "src/runtime/executor.h"
+#include "tests/protocol_harness.h"
+
+namespace objectbase::rt {
+namespace {
+
+// Structural well-formedness of a merged snapshot: dense execution ids,
+// every step attached to a live execution with ids in merge order, and
+// per-object application order consistent with the end-seq stamps.
+void CheckWellFormed(const model::History& h) {
+  for (size_t i = 0; i < h.executions.size(); ++i) {
+    ASSERT_EQ(h.executions[i].id, static_cast<model::ExecId>(i));
+    uint32_t last_po = 0;
+    for (model::StepId s : h.executions[i].steps) {
+      ASSERT_LT(s, h.steps.size());
+      ASSERT_EQ(h.steps[s].exec, h.executions[i].id);
+      // Steps of one execution are merged in a ◁-consistent order:
+      // po_index never decreases along the recorded sequence.
+      ASSERT_GE(h.steps[s].po_index, last_po);
+      last_po = h.steps[s].po_index;
+    }
+  }
+  uint64_t last_end = 0;
+  for (size_t i = 0; i < h.steps.size(); ++i) {
+    ASSERT_EQ(h.steps[i].id, static_cast<model::StepId>(i));
+    // Merge order == end-seq order (strictly increasing: stamps are unique).
+    ASSERT_GT(h.steps[i].end_seq, last_end);
+    last_end = h.steps[i].end_seq;
+  }
+  for (size_t obj = 0; obj < h.object_order.size(); ++obj) {
+    uint64_t last = 0;
+    for (model::StepId s : h.object_order[obj]) {
+      ASSERT_EQ(h.steps[s].object, static_cast<model::ObjectId>(obj));
+      ASSERT_EQ(h.steps[s].kind, model::StepKind::kLocal);
+      ASSERT_GT(h.steps[s].end_seq, last);
+      last = h.steps[s].end_seq;
+    }
+  }
+}
+
+// N worker threads, each mixing InvokeParallel fan-out over counter shards
+// with conflicting register increments — recorded, then checked against the
+// full formal oracle.
+void RunRecordedStress(Protocol protocol, cc::Granularity granularity) {
+  ObjectBase base;
+  const int kShards = 4;
+  for (int i = 0; i < kShards; ++i) {
+    base.CreateObject("c" + std::to_string(i), adt::MakeCounterSpec(0));
+  }
+  base.CreateObject("r", adt::MakeRegisterSpec(0));
+  Executor exec(base, {.protocol = protocol, .granularity = granularity});
+
+  std::vector<MethodRef> add;
+  for (int i = 0; i < kShards; ++i) {
+    add.push_back(exec.Resolve("c" + std::to_string(i), "add"));
+    ASSERT_TRUE(add.back().valid());
+  }
+  MethodRef incr = exec.Resolve("r", "increment");
+  ASSERT_TRUE(incr.valid());
+
+  const int kThreads = 4;
+  const int kTxns = 20;
+  std::vector<int64_t> committed_sum(kThreads, 0);
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t]() {
+      Rng rng(99 + t * 131);
+      int64_t sum = 0;
+      for (int i = 0; i < kTxns; ++i) {
+        int a = static_cast<int>(rng.Uniform(kShards));
+        int b = static_cast<int>(rng.Uniform(kShards));
+        int64_t d = rng.Range(1, 5);
+        bool bump_reg = rng.Bernoulli(0.4);
+        TxnResult r = exec.RunTransaction("stress", [&](MethodCtx& txn) {
+          // Fan-out: two parallel shard adds (◁-unordered siblings).
+          txn.InvokeParallel(std::vector<MethodCtx::BoundCall>{
+              {add[a], {d}}, {add[b], {d}}});
+          if (bump_reg) txn.Invoke(incr, {int64_t{1}});
+          return Value();
+        });
+        if (r.committed) sum += 2 * d;
+      }
+      committed_sum[t] = sum;
+    });
+  }
+  for (auto& w : workers) w.join();
+
+  // No lost shard increments across committed transactions.
+  int64_t expected = 0;
+  for (int64_t s : committed_sum) expected += s;
+  int64_t total = 0;
+  exec.RunTransaction("audit", [&](MethodCtx& txn) {
+    for (int i = 0; i < kShards; ++i) {
+      total += txn.Invoke("c" + std::to_string(i), "get").AsInt();
+    }
+    return Value();
+  });
+  EXPECT_EQ(total, expected) << ProtocolName(protocol) << " lost increments";
+
+  model::History h = exec.recorder().Snapshot();
+  CheckWellFormed(h);
+  VerifyHistory(exec, ProtocolName(protocol));
+}
+
+TEST(RecorderMtTest, N2plStepRecordedStress) {
+  RunRecordedStress(Protocol::kN2pl, cc::Granularity::kStep);
+}
+TEST(RecorderMtTest, N2plOperationRecordedStress) {
+  RunRecordedStress(Protocol::kN2pl, cc::Granularity::kOperation);
+}
+TEST(RecorderMtTest, NtoRecordedStress) {
+  RunRecordedStress(Protocol::kNto, cc::Granularity::kStep);
+}
+TEST(RecorderMtTest, CertRecordedStress) {
+  RunRecordedStress(Protocol::kCert, cc::Granularity::kStep);
+}
+TEST(RecorderMtTest, GemstoneRecordedStress) {
+  RunRecordedStress(Protocol::kGemstone, cc::Granularity::kStep);
+}
+TEST(RecorderMtTest, MixedRecordedStress) {
+  RunRecordedStress(Protocol::kMixed, cc::Granularity::kStep);
+}
+
+// --- single-thread determinism --------------------------------------------
+
+model::History RunScripted() {
+  ObjectBase base;
+  base.CreateObject("acct", adt::MakeBankAccountSpec(100));
+  base.CreateObject("ctr", adt::MakeCounterSpec(0));
+  Executor exec(base, {.protocol = Protocol::kN2pl});
+  MethodRef withdraw = exec.Resolve("acct", "withdraw");
+  MethodRef deposit = exec.Resolve("acct", "deposit");
+  MethodRef add = exec.Resolve("ctr", "add");
+  for (int i = 0; i < 8; ++i) {
+    exec.RunTransaction("move", [&](MethodCtx& txn) {
+      Value ok = txn.Invoke(withdraw, {int64_t{5}});
+      if (ok.AsBool()) txn.Invoke(deposit, {int64_t{5}});
+      txn.Invoke(add, {int64_t{1}});
+      return Value();
+    });
+  }
+  // One aborting transaction, so abort marks go through the merge too.
+  exec.RunTransactionOnce("doomed", [&](MethodCtx& txn) -> Value {
+    txn.Invoke(add, {int64_t{7}});
+    txn.Abort();
+  });
+  return exec.recorder().Snapshot();
+}
+
+TEST(RecorderMtTest, SingleThreadMergeIsDeterministic) {
+  model::History a = RunScripted();
+  model::History b = RunScripted();
+  CheckWellFormed(a);
+  ASSERT_EQ(a.executions.size(), b.executions.size());
+  for (size_t i = 0; i < a.executions.size(); ++i) {
+    EXPECT_EQ(a.executions[i].parent, b.executions[i].parent);
+    EXPECT_EQ(a.executions[i].object, b.executions[i].object);
+    EXPECT_EQ(a.executions[i].method, b.executions[i].method);
+    EXPECT_EQ(a.executions[i].aborted, b.executions[i].aborted);
+    EXPECT_EQ(a.executions[i].steps, b.executions[i].steps);
+  }
+  ASSERT_EQ(a.steps.size(), b.steps.size());
+  for (size_t i = 0; i < a.steps.size(); ++i) {
+    EXPECT_EQ(a.steps[i].kind, b.steps[i].kind);
+    EXPECT_EQ(a.steps[i].exec, b.steps[i].exec);
+    EXPECT_EQ(a.steps[i].po_index, b.steps[i].po_index);
+    EXPECT_EQ(a.steps[i].object, b.steps[i].object);
+    EXPECT_EQ(a.steps[i].op, b.steps[i].op);
+    EXPECT_TRUE(a.steps[i].args == b.steps[i].args);
+    EXPECT_TRUE(a.steps[i].ret == b.steps[i].ret);
+    EXPECT_EQ(a.steps[i].callee, b.steps[i].callee);
+    EXPECT_EQ(a.steps[i].start_seq, b.steps[i].start_seq);
+    EXPECT_EQ(a.steps[i].end_seq, b.steps[i].end_seq);
+  }
+  EXPECT_EQ(a.object_order, b.object_order);
+}
+
+}  // namespace
+}  // namespace objectbase::rt
