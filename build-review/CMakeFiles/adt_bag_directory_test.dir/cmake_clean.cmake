@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adt_bag_directory_test.dir/tests/adt_bag_directory_test.cc.o"
+  "CMakeFiles/adt_bag_directory_test.dir/tests/adt_bag_directory_test.cc.o.d"
+  "adt_bag_directory_test"
+  "adt_bag_directory_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adt_bag_directory_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

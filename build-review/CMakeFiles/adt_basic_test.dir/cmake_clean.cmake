@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adt_basic_test.dir/tests/adt_basic_test.cc.o"
+  "CMakeFiles/adt_basic_test.dir/tests/adt_basic_test.cc.o.d"
+  "adt_basic_test"
+  "adt_basic_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adt_basic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adt_commutativity_test.dir/tests/adt_commutativity_test.cc.o"
+  "CMakeFiles/adt_commutativity_test.dir/tests/adt_commutativity_test.cc.o.d"
+  "adt_commutativity_test"
+  "adt_commutativity_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adt_commutativity_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abort_retry.dir/bench/bench_abort_retry.cc.o"
+  "CMakeFiles/bench_abort_retry.dir/bench/bench_abort_retry.cc.o.d"
+  "bench_abort_retry"
+  "bench_abort_retry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abort_retry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

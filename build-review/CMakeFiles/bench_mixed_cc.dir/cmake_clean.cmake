@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_mixed_cc.dir/bench/bench_mixed_cc.cc.o"
+  "CMakeFiles/bench_mixed_cc.dir/bench/bench_mixed_cc.cc.o.d"
+  "bench_mixed_cc"
+  "bench_mixed_cc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mixed_cc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_nested_parallel.dir/bench/bench_nested_parallel.cc.o"
+  "CMakeFiles/bench_nested_parallel.dir/bench/bench_nested_parallel.cc.o.d"
+  "bench_nested_parallel"
+  "bench_nested_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_nested_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

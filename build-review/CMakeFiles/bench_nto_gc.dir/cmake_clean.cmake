@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_nto_gc.dir/bench/bench_nto_gc.cc.o"
+  "CMakeFiles/bench_nto_gc.dir/bench/bench_nto_gc.cc.o.d"
+  "bench_nto_gc"
+  "bench_nto_gc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_nto_gc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

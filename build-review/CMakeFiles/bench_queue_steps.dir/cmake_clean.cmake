@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_queue_steps.dir/bench/bench_queue_steps.cc.o"
+  "CMakeFiles/bench_queue_steps.dir/bench/bench_queue_steps.cc.o.d"
+  "bench_queue_steps"
+  "bench_queue_steps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_queue_steps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_semantics.dir/bench/bench_semantics.cc.o"
+  "CMakeFiles/bench_semantics.dir/bench/bench_semantics.cc.o.d"
+  "bench_semantics"
+  "bench_semantics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_semantics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sg_checker.dir/bench/bench_sg_checker.cc.o"
+  "CMakeFiles/bench_sg_checker.dir/bench/bench_sg_checker.cc.o.d"
+  "bench_sg_checker"
+  "bench_sg_checker.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sg_checker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_sg_checker.
+# This may be replaced when dependencies are built.

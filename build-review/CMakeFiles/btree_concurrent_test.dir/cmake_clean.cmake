@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/btree_concurrent_test.dir/tests/btree_concurrent_test.cc.o"
+  "CMakeFiles/btree_concurrent_test.dir/tests/btree_concurrent_test.cc.o.d"
+  "btree_concurrent_test"
+  "btree_concurrent_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/btree_concurrent_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_banking.dir/examples/banking.cpp.o"
+  "CMakeFiles/example_banking.dir/examples/banking.cpp.o.d"
+  "example_banking"
+  "example_banking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_banking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_dictionary_index.dir/examples/dictionary_index.cpp.o"
+  "CMakeFiles/example_dictionary_index.dir/examples/dictionary_index.cpp.o.d"
+  "example_dictionary_index"
+  "example_dictionary_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_dictionary_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_queue_pipeline.dir/examples/queue_pipeline.cpp.o"
+  "CMakeFiles/example_queue_pipeline.dir/examples/queue_pipeline.cpp.o.d"
+  "example_queue_pipeline"
+  "example_queue_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_queue_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_serialisability_explorer.dir/examples/serialisability_explorer.cpp.o"
+  "CMakeFiles/example_serialisability_explorer.dir/examples/serialisability_explorer.cpp.o.d"
+  "example_serialisability_explorer"
+  "example_serialisability_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_serialisability_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/executor_abort_test.dir/tests/executor_abort_test.cc.o"
+  "CMakeFiles/executor_abort_test.dir/tests/executor_abort_test.cc.o.d"
+  "executor_abort_test"
+  "executor_abort_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/executor_abort_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/executor_basic_test.dir/tests/executor_basic_test.cc.o"
+  "CMakeFiles/executor_basic_test.dir/tests/executor_basic_test.cc.o.d"
+  "executor_basic_test"
+  "executor_basic_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/executor_basic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/executor_handles_test.dir/tests/executor_handles_test.cc.o"
+  "CMakeFiles/executor_handles_test.dir/tests/executor_handles_test.cc.o.d"
+  "executor_handles_test"
+  "executor_handles_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/executor_handles_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exhaustive_theorem2_test.dir/tests/exhaustive_theorem2_test.cc.o"
+  "CMakeFiles/exhaustive_theorem2_test.dir/tests/exhaustive_theorem2_test.cc.o.d"
+  "exhaustive_theorem2_test"
+  "exhaustive_theorem2_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exhaustive_theorem2_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/history_index_test.dir/tests/history_index_test.cc.o"
+  "CMakeFiles/history_index_test.dir/tests/history_index_test.cc.o.d"
+  "history_index_test"
+  "history_index_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/history_index_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

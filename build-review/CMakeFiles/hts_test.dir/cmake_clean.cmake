@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hts_test.dir/tests/hts_test.cc.o"
+  "CMakeFiles/hts_test.dir/tests/hts_test.cc.o.d"
+  "hts_test"
+  "hts_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hts_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

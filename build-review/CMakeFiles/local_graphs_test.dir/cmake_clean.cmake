@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/local_graphs_test.dir/tests/local_graphs_test.cc.o"
+  "CMakeFiles/local_graphs_test.dir/tests/local_graphs_test.cc.o.d"
+  "local_graphs_test"
+  "local_graphs_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/local_graphs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,57 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/adt/adt.cc" "CMakeFiles/objectbase.dir/src/adt/adt.cc.o" "gcc" "CMakeFiles/objectbase.dir/src/adt/adt.cc.o.d"
+  "/root/repo/src/adt/bag_adt.cc" "CMakeFiles/objectbase.dir/src/adt/bag_adt.cc.o" "gcc" "CMakeFiles/objectbase.dir/src/adt/bag_adt.cc.o.d"
+  "/root/repo/src/adt/bank_account_adt.cc" "CMakeFiles/objectbase.dir/src/adt/bank_account_adt.cc.o" "gcc" "CMakeFiles/objectbase.dir/src/adt/bank_account_adt.cc.o.d"
+  "/root/repo/src/adt/btree.cc" "CMakeFiles/objectbase.dir/src/adt/btree.cc.o" "gcc" "CMakeFiles/objectbase.dir/src/adt/btree.cc.o.d"
+  "/root/repo/src/adt/btree_dictionary_adt.cc" "CMakeFiles/objectbase.dir/src/adt/btree_dictionary_adt.cc.o" "gcc" "CMakeFiles/objectbase.dir/src/adt/btree_dictionary_adt.cc.o.d"
+  "/root/repo/src/adt/counter_adt.cc" "CMakeFiles/objectbase.dir/src/adt/counter_adt.cc.o" "gcc" "CMakeFiles/objectbase.dir/src/adt/counter_adt.cc.o.d"
+  "/root/repo/src/adt/directory_adt.cc" "CMakeFiles/objectbase.dir/src/adt/directory_adt.cc.o" "gcc" "CMakeFiles/objectbase.dir/src/adt/directory_adt.cc.o.d"
+  "/root/repo/src/adt/queue_adt.cc" "CMakeFiles/objectbase.dir/src/adt/queue_adt.cc.o" "gcc" "CMakeFiles/objectbase.dir/src/adt/queue_adt.cc.o.d"
+  "/root/repo/src/adt/register_adt.cc" "CMakeFiles/objectbase.dir/src/adt/register_adt.cc.o" "gcc" "CMakeFiles/objectbase.dir/src/adt/register_adt.cc.o.d"
+  "/root/repo/src/adt/set_adt.cc" "CMakeFiles/objectbase.dir/src/adt/set_adt.cc.o" "gcc" "CMakeFiles/objectbase.dir/src/adt/set_adt.cc.o.d"
+  "/root/repo/src/cc/cert_controller.cc" "CMakeFiles/objectbase.dir/src/cc/cert_controller.cc.o" "gcc" "CMakeFiles/objectbase.dir/src/cc/cert_controller.cc.o.d"
+  "/root/repo/src/cc/dependency_graph.cc" "CMakeFiles/objectbase.dir/src/cc/dependency_graph.cc.o" "gcc" "CMakeFiles/objectbase.dir/src/cc/dependency_graph.cc.o.d"
+  "/root/repo/src/cc/gemstone_controller.cc" "CMakeFiles/objectbase.dir/src/cc/gemstone_controller.cc.o" "gcc" "CMakeFiles/objectbase.dir/src/cc/gemstone_controller.cc.o.d"
+  "/root/repo/src/cc/hts.cc" "CMakeFiles/objectbase.dir/src/cc/hts.cc.o" "gcc" "CMakeFiles/objectbase.dir/src/cc/hts.cc.o.d"
+  "/root/repo/src/cc/lock_manager.cc" "CMakeFiles/objectbase.dir/src/cc/lock_manager.cc.o" "gcc" "CMakeFiles/objectbase.dir/src/cc/lock_manager.cc.o.d"
+  "/root/repo/src/cc/mixed_controller.cc" "CMakeFiles/objectbase.dir/src/cc/mixed_controller.cc.o" "gcc" "CMakeFiles/objectbase.dir/src/cc/mixed_controller.cc.o.d"
+  "/root/repo/src/cc/n2pl_controller.cc" "CMakeFiles/objectbase.dir/src/cc/n2pl_controller.cc.o" "gcc" "CMakeFiles/objectbase.dir/src/cc/n2pl_controller.cc.o.d"
+  "/root/repo/src/cc/nto_controller.cc" "CMakeFiles/objectbase.dir/src/cc/nto_controller.cc.o" "gcc" "CMakeFiles/objectbase.dir/src/cc/nto_controller.cc.o.d"
+  "/root/repo/src/cc/waits_for.cc" "CMakeFiles/objectbase.dir/src/cc/waits_for.cc.o" "gcc" "CMakeFiles/objectbase.dir/src/cc/waits_for.cc.o.d"
+  "/root/repo/src/common/rng.cc" "CMakeFiles/objectbase.dir/src/common/rng.cc.o" "gcc" "CMakeFiles/objectbase.dir/src/common/rng.cc.o.d"
+  "/root/repo/src/common/stats.cc" "CMakeFiles/objectbase.dir/src/common/stats.cc.o" "gcc" "CMakeFiles/objectbase.dir/src/common/stats.cc.o.d"
+  "/root/repo/src/common/table_printer.cc" "CMakeFiles/objectbase.dir/src/common/table_printer.cc.o" "gcc" "CMakeFiles/objectbase.dir/src/common/table_printer.cc.o.d"
+  "/root/repo/src/common/thread_slot.cc" "CMakeFiles/objectbase.dir/src/common/thread_slot.cc.o" "gcc" "CMakeFiles/objectbase.dir/src/common/thread_slot.cc.o.d"
+  "/root/repo/src/common/value.cc" "CMakeFiles/objectbase.dir/src/common/value.cc.o" "gcc" "CMakeFiles/objectbase.dir/src/common/value.cc.o.d"
+  "/root/repo/src/model/history.cc" "CMakeFiles/objectbase.dir/src/model/history.cc.o" "gcc" "CMakeFiles/objectbase.dir/src/model/history.cc.o.d"
+  "/root/repo/src/model/history_index.cc" "CMakeFiles/objectbase.dir/src/model/history_index.cc.o" "gcc" "CMakeFiles/objectbase.dir/src/model/history_index.cc.o.d"
+  "/root/repo/src/model/legality.cc" "CMakeFiles/objectbase.dir/src/model/legality.cc.o" "gcc" "CMakeFiles/objectbase.dir/src/model/legality.cc.o.d"
+  "/root/repo/src/model/local_graphs.cc" "CMakeFiles/objectbase.dir/src/model/local_graphs.cc.o" "gcc" "CMakeFiles/objectbase.dir/src/model/local_graphs.cc.o.d"
+  "/root/repo/src/model/replay.cc" "CMakeFiles/objectbase.dir/src/model/replay.cc.o" "gcc" "CMakeFiles/objectbase.dir/src/model/replay.cc.o.d"
+  "/root/repo/src/model/serialisation_graph.cc" "CMakeFiles/objectbase.dir/src/model/serialisation_graph.cc.o" "gcc" "CMakeFiles/objectbase.dir/src/model/serialisation_graph.cc.o.d"
+  "/root/repo/src/model/serialiser.cc" "CMakeFiles/objectbase.dir/src/model/serialiser.cc.o" "gcc" "CMakeFiles/objectbase.dir/src/model/serialiser.cc.o.d"
+  "/root/repo/src/runtime/executor.cc" "CMakeFiles/objectbase.dir/src/runtime/executor.cc.o" "gcc" "CMakeFiles/objectbase.dir/src/runtime/executor.cc.o.d"
+  "/root/repo/src/runtime/object.cc" "CMakeFiles/objectbase.dir/src/runtime/object.cc.o" "gcc" "CMakeFiles/objectbase.dir/src/runtime/object.cc.o.d"
+  "/root/repo/src/runtime/object_base.cc" "CMakeFiles/objectbase.dir/src/runtime/object_base.cc.o" "gcc" "CMakeFiles/objectbase.dir/src/runtime/object_base.cc.o.d"
+  "/root/repo/src/runtime/recorder.cc" "CMakeFiles/objectbase.dir/src/runtime/recorder.cc.o" "gcc" "CMakeFiles/objectbase.dir/src/runtime/recorder.cc.o.d"
+  "/root/repo/src/runtime/txn.cc" "CMakeFiles/objectbase.dir/src/runtime/txn.cc.o" "gcc" "CMakeFiles/objectbase.dir/src/runtime/txn.cc.o.d"
+  "/root/repo/src/workload/generators.cc" "CMakeFiles/objectbase.dir/src/workload/generators.cc.o" "gcc" "CMakeFiles/objectbase.dir/src/workload/generators.cc.o.d"
+  "/root/repo/src/workload/runner.cc" "CMakeFiles/objectbase.dir/src/workload/runner.cc.o" "gcc" "CMakeFiles/objectbase.dir/src/workload/runner.cc.o.d"
+  "/root/repo/src/workload/spec.cc" "CMakeFiles/objectbase.dir/src/workload/spec.cc.o" "gcc" "CMakeFiles/objectbase.dir/src/workload/spec.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/protocol_cert_test.dir/tests/protocol_cert_test.cc.o"
+  "CMakeFiles/protocol_cert_test.dir/tests/protocol_cert_test.cc.o.d"
+  "protocol_cert_test"
+  "protocol_cert_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protocol_cert_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/protocol_gemstone_test.dir/tests/protocol_gemstone_test.cc.o"
+  "CMakeFiles/protocol_gemstone_test.dir/tests/protocol_gemstone_test.cc.o.d"
+  "protocol_gemstone_test"
+  "protocol_gemstone_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protocol_gemstone_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/protocol_mixed_test.dir/tests/protocol_mixed_test.cc.o"
+  "CMakeFiles/protocol_mixed_test.dir/tests/protocol_mixed_test.cc.o.d"
+  "protocol_mixed_test"
+  "protocol_mixed_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protocol_mixed_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/protocol_n2pl_test.dir/tests/protocol_n2pl_test.cc.o"
+  "CMakeFiles/protocol_n2pl_test.dir/tests/protocol_n2pl_test.cc.o.d"
+  "protocol_n2pl_test"
+  "protocol_n2pl_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protocol_n2pl_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/protocol_nto_test.dir/tests/protocol_nto_test.cc.o"
+  "CMakeFiles/protocol_nto_test.dir/tests/protocol_nto_test.cc.o.d"
+  "protocol_nto_test"
+  "protocol_nto_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protocol_nto_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recorder_mt_test.dir/tests/recorder_mt_test.cc.o"
+  "CMakeFiles/recorder_mt_test.dir/tests/recorder_mt_test.cc.o.d"
+  "recorder_mt_test"
+  "recorder_mt_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recorder_mt_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/serialisability_property_test.dir/tests/serialisability_property_test.cc.o"
+  "CMakeFiles/serialisability_property_test.dir/tests/serialisability_property_test.cc.o.d"
+  "serialisability_property_test"
+  "serialisability_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/serialisability_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/serialisation_graph_test.dir/tests/serialisation_graph_test.cc.o"
+  "CMakeFiles/serialisation_graph_test.dir/tests/serialisation_graph_test.cc.o.d"
+  "serialisation_graph_test"
+  "serialisation_graph_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/serialisation_graph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/serialiser_test.dir/tests/serialiser_test.cc.o"
+  "CMakeFiles/serialiser_test.dir/tests/serialiser_test.cc.o.d"
+  "serialiser_test"
+  "serialiser_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/serialiser_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/waits_for_test.dir/tests/waits_for_test.cc.o"
+  "CMakeFiles/waits_for_test.dir/tests/waits_for_test.cc.o.d"
+  "waits_for_test"
+  "waits_for_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/waits_for_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
