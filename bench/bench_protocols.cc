@@ -116,5 +116,64 @@ int main() {
     }
   }
   scaling.Print();
+
+  // --- E1c: skewed-contention sweep ---------------------------------------
+  //
+  // Hot-key banking (Zipf theta 0.9 over few accounts): most transfers hit
+  // the same handful of objects, so nearly every step records dependency
+  // edges and every commit validates against live predecessors.  This is
+  // the stress test for the dense-slot DependencyGraph — the per-step doom
+  // poll stays a single atomic load and commit waits ride striped condvars
+  // instead of a global herd.  MIXED rides along to cover the
+  // per-object-policy composition under the same certifier.
+  bench::Banner("E1c: skewed contention sweep",
+                "hot-key (zipf 0.9) banking across protocols and threads; "
+                "dependency-registry stress (paper Sections 5.2, 6)");
+  TablePrinter contention({"protocol", "threads", "tput/s", "abort-ratio",
+                           "ts-reject", "validate", "cascade", "p99-ms"});
+  for (rt::Protocol protocol :
+       {rt::Protocol::kN2pl, rt::Protocol::kNto, rt::Protocol::kCert,
+        rt::Protocol::kMixed}) {
+    for (int threads : {1, 2, 4, 8, 16}) {
+      workload::BankingParams p;
+      p.accounts = 16;
+      p.branches = 4;
+      p.theta = 0.9;  // hot keys: heavy cross-transaction conflicts
+      p.audit_weight = 0.1;
+      p.audit_scan = 4;
+      p.spin_per_op = 0;
+      workload::WorkloadSpec spec = workload::MakeBankingSpec(p);
+      spec.threads = threads;
+      spec.txns_per_thread = 200 * scale;
+      spec.seed = 5000 + threads;
+      workload::RunMetrics m = bench::RunOnce(
+          [&](rt::ObjectBase& base) { workload::SetupBanking(base, p); },
+          spec, protocol, cc::Granularity::kStep);
+      contention.AddRow({rt::ProtocolName(protocol),
+                         TablePrinter::Fmt(int64_t{threads}),
+                         TablePrinter::Fmt(m.Throughput(), 0),
+                         TablePrinter::Fmt(m.AbortRatio(), 3),
+                         TablePrinter::Fmt(m.ts_rejects),
+                         TablePrinter::Fmt(m.validation_fails),
+                         TablePrinter::Fmt(m.cascades),
+                         TablePrinter::Fmt(
+                             m.latency_ns.Percentile(0.99) / 1e6, 2)});
+      bench::JsonLine("contention_sweep")
+          .Field("protocol", rt::ProtocolName(protocol))
+          .Field("threads", threads)
+          .Field("theta", 0.9)
+          .Field("accounts", 16)
+          .Field("ns_per_op", m.Throughput() > 0 ? 1e9 / m.Throughput() : 0.0)
+          .Field("throughput", m.Throughput())
+          .Field("abort_ratio", m.AbortRatio())
+          .Field("p99_ms", m.latency_ns.Percentile(0.99) / 1e6)
+          .Emit();
+    }
+  }
+  contention.Print();
+  std::printf("Expected shape: the blocking protocol degrades via deadlock "
+              "retries as the hot\nkeys serialise; the non-blocking ones pay "
+              "with rejections/validation aborts but\nkeep their step path "
+              "lock-free in the registry.\n");
   return 0;
 }

@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Runs the protocol experiment binary and records its JSON lines as
+# BENCH_protocols.json at the repo root — the committed perf-trajectory
+# baseline.  Usage:
+#
+#   scripts/bench_baseline.sh [path/to/bench_protocols]
+#
+# With no argument the script configures+builds a Release tree under
+# build-bench/ first.  `cmake --build build -t bench-baseline` wraps this
+# with the already-built binary.  Set OBJBASE_BENCH_SCALE for longer runs.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+bench_bin="${1:-}"
+
+if [[ -z "${bench_bin}" ]]; then
+  cmake -B "${repo_root}/build-bench" -S "${repo_root}" \
+        -DCMAKE_BUILD_TYPE=Release -DBUILD_TESTING=OFF >/dev/null
+  cmake --build "${repo_root}/build-bench" -j "$(nproc)" \
+        --target bench_protocols >/dev/null
+  bench_bin="${repo_root}/build-bench/bench_protocols"
+fi
+
+log="$(mktemp)"
+json="$(mktemp)"
+trap 'rm -f "${log}" "${json}"' EXIT
+"${bench_bin}" | tee "${log}"
+# Stage into a temp file and move only on success, so a run that emits no
+# JSON rows cannot truncate the committed baseline.
+if ! grep '^{"bench"' "${log}" > "${json}"; then
+  echo "error: bench emitted no JSON rows; baseline left untouched" >&2
+  exit 1
+fi
+mv "${json}" "${repo_root}/BENCH_protocols.json"
+echo
+echo "wrote $(wc -l < "${repo_root}/BENCH_protocols.json") JSON rows to" \
+     "${repo_root}/BENCH_protocols.json"

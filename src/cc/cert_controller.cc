@@ -11,25 +11,28 @@ CertController::CertController(rt::Recorder& recorder, Granularity granularity)
     : recorder_(recorder), granularity_(granularity) {}
 
 void CertController::OnTopBegin(rt::TxnNode& top) {
-  deps_.Register(top.uid(), top.hts().top_component());
+  // Cache the packed slot handle on the node: every per-step doom poll and
+  // recorded journal entry addresses the registry slot directly.
+  top.set_dep_handle(
+      deps_.Register(top.uid(), top.hts().top_component()).raw());
 }
 
 OpOutcome CertController::ExecuteLocal(rt::TxnNode& txn, rt::Object& obj,
                                        const adt::OpDescriptor& op,
                                        const Args& args) {
   const uint64_t my_top = txn.top()->uid();
-  if (deps_.IsDoomed(my_top)) return OpOutcome::Abort(AbortReason::kDoomed);
+  const DepRef my_ref = DepRef::FromRaw(txn.top()->dep_handle());
+  // One relaxed atomic load; the conflict-free step path takes no
+  // DependencyGraph mutex.
+  if (deps_.IsDoomed(my_ref)) return OpOutcome::Abort(AbortReason::kDoomed);
 
   const std::vector<uint64_t>& chain = txn.AncestorChain();
 
   // Opportunistic watermark GC (the same retirement rule as NTO); folds a
-  // committed prefix of the journal into the base state.
+  // committed prefix of the journal into the base state.  The cadence
+  // poll is lock-free (atomic journal length + lock-free watermark scan).
   {
-    size_t size;
-    {
-      std::lock_guard<std::mutex> g(obj.log_mu());
-      size = obj.applied_log().size();
-    }
+    const size_t size = obj.applied_log_size();
     if (size >= 64 && size % 32 == 0) {
       obj.FoldPrefix(deps_.MinActiveCounter());
     }
@@ -53,6 +56,7 @@ OpOutcome CertController::ExecuteLocal(rt::TxnNode& txn, rt::Object& obj,
   adt::ApplyResult applied = op.apply(obj.state(), args);
   {
     std::lock_guard<std::mutex> g(obj.log_mu());
+    uint64_t last_dep = 0;  // consecutive same-writer entries: one edge
     for (const rt::Object::Applied& e : obj.applied_log()) {
       if (e.aborted) continue;
       if (!e.IncomparableWith(chain)) continue;
@@ -67,10 +71,13 @@ OpOutcome CertController::ExecuteLocal(rt::TxnNode& txn, rt::Object& obj,
       }
       if (!conflict) continue;
       if (e.top_uid != my_top) {
-        deps_.AddDependency(e.top_uid, my_top);
+        if (e.dep != last_dep) {
+          last_dep = e.dep;
+          deps_.AddDependency(DepRef::FromRaw(e.dep), my_ref);
+        }
       } else {
         std::lock_guard<std::mutex> sg(sibling_mu_);
-        sibling_edges_[my_top].push_back(SiblingEdge{e.chain, chain});
+        sibling_edges_[my_top].push_back(SiblingEdge{*e.chain, chain});
       }
     }
     uint64_t seq = recorder_.NextSeq();
@@ -81,12 +88,14 @@ OpOutcome CertController::ExecuteLocal(rt::TxnNode& txn, rt::Object& obj,
     entry.seq = seq;
     entry.exec_uid = txn.uid();
     entry.top_uid = my_top;
-    entry.chain = chain;
-    entry.hts = txn.hts();
+    entry.dep = my_ref.raw();
+    entry.chain = txn.ChainPtr();
+    entry.hts = txn.HtsSnapshot();
     entry.op_id = op.id;
     entry.args = args;
     entry.ret = applied.ret;
     obj.applied_log().push_back(std::move(entry));
+    obj.NoteLogAppended();
   }
   return OpOutcome::Ok(std::move(applied.ret));
 }
@@ -141,8 +150,9 @@ bool CertController::OnTopCommit(rt::TxnNode& top, AbortReason* reason) {
     *reason = AbortReason::kValidation;
     return false;
   }
-  if (!deps_.ValidateAndWait(top.uid(), reason)) return false;
-  deps_.MarkCommitted(top.uid());
+  const DepRef ref = DepRef::FromRaw(top.dep_handle());
+  if (!deps_.ValidateAndWait(ref, reason)) return false;
+  deps_.MarkCommitted(ref);
   return true;
 }
 
@@ -167,15 +177,16 @@ void CertController::OnAbort(rt::TxnNode& node) {
   for (rt::Object* obj : touched) {
     obj->AbortEntriesAndRebuild(node.uid());
   }
-  if (node.parent() == nullptr) deps_.MarkAborted(node.uid());
+  if (node.parent() == nullptr) {
+    deps_.MarkAborted(DepRef::FromRaw(node.dep_handle()));
+  }
 }
 
 void CertController::OnTopFinished(rt::TxnNode& top) {
-  {
-    std::lock_guard<std::mutex> g(sibling_mu_);
-    sibling_edges_.erase(top.uid());
-  }
-  if (finished_since_prune_.fetch_add(1) % 32 == 31) deps_.Prune();
+  // Settled registry slots retire incrementally inside MarkCommitted /
+  // MarkAborted; only the sibling-edge buffer needs explicit cleanup.
+  std::lock_guard<std::mutex> g(sibling_mu_);
+  sibling_edges_.erase(top.uid());
 }
 
 }  // namespace objectbase::cc

@@ -18,7 +18,6 @@
 #ifndef OBJECTBASE_CC_CERT_CONTROLLER_H_
 #define OBJECTBASE_CC_CERT_CONTROLLER_H_
 
-#include <atomic>
 #include <cstdint>
 #include <map>
 #include <mutex>
@@ -68,7 +67,6 @@ class CertController : public Controller {
   DependencyGraph deps_;
   std::mutex sibling_mu_;
   std::map<uint64_t, std::vector<SiblingEdge>> sibling_edges_;  // by top uid
-  std::atomic<uint64_t> finished_since_prune_{0};
 };
 
 }  // namespace objectbase::cc

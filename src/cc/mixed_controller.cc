@@ -64,7 +64,7 @@ OpOutcome MixedController::ExecuteLocal(rt::TxnNode& txn, rt::Object& obj,
         for (const rt::Object::Applied& e : obj.applied_log()) {
           if (!e.IncomparableWith(chain)) continue;
           if (!obj.spec().OpConflictsById(e.op_id, op.id)) continue;
-          if (e.hts > txn.hts()) {
+          if (*e.hts > txn.hts()) {
             return OpOutcome::Abort(AbortReason::kTimestampOrder);
           }
         }

@@ -18,11 +18,14 @@
 //                  its operations; conflicts are reported like kOptimistic.
 //
 // Whatever the local policy, every conflict between incomparable
-// executions is reported: cross-top conflicts to the shared
-// DependencyGraph, intra-top conflicts to the per-top sibling graph.  The
-// commit-time certification (cycle test + commit dependencies + sibling
-// acyclicity) is exactly enforcing Theorem 5's conditions (a) and (b)
-// globally, which is what the paper asks of an inter-object mechanism.
+// executions is reported: cross-top conflicts to the shared dense-slot
+// DependencyGraph (the delegated certifier caches the packed DepRef on the
+// top-level TxnNode, so MIXED's per-step doom poll is the same single
+// atomic load as CERT's), intra-top conflicts to the per-top sibling
+// graph.  The commit-time certification (cycle test + commit dependencies
+// + sibling acyclicity) is exactly enforcing Theorem 5's conditions (a)
+// and (b) globally, which is what the paper asks of an inter-object
+// mechanism.
 #ifndef OBJECTBASE_CC_MIXED_CONTROLLER_H_
 #define OBJECTBASE_CC_MIXED_CONTROLLER_H_
 

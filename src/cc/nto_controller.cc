@@ -13,7 +13,10 @@ NtoController::NtoController(rt::Recorder& recorder, Granularity granularity,
       gc_enabled_(gc_enabled) {}
 
 void NtoController::OnTopBegin(rt::TxnNode& top) {
-  deps_.Register(top.uid(), top.hts().top_component());
+  // Cache the packed slot handle on the node: every per-step doom poll and
+  // recorded journal entry addresses the registry slot directly.
+  top.set_dep_handle(
+      deps_.Register(top.uid(), top.hts().top_component()).raw());
 }
 
 namespace {
@@ -24,11 +27,11 @@ namespace {
 // Folding keeps the journal a suffix of the object's history, which the
 // rebuild-based rollback relies on.  Caller must hold no object locks.
 void MaybeGc(rt::Object& obj, DependencyGraph& deps) {
-  size_t size;
-  {
-    std::lock_guard<std::mutex> g(obj.log_mu());
-    size = obj.applied_log().size();
-  }
+  // Lock-free cadence poll (the counter mirrors the journal length); the
+  // fold itself re-checks under the real locks.  MinActiveCounter is a
+  // lock-free slot scan, so the whole GC probe costs the step path no
+  // mutex when it does not fire.
+  const size_t size = obj.applied_log_size();
   if (size < 64 || size % 32 != 0) return;
   obj.FoldPrefix(deps.MinActiveCounter());
 }
@@ -38,7 +41,11 @@ void MaybeGc(rt::Object& obj, DependencyGraph& deps) {
 OpOutcome NtoController::ExecuteLocal(rt::TxnNode& txn, rt::Object& obj,
                                       const adt::OpDescriptor& op,
                                       const Args& args) {
-  if (deps_.IsDoomed(txn.top()->uid())) {
+  const DepRef my_ref = DepRef::FromRaw(txn.top()->dep_handle());
+  // One relaxed atomic load — the conflict-free step path takes no
+  // DependencyGraph mutex at all (doom is monotonic, so a stale false
+  // only delays the abort by one step).
+  if (deps_.IsDoomed(my_ref)) {
     return OpOutcome::Abort(AbortReason::kDoomed);
   }
   if (gc_enabled_) MaybeGc(obj, deps_);
@@ -54,14 +61,18 @@ OpOutcome NtoController::ExecuteLocal(rt::TxnNode& txn, rt::Object& obj,
     // executing (Section 5.2's first implementation).
     {
       std::lock_guard<std::mutex> g(obj.log_mu());
+      uint64_t last_dep = 0;  // consecutive same-writer entries: one edge
       for (const rt::Object::Applied& e : obj.applied_log()) {
         if (e.aborted) continue;
         if (!e.IncomparableWith(chain)) continue;  // rule 1 exempts kin
         if (!obj.spec().OpConflictsById(e.op_id, op.id)) continue;
-        if (e.hts > my_hts) {
+        if (*e.hts > my_hts) {
           return OpOutcome::Abort(AbortReason::kTimestampOrder);
         }
-        if (e.top_uid != my_top) deps_.AddDependency(e.top_uid, my_top);
+        if (e.top_uid != my_top && e.dep != last_dep) {
+          last_dep = e.dep;
+          deps_.AddDependency(DepRef::FromRaw(e.dep), my_ref);
+        }
       }
     }
     rt::AppliedOutcome out = rt::ApplyLocked(txn, obj, op, args, recorder_,
@@ -75,6 +86,7 @@ OpOutcome NtoController::ExecuteLocal(rt::TxnNode& txn, rt::Object& obj,
   adt::ApplyResult provisional = op.apply(obj.state(), args);
   {
     std::lock_guard<std::mutex> g(obj.log_mu());
+    uint64_t last_dep = 0;  // consecutive same-writer entries: one edge
     for (const rt::Object::Applied& e : obj.applied_log()) {
       if (e.aborted) continue;
       if (!e.IncomparableWith(chain)) continue;
@@ -82,11 +94,14 @@ OpOutcome NtoController::ExecuteLocal(rt::TxnNode& txn, rt::Object& obj,
                           e.op_id};
       adt::StepView second{op.name, &args, &provisional.ret, op.id};
       if (!obj.spec().StepConflicts(first, second)) continue;
-      if (e.hts > my_hts) {
+      if (*e.hts > my_hts) {
         if (provisional.undo) provisional.undo(obj.state());
         return OpOutcome::Abort(AbortReason::kTimestampOrder);
       }
-      if (e.top_uid != my_top) deps_.AddDependency(e.top_uid, my_top);
+      if (e.top_uid != my_top && e.dep != last_dep) {
+        last_dep = e.dep;
+        deps_.AddDependency(DepRef::FromRaw(e.dep), my_ref);
+      }
     }
     // Accept the provisional step as real.
     uint64_t seq = recorder_.NextSeq();
@@ -97,12 +112,14 @@ OpOutcome NtoController::ExecuteLocal(rt::TxnNode& txn, rt::Object& obj,
     entry.seq = seq;
     entry.exec_uid = txn.uid();
     entry.top_uid = my_top;
-    entry.chain = chain;
-    entry.hts = my_hts;
+    entry.dep = my_ref.raw();
+    entry.chain = txn.ChainPtr();
+    entry.hts = txn.HtsSnapshot();
     entry.op_id = op.id;
     entry.args = args;
     entry.ret = provisional.ret;
     obj.applied_log().push_back(std::move(entry));
+    obj.NoteLogAppended();
   }
   return OpOutcome::Ok(std::move(provisional.ret));
 }
@@ -110,8 +127,9 @@ OpOutcome NtoController::ExecuteLocal(rt::TxnNode& txn, rt::Object& obj,
 void NtoController::OnChildCommit(rt::TxnNode&) {}
 
 bool NtoController::OnTopCommit(rt::TxnNode& top, AbortReason* reason) {
-  if (!deps_.ValidateAndWait(top.uid(), reason)) return false;
-  deps_.MarkCommitted(top.uid());
+  const DepRef ref = DepRef::FromRaw(top.dep_handle());
+  if (!deps_.ValidateAndWait(ref, reason)) return false;
+  deps_.MarkCommitted(ref);
   return true;
 }
 
@@ -136,11 +154,15 @@ void NtoController::OnAbort(rt::TxnNode& node) {
   for (rt::Object* obj : touched) {
     obj->AbortEntriesAndRebuild(node.uid());
   }
-  if (node.parent() == nullptr) deps_.MarkAborted(node.uid());
+  if (node.parent() == nullptr) {
+    deps_.MarkAborted(DepRef::FromRaw(node.dep_handle()));
+  }
 }
 
 void NtoController::OnTopFinished(rt::TxnNode&) {
-  if (finished_since_prune_.fetch_add(1) % 32 == 31) deps_.Prune();
+  // Nothing to do: settled registry slots retire incrementally inside
+  // MarkCommitted/MarkAborted (the old every-32-finishes Prune() cadence —
+  // and its racy fetch_add gating — is gone).
 }
 
 size_t NtoController::RememberedEntries(

@@ -28,8 +28,6 @@
 #ifndef OBJECTBASE_CC_NTO_CONTROLLER_H_
 #define OBJECTBASE_CC_NTO_CONTROLLER_H_
 
-#include <atomic>
-
 #include "src/cc/controller.h"
 #include "src/cc/dependency_graph.h"
 
@@ -68,7 +66,6 @@ class NtoController : public Controller {
   Granularity granularity_;
   bool gc_enabled_;
   DependencyGraph deps_;
-  std::atomic<uint64_t> finished_since_prune_{0};
 };
 
 }  // namespace objectbase::cc

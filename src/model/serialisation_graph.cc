@@ -74,6 +74,27 @@ size_t Digraph::EdgeCount() const {
 
 bool Digraph::IsAcyclic() const { return !FindCycle().has_value(); }
 
+bool Digraph::OnCycle(uint32_t start) const {
+  // Reachability DFS: `start` is on a cycle iff an edge leads back to it
+  // from a vertex reachable from it.  Duplicate edges (possible while a
+  // node is dirty) only re-test visited vertices, so no compaction needed.
+  state_.assign(adj_.size(), 0);
+  vstack_.clear();
+  vstack_.push_back(start);
+  while (!vstack_.empty()) {
+    const uint32_t v = vstack_.back();
+    vstack_.pop_back();
+    for (uint32_t w : adj_[v]) {
+      if (w == start) return true;
+      if (!state_[w]) {
+        state_[w] = 1;
+        vstack_.push_back(w);
+      }
+    }
+  }
+  return false;
+}
+
 std::optional<std::vector<uint32_t>> Digraph::FindCycle() const {
   enum { kWhite, kGrey, kBlack };
   state_.assign(adj_.size(), kWhite);

@@ -108,6 +108,12 @@ class Digraph {
 
   bool IsAcyclic() const;
 
+  /// True iff `v` lies on a directed cycle, i.e. some non-empty edge path
+  /// leads from `v` back to `v`.  Scratch-reusing like FindCycle; used by
+  /// the online DependencyGraph validation over dense slot ids (a cycle
+  /// elsewhere in the graph must not veto `v`).
+  bool OnCycle(uint32_t v) const;
+
   /// A cycle as a vertex sequence (first == last), if one exists.
   std::optional<std::vector<uint32_t>> FindCycle() const;
 

@@ -45,12 +45,14 @@ inline AppliedOutcome ApplyLocked(TxnNode& txn, Object& obj,
     entry.seq = end;
     entry.exec_uid = txn.uid();
     entry.top_uid = txn.top()->uid();
-    entry.chain = txn.AncestorChain();
-    entry.hts = txn.hts();
+    entry.dep = txn.top()->dep_handle();
+    entry.chain = txn.ChainPtr();
+    entry.hts = txn.HtsSnapshot();
     entry.op_id = op.id;
     entry.args = args;
     entry.ret = applied.ret;
     obj.applied_log().push_back(std::move(entry));
+    obj.NoteLogAppended();
   }
   return AppliedOutcome{std::move(applied.ret), end};
 }

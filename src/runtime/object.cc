@@ -17,6 +17,7 @@ void Object::ResetState() {
   base_state_ = spec_->MakeInitialState();
   std::lock_guard<std::mutex> g(log_mu_);
   applied_log_.clear();
+  log_size_.store(0, std::memory_order_relaxed);
 }
 
 void Object::AbortEntriesAndRebuild(uint64_t subtree_root_uid) {
@@ -24,8 +25,8 @@ void Object::AbortEntriesAndRebuild(uint64_t subtree_root_uid) {
   bool any = false;
   for (Applied& e : applied_log_) {
     if (!e.aborted &&
-        std::find(e.chain.begin(), e.chain.end(), subtree_root_uid) !=
-            e.chain.end()) {
+        std::find(e.chain->begin(), e.chain->end(), subtree_root_uid) !=
+            e.chain->end()) {
       e.aborted = true;
       any = true;
     }
@@ -48,13 +49,14 @@ size_t Object::FoldPrefix(uint64_t watermark) {
   size_t folded = 0;
   while (!applied_log_.empty()) {
     const Applied& e = applied_log_.front();
-    if (e.hts.top_component() >= watermark) break;
+    if (e.hts->top_component() >= watermark) break;
     if (!e.aborted) {
       spec_->OpAt(e.op_id).apply(*base_state_, e.args);
     }
     applied_log_.pop_front();
     ++folded;
   }
+  log_size_.fetch_sub(folded, std::memory_order_relaxed);
   return folded;
 }
 
@@ -66,8 +68,8 @@ bool Object::Applied::IncomparableWith(
     return false;
   }
   if (!other_chain.empty() &&
-      std::find(chain.begin(), chain.end(), other_chain.front()) !=
-          chain.end()) {
+      std::find(chain->begin(), chain->end(), other_chain.front()) !=
+          chain->end()) {
     return false;
   }
   return true;

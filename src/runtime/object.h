@@ -7,6 +7,7 @@
 #ifndef OBJECTBASE_RUNTIME_OBJECT_H_
 #define OBJECTBASE_RUNTIME_OBJECT_H_
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <memory>
@@ -54,8 +55,15 @@ class Object {
     uint64_t seq = 0;       ///< Global apply sequence number.
     uint64_t exec_uid = 0;  ///< Issuing method execution.
     uint64_t top_uid = 0;   ///< Its top-level ancestor.
-    std::vector<uint64_t> chain;  ///< Ancestor uids, self first.
-    cc::Hts hts;
+    /// Packed cc::DepRef of the top-level ancestor's DependencyGraph slot
+    /// (raw form, opaque here).  Lets conflict scans record dependency
+    /// edges by direct slot addressing — no registry lookup per edge.
+    uint64_t dep = 0;
+    /// Ancestor uids, self first; shared with the issuing TxnNode (one
+    /// refcount bump per step instead of a vector copy).
+    std::shared_ptr<const std::vector<uint64_t>> chain;
+    /// Issuing execution's hts; shared snapshot, same reasoning.
+    std::shared_ptr<const cc::Hts> hts;
     adt::OpId op_id = adt::kNoOp;  ///< Dense op id within the owning spec.
     Args args;
     Value ret;
@@ -70,6 +78,16 @@ class Object {
   /// transaction completion / watermark advance.
   std::mutex& log_mu() { return log_mu_; }
   std::deque<Applied>& applied_log() { return applied_log_; }
+
+  /// Journal length without taking log_mu (relaxed) — the per-step GC
+  /// cadence polls this on every local operation, so it must stay
+  /// lock-free.  Appenders (who do hold log_mu) must pair every
+  /// applied_log().push_back with NoteLogAppended(); FoldPrefix and
+  /// ResetState maintain it internally.
+  size_t applied_log_size() const {
+    return log_size_.load(std::memory_order_relaxed);
+  }
+  void NoteLogAppended() { log_size_.fetch_add(1, std::memory_order_relaxed); }
 
   // --- rebuild-based rollback (NTO/CERT/MIXED) -----------------------------
   //
@@ -102,6 +120,7 @@ class Object {
   std::shared_mutex state_mu_;
   std::mutex log_mu_;
   std::deque<Applied> applied_log_;
+  std::atomic<size_t> log_size_{0};  // mirrors applied_log_.size()
 };
 
 }  // namespace objectbase::rt

@@ -12,11 +12,13 @@ TxnNode::TxnNode(uint64_t uid, TxnNode* parent, uint32_t object_id,
       method_(std::move(method)) {
   // Ancestry is fixed at construction, so the chain is built once here
   // instead of per step (the NTO/CERT conflict scans read it every local
-  // step).
-  chain_.reserve(depth_ + 1);
+  // step; journal entries share ownership of it).
+  std::vector<uint64_t> chain;
+  chain.reserve(depth_ + 1);
   for (const TxnNode* n = this; n != nullptr; n = n->parent_) {
-    chain_.push_back(n->uid_);
+    chain.push_back(n->uid_);
   }
+  chain_ = std::make_shared<const std::vector<uint64_t>>(std::move(chain));
 }
 
 bool TxnNode::HasAncestorOrSelf(const TxnNode* a) const {

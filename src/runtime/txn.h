@@ -67,7 +67,31 @@ class TxnNode {
   /// Uids from self up to the top-level ancestor (self first).  Built once
   /// at construction (ancestry never changes); per-step readers take it by
   /// reference.
-  const std::vector<uint64_t>& AncestorChain() const { return chain_; }
+  const std::vector<uint64_t>& AncestorChain() const { return *chain_; }
+
+  /// Shared ownership of the chain, for journal entries that outlive the
+  /// node (Object::Applied) — sharing replaces a per-step vector copy.
+  const std::shared_ptr<const std::vector<uint64_t>>& ChainPtr() const {
+    return chain_;
+  }
+
+  /// Immutable shared snapshot of this node's hts.  Created lazily by the
+  /// node's own executing thread on its first local step (the hts is
+  /// assigned right after construction, before any step runs); journal
+  /// entries share it instead of copying the component vector per step.
+  const std::shared_ptr<const cc::Hts>& HtsSnapshot() {
+    if (!hts_snapshot_) hts_snapshot_ = std::make_shared<const cc::Hts>(hts_);
+    return hts_snapshot_;
+  }
+
+  // --- dependency-registry handle (top-level nodes only) ---
+  // Packed cc::DepRef of this top's DependencyGraph slot, cached by the
+  // controller's OnTopBegin so the per-step doom poll addresses its slot
+  // directly (one atomic load — no hashing, no registry lookup).  Written
+  // once before the body runs; child threads are spawned after, so plain
+  // reads are safe.
+  void set_dep_handle(uint64_t raw) { dep_handle_ = raw; }
+  uint64_t dep_handle() const { return dep_handle_; }
 
   // --- undo log (appended only by the node's own thread) ---
   void PushUndo(UndoRecord r) { undo_log_.push_back(std::move(r)); }
@@ -128,8 +152,11 @@ class TxnNode {
   uint32_t depth_;
   uint32_t object_id_;
   std::string method_;
-  std::vector<uint64_t> chain_;  // self..top uids (see AncestorChain)
+  // self..top uids (see AncestorChain); shared with journal entries.
+  std::shared_ptr<const std::vector<uint64_t>> chain_;
+  uint64_t dep_handle_ = 0;      // packed DepRef of top's registry slot
   cc::Hts hts_;
+  std::shared_ptr<const cc::Hts> hts_snapshot_;  // see HtsSnapshot()
   std::atomic<uint64_t> child_counter_{0};
   std::atomic<uint32_t> next_po_{0};
   std::vector<UndoRecord> undo_log_;

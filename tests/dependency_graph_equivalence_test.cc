@@ -1,0 +1,198 @@
+// Semantic equivalence of the dense-slot DependencyGraph against the
+// retained single-threaded reference implementation (the old map/set
+// registry): randomized register/edge/doom/commit/abort scripts replayed
+// through both must produce identical doom states, identical commit-probe
+// outcomes (ok / would-wait / doomed / cycle) and identical commit/abort
+// results, plus an identical GC watermark.
+//
+// Script generation stays inside the in-protocol envelope, which is where
+// the two implementations are defined to agree:
+//   * edges point INTO unfinished transactions only (`to` is always the
+//     caller's own live transaction in the real pipeline);
+//   * a transaction commits only when its probe says kOk, and aborts when
+//     the probe vetoes (that is what OnTopCommit + the runtime do);
+//   * doom is only polled for unfinished transactions (finished ones have
+//     no steps left to poll).
+// Both implementations forget settled transactions by the same rule
+// (finished, all recorded successors finished); the reference applies it
+// via PruneSettled after every finish, mirroring the dense registry's
+// incremental retirement — see the note in reference_dependency_graph.h.
+#include "src/cc/dependency_graph.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/common/rng.h"
+#include "tests/reference_dependency_graph.h"
+
+namespace objectbase::cc {
+namespace {
+
+using RefProbe = ReferenceDependencyGraph::Probe;
+
+RefProbe ToRefProbe(DependencyGraph::ProbeResult r) {
+  switch (r) {
+    case DependencyGraph::ProbeResult::kOk: return RefProbe::kOk;
+    case DependencyGraph::ProbeResult::kWouldWait: return RefProbe::kWouldWait;
+    case DependencyGraph::ProbeResult::kDoomedVeto:
+      return RefProbe::kDoomedVeto;
+    case DependencyGraph::ProbeResult::kCycleVeto: return RefProbe::kCycleVeto;
+  }
+  return RefProbe::kOk;
+}
+
+const char* ProbeName(RefProbe p) {
+  switch (p) {
+    case RefProbe::kOk: return "ok";
+    case RefProbe::kWouldWait: return "would-wait";
+    case RefProbe::kDoomedVeto: return "doomed-veto";
+    case RefProbe::kCycleVeto: return "cycle-veto";
+  }
+  return "?";
+}
+
+struct Txn {
+  uint64_t uid;
+  DepRef ref;
+  bool finished = false;
+};
+
+class ScriptDriver {
+ public:
+  explicit ScriptDriver(uint64_t seed) : rng_(seed) {}
+
+  void Run(int ops) {
+    for (int i = 0; i < ops; ++i) Step(i);
+    // Drain: try to finish everything that can finish, so every script
+    // also exercises the full commit-wait chains it built up.
+    for (int round = 0; round < 64 && FinishOneRound(); ++round) {
+    }
+  }
+
+ private:
+  void Step(int i) {
+    const int kind = static_cast<int>(rng_.Uniform(10));
+    if (kind < 3 || txns_.empty()) {
+      NewTxn();
+    } else if (kind < 7) {
+      RandomEdge();
+    } else if (kind == 7) {
+      RandomDoom();
+    } else if (kind == 8) {
+      TryCommitRandom();
+    } else {
+      AbortRandom();
+    }
+    CheckAgreement(i);
+  }
+
+  void NewTxn() {
+    Txn t;
+    t.uid = next_uid_++;
+    t.ref = dense_.Register(t.uid, t.uid);
+    reference_.Register(t.uid, t.uid);
+    txns_.push_back(t);
+  }
+
+  // In-protocol edge: source is any transaction that ever ran (possibly
+  // finished — a remembered journal entry outlives its transaction);
+  // target is an unfinished one (the conflicting step's own transaction).
+  void RandomEdge() {
+    std::vector<size_t> unfinished = UnfinishedIndices();
+    if (unfinished.empty()) return;
+    const size_t from = rng_.Uniform(txns_.size());
+    const size_t to = unfinished[rng_.Uniform(unfinished.size())];
+    dense_.AddDependency(txns_[from].ref, txns_[to].ref);
+    reference_.AddDependency(txns_[from].uid, txns_[to].uid);
+  }
+
+  void RandomDoom() {
+    std::vector<size_t> unfinished = UnfinishedIndices();
+    if (unfinished.empty()) return;
+    const size_t i = unfinished[rng_.Uniform(unfinished.size())];
+    dense_.Doom(txns_[i].ref);
+    reference_.Doom(txns_[i].uid);
+  }
+
+  void AbortRandom() {
+    std::vector<size_t> unfinished = UnfinishedIndices();
+    if (unfinished.empty()) return;
+    Finish(unfinished[rng_.Uniform(unfinished.size())], /*commit=*/false);
+  }
+
+  bool TryCommitRandom() {
+    std::vector<size_t> unfinished = UnfinishedIndices();
+    if (unfinished.empty()) return false;
+    const size_t i = unfinished[rng_.Uniform(unfinished.size())];
+    const RefProbe dense = ToRefProbe(dense_.TryValidate(txns_[i].ref));
+    const RefProbe ref = reference_.TryValidate(txns_[i].uid);
+    EXPECT_STREQ(ProbeName(dense), ProbeName(ref))
+        << "probe diverged for txn " << txns_[i].uid;
+    if (dense == RefProbe::kWouldWait) return false;  // both would block
+    Finish(i, /*commit=*/dense == RefProbe::kOk);
+    return true;
+  }
+
+  bool FinishOneRound() {
+    bool progressed = false;
+    for (size_t i = 0; i < txns_.size(); ++i) {
+      if (!txns_[i].finished && TryCommitRandom()) progressed = true;
+    }
+    return progressed;
+  }
+
+  void Finish(size_t i, bool commit) {
+    if (commit) {
+      dense_.MarkCommitted(txns_[i].ref);
+      reference_.MarkCommitted(txns_[i].uid);
+    } else {
+      dense_.MarkAborted(txns_[i].ref);
+      reference_.MarkAborted(txns_[i].uid);
+    }
+    txns_[i].finished = true;
+    // The dense registry retires settled slots inside MarkCommitted /
+    // MarkAborted; apply the same settled rule to the reference.
+    reference_.PruneSettled();
+  }
+
+  void CheckAgreement(int step) {
+    for (const Txn& t : txns_) {
+      if (t.finished) continue;  // doom polls happen on live txns only
+      EXPECT_EQ(dense_.IsDoomed(t.ref), reference_.IsDoomed(t.uid))
+          << "doom state diverged for txn " << t.uid << " at step " << step;
+    }
+    EXPECT_EQ(dense_.MinActiveCounter(), reference_.MinActiveCounter())
+        << "GC watermark diverged at step " << step;
+  }
+
+  std::vector<size_t> UnfinishedIndices() const {
+    std::vector<size_t> out;
+    for (size_t i = 0; i < txns_.size(); ++i) {
+      if (!txns_[i].finished) out.push_back(i);
+    }
+    return out;
+  }
+
+  Rng rng_;
+  uint64_t next_uid_ = 1;
+  std::vector<Txn> txns_;
+  DependencyGraph dense_;
+  ReferenceDependencyGraph reference_;
+};
+
+TEST(DependencyGraphEquivalenceTest, RandomScriptsAgree) {
+  for (uint64_t seed = 1; seed <= 40; ++seed) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    ScriptDriver driver(seed * 7919);
+    driver.Run(300);
+  }
+}
+
+TEST(DependencyGraphEquivalenceTest, LongScriptAgrees) {
+  ScriptDriver driver(0xdecaf);
+  driver.Run(5000);
+}
+
+}  // namespace
+}  // namespace objectbase::cc

@@ -1,0 +1,188 @@
+// Multithreaded DependencyGraph tests: cascading dooms, commit-wait
+// ordering, cycle veto under racing commits and slot reuse under churn.
+// These are the data-race canaries for the lock-free fast paths; CI also
+// runs them under ThreadSanitizer.
+#include "src/cc/dependency_graph.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "src/common/rng.h"
+
+namespace objectbase::cc {
+namespace {
+
+// A chain t1 -> t2 -> ... -> tn of commit dependencies, each validated on
+// its own thread in reverse order: every commit must wait for its
+// predecessor, so the observed commit order is exactly chain order.
+TEST(DependencyGraphMtTest, CommitWaitRespectsChainOrder) {
+  constexpr int kChain = 16;
+  DependencyGraph g;
+  std::vector<DepRef> refs;
+  for (int i = 0; i < kChain; ++i) refs.push_back(g.Register(i + 1, i + 1));
+  for (int i = 1; i < kChain; ++i) g.AddDependency(refs[i - 1], refs[i]);
+
+  std::atomic<int> committed{0};
+  std::vector<int> order(kChain, -1);
+  std::vector<std::thread> threads;
+  for (int i = kChain - 1; i >= 1; --i) {
+    threads.emplace_back([&, i]() {
+      AbortReason reason;
+      ASSERT_TRUE(g.ValidateAndWait(refs[i], &reason))
+          << AbortReasonName(reason);
+      order[i] = committed.fetch_add(1);
+      g.MarkCommitted(refs[i]);
+    });
+  }
+  // Give the waiters time to actually block, then release the chain head.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_EQ(committed.load(), 0);
+  AbortReason reason;
+  ASSERT_TRUE(g.ValidateAndWait(refs[0], &reason));
+  order[0] = committed.fetch_add(1);
+  g.MarkCommitted(refs[0]);
+  for (auto& t : threads) t.join();
+  for (int i = 1; i < kChain; ++i) {
+    EXPECT_LT(order[i - 1], order[i]) << "commit overtook its predecessor";
+  }
+  // Everything settled: the registry is empty again.
+  EXPECT_EQ(g.TrackedCount(), 0u);
+}
+
+// Aborting the root of a dependency tree while every dependent is already
+// blocked in ValidateAndWait: the doom cascade must wake and veto ALL of
+// them (directly doomed first-level dependents veto with kDoomed; their
+// own aborts then doom the next level, and so on).
+TEST(DependencyGraphMtTest, CascadingDoomsUnderRacingAborts) {
+  constexpr int kLevels = 4;
+  constexpr int kFanout = 3;
+  DependencyGraph g;
+  std::vector<std::vector<DepRef>> levels(kLevels);
+  uint64_t uid = 1;
+  levels[0].push_back(g.Register(uid, uid));
+  ++uid;
+  for (int l = 1; l < kLevels; ++l) {
+    for (const DepRef& parent : levels[l - 1]) {
+      for (int f = 0; f < kFanout; ++f) {
+        DepRef child = g.Register(uid, uid);
+        ++uid;
+        g.AddDependency(parent, child);
+        levels[l].push_back(child);
+      }
+    }
+  }
+  std::atomic<int> vetoed{0};
+  std::vector<std::thread> threads;
+  for (int l = 1; l < kLevels; ++l) {
+    for (const DepRef& ref : levels[l]) {
+      threads.emplace_back([&, ref]() {
+        AbortReason reason;
+        // Each dependent blocks (its predecessor is unfinished), then gets
+        // doomed — directly or by a cascading abort of its predecessor.
+        bool ok = g.ValidateAndWait(ref, &reason);
+        if (!ok) {
+          vetoed.fetch_add(1);
+          g.MarkAborted(ref);
+        } else {
+          g.MarkCommitted(ref);  // should not happen; counted via vetoed
+        }
+      });
+    }
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  g.MarkAborted(levels[0][0]);
+  for (auto& t : threads) t.join();
+  int dependents = 0;
+  for (int l = 1; l < kLevels; ++l) {
+    dependents += static_cast<int>(levels[l].size());
+  }
+  EXPECT_EQ(vetoed.load(), dependents);
+  EXPECT_EQ(g.TrackedCount(), 0u);
+}
+
+// Two transactions with a mutual dependency validated concurrently: at
+// most one may commit, and on this symmetric race both should veto (each
+// sees the full two-cycle).  Run many rounds to shake out interleavings.
+TEST(DependencyGraphMtTest, CycleVetoUnderRacingCommits) {
+  for (int round = 0; round < 200; ++round) {
+    DependencyGraph g;
+    DepRef a = g.Register(1, 1);
+    DepRef b = g.Register(2, 2);
+    g.AddDependency(a, b);
+    g.AddDependency(b, a);
+    std::atomic<int> committed{0};
+    auto commit = [&](DepRef ref) {
+      AbortReason reason;
+      if (g.ValidateAndWait(ref, &reason)) {
+        committed.fetch_add(1);
+        g.MarkCommitted(ref);
+      } else {
+        g.MarkAborted(ref);
+      }
+    };
+    std::thread ta(commit, a);
+    std::thread tb(commit, b);
+    ta.join();
+    tb.join();
+    // A 2-cycle is fully recorded before either validation starts, so
+    // both must veto.
+    EXPECT_EQ(committed.load(), 0) << "round " << round;
+  }
+}
+
+// Random churn across threads: register, occasionally depend on another
+// thread's current transaction, commit or abort, repeat.  Exercises slot
+// reuse under concurrency; the registry must stay bounded by the number
+// of in-flight transactions (retirement works) and stale handles must
+// stay inert (no crashes, no false dooms on fresh incarnations).
+TEST(DependencyGraphMtTest, SlotReuseUnderChurn) {
+  constexpr int kThreads = 8;
+  constexpr int kTxnsPerThread = 500;
+  DependencyGraph g;
+  std::atomic<uint64_t> next_uid{1};
+  // Each thread publishes its current ref so others can conflict with it.
+  std::vector<std::atomic<uint64_t>> current(kThreads);
+  for (auto& c : current) c.store(0);
+  std::atomic<int> committed{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t]() {
+      Rng rng(1234 + t);
+      for (int i = 0; i < kTxnsPerThread; ++i) {
+        const uint64_t uid = next_uid.fetch_add(1);
+        DepRef me = g.Register(uid, uid);
+        current[t].store(me.raw());
+        // Poll like a step loop; depend on a neighbour's current txn
+        // sometimes (the handle may be stale by now — that must be safe).
+        for (int s = 0; s < 4; ++s) {
+          (void)g.IsDoomed(me);
+          if (rng.Bernoulli(0.3)) {
+            const int other = static_cast<int>(rng.Uniform(kThreads));
+            DepRef from = DepRef::FromRaw(current[other].load());
+            if (other != t && from.valid()) g.AddDependency(from, me);
+          }
+        }
+        AbortReason reason;
+        if (rng.Bernoulli(0.1)) {
+          g.MarkAborted(me);
+        } else if (g.ValidateAndWait(me, &reason)) {
+          g.MarkCommitted(me);
+          committed.fetch_add(1);
+        } else {
+          g.MarkAborted(me);
+        }
+        current[t].store(0);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_GT(committed.load(), 0);
+  // Everything finished; nothing may stay tracked (no leaked slots).
+  EXPECT_EQ(g.TrackedCount(), 0u);
+}
+
+}  // namespace
+}  // namespace objectbase::cc

@@ -1,5 +1,6 @@
 // DependencyGraph unit tests: dooming, cascades, commit waits, cycle
-// validation and pruning.
+// validation, incremental retirement, slot reuse and the mutex-free poll
+// paths of the dense-slot registry.
 #include "src/cc/dependency_graph.h"
 
 #include <gtest/gtest.h>
@@ -12,199 +13,277 @@ namespace {
 
 TEST(DependencyGraphTest, CommitWithNoDeps) {
   DependencyGraph g;
-  g.Register(1, 1);
+  DepRef t1 = g.Register(1, 1);
   AbortReason reason;
-  EXPECT_TRUE(g.ValidateAndWait(1, &reason));
-  g.MarkCommitted(1);
+  EXPECT_TRUE(g.ValidateAndWait(t1, &reason));
+  g.MarkCommitted(t1);
 }
 
 TEST(DependencyGraphTest, DoomedTransactionCannotCommit) {
   DependencyGraph g;
-  g.Register(1, 1);
-  g.Doom(1);
-  EXPECT_TRUE(g.IsDoomed(1));
+  DepRef t1 = g.Register(1, 1);
+  g.Doom(t1);
+  EXPECT_TRUE(g.IsDoomed(t1));
   AbortReason reason = AbortReason::kNone;
-  EXPECT_FALSE(g.ValidateAndWait(1, &reason));
+  EXPECT_FALSE(g.ValidateAndWait(t1, &reason));
   EXPECT_EQ(reason, AbortReason::kDoomed);
 }
 
 TEST(DependencyGraphTest, AbortDoomsSuccessors) {
   DependencyGraph g;
-  g.Register(1, 1);
-  g.Register(2, 2);
-  g.AddDependency(1, 2);  // 2 conflicted after 1
-  EXPECT_FALSE(g.IsDoomed(2));
-  g.MarkAborted(1);
-  EXPECT_TRUE(g.IsDoomed(2));
+  DepRef t1 = g.Register(1, 1);
+  DepRef t2 = g.Register(2, 2);
+  g.AddDependency(t1, t2);  // 2 conflicted after 1
+  EXPECT_FALSE(g.IsDoomed(t2));
+  g.MarkAborted(t1);
+  EXPECT_TRUE(g.IsDoomed(t2));
 }
 
-TEST(DependencyGraphTest, DependencyOnAlreadyAbortedDoomsImmediately) {
+TEST(DependencyGraphTest, DependencyOnTrackedAbortedDoomsImmediately) {
   DependencyGraph g;
-  g.Register(1, 1);
-  g.Register(2, 2);
-  g.MarkAborted(1);
-  g.AddDependency(1, 2);
-  EXPECT_TRUE(g.IsDoomed(2));
+  DepRef t1 = g.Register(1, 1);
+  DepRef t2 = g.Register(2, 2);
+  DepRef t3 = g.Register(3, 3);
+  // t3 keeps the aborted t1 tracked (a finished slot retires only once all
+  // its recorded successors finished; doomed-but-unaborted counts as live).
+  g.AddDependency(t1, t3);
+  g.MarkAborted(t1);
+  EXPECT_TRUE(g.IsDoomed(t3));
+  // A late dependency on the still-tracked aborted transaction dooms the
+  // successor immediately: it observed state that has been undone.
+  g.AddDependency(t1, t2);
+  EXPECT_TRUE(g.IsDoomed(t2));
+}
+
+TEST(DependencyGraphTest, DependencyOnRetiredSlotIsInert) {
+  DependencyGraph g;
+  DepRef t1 = g.Register(1, 1);
+  DepRef t2 = g.Register(2, 2);
+  g.MarkCommitted(t1);  // no successors: retires immediately
+  EXPECT_EQ(g.TrackedCount(), 1u);
+  // The stale handle behaves like a committed predecessor: no edge, no
+  // doom, no wait.  (In-protocol a stale `from` can only be a COMMITTED
+  // transaction: an aborting one marks its journal entries before
+  // MarkAborted under the object's log_mu — see docs/dependency_graph.md.)
+  g.AddDependency(t1, t2);
+  EXPECT_FALSE(g.IsDoomed(t2));
+  AbortReason reason;
+  EXPECT_TRUE(g.ValidateAndWait(t2, &reason));
 }
 
 TEST(DependencyGraphTest, CommitWaitsForPredecessor) {
   DependencyGraph g;
-  g.Register(1, 1);
-  g.Register(2, 2);
-  g.AddDependency(1, 2);
+  DepRef t1 = g.Register(1, 1);
+  DepRef t2 = g.Register(2, 2);
+  g.AddDependency(t1, t2);
   std::atomic<bool> committed{false};
   std::thread waiter([&]() {
     AbortReason reason;
-    EXPECT_TRUE(g.ValidateAndWait(2, &reason));
-    g.MarkCommitted(2);
+    EXPECT_TRUE(g.ValidateAndWait(t2, &reason));
+    g.MarkCommitted(t2);
     committed.store(true);
   });
   std::this_thread::sleep_for(std::chrono::milliseconds(30));
   EXPECT_FALSE(committed.load());
-  g.MarkCommitted(1);
+  g.MarkCommitted(t1);
   waiter.join();
   EXPECT_TRUE(committed.load());
 }
 
 TEST(DependencyGraphTest, PredecessorAbortCascadesAtCommit) {
   DependencyGraph g;
-  g.Register(1, 1);
-  g.Register(2, 2);
-  g.AddDependency(1, 2);
+  DepRef t1 = g.Register(1, 1);
+  DepRef t2 = g.Register(2, 2);
+  g.AddDependency(t1, t2);
   std::atomic<bool> done{false};
   AbortReason reason = AbortReason::kNone;
   bool ok = true;
   std::thread waiter([&]() {
-    ok = g.ValidateAndWait(2, &reason);
+    ok = g.ValidateAndWait(t2, &reason);
     done.store(true);
   });
   std::this_thread::sleep_for(std::chrono::milliseconds(20));
-  g.MarkAborted(1);
+  g.MarkAborted(t1);
   waiter.join();
   EXPECT_FALSE(ok);
-  // Either observed as explicit cascade or via the doomed flag.
+  // The cascade surfaces through the doom bit.
   EXPECT_TRUE(reason == AbortReason::kCascade ||
               reason == AbortReason::kDoomed);
 }
 
 TEST(DependencyGraphTest, CycleDetectedAtValidation) {
   DependencyGraph g;
-  g.Register(1, 1);
-  g.Register(2, 2);
-  g.AddDependency(1, 2);
-  g.AddDependency(2, 1);  // cycle: a serialisation error
+  DepRef t1 = g.Register(1, 1);
+  DepRef t2 = g.Register(2, 2);
+  g.AddDependency(t1, t2);
+  g.AddDependency(t2, t1);  // cycle: a serialisation error
   AbortReason reason = AbortReason::kNone;
-  EXPECT_FALSE(g.ValidateAndWait(1, &reason));
+  EXPECT_FALSE(g.ValidateAndWait(t1, &reason));
   EXPECT_EQ(reason, AbortReason::kValidation);
   // After aborting one participant, the other still cannot validate (it is
   // doomed as a successor of the aborted one).
-  g.MarkAborted(1);
-  EXPECT_FALSE(g.ValidateAndWait(2, &reason));
+  g.MarkAborted(t1);
+  EXPECT_FALSE(g.ValidateAndWait(t2, &reason));
 }
 
-// Pins the OnCycleLocked semantics for finished nodes: edges recorded by a
-// committed (or aborted) transaction still constrain the serialisation
-// order, so a cycle routed THROUGH such a node must veto validation just
-// like an all-active cycle.  (The node itself will not take future steps,
-// but the cycle is already fully recorded.)
+// Pins the finished-node semantics: edges recorded by a committed (or
+// aborted) transaction still constrain the serialisation order while the
+// slot is tracked, so a cycle routed THROUGH such a node must veto
+// validation just like an all-active cycle.  (The slot cannot have retired:
+// retirement requires every recorded successor to have finished, and a
+// cycle always contains an unfinished successor until the end.)
 TEST(DependencyGraphTest, CycleThroughCommittedNodeStillDetected) {
   DependencyGraph g;
-  g.Register(1, 1);
-  g.Register(2, 2);
-  g.Register(3, 3);
-  g.AddDependency(1, 2);  // 2 after 1
-  g.AddDependency(2, 3);  // 3 after 2
-  g.AddDependency(3, 1);  // 1 after 3: cycle 1 -> 2 -> 3 -> 1
-  g.MarkCommitted(2);     // the middle node finishes first
+  DepRef t1 = g.Register(1, 1);
+  DepRef t2 = g.Register(2, 2);
+  DepRef t3 = g.Register(3, 3);
+  g.AddDependency(t1, t2);  // 2 after 1
+  g.AddDependency(t2, t3);  // 3 after 2
+  g.AddDependency(t3, t1);  // 1 after 3: cycle 1 -> 2 -> 3 -> 1
+  g.MarkCommitted(t2);      // the middle node finishes first; 3 keeps it
   AbortReason reason = AbortReason::kNone;
-  EXPECT_FALSE(g.ValidateAndWait(1, &reason));
+  EXPECT_FALSE(g.ValidateAndWait(t1, &reason));
   EXPECT_EQ(reason, AbortReason::kValidation);
-  EXPECT_FALSE(g.ValidateAndWait(3, &reason));
+  EXPECT_FALSE(g.ValidateAndWait(t3, &reason));
   EXPECT_EQ(reason, AbortReason::kValidation);
 }
 
 TEST(DependencyGraphTest, CycleThroughAbortedNodeStillDetected) {
   DependencyGraph g;
-  g.Register(1, 1);
-  g.Register(2, 2);
-  g.Register(3, 3);
-  g.AddDependency(1, 2);
-  g.AddDependency(2, 3);
-  g.AddDependency(3, 1);
-  g.MarkAborted(2);  // dooms 3 (its successor); edges 2->3 remain recorded
+  DepRef t1 = g.Register(1, 1);
+  DepRef t2 = g.Register(2, 2);
+  DepRef t3 = g.Register(3, 3);
+  g.AddDependency(t1, t2);
+  g.AddDependency(t2, t3);
+  g.AddDependency(t3, t1);
+  g.MarkAborted(t2);  // dooms 3 (its successor); edges 2->3 stay recorded
   AbortReason reason = AbortReason::kNone;
   // 1 sits on a recorded cycle through the aborted node.
-  EXPECT_FALSE(g.ValidateAndWait(1, &reason));
+  EXPECT_FALSE(g.ValidateAndWait(t1, &reason));
   EXPECT_TRUE(reason == AbortReason::kValidation ||
               reason == AbortReason::kDoomed);
 }
 
-// Back-to-back validations reuse the generation-stamped visited marks; a
-// second query must not be confused by the first run's stamps.
+// Back-to-back validations must be independent: a clean first validation
+// (which parks the slot in kCommitting) must not mask a cycle recorded
+// afterwards.
 TEST(DependencyGraphTest, RepeatedValidationsAreIndependent) {
   DependencyGraph g;
-  g.Register(1, 1);
-  g.Register(2, 2);
-  g.Register(3, 3);
-  g.AddDependency(1, 2);
-  g.AddDependency(2, 3);
+  DepRef t1 = g.Register(1, 1);
+  DepRef t2 = g.Register(2, 2);
+  DepRef t3 = g.Register(3, 3);
+  g.AddDependency(t1, t2);
+  g.AddDependency(t2, t3);
   AbortReason reason = AbortReason::kNone;
   // No cycle yet: 1 validates clean (no predecessors, so no waiting).
-  EXPECT_TRUE(g.ValidateAndWait(1, &reason));
-  g.AddDependency(3, 1);  // now a cycle exists
-  EXPECT_FALSE(g.ValidateAndWait(1, &reason));
+  EXPECT_TRUE(g.ValidateAndWait(t1, &reason));
+  g.AddDependency(t3, t1);  // now a cycle exists
+  EXPECT_FALSE(g.ValidateAndWait(t1, &reason));
   EXPECT_EQ(reason, AbortReason::kValidation);
-  EXPECT_FALSE(g.ValidateAndWait(1, &reason));
+  EXPECT_FALSE(g.ValidateAndWait(t1, &reason));
   EXPECT_EQ(reason, AbortReason::kValidation);
 }
 
 TEST(DependencyGraphTest, CommittedPredecessorIsInert) {
   DependencyGraph g;
-  g.Register(1, 1);
-  g.Register(2, 2);
-  g.AddDependency(1, 2);
-  g.MarkCommitted(1);
+  DepRef t1 = g.Register(1, 1);
+  DepRef t2 = g.Register(2, 2);
+  g.AddDependency(t1, t2);
+  g.MarkCommitted(t1);
   AbortReason reason;
-  EXPECT_TRUE(g.ValidateAndWait(2, &reason));
+  EXPECT_TRUE(g.ValidateAndWait(t2, &reason));
 }
 
 TEST(DependencyGraphTest, MinActiveCounterTracksWatermark) {
   DependencyGraph g;
   EXPECT_EQ(g.MinActiveCounter(), UINT64_MAX);
-  g.Register(10, 5);
-  g.Register(11, 9);
+  DepRef a = g.Register(10, 5);
+  DepRef b = g.Register(11, 9);
   EXPECT_EQ(g.MinActiveCounter(), 5u);
-  g.MarkCommitted(10);
+  g.MarkCommitted(a);
   EXPECT_EQ(g.MinActiveCounter(), 9u);
-  g.MarkCommitted(11);
+  g.MarkCommitted(b);
   EXPECT_EQ(g.MinActiveCounter(), UINT64_MAX);
 }
 
-TEST(DependencyGraphTest, PruneDropsSettledTransactions) {
+// The old explicit Prune() cadence is gone: settled transactions retire
+// incrementally the moment their last recorded successor finishes.
+TEST(DependencyGraphTest, SettledTransactionsRetireIncrementally) {
   DependencyGraph g;
-  g.Register(1, 1);
-  g.Register(2, 2);
-  g.Register(3, 3);
-  g.AddDependency(1, 2);
-  g.MarkCommitted(1);
-  AbortReason reason;
-  ASSERT_TRUE(g.ValidateAndWait(2, &reason));
-  g.MarkCommitted(2);
+  DepRef t1 = g.Register(1, 1);
+  DepRef t2 = g.Register(2, 2);
+  DepRef t3 = g.Register(3, 3);
+  g.AddDependency(t1, t2);
+  g.MarkCommitted(t1);
+  // 2 is still active; 1 must be kept (its successor's fate is open).
   EXPECT_EQ(g.TrackedCount(), 3u);
-  size_t dropped = g.Prune();
-  EXPECT_EQ(dropped, 2u);  // 1 and 2 settled; 3 still active
+  AbortReason reason;
+  ASSERT_TRUE(g.ValidateAndWait(t2, &reason));
+  g.MarkCommitted(t2);
+  // 2 settled, which also settles 1; only the active 3 remains.
   EXPECT_EQ(g.TrackedCount(), 1u);
+  g.MarkCommitted(t3);
+  EXPECT_EQ(g.TrackedCount(), 0u);
 }
 
-TEST(DependencyGraphTest, PruneKeepsPredecessorsOfActive) {
+TEST(DependencyGraphTest, SlotReuseMakesStaleHandlesInert) {
   DependencyGraph g;
-  g.Register(1, 1);
-  g.Register(2, 2);
-  g.AddDependency(1, 2);
-  g.MarkCommitted(1);
-  // 2 is still active; 1 must be kept (2's commit wait consults it).
-  EXPECT_EQ(g.Prune(), 0u);
-  EXPECT_EQ(g.TrackedCount(), 2u);
+  DepRef a = g.Register(1, 1);
+  g.MarkCommitted(a);  // retires slot 0
+  DepRef b = g.Register(2, 2);
+  // Same dense slot, new generation.
+  EXPECT_NE(a.raw(), b.raw());
+  // Every operation through the stale handle is a no-op on the reused slot.
+  g.Doom(a);
+  EXPECT_FALSE(g.IsDoomed(a));
+  EXPECT_FALSE(g.IsDoomed(b));
+  g.AddDependency(a, b);
+  AbortReason reason;
+  EXPECT_TRUE(g.ValidateAndWait(b, &reason));  // no edge was recorded
+  g.MarkCommitted(b);
+  EXPECT_EQ(g.TrackedCount(), 0u);
+}
+
+// The acceptance invariant: the per-step poll paths (doom check, GC
+// watermark) perform ZERO mutex acquisitions — each is one atomic load
+// (plus a dense-slot scan for the watermark).
+TEST(DependencyGraphTest, DoomPollAndWatermarkAreMutexFree) {
+  DependencyGraph g;
+  DepRef t1 = g.Register(1, 1);
+  DepRef t2 = g.Register(2, 2);
+  g.AddDependency(t1, t2);
+  const uint64_t locks_before = DepGraphMutexAcquisitions().load();
+  uint64_t sink = 0;
+  for (int i = 0; i < 10000; ++i) {
+    sink += g.IsDoomed(t1) ? 1 : 0;
+    sink += g.IsDoomed(t2) ? 1 : 0;
+    sink += g.MinActiveCounter();
+    sink += g.TrackedCount();
+  }
+  EXPECT_EQ(DepGraphMutexAcquisitions().load(), locks_before)
+      << "a hot poll path acquired a DependencyGraph mutex";
+  EXPECT_NE(sink, 0u);  // keep the loop alive
+}
+
+// A conflict-free transaction's whole registry life cycle (register,
+// validate, commit, retire) costs a small constant number of mutex
+// acquisitions — independent of how many steps it executed.
+TEST(DependencyGraphTest, ConflictFreeLifecycleLocksAreConstant) {
+  DependencyGraph g;
+  const uint64_t before = DepGraphMutexAcquisitions().load();
+  constexpr int kTxns = 100;
+  constexpr int kStepsPerTxn = 200;
+  for (int i = 0; i < kTxns; ++i) {
+    DepRef t = g.Register(i + 1, i + 1);
+    for (int s = 0; s < kStepsPerTxn; ++s) {
+      ASSERT_FALSE(g.IsDoomed(t));  // per-step doom poll: lock-free
+    }
+    AbortReason reason;
+    ASSERT_TRUE(g.ValidateAndWait(t, &reason));
+    g.MarkCommitted(t);
+  }
+  const uint64_t per_txn = (DepGraphMutexAcquisitions().load() - before) / kTxns;
+  EXPECT_LE(per_txn, 8u) << "registry life cycle locks scale with steps";
 }
 
 }  // namespace

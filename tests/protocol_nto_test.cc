@@ -101,6 +101,36 @@ TEST(NtoProtocolTest, WithoutGcRememberedStepsGrow) {
   EXPECT_GE(cc::NtoController::RememberedEntries(objects), 500u);
 }
 
+// The registry acceptance invariant, end-to-end through the executor: a
+// steady-state conflict-free step performs ZERO mutex acquisitions in the
+// DependencyGraph — the per-step doom poll is one atomic load, and the GC
+// cadence poll is an atomic journal-length read.  Registry locking is a
+// small constant per TRANSACTION (register + commit + retire), asserted by
+// running transactions whose step count dwarfs that constant.
+TEST(NtoProtocolTest, RegistryStepPathIsMutexFree) {
+  ObjectBase base;
+  base.CreateObject("c", adt::MakeCounterSpec(0));
+  Executor exec(base, {.protocol = kP, .record = false});
+  constexpr int kSteps = 100;
+  exec.DefineMethod("c", "bump_many", [](MethodCtx& m) -> Value {
+    const adt::OpDescriptor* add = m.ResolveLocal("add");
+    for (int i = 0; i < kSteps; ++i) m.Local(*add, {1});
+    return Value();
+  });
+  MethodRef bump = exec.Resolve("c", "bump_many");
+  constexpr int kTxns = 20;
+  const uint64_t before = cc::DepGraphMutexAcquisitions().load();
+  for (int i = 0; i < kTxns; ++i) {
+    TxnResult r = exec.RunTransaction("t", [&](MethodCtx& txn) {
+      return txn.Invoke(bump);
+    });
+    ASSERT_TRUE(r.committed);
+  }
+  const uint64_t locks = cc::DepGraphMutexAcquisitions().load() - before;
+  EXPECT_LE(locks, kTxns * 8u)
+      << "registry locking scales with steps, not transactions";
+}
+
 TEST(NtoProtocolTest, SequentialSiblingsNeverSelfAbort) {
   // Rule 2 gives ◁-ordered messages increasing timestamps, so a purely
   // sequential nested transaction conflicts only in timestamp order with
