@@ -19,8 +19,8 @@ namespace {
 // A method that fails with the given probability (fault injection).
 void DefineFlakyMethod(rt::Executor& exec, const std::string& object,
                        double fail_rate, std::atomic<uint64_t>* invocations) {
-  exec.DefineMethod(object, "flaky_add", [fail_rate, invocations](
-                                             rt::MethodCtx& m) -> Value {
+  const bool defined = exec.DefineMethod(
+      object, "flaky_add", [fail_rate, invocations](rt::MethodCtx& m) -> Value {
     invocations->fetch_add(1);
     workload::SpinWork(3000);  // the work wasted when this child aborts
     m.Local("add", {1});
@@ -31,6 +31,7 @@ void DefineFlakyMethod(rt::Executor& exec, const std::string& object,
     }
     return Value();
   });
+  if (!defined) std::abort();  // bench setup bug: object must exist
 }
 
 }  // namespace

@@ -54,6 +54,7 @@ int main() {
             .Field("threads", threads)
             .Field("ns_per_op", m.Throughput() > 0 ? 1e9 / m.Throughput() : 0.0)
             .Field("throughput", m.Throughput())
+            .Field("seconds", m.seconds)
             .Field("abort_ratio", m.AbortRatio())
             .Field("p99_ms", m.latency_ns.Percentile(0.99) / 1e6)
             .Emit();
@@ -80,7 +81,8 @@ int main() {
   TablePrinter scaling({"protocol", "record", "threads", "tput/s",
                         "abort-ratio", "p99-ms"});
   for (rt::Protocol protocol :
-       {rt::Protocol::kN2pl, rt::Protocol::kNto, rt::Protocol::kCert}) {
+       {rt::Protocol::kGemstone, rt::Protocol::kN2pl, rt::Protocol::kNto,
+        rt::Protocol::kCert}) {
     for (bool record : {false, true}) {
       for (int threads : {1, 2, 4, 8, 16}) {
         workload::BankingParams p;
@@ -109,6 +111,7 @@ int main() {
             .Field("threads", threads)
             .Field("ns_per_op", m.Throughput() > 0 ? 1e9 / m.Throughput() : 0.0)
             .Field("throughput", m.Throughput())
+            .Field("seconds", m.seconds)
             .Field("abort_ratio", m.AbortRatio())
             .Field("p99_ms", m.latency_ns.Percentile(0.99) / 1e6)
             .Emit();
@@ -132,8 +135,8 @@ int main() {
   TablePrinter contention({"protocol", "threads", "tput/s", "abort-ratio",
                            "ts-reject", "validate", "cascade", "p99-ms"});
   for (rt::Protocol protocol :
-       {rt::Protocol::kN2pl, rt::Protocol::kNto, rt::Protocol::kCert,
-        rt::Protocol::kMixed}) {
+       {rt::Protocol::kGemstone, rt::Protocol::kN2pl, rt::Protocol::kNto,
+        rt::Protocol::kCert, rt::Protocol::kMixed}) {
     for (int threads : {1, 2, 4, 8, 16}) {
       workload::BankingParams p;
       p.accounts = 16;
@@ -165,6 +168,7 @@ int main() {
           .Field("accounts", 16)
           .Field("ns_per_op", m.Throughput() > 0 ? 1e9 / m.Throughput() : 0.0)
           .Field("throughput", m.Throughput())
+          .Field("seconds", m.seconds)
           .Field("abort_ratio", m.AbortRatio())
           .Field("p99_ms", m.latency_ns.Percentile(0.99) / 1e6)
           .Emit();
@@ -175,5 +179,58 @@ int main() {
               "retries as the hot\nkeys serialise; the non-blocking ones pay "
               "with rejections/validation aborts but\nkeep their step path "
               "lock-free in the registry.\n");
+
+  // --- E1d: GEMSTONE shared-read ablation ----------------------------------
+  //
+  // Read-heavy audit mix: with shared whole-object locks the baseline's
+  // audits run concurrently (the conventional read lock of the reduction);
+  // exclusive-only — the pre-overhaul behaviour — serialises them.  The
+  // gap is the price E1 comparisons would silently have charged GEMSTONE.
+  bench::Banner("E1d: GEMSTONE shared-read ablation",
+                "audit-heavy banking, whole-object shared reads on vs off "
+                "(honest E1 baseline)");
+  TablePrinter gem({"shared-reads", "threads", "tput/s", "abort-ratio",
+                    "deadlock", "p99-ms"});
+  for (bool shared_reads : {false, true}) {
+    for (int threads : {1, 2, 4, 8}) {
+      workload::BankingParams p;
+      p.accounts = 16;
+      p.branches = 4;
+      p.theta = 0.4;
+      p.audit_weight = 0.6;  // read-heavy: mostly balance scans
+      p.audit_scan = 6;
+      p.spin_per_op = 5000;  // methods long enough for lock-hold to matter
+      workload::WorkloadSpec spec = workload::MakeBankingSpec(p);
+      spec.threads = threads;
+      spec.txns_per_thread = 150 * scale;
+      spec.seed = 9000 + threads;
+      workload::RunMetrics m = bench::RunOnce(
+          [&](rt::ObjectBase& base) { workload::SetupBanking(base, p); },
+          spec,
+          rt::ExecutorOptions{.protocol = rt::Protocol::kGemstone,
+                              .granularity = cc::Granularity::kOperation,
+                              .record = false,
+                              .gemstone_shared_reads = shared_reads});
+      gem.AddRow({shared_reads ? "on" : "off",
+                  TablePrinter::Fmt(int64_t{threads}),
+                  TablePrinter::Fmt(m.Throughput(), 0),
+                  TablePrinter::Fmt(m.AbortRatio(), 3),
+                  TablePrinter::Fmt(m.deadlocks),
+                  TablePrinter::Fmt(m.latency_ns.Percentile(0.99) / 1e6, 2)});
+      bench::JsonLine("gemstone_shared")
+          .Field("shared_reads", shared_reads)
+          .Field("threads", threads)
+          .Field("ns_per_op", m.Throughput() > 0 ? 1e9 / m.Throughput() : 0.0)
+          .Field("throughput", m.Throughput())
+          .Field("seconds", m.seconds)
+          .Field("abort_ratio", m.AbortRatio())
+          .Field("p99_ms", m.latency_ns.Percentile(0.99) / 1e6)
+          .Emit();
+    }
+  }
+  gem.Print();
+  std::printf("Expected shape: shared reads let concurrent audits overlap, "
+              "so the on rows\nscale with threads while the off rows "
+              "serialise on the hot accounts.\n");
   return 0;
 }

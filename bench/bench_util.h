@@ -8,6 +8,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <utility>
 
 #include "bench/bench_json.h"
 #include "src/common/table_printer.h"
@@ -27,6 +28,17 @@ inline void Banner(const char* id, const char* claim) {
   std::printf("\n=== %s ===\n%s\n\n", id, claim);
 }
 
+/// Runs `spec` on a freshly set-up base under fully-specified options.
+template <typename SetupFn>
+workload::RunMetrics RunOnce(SetupFn&& setup,
+                             const workload::WorkloadSpec& spec,
+                             rt::ExecutorOptions options) {
+  rt::ObjectBase base;
+  setup(base);
+  rt::Executor exec(base, options);
+  return workload::RunWorkload(exec, spec);
+}
+
 /// Runs `spec` under `protocol`/`granularity` on a freshly set-up base.
 /// `record` turns the history recorder on (the thread-scaling sweep
 /// measures both modes; every other experiment row runs unrecorded).
@@ -35,13 +47,11 @@ workload::RunMetrics RunOnce(SetupFn&& setup, const workload::WorkloadSpec& spec
                              rt::Protocol protocol,
                              cc::Granularity granularity,
                              bool nto_gc = true, bool record = false) {
-  rt::ObjectBase base;
-  setup(base);
-  rt::Executor exec(base, {.protocol = protocol,
-                           .granularity = granularity,
-                           .record = record,
-                           .nto_gc = nto_gc});
-  return workload::RunWorkload(exec, spec);
+  return RunOnce(std::forward<SetupFn>(setup), spec,
+                 rt::ExecutorOptions{.protocol = protocol,
+                                     .granularity = granularity,
+                                     .record = record,
+                                     .nto_gc = nto_gc});
 }
 
 }  // namespace objectbase::bench

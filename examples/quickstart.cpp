@@ -32,13 +32,18 @@ int main() {
   // A registered method: a transfer as a method of the source account that
   // performs a local step and then messages other objects (Section 1's
   // nesting: methods invoke methods).
-  exec.DefineMethod("alice", "transfer_to", [](rt::MethodCtx& m) -> Value {
-    int64_t amount = m.args().at(0).AsInt();
-    if (!m.Local("withdraw", {amount}).AsBool()) return Value(false);
-    m.Invoke("bob", "deposit", {amount});
-    m.Invoke("audit", "add", {1});
-    return Value(true);
-  });
+  const bool defined =
+      exec.DefineMethod("alice", "transfer_to", [](rt::MethodCtx& m) -> Value {
+        int64_t amount = m.args().at(0).AsInt();
+        if (!m.Local("withdraw", {amount}).AsBool()) return Value(false);
+        m.Invoke("bob", "deposit", {amount});
+        m.Invoke("audit", "add", {1});
+        return Value(true);
+      });
+  if (!defined) {
+    std::fprintf(stderr, "DefineMethod failed: unknown object\n");
+    return 1;
+  }
 
   // Resolve once, execute many: an interned handle skips every name lookup
   // on the per-call path (see docs/runtime_pipeline.md).  The string form

@@ -4,8 +4,9 @@
 
 namespace objectbase::cc {
 
-GemstoneController::GemstoneController(rt::Recorder& recorder)
-    : recorder_(recorder) {}
+GemstoneController::GemstoneController(rt::Recorder& recorder,
+                                       bool shared_reads)
+    : recorder_(recorder), shared_reads_(shared_reads) {}
 
 void GemstoneController::OnTopBegin(rt::TxnNode&) {}
 
@@ -14,9 +15,14 @@ OpOutcome GemstoneController::ExecuteLocal(rt::TxnNode& txn, rt::Object& obj,
                                            const Args& args) {
   // The whole-object lock is owned by the TOP-LEVEL transaction directly
   // (the reduction flattens the nesting: the object is one data item and
-  // the user transaction reads/writes it).
+  // the user transaction reads/writes it).  Read-only operations are the
+  // reduction's reads: a shared lock; anything else writes: exclusive.
   LockManager::Request req;
-  req.exclusive = true;
+  if (shared_reads_ && op.read_only) {
+    req.shared = true;
+  } else {
+    req.exclusive = true;
+  }
   if (locks_.Acquire(*txn.top(), obj, std::move(req)) ==
       LockManager::Outcome::kDeadlock) {
     return OpOutcome::Abort(AbortReason::kDeadlock);

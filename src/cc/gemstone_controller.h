@@ -8,11 +8,18 @@
 // employed.  This approach ... is, for example, the approach taken in the
 // Gemstone project and product."
 //
-// Realisation: each top-level transaction takes an EXCLUSIVE whole-object
-// lock (held, strict-2PL style, until top-level completion) before touching
-// an object; applications are serialised per object, so at most one method
-// execution is active per object.  Deadlocks are detected on the waits-for
-// graph.  This is the baseline every experiment compares against (E1, E6).
+// Realisation: each top-level transaction takes a whole-object lock (held,
+// strict-2PL style, until top-level completion) before touching an object —
+// SHARED for a read-only operation, EXCLUSIVE otherwise, exactly the
+// read/write item locks a conventional database 2PL scheduler would take
+// under the reduction.  A transaction that read an object and later writes
+// it upgrades shared -> exclusive (waiting out the other shared holders;
+// mutual upgrades deadlock and one side is the victim).  Applications are
+// serialised per object, so at most one method execution mutates an object
+// at any time.  Deadlocks are detected on the waits-for graph.  This is
+// the baseline every experiment compares against (E1, E6) — shared read
+// locks keep it honest on read-heavy mixes (`shared_reads=false` restores
+// the old exclusive-only behaviour for the E1d ablation).
 #ifndef OBJECTBASE_CC_GEMSTONE_CONTROLLER_H_
 #define OBJECTBASE_CC_GEMSTONE_CONTROLLER_H_
 
@@ -27,7 +34,7 @@ namespace objectbase::cc {
 
 class GemstoneController : public Controller {
  public:
-  explicit GemstoneController(rt::Recorder& recorder);
+  explicit GemstoneController(rt::Recorder& recorder, bool shared_reads = true);
 
   const char* name() const override { return "GEMSTONE"; }
 
@@ -49,6 +56,7 @@ class GemstoneController : public Controller {
 
  private:
   rt::Recorder& recorder_;
+  const bool shared_reads_;  // read-only ops take shared whole-object locks
   LockManager locks_;
 };
 

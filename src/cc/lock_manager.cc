@@ -12,18 +12,60 @@ namespace objectbase::cc {
 
 uint64_t ThisThreadKey() { return common::DenseThreadSlot(); }
 
-LockManager::LockManager() = default;
-LockManager::~LockManager() = default;
+std::atomic<uint64_t>& LockTableMutexAcquisitions() {
+  static std::atomic<uint64_t> count{0};
+  return count;
+}
+
+std::atomic<uint64_t>& LockWaiterWakeups() {
+  static std::atomic<uint64_t> count{0};
+  return count;
+}
+
+std::atomic<uint64_t>& LockParkTimeouts() {
+  static std::atomic<uint64_t> count{0};
+  return count;
+}
+
+namespace {
+
+std::atomic<uint64_t> next_manager_id{1};
+
+inline void CpuRelax() {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield");
+#endif
+}
+
+// Bounded spin before parking (the spin-then-park discipline of the
+// openbsd-mtx-test parking mutex): long enough to catch a holder that is
+// already releasing, short enough to be noise when it is not.
+constexpr int kSpinIters = 96;
+
+}  // namespace
+
+LockManager::LockManager() : manager_id_(next_manager_id.fetch_add(1)) {}
+
+LockManager::~LockManager() {
+  for (auto& slot : chunks_) {
+    delete slot.load(std::memory_order_acquire);
+  }
+}
 
 namespace {
 
 // Does the held lock `entry` block the new request `req`?  The direction
 // matters (Definition 3 is order-sensitive): the holder's step happened
 // first, so the question is whether holder-then-requester fails to commute,
-// i.e. conflicts(held, requested).
+// i.e. conflicts(held, requested).  Whole-object modes: shared commutes
+// only with shared; exclusive and the shared-vs-operation pairs are
+// conservative conflicts.
 bool EntryBlocks(const adt::AdtSpec& spec, const LockManager::Request& held,
                  const LockManager::Request& req) {
   if (held.exclusive || req.exclusive) return true;
+  if (held.shared || req.shared) return !(held.shared && req.shared);
   if (held.ret.has_value() && req.ret.has_value()) {
     adt::StepView first{held.op->name, &held.args, &*held.ret, held.op->id};
     adt::StepView second{req.op->name, &req.args, &*req.ret, req.op->id};
@@ -48,16 +90,201 @@ bool BargesPastWaiter(const adt::AdtSpec& spec, rt::TxnNode& txn,
 
 }  // namespace
 
+// --- table registry (lock-free steady state) --------------------------------
+
 LockManager::ObjTable& LockManager::GetTable(uint32_t object_id) {
-  {
-    std::lock_guard<std::mutex> g(tables_mu_);
-    if (object_id >= tables_.size()) tables_.resize(object_id + 1);
-    if (tables_[object_id] == nullptr) {
-      tables_[object_id] = std::make_unique<ObjTable>();
+  const uint32_t chunk_idx = object_id >> kChunkShift;
+  if (chunk_idx >= kMaxChunks) {
+    // Past the chunked range: overflow map.  One mutex hit per first touch
+    // of the (manager, object) pair — the caller caches the pointer on the
+    // object, so the steady path stays O(1) here too.
+    LockTableMutexAcquisitions().fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> g(chunk_alloc_mu_);
+    return overflow_tables_[object_id];  // std::map: stable addresses
+  }
+  Chunk* chunk = chunks_[chunk_idx].load(std::memory_order_acquire);
+  if (chunk == nullptr) {
+    LockTableMutexAcquisitions().fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> g(chunk_alloc_mu_);
+    chunk = chunks_[chunk_idx].load(std::memory_order_relaxed);
+    if (chunk == nullptr) {
+      chunk = new Chunk();
+      chunks_[chunk_idx].store(chunk, std::memory_order_release);
     }
-    return *tables_[object_id];
+    uint32_t limit = (chunk_idx + 1) << kChunkShift;
+    uint32_t seen = table_limit_.load(std::memory_order_relaxed);
+    while (seen < limit &&
+           !table_limit_.compare_exchange_weak(seen, limit,
+                                               std::memory_order_relaxed)) {
+    }
+  }
+  return chunk->tables[object_id & (kChunkSize - 1)];
+}
+
+LockManager::ObjTable* LockManager::FindTable(uint32_t object_id) const {
+  const uint32_t chunk_idx = object_id >> kChunkShift;
+  if (chunk_idx >= kMaxChunks) {
+    std::lock_guard<std::mutex> g(chunk_alloc_mu_);
+    auto it = overflow_tables_.find(object_id);
+    return it == overflow_tables_.end() ? nullptr : &it->second;
+  }
+  Chunk* chunk = chunks_[chunk_idx].load(std::memory_order_acquire);
+  if (chunk == nullptr) return nullptr;
+  return &chunk->tables[object_id & (kChunkSize - 1)];
+}
+
+LockManager::ObjTable& LockManager::TableFor(rt::Object& obj) {
+  if (void* cached = obj.CachedLockTable(manager_id_)) {
+    return *static_cast<ObjTable*>(cached);
+  }
+  ObjTable& table = GetTable(obj.id());
+  obj.CacheLockTable(manager_id_, &table);
+  return table;
+}
+
+// --- grant bitmask machinery ------------------------------------------------
+
+void LockManager::EnsureTableInitLocked(ObjTable& table,
+                                        const adt::AdtSpec& spec) {
+  if (table.spec != nullptr) return;
+  table.spec = &spec;
+  const size_t n = spec.NumOps();
+  table.mask_usable = n <= 64;
+  if (!table.mask_usable) return;
+  table.req_conflict_mask.assign(n, 0);
+  table.op_held_count.assign(n, 0);
+  for (adt::OpId req = 0; req < n; ++req) {
+    uint64_t mask = 0;
+    for (adt::OpId held = 0; held < n; ++held) {
+      if (spec.OpConflictsById(held, req)) mask |= uint64_t{1} << held;
+    }
+    table.req_conflict_mask[req] = mask;
   }
 }
+
+void LockManager::NoteEntryAddedLocked(ObjTable& table, const Request& req) {
+  if (req.exclusive) {
+    ++table.whole_excl;
+  } else if (req.shared) {
+    ++table.whole_shared;
+  } else if (table.mask_usable) {
+    if (++table.op_held_count[req.op->id] == 1) {
+      table.held_mask |= uint64_t{1} << req.op->id;
+    }
+  }
+}
+
+void LockManager::NoteEntryRemovedLocked(ObjTable& table, const Request& req) {
+  if (req.exclusive) {
+    --table.whole_excl;
+  } else if (req.shared) {
+    --table.whole_shared;
+  } else if (table.mask_usable) {
+    if (--table.op_held_count[req.op->id] == 0) {
+      table.held_mask &= ~(uint64_t{1} << req.op->id);
+    }
+  }
+}
+
+bool LockManager::FastGrantableLocked(const ObjTable& table,
+                                      const Request& req) {
+  // Mask info unavailable (oversized spec), or waiters present (fairness
+  // needs the full analysis): take the slow path.
+  if (!table.mask_usable || !table.waiters.empty()) return false;
+  if (req.exclusive) {
+    return table.entries.empty();
+  }
+  if (req.shared) {
+    return table.whole_excl == 0 && table.held_mask == 0;
+  }
+  if (table.whole_excl + table.whole_shared != 0) return false;
+  return (table.held_mask & table.req_conflict_mask[req.op->id]) == 0;
+}
+
+bool LockManager::WaiterMayProceedLocked(const ObjTable& table,
+                                         const Waiter& w) {
+  const Request& req = *w.req;
+  // Masked screen first: when nothing held can conflict even at class
+  // level, the waiter is certainly eligible — one mask test, no scan.
+  if (table.mask_usable) {
+    const bool whole_free = table.whole_excl + table.whole_shared == 0;
+    if (req.exclusive || req.shared) {
+      if (table.held_mask == 0 &&
+          (whole_free || (req.shared && table.whole_excl == 0))) {
+        return true;
+      }
+    } else if (whole_free && (table.held_mask & w.wake_mask) == 0) {
+      return true;
+    }
+  }
+  // Precise fallback: scan the (short) entry list with the rule-2 ancestor
+  // exemption and step-level conflict precision — the class mask cannot
+  // see either, and both can leave a waiter's real blocker set empty while
+  // its mask bit stays lit (an ancestor's same-class entry; a held step
+  // that class-conflicts but step-commutes).  Without this the waiter
+  // would ride the 250 ms safety net.  Fairness blockers are deliberately
+  // ignored here: a fairness-only waiter revalidates and re-parks.
+  if (table.spec == nullptr) return true;
+  for (const Entry& e : table.entries) {
+    if (w.txn->HasAncestorOrSelf(e.owner)) continue;
+    if (EntryBlocks(*table.spec, e.req, req)) return false;
+  }
+  return true;
+}
+
+// --- parking ---------------------------------------------------------------
+
+void LockManager::SignalWaiter(Waiter& w) {
+  LockWaiterWakeups().fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> g(w.park_mu);
+    w.signal.store(1, std::memory_order_release);
+  }
+  w.park_cv.notify_one();
+}
+
+void LockManager::ParkWaiter(Waiter& w) {
+  for (int i = 0; i < kSpinIters; ++i) {
+    if (w.signal.load(std::memory_order_acquire) != 0) return;
+    CpuRelax();
+  }
+  std::unique_lock<std::mutex> g(w.park_mu);
+  // The 250 ms timeout is a safety net only (e.g. against a wake-rule gap),
+  // not a polling interval: every mutation that can unblock this request
+  // signals it directly.
+  if (!w.park_cv.wait_for(g, std::chrono::milliseconds(250), [&] {
+        return w.signal.load(std::memory_order_acquire) != 0;
+      })) {
+    LockParkTimeouts().fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void LockManager::WakeWaitersLocked(ObjTable& table, bool wake_all,
+                                    rt::TxnNode* new_owner) {
+  for (Waiter* w : table.waiters) {
+    if (w->signal.load(std::memory_order_relaxed) != 0) continue;
+    bool wake = wake_all;
+    if (!wake && new_owner != nullptr) {
+      // A fresh grant can only HELP a waiter whose fairness exemption it
+      // flips (the new entry's owner is its ancestor); for everyone else a
+      // new entry only adds blockers.
+      wake = w->txn->HasAncestorOrSelf(new_owner);
+    }
+    if (!wake) wake = WaiterMayProceedLocked(table, *w);
+    if (wake) SignalWaiter(*w);
+  }
+}
+
+void LockManager::UnregisterWaiterLocked(ObjTable& table, const Waiter& w) {
+  for (auto it = table.waiters.begin(); it != table.waiters.end(); ++it) {
+    if (*it == &w) {
+      table.waiters.erase(it);
+      return;
+    }
+  }
+}
+
+// --- admission --------------------------------------------------------------
 
 bool LockManager::HoldsHereLocked(const ObjTable& table, rt::TxnNode& txn) {
   for (const Entry& e : table.entries) {
@@ -66,14 +293,24 @@ bool LockManager::HoldsHereLocked(const ObjTable& table, rt::TxnNode& txn) {
   return false;
 }
 
+bool LockManager::MayAlreadyHoldLocked(const ObjTable& table,
+                                       const Request& req) {
+  if (req.ret.has_value()) return false;  // step locks are never deduped
+  if (req.exclusive) return table.whole_excl != 0;
+  if (req.shared) return table.whole_shared != 0;
+  if (!table.mask_usable) return !table.entries.empty();
+  return (table.held_mask >> req.op->id) & 1;
+}
+
 bool LockManager::AlreadyHeldLocked(const ObjTable& table, rt::TxnNode& txn,
                                     const Request& req) {
   for (const Entry& e : table.entries) {
     // Descriptor pointers are per-spec singletons, so identical-op tests
     // are pointer comparisons.
     if (e.owner == &txn && e.req.exclusive == req.exclusive &&
-        e.req.op == req.op && !e.req.ret.has_value() &&
-        !req.ret.has_value() && e.req.args == req.args) {
+        e.req.shared == req.shared && e.req.op == req.op &&
+        !e.req.ret.has_value() && !req.ret.has_value() &&
+        e.req.args == req.args) {
       return true;
     }
   }
@@ -100,136 +337,123 @@ std::vector<uint64_t> LockManager::BlockersLocked(const ObjTable& table,
   // that very holder would be a deadlock by construction (lock convoys);
   // letting it finish is what unblocks the waiter.
   if (!table.waiters.empty() && !HoldsHereLocked(table, txn)) {
-    for (const Waiter& w : table.waiters) {
-      if (w.seq >= my_wait_seq) continue;
-      if (BargesPastWaiter(obj.spec(), txn, req, w.txn, *w.req)) {
-        blockers.push_back(w.txn->uid());
+    for (const Waiter* w : table.waiters) {
+      if (w->seq >= my_wait_seq) continue;
+      if (BargesPastWaiter(obj.spec(), txn, req, w->txn, *w->req)) {
+        blockers.push_back(w->txn->uid());
       }
     }
   }
   return blockers;
 }
 
-LockManager::Outcome LockManager::Acquire(rt::TxnNode& txn, rt::Object& obj,
-                                          Request req) {
+LockManager::Outcome LockManager::WaitForGrantLocked(
+    ObjTable& table, std::unique_lock<std::mutex>& g, rt::TxnNode& txn,
+    rt::Object& obj, const Request& req, bool register_immediately) {
   const uint64_t thread_key = ThisThreadKey();
-  ObjTable& table = GetTable(obj.id());
-  std::unique_lock<std::mutex> g(table.mu);
-  if (AlreadyHeldLocked(table, txn, req)) return Outcome::kGranted;
-  uint64_t my_seq = UINT64_MAX;  // not a registered waiter yet
-  auto unregister = [&]() {
-    if (my_seq == UINT64_MAX) return;
-    for (auto it = table.waiters.begin(); it != table.waiters.end(); ++it) {
-      if (it->seq == my_seq) {
-        table.waiters.erase(it);
-        break;
-      }
-    }
-    ++table.version;
-    table.cv.notify_all();  // waiters behind us may now proceed
+  Waiter waiter;
+  waiter.txn = &txn;
+  waiter.req = &req;
+  bool registered = false;
+  auto register_waiter = [&] {
+    waiter.seq = table.next_wait_seq++;
+    waiter.wake_mask = (table.mask_usable && req.op != nullptr)
+                           ? table.req_conflict_mask[req.op->id]
+                           : 0;
+    table.waiters.push_back(&waiter);
+    registered = true;
   };
+  if (register_immediately) register_waiter();
   for (;;) {
-    // The version is captured while mu is held, so any table mutation
-    // between the blocker computation and the wait below bumps it and the
-    // wait returns immediately — no release can be missed.
-    const uint64_t seen = table.version;
-    std::vector<uint64_t> blockers =
-        BlockersLocked(table, txn, obj, req, my_seq);
+    std::vector<uint64_t> blockers = BlockersLocked(
+        table, txn, obj, req, registered ? waiter.seq : UINT64_MAX);
     if (blockers.empty()) {
-      unregister();
-      table.entries.push_back(Entry{&txn, std::move(req)});
-      // A new entry can unblock a waiter too: it may flip the requester's
-      // HoldsHereLocked fairness exemption, so it counts as a mutation.
-      ++table.version;
-      table.cv.notify_all();
-      txn.NoteLockedObject(obj.id());
+      if (registered) UnregisterWaiterLocked(table, waiter);
       return Outcome::kGranted;
     }
-    if (my_seq == UINT64_MAX) {
-      my_seq = table.next_wait_seq++;
-      table.waiters.push_back(Waiter{my_seq, &txn, &req});
-    }
+    if (!registered) register_waiter();
     if (wfg_.SetWaitingWouldDeadlock(thread_key, blockers)) {
-      unregister();
+      UnregisterWaiterLocked(table, waiter);
+      // Our departure may unblock waiters queued behind us.
+      WakeWaitersLocked(table, /*wake_all=*/false, nullptr);
       return Outcome::kDeadlock;
     }
-    // Notification-driven: woken the moment a release/inheritance/waiter
-    // departure bumps the version.  The long timeout is a safety net only,
-    // not a polling interval.
-    table.cv.wait_for(g, std::chrono::milliseconds(250),
-                      [&] { return table.version != seen; });
+    waiter.signal.store(0, std::memory_order_relaxed);
+    g.unlock();
+    ParkWaiter(waiter);
+    g.lock();
     wfg_.ClearWaiting(thread_key);
   }
+}
+
+LockManager::Outcome LockManager::Acquire(rt::TxnNode& txn, rt::Object& obj,
+                                          Request req) {
+  ObjTable& table = TableFor(obj);
+  std::unique_lock<std::mutex> g(table.mu);
+  EnsureTableInitLocked(table, obj.spec());
+  if (MayAlreadyHoldLocked(table, req) && AlreadyHeldLocked(table, txn, req)) {
+    return Outcome::kGranted;
+  }
+  if (!FastGrantableLocked(table, req)) {
+    if (WaitForGrantLocked(table, g, txn, obj, req,
+                           /*register_immediately=*/false) ==
+        Outcome::kDeadlock) {
+      return Outcome::kDeadlock;
+    }
+  }
+  // Grant: insert the entry.  On the fast path there is nobody to wake; on
+  // the waited path the grant is itself a mutation later waiters may care
+  // about — our departure shortened the fairness queue, and the new entry
+  // can flip a descendant waiter's fairness exemption.
+  NoteEntryAddedLocked(table, req);
+  rt::TxnNode* owner = &txn;
+  table.entries.push_back(Entry{owner, std::move(req)});
+  if (!table.waiters.empty()) {
+    WakeWaitersLocked(table, /*wake_all=*/false, owner);
+  }
+  txn.NoteLockedObject(obj.id());
+  return Outcome::kGranted;
 }
 
 LockManager::TryOutcome LockManager::TryAcquire(rt::TxnNode& txn,
                                                 rt::Object& obj,
                                                 const Request& req) {
-  ObjTable& table = GetTable(obj.id());
+  ObjTable& table = TableFor(obj);
   std::lock_guard<std::mutex> g(table.mu);
-  std::vector<uint64_t> blockers =
-      BlockersLocked(table, txn, obj, req, UINT64_MAX);
-  if (blockers.empty()) {
-    table.entries.push_back(Entry{&txn, req});
-    ++table.version;
-    table.cv.notify_all();
-    txn.NoteLockedObject(obj.id());
-    return TryOutcome::kGranted;
+  EnsureTableInitLocked(table, obj.spec());
+  bool granted = FastGrantableLocked(table, req);
+  if (!granted) {
+    granted = BlockersLocked(table, txn, obj, req, UINT64_MAX).empty();
   }
-  return TryOutcome::kWouldBlock;
+  if (!granted) return TryOutcome::kWouldBlock;
+  NoteEntryAddedLocked(table, req);
+  table.entries.push_back(Entry{&txn, req});
+  if (!table.waiters.empty()) {
+    WakeWaitersLocked(table, /*wake_all=*/false, &txn);
+  }
+  txn.NoteLockedObject(obj.id());
+  return TryOutcome::kGranted;
 }
 
 LockManager::Outcome LockManager::WaitWhileBlocked(rt::TxnNode& txn,
                                                    rt::Object& obj,
                                                    const Request& req) {
-  const uint64_t thread_key = ThisThreadKey();
-  ObjTable& table = GetTable(obj.id());
+  ObjTable& table = TableFor(obj);
   std::unique_lock<std::mutex> g(table.mu);
-  uint64_t my_seq = table.next_wait_seq++;
-  table.waiters.push_back(Waiter{my_seq, &txn, &req});
-  auto unregister = [&]() {
-    for (auto it = table.waiters.begin(); it != table.waiters.end(); ++it) {
-      if (it->seq == my_seq) {
-        table.waiters.erase(it);
-        break;
-      }
-    }
-    ++table.version;
-    table.cv.notify_all();
-  };
-  for (;;) {
-    const uint64_t seen = table.version;
-    std::vector<uint64_t> blockers =
-        BlockersLocked(table, txn, obj, req, my_seq);
-    if (blockers.empty()) {
-      unregister();
-      return Outcome::kGranted;
-    }
-    if (wfg_.SetWaitingWouldDeadlock(thread_key, blockers)) {
-      unregister();
-      return Outcome::kDeadlock;
-    }
-    table.cv.wait_for(g, std::chrono::milliseconds(250),
-                      [&] { return table.version != seen; });
-    wfg_.ClearWaiting(thread_key);
+  EnsureTableInitLocked(table, obj.spec());
+  // Registered before the first blocker computation so the provisional-
+  // execution retry keeps its fairness position across TryAcquire rounds.
+  Outcome outcome = WaitForGrantLocked(table, g, txn, obj, req,
+                                       /*register_immediately=*/true);
+  if (outcome == Outcome::kGranted) {
+    // No entry is inserted (the caller re-runs TryAcquire); our departure
+    // may still unblock waiters queued behind us.
+    WakeWaitersLocked(table, /*wake_all=*/false, nullptr);
   }
+  return outcome;
 }
 
-void LockManager::ForEachTable(const std::function<void(ObjTable&)>& fn) {
-  size_t n;
-  {
-    std::lock_guard<std::mutex> g(tables_mu_);
-    n = tables_.size();
-  }
-  for (size_t i = 0; i < n; ++i) {
-    ObjTable* table;
-    {
-      std::lock_guard<std::mutex> g(tables_mu_);
-      table = tables_[i].get();
-    }
-    if (table != nullptr) fn(*table);
-  }
-}
+// --- inheritance / release --------------------------------------------------
 
 void LockManager::TransferToParent(rt::TxnNode& child) {
   rt::TxnNode* parent = child.parent();
@@ -238,18 +462,22 @@ void LockManager::TransferToParent(rt::TxnNode& child) {
   // 5's inheritance); the set then belongs to the parent.
   std::vector<uint32_t> touched = child.TakeLockedObjects();
   for (uint32_t obj_id : touched) {
-    ObjTable& table = GetTable(obj_id);
-    std::lock_guard<std::mutex> g(table.mu);
+    ObjTable* table = FindTable(obj_id);
+    if (table == nullptr) continue;
+    std::lock_guard<std::mutex> g(table->mu);
     bool changed = false;
-    for (Entry& e : table.entries) {
+    for (Entry& e : table->entries) {
       if (e.owner == &child) {
         e.owner = parent;
         changed = true;
       }
     }
+    // Ownership moved without the masks changing, so the mask-based wake
+    // filter cannot see which waiters gained an ancestor exemption: wake
+    // every parked request on this table (child commits are rare relative
+    // to steps, and only the table's own waiters are touched).
     if (changed) {
-      ++table.version;
-      table.cv.notify_all();
+      WakeWaitersLocked(*table, /*wake_all=*/true, nullptr);
     }
   }
   parent->MergeLockedObjects(touched);
@@ -266,29 +494,45 @@ void LockManager::ReleaseSubtree(rt::TxnNode& root) {
   std::vector<uint32_t> touched;
   CollectLockedObjects(root, touched);
   for (uint32_t obj_id : touched) {
-    ObjTable& table = GetTable(obj_id);
-    std::lock_guard<std::mutex> g(table.mu);
-    size_t before = table.entries.size();
-    for (auto it = table.entries.begin(); it != table.entries.end();) {
+    ObjTable* table = FindTable(obj_id);
+    if (table == nullptr) continue;
+    std::lock_guard<std::mutex> g(table->mu);
+    bool removed = false;
+    for (auto it = table->entries.begin(); it != table->entries.end();) {
       if (it->owner->HasAncestorOrSelf(&root)) {
-        it = table.entries.erase(it);
+        NoteEntryRemovedLocked(*table, it->req);
+        it = table->entries.erase(it);
+        removed = true;
       } else {
         ++it;
       }
     }
-    if (table.entries.size() != before) {
-      ++table.version;
-      table.cv.notify_all();
+    // Targeted wakeup: only requests whose conflict mask actually cleared
+    // are signalled — commuting waiters (and waiters still blocked by other
+    // holders) keep sleeping.
+    if (removed && !table->waiters.empty()) {
+      WakeWaitersLocked(*table, /*wake_all=*/false, nullptr);
     }
   }
 }
 
 size_t LockManager::LockCount() {
   size_t n = 0;
-  ForEachTable([&](ObjTable& table) {
-    std::lock_guard<std::mutex> g(table.mu);
-    n += table.entries.size();
-  });
+  const uint32_t limit = table_limit_.load(std::memory_order_acquire);
+  for (uint32_t id = 0; id < limit; ++id) {
+    ObjTable* table = FindTable(id);
+    if (table == nullptr) {
+      id |= kChunkSize - 1;  // whole chunk absent: skip it
+      continue;
+    }
+    std::lock_guard<std::mutex> g(table->mu);
+    n += table->entries.size();
+  }
+  std::lock_guard<std::mutex> g(chunk_alloc_mu_);
+  for (auto& kv : overflow_tables_) {
+    std::lock_guard<std::mutex> tg(kv.second.mu);
+    n += kv.second.entries.size();
+  }
   return n;
 }
 

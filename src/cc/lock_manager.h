@@ -16,14 +16,28 @@
 //
 // Lock modes: a lock is identified by the step (or operation class) it
 // protects; two locks conflict iff the steps do (Definition 3 through the
-// object's spec).  `exclusive` entries implement the Gemstone baseline's
-// whole-object locks.
+// object's spec).  `exclusive`/`shared` entries implement the Gemstone
+// baseline's whole-object locks (shared for read-only methods — the
+// conventional read lock of the object-as-data-item reduction).
+//
+// Hot-path structure (see docs/lock_manager.md):
+//   * tables live in lock-free chunked storage and each rt::Object caches
+//     its table pointer at first touch, so the steady-state Acquire never
+//     takes a global registry lock (LockTableMutexAcquisitions pins this);
+//   * each table keeps a dense per-op-class grant bitmask, so the common
+//     no-conflict grant is one mask test instead of a per-owner scan;
+//   * blocked requests spin briefly, then PARK on a per-request waiter
+//     (adapting the parking-mutex design of openbsd-mtx-test); releases
+//     wake only the requests whose conflict mask actually cleared — there
+//     is no per-table broadcast.
 #ifndef OBJECTBASE_CC_LOCK_MANAGER_H_
 #define OBJECTBASE_CC_LOCK_MANAGER_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -40,6 +54,22 @@ class TxnNode;
 
 namespace objectbase::cc {
 
+/// Process-wide count of global lock-table-registry mutex acquisitions
+/// (all LockManager instances).  Instrumentation for the acceptance
+/// invariant: steady-state Acquire on an already-cached object must not
+/// move it — only the first touch of a fresh table chunk does.
+std::atomic<uint64_t>& LockTableMutexAcquisitions();
+
+/// Process-wide count of waiter wake signals issued (all instances).  An
+/// uncontended grant must not move it — there is no waiter herd to poke.
+std::atomic<uint64_t>& LockWaiterWakeups();
+
+/// Process-wide count of parks that expired on the 250 ms safety-net
+/// timeout instead of a signal.  Diagnostic: a non-trivial rate means a
+/// targeted-wake rule is missing a case (tests pin it at zero for the
+/// covered scenarios).
+std::atomic<uint64_t>& LockParkTimeouts();
+
 class LockManager {
  public:
   LockManager();
@@ -48,19 +78,26 @@ class LockManager {
   enum class Outcome { kGranted, kDeadlock };
 
   /// A lock request; `ret` present means step granularity.  `op` is the
-  /// resolved descriptor (nullptr for exclusive whole-object locks), so
-  /// conflict tests against held locks are dense-id probes — no strings
-  /// are copied into or compared inside the lock table.
+  /// resolved descriptor (nullptr for whole-object locks), so conflict
+  /// tests against held locks are dense-id probes — no strings are copied
+  /// into or compared inside the lock table.  `exclusive`/`shared` are the
+  /// Gemstone whole-object modes: shared commutes only with shared,
+  /// exclusive with nothing; both conservatively conflict with every
+  /// operation-class lock.
   struct Request {
     const adt::OpDescriptor* op = nullptr;
     Args args;
     std::optional<Value> ret;
     bool exclusive = false;
+    bool shared = false;
   };
 
   /// Blocking acquire obeying rule 2.  Returns kDeadlock when blocking
   /// would close a waits-for cycle (the requester is the victim).
-  /// Reentrant by construction: locks owned by ancestors never block.
+  /// Reentrant by construction: locks owned by ancestors never block —
+  /// which also makes shared->exclusive upgrades "wait for the other
+  /// holders" (the requester's own shared entry never blocks it; mutual
+  /// upgrades close a waits-for cycle and one side aborts).
   Outcome Acquire(rt::TxnNode& txn, rt::Object& obj, Request req);
 
   /// Non-blocking variant for the provisional-execution loop: returns
@@ -97,33 +134,113 @@ class LockManager {
   };
 
   // A registered waiting request (for fairness: later conflicting
-  // acquisitions queue behind it instead of barging).
+  // acquisitions queue behind it instead of barging).  Lives on the
+  // waiting call's stack; the table's waiter list holds pointers.  Wakers
+  // signal it individually — spin-then-park, never a table-wide broadcast.
   struct Waiter {
-    uint64_t seq;
-    rt::TxnNode* txn;
-    const Request* req;  // owned by the waiting call's stack frame
+    uint64_t seq = 0;
+    rt::TxnNode* txn = nullptr;
+    const Request* req = nullptr;  // owned by the waiting call's stack frame
+    uint64_t wake_mask = 0;  // held-op-class bits that block this request
+    std::atomic<uint32_t> signal{0};  // 0 = parked/spinning, 1 = wake hint
+    std::mutex park_mu;
+    std::condition_variable park_cv;
   };
 
   // Per-object lock table: the hot path contends only on the object it
-  // touches.
-  //
-  // `version` is a generation counter bumped (under mu) by every mutation
-  // that could unblock a waiter — lock release, grant (it can flip a
-  // waiter's HoldsHereLocked fairness exemption), inheritance to a parent,
-  // waiter departure.  Blocked acquirers sleep on cv until the version
-  // moves, so wakeups are notification-driven rather than quantised to a
-  // polling interval.
+  // touches.  The grant-mask fields cache, per operation class, whether
+  // any held entry could conflict with a new request of that class — the
+  // no-conflict grant and the targeted waiter wakeup both test one mask
+  // instead of scanning entries.  Masks cover specs with <= 64 operations
+  // (all of ours); larger specs fall back to the entry scan.
   struct ObjTable {
     std::mutex mu;
-    std::condition_variable cv;
     std::vector<Entry> entries;
-    std::vector<Waiter> waiters;
+    std::vector<Waiter*> waiters;
     uint64_t next_wait_seq = 0;
-    uint64_t version = 0;
+    // --- grant bitmask machinery (guarded by mu) ---
+    const adt::AdtSpec* spec = nullptr;  // set at first acquire
+    bool mask_usable = false;            // NumOps <= 64
+    uint64_t held_mask = 0;       // op-class bits with >= 1 held entry
+    uint32_t whole_shared = 0;    // count of shared whole-object entries
+    uint32_t whole_excl = 0;      // count of exclusive whole-object entries
+    std::vector<uint64_t> req_conflict_mask;  // [op id] -> blocking held bits
+    std::vector<uint32_t> op_held_count;      // [op id] -> held entries
   };
 
+  // Tables live in fixed-size chunks behind atomic pointers (the DepRef
+  // pattern): readers index without coordinating with growth, and the
+  // global mutex is only ever taken to allocate a chunk.  Object ids past
+  // the chunked range (262144) spill into a mutex-guarded overflow map —
+  // still O(1) on the steady path, because the resolved table pointer is
+  // cached on the rt::Object either way.
+  static constexpr uint32_t kChunkShift = 6;
+  static constexpr uint32_t kChunkSize = 1u << kChunkShift;  // 64 tables
+  static constexpr uint32_t kMaxChunks = 4096;               // 262144 objects
+  struct Chunk {
+    ObjTable tables[kChunkSize];
+  };
+
+  /// The object's table via its cached handle (steady state: one list
+  /// probe, no registry access); resolves and caches on first touch.
+  ObjTable& TableFor(rt::Object& obj);
+  /// Chunked-registry lookup by id, allocating the chunk if needed.
   ObjTable& GetTable(uint32_t object_id);
-  void ForEachTable(const std::function<void(ObjTable&)>& fn);
+  /// Lookup without allocation (release/transfer paths); nullptr if the
+  /// chunk was never touched.
+  ObjTable* FindTable(uint32_t object_id) const;
+
+  /// One-time per-table setup: binds the spec and precomputes the
+  /// request-conflict masks.  Requires table.mu held.
+  static void EnsureTableInitLocked(ObjTable& table, const adt::AdtSpec& spec);
+
+  /// Grant/held bookkeeping around entry insertion/removal.  Require mu.
+  static void NoteEntryAddedLocked(ObjTable& table, const Request& req);
+  static void NoteEntryRemovedLocked(ObjTable& table, const Request& req);
+
+  /// The no-conflict fast path: grantable by mask test alone (no waiters,
+  /// no potentially-conflicting held class).  Requires table.mu held.
+  static bool FastGrantableLocked(const ObjTable& table, const Request& req);
+
+  /// Wakes parked waiters after a table mutation.  `wake_all` for
+  /// ancestry-changing events (inheritance), otherwise each waiter is
+  /// signalled only if its conflict mask cleared — or if `new_owner` (a
+  /// just-granted entry's owner) is its ancestor, which flips its fairness
+  /// exemption.  Requires table.mu held.
+  void WakeWaitersLocked(ObjTable& table, bool wake_all,
+                         rt::TxnNode* new_owner);
+
+  /// Conservative per-waiter test: could the waiter's blocker set be empty
+  /// now?  Mask test for op-class requests; whole-object requests scan the
+  /// (short) entry list with the rule-2 ancestor exemption so upgrades are
+  /// woken too.  Requires table.mu held.
+  static bool WaiterMayProceedLocked(const ObjTable& table, const Waiter& w);
+
+  /// Removes `w` from the waiter list (no wake — call sites follow up with
+  /// WakeWaitersLocked for the departure event).  Requires table.mu held.
+  static void UnregisterWaiterLocked(ObjTable& table, const Waiter& w);
+
+  /// The shared blocked-wait loop of Acquire and WaitWhileBlocked:
+  /// revalidate blockers, run deadlock detection, park, repeat.  Enters
+  /// and exits with `g` (over table.mu) held; the waiter is unregistered
+  /// on both outcomes.  On kGranted nothing has been inserted or woken —
+  /// the caller inserts its entry (Acquire) or not (WaitWhileBlocked) and
+  /// runs the departure/grant wake scan.  On kDeadlock the departure wake
+  /// has already run.  `register_immediately` preserves WaitWhileBlocked's
+  /// fairness seq (registered before the first blocker computation).
+  Outcome WaitForGrantLocked(ObjTable& table,
+                             std::unique_lock<std::mutex>& g,
+                             rt::TxnNode& txn, rt::Object& obj,
+                             const Request& req, bool register_immediately);
+
+  /// Signals one parked waiter (sets the flag under its park mutex so the
+  /// wake cannot slip between the predicate check and the wait).
+  static void SignalWaiter(Waiter& w);
+
+  /// Spin briefly on the signal flag, then park on the per-waiter condvar
+  /// (250 ms safety-net timeout — wakeups are edge-triggered hints, the
+  /// woken request always revalidates under the table mutex).
+  static void ParkWaiter(Waiter& w);
 
   // Returns owners of entries conflicting with `req` that are not ancestors
   // of `txn`, plus earlier conflicting waiters (fairness).  `my_wait_seq`
@@ -141,13 +258,23 @@ class LockManager {
   static bool HoldsHereLocked(const ObjTable& table, rt::TxnNode& txn);
 
   // True if `txn` itself already holds an identical operation-granularity
-  // (or exclusive) lock on the object; avoids table bloat on re-acquires.
-  // Requires table.mu held.
+  // (or whole-object) lock on the object; avoids table bloat on
+  // re-acquires.  Requires table.mu held.
   static bool AlreadyHeldLocked(const ObjTable& table, rt::TxnNode& txn,
                                 const Request& req);
 
-  std::mutex tables_mu_;  // guards the vector, not the tables
-  std::vector<std::unique_ptr<ObjTable>> tables_;  // indexed by object id
+  // True when a re-acquire of `req`'s class is possible at all (its class
+  // bit / mode count is non-zero) — gates the AlreadyHeldLocked scan so
+  // first acquisitions skip it.  Requires table.mu held.
+  static bool MayAlreadyHoldLocked(const ObjTable& table, const Request& req);
+
+  const uint64_t manager_id_;  // process-unique, never recycled
+  mutable std::atomic<Chunk*> chunks_[kMaxChunks] = {};
+  std::atomic<uint32_t> table_limit_{0};  // high-water object id bound
+  mutable std::mutex chunk_alloc_mu_;  // allocation only — never steady-state
+  // Tables for object ids >= kMaxChunks * kChunkSize (guarded by
+  // chunk_alloc_mu_; node-based, so table addresses are stable).
+  mutable std::map<uint32_t, ObjTable> overflow_tables_;
   WaitsForGraph wfg_;
 };
 

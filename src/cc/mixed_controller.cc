@@ -14,21 +14,28 @@ const char* IntraPolicyName(IntraPolicy p) {
   return "?";
 }
 
-MixedController::MixedController(rt::Recorder& recorder)
+MixedController::MixedController(rt::Recorder& recorder, size_t num_objects)
     : recorder_(recorder),
-      certifier_(recorder, Granularity::kStep) {}
-
-void MixedController::SetPolicy(uint32_t object_id, IntraPolicy policy) {
-  if (object_id >= policies_.size()) {
-    policies_.resize(object_id + 1, kUnsetPolicy);
+      certifier_(recorder, Granularity::kStep),
+      policy_count_(num_objects),
+      policies_(std::make_unique<std::atomic<int8_t>[]>(num_objects)) {
+  for (size_t i = 0; i < policy_count_; ++i) {
+    policies_[i].store(kUnsetPolicy, std::memory_order_relaxed);
   }
-  policies_[object_id] = static_cast<int8_t>(policy);
+}
+
+bool MixedController::SetPolicy(uint32_t object_id, IntraPolicy policy) {
+  if (object_id >= policy_count_) return false;
+  policies_[object_id].store(static_cast<int8_t>(policy),
+                             std::memory_order_release);
+  return true;
 }
 
 IntraPolicy MixedController::PolicyFor(const rt::Object& obj) const {
-  if (obj.id() < policies_.size() && policies_[obj.id()] != kUnsetPolicy) {
-    return static_cast<IntraPolicy>(policies_[obj.id()]);
-  }
+  const int8_t p = obj.id() < policy_count_
+                       ? policies_[obj.id()].load(std::memory_order_acquire)
+                       : kUnsetPolicy;
+  if (p != kUnsetPolicy) return static_cast<IntraPolicy>(p);
   return obj.concurrent_apply() ? IntraPolicy::kCrabbing
                                 : IntraPolicy::kOptimistic;
 }

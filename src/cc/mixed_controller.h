@@ -29,7 +29,9 @@
 #ifndef OBJECTBASE_CC_MIXED_CONTROLLER_H_
 #define OBJECTBASE_CC_MIXED_CONTROLLER_H_
 
-#include <vector>
+#include <atomic>
+#include <cstddef>
+#include <memory>
 
 #include "src/cc/cert_controller.h"
 #include "src/cc/controller.h"
@@ -43,15 +45,21 @@ const char* IntraPolicyName(IntraPolicy p);
 
 class MixedController : public Controller {
  public:
-  explicit MixedController(rt::Recorder& recorder);
+  /// `num_objects` sizes the policy table once (the ObjectBase is fully
+  /// populated before an Executor is built), so PolicyFor never races a
+  /// resize.
+  MixedController(rt::Recorder& recorder, size_t num_objects);
 
   const char* name() const override { return "MIXED"; }
 
   /// Assigns the intra-object policy for an object (default: kOptimistic;
-  /// specs with supports_concurrent_apply() default to kCrabbing).
-  /// Setup-time API: call before transactions run (like CreateObject /
-  /// DefineMethod); PolicyFor reads the dense table without locking.
-  void SetPolicy(uint32_t object_id, IntraPolicy policy);
+  /// specs with supports_concurrent_apply() default to kCrabbing).  Slots
+  /// are atomic, so a policy may also be flipped mid-run: in-flight steps
+  /// keep whatever admission they already passed, new steps see the new
+  /// policy, and the delegated certifier keeps either mix serialisable.
+  /// Returns false for an object id outside the table (created after this
+  /// controller — unsupported).
+  bool SetPolicy(uint32_t object_id, IntraPolicy policy);
   IntraPolicy PolicyFor(const rt::Object& obj) const;
 
   void OnTopBegin(rt::TxnNode& top) override;
@@ -75,9 +83,12 @@ class MixedController : public Controller {
   CertController certifier_;
   LockManager locks_;  // serves the kLocal2pl objects
   /// Dense per-object policy table, indexed by object id; kUnset slots fall
-  /// back to the spec-derived default.  Written only at setup time.
+  /// back to the spec-derived default.  Sized once at construction and
+  /// never resized; slots are atomic so SetPolicy never races the
+  /// lock-free PolicyFor reads on concurrent ExecuteLocal paths.
   static constexpr int8_t kUnsetPolicy = -1;
-  std::vector<int8_t> policies_;
+  const size_t policy_count_;
+  std::unique_ptr<std::atomic<int8_t>[]> policies_;
 };
 
 }  // namespace objectbase::cc

@@ -42,13 +42,15 @@ Executor::Executor(ObjectBase& base, ExecutorOptions options)
           recorder_, options_.granularity);
       break;
     case Protocol::kGemstone: {
-      auto gem = std::make_unique<cc::GemstoneController>(recorder_);
+      auto gem = std::make_unique<cc::GemstoneController>(
+          recorder_, options_.gemstone_shared_reads);
       lock_manager_ = &gem->lock_manager();
       controller_ = std::move(gem);
       break;
     }
     case Protocol::kMixed: {
-      auto mixed = std::make_unique<cc::MixedController>(recorder_);
+      auto mixed =
+          std::make_unique<cc::MixedController>(recorder_, base_.size());
       mixed_ = mixed.get();
       lock_manager_ = &mixed->lock_manager();
       controller_ = std::move(mixed);
@@ -62,22 +64,25 @@ Executor::Executor(ObjectBase& base, ExecutorOptions options)
 
 Executor::~Executor() = default;
 
-void Executor::DefineMethod(const std::string& object,
+bool Executor::DefineMethod(const std::string& object,
                             const std::string& method, MethodFn fn) {
   Object* obj = base_.Find(object);
-  if (obj == nullptr) return;
+  if (obj == nullptr) return false;
   if (obj->id() >= method_tables_.size()) {
+    // Objects created after this executor: grow the deque — existing
+    // tables stay in place, so MethodRefs resolved earlier remain valid.
     method_tables_.resize(std::max<size_t>(base_.size(), obj->id() + 1));
   }
   MethodTable& table = method_tables_[obj->id()];
   auto it = table.index.find(method);
   if (it != table.index.end()) {
     table.fns[it->second] = std::move(fn);  // redefinition: refs stay valid
-    return;
+    return true;
   }
   const uint32_t idx = static_cast<uint32_t>(table.fns.size());
   table.fns.push_back(std::move(fn));
   table.index.emplace(method, idx);
+  return true;
 }
 
 ObjectHandle Executor::FindObject(const std::string& name) {
@@ -129,12 +134,11 @@ MethodRef Executor::Resolve(ObjectHandle object, const std::string& method) {
   return ResolveOnObject(*object.obj_, method);
 }
 
-void Executor::SetIntraPolicy(const std::string& object,
+bool Executor::SetIntraPolicy(const std::string& object,
                               cc::IntraPolicy policy) {
   Object* obj = base_.Find(object);
-  if (obj != nullptr && mixed_ != nullptr) {
-    mixed_->SetPolicy(obj->id(), policy);
-  }
+  if (obj == nullptr || mixed_ == nullptr) return false;
+  return mixed_->SetPolicy(obj->id(), policy);
 }
 
 void Executor::ResetStats() {

@@ -75,6 +75,10 @@ struct ExecutorOptions {
   int max_top_retries = 100;
   /// NTO remembered-step garbage collection (E8 ablation).
   bool nto_gc = true;
+  /// GEMSTONE: read-only operations take shared whole-object locks (the
+  /// conventional read lock of the reduction); off = the old
+  /// exclusive-only baseline (E1d ablation).
+  bool gemstone_shared_reads = true;
 };
 
 class MethodCtx;
@@ -137,9 +141,13 @@ class Executor {
   /// transactions.  Redefining an already-registered method keeps
   /// previously resolved MethodRefs valid (they see the new body); a ref
   /// resolved while the name was still implicit keeps dispatching the raw
-  /// ADT operation — resolve after DefineMethod.
-  void DefineMethod(const std::string& object, const std::string& method,
-                    MethodFn fn);
+  /// ADT operation — resolve after DefineMethod.  Returns false (and
+  /// registers nothing) when the object name is unknown — check it: a
+  /// mistyped object name otherwise surfaces only as kUser aborts at
+  /// invoke time.  Method tables live in a deque, so registration never
+  /// moves tables of other objects (MethodRef::fn stays valid).
+  [[nodiscard]] bool DefineMethod(const std::string& object,
+                                  const std::string& method, MethodFn fn);
 
   /// Resolves an object name once; invalid handle if unknown.
   ObjectHandle FindObject(const std::string& name);
@@ -151,8 +159,11 @@ class Executor {
   MethodRef Resolve(const std::string& object, const std::string& method);
   MethodRef Resolve(ObjectHandle object, const std::string& method);
 
-  /// MIXED only: assigns the object's intra-object policy.  Setup-time API.
-  void SetIntraPolicy(const std::string& object, cc::IntraPolicy policy);
+  /// MIXED only: assigns the object's intra-object policy.  Usually called
+  /// at setup time, but safe mid-run (the policy table is atomic — see
+  /// MixedController::SetPolicy).  Returns false if the object is unknown
+  /// or the protocol is not kMixed.
+  bool SetIntraPolicy(const std::string& object, cc::IntraPolicy policy);
 
   /// Runs a top-level transaction (with retries on abort).
   TxnResult RunTransaction(const std::string& name, MethodFn body);
@@ -192,7 +203,9 @@ class Executor {
 
   /// Per-object dense method table: bodies live in a deque (stable
   /// addresses for MethodRef::fn), the name index is only consulted at
-  /// resolve time.
+  /// resolve time.  The tables themselves also live in a deque (pre-sized
+  /// to the ObjectBase, grown without moving) so late registrations can
+  /// never invalidate refs resolved against other objects.
   struct MethodTable {
     std::deque<MethodFn> fns;
     std::map<std::string, uint32_t, std::less<>> index;
@@ -231,7 +244,7 @@ class Executor {
   std::atomic<uint64_t> next_uid_{0};
   std::atomic<uint64_t> next_top_counter_{0};
   Stats stats_;
-  std::vector<MethodTable> method_tables_;  // indexed by object id
+  std::deque<MethodTable> method_tables_;  // indexed by object id
   std::mutex intern_mu_;
   std::set<std::string, std::less<>> interned_names_;
 };

@@ -12,6 +12,37 @@ Object::Object(uint32_t id, std::string name,
       state_(spec_->MakeInitialState()),
       base_state_(spec_->MakeInitialState()) {}
 
+Object::~Object() {
+  LockTableCacheNode* n = lock_table_cache_.load(std::memory_order_acquire);
+  while (n != nullptr) {
+    LockTableCacheNode* next = n->next;
+    delete n;
+    n = next;
+  }
+}
+
+void Object::CacheLockTable(uint64_t manager_id, void* table) {
+  auto* node = new LockTableCacheNode{manager_id, table, nullptr};
+  LockTableCacheNode* head = lock_table_cache_.load(std::memory_order_acquire);
+  for (;;) {
+    // Re-probe under the current head: a racing caller for the same manager
+    // may have published already (both would have resolved the same table,
+    // but keep the list duplicate-free).
+    for (const LockTableCacheNode* n = head; n != nullptr; n = n->next) {
+      if (n->manager_id == manager_id) {
+        delete node;
+        return;
+      }
+    }
+    node->next = head;
+    if (lock_table_cache_.compare_exchange_weak(head, node,
+                                                std::memory_order_release,
+                                                std::memory_order_acquire)) {
+      return;
+    }
+  }
+}
+
 void Object::ResetState() {
   state_ = spec_->MakeInitialState();
   base_state_ = spec_->MakeInitialState();

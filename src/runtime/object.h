@@ -26,6 +26,7 @@ class Object {
  public:
   Object(uint32_t id, std::string name,
          std::shared_ptr<const adt::AdtSpec> spec);
+  ~Object();
 
   uint32_t id() const { return id_; }
   const std::string& name() const { return name_; }
@@ -111,7 +112,37 @@ class Object {
   /// state_mu and log_mu.  Returns entries folded.
   size_t FoldPrefix(uint64_t watermark);
 
+  // --- cached lock-table handle (cc::LockManager) --------------------------
+  //
+  // Mirrors the DepRef pattern of the dependency registry: the lock manager
+  // resolves this object's table once and caches the pointer HERE, so the
+  // steady-state Acquire path is a single list probe (length 1 in practice)
+  // instead of a global-registry lookup.  Keyed by a process-unique manager
+  // id (never recycled), so a stale node left by a destroyed manager is
+  // only ever compared against, never dereferenced.  The payload is opaque
+  // to the runtime layer (a cc::LockManager-internal table pointer).
+
+  /// The table cached for `manager_id`, or nullptr if this manager has not
+  /// touched the object yet.  Lock-free.
+  void* CachedLockTable(uint64_t manager_id) const {
+    for (const LockTableCacheNode* n =
+             lock_table_cache_.load(std::memory_order_acquire);
+         n != nullptr; n = n->next) {
+      if (n->manager_id == manager_id) return n->table;
+    }
+    return nullptr;
+  }
+
+  /// Publishes the (manager, table) pair; idempotent per manager.
+  void CacheLockTable(uint64_t manager_id, void* table);
+
  private:
+  struct LockTableCacheNode {
+    uint64_t manager_id;
+    void* table;
+    LockTableCacheNode* next;
+  };
+
   uint32_t id_;
   std::string name_;
   std::shared_ptr<const adt::AdtSpec> spec_;
@@ -121,6 +152,9 @@ class Object {
   std::mutex log_mu_;
   std::deque<Applied> applied_log_;
   std::atomic<size_t> log_size_{0};  // mirrors applied_log_.size()
+  // CAS-pushed singly linked list, one node per caching lock manager
+  // (almost always exactly one); freed by the destructor.
+  std::atomic<LockTableCacheNode*> lock_table_cache_{nullptr};
 };
 
 }  // namespace objectbase::rt

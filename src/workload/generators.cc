@@ -310,14 +310,16 @@ WorkloadSpec MakeFanoutSpec(const FanoutParams& p) {
       rt::Object* obj = exec.base().Find(name);
       if (obj == nullptr) break;
       const adt::OpDescriptor* add = obj->spec().FindOp("add");
-      exec.DefineMethod(name, "heavy",
-                        [params, add](rt::MethodCtx& m) -> Value {
-                          for (int w = 0; w < params.work_per_child; ++w) {
-                            m.Local(*add, {int64_t{1}});
-                            SpinWork(params.spin_per_op);
-                          }
-                          return Value();
-                        });
+      const bool defined =
+          exec.DefineMethod(name, "heavy",
+                            [params, add](rt::MethodCtx& m) -> Value {
+                              for (int w = 0; w < params.work_per_child; ++w) {
+                                m.Local(*add, {int64_t{1}});
+                                SpinWork(params.spin_per_op);
+                              }
+                              return Value();
+                            });
+      if (!defined) break;  // object vanished mid-setup: stop registering
       handles->heavy.push_back(exec.Resolve(name, "heavy"));
     }
   };

@@ -1,5 +1,7 @@
 #include "src/workload/runner.h"
 
+#include <atomic>
+#include <condition_variable>
 #include <mutex>
 #include <thread>
 
@@ -9,12 +11,24 @@ RunMetrics RunWorkload(rt::Executor& exec, const WorkloadSpec& spec) {
   if (spec.prepare) spec.prepare(exec);
   exec.ResetStats();
   RunMetrics metrics;
+  if (spec.threads <= 0) return metrics;
   std::mutex agg_mu;
   std::vector<double> weights;
   weights.reserve(spec.mix.size());
   for (const TxnTemplate& t : spec.mix) weights.push_back(t.weight);
 
-  Stopwatch clock;
+  // Start latch: workers are spawned first and parked; the clock starts
+  // only once every worker is ready, and stops at the LAST transaction
+  // completion (not after join + histogram merges).  Without this, short
+  // sweeps charge thread-spawn and teardown time to the measured interval
+  // and under-report throughput.
+  std::mutex latch_mu;
+  std::condition_variable latch_cv;
+  int ready = 0;
+  bool go = false;
+  Stopwatch clock;  // Reset just before release, under latch_mu.
+  std::atomic<uint64_t> last_done_ns{0};
+
   std::vector<std::thread> threads;
   threads.reserve(spec.threads);
   for (int t = 0; t < spec.threads; ++t) {
@@ -23,6 +37,12 @@ RunMetrics RunWorkload(rt::Executor& exec, const WorkloadSpec& spec) {
       Histogram local_latency;
       uint64_t local_gave_up = 0;
       std::vector<double> w = weights;
+      {
+        std::unique_lock<std::mutex> l(latch_mu);
+        ++ready;
+        latch_cv.notify_all();
+        latch_cv.wait(l, [&] { return go; });
+      }
       for (uint64_t i = 0; i < spec.txns_per_thread; ++i) {
         const TxnTemplate& tmpl = spec.mix[rng.WeightedIndex(w)];
         rt::MethodFn body = tmpl.make(rng);
@@ -31,13 +51,26 @@ RunMetrics RunWorkload(rt::Executor& exec, const WorkloadSpec& spec) {
         local_latency.Record(txn_clock.ElapsedNanos());
         if (!r.committed) ++local_gave_up;
       }
+      // Stamp completion BEFORE the (serialised) histogram merge.
+      uint64_t done = clock.ElapsedNanos();
+      uint64_t seen = last_done_ns.load(std::memory_order_relaxed);
+      while (seen < done && !last_done_ns.compare_exchange_weak(
+                                seen, done, std::memory_order_relaxed)) {
+      }
       std::lock_guard<std::mutex> g(agg_mu);
       metrics.latency_ns.Merge(local_latency);
       metrics.gave_up += local_gave_up;
     });
   }
+  {
+    std::unique_lock<std::mutex> l(latch_mu);
+    latch_cv.wait(l, [&] { return ready == spec.threads; });
+    clock.Reset();
+    go = true;
+  }
+  latch_cv.notify_all();
   for (auto& th : threads) th.join();
-  metrics.seconds = clock.ElapsedSeconds();
+  metrics.seconds = last_done_ns.load(std::memory_order_relaxed) / 1e9;
 
   const rt::Executor::Stats& s = exec.stats();
   metrics.committed = s.committed.load();

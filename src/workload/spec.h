@@ -52,6 +52,9 @@ struct RunMetrics {
   uint64_t ts_rejects = 0;
   uint64_t validation_fails = 0;
   uint64_t cascades = 0;  ///< kCascade + kDoomed.
+  /// Wall clock from "every worker released from the start latch" to the
+  /// LAST transaction completion — thread spawn/join and metric merging
+  /// are excluded (they skewed short sweeps low).
   double seconds = 0;
   Histogram latency_ns;
 

@@ -43,13 +43,13 @@ TEST_P(AbortTest, NestedMutationsUndoneThroughDepth) {
   ObjectBase base;
   base.CreateObject("c", adt::MakeCounterSpec(0));
   Executor exec(base, {.protocol = GetParam(), .max_top_retries = 1});
-  exec.DefineMethod("c", "deep_add", [](MethodCtx& m) -> Value {
+  ASSERT_TRUE(exec.DefineMethod("c", "deep_add", [](MethodCtx& m) -> Value {
     m.Local("add", {m.args().at(0)});
     if (m.args().at(0).AsInt() < 8) {
       m.Invoke("c", "deep_add", {m.args().at(0).AsInt() * 2});
     }
     return Value();
-  });
+  }));
   TxnResult r = exec.RunTransaction("t", [](MethodCtx& txn) -> Value {
     txn.Invoke("c", "deep_add", {1});  // adds 1+2+4+8 at depths 1..4
     txn.Abort();
@@ -122,16 +122,16 @@ TEST(PartialAbortTest, N2plParentSurvivesChildAbort) {
   base.CreateObject("primary", adt::MakeBankAccountSpec(5));
   base.CreateObject("backup", adt::MakeBankAccountSpec(100));
   Executor exec(base, {.protocol = Protocol::kN2pl});
-  exec.DefineMethod("primary", "strict_withdraw", [](MethodCtx& m) -> Value {
+  ASSERT_TRUE(exec.DefineMethod("primary", "strict_withdraw", [](MethodCtx& m) -> Value {
     Value ok = m.Local("withdraw", m.args());
     if (!ok.AsBool()) m.Abort();  // insufficient funds: abort this method
     return ok;
-  });
-  exec.DefineMethod("backup", "strict_withdraw", [](MethodCtx& m) -> Value {
+  }));
+  ASSERT_TRUE(exec.DefineMethod("backup", "strict_withdraw", [](MethodCtx& m) -> Value {
     Value ok = m.Local("withdraw", m.args());
     if (!ok.AsBool()) m.Abort();
     return ok;
-  });
+  }));
   TxnResult r = exec.RunTransaction("pay", [](MethodCtx& txn) -> Value {
     auto first = txn.TryInvoke("primary", "strict_withdraw", {50});
     if (first.ok) return Value("primary");
@@ -162,7 +162,7 @@ TEST(PartialAbortTest, NonStrictProtocolsEscalateChildAborts) {
     ObjectBase base;
     base.CreateObject("c", adt::MakeCounterSpec(0));
     Executor exec(base, {.protocol = p, .max_top_retries = 1});
-    exec.DefineMethod("c", "fail", [](MethodCtx& m) -> Value { m.Abort(); });
+    ASSERT_TRUE(exec.DefineMethod("c", "fail", [](MethodCtx& m) -> Value { m.Abort(); }));
     TxnResult r = exec.RunTransaction("t", [](MethodCtx& txn) -> Value {
       auto out = txn.TryInvoke("c", "fail");
       EXPECT_TRUE(false) << "TryInvoke must not return under " << int(out.ok);
@@ -176,7 +176,7 @@ TEST(PartialAbortTest, ParallelBranchFailureAbortsWholeBatchCaller) {
   ObjectBase base;
   base.CreateObject("c", adt::MakeCounterSpec(0));
   Executor exec(base, {.protocol = Protocol::kNto, .max_top_retries = 1});
-  exec.DefineMethod("c", "fail", [](MethodCtx& m) -> Value { m.Abort(); });
+  ASSERT_TRUE(exec.DefineMethod("c", "fail", [](MethodCtx& m) -> Value { m.Abort(); }));
   TxnResult r = exec.RunTransaction("t", [](MethodCtx& txn) -> Value {
     txn.InvokeParallel({{"c", "add", {1}}, {"c", "fail", {}}});
     ADD_FAILURE() << "batch with a failed branch must abort the caller";
@@ -193,7 +193,7 @@ TEST(PartialAbortTest, N2plParallelBatchReportsPerBranch) {
   ObjectBase base;
   base.CreateObject("c", adt::MakeCounterSpec(0));
   Executor exec(base, {.protocol = Protocol::kN2pl});
-  exec.DefineMethod("c", "fail", [](MethodCtx& m) -> Value { m.Abort(); });
+  ASSERT_TRUE(exec.DefineMethod("c", "fail", [](MethodCtx& m) -> Value { m.Abort(); }));
   TxnResult r = exec.RunTransaction("t", [](MethodCtx& txn) -> Value {
     auto outcomes = txn.InvokeParallel({{"c", "add", {1}}, {"c", "fail", {}}});
     EXPECT_TRUE(outcomes[0].ok);

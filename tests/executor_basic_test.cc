@@ -35,11 +35,11 @@ TEST_P(ExecutorBasicTest, RegisteredMethodsNestAndReturn) {
   Executor exec(base, {.protocol = GetParam()});
   // A method of "acct" that performs local steps AND messages another
   // object — the Section 1 shape (methods send messages to other objects).
-  exec.DefineMethod("acct", "audited_withdraw", [](MethodCtx& m) -> Value {
+  ASSERT_TRUE(exec.DefineMethod("acct", "audited_withdraw", [](MethodCtx& m) -> Value {
     Value ok = m.Local("withdraw", m.args());
     m.Invoke("log", "add", {1});
     return ok;
-  });
+  }));
   TxnResult r = exec.RunTransaction("t", [](MethodCtx& txn) {
     return txn.Invoke("acct", "audited_withdraw", {25});
   });
@@ -146,10 +146,10 @@ TEST(ExecutorTest, HierarchicalTimestampsFollowRule2) {
   base.CreateObject("c", adt::MakeCounterSpec(0));
   Executor exec(base, {.protocol = Protocol::kNto});
   std::vector<cc::Hts> child_ts;
-  exec.DefineMethod("c", "noop", [](MethodCtx& m) -> Value {
+  ASSERT_TRUE(exec.DefineMethod("c", "noop", [](MethodCtx& m) -> Value {
     (void)m;
     return Value();
-  });
+  }));
   exec.RunTransaction("t", [&](MethodCtx& txn) {
     txn.Invoke("c", "noop");
     txn.Invoke("c", "noop");

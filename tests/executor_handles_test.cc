@@ -88,22 +88,66 @@ TEST(HandlesTest, InvokingInvalidRefAbortsWithUser) {
   EXPECT_TRUE(r2.committed);
 }
 
+TEST(HandlesTest, DefineMethodReportsUnknownObject) {
+  // DefineMethod used to silently no-op on an unknown object name, turning
+  // a setup typo into kUser aborts at invoke time.  It now reports.
+  ObjectBase base;
+  base.CreateObject("c", adt::MakeCounterSpec(0));
+  Executor exec(base, {.protocol = Protocol::kN2pl});
+  EXPECT_FALSE(exec.DefineMethod("no-such-object", "m",
+                                 [](MethodCtx&) -> Value { return Value(); }));
+  EXPECT_TRUE(exec.DefineMethod("c", "m",
+                                [](MethodCtx&) -> Value { return Value(); }));
+}
+
+TEST(HandlesTest, LateRegistrationKeepsEarlierRefsValid) {
+  // Method tables live in a deque pre-sized to the base: registering
+  // methods on many objects AFTER resolving a ref must leave the earlier
+  // ref's function pointer intact (a vector resize used to be able to move
+  // the tables out from under it).
+  ObjectBase base;
+  base.CreateObject("first", adt::MakeCounterSpec(0));
+  for (int i = 0; i < 80; ++i) {
+    base.CreateObject("c" + std::to_string(i), adt::MakeCounterSpec(0));
+  }
+  Executor exec(base, {.protocol = Protocol::kN2pl});
+  ASSERT_TRUE(exec.DefineMethod("first", "bump", [](MethodCtx& m) -> Value {
+    m.Local("add", {int64_t{1}});
+    return Value();
+  }));
+  MethodRef bump = exec.Resolve("first", "bump");
+  ASSERT_TRUE(bump.valid());
+  const MethodFn* fn_before = bump.fn;
+  for (int i = 0; i < 80; ++i) {
+    ASSERT_TRUE(exec.DefineMethod("c" + std::to_string(i), "noop",
+                                  [](MethodCtx&) -> Value { return Value(); }));
+  }
+  EXPECT_EQ(bump.fn, fn_before);
+  ASSERT_TRUE(exec.RunTransaction("t", [&](MethodCtx& txn) {
+    txn.Invoke(bump);
+    return Value();
+  }).committed);
+  EXPECT_EQ(exec.RunTransaction("g", [&](MethodCtx& t) {
+    return t.Invoke("first", "get");
+  }).ret, Value(int64_t{1}));
+}
+
 TEST(HandlesTest, RedefinitionKeepsResolvedRefsValid) {
   ObjectBase base;
   base.CreateObject("c", adt::MakeCounterSpec(0));
   Executor exec(base, {.protocol = Protocol::kN2pl});
-  exec.DefineMethod("c", "bump", [](MethodCtx& m) -> Value {
+  ASSERT_TRUE(exec.DefineMethod("c", "bump", [](MethodCtx& m) -> Value {
     m.Local("add", {int64_t{1}});
     return Value(int64_t{1});
-  });
+  }));
   MethodRef bump = exec.Resolve("c", "bump");
   ASSERT_TRUE(bump.valid());
   ASSERT_NE(bump.fn, nullptr);
   // Redefine AFTER resolving: the ref must see the new body.
-  exec.DefineMethod("c", "bump", [](MethodCtx& m) -> Value {
+  ASSERT_TRUE(exec.DefineMethod("c", "bump", [](MethodCtx& m) -> Value {
     m.Local("add", {int64_t{10}});
     return Value(int64_t{10});
-  });
+  }));
   TxnResult r = exec.RunTransaction("t", [&](MethodCtx& txn) {
     return txn.Invoke(bump);
   });
@@ -121,11 +165,11 @@ TEST(HandlesTest, LocalByDescriptorInsideMethodBody) {
   Executor exec(base, {.protocol = Protocol::kNto});
   const adt::OpDescriptor* add = base.Find("c")->spec().FindOp("add");
   ASSERT_NE(add, nullptr);
-  exec.DefineMethod("c", "bump3", [add](MethodCtx& m) -> Value {
+  ASSERT_TRUE(exec.DefineMethod("c", "bump3", [add](MethodCtx& m) -> Value {
     EXPECT_EQ(m.ResolveLocal("add"), add);
     for (int i = 0; i < 3; ++i) m.Local(*add, {int64_t{2}});
     return Value();
-  });
+  }));
   MethodRef bump3 = exec.Resolve("c", "bump3");
   ASSERT_TRUE(exec.RunTransaction("t", [&](MethodCtx& txn) {
     txn.Invoke(bump3);

@@ -1,0 +1,328 @@
+// Multithreaded LockManager tests for the striped parking overhaul:
+//   * the acceptance invariants — steady-state Acquire on an already-cached
+//     object takes zero global (registry) locks, and an uncontended grant
+//     wakes no waiters;
+//   * targeted wakeups — a release signals only requests whose conflict
+//     mask cleared, and no covered scenario ever rides the 250 ms safety
+//     net;
+//   * shared/exclusive whole-object modes with upgrade handling (the
+//     honest Gemstone baseline), including the mutual-upgrade deadlock;
+//   * parking stress under contention (the TSan job runs this suite).
+#include "src/cc/lock_manager.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "src/adt/bank_account_adt.h"
+#include "src/adt/counter_adt.h"
+#include "src/adt/register_adt.h"
+#include "src/common/rng.h"
+#include "src/runtime/object.h"
+#include "src/runtime/txn.h"
+
+namespace objectbase::cc {
+namespace {
+
+rt::Object MakeRegisterObject(uint32_t id = 0) {
+  return rt::Object(id, "reg" + std::to_string(id), adt::MakeRegisterSpec(0));
+}
+
+LockManager::Request OpReq(const rt::Object& obj, const std::string& op,
+                           Args args = {}) {
+  LockManager::Request r;
+  r.op = obj.spec().FindOp(op);
+  r.args = std::move(args);
+  return r;
+}
+
+LockManager::Request SharedReq() {
+  LockManager::Request r;
+  r.shared = true;
+  return r;
+}
+
+LockManager::Request ExclReq() {
+  LockManager::Request r;
+  r.exclusive = true;
+  return r;
+}
+
+// --- acceptance invariants --------------------------------------------------
+
+TEST(LockManagerParkingTest, SteadyStateAcquireTakesNoGlobalLock) {
+  LockManager lm;
+  rt::Object obj = MakeRegisterObject();
+  rt::TxnNode t1(1, nullptr, UINT32_MAX, "T1");
+  // First touch resolves the table (may allocate a chunk under the global
+  // registry mutex) and caches the handle on the object.
+  ASSERT_EQ(lm.Acquire(t1, obj, OpReq(obj, "write", {1})),
+            LockManager::Outcome::kGranted);
+  lm.ReleaseSubtree(t1);
+  const uint64_t global_before = LockTableMutexAcquisitions().load();
+  for (int i = 0; i < 200; ++i) {
+    rt::TxnNode t(100 + i, nullptr, UINT32_MAX, "T");
+    ASSERT_EQ(lm.Acquire(t, obj, OpReq(obj, "write", {i})),
+              LockManager::Outcome::kGranted);
+    ASSERT_EQ(lm.TryAcquire(t, obj, OpReq(obj, "read")),
+              LockManager::TryOutcome::kGranted);
+    lm.ReleaseSubtree(t);
+  }
+  EXPECT_EQ(LockTableMutexAcquisitions().load(), global_before)
+      << "steady-state Acquire/TryAcquire touched the global table registry";
+}
+
+TEST(LockManagerParkingTest, UncontendedGrantWakesNoWaiters) {
+  LockManager lm;
+  rt::Object obj = MakeRegisterObject();
+  rt::TxnNode t1(1, nullptr, UINT32_MAX, "T1");
+  rt::TxnNode t2(2, nullptr, UINT32_MAX, "T2");
+  const uint64_t wakeups_before = LockWaiterWakeups().load();
+  // Commuting grants from two transactions plus releases: nothing ever
+  // blocks, so nothing may ever be signalled.
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_EQ(lm.Acquire(t1, obj, OpReq(obj, "read")),
+              LockManager::Outcome::kGranted);
+    ASSERT_EQ(lm.Acquire(t2, obj, OpReq(obj, "read")),
+              LockManager::Outcome::kGranted);
+    lm.ReleaseSubtree(t1);
+    lm.ReleaseSubtree(t2);
+  }
+  EXPECT_EQ(LockWaiterWakeups().load(), wakeups_before)
+      << "an uncontended grant/release cycle signalled a waiter";
+}
+
+TEST(LockManagerParkingTest, ReleaseWakesOnlyConflictingWaiter) {
+  LockManager lm;
+  rt::Object hot = MakeRegisterObject(0);
+  rt::Object other = MakeRegisterObject(1);
+  rt::TxnNode holder_hot(1, nullptr, UINT32_MAX, "H1");
+  rt::TxnNode holder_other(2, nullptr, UINT32_MAX, "H2");
+  rt::TxnNode waiter_hot(3, nullptr, UINT32_MAX, "W1");
+  rt::TxnNode waiter_other(4, nullptr, UINT32_MAX, "W2");
+  ASSERT_EQ(lm.Acquire(holder_hot, hot, OpReq(hot, "write", {1})),
+            LockManager::Outcome::kGranted);
+  ASSERT_EQ(lm.Acquire(holder_other, other, OpReq(other, "write", {1})),
+            LockManager::Outcome::kGranted);
+  std::atomic<int> granted{0};
+  std::thread w1([&]() {
+    lm.NoteRunning(ThisThreadKey(), &waiter_hot);
+    EXPECT_EQ(lm.Acquire(waiter_hot, hot, OpReq(hot, "read")),
+              LockManager::Outcome::kGranted);
+    granted.fetch_add(1);
+    lm.NoteFinished(ThisThreadKey());
+  });
+  std::thread w2([&]() {
+    lm.NoteRunning(ThisThreadKey(), &waiter_other);
+    EXPECT_EQ(lm.Acquire(waiter_other, other, OpReq(other, "read")),
+              LockManager::Outcome::kGranted);
+    granted.fetch_add(1);
+    lm.NoteFinished(ThisThreadKey());
+  });
+  // Let both threads register and park (past the spin phase).
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  EXPECT_EQ(granted.load(), 0);
+  const uint64_t wakeups_before = LockWaiterWakeups().load();
+  lm.ReleaseSubtree(holder_hot);  // frees `hot` only
+  w1.join();
+  EXPECT_EQ(granted.load(), 1);
+  // Exactly one signal: the conflicting waiter on `hot`.  The waiter on
+  // `other` (a different table) must not have been poked.
+  EXPECT_EQ(LockWaiterWakeups().load(), wakeups_before + 1);
+  lm.ReleaseSubtree(holder_other);
+  w2.join();
+  EXPECT_EQ(granted.load(), 2);
+  lm.ReleaseSubtree(waiter_hot);
+  lm.ReleaseSubtree(waiter_other);
+  EXPECT_EQ(lm.LockCount(), 0u);
+}
+
+TEST(LockManagerParkingTest, TransferToParentWakesBlockedSibling) {
+  LockManager lm;
+  rt::Object obj = MakeRegisterObject();
+  rt::TxnNode top(1, nullptr, UINT32_MAX, "T");
+  rt::TxnNode c1(2, &top, 0, "m1");
+  rt::TxnNode c2(3, &top, 0, "m2");
+  ASSERT_EQ(lm.Acquire(c1, obj, OpReq(obj, "write", {1})),
+            LockManager::Outcome::kGranted);
+  std::atomic<bool> granted{false};
+  std::thread sibling([&]() {
+    lm.NoteRunning(ThisThreadKey(), &c2);
+    EXPECT_EQ(lm.Acquire(c2, obj, OpReq(obj, "write", {2})),
+              LockManager::Outcome::kGranted);
+    granted.store(true);
+    lm.NoteFinished(ThisThreadKey());
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  EXPECT_FALSE(granted.load());
+  // Rule 5: c1 commits, its lock passes to the parent — an ancestor of c2,
+  // so c2 becomes grantable although the conflict MASK did not change.
+  // This exercises the wake-all-on-inheritance rule.
+  lm.TransferToParent(c1);
+  sibling.join();
+  EXPECT_TRUE(granted.load());
+}
+
+// --- shared/exclusive whole-object modes ------------------------------------
+
+TEST(LockManagerSharedTest, SharedCommutesSharedBlocksExclusive) {
+  LockManager lm;
+  rt::Object obj = MakeRegisterObject();
+  rt::TxnNode t1(1, nullptr, UINT32_MAX, "T1");
+  rt::TxnNode t2(2, nullptr, UINT32_MAX, "T2");
+  rt::TxnNode t3(3, nullptr, UINT32_MAX, "T3");
+  ASSERT_EQ(lm.Acquire(t1, obj, SharedReq()), LockManager::Outcome::kGranted);
+  EXPECT_EQ(lm.TryAcquire(t2, obj, SharedReq()),
+            LockManager::TryOutcome::kGranted);
+  EXPECT_EQ(lm.TryAcquire(t3, obj, ExclReq()),
+            LockManager::TryOutcome::kWouldBlock);
+  // Shared also conservatively blocks operation-class locks (a whole-object
+  // reader must not interleave with semantic writers).
+  EXPECT_EQ(lm.TryAcquire(t3, obj, OpReq(obj, "write", {1})),
+            LockManager::TryOutcome::kWouldBlock);
+  // Re-acquisition by the same owner is deduplicated.
+  EXPECT_EQ(lm.Acquire(t1, obj, SharedReq()), LockManager::Outcome::kGranted);
+  EXPECT_EQ(lm.LockCount(), 2u);
+}
+
+TEST(LockManagerSharedTest, UpgradeWaitsForOtherSharedHolders) {
+  LockManager lm;
+  rt::Object obj = MakeRegisterObject();
+  rt::TxnNode t1(1, nullptr, UINT32_MAX, "T1");
+  rt::TxnNode t2(2, nullptr, UINT32_MAX, "T2");
+  ASSERT_EQ(lm.Acquire(t1, obj, SharedReq()), LockManager::Outcome::kGranted);
+  ASSERT_EQ(lm.Acquire(t2, obj, SharedReq()), LockManager::Outcome::kGranted);
+  // t1's own shared entry never blocks its upgrade (rule 2); t2's does.
+  EXPECT_EQ(lm.TryAcquire(t1, obj, ExclReq()),
+            LockManager::TryOutcome::kWouldBlock);
+  std::atomic<bool> upgraded{false};
+  std::thread upgrader([&]() {
+    lm.NoteRunning(ThisThreadKey(), &t1);
+    EXPECT_EQ(lm.Acquire(t1, obj, ExclReq()), LockManager::Outcome::kGranted);
+    upgraded.store(true);
+    lm.NoteFinished(ThisThreadKey());
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  EXPECT_FALSE(upgraded.load());
+  lm.ReleaseSubtree(t2);  // the other shared holder drains -> upgrade wakes
+  upgrader.join();
+  EXPECT_TRUE(upgraded.load());
+  // t1 now holds both its shared and its exclusive entry.
+  EXPECT_EQ(lm.LockCount(), 2u);
+  lm.ReleaseSubtree(t1);
+  EXPECT_EQ(lm.LockCount(), 0u);
+}
+
+TEST(LockManagerSharedTest, MutualUpgradeIsADetectedDeadlock) {
+  LockManager lm;
+  rt::Object obj = MakeRegisterObject();
+  rt::TxnNode t1(1, nullptr, UINT32_MAX, "T1");
+  rt::TxnNode t2(2, nullptr, UINT32_MAX, "T2");
+  std::atomic<int> deadlocks{0};
+  std::atomic<int> grants{0};
+  auto upgrade = [&](rt::TxnNode& txn) {
+    lm.NoteRunning(ThisThreadKey(), &txn);
+    EXPECT_EQ(lm.Acquire(txn, obj, SharedReq()),
+              LockManager::Outcome::kGranted);
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    auto r = lm.Acquire(txn, obj, ExclReq());
+    (r == LockManager::Outcome::kDeadlock ? deadlocks : grants)++;
+    lm.NoteFinished(ThisThreadKey());
+    lm.ReleaseSubtree(txn);
+  };
+  std::thread a([&]() { upgrade(t1); });
+  std::thread b([&]() { upgrade(t2); });
+  a.join();
+  b.join();
+  // Both hold shared and want exclusive: a waits-for cycle.  One side must
+  // be the victim; the survivor's upgrade is then granted.
+  EXPECT_GE(deadlocks.load(), 1);
+  EXPECT_EQ(deadlocks.load() + grants.load(), 2);
+  EXPECT_EQ(lm.LockCount(), 0u);
+}
+
+// --- parking stress ---------------------------------------------------------
+
+TEST(LockManagerParkingTest, ContendedStressGrantsAndDrains) {
+  // 8 threads x conflicting/commuting ops over 4 objects, acquired in
+  // ascending object order (no cross-object cycles, so every blocking
+  // acquire must eventually be granted).  Exercises parking, targeted
+  // wakeups and mask bookkeeping under real contention; the TSan CI job
+  // runs this against the lock-free table registry and wake path.
+  LockManager lm;
+  constexpr int kObjects = 4;
+  constexpr int kThreads = 8;
+  constexpr int kIters = 150;
+  std::vector<std::unique_ptr<rt::Object>> objs;  // Object is not movable
+  objs.reserve(kObjects);
+  for (int i = 0; i < kObjects; ++i) {
+    objs.push_back(std::make_unique<rt::Object>(static_cast<uint32_t>(i),
+                                                "o" + std::to_string(i),
+                                                adt::MakeCounterSpec(0)));
+  }
+  std::atomic<uint64_t> next_uid{1};
+  std::atomic<int> granted_txns{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t]() {
+      Rng rng(77 + t);
+      for (int i = 0; i < kIters; ++i) {
+        rt::TxnNode txn(next_uid.fetch_add(1), nullptr, UINT32_MAX, "T");
+        lm.NoteRunning(ThisThreadKey(), &txn);
+        int first = static_cast<int>(rng.Uniform(kObjects));
+        int count = 1 + static_cast<int>(rng.Uniform(kObjects - first));
+        bool ok = true;
+        for (int o = first; o < first + count; ++o) {
+          const char* op = rng.Bernoulli(0.5) ? "add" : "get";
+          auto r = lm.Acquire(txn, *objs[o], OpReq(*objs[o], op, {1}));
+          // Ascending acquisition order: deadlock is impossible.
+          EXPECT_EQ(r, LockManager::Outcome::kGranted);
+          ok = ok && r == LockManager::Outcome::kGranted;
+        }
+        if (ok) granted_txns.fetch_add(1);
+        lm.NoteFinished(ThisThreadKey());
+        lm.ReleaseSubtree(txn);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(granted_txns.load(), kThreads * kIters);
+  EXPECT_EQ(lm.LockCount(), 0u);
+}
+
+TEST(LockManagerParkingTest, SharedExclusiveStressMT) {
+  // Readers take shared whole-object locks, writers exclusive, on one hot
+  // object — the Gemstone shape.  Deadlock is impossible (single object,
+  // no upgrades), so every acquire must be granted.
+  LockManager lm;
+  rt::Object obj(0, "hot", adt::MakeBankAccountSpec(1000));
+  constexpr int kThreads = 6;
+  constexpr int kIters = 200;
+  std::atomic<uint64_t> next_uid{1};
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t]() {
+      Rng rng(911 + t);
+      for (int i = 0; i < kIters; ++i) {
+        rt::TxnNode txn(next_uid.fetch_add(1), nullptr, UINT32_MAX, "T");
+        lm.NoteRunning(ThisThreadKey(), &txn);
+        auto r = lm.Acquire(txn, obj,
+                            rng.Bernoulli(0.7) ? SharedReq() : ExclReq());
+        if (r != LockManager::Outcome::kGranted) failures.fetch_add(1);
+        lm.NoteFinished(ThisThreadKey());
+        lm.ReleaseSubtree(txn);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(lm.LockCount(), 0u);
+}
+
+}  // namespace
+}  // namespace objectbase::cc

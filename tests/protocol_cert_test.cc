@@ -152,11 +152,11 @@ TEST(CertProtocolTest, RegistryStepPathIsMutexFree) {
   base.CreateObject("c", adt::MakeCounterSpec(0));
   Executor exec(base, {.protocol = kP, .record = false});
   constexpr int kSteps = 100;
-  exec.DefineMethod("c", "bump_many", [](MethodCtx& m) -> Value {
+  ASSERT_TRUE(exec.DefineMethod("c", "bump_many", [](MethodCtx& m) -> Value {
     const adt::OpDescriptor* add = m.ResolveLocal("add");
     for (int i = 0; i < kSteps; ++i) m.Local(*add, {1});
     return Value();
-  });
+  }));
   MethodRef bump = exec.Resolve("c", "bump_many");
   constexpr int kTxns = 20;
   const uint64_t before = cc::DepGraphMutexAcquisitions().load();

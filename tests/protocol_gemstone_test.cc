@@ -60,6 +60,80 @@ TEST(GemstoneProtocolTest, WholeObjectLockSerialisesEvenCommutingOps) {
   VerifyHistory(exec, "GEMSTONE exclusion scenario");
 }
 
+// Runs transaction A invoking `first_op` (whose lock it then holds until
+// completion), and once A is inside its transaction, transaction B on a
+// second thread invoking `second_op`.  A waits up to `wait_ms` for B to
+// complete.  Returns true iff B completed WHILE A still held its lock —
+// i.e. the two whole-object lock modes admitted each other.
+bool SecondTxnCompletesInsideFirst(Executor& exec, const char* first_op,
+                                   Args first_args, const char* second_op,
+                                   int wait_ms) {
+  std::atomic<bool> a_in_txn{false};
+  std::atomic<bool> b_done{false};
+  std::atomic<bool> b_done_inside_a{false};
+  std::thread first([&]() {
+    exec.RunTransaction("first", [&](MethodCtx& txn) -> Value {
+      txn.Invoke("acct", first_op, first_args);  // lock held to completion
+      a_in_txn.store(true);
+      for (int i = 0; i < wait_ms / 5 && !b_done.load(); ++i) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      }
+      b_done_inside_a.store(b_done.load());
+      return Value();
+    });
+  });
+  std::thread second([&]() {
+    while (!a_in_txn.load()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    exec.RunTransaction("second", [&](MethodCtx& txn) -> Value {
+      return txn.Invoke("acct", second_op);
+    });
+    b_done.store(true);
+  });
+  first.join();
+  second.join();
+  return b_done_inside_a.load();
+}
+
+TEST(GemstoneProtocolTest, SharedReadsRunConcurrently) {
+  // The honest baseline: read-only methods take SHARED whole-object locks,
+  // so a reader transaction completes while another reader still holds the
+  // object — under the old exclusive-only locks reader B would block until
+  // reader A's top-level completion.
+  ObjectBase base;
+  base.CreateObject("acct", adt::MakeBankAccountSpec(100));
+  Executor exec(base, {.protocol = kP});
+  EXPECT_TRUE(SecondTxnCompletesInsideFirst(exec, "balance", {}, "balance",
+                                            /*wait_ms=*/2000))
+      << "a read-only transaction could not complete while another reader "
+         "held its shared lock";
+  VerifyHistory(exec, "GEMSTONE shared readers");
+}
+
+TEST(GemstoneProtocolTest, WritersStillExcludeReaders) {
+  // The dual direction: while a writer holds its exclusive lock, a reader
+  // cannot complete.
+  ObjectBase base;
+  base.CreateObject("acct", adt::MakeBankAccountSpec(100));
+  Executor exec(base, {.protocol = kP});
+  EXPECT_FALSE(SecondTxnCompletesInsideFirst(exec, "deposit", {5}, "balance",
+                                             /*wait_ms=*/150))
+      << "a reader completed while a writer held its exclusive lock";
+  VerifyHistory(exec, "GEMSTONE writer exclusion");
+}
+
+TEST(GemstoneProtocolTest, SharedReadsOffRestoresExclusiveBaseline) {
+  // The E1d ablation switch: with shared reads off, even two read-only
+  // transactions exclude each other (the pre-overhaul baseline).
+  ObjectBase base;
+  base.CreateObject("acct", adt::MakeBankAccountSpec(100));
+  Executor exec(base, {.protocol = kP, .gemstone_shared_reads = false});
+  EXPECT_FALSE(SecondTxnCompletesInsideFirst(exec, "balance", {}, "balance",
+                                             /*wait_ms=*/150))
+      << "exclusive-only mode let two readers overlap";
+}
+
 TEST(GemstoneProtocolTest, LocksReleasedAtTopCompletion) {
   ObjectBase base;
   base.CreateObject("c", adt::MakeCounterSpec(0));

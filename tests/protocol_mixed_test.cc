@@ -2,6 +2,9 @@
 // end-to-end correctness, including the B-tree crabbing object.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
+
 #include "src/adt/btree_dictionary_adt.h"
 #include "tests/protocol_harness.h"
 
@@ -105,6 +108,64 @@ TEST(MixedProtocolTest, BTreeObjectUnderContention) {
     return Value();
   });
   VerifyHistory(exec, "MIXED btree scenario");
+}
+
+TEST(MixedProtocolTest, PolicyFlipMidRunIsRaceFreeAndSerialisable) {
+  // Regression for the SetPolicy/PolicyFor data race: the policy table used
+  // to be a plain vector that SetPolicy resized while concurrent
+  // ExecuteLocal calls read it lock-free.  Now slots are atomic and sized
+  // once, so flipping a policy mid-run is safe: in-flight steps keep the
+  // admission they passed, new steps see the new policy, and the delegated
+  // certifier keeps the mix serialisable either way.  The TSan CI job runs
+  // this test.
+  ObjectBase base;
+  base.CreateObject("hot", adt::MakeCounterSpec(0));
+  base.CreateObject("side", adt::MakeCounterSpec(0));
+  Executor exec(base, {.protocol = kP});
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 4; ++t) {
+    workers.emplace_back([&, t]() {
+      Rng rng(515 + t);
+      for (int i = 0; i < 120; ++i) {
+        exec.RunTransaction("bump", [&](MethodCtx& txn) -> Value {
+          txn.Invoke("hot", "add", {1});
+          txn.Invoke("side", "add", {1});
+          return Value();
+        });
+      }
+    });
+  }
+  std::thread flipper([&]() {
+    const cc::IntraPolicy policies[] = {
+        cc::IntraPolicy::kLocal2pl, cc::IntraPolicy::kOptimistic,
+        cc::IntraPolicy::kTimestamp};
+    int i = 0;
+    while (!stop.load()) {
+      EXPECT_TRUE(exec.SetIntraPolicy("hot", policies[i++ % 3]));
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  });
+  for (auto& w : workers) w.join();
+  stop.store(true);
+  flipper.join();
+  const int64_t committed =
+      static_cast<int64_t>(exec.stats().committed.load());
+  EXPECT_GT(committed, 0);
+  exec.RunTransaction("check", [&](MethodCtx& txn) {
+    EXPECT_EQ(txn.Invoke("hot", "get").AsInt(), committed);
+    EXPECT_EQ(txn.Invoke("side", "get").AsInt(), committed);
+    return Value();
+  });
+  VerifyHistory(exec, "MIXED policy flip mid-run");
+}
+
+TEST(MixedProtocolTest, SetPolicyRejectsUnknownObjects) {
+  ObjectBase base;
+  base.CreateObject("c", adt::MakeCounterSpec(0));
+  Executor exec(base, {.protocol = kP});
+  EXPECT_TRUE(exec.SetIntraPolicy("c", cc::IntraPolicy::kLocal2pl));
+  EXPECT_FALSE(exec.SetIntraPolicy("nope", cc::IntraPolicy::kLocal2pl));
 }
 
 TEST(MixedProtocolTest, PolicyNamesExposed) {

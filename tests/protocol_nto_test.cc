@@ -112,11 +112,11 @@ TEST(NtoProtocolTest, RegistryStepPathIsMutexFree) {
   base.CreateObject("c", adt::MakeCounterSpec(0));
   Executor exec(base, {.protocol = kP, .record = false});
   constexpr int kSteps = 100;
-  exec.DefineMethod("c", "bump_many", [](MethodCtx& m) -> Value {
+  ASSERT_TRUE(exec.DefineMethod("c", "bump_many", [](MethodCtx& m) -> Value {
     const adt::OpDescriptor* add = m.ResolveLocal("add");
     for (int i = 0; i < kSteps; ++i) m.Local(*add, {1});
     return Value();
-  });
+  }));
   MethodRef bump = exec.Resolve("c", "bump_many");
   constexpr int kTxns = 20;
   const uint64_t before = cc::DepGraphMutexAcquisitions().load();
@@ -138,12 +138,12 @@ TEST(NtoProtocolTest, SequentialSiblingsNeverSelfAbort) {
   ObjectBase base;
   base.CreateObject("r", adt::MakeRegisterSpec(0));
   Executor exec(base, {.protocol = kP});
-  exec.DefineMethod("r", "write_twice", [](MethodCtx& m) -> Value {
+  ASSERT_TRUE(exec.DefineMethod("r", "write_twice", [](MethodCtx& m) -> Value {
     m.Local("write", {1});
     m.Local("write", {2});
     m.Invoke("r", "write", {3});  // nested sibling-of-self message
     return Value();
-  });
+  }));
   TxnResult r = exec.RunTransaction("t", [](MethodCtx& txn) {
     txn.Invoke("r", "write_twice");
     return txn.Invoke("r", "read");
