@@ -7,8 +7,11 @@
 
 namespace objectbase::cc {
 
-CertController::CertController(rt::Recorder& recorder, Granularity granularity)
-    : recorder_(recorder), granularity_(granularity) {}
+CertController::CertController(rt::Recorder& recorder, Granularity granularity,
+                               size_t fold_threshold)
+    : recorder_(recorder),
+      granularity_(granularity),
+      fold_threshold_(fold_threshold) {}
 
 void CertController::OnTopBegin(rt::TxnNode& top) {
   // Cache the packed slot handle on the node: every per-step doom poll and
@@ -30,73 +33,83 @@ OpOutcome CertController::ExecuteLocal(rt::TxnNode& txn, rt::Object& obj,
 
   // Opportunistic watermark GC (the same retirement rule as NTO); folds a
   // committed prefix of the journal into the base state.  The cadence
-  // poll is lock-free (atomic journal length + lock-free watermark scan).
-  {
-    const size_t size = obj.applied_log_size();
-    if (size >= 64 && size % 32 == 0) {
-      obj.FoldPrefix(deps_.MinActiveCounter());
-    }
+  // poll is lock-free (AppliedJournal::WantsFold + lock-free watermark
+  // scan).
+  if (obj.journal().WantsFold(fold_threshold_)) {
+    obj.FoldPrefix(deps_.MinActiveCounter());
   }
 
   // Objects that synchronise internally (the latch-crabbing B-tree) run
   // their operations concurrently — UNLESS a history is being recorded, in
   // which case applications are serialised so the recorded application
   // order is exact (the formal oracle needs it).
+  const bool exclusive = !obj.concurrent_apply() || recorder_.enabled();
   std::unique_lock<std::shared_mutex> excl_guard(obj.state_mu(),
                                                  std::defer_lock);
   std::shared_lock<std::shared_mutex> shared_guard(obj.state_mu(),
                                                    std::defer_lock);
-  if (!obj.concurrent_apply() || recorder_.enabled()) {
+  if (exclusive) {
     excl_guard.lock();
   } else {
     shared_guard.lock();
   }
-  // Apply first (optimistic), then report conflicts; with kStep granularity
-  // the scan sees the actual return value.
+  // Apply first (optimistic), then PUBLISH the journal entry, then scan the
+  // window below it.  Publish-before-scan is what replaces the old log
+  // mutex's scan/append atomicity: of two concurrent conflicting appenders
+  // the one with the larger position is guaranteed to see the other
+  // (docs/journal.md), so no conflict edge is ever missed.  Under the
+  // exclusive latch the window is exactly the old "everything before me".
   adt::ApplyResult applied = op.apply(obj.state(), args);
+  uint64_t seq = recorder_.NextSeq();
+  txn.PushUndo(rt::UndoRecord{seq, &obj, std::move(applied.undo)});
+  recorder_.RecordLocalStep(txn.exec_id, txn.NextPo(), obj.id(), op.name,
+                            args, applied.ret, seq, seq);
+  rt::JournalRecord entry;
+  entry.seq = seq;
+  entry.exec_uid = txn.uid();
+  entry.top_uid = my_top;
+  entry.dep = my_ref.raw();
+  entry.chain = txn.ChainPtr();
+  entry.hts = txn.HtsSnapshot();
+  entry.op_id = op.id;
+  entry.args = args;
+  entry.ret = applied.ret;
+  const uint64_t my_pos = obj.journal().Append(std::move(entry));
+  bool doomed = false;
   {
-    std::lock_guard<std::mutex> g(obj.log_mu());
+    rt::AppliedJournal::Scan scan(obj.journal());
     uint64_t last_dep = 0;  // consecutive same-writer entries: one edge
-    for (const rt::Object::Applied& e : obj.applied_log()) {
-      if (e.aborted) continue;
-      if (!e.IncomparableWith(chain)) continue;
-      bool conflict;
-      if (granularity_ == Granularity::kStep) {
-        adt::StepView first{obj.spec().OpAt(e.op_id).name, &e.args, &e.ret,
-                            e.op_id};
-        adt::StepView second{op.name, &args, &applied.ret, op.id};
-        conflict = obj.spec().StepConflicts(first, second);
-      } else {
-        conflict = obj.spec().OpConflictsById(e.op_id, op.id);
-      }
-      if (!conflict) continue;
-      if (e.top_uid != my_top) {
-        if (e.dep != last_dep) {
-          last_dep = e.dep;
-          deps_.AddDependency(DepRef::FromRaw(e.dep), my_ref);
-        }
-      } else {
-        std::lock_guard<std::mutex> sg(sibling_mu_);
-        sibling_edges_[my_top].push_back(SiblingEdge{*e.chain, chain});
-      }
-    }
-    uint64_t seq = recorder_.NextSeq();
-    txn.PushUndo(rt::UndoRecord{seq, &obj, std::move(applied.undo)});
-    recorder_.RecordLocalStep(txn.exec_id, txn.NextPo(), obj.id(), op.name,
-                              args, applied.ret, seq, seq);
-    rt::Object::Applied entry;
-    entry.seq = seq;
-    entry.exec_uid = txn.uid();
-    entry.top_uid = my_top;
-    entry.dep = my_ref.raw();
-    entry.chain = txn.ChainPtr();
-    entry.hts = txn.HtsSnapshot();
-    entry.op_id = op.id;
-    entry.args = args;
-    entry.ret = applied.ret;
-    obj.applied_log().push_back(std::move(entry));
-    obj.NoteLogAppended();
+    scan.ForEachConflicting(
+        obj.ConflictRowFor(op.id), my_pos, exclusive,
+        [&](const rt::AppliedJournal::Entry& e) {
+          if (e.IsAborted()) return true;
+          if (!e.IncomparableWith(chain)) return true;
+          if (granularity_ == Granularity::kStep) {
+            adt::StepView first{obj.spec().OpAt(e.op_id).name, &e.args,
+                                &e.ret, e.op_id};
+            adt::StepView second{op.name, &args, &applied.ret, op.id};
+            if (!obj.spec().StepConflicts(first, second)) return true;
+          }  // else: the conflict row already applied the op-level test
+          if (e.top_uid != my_top) {
+            if (e.dep != last_dep) {
+              last_dep = e.dep;
+              deps_.AddDependency(DepRef::FromRaw(e.dep), my_ref);
+              // Abort-marking recheck (docs/journal.md): a writer that
+              // aborted while we raced here may have retired its slot
+              // before the edge landed; its marking is visible by now.
+              if (e.IsAborted()) {
+                doomed = true;
+                return false;
+              }
+            }
+          } else {
+            std::lock_guard<std::mutex> sg(sibling_mu_);
+            sibling_edges_[my_top].push_back(SiblingEdge{*e.chain, chain});
+          }
+          return true;
+        });
   }
+  if (doomed) return OpOutcome::Abort(AbortReason::kDoomed);
   return OpOutcome::Ok(std::move(applied.ret));
 }
 
@@ -171,11 +184,18 @@ void CollectObjects(rt::TxnNode& node, std::vector<rt::Object*>& out) {
 
 void CertController::OnAbort(rt::TxnNode& node) {
   // Mark the subtree's journal entries aborted and rebuild each touched
-  // object's state from its base (see Object::AbortEntriesAndRebuild).
+  // object's state from its base.  The rebuild front-runs the doom
+  // cascade and excludes doomed transactions' entries (rebuild soundness
+  // — see Object::AbortEntriesAndRebuild and docs/journal.md).
   std::vector<rt::Object*> touched;
   CollectObjects(node, touched);
+  const DepRef top_ref = DepRef::FromRaw(node.top()->dep_handle());
   for (rt::Object* obj : touched) {
-    obj->AbortEntriesAndRebuild(node.uid());
+    obj->AbortEntriesAndRebuild(
+        node.uid(), [&] { deps_.DoomSuccessorsTransitively(top_ref); },
+        [&](uint64_t dep_raw) {
+          return deps_.IsDoomed(DepRef::FromRaw(dep_raw));
+        });
   }
   if (node.parent() == nullptr) {
     deps_.MarkAborted(DepRef::FromRaw(node.dep_handle()));

@@ -34,7 +34,11 @@ namespace objectbase::cc {
 
 class CertController : public Controller {
  public:
-  CertController(rt::Recorder& recorder, Granularity granularity);
+  /// `fold_threshold`: journal-GC cadence (fold at threshold, then every
+  /// threshold/2 entries); 0 disables folding — tests use it to pin the
+  /// zero-journal-mutex steady state.
+  CertController(rt::Recorder& recorder, Granularity granularity,
+                 size_t fold_threshold = 64);
 
   const char* name() const override { return "CERT"; }
 
@@ -64,6 +68,7 @@ class CertController : public Controller {
 
   rt::Recorder& recorder_;
   Granularity granularity_;
+  size_t fold_threshold_;
   DependencyGraph deps_;
   std::mutex sibling_mu_;
   std::map<uint64_t, std::vector<SiblingEdge>> sibling_edges_;  // by top uid

@@ -90,12 +90,15 @@ void DependencyGraph::AddDependency(DepRef from, DepRef to) {
   if (!from.valid() || !to.valid() || from.raw() == to.raw()) return;
   Slot& f = SlotAt(from.slot());
   // A stale handle means `from` finished and retired; for the protocol
-  // call sites that implies it committed (aborts mark the journal entry
-  // before MarkAborted runs, and the edge-recording scan is ordered with
-  // that marking by the object's log_mu), so the edge is inert — exactly
-  // a committed predecessor.  This is the common case when scanning a
-  // journal full of settled writers, so bail out before the lock; the
-  // generation is monotonic, making the unlocked test conservative only.
+  // call sites that implies it committed OR that its abort marking is
+  // already visible: aborts mark the journal entry before MarkAborted
+  // runs, the retirement's generation bump release-publishes that
+  // marking, and the lock-free scans RE-CHECK the entry's aborted flag
+  // after recording the edge (the recheck protocol of docs/journal.md).
+  // So treating a stale `from` as an inert committed predecessor is
+  // sound.  This is the common case when scanning a journal full of
+  // settled writers, so bail out before the lock; the generation is
+  // monotonic, making the unlocked test conservative only.
   if (WordGen(f.word.load(std::memory_order_acquire)) != from.gen()) return;
   bool doom_to = false;
   {
@@ -385,6 +388,59 @@ void DependencyGraph::TryRetire(DepRef t) {
     std::lock_guard<std::mutex> g(CountLock(pool_mu_));
     free_slots_.push_back(t.slot());
   }
+}
+
+void DependencyGraph::DoomSuccessorsTransitively(DepRef t) {
+  if (!t.valid()) return;
+  std::vector<uint64_t> work{t.raw()};
+  std::vector<uint64_t> visited;  // CERT edges can form cycles
+  while (!work.empty()) {
+    const DepRef cur = DepRef::FromRaw(work.back());
+    work.pop_back();
+    Slot& s = SlotAt(cur.slot());
+    std::vector<uint64_t> succs;
+    {
+      std::lock_guard<std::mutex> g(CountLock(s.edge_mu));
+      if (WordGen(s.word.load(std::memory_order_relaxed)) != cur.gen()) {
+        continue;  // retired: its cascade already ran at its finish
+      }
+      succs = s.succs;
+    }
+    for (uint64_t raw : succs) {
+      if (Contains(visited, raw)) continue;
+      visited.push_back(raw);
+      const DepRef sr = DepRef::FromRaw(raw);
+      if (DoomIfLive(sr)) {
+        NotifySlot(sr.slot());
+        work.push_back(raw);
+      }
+    }
+  }
+}
+
+std::vector<uint64_t> DependencyGraph::UnfinishedPredecessorUids(
+    DepRef t) const {
+  std::vector<uint64_t> uids;
+  if (!t.valid()) return uids;
+  Slot& s = SlotAt(t.slot());
+  std::vector<uint64_t> preds;
+  {
+    std::lock_guard<std::mutex> g(CountLock(s.edge_mu));
+    if (WordGen(s.word.load(std::memory_order_relaxed)) != t.gen()) {
+      return uids;
+    }
+    preds = s.preds;
+  }
+  for (uint64_t raw : preds) {
+    const DepRef p = DepRef::FromRaw(raw);
+    Slot& ps = SlotAt(p.slot());
+    std::lock_guard<std::mutex> g(CountLock(ps.edge_mu));
+    const uint64_t w = ps.word.load(std::memory_order_relaxed);
+    if (WordGen(w) != p.gen()) continue;  // retired => finished long ago
+    if (StatusFinished(WordStatus(w))) continue;
+    uids.push_back(ps.top_uid);
+  }
+  return uids;
 }
 
 uint64_t DependencyGraph::MinActiveCounter() const {

@@ -146,6 +146,25 @@ class DependencyGraph {
   /// that conflicted after it, wakes waiters and retires settled slots.
   void MarkAborted(DepRef t);
 
+  /// Front-runs MarkAborted's cascade: transitively dooms every unfinished
+  /// transaction reachable through recorded successor edges, WITHOUT
+  /// changing `t`'s status or settling anything.  The rebuild-based
+  /// rollback calls this inside the object's apply-exclusive section so it
+  /// can exclude doomed transactions' journal entries from the replay —
+  /// re-applying a survivor whose outcome depended on the excised prefix
+  /// would silently change the state (fuzz-found; see docs/journal.md,
+  /// "Rebuild soundness").  Safe to over-approximate: dooming only ever
+  /// causes aborts.
+  void DoomSuccessorsTransitively(DepRef t);
+
+  /// Top uids of `t`'s recorded predecessors that have not yet finished —
+  /// the transactions a ValidateAndWait(t) would block on right now.  A
+  /// composing layer (MIXED) feeds these to the lock manager's waits-for
+  /// graph before blocking, so lock/commit-wait cycles are detectable.
+  /// Per-slot locks only; safe to call from the committing thread (edges
+  /// into t are recorded by t's own threads, so the set is stable here).
+  std::vector<uint64_t> UnfinishedPredecessorUids(DepRef t) const;
+
   /// The smallest serial counter among active transactions, or UINT64_MAX
   /// when none are active.  NTO uses this to retire remembered steps.
   /// Lock-free scan of the (dense, peak-concurrency-sized) slot table.

@@ -125,6 +125,14 @@ class LockManager {
   }
   void NoteFinished(uint64_t thread_key) { wfg_.ClearRunning(thread_key); }
 
+  /// The thread-level waits-for registry.  Exposed so a composing layer
+  /// can declare NON-lock waits that hold locks across them — MIXED's
+  /// commit-wait on certifier predecessors is invisible to the lock-only
+  /// graph otherwise, which turns a lock/commit-wait cycle into an
+  /// undetected cross-layer deadlock (found by the cross-protocol fuzz;
+  /// see MixedController::OnTopCommit).
+  WaitsForGraph& waits_for() { return wfg_; }
+
   size_t LockCount();
 
  private:

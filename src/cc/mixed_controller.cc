@@ -14,9 +14,10 @@ const char* IntraPolicyName(IntraPolicy p) {
   return "?";
 }
 
-MixedController::MixedController(rt::Recorder& recorder, size_t num_objects)
+MixedController::MixedController(rt::Recorder& recorder, size_t num_objects,
+                                 size_t fold_threshold)
     : recorder_(recorder),
-      certifier_(recorder, Granularity::kStep),
+      certifier_(recorder, Granularity::kStep, fold_threshold),
       policy_count_(num_objects),
       policies_(std::make_unique<std::atomic<int8_t>[]>(num_objects)) {
   for (size_t i = 0; i < policy_count_; ++i) {
@@ -64,17 +65,29 @@ OpOutcome MixedController::ExecuteLocal(rt::TxnNode& txn, rt::Object& obj,
     }
     case IntraPolicy::kTimestamp: {
       // Object-local NTO rule 1: abort when a conflicting remembered step
-      // of an incomparable execution carries a larger timestamp.
+      // of an incomparable execution carries a larger timestamp.  This is
+      // an ADVISORY admission test (the certifier below still records the
+      // real conflicts), and it runs before the apply latch is taken — so
+      // the lock-free scan, which may miss an in-flight concurrent append,
+      // is exactly as strong as the old mutex-guarded pre-scan was.
       const std::vector<uint64_t>& chain = txn.AncestorChain();
+      bool ts_reject = false;
       {
-        std::lock_guard<std::mutex> g(obj.log_mu());
-        for (const rt::Object::Applied& e : obj.applied_log()) {
-          if (!e.IncomparableWith(chain)) continue;
-          if (!obj.spec().OpConflictsById(e.op_id, op.id)) continue;
-          if (*e.hts > txn.hts()) {
-            return OpOutcome::Abort(AbortReason::kTimestampOrder);
-          }
-        }
+        rt::AppliedJournal::Scan scan(obj.journal());
+        scan.ForEachConflicting(
+            obj.ConflictRowFor(op.id), scan.end_pos(), /*exclusive=*/false,
+            [&](const rt::AppliedJournal::Entry& e) {
+              if (e.IsAborted()) return true;
+              if (!e.IncomparableWith(chain)) return true;
+              if (*e.hts > txn.hts()) {
+                ts_reject = true;
+                return false;
+              }
+              return true;
+            });
+      }
+      if (ts_reject) {
+        return OpOutcome::Abort(AbortReason::kTimestampOrder);
       }
       return certifier_.ExecuteLocal(txn, obj, op, args);
     }
@@ -93,7 +106,28 @@ void MixedController::OnChildCommit(rt::TxnNode& child) {
 }
 
 bool MixedController::OnTopCommit(rt::TxnNode& top, AbortReason* reason) {
-  return certifier_.OnTopCommit(top, reason);
+  // Cross-layer deadlock guard (found by the cross-protocol fuzz): the
+  // certifier's commit-wait blocks until every conflict predecessor
+  // finishes, while this transaction still HOLDS its strict local-2pl
+  // locks.  A predecessor blocked on one of those locks closes a cycle
+  // neither detector can see alone — the lock manager's waits-for graph
+  // only records lock waits, and the certifier's cycle veto only records
+  // dependency edges.  Declaring the commit-wait in the waits-for graph
+  // makes the composite cycle visible: whichever side registers second
+  // detects it, and a kDeadlock abort here cascades into the predecessor's
+  // waiter the usual way.
+  const DepRef ref = DepRef::FromRaw(top.dep_handle());
+  const std::vector<uint64_t> preds =
+      certifier_.deps().UnfinishedPredecessorUids(ref);
+  if (preds.empty()) return certifier_.OnTopCommit(top, reason);
+  const uint64_t thread_key = ThisThreadKey();
+  if (locks_.waits_for().SetWaitingWouldDeadlock(thread_key, preds)) {
+    *reason = AbortReason::kDeadlock;
+    return false;
+  }
+  const bool ok = certifier_.OnTopCommit(top, reason);
+  locks_.waits_for().ClearWaiting(thread_key);
+  return ok;
 }
 
 void MixedController::OnAbort(rt::TxnNode& node) {

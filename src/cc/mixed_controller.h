@@ -48,7 +48,10 @@ class MixedController : public Controller {
   /// `num_objects` sizes the policy table once (the ObjectBase is fully
   /// populated before an Executor is built), so PolicyFor never races a
   /// resize.
-  MixedController(rt::Recorder& recorder, size_t num_objects);
+  /// `fold_threshold`: the certifier's journal-GC cadence (see
+  /// CertController); 0 disables folding.
+  MixedController(rt::Recorder& recorder, size_t num_objects,
+                  size_t fold_threshold = 64);
 
   const char* name() const override { return "MIXED"; }
 

@@ -3,14 +3,16 @@
 #include <algorithm>
 
 #include "src/runtime/apply.h"
+#include "src/runtime/journal.h"
 
 namespace objectbase::cc {
 
 NtoController::NtoController(rt::Recorder& recorder, Granularity granularity,
-                             bool gc_enabled)
+                             bool gc_enabled, size_t fold_threshold)
     : recorder_(recorder),
       granularity_(granularity),
-      gc_enabled_(gc_enabled) {}
+      gc_enabled_(gc_enabled && fold_threshold != 0),
+      fold_threshold_(fold_threshold) {}
 
 void NtoController::OnTopBegin(rt::TxnNode& top) {
   // Cache the packed slot handle on the node: every per-step doom poll and
@@ -26,13 +28,12 @@ namespace {
 // against them again (the active-watermark mechanism of Section 5.2).
 // Folding keeps the journal a suffix of the object's history, which the
 // rebuild-based rollback relies on.  Caller must hold no object locks.
-void MaybeGc(rt::Object& obj, DependencyGraph& deps) {
-  // Lock-free cadence poll (the counter mirrors the journal length); the
-  // fold itself re-checks under the real locks.  MinActiveCounter is a
-  // lock-free slot scan, so the whole GC probe costs the step path no
-  // mutex when it does not fire.
-  const size_t size = obj.applied_log_size();
-  if (size < 64 || size % 32 != 0) return;
+void MaybeGc(rt::Object& obj, DependencyGraph& deps, size_t threshold) {
+  // Lock-free cadence poll (AppliedJournal::WantsFold is two relaxed
+  // loads); the fold itself re-checks under the apply serialisation.
+  // MinActiveCounter is a lock-free slot scan, so the whole GC probe
+  // costs the step path no mutex when it does not fire.
+  if (!obj.journal().WantsFold(threshold)) return;
   obj.FoldPrefix(deps.MinActiveCounter());
 }
 
@@ -48,33 +49,52 @@ OpOutcome NtoController::ExecuteLocal(rt::TxnNode& txn, rt::Object& obj,
   if (deps_.IsDoomed(my_ref)) {
     return OpOutcome::Abort(AbortReason::kDoomed);
   }
-  if (gc_enabled_) MaybeGc(obj, deps_);
+  if (gc_enabled_) MaybeGc(obj, deps_, fold_threshold_);
 
   const std::vector<uint64_t>& chain = txn.AncestorChain();
   const Hts& my_hts = txn.hts();
   const uint64_t my_top = txn.top()->uid();
+  const std::vector<adt::OpId>& row = obj.ConflictRowFor(op.id);
 
+  // NTO always applies under the exclusive latch, so the journal's per-op
+  // conflict indices are complete here (journal.h) and scan-then-append is
+  // atomic with respect to every other appender.
   std::lock_guard<std::shared_mutex> state_guard(obj.state_mu());
 
   if (granularity_ == Granularity::kOperation) {
     // Conservative test against remembered operation classes before
-    // executing (Section 5.2's first implementation).
+    // executing (Section 5.2's first implementation).  Lock-free scan.
+    bool ts_reject = false;
+    bool doomed = false;
     {
-      std::lock_guard<std::mutex> g(obj.log_mu());
+      rt::AppliedJournal::Scan scan(obj.journal());
       uint64_t last_dep = 0;  // consecutive same-writer entries: one edge
-      for (const rt::Object::Applied& e : obj.applied_log()) {
-        if (e.aborted) continue;
-        if (!e.IncomparableWith(chain)) continue;  // rule 1 exempts kin
-        if (!obj.spec().OpConflictsById(e.op_id, op.id)) continue;
-        if (*e.hts > my_hts) {
-          return OpOutcome::Abort(AbortReason::kTimestampOrder);
-        }
-        if (e.top_uid != my_top && e.dep != last_dep) {
-          last_dep = e.dep;
-          deps_.AddDependency(DepRef::FromRaw(e.dep), my_ref);
-        }
-      }
+      scan.ForEachConflicting(
+          row, scan.end_pos(), /*exclusive=*/true,
+          [&](const rt::AppliedJournal::Entry& e) {
+            if (e.IsAborted()) return true;
+            if (!e.IncomparableWith(chain)) return true;  // rule 1: kin
+            if (*e.hts > my_hts) {
+              ts_reject = true;
+              return false;
+            }
+            if (e.top_uid != my_top && e.dep != last_dep) {
+              last_dep = e.dep;
+              deps_.AddDependency(DepRef::FromRaw(e.dep), my_ref);
+              // Abort-marking/edge-recording recheck (docs/journal.md): if
+              // the writer aborted while we raced here, its slot may have
+              // retired before our edge landed — the marking is visible by
+              // now, so observing it closes the cascade window.
+              if (e.IsAborted()) {
+                doomed = true;
+                return false;
+              }
+            }
+            return true;
+          });
     }
+    if (ts_reject) return OpOutcome::Abort(AbortReason::kTimestampOrder);
+    if (doomed) return OpOutcome::Abort(AbortReason::kDoomed);
     rt::AppliedOutcome out = rt::ApplyLocked(txn, obj, op, args, recorder_,
                                              /*append_applied_log=*/true);
     return OpOutcome::Ok(std::move(out.ret));
@@ -84,43 +104,56 @@ OpOutcome NtoController::ExecuteLocal(rt::TxnNode& txn, rt::Object& obj,
   // object's other local operations — we hold state_mu), then the conflict
   // test sees the actual return value.
   adt::ApplyResult provisional = op.apply(obj.state(), args);
+  bool ts_reject = false;
+  bool doomed = false;
   {
-    std::lock_guard<std::mutex> g(obj.log_mu());
+    rt::AppliedJournal::Scan scan(obj.journal());
     uint64_t last_dep = 0;  // consecutive same-writer entries: one edge
-    for (const rt::Object::Applied& e : obj.applied_log()) {
-      if (e.aborted) continue;
-      if (!e.IncomparableWith(chain)) continue;
-      adt::StepView first{obj.spec().OpAt(e.op_id).name, &e.args, &e.ret,
-                          e.op_id};
-      adt::StepView second{op.name, &args, &provisional.ret, op.id};
-      if (!obj.spec().StepConflicts(first, second)) continue;
-      if (*e.hts > my_hts) {
-        if (provisional.undo) provisional.undo(obj.state());
-        return OpOutcome::Abort(AbortReason::kTimestampOrder);
-      }
-      if (e.top_uid != my_top && e.dep != last_dep) {
-        last_dep = e.dep;
-        deps_.AddDependency(DepRef::FromRaw(e.dep), my_ref);
-      }
-    }
-    // Accept the provisional step as real.
-    uint64_t seq = recorder_.NextSeq();
-    txn.PushUndo(rt::UndoRecord{seq, &obj, std::move(provisional.undo)});
-    recorder_.RecordLocalStep(txn.exec_id, txn.NextPo(), obj.id(), op.name,
-                              args, provisional.ret, seq, seq);
-    rt::Object::Applied entry;
-    entry.seq = seq;
-    entry.exec_uid = txn.uid();
-    entry.top_uid = my_top;
-    entry.dep = my_ref.raw();
-    entry.chain = txn.ChainPtr();
-    entry.hts = txn.HtsSnapshot();
-    entry.op_id = op.id;
-    entry.args = args;
-    entry.ret = provisional.ret;
-    obj.applied_log().push_back(std::move(entry));
-    obj.NoteLogAppended();
+    scan.ForEachConflicting(
+        row, scan.end_pos(), /*exclusive=*/true,
+        [&](const rt::AppliedJournal::Entry& e) {
+          if (e.IsAborted()) return true;
+          if (!e.IncomparableWith(chain)) return true;
+          adt::StepView first{obj.spec().OpAt(e.op_id).name, &e.args, &e.ret,
+                              e.op_id};
+          adt::StepView second{op.name, &args, &provisional.ret, op.id};
+          if (!obj.spec().StepConflicts(first, second)) return true;
+          if (*e.hts > my_hts) {
+            ts_reject = true;
+            return false;
+          }
+          if (e.top_uid != my_top && e.dep != last_dep) {
+            last_dep = e.dep;
+            deps_.AddDependency(DepRef::FromRaw(e.dep), my_ref);
+            if (e.IsAborted()) {  // recheck, see above
+              doomed = true;
+              return false;
+            }
+          }
+          return true;
+        });
   }
+  if (ts_reject || doomed) {
+    if (provisional.undo) provisional.undo(obj.state());
+    return OpOutcome::Abort(ts_reject ? AbortReason::kTimestampOrder
+                                      : AbortReason::kDoomed);
+  }
+  // Accept the provisional step as real.
+  uint64_t seq = recorder_.NextSeq();
+  txn.PushUndo(rt::UndoRecord{seq, &obj, std::move(provisional.undo)});
+  recorder_.RecordLocalStep(txn.exec_id, txn.NextPo(), obj.id(), op.name,
+                            args, provisional.ret, seq, seq);
+  rt::JournalRecord entry;
+  entry.seq = seq;
+  entry.exec_uid = txn.uid();
+  entry.top_uid = my_top;
+  entry.dep = my_ref.raw();
+  entry.chain = txn.ChainPtr();
+  entry.hts = txn.HtsSnapshot();
+  entry.op_id = op.id;
+  entry.args = args;
+  entry.ret = provisional.ret;
+  obj.journal().Append(std::move(entry));
   return OpOutcome::Ok(std::move(provisional.ret));
 }
 
@@ -149,10 +182,19 @@ void CollectObjects(rt::TxnNode& node, std::vector<rt::Object*>& out) {
 void NtoController::OnAbort(rt::TxnNode& node) {
   // Mark the subtree's journal entries aborted and rebuild each touched
   // object's state from its base (see the recovery note in the header).
+  // Marking precedes MarkAborted, which the lock-free scans' recheck
+  // protocol relies on; the rebuild front-runs the doom cascade and
+  // excludes doomed transactions' entries (rebuild soundness — see
+  // Object::AbortEntriesAndRebuild and docs/journal.md).
   std::vector<rt::Object*> touched;
   CollectObjects(node, touched);
+  const DepRef top_ref = DepRef::FromRaw(node.top()->dep_handle());
   for (rt::Object* obj : touched) {
-    obj->AbortEntriesAndRebuild(node.uid());
+    obj->AbortEntriesAndRebuild(
+        node.uid(), [&] { deps_.DoomSuccessorsTransitively(top_ref); },
+        [&](uint64_t dep_raw) {
+          return deps_.IsDoomed(DepRef::FromRaw(dep_raw));
+        });
   }
   if (node.parent() == nullptr) {
     deps_.MarkAborted(DepRef::FromRaw(node.dep_handle()));
@@ -168,10 +210,7 @@ void NtoController::OnTopFinished(rt::TxnNode&) {
 size_t NtoController::RememberedEntries(
     const std::vector<rt::Object*>& objects) {
   size_t n = 0;
-  for (rt::Object* o : objects) {
-    std::lock_guard<std::mutex> g(o->log_mu());
-    n += o->applied_log().size();
-  }
+  for (rt::Object* o : objects) n += o->applied_log_size();
   return n;
 }
 

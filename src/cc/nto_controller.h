@@ -39,8 +39,12 @@ namespace objectbase::cc {
 
 class NtoController : public Controller {
  public:
+  /// `fold_threshold` is the journal-GC cadence: fold once the journal
+  /// reaches it, every threshold/2 entries after.  0 disables folding, as
+  /// does gc_enabled=false (the E8 ablation) — tests use it to pin the
+  /// zero-journal-mutex steady state.
   NtoController(rt::Recorder& recorder, Granularity granularity,
-                bool gc_enabled = true);
+                bool gc_enabled = true, size_t fold_threshold = 64);
 
   const char* name() const override { return "NTO"; }
 
@@ -65,6 +69,7 @@ class NtoController : public Controller {
   rt::Recorder& recorder_;
   Granularity granularity_;
   bool gc_enabled_;
+  size_t fold_threshold_;
   DependencyGraph deps_;
 };
 

@@ -40,8 +40,10 @@ inline AppliedOutcome ApplyLocked(TxnNode& txn, Object& obj,
   recorder.RecordLocalStep(txn.exec_id, txn.NextPo(), obj.id(), op.name, args,
                            applied.ret, start, end);
   if (append_applied_log) {
-    std::lock_guard<std::mutex> g(obj.log_mu());
-    Object::Applied entry;
+    // Lock-free: reserve-and-publish inside this apply critical section
+    // (the caller holds the object's apply serialisation), so the journal
+    // position order is the application order.
+    JournalRecord entry;
     entry.seq = end;
     entry.exec_uid = txn.uid();
     entry.top_uid = txn.top()->uid();
@@ -51,8 +53,7 @@ inline AppliedOutcome ApplyLocked(TxnNode& txn, Object& obj,
     entry.op_id = op.id;
     entry.args = args;
     entry.ret = applied.ret;
-    obj.applied_log().push_back(std::move(entry));
-    obj.NoteLogAppended();
+    obj.journal().Append(std::move(entry));
   }
   return AppliedOutcome{std::move(applied.ret), end};
 }

@@ -35,11 +35,12 @@ Executor::Executor(ObjectBase& base, ExecutorOptions options)
     }
     case Protocol::kNto:
       controller_ = std::make_unique<cc::NtoController>(
-          recorder_, options_.granularity, options_.nto_gc);
+          recorder_, options_.granularity, options_.nto_gc,
+          options_.journal_fold_threshold);
       break;
     case Protocol::kCert:
       controller_ = std::make_unique<cc::CertController>(
-          recorder_, options_.granularity);
+          recorder_, options_.granularity, options_.journal_fold_threshold);
       break;
     case Protocol::kGemstone: {
       auto gem = std::make_unique<cc::GemstoneController>(
@@ -49,8 +50,8 @@ Executor::Executor(ObjectBase& base, ExecutorOptions options)
       break;
     }
     case Protocol::kMixed: {
-      auto mixed =
-          std::make_unique<cc::MixedController>(recorder_, base_.size());
+      auto mixed = std::make_unique<cc::MixedController>(
+          recorder_, base_.size(), options_.journal_fold_threshold);
       mixed_ = mixed.get();
       lock_manager_ = &mixed->lock_manager();
       controller_ = std::move(mixed);

@@ -75,6 +75,13 @@ struct ExecutorOptions {
   int max_top_retries = 100;
   /// NTO remembered-step garbage collection (E8 ablation).
   bool nto_gc = true;
+  /// Journal-GC cadence for the optimistic protocols (NTO/CERT/MIXED):
+  /// fold the applied journal into the base state once it reaches this
+  /// many entries, every threshold/2 entries after.  0 disables folding —
+  /// the journal then grows for the run's lifetime, and the step path is
+  /// guaranteed to take zero journal mutexes (the folds are the only
+  /// locking the journal ever does; see rt::JournalMutexAcquisitions).
+  size_t journal_fold_threshold = 64;
   /// GEMSTONE: read-only operations take shared whole-object locks (the
   /// conventional read lock of the reduction); off = the old
   /// exclusive-only baseline (E1d ablation).

@@ -1,0 +1,414 @@
+// AppliedJournal: the lock-free applied-step journal of an Object.
+//
+// NTO/CERT/MIXED remember every applied local step and scan those memories
+// on EVERY subsequent step (rule 1's timestamp test, the certifier's
+// conflict window, the rebuild-based rollback).  Until PR 5 the journal was
+// a std::deque behind a per-object mutex — the last per-step mutex in the
+// optimistic protocols.  This class replaces it with an append-mostly
+// structure whose step path (append + scan) takes no mutex at all:
+//
+//   * entries live in fixed-size CHUNKS linked by atomic next pointers;
+//     the position space is grow-only (a global `reserved_` counter);
+//   * appenders reserve a position with one fetch_add, fill the entry in
+//     place and PUBLISH it with a release store of its ready flag.  Appends
+//     happen inside the object's apply critical section (state_mu held at
+//     least shared), so on exclusive-apply objects the journal order is
+//     exactly the application order — the property the recorded oracle and
+//     the rebuild path rely on;
+//   * readers walk a consistent [folded, reserved) window with ZERO locks:
+//     a Scan pins the journal (one atomic increment), snapshots the window
+//     and spins briefly on any entry that is reserved but not yet published
+//     (publication is a handful of field moves away — no locks, no waits);
+//   * FoldPrefix-style GC retires whole chunks: entries below the fold
+//     frontier are applied to the object's base state, the chunks are
+//     unlinked, parked in a limbo list and FREED only once the journal has
+//     been observed with no pinned readers after the unlink — so a scanner
+//     that raced the fold keeps dereferencing valid memory (its stale view
+//     is semantically "the scan ran before the fold");
+//   * per-op-class CONFLICT INDICES: one append-only list of entry pointers
+//     per OpId.  A conflict scan for op X visits only the lists of ops that
+//     conflict with X instead of the whole window.  The lists are complete
+//     exactly when the scanner holds the object's apply serialisation
+//     exclusively (appends happen inside that critical section); scanners
+//     that hold it shared — or not at all — fall back to the dense window
+//     walk, which is always sound (see ForEachConflicting).
+//
+// Locking contract (the caller is the Object, which owns a state_mu):
+//   * Append: caller holds the apply critical section (shared suffices).
+//   * Fold / MarkSubtreeAborted / ReplayLive / Reset: caller holds the
+//     apply serialisation EXCLUSIVELY (no concurrent appenders).  Lock-free
+//     scans may still run concurrently with all of these.
+//   * Scan: no lock required, ever.
+//
+// The only mutex left is fold_mu_, serialising fold bookkeeping (limbo,
+// frees) against itself; every acquisition bumps JournalMutexAcquisitions()
+// so tests can pin the acceptance invariant: ZERO journal-mutex
+// acquisitions on the steady-state step path (see docs/journal.md).
+#ifndef OBJECTBASE_RUNTIME_JOURNAL_H_
+#define OBJECTBASE_RUNTIME_JOURNAL_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "src/adt/adt.h"
+#include "src/cc/hts.h"
+#include "src/common/value.h"
+
+namespace objectbase::rt {
+
+/// Process-wide count of mutex acquisitions inside AppliedJournal (all
+/// instances) — the sibling of cc::DepGraphMutexAcquisitions and
+/// cc::LockTableMutexAcquisitions.  Only fold/GC bookkeeping ever locks;
+/// append and scan are lock-free, pinned by StepPathTakesNoJournalMutex in
+/// the NTO/CERT protocol tests.
+std::atomic<uint64_t>& JournalMutexAcquisitions();
+
+/// One applied step, built by the protocol and moved into the journal.
+/// (The in-place Entry adds the publication/abort atomics.)
+struct JournalRecord {
+  uint64_t seq = 0;       ///< Global apply sequence number.
+  uint64_t exec_uid = 0;  ///< Issuing method execution.
+  uint64_t top_uid = 0;   ///< Its top-level ancestor.
+  uint64_t dep = 0;       ///< Packed cc::DepRef of the top's registry slot.
+  std::shared_ptr<const std::vector<uint64_t>> chain;  ///< self..top uids.
+  std::shared_ptr<const cc::Hts> hts;                  ///< hts snapshot.
+  adt::OpId op_id = adt::kNoOp;
+  Args args;
+  Value ret;
+};
+
+class AppliedJournal {
+ public:
+  static constexpr uint32_t kChunkShift = 6;
+  static constexpr uint32_t kChunkSize = 1u << kChunkShift;  // 64 entries
+
+  /// One remembered applied step (NTO's per-operation timestamp memory,
+  /// the certifier's conflict window, the rollback journal).  Identity is
+  /// carried by uids/chains; lifetime is the containing chunk's.
+  struct Entry {
+    uint64_t pos = 0;  ///< Journal position (the serialisation order key).
+    uint64_t seq = 0;
+    uint64_t exec_uid = 0;
+    uint64_t top_uid = 0;
+    uint64_t dep = 0;
+    std::shared_ptr<const std::vector<uint64_t>> chain;
+    std::shared_ptr<const cc::Hts> hts;
+    adt::OpId op_id = adt::kNoOp;
+    Args args;
+    Value ret;
+    /// Set (with the abort-marking/edge-recording recheck protocol of
+    /// docs/journal.md) when the issuing subtree aborts; excluded from the
+    /// object's real history and from rebuilds.
+    std::atomic<bool> aborted{false};
+    /// Publication flag: fields above are immutable once this is set.
+    std::atomic<bool> ready{false};
+
+    bool IsAborted() const { return aborted.load(std::memory_order_acquire); }
+
+    /// True iff the recording execution and `other_chain`'s execution are
+    /// incomparable (neither uid appears in the other's chain).
+    bool IncomparableWith(const std::vector<uint64_t>& other_chain) const;
+  };
+
+  explicit AppliedJournal(size_t num_ops);
+  ~AppliedJournal();
+
+  AppliedJournal(const AppliedJournal&) = delete;
+  AppliedJournal& operator=(const AppliedJournal&) = delete;
+
+  /// Appends one applied step; returns its journal position.  Caller must
+  /// be inside the object's apply critical section (shared suffices; the
+  /// publish protocol handles concurrent appenders from concurrent-apply
+  /// objects).  Lock-free.
+  uint64_t Append(JournalRecord&& r);
+
+  /// Live entries: reserved - folded (includes aborted entries, matching
+  /// the old deque's size()).  Lock-free; the per-step GC cadence poll.
+  size_t LiveCount() const {
+    const uint64_t f = folded_.load(std::memory_order_relaxed);
+    const uint64_t t = reserved_.load(std::memory_order_relaxed);
+    return static_cast<size_t>(t - f);
+  }
+
+  /// The shared fold-cadence poll (NTO/CERT/MIXED): fires once the live
+  /// window reaches `threshold` entries, every threshold/2 after.  0
+  /// disables folding.  Lock-free (two relaxed loads).
+  bool WantsFold(size_t threshold) const {
+    if (threshold == 0) return false;
+    const size_t size = LiveCount();
+    const size_t cadence = threshold / 2 == 0 ? 1 : threshold / 2;
+    return size >= threshold && size % cadence == 0;
+  }
+
+ private:
+  struct EntryChunk {
+    explicit EntryChunk(uint64_t b) : base(b) {}
+    const uint64_t base;
+    std::atomic<EntryChunk*> next{nullptr};
+    Entry entries[kChunkSize];
+  };
+
+  /// Per-op-class conflict index: an append-only chunked list of pointers
+  /// to this op's entries, in append order (== position order whenever the
+  /// object applies exclusively).  first_live_ advances at fold so scans
+  /// and the index-vs-dense heuristic skip the retired prefix.
+  ///
+  /// Each slot carries the entry's POSITION alongside the pointer
+  /// (published first; the release store of the pointer makes it visible).
+  /// Walkers filter on the slot-held position and only dereference the
+  /// pointer for positions at or above the walk's fold snapshot — under
+  /// concurrent shared-latch appenders the index can be slightly out of
+  /// position order, so a stale slot may sit BEYOND the first_live stall
+  /// point with its pointee's chunk already retired; reading pos through
+  /// the pointer there would be a use-after-free.
+  struct PosChunk {
+    explicit PosChunk(uint64_t b) : base(b) {}
+    const uint64_t base;
+    std::atomic<PosChunk*> next{nullptr};
+    std::atomic<uint64_t> slot_pos[kChunkSize] = {};  // pos + 1; 0 = empty
+    std::atomic<const Entry*> slots[kChunkSize] = {};
+  };
+  struct PosList {
+    std::atomic<PosChunk*> head{nullptr};       // oldest linked chunk
+    std::atomic<PosChunk*> tail_hint{nullptr};  // newest known chunk
+    std::atomic<uint64_t> count{0};             // slots ever reserved
+    std::atomic<uint64_t> first_live{0};        // slots folded away
+
+    size_t LiveCount() const {
+      const uint64_t f = first_live.load(std::memory_order_relaxed);
+      const uint64_t c = count.load(std::memory_order_relaxed);
+      return static_cast<size_t>(c - f);
+    }
+
+    /// Visits published candidates with pos in [lo, hi); returns false if
+    /// `fn` stopped the scan.  Complete only for exclusive callers (see
+    /// Scan::ForEachConflicting); unpublished slots are skipped — they
+    /// belong to concurrent appenders an exclusive caller cannot have.
+    /// The [lo, hi) filter uses the slot-held position; the entry pointer
+    /// is only dereferenced once pos >= lo proves its chunk alive (lo is
+    /// at or above the caller's pinned fold snapshot — see PosChunk).
+    template <typename Fn>
+    bool ForEach(uint64_t lo, uint64_t hi, Fn&& fn) const {
+      const PosChunk* c = head.load(std::memory_order_seq_cst);
+      if (c == nullptr) return true;
+      const uint64_t f = first_live.load(std::memory_order_acquire);
+      const uint64_t n = count.load(std::memory_order_acquire);
+      for (uint64_t i = f < c->base ? c->base : f; i < n; ++i) {
+        while (c != nullptr && i >= c->base + kChunkSize) {
+          c = c->next.load(std::memory_order_acquire);
+        }
+        if (c == nullptr) return true;
+        const Entry* e = c->slots[i - c->base].load(std::memory_order_acquire);
+        if (e == nullptr) continue;
+        const uint64_t pos =
+            c->slot_pos[i - c->base].load(std::memory_order_relaxed) - 1;
+        if (pos < lo || pos >= hi) continue;
+        if (!fn(*e)) return false;
+      }
+      return true;
+    }
+  };
+
+  static void WaitReady(const Entry& e) {
+    // Publication is a few noexcept moves behind the reservation; spin.
+    for (int i = 0; !e.ready.load(std::memory_order_acquire); ++i) {
+      if (i > 64) std::this_thread::yield();
+    }
+  }
+
+ public:
+  /// A pinned, consistent view of the journal window.  Constructing one is
+  /// a single atomic increment; while it lives, no chunk it can reach is
+  /// freed.  Safe without any object lock (the MIXED timestamp pre-scan).
+  class Scan {
+   public:
+    explicit Scan(const AppliedJournal& j)
+        : j_(j) {
+      // Pin BEFORE snapshotting: a folder that later observes zero pinned
+      // readers can only have done so after ~Scan, and a folder that
+      // already freed chunks did so after refreshing head_, which this
+      // seq_cst load then cannot miss (see docs/journal.md).
+      j.readers_.fetch_add(1, std::memory_order_seq_cst);
+      head_ = j.head_.load(std::memory_order_seq_cst);
+      begin_ = j.folded_.load(std::memory_order_acquire);
+      if (begin_ < head_->base) begin_ = head_->base;  // adopt a racing fold
+      end_ = j.reserved_.load(std::memory_order_acquire);
+    }
+    ~Scan() { j_.readers_.fetch_sub(1, std::memory_order_release); }
+
+    Scan(const Scan&) = delete;
+    Scan& operator=(const Scan&) = delete;
+
+    uint64_t begin_pos() const { return begin_; }
+    uint64_t end_pos() const { return end_; }
+
+    /// Visits every published entry in [begin_pos, limit) in position
+    /// order (aborted entries included — callers filter).  Spins briefly
+    /// on reserved-but-unpublished entries: their appenders are a few
+    /// stores from publication and hold no locks.  `fn(const Entry&)`
+    /// returns false to stop early.
+    template <typename Fn>
+    void ForEachLive(uint64_t limit, Fn&& fn) const {
+      const EntryChunk* c = head_;
+      for (uint64_t pos = begin_; pos < limit && pos < end_; ++pos) {
+        while (c != nullptr && pos >= c->base + kChunkSize) {
+          c = c->next.load(std::memory_order_acquire);
+        }
+        if (c == nullptr) return;  // racing fold retired the remainder
+        const Entry& e = c->entries[pos - c->base];
+        WaitReady(e);
+        if (!fn(e)) return;
+      }
+    }
+
+    /// Visits the entries of [begin_pos, limit) whose op id is in `row`
+    /// (the caller's conflict row — see Object::ConflictRowFor).  With
+    /// `exclusive` set the caller asserts it holds the object's apply
+    /// serialisation exclusively; the per-op conflict indices are then
+    /// complete (every earlier appender has left the apply critical
+    /// section) and the scan visits only candidate entries, unordered.
+    /// Without it the scan degrades to the dense ordered walk with a
+    /// conflict-row test per entry — always sound.  Uses the index only
+    /// when the candidate count undercuts the window.
+    template <typename Fn>
+    void ForEachConflicting(const std::vector<adt::OpId>& row, uint64_t limit,
+                            bool exclusive, Fn&& fn) const {
+      const uint64_t hi = limit < end_ ? limit : end_;
+      if (hi <= begin_) return;
+      if (exclusive && UseIndex(row, hi - begin_)) {
+        for (adt::OpId op : row) {
+          if (!j_.lists_[op].ForEach(begin_, hi, fn)) return;
+        }
+        return;
+      }
+      ForEachLive(hi, [&](const Entry& e) {
+        for (adt::OpId op : row) {
+          if (e.op_id == op) return fn(e);
+        }
+        return true;
+      });
+    }
+
+   private:
+    bool UseIndex(const std::vector<adt::OpId>& row, uint64_t window) const {
+      uint64_t candidates = 0;
+      for (adt::OpId op : row) candidates += j_.lists_[op].LiveCount();
+      return candidates < window / 2;
+    }
+
+    const AppliedJournal& j_;
+    const EntryChunk* head_;
+    uint64_t begin_ = 0;
+    uint64_t end_ = 0;
+  };
+
+  // --- exclusive maintenance (caller holds the apply serialisation) -------
+
+  /// Marks every live entry issued by the subtree rooted at
+  /// `subtree_root_uid` aborted; returns whether any was.
+  bool MarkSubtreeAborted(uint64_t subtree_root_uid);
+
+  /// Visits every live non-aborted entry in order (the rebuild replay).
+  template <typename Fn>
+  void ReplayLive(Fn&& fn) const {
+    const EntryChunk* c = head_.load(std::memory_order_acquire);
+    const uint64_t lo = folded_.load(std::memory_order_acquire);
+    const uint64_t hi = reserved_.load(std::memory_order_acquire);
+    for (uint64_t pos = lo < c->base ? c->base : lo; pos < hi; ++pos) {
+      while (pos >= c->base + kChunkSize) {
+        c = c->next.load(std::memory_order_acquire);
+      }
+      const Entry& e = c->entries[pos - c->base];
+      if (!e.aborted.load(std::memory_order_relaxed)) fn(e);
+    }
+  }
+
+  /// Folds the maximal prefix whose top-level serial number is below
+  /// `watermark`: calls `apply` on each non-aborted folded entry (in
+  /// order), advances the fold frontier, retires fully-folded chunks and
+  /// frees whatever limbo the pinned readers have released.  Returns
+  /// entries folded.  Takes fold_mu_ (counted by
+  /// JournalMutexAcquisitions) — the journal's only mutex.
+  template <typename Fn>
+  size_t Fold(uint64_t watermark, Fn&& apply) {
+    JournalMutexAcquisitions().fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> g(fold_mu_);
+    const uint64_t hi = reserved_.load(std::memory_order_acquire);
+    uint64_t pos = folded_.load(std::memory_order_relaxed);
+    const EntryChunk* c = head_.load(std::memory_order_relaxed);
+    size_t folded = 0;
+    while (pos < hi) {
+      while (pos >= c->base + kChunkSize) {
+        c = c->next.load(std::memory_order_acquire);
+      }
+      const Entry& e = c->entries[pos - c->base];
+      if (e.hts->top_component() >= watermark) break;
+      if (!e.aborted.load(std::memory_order_relaxed)) apply(e);
+      ++pos;
+      ++folded;
+    }
+    if (folded != 0) AdvanceFolded(pos);
+    ReleaseLimbo();
+    return folded;
+  }
+
+  /// Drops everything (between workload runs).  Caller must guarantee full
+  /// quiescence: no appender, scanner or folder anywhere.
+  void Reset();
+
+  // --- observability (tests, docs/journal.md experiments) -----------------
+
+  uint64_t reserved() const {
+    return reserved_.load(std::memory_order_acquire);
+  }
+  uint64_t folded() const { return folded_.load(std::memory_order_acquire); }
+  /// Chunks unlinked but not yet freed (readers were pinned).
+  size_t LimboChunks() const;
+  /// Chunks freed after surviving limbo (the retirement path is live).
+  uint64_t FreedChunks() const {
+    return freed_chunks_.load(std::memory_order_relaxed);
+  }
+  /// Live entries indexed under `op` (index maintenance probe).
+  size_t IndexLiveCount(adt::OpId op) const {
+    return lists_[op].LiveCount();
+  }
+
+ private:
+  /// Chunk lookup/extension for position `pos`, walking forward from the
+  /// tail hint.  Lock-free (CAS linking; the loser frees its chunk).
+  EntryChunk* ChunkFor(uint64_t pos);
+  /// Same for a conflict-index list.
+  PosChunk* PosChunkFor(PosList& list, uint64_t idx);
+
+  /// Publishes the fold frontier, unlinks fully-folded chunks (journal and
+  /// index) into limbo and refreshes the hints.  Caller holds fold_mu_ and
+  /// the object's apply serialisation (no concurrent appenders).
+  void AdvanceFolded(uint64_t new_folded);
+  /// Frees limbo chunks if no reader has been pinned since they were
+  /// unlinked.  Caller holds fold_mu_.
+  void ReleaseLimbo();
+
+  const size_t num_ops_;
+  std::unique_ptr<PosList[]> lists_;  // one per OpId
+
+  std::atomic<uint64_t> reserved_{0};
+  std::atomic<uint64_t> folded_{0};
+  std::atomic<EntryChunk*> head_;       // oldest linked chunk (seq_cst)
+  std::atomic<EntryChunk*> tail_hint_;  // newest known chunk
+
+  mutable std::atomic<uint32_t> readers_{0};  // pinned Scan count
+
+  /// Fold bookkeeping only — never on the append/scan path.  Counted.
+  std::mutex fold_mu_;
+  std::vector<EntryChunk*> limbo_;      // unlinked, possibly still read
+  std::vector<PosChunk*> pos_limbo_;
+  std::atomic<uint64_t> freed_chunks_{0};
+};
+
+}  // namespace objectbase::rt
+
+#endif  // OBJECTBASE_RUNTIME_JOURNAL_H_

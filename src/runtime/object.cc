@@ -10,7 +10,20 @@ Object::Object(uint32_t id, std::string name,
       name_(std::move(name)),
       spec_(std::move(spec)),
       state_(spec_->MakeInitialState()),
-      base_state_(spec_->MakeInitialState()) {}
+      base_state_(spec_->MakeInitialState()),
+      journal_(std::make_unique<AppliedJournal>(spec_->NumOps())) {
+  // Precompute the conflict-matrix rows the journal scans filter with.
+  const size_t n = spec_->NumOps();
+  conflict_rows_.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      if (spec_->OpConflictsById(static_cast<adt::OpId>(i),
+                                 static_cast<adt::OpId>(j))) {
+        conflict_rows_[i].push_back(static_cast<adt::OpId>(j));
+      }
+    }
+  }
+}
 
 Object::~Object() {
   LockTableCacheNode* n = lock_table_cache_.load(std::memory_order_acquire);
@@ -46,64 +59,36 @@ void Object::CacheLockTable(uint64_t manager_id, void* table) {
 void Object::ResetState() {
   state_ = spec_->MakeInitialState();
   base_state_ = spec_->MakeInitialState();
-  std::lock_guard<std::mutex> g(log_mu_);
-  applied_log_.clear();
-  log_size_.store(0, std::memory_order_relaxed);
+  journal_->Reset();
 }
 
-void Object::AbortEntriesAndRebuild(uint64_t subtree_root_uid) {
-  std::scoped_lock guard(state_mu_, log_mu_);
-  bool any = false;
-  for (Applied& e : applied_log_) {
-    if (!e.aborted &&
-        std::find(e.chain->begin(), e.chain->end(), subtree_root_uid) !=
-            e.chain->end()) {
-      e.aborted = true;
-      any = true;
-    }
-  }
-  if (!any) return;
-  // Rebuild: base + surviving journal entries in application order.  The
-  // surviving entries' effects are independent of the excised ones (any
-  // conflicting-later entry belongs to a doomed transaction whose own abort
-  // marks it here too), so re-application reproduces their recorded steps.
+void Object::AbortEntriesAndRebuild(
+    uint64_t subtree_root_uid, const std::function<void()>& doom_dependents,
+    const std::function<bool(uint64_t dep_raw)>& exclude_dep) {
+  std::lock_guard<std::shared_mutex> guard(state_mu_);
+  if (!journal_->MarkSubtreeAborted(subtree_root_uid)) return;
+  // Doom every dependent transaction BEFORE replaying (see the header
+  // note): the doom pass runs under this object's exclusive latch, so any
+  // step that observed the excised effects has already recorded its edge —
+  // and any step after us sees the corrected state.
+  if (doom_dependents) doom_dependents();
+  // Rebuild: base + surviving journal entries in application order,
+  // excluding entries of doomed transactions — a survivor whose outcome
+  // depended on the excised prefix is always doomed by the pass above, and
+  // re-applying it would not reproduce its recorded step.
   auto rebuilt = base_state_->Clone();
-  for (const Applied& e : applied_log_) {
-    if (e.aborted) continue;
+  journal_->ReplayLive([&](const AppliedJournal::Entry& e) {
+    if (exclude_dep && exclude_dep(e.dep)) return;
     spec_->OpAt(e.op_id).apply(*rebuilt, e.args);
-  }
+  });
   state_ = std::move(rebuilt);
 }
 
 size_t Object::FoldPrefix(uint64_t watermark) {
-  std::scoped_lock guard(state_mu_, log_mu_);
-  size_t folded = 0;
-  while (!applied_log_.empty()) {
-    const Applied& e = applied_log_.front();
-    if (e.hts->top_component() >= watermark) break;
-    if (!e.aborted) {
-      spec_->OpAt(e.op_id).apply(*base_state_, e.args);
-    }
-    applied_log_.pop_front();
-    ++folded;
-  }
-  log_size_.fetch_sub(folded, std::memory_order_relaxed);
-  return folded;
-}
-
-bool Object::Applied::IncomparableWith(
-    const std::vector<uint64_t>& other_chain) const {
-  // Comparable iff one execution's uid appears in the other's chain.
-  if (std::find(other_chain.begin(), other_chain.end(), exec_uid) !=
-      other_chain.end()) {
-    return false;
-  }
-  if (!other_chain.empty() &&
-      std::find(chain->begin(), chain->end(), other_chain.front()) !=
-          chain->end()) {
-    return false;
-  }
-  return true;
+  std::lock_guard<std::shared_mutex> guard(state_mu_);
+  return journal_->Fold(watermark, [&](const AppliedJournal::Entry& e) {
+    spec_->OpAt(e.op_id).apply(*base_state_, e.args);
+  });
 }
 
 }  // namespace objectbase::rt

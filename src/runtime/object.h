@@ -2,14 +2,15 @@
 //
 // Pairs an AdtSpec with a live state, the per-object serialisation mutex
 // (local steps are atomic state transformers, Definition 2 — unless the
-// spec provides its own internal synchronisation), and an applied-step log
-// the timestamp/certification protocols use for conflict detection.
+// spec provides its own internal synchronisation), and the lock-free
+// applied-step journal the timestamp/certification protocols use for
+// conflict detection (see src/runtime/journal.h and docs/journal.md).
 #ifndef OBJECTBASE_RUNTIME_OBJECT_H_
 #define OBJECTBASE_RUNTIME_OBJECT_H_
 
 #include <atomic>
 #include <cstdint>
-#include <deque>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <shared_mutex>
@@ -19,6 +20,7 @@
 #include "src/adt/adt.h"
 #include "src/cc/hts.h"
 #include "src/common/value.h"
+#include "src/runtime/journal.h"
 
 namespace objectbase::rt {
 
@@ -37,6 +39,7 @@ class Object {
   const adt::AdtState& state() const { return *state_; }
 
   /// Resets the state to a fresh initial state (between workload runs).
+  /// Requires quiescence (no running transactions).
   void ResetState();
 
   /// The per-object apply latch.  Held EXCLUSIVE around apply for every
@@ -44,51 +47,30 @@ class Object {
   /// recording, so the recorded application order matches the true one).
   /// Concurrent-apply objects take it SHARED around apply, which lets
   /// their internal latches provide the synchronisation while still
-  /// excluding rebuild/fold (which take it exclusive).
+  /// excluding rebuild/fold (which take it exclusive).  It also provides
+  /// the journal's append/fold exclusion (journal.h locking contract).
   std::shared_mutex& state_mu() { return state_mu_; }
 
   bool concurrent_apply() const { return spec_->supports_concurrent_apply(); }
 
-  /// One remembered applied step (NTO's per-operation timestamp memory, the
-  /// certifier's conflict window, and the rollback journal).  Lifetime-
-  /// decoupled from TxnNode: identity is carried by uids/chains.
-  struct Applied {
-    uint64_t seq = 0;       ///< Global apply sequence number.
-    uint64_t exec_uid = 0;  ///< Issuing method execution.
-    uint64_t top_uid = 0;   ///< Its top-level ancestor.
-    /// Packed cc::DepRef of the top-level ancestor's DependencyGraph slot
-    /// (raw form, opaque here).  Lets conflict scans record dependency
-    /// edges by direct slot addressing — no registry lookup per edge.
-    uint64_t dep = 0;
-    /// Ancestor uids, self first; shared with the issuing TxnNode (one
-    /// refcount bump per step instead of a vector copy).
-    std::shared_ptr<const std::vector<uint64_t>> chain;
-    /// Issuing execution's hts; shared snapshot, same reasoning.
-    std::shared_ptr<const cc::Hts> hts;
-    adt::OpId op_id = adt::kNoOp;  ///< Dense op id within the owning spec.
-    Args args;
-    Value ret;
-    bool aborted = false;  ///< Excluded from the object's real history.
+  /// The applied-step journal.  Appends and maintenance go through the
+  /// helpers below (they know which latches the contract needs); scans are
+  /// lock-free (AppliedJournal::Scan) and need no latch at all.
+  AppliedJournal& journal() { return *journal_; }
+  const AppliedJournal& journal() const { return *journal_; }
 
-    /// True iff the recording execution and `other_chain`'s execution are
-    /// incomparable (neither uid appears in the other's chain).
-    bool IncomparableWith(const std::vector<uint64_t>& other_chain) const;
-  };
+  /// Journal length without any lock (relaxed) — the per-step GC cadence
+  /// polls this on every local operation.
+  size_t applied_log_size() const { return journal_->LiveCount(); }
 
-  /// Guarded by log_mu().  Protocols append on apply and prune on
-  /// transaction completion / watermark advance.
-  std::mutex& log_mu() { return log_mu_; }
-  std::deque<Applied>& applied_log() { return applied_log_; }
-
-  /// Journal length without taking log_mu (relaxed) — the per-step GC
-  /// cadence polls this on every local operation, so it must stay
-  /// lock-free.  Appenders (who do hold log_mu) must pair every
-  /// applied_log().push_back with NoteLogAppended(); FoldPrefix and
-  /// ResetState maintain it internally.
-  size_t applied_log_size() const {
-    return log_size_.load(std::memory_order_relaxed);
+  /// Ops whose operation class conflicts with `op` (a row of the spec's
+  /// conflict matrix, precomputed at construction).  The conflict scans
+  /// feed this to AppliedJournal::Scan::ForEachConflicting; soundness for
+  /// kStep granularity rests on the op table dominating the step table
+  /// (pinned by adt_commutativity_test.OpDominatesStep).
+  const std::vector<adt::OpId>& ConflictRowFor(adt::OpId op) const {
+    return conflict_rows_[op];
   }
-  void NoteLogAppended() { log_size_.fetch_add(1, std::memory_order_relaxed); }
 
   // --- rebuild-based rollback (NTO/CERT/MIXED) -----------------------------
   //
@@ -103,13 +85,28 @@ class Object {
 
   /// Marks every journal entry issued by the subtree rooted at
   /// `subtree_root_uid` as aborted and rebuilds the state from the base.
-  /// Takes state_mu and log_mu.
-  void AbortEntriesAndRebuild(uint64_t subtree_root_uid);
+  /// Takes state_mu exclusive.
+  ///
+  /// Rebuild soundness (fuzz-found; docs/journal.md): a SURVIVING entry
+  /// whose recorded outcome depended on the excised prefix must not be
+  /// re-applied — on the corrected state its effect can differ from the
+  /// recorded one (an erase that failed against excised state succeeds on
+  /// rebuild and silently mutates).  Every such survivor belongs to a
+  /// transaction with a dependency edge from the excised one, so the
+  /// controller passes `doom_dependents` (runs the registry's transitive
+  /// doom cascade; called under state_mu AFTER marking, which makes it
+  /// atomic against concurrent steps on this object) and `exclude_dep`
+  /// (true for entries of doomed transactions — they can never commit, and
+  /// their own aborts mark these entries for good).
+  void AbortEntriesAndRebuild(
+      uint64_t subtree_root_uid, const std::function<void()>& doom_dependents,
+      const std::function<bool(uint64_t dep_raw)>& exclude_dep);
 
   /// Folds the maximal journal prefix whose top-level serial number is
   /// below `watermark` (every such transaction has finished) into the base
-  /// state and drops it — Section 5.2's "mechanism to forget".  Takes
-  /// state_mu and log_mu.  Returns entries folded.
+  /// state and retires it — Section 5.2's "mechanism to forget".  Takes
+  /// state_mu exclusive (plus the journal's counted fold_mu).  Returns
+  /// entries folded.
   size_t FoldPrefix(uint64_t watermark);
 
   // --- cached lock-table handle (cc::LockManager) --------------------------
@@ -149,9 +146,8 @@ class Object {
   std::unique_ptr<adt::AdtState> state_;
   std::unique_ptr<adt::AdtState> base_state_;  // journal base (see above)
   std::shared_mutex state_mu_;
-  std::mutex log_mu_;
-  std::deque<Applied> applied_log_;
-  std::atomic<size_t> log_size_{0};  // mirrors applied_log_.size()
+  std::unique_ptr<AppliedJournal> journal_;
+  std::vector<std::vector<adt::OpId>> conflict_rows_;  // by OpId
   // CAS-pushed singly linked list, one node per caching lock manager
   // (almost always exactly one); freed by the destructor.
   std::atomic<LockTableCacheNode*> lock_table_cache_{nullptr};

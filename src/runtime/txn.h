@@ -70,7 +70,8 @@ class TxnNode {
   const std::vector<uint64_t>& AncestorChain() const { return *chain_; }
 
   /// Shared ownership of the chain, for journal entries that outlive the
-  /// node (Object::Applied) — sharing replaces a per-step vector copy.
+  /// node (AppliedJournal::Entry) — sharing replaces a per-step vector
+  /// copy.
   const std::shared_ptr<const std::vector<uint64_t>>& ChainPtr() const {
     return chain_;
   }

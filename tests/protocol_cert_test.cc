@@ -147,6 +147,37 @@ TEST(CertProtocolTest, CommutingConcurrencyCommitsWithoutAborts) {
 // DependencyGraph (the doom poll is one atomic load; the GC cadence poll
 // reads an atomic journal length).  Registry locking is a small constant
 // per TRANSACTION, asserted by making steps dwarf transactions.
+// The journal acceptance invariant for the certifier: with folding
+// disabled, a steady-state step (apply + publish + lock-free conflict
+// scan + GC poll) acquires no journal mutex — see the NTO twin and
+// docs/journal.md.
+TEST(CertProtocolTest, StepPathTakesNoJournalMutex) {
+  ObjectBase base;
+  base.CreateObject("c", adt::MakeCounterSpec(0));
+  Executor exec(base, {.protocol = kP,
+                       .record = false,
+                       .journal_fold_threshold = 0});
+  constexpr int kSteps = 200;
+  ASSERT_TRUE(exec.DefineMethod("c", "bump_many", [](MethodCtx& m) -> Value {
+    const adt::OpDescriptor* add = m.ResolveLocal("add");
+    for (int i = 0; i < kSteps; ++i) m.Local(*add, {1});
+    return Value();
+  }));
+  MethodRef bump = exec.Resolve("c", "bump_many");
+  ASSERT_TRUE(exec.RunTransaction("warm", [&](MethodCtx& txn) {
+    return txn.Invoke(bump);
+  }).committed);
+  const uint64_t before = rt::JournalMutexAcquisitions().load();
+  for (int i = 0; i < 20; ++i) {
+    TxnResult r = exec.RunTransaction("t", [&](MethodCtx& txn) {
+      return txn.Invoke(bump);
+    });
+    ASSERT_TRUE(r.committed);
+  }
+  EXPECT_EQ(rt::JournalMutexAcquisitions().load() - before, 0u)
+      << "the CERT step path took a journal mutex";
+}
+
 TEST(CertProtocolTest, RegistryStepPathIsMutexFree) {
   ObjectBase base;
   base.CreateObject("c", adt::MakeCounterSpec(0));
@@ -169,6 +200,66 @@ TEST(CertProtocolTest, RegistryStepPathIsMutexFree) {
   const uint64_t locks = cc::DepGraphMutexAcquisitions().load() - before;
   EXPECT_LE(locks, kTxns * 8u)
       << "registry locking scales with steps, not transactions";
+}
+
+// Regression for a rebuild-soundness bug found by the cross-protocol fuzz
+// (CrossProtocolFuzz): T_r erases key 0 (successfully) and aborts; D's
+// erase(0) ran meanwhile against the dirty state and recorded `false`
+// (non-mutating).  T_r's abort-rebuild used to RE-APPLY D's surviving
+// entry on the corrected state — where the erase suddenly SUCCEEDED,
+// silently removing 0 — and because D's recorded return was non-mutating,
+// later transactions found no conflict to doom themselves on and could
+// commit divergent observations.  The fix dooms dependents transitively
+// inside the rebuild's critical section and excludes doomed transactions'
+// entries from the replay, so the rebuilt state keeps 0 and D dies the
+// cascade death it always deserved.
+TEST(CertProtocolTest, RebuildExcludesDoomedDependentsEntries) {
+  ObjectBase base;
+  base.CreateObject("set", adt::MakeSetSpec());
+  Executor exec(base, {.protocol = kP});
+  ASSERT_TRUE(exec.RunTransaction("setup", [](MethodCtx& txn) {
+    return txn.Invoke("set", "insert", {0});
+  }).committed);
+
+  std::atomic<int> phase{0};
+  TxnResult d_result;
+  std::thread d_thread([&]() {
+    d_result = exec.RunTransactionOnce("D", [&](MethodCtx& txn) -> Value {
+      while (phase.load() != 1) std::this_thread::yield();
+      // Dirty read: T_r's (soon-excised) erase already removed 0.
+      Value v = txn.Invoke("set", "erase", {0});
+      EXPECT_EQ(v, Value(false));
+      phase.store(2);
+      while (phase.load() != 3) std::this_thread::yield();
+      return Value();
+    });
+  });
+  std::thread tr_thread([&]() {
+    exec.RunTransactionOnce("T_r", [&](MethodCtx& txn) -> Value {
+      EXPECT_EQ(txn.Invoke("set", "erase", {0}), Value(true));
+      phase.store(1);
+      while (phase.load() != 2) std::this_thread::yield();
+      txn.Abort();  // excises the erase; rebuild must restore 0
+      return Value();
+    });
+  });
+  tr_thread.join();
+  // T_r has aborted and rebuilt; D is still mid-flight (doomed).  A fresh
+  // reader must see 0 restored — its contains(0) commutes with D's
+  // recorded non-mutating erase, so it commits without waiting on D.
+  TxnResult probe = exec.RunTransaction("probe", [](MethodCtx& txn) {
+    return txn.Invoke("set", "contains", {0});
+  });
+  ASSERT_TRUE(probe.committed);
+  EXPECT_EQ(probe.ret, Value(true))
+      << "abort-rebuild lost a committed insert (doomed survivor re-applied)";
+  phase.store(3);
+  d_thread.join();
+  EXPECT_FALSE(d_result.committed);
+  EXPECT_TRUE(d_result.last_abort == cc::AbortReason::kDoomed ||
+              d_result.last_abort == cc::AbortReason::kCascade)
+      << cc::AbortReasonName(d_result.last_abort);
+  VerifyHistory(exec, "CERT rebuild-soundness scenario");
 }
 
 }  // namespace

@@ -29,6 +29,56 @@ TEST(MixedProtocolTest, MixedStress) {
   RunMixedStressScenario(kP, cc::Granularity::kStep, 4, 40, 44);
 }
 
+// Regression for a cross-layer deadlock found by the cross-protocol fuzz
+// (CrossProtocolFuzz in serialisability_property_test): T1 conflicts-after
+// T2 on an OPTIMISTIC object (dependency edge T2 -> T1), takes a strict
+// local-2pl lock, and commit-waits for T2 — still holding the lock.  T2
+// then requests that very lock.  The lock manager's waits-for graph saw
+// only T2's lock wait, the certifier's cycle veto saw only the dependency
+// edge; the composite cycle hung both threads forever.  The fix registers
+// MIXED commit-waits in the waits-for graph (MixedController::OnTopCommit)
+// so whichever side blocks second detects the cycle and aborts.
+TEST(MixedProtocolTest, LockCommitWaitCrossLayerDeadlockIsDetected) {
+  ObjectBase base;
+  base.CreateObject("opt", adt::MakeRegisterSpec(0));
+  base.CreateObject("locked", adt::MakeRegisterSpec(0));
+  Executor exec(base, {.protocol = kP});
+  ASSERT_TRUE(exec.SetIntraPolicy("opt", cc::IntraPolicy::kOptimistic));
+  ASSERT_TRUE(exec.SetIntraPolicy("locked", cc::IntraPolicy::kLocal2pl));
+
+  std::atomic<int> phase{0};
+  std::thread t2_thread([&]() {
+    exec.RunTransaction("T2", [&](MethodCtx& txn) -> Value {
+      txn.Invoke("opt", "write", {2});
+      if (phase.load() == 0) {
+        // First attempt only: let T1 conflict-after us, lock "locked" and
+        // enter its commit-wait before we request the lock.
+        phase.store(1);
+        while (phase.load() != 2) std::this_thread::yield();
+        std::this_thread::sleep_for(std::chrono::milliseconds(100));
+      }
+      txn.Invoke("locked", "write", {2});
+      return Value();
+    });
+  });
+  while (phase.load() != 1) std::this_thread::yield();
+  TxnResult t1 = exec.RunTransaction("T1", [&](MethodCtx& txn) -> Value {
+    txn.Invoke("opt", "write", {1});      // edge T2 -> T1
+    txn.Invoke("locked", "write", {1});   // strict lock, held to finish
+    phase.store(2);                       // T2 may now chase the lock
+    return Value();
+  });
+  t2_thread.join();
+  // Without the fix this test HANGS.  With it, one side aborts (deadlock
+  // victim or its cascade), both retry, and both eventually commit.
+  EXPECT_TRUE(t1.committed);
+  EXPECT_GE(exec.stats().AbortsFor(cc::AbortReason::kDeadlock) +
+                exec.stats().AbortsFor(cc::AbortReason::kDoomed) +
+                exec.stats().AbortsFor(cc::AbortReason::kCascade),
+            1u);
+  VerifyHistory(exec, "MIXED cross-layer deadlock scenario");
+}
+
 TEST(MixedProtocolTest, PerObjectPoliciesCoexist) {
   // One object per intra-object policy, all in one workload (the Section 2
   // pitch: each object runs its most suitable algorithm, the inter-object

@@ -131,6 +131,62 @@ TEST(NtoProtocolTest, RegistryStepPathIsMutexFree) {
       << "registry locking scales with steps, not transactions";
 }
 
+// The journal acceptance invariant, end-to-end through the executor: the
+// steady-state step path — append, conflict scan, GC cadence poll —
+// performs ZERO mutex acquisitions in the applied journal.  The journal's
+// only mutex guards fold/GC bookkeeping, so with folding disabled the
+// count must not move at all, across thousands of steps and multiple
+// chunk allocations (chunk growth is CAS-linked, not locked) — the PR-4
+// SteadyStateAcquireTakesNoGlobalLock pattern applied to the journal.
+TEST(NtoProtocolTest, StepPathTakesNoJournalMutex) {
+  ObjectBase base;
+  base.CreateObject("c", adt::MakeCounterSpec(0));
+  Executor exec(base, {.protocol = kP,
+                       .record = false,
+                       .journal_fold_threshold = 0});
+  constexpr int kSteps = 200;
+  ASSERT_TRUE(exec.DefineMethod("c", "bump_many", [](MethodCtx& m) -> Value {
+    const adt::OpDescriptor* add = m.ResolveLocal("add");
+    for (int i = 0; i < kSteps; ++i) m.Local(*add, {1});
+    return Value();
+  }));
+  MethodRef bump = exec.Resolve("c", "bump_many");
+  // Warm up one transaction (first-touch paths), then measure.
+  ASSERT_TRUE(exec.RunTransaction("warm", [&](MethodCtx& txn) {
+    return txn.Invoke(bump);
+  }).committed);
+  const uint64_t before = JournalMutexAcquisitions().load();
+  for (int i = 0; i < 20; ++i) {
+    TxnResult r = exec.RunTransaction("t", [&](MethodCtx& txn) {
+      return txn.Invoke(bump);
+    });
+    ASSERT_TRUE(r.committed);
+  }
+  EXPECT_EQ(JournalMutexAcquisitions().load() - before, 0u)
+      << "the NTO step path took a journal mutex";
+}
+
+// With folding enabled, journal locking is bounded by the folds (one
+// acquisition each), never by the steps.
+TEST(NtoProtocolTest, JournalLockingScalesWithFoldsNotSteps) {
+  ObjectBase base;
+  base.CreateObject("c", adt::MakeCounterSpec(0));
+  Executor exec(base, {.protocol = kP, .record = false});
+  const uint64_t before = JournalMutexAcquisitions().load();
+  constexpr int kTxns = 500;
+  for (int i = 0; i < kTxns; ++i) {
+    ASSERT_TRUE(exec.RunTransaction("t", [](MethodCtx& txn) {
+      txn.Invoke("c", "add", {1});
+      txn.Invoke("c", "add", {1});
+      return Value();
+    }).committed);
+  }
+  const uint64_t locks = JournalMutexAcquisitions().load() - before;
+  // 1000 steps; folds fire every threshold/2 = 32 entries past 64.
+  EXPECT_LE(locks, 1000u / 32u + 2u)
+      << "journal locking scales with steps, not folds";
+}
+
 TEST(NtoProtocolTest, SequentialSiblingsNeverSelfAbort) {
   // Rule 2 gives ◁-ordered messages increasing timestamps, so a purely
   // sequential nested transaction conflicts only in timestamp order with
