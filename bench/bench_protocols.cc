@@ -6,7 +6,11 @@
 // (GEMSTONE), and the gap widens with contention and with method length.
 // Locking vs timestamp ordering vs certification differ in HOW they pay:
 // blocking + deadlock aborts vs timestamp rejections vs validation aborts.
+#include <cstdio>
+
 #include "bench/bench_util.h"
+#include "src/common/stats.h"
+#include "src/runtime/wal.h"
 
 using namespace objectbase;  // NOLINT
 
@@ -56,6 +60,7 @@ int main() {
             .Field("throughput", m.Throughput())
             .Field("seconds", m.seconds)
             .Field("abort_ratio", m.AbortRatio())
+            .Field("retries", m.retries)
             .Field("p99_ms", m.latency_ns.Percentile(0.99) / 1e6)
             .Emit();
       }
@@ -113,6 +118,7 @@ int main() {
             .Field("throughput", m.Throughput())
             .Field("seconds", m.seconds)
             .Field("abort_ratio", m.AbortRatio())
+            .Field("retries", m.retries)
             .Field("p99_ms", m.latency_ns.Percentile(0.99) / 1e6)
             .Emit();
       }
@@ -170,6 +176,7 @@ int main() {
           .Field("throughput", m.Throughput())
           .Field("seconds", m.seconds)
           .Field("abort_ratio", m.AbortRatio())
+            .Field("retries", m.retries)
           .Field("p99_ms", m.latency_ns.Percentile(0.99) / 1e6)
           .Emit();
     }
@@ -224,6 +231,7 @@ int main() {
           .Field("throughput", m.Throughput())
           .Field("seconds", m.seconds)
           .Field("abort_ratio", m.AbortRatio())
+            .Field("retries", m.retries)
           .Field("p99_ms", m.latency_ns.Percentile(0.99) / 1e6)
           .Emit();
     }
@@ -274,6 +282,7 @@ int main() {
           .Field("throughput", m.Throughput())
           .Field("seconds", m.seconds)
           .Field("abort_ratio", m.AbortRatio())
+            .Field("retries", m.retries)
           .Field("p99_ms", m.latency_ns.Percentile(0.99) / 1e6)
           .Emit();
     }
@@ -282,5 +291,143 @@ int main() {
   std::printf("Expected shape: scan-dominated steps keep scaling with "
               "threads — the journal\nwindow walk takes no mutex, and the "
               "conflict indices keep audit scans short.\n");
+
+  // --- E2: durability knob ------------------------------------------------
+  //
+  // The write-ahead log's cost ladder: no-sync (the PR-5 baseline — the
+  // WAL object is never even created), group commit (concurrent committers
+  // share one fsync per accumulation window), per-commit sync (every
+  // commit pays its own fsync).  The claim group commit buys back is that
+  // durable throughput stays within a small factor of no-sync under
+  // concurrency, while per-commit collapses to the fsync rate.
+  bench::Banner("E2: durability knob",
+                "no-sync vs group-commit vs per-commit sync across "
+                "protocols (write-ahead log, docs/durability.md)");
+  const std::string wal_path = "/tmp/objectbase_bench_wal.log";
+  TablePrinter dur({"protocol", "durability", "threads", "tput/s",
+                    "abort-ratio", "syncs", "p99-ms"});
+  for (rt::Protocol protocol :
+       {rt::Protocol::kNto, rt::Protocol::kCert, rt::Protocol::kN2pl}) {
+    for (rt::Durability durability :
+         {rt::Durability::kNone, rt::Durability::kGroup,
+          rt::Durability::kPerCommit}) {
+      for (int threads : {1, 4, 8}) {
+        workload::BankingParams p;
+        p.accounts = 16;
+        p.branches = 4;
+        p.theta = 0.4;
+        p.audit_weight = 0.05;
+        p.audit_scan = 3;
+        p.spin_per_op = 0;  // commit-path overhead, not method length
+        workload::WorkloadSpec spec = workload::MakeBankingSpec(p);
+        spec.threads = threads;
+        spec.txns_per_thread = 100 * scale;
+        spec.seed = 13000 + threads;
+        uint64_t syncs = 0;
+        workload::RunMetrics m;
+        {
+          rt::ObjectBase base;
+          workload::SetupBanking(base, p);
+          rt::ExecutorOptions o;
+          o.protocol = protocol;
+          o.record = false;
+          o.durability = durability;
+          if (durability != rt::Durability::kNone) o.wal_path = wal_path;
+          rt::Executor exec(base, o);
+          m = workload::RunWorkload(exec, spec);
+          if (exec.wal() != nullptr) syncs = exec.wal()->syncs();
+        }
+        std::remove(wal_path.c_str());
+        dur.AddRow({rt::ProtocolName(protocol),
+                    rt::DurabilityName(durability),
+                    TablePrinter::Fmt(int64_t{threads}),
+                    TablePrinter::Fmt(m.Throughput(), 0),
+                    TablePrinter::Fmt(m.AbortRatio(), 3),
+                    TablePrinter::Fmt(syncs),
+                    TablePrinter::Fmt(m.latency_ns.Percentile(0.99) / 1e6,
+                                      2)});
+        bench::JsonLine("durability")
+            .Field("protocol", rt::ProtocolName(protocol))
+            .Field("durability", rt::DurabilityName(durability))
+            .Field("threads", threads)
+            .Field("ns_per_op", m.Throughput() > 0 ? 1e9 / m.Throughput() : 0.0)
+            .Field("throughput", m.Throughput())
+            .Field("seconds", m.seconds)
+            .Field("abort_ratio", m.AbortRatio())
+            .Field("retries", m.retries)
+            .Field("syncs", syncs)
+            .Field("p99_ms", m.latency_ns.Percentile(0.99) / 1e6)
+            .Emit();
+      }
+    }
+  }
+  dur.Print();
+  std::printf("Expected shape: durable rows are commit-LATENCY bound (acks "
+              "gate on fsync), so\nthey trail no-sync but scale with "
+              "threads as committers share syncs — watch\nsyncs/commit "
+              "fall as threads grow.  The group window buys deeper "
+              "batching at a\nfixed latency cost; on devices with cheap "
+              "sync (VM write caches), per-commit's\nnatural "
+              "sync-in-flight batching can already match it.\n");
+
+  // --- E2b: recovery time vs journal length -------------------------------
+  //
+  // Restart cost: log a run of increasing length under NTO+group, then
+  // replay it into a fresh base with RecoverWalInto, timing the scan +
+  // replay.  The claim is linear scaling in log bytes (single pass, one
+  // stable sort per object).
+  bench::Banner("E2b: recovery time vs journal length",
+                "RecoverWalInto wall time across growing redo logs");
+  TablePrinter rec({"txns", "log-MB", "commits", "replayed", "recover-ms",
+                    "MB/s"});
+  for (int txns : {200, 800, 3200}) {
+    workload::BankingParams p;
+    p.accounts = 16;
+    p.branches = 4;
+    p.theta = 0.4;
+    p.audit_weight = 0.0;  // pure transfers: every committed txn logs redos
+    p.audit_scan = 0;
+    p.spin_per_op = 0;
+    workload::WorkloadSpec spec = workload::MakeBankingSpec(p);
+    spec.threads = 4;
+    spec.txns_per_thread = txns * scale;
+    spec.seed = 17000 + txns;
+    {
+      rt::ObjectBase base;
+      workload::SetupBanking(base, p);
+      rt::ExecutorOptions o;
+      o.protocol = rt::Protocol::kNto;
+      o.record = false;
+      o.durability = rt::Durability::kGroup;
+      o.wal_path = wal_path;
+      rt::Executor exec(base, o);
+      workload::RunWorkload(exec, spec);
+    }
+    rt::ObjectBase fresh;
+    workload::SetupBanking(fresh, p);
+    Stopwatch sw;
+    rt::WalRecoveryResult r = rt::RecoverWalInto(wal_path, fresh);
+    const double seconds = sw.ElapsedSeconds();
+    std::remove(wal_path.c_str());
+    const double mb = r.valid_bytes / 1e6;
+    rec.AddRow({TablePrinter::Fmt(int64_t{txns} * 4 * scale),
+                TablePrinter::Fmt(mb, 2),
+                TablePrinter::Fmt(uint64_t{r.committed_tops}),
+                TablePrinter::Fmt(uint64_t{r.applied}),
+                TablePrinter::Fmt(seconds * 1e3, 2),
+                TablePrinter::Fmt(seconds > 0 ? mb / seconds : 0.0, 1)});
+    bench::JsonLine("recovery")
+        .Field("txns", int64_t{txns} * 4 * scale)
+        .Field("log_bytes", r.valid_bytes)
+        .Field("commits", uint64_t{r.committed_tops})
+        .Field("replayed", uint64_t{r.applied})
+        .Field("recover_seconds", seconds)
+        .Field("mb_per_s", seconds > 0 ? mb / seconds : 0.0)
+        .Emit();
+  }
+  rec.Print();
+  std::printf("Expected shape: recovery scales linearly in log bytes (one "
+              "scan pass plus a\nper-object stable sort of the surviving "
+              "redos).\n");
   return 0;
 }

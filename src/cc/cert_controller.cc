@@ -2,8 +2,10 @@
 
 #include <algorithm>
 
+#include "src/cc/lock_manager.h"
 #include "src/model/serialisation_graph.h"
 #include "src/runtime/apply.h"
+#include "src/runtime/wal.h"
 
 namespace objectbase::cc {
 
@@ -75,6 +77,14 @@ OpOutcome CertController::ExecuteLocal(rt::TxnNode& txn, rt::Object& obj,
   entry.args = args;
   entry.ret = applied.ret;
   const uint64_t my_pos = obj.journal().Append(std::move(entry));
+  if (wal_ != nullptr) {
+    // Stage the redo right after publication, keyed by the journal
+    // position (under concurrent apply the ring order may differ from the
+    // journal order; recovery sorts by this key, which the rebuild
+    // machinery already treats as the application order).
+    wal_->StageRedo(obj.id(), my_pos, my_top, txn.uid(), txn.ChainPtr(),
+                    op.id, args, applied.ret);
+  }
   bool doomed = false;
   {
     rt::AppliedJournal::Scan scan(obj.journal());
@@ -165,7 +175,16 @@ bool CertController::OnTopCommit(rt::TxnNode& top, AbortReason* reason) {
   }
   const DepRef ref = DepRef::FromRaw(top.dep_handle());
   if (!deps_.ValidateAndWait(ref, reason)) return false;
+  if (wal_ == nullptr) {
+    deps_.MarkCommitted(ref);
+    return true;
+  }
+  // Stage-before-MarkCommitted, wait after: see NtoController::OnTopCommit
+  // for the watermark-soundness argument (identical here).
+  const uint64_t pos = wal_->StageCommit(top.uid());
   deps_.MarkCommitted(ref);
+  wal_->WaitDurable(pos, durability_wfg_,
+                    durability_wfg_ != nullptr ? ThisThreadKey() : 0);
   return true;
 }
 

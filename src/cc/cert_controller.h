@@ -32,6 +32,8 @@ class Recorder;
 
 namespace objectbase::cc {
 
+class WaitsForGraph;
+
 class CertController : public Controller {
  public:
   /// `fold_threshold`: journal-GC cadence (fold at threshold, then every
@@ -56,6 +58,12 @@ class CertController : public Controller {
 
   DependencyGraph& deps() { return deps_; }
 
+  /// MIXED only: durability commit-waits are declared in the composite
+  /// lock manager's waits-for graph (see MixedController::AttachWal), the
+  /// same visibility PR 5 gave the certifier's commit-waits.  Standalone
+  /// CERT has no lock waits to compose with and leaves this null.
+  void SetDurabilityWaitGraph(WaitsForGraph* wfg) { durability_wfg_ = wfg; }
+
  private:
   // One intra-top conflict observation: the earlier and later execution's
   // ancestor chains (self first).  Lifted to sibling edges at commit.
@@ -69,6 +77,7 @@ class CertController : public Controller {
   rt::Recorder& recorder_;
   Granularity granularity_;
   size_t fold_threshold_;
+  WaitsForGraph* durability_wfg_ = nullptr;
   DependencyGraph deps_;
   std::mutex sibling_mu_;
   std::map<uint64_t, std::vector<SiblingEdge>> sibling_edges_;  // by top uid

@@ -25,6 +25,7 @@ struct OpDescriptor;
 namespace objectbase::rt {
 class Object;
 class TxnNode;
+class WalWriter;
 }  // namespace objectbase::rt
 
 namespace objectbase::cc {
@@ -107,6 +108,16 @@ class Controller {
   /// Called when a top-level transaction is completely finished (committed
   /// or aborted, after OnTopCommit/OnAbort); lets protocols garbage-collect.
   virtual void OnTopFinished(rt::TxnNode& top) = 0;
+
+  /// Attaches the write-ahead log (ExecutorOptions.durability != kNone).
+  /// Called once at executor construction, before any transaction runs;
+  /// controllers then stage redo records at apply time and gate commit
+  /// acknowledgement on the durable watermark.  MIXED forwards to its
+  /// inner certifier.
+  virtual void AttachWal(rt::WalWriter* wal) { wal_ = wal; }
+
+ protected:
+  rt::WalWriter* wal_ = nullptr;  ///< Null iff durability == kNone.
 };
 
 }  // namespace objectbase::cc

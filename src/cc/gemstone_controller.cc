@@ -1,6 +1,7 @@
 #include "src/cc/gemstone_controller.h"
 
 #include "src/runtime/apply.h"
+#include "src/runtime/wal.h"
 
 namespace objectbase::cc {
 
@@ -29,13 +30,19 @@ OpOutcome GemstoneController::ExecuteLocal(rt::TxnNode& txn, rt::Object& obj,
   }
   std::lock_guard<std::shared_mutex> g(obj.state_mu());
   rt::AppliedOutcome out = rt::ApplyLocked(txn, obj, op, args, recorder_,
-                                           /*append_applied_log=*/false);
+                                           /*append_applied_log=*/false, wal_);
   return OpOutcome::Ok(std::move(out.ret));
 }
 
 void GemstoneController::OnChildCommit(rt::TxnNode&) {}
 
-bool GemstoneController::OnTopCommit(rt::TxnNode&, AbortReason*) {
+bool GemstoneController::OnTopCommit(rt::TxnNode& top, AbortReason*) {
+  if (wal_ != nullptr) {
+    // Same reasoning as N2PL: strict whole-object locks are released only
+    // at OnTopFinished, so durability is ordered before visibility.
+    wal_->WaitDurable(wal_->StageCommit(top.uid()), &locks_.waits_for(),
+                      ThisThreadKey());
+  }
   return true;
 }
 

@@ -45,6 +45,12 @@ void MixedController::OnTopBegin(rt::TxnNode& top) {
   certifier_.OnTopBegin(top);
 }
 
+void MixedController::AttachWal(rt::WalWriter* wal) {
+  Controller::AttachWal(wal);
+  certifier_.AttachWal(wal);
+  certifier_.SetDurabilityWaitGraph(&locks_.waits_for());
+}
+
 OpOutcome MixedController::ExecuteLocal(rt::TxnNode& txn, rt::Object& obj,
                                         const adt::OpDescriptor& op,
                                         const Args& args) {

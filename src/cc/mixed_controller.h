@@ -74,6 +74,12 @@ class MixedController : public Controller {
   void OnAbort(rt::TxnNode& node) override;
   void OnTopFinished(rt::TxnNode& top) override;
 
+  /// Forwards to the delegated certifier (which does all the staging and
+  /// commit gating) and routes its durability waits into this controller's
+  /// waits-for graph, keeping composite wait states visible (the PR-5
+  /// certifier-wait pattern).
+  void AttachWal(rt::WalWriter* wal) override;
+
   bool SupportsPartialAbort() const override { return false; }
   bool RollbackByRebuild() const override { return true; }
 

@@ -1,6 +1,7 @@
 #include "src/cc/n2pl_controller.h"
 
 #include "src/runtime/apply.h"
+#include "src/runtime/wal.h"
 
 namespace objectbase::cc {
 
@@ -32,7 +33,7 @@ OpOutcome N2plController::ExecuteOperationMode(rt::TxnNode& txn,
   }
   std::lock_guard<std::shared_mutex> g(obj.state_mu());
   rt::AppliedOutcome out = rt::ApplyLocked(txn, obj, op, args, recorder_,
-                                           /*append_applied_log=*/false);
+                                           /*append_applied_log=*/false, wal_);
   return OpOutcome::Ok(std::move(out.ret));
 }
 
@@ -57,6 +58,13 @@ OpOutcome N2plController::ExecuteStepMode(rt::TxnNode& txn, rt::Object& obj,
       txn.PushUndo(rt::UndoRecord{seq, &obj, std::move(provisional.undo)});
       recorder_.RecordLocalStep(txn.exec_id, txn.NextPo(), obj.id(), op.name,
                                 args, provisional.ret, seq, seq);
+      if (wal_ != nullptr) {
+        // Stage only ACCEPTED steps, inside state_mu (staging order per
+        // object = application order; denied provisionals leave no trace).
+        wal_->StageRedo(obj.id(), rt::WalWriter::kOrderByStagePos,
+                        txn.top()->uid(), txn.uid(), txn.ChainPtr(), op.id,
+                        args, provisional.ret);
+      }
       return OpOutcome::Ok(std::move(provisional.ret));
     }
     // Undo the provisional effect before letting anyone else in.
@@ -76,7 +84,19 @@ void N2plController::OnChildCommit(rt::TxnNode& child) {
   locks_.TransferToParent(child);
 }
 
-bool N2plController::OnTopCommit(rt::TxnNode&, AbortReason*) { return true; }
+bool N2plController::OnTopCommit(rt::TxnNode& top, AbortReason*) {
+  if (wal_ != nullptr) {
+    // Strict locking keeps the transaction's effects invisible until
+    // OnTopFinished releases its locks, so gating the acknowledgement here
+    // orders durability before visibility.  The commit-wait is declared in
+    // the waits-for graph (composite wait-state visibility, the PR-5
+    // certifier-wait pattern); the writer thread never blocks on locks, so
+    // the wait can never close a cycle.
+    wal_->WaitDurable(wal_->StageCommit(top.uid()), &locks_.waits_for(),
+                      ThisThreadKey());
+  }
+  return true;
+}
 
 void N2plController::OnAbort(rt::TxnNode& node) {
   // The aborted subtree's steps have been undone by the runtime; its locks

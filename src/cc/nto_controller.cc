@@ -4,6 +4,7 @@
 
 #include "src/runtime/apply.h"
 #include "src/runtime/journal.h"
+#include "src/runtime/wal.h"
 
 namespace objectbase::cc {
 
@@ -96,7 +97,8 @@ OpOutcome NtoController::ExecuteLocal(rt::TxnNode& txn, rt::Object& obj,
     if (ts_reject) return OpOutcome::Abort(AbortReason::kTimestampOrder);
     if (doomed) return OpOutcome::Abort(AbortReason::kDoomed);
     rt::AppliedOutcome out = rt::ApplyLocked(txn, obj, op, args, recorder_,
-                                             /*append_applied_log=*/true);
+                                             /*append_applied_log=*/true,
+                                             wal_);
     return OpOutcome::Ok(std::move(out.ret));
   }
 
@@ -153,7 +155,13 @@ OpOutcome NtoController::ExecuteLocal(rt::TxnNode& txn, rt::Object& obj,
   entry.op_id = op.id;
   entry.args = args;
   entry.ret = provisional.ret;
-  obj.journal().Append(std::move(entry));
+  const uint64_t pos = obj.journal().Append(std::move(entry));
+  if (wal_ != nullptr) {
+    // Accepted step: stage the redo under the same exclusive latch, keyed
+    // by the journal position (the per-object application order).
+    wal_->StageRedo(obj.id(), pos, my_top, txn.uid(), txn.ChainPtr(), op.id,
+                    args, provisional.ret);
+  }
   return OpOutcome::Ok(std::move(provisional.ret));
 }
 
@@ -162,7 +170,19 @@ void NtoController::OnChildCommit(rt::TxnNode&) {}
 bool NtoController::OnTopCommit(rt::TxnNode& top, AbortReason* reason) {
   const DepRef ref = DepRef::FromRaw(top.dep_handle());
   if (!deps_.ValidateAndWait(ref, reason)) return false;
+  if (wal_ == nullptr) {
+    deps_.MarkCommitted(ref);
+    return true;
+  }
+  // Watermark soundness: stage the commit marker BEFORE MarkCommitted.  A
+  // dependency successor passes its own ValidateAndWait only after our
+  // MarkCommitted, so its marker always lands later in the log — the
+  // prefix-closed durable watermark then guarantees an acknowledged
+  // successor's predecessors are durable too.  Waiting AFTER MarkCommitted
+  // overlaps our fsync with successors' validation (group commit).
+  const uint64_t pos = wal_->StageCommit(top.uid());
   deps_.MarkCommitted(ref);
+  wal_->WaitDurable(pos);
   return true;
 }
 

@@ -16,6 +16,7 @@
 #include "src/runtime/object.h"
 #include "src/runtime/recorder.h"
 #include "src/runtime/txn.h"
+#include "src/runtime/wal.h"
 
 namespace objectbase::rt {
 
@@ -26,11 +27,15 @@ struct AppliedOutcome {
 
 /// Applies `op` and records everything.  `append_applied_log` is set by the
 /// protocols that scan object logs (NTO/CERT/MIXED); N2PL and Gemstone skip
-/// it (their lock tables carry the information).
+/// it (their lock tables carry the information).  A non-null `wal` stages a
+/// redo record inside the same critical section (write-ahead durability;
+/// the order key is the journal position when one exists, the staging
+/// position otherwise — either is the true per-object application order).
 inline AppliedOutcome ApplyLocked(TxnNode& txn, Object& obj,
                                   const adt::OpDescriptor& op,
                                   const Args& args, Recorder& recorder,
-                                  bool append_applied_log) {
+                                  bool append_applied_log,
+                                  WalWriter* wal = nullptr) {
   uint64_t start = recorder.NextSeq();
   adt::ApplyResult applied = op.apply(obj.state(), args);
   uint64_t end = recorder.NextSeq();
@@ -39,6 +44,7 @@ inline AppliedOutcome ApplyLocked(TxnNode& txn, Object& obj,
   txn.PushUndo(UndoRecord{end, &obj, std::move(applied.undo)});
   recorder.RecordLocalStep(txn.exec_id, txn.NextPo(), obj.id(), op.name, args,
                            applied.ret, start, end);
+  uint64_t pos = WalWriter::kOrderByStagePos;
   if (append_applied_log) {
     // Lock-free: reserve-and-publish inside this apply critical section
     // (the caller holds the object's apply serialisation), so the journal
@@ -53,7 +59,11 @@ inline AppliedOutcome ApplyLocked(TxnNode& txn, Object& obj,
     entry.op_id = op.id;
     entry.args = args;
     entry.ret = applied.ret;
-    obj.journal().Append(std::move(entry));
+    pos = obj.journal().Append(std::move(entry));
+  }
+  if (wal != nullptr) {
+    wal->StageRedo(obj.id(), pos, txn.top()->uid(), txn.uid(), txn.ChainPtr(),
+                   op.id, args, applied.ret);
   }
   return AppliedOutcome{std::move(applied.ret), end};
 }

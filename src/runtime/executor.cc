@@ -59,11 +59,25 @@ Executor::Executor(ObjectBase& base, ExecutorOptions options)
     }
   }
   supports_partial_abort_ = controller_->SupportsPartialAbort();
+  if (options_.durability != Durability::kNone && !options_.wal_path.empty()) {
+    wal_ = std::make_unique<WalWriter>(WalOptions{
+        options_.wal_path, options_.durability, options_.wal_group_window_us,
+        /*ring_capacity=*/size_t{1} << 14});
+    controller_->AttachWal(wal_.get());
+  }
   method_tables_.resize(base_.size());
   recorder_.Reset(base_);
 }
 
 Executor::~Executor() = default;
+
+WalRecoveryResult Executor::Recover(const std::string& log_path) {
+  WalRecoveryResult result = RecoverWalInto(log_path, base_);
+  // Re-snapshot initial states so recorded histories (and their oracles)
+  // start from the recovered baseline.
+  recorder_.Reset(base_);
+  return result;
+}
 
 bool Executor::DefineMethod(const std::string& object,
                             const std::string& method, MethodFn fn) {
@@ -291,6 +305,15 @@ void MarkSubtreeAborted(Recorder& recorder, TxnNode& node,
 void Executor::AbortSubtree(TxnNode& node, cc::AbortReason reason) {
   // Semantics (b): the abort of a method execution aborts its descendents.
   MarkSubtreeAborted(recorder_, node, reason);
+  if (wal_ != nullptr && node.parent() != nullptr) {
+    // Partial abort under a still-live top: recovery must excise the
+    // subtree's redo records even if that top later commits.  Staged here
+    // — before the aborting child's parent can resume — so the abort
+    // marker always precedes the top's commit marker in the log.
+    // Top-level aborts need no marker: a commit record for that attempt's
+    // uid can never exist.
+    wal_->StageAbort(node.uid());
+  }
   if (controller_->RollbackByRebuild()) {
     // The controller rebuilds object states from their journals in OnAbort.
     controller_->OnAbort(node);

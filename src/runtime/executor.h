@@ -53,6 +53,7 @@
 #include "src/runtime/object_base.h"
 #include "src/runtime/recorder.h"
 #include "src/runtime/txn.h"
+#include "src/runtime/wal.h"
 
 namespace objectbase::cc {
 class LockManager;
@@ -86,6 +87,17 @@ struct ExecutorOptions {
   /// conventional read lock of the reduction); off = the old
   /// exclusive-only baseline (E1d ablation).
   bool gemstone_shared_reads = true;
+  /// Write-ahead durability (docs/durability.md).  kGroup/kPerCommit
+  /// require `wal_path`; kNone creates no WAL at all — the step and commit
+  /// paths are byte-for-byte the PR-5 behaviour.
+  Durability durability = Durability::kNone;
+  /// Redo-log file, opened (TRUNCATED) at executor construction.  To
+  /// recover a previous run's log, build the executor with a different
+  /// path (or durability = kNone) and call Recover(old_path) first.
+  std::string wal_path;
+  /// kGroup accumulation window (µs): commits arriving within the window
+  /// share one fsync (latency traded for sync amortisation).
+  uint32_t wal_group_window_us = 100;
 };
 
 class MethodCtx;
@@ -186,6 +198,17 @@ class Executor {
   ObjectBase& base() { return base_; }
   const ExecutorOptions& options() const { return options_; }
 
+  /// The write-ahead log, or nullptr when durability == kNone.
+  WalWriter* wal() { return wal_.get(); }
+
+  /// Restart recovery: replays the committed transactions of `log_path`
+  /// into this executor's object base (RecoverWalInto) and re-snapshots
+  /// the recorder's initial states.  Call on a freshly-constructed,
+  /// quiescent executor whose own wal_path differs from `log_path` (the
+  /// constructor truncates its log file).  The base must be populated
+  /// exactly as it was at the start of the crashed run.
+  WalRecoveryResult Recover(const std::string& log_path);
+
   struct Stats {
     std::atomic<uint64_t> committed{0};
     std::atomic<uint64_t> aborted{0};   ///< Top-level aborts (incl. retried).
@@ -245,6 +268,10 @@ class Executor {
   ExecutorOptions options_;
   Recorder recorder_;
   std::unique_ptr<cc::Controller> controller_;
+  // Declared after controller_ (destroyed first): the writer drains and
+  // stops while the controller — which only holds a raw pointer — is
+  // still alive.  Null iff durability == kNone.
+  std::unique_ptr<WalWriter> wal_;
   cc::MixedController* mixed_ = nullptr;  // non-null iff protocol == kMixed
   cc::LockManager* lock_manager_ = nullptr;  // non-null for locking protocols
   bool supports_partial_abort_ = false;

@@ -84,6 +84,17 @@ void Object::AbortEntriesAndRebuild(
   state_ = std::move(rebuilt);
 }
 
+Value Object::ApplyRedo(adt::OpId op, const Args& args) {
+  std::lock_guard<std::shared_mutex> guard(state_mu_);
+  return spec_->OpAt(op).apply(*state_, args).ret;
+}
+
+void Object::SealRecoveredState() {
+  std::lock_guard<std::shared_mutex> guard(state_mu_);
+  base_state_ = state_->Clone();
+  journal_->Reset();
+}
+
 size_t Object::FoldPrefix(uint64_t watermark) {
   std::lock_guard<std::shared_mutex> guard(state_mu_);
   return journal_->Fold(watermark, [&](const AppliedJournal::Entry& e) {

@@ -109,6 +109,18 @@ class Object {
   /// entries folded.
   size_t FoldPrefix(uint64_t watermark);
 
+  // --- WAL recovery (src/runtime/wal.h) ------------------------------------
+
+  /// Replays one durable redo record onto the live state and returns the
+  /// operation's return value (recovery re-checks it against the recorded
+  /// one).  Quiescent use only (restart-time recovery).
+  Value ApplyRedo(adt::OpId op, const Args& args);
+
+  /// Recovery epilogue: base state := recovered live state, journal
+  /// cleared — the rebuild/fold machinery then starts from the recovered
+  /// state instead of the initial one.
+  void SealRecoveredState();
+
   // --- cached lock-table handle (cc::LockManager) --------------------------
   //
   // Mirrors the DepRef pattern of the dependency registry: the lock manager

@@ -1,0 +1,263 @@
+// Write-ahead durability: redo logging with group commit.
+//
+// The paper's serialisability theory assumes committed transactions persist;
+// this subsystem makes the runtime honour that.  Three pieces:
+//
+//   * WalWriter — a lock-free MPSC staging ring plus a dedicated writer
+//     thread.  Controllers stage per-object REDO records (object id, journal
+//     position, OpId, args, recorded ret) at apply time — the staging call
+//     sits inside the same per-object critical section as the journal's
+//     reserve-and-publish, so staged order per object is the true
+//     application order.  The writer drains the published prefix, packs one
+//     length-prefixed CRC32-checksummed frame per batch, issues ONE
+//     write+fsync for the whole batch (the txfs batched-journal-commit
+//     idiom) and release-publishes the durable watermark.  Commit
+//     acknowledgement gates on the watermark (WaitDurable), so a group of
+//     concurrent committers shares a single sync.
+//
+//   * Log format — a sequence of frames
+//         [u32 magic 'OBWL'][u32 payload_len][u32 crc32(payload)][payload]
+//     where the payload is a run of records (see WalRecord).  Frames are
+//     all-or-nothing: a torn tail or bit flip fails the CRC and recovery
+//     truncates at the FIRST damaged frame.  Because the watermark is only
+//     published after fsync, no transaction in a dropped frame was ever
+//     acknowledged.
+//
+//   * Recovery — ScanWal decodes the valid prefix; RecoverWalInto replays
+//     the redo records of committed top-level transactions (minus aborted
+//     subtrees: a kAbort record excises every redo whose ancestor chain
+//     contains the aborted uid) per object in journal-position order onto a
+//     freshly-initialised ObjectBase, re-checking each recorded return
+//     value (step-level legality).  See docs/durability.md for the
+//     soundness argument.
+//
+// Watermark soundness (why acknowledged implies consistent): a controller
+// stages its commit marker BEFORE DependencyGraph::MarkCommitted, and any
+// dependency successor can only pass ValidateAndWait after that, so the
+// successor's marker always lands at a higher ring position.  The watermark
+// is prefix-closed, hence a durable (acknowledged) transaction's entire
+// predecessor closure is durable too — recovery can never resurrect a
+// transaction whose predecessor was lost.
+#ifndef OBJECTBASE_RUNTIME_WAL_H_
+#define OBJECTBASE_RUNTIME_WAL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/adt/adt.h"
+#include "src/common/value.h"
+
+namespace objectbase::cc {
+class WaitsForGraph;
+}  // namespace objectbase::cc
+
+namespace objectbase::rt {
+
+class ObjectBase;
+
+/// When commit acknowledgement returns to the application.
+enum class Durability {
+  kNone,       ///< No logging at all (the PR-5 behaviour; zero overhead).
+  kGroup,      ///< Ack after the batched group sync covering the commit.
+  kPerCommit,  ///< Ack after an immediate sync (no accumulation window).
+};
+
+const char* DurabilityName(Durability d);
+
+struct WalOptions {
+  std::string path;
+  Durability durability = Durability::kGroup;
+  /// kGroup: accumulation window before each batch sync — larger windows
+  /// amortise fsync over more commits at the cost of commit latency.
+  uint32_t group_window_us = 100;
+  /// Staging ring capacity (power of two).  Producers that outrun the
+  /// writer by a full ring spin (bounded-memory backpressure).
+  size_t ring_capacity = 1 << 14;
+};
+
+enum class WalRecordKind : uint8_t {
+  kRedo = 1,    ///< One applied local step of some object.
+  kCommit = 2,  ///< Top-level transaction committed.
+  kAbort = 3,   ///< Subtree (under a still-live top) aborted.
+};
+
+/// Decoded log record (the scan/recovery view; staging uses an internal
+/// shared-chain variant to keep the apply path copy-light).
+struct WalRecord {
+  WalRecordKind kind = WalRecordKind::kRedo;
+  uint32_t object_id = 0;
+  /// Per-object replay order: the journal position for protocols that
+  /// append to the applied journal, the staging ring position otherwise
+  /// (both are assigned inside the object's apply critical section, so
+  /// either is the true application order).
+  uint64_t order_key = 0;
+  uint64_t top_uid = 0;   ///< kRedo/kCommit: owning top-level uid.
+  uint64_t exec_uid = 0;  ///< kRedo: issuing execution; kAbort: subtree root.
+  adt::OpId op_id = 0;
+  std::vector<uint64_t> chain;  ///< kRedo: issuing execution's self..top uids.
+  Args args;
+  Value ret;
+};
+
+/// The uid the durability wait names as its "holder" in the waits-for
+/// graph.  Executor uids start at 1, so 0 can never be a real execution:
+/// the wait is visible to the deadlock detector but can never close a
+/// cycle (the writer thread never blocks on locks).
+inline constexpr uint64_t kWalPseudoHolderUid = 0;
+
+class WalWriter {
+ public:
+  /// Order-key sentinel: use the staging position itself (protocols that do
+  /// not append to the applied journal).
+  static constexpr uint64_t kOrderByStagePos = ~uint64_t{0};
+
+  /// Opens (truncating) the log file and starts the writer thread.
+  /// `ok()` is false if the file could not be opened.
+  explicit WalWriter(WalOptions options);
+  /// Drains everything staged, syncs, and joins the writer.
+  ~WalWriter();
+
+  WalWriter(const WalWriter&) = delete;
+  WalWriter& operator=(const WalWriter&) = delete;
+
+  bool ok() const { return fd_ >= 0; }
+  const WalOptions& options() const { return options_; }
+
+  // --- staging (lock-free; called from transaction threads) ---------------
+
+  /// Stages one applied step.  Call inside the object's apply critical
+  /// section so per-object staging order is the application order.
+  /// `order_key` is the journal position, or kOrderByStagePos to use the
+  /// staging position.  Returns the staging position.
+  uint64_t StageRedo(uint32_t object_id, uint64_t order_key, uint64_t top_uid,
+                     uint64_t exec_uid,
+                     std::shared_ptr<const std::vector<uint64_t>> chain,
+                     adt::OpId op_id, const Args& args, const Value& ret);
+
+  /// Stages the commit marker for a top-level transaction.  Stage BEFORE
+  /// DependencyGraph::MarkCommitted (see the watermark-soundness note).
+  uint64_t StageCommit(uint64_t top_uid);
+
+  /// Stages a subtree-abort marker (partial aborts under a top that may
+  /// still commit); recovery drops redo records of the subtree.
+  uint64_t StageAbort(uint64_t subtree_root_uid);
+
+  // --- commit gating -------------------------------------------------------
+
+  /// Blocks until the watermark covers `pos` (i.e. the record staged at
+  /// `pos` is on disk).  When `wf` is non-null the wait is declared in the
+  /// waits-for graph under kWalPseudoHolderUid (PR 5's certifier-wait
+  /// pattern), so composite wait states stay visible to the deadlock
+  /// detector; the declaration itself can never report a deadlock.
+  void WaitDurable(uint64_t pos, cc::WaitsForGraph* wf = nullptr,
+                   uint64_t thread_key = 0);
+
+  /// First staging position NOT yet durable (release-published after each
+  /// batch sync).
+  uint64_t DurableWatermark() const {
+    return durable_.load(std::memory_order_acquire);
+  }
+
+  // --- observability -------------------------------------------------------
+
+  uint64_t staged() const { return reserved_.load(std::memory_order_relaxed); }
+  uint64_t syncs() const { return syncs_.load(std::memory_order_relaxed); }
+  uint64_t frames() const { return frames_.load(std::memory_order_relaxed); }
+
+ private:
+  struct Slot {
+    std::atomic<uint64_t> turn{0};
+    WalRecordKind kind = WalRecordKind::kRedo;
+    uint32_t object_id = 0;
+    uint64_t order_key = 0;
+    uint64_t top_uid = 0;
+    uint64_t exec_uid = 0;
+    adt::OpId op_id = 0;
+    std::shared_ptr<const std::vector<uint64_t>> chain;
+    Args args;
+    Value ret;
+  };
+
+  /// Claims the next ring position, spinning while the ring is full
+  /// (bounded backpressure; the writer always makes progress).
+  Slot& Claim(uint64_t* pos);
+  void Publish(Slot& slot, uint64_t pos);
+
+  void WriterLoop();
+  /// Drains [drained_, reserved_) into one frame, writes, syncs, publishes
+  /// the watermark and wakes commit waiters.
+  void DrainAndSync();
+
+  WalOptions options_;
+  int fd_ = -1;
+  size_t mask_ = 0;
+  std::unique_ptr<Slot[]> slots_;
+
+  std::atomic<uint64_t> reserved_{0};  // next staging position
+  uint64_t drained_ = 0;               // writer-private
+  std::atomic<uint64_t> durable_{0};
+
+  std::atomic<uint64_t> syncs_{0};
+  std::atomic<uint64_t> frames_{0};
+
+  std::mutex writer_mu_;  // writer parking only — never on the stage path
+  std::condition_variable writer_cv_;
+  std::mutex waiter_mu_;
+  std::condition_variable waiter_cv_;
+  bool stop_ = false;
+  std::vector<uint8_t> batch_buf_;  // writer-private serialization scratch
+  std::thread writer_;
+};
+
+// --- scan / recovery --------------------------------------------------------
+
+struct WalScanResult {
+  bool ok = false;    ///< File was readable (an empty log is ok).
+  bool torn = false;  ///< Stopped before end-of-file (damaged/torn frame).
+  uint64_t valid_bytes = 0;
+  uint64_t file_bytes = 0;
+  size_t frames = 0;
+  std::vector<WalRecord> records;
+  std::vector<uint64_t> committed_tops;     ///< uids with a durable kCommit.
+  std::vector<uint64_t> aborted_subtrees;   ///< uids from kAbort records.
+};
+
+/// Decodes the valid prefix of the log, truncating (in the result, not the
+/// file) at the first torn or checksum-failing frame.  Never throws on
+/// damaged input.
+WalScanResult ScanWal(const std::string& path);
+
+struct WalRecoveryResult {
+  bool ok = false;
+  bool torn = false;
+  uint64_t valid_bytes = 0;
+  size_t frames = 0;
+  size_t committed_tops = 0;
+  size_t applied = 0;               ///< Redo records replayed.
+  size_t skipped_uncommitted = 0;   ///< Redos of tops without commit marker.
+  size_t skipped_aborted = 0;       ///< Redos excised by kAbort records.
+  size_t unknown_objects = 0;       ///< Redos naming no object in `base`.
+  size_t ret_mismatches = 0;        ///< Replayed ret != recorded ret.
+};
+
+/// Replays the committed transactions of the log onto `base`, which must be
+/// constructed exactly as it was at the start of the crashed run (same
+/// objects, same initial states).  Per object, surviving redo records are
+/// applied in order_key order; each recorded return value is re-checked
+/// (ret_mismatches stays 0 iff the replay is step-level legal).  Touched
+/// objects get their base state resynchronised (Object::SealRecoveredState),
+/// so the rebuild/fold machinery starts from the recovered state.
+WalRecoveryResult RecoverWalInto(const std::string& path, ObjectBase& base);
+
+/// CRC32 (IEEE 802.3, reflected); exposed for the torn-write tests.
+uint32_t WalCrc32(const uint8_t* data, size_t n);
+
+}  // namespace objectbase::rt
+
+#endif  // OBJECTBASE_RUNTIME_WAL_H_

@@ -1,6 +1,8 @@
 #include "src/workload/runner.h"
 
+#include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
 #include <thread>
@@ -36,6 +38,7 @@ RunMetrics RunWorkload(rt::Executor& exec, const WorkloadSpec& spec) {
       Rng rng(spec.seed * 1315423911u + t * 2654435761u + 1);
       Histogram local_latency;
       uint64_t local_gave_up = 0;
+      uint64_t local_retries = 0;
       std::vector<double> w = weights;
       {
         std::unique_lock<std::mutex> l(latch_mu);
@@ -47,7 +50,29 @@ RunMetrics RunWorkload(rt::Executor& exec, const WorkloadSpec& spec) {
         const TxnTemplate& tmpl = spec.mix[rng.WeightedIndex(w)];
         rt::MethodFn body = tmpl.make(rng);
         Stopwatch txn_clock;
-        rt::TxnResult r = exec.RunTransaction(tmpl.name, std::move(body));
+        // The runner drives the retry loop itself (single attempts via
+        // RunTransactionOnce) so the backoff jitter comes from the
+        // worker's seeded Rng rather than the executor's deterministic
+        // quadratic schedule: reproducible per (seed, thread), yet
+        // colliding workers draw different sleeps and de-synchronise.
+        rt::TxnResult r;
+        const int budget = std::max(1, exec.options().max_top_retries);
+        uint64_t backoff_us = spec.backoff_base_us;
+        for (int attempt = 1; attempt <= budget; ++attempt) {
+          r = exec.RunTransactionOnce(tmpl.name, body);
+          r.attempts = attempt;
+          if (r.committed) break;
+          if (attempt == budget) break;
+          ++local_retries;
+          if (backoff_us > 0) {
+            const uint64_t us = rng.Uniform(backoff_us + 1);
+            if (us > 0) {
+              std::this_thread::sleep_for(std::chrono::microseconds(us));
+            }
+            backoff_us = std::min<uint64_t>(backoff_us * 2,
+                                            spec.backoff_cap_us);
+          }
+        }
         local_latency.Record(txn_clock.ElapsedNanos());
         if (!r.committed) ++local_gave_up;
       }
@@ -60,6 +85,7 @@ RunMetrics RunWorkload(rt::Executor& exec, const WorkloadSpec& spec) {
       std::lock_guard<std::mutex> g(agg_mu);
       metrics.latency_ns.Merge(local_latency);
       metrics.gave_up += local_gave_up;
+      metrics.retries += local_retries;
     });
   }
   {

@@ -32,6 +32,14 @@ struct WorkloadSpec {
   int threads = 4;
   uint64_t txns_per_thread = 200;
   uint64_t seed = 42;
+  /// Capped exponential backoff with jitter for aborted top-level
+  /// attempts: before retry k the worker sleeps Uniform(0, min(base *
+  /// 2^(k-1), cap)) microseconds, drawn from its seeded Rng — colliding
+  /// transactions de-synchronise instead of re-colliding in lockstep,
+  /// and runs stay reproducible per (seed, thread).  base = 0 disables
+  /// the sleep (retries stay immediate).
+  uint32_t backoff_base_us = 16;
+  uint32_t backoff_cap_us = 2000;
   /// Optional hook run once before the workers start (e.g. DefineMethod
   /// registrations, prefilling objects).
   std::function<void(rt::Executor&)> prepare;
@@ -47,6 +55,7 @@ void SpinWork(int iters);
 struct RunMetrics {
   uint64_t committed = 0;
   uint64_t aborted_attempts = 0;  ///< Attempts that ended in an abort.
+  uint64_t retries = 0;           ///< Re-attempts after an aborted attempt.
   uint64_t gave_up = 0;           ///< Transactions that exhausted retries.
   uint64_t deadlocks = 0;
   uint64_t ts_rejects = 0;
