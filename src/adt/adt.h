@@ -83,6 +83,12 @@ struct OpDescriptor {
   std::function<ApplyResult(AdtState&, const Args&)> apply;
   /// Dense id within the owning spec (index into OpAt).
   OpId id = kNoOp;
+  /// Set on operations of a supports_concurrent_apply() spec that are NOT
+  /// linearizable under concurrent applies (e.g. the B-tree's latch-coupled
+  /// whole-tree scans, which have no single linearization point at which to
+  /// stamp an application order).  The runtime escalates these to the
+  /// object's exclusive latch; ignored when the spec serialises anyway.
+  bool exclusive_apply = false;
 };
 
 /// A fully-identified step for conflict queries: operation name, arguments

@@ -1,0 +1,10 @@
+#include "src/adt/apply_order.h"
+
+namespace objectbase::adt {
+
+ApplyOrderHook& ThisThreadApplyOrderHook() {
+  thread_local ApplyOrderHook hook;
+  return hook;
+}
+
+}  // namespace objectbase::adt

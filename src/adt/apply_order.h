@@ -1,0 +1,85 @@
+// Apply-order hook: lets a concurrently-applied ADT hand its *internal*
+// linearization point to the runtime.
+//
+// Objects that synchronise internally (the latch-crabbing B-tree) apply
+// operations under the runtime's SHARED latch, so the runtime has no
+// serial point at which to draw the per-object application-order key the
+// formal history needs (the concrete form of the < relation restricted to
+// one object's local steps).  The ADT, however, does have one: the instant
+// the operation's effect becomes visible while it still holds the terminal
+// leaf latch.  This hook is the journal's reserve/publish trick pushed
+// down to that instant — the controller ARMS a thread-local reservation
+// callback around apply(), the ADT CALLS StampApplyOrder() at its
+// linearization point, and the reserved key (a journal position or a
+// per-object counter ticket) becomes both the journal slot and the
+// recorded order key.
+//
+// Layering: this header knows nothing about the runtime.  The callback is
+// a plain function pointer + context so arming allocates nothing and the
+// unarmed fast path (rebuilds, recovery replay, exclusive applies, plain
+// ADTs) is one thread-local read and a branch.
+#ifndef OBJECTBASE_ADT_APPLY_ORDER_H_
+#define OBJECTBASE_ADT_APPLY_ORDER_H_
+
+#include <cstdint>
+
+namespace objectbase::adt {
+
+/// Thread-local hook state.  Not touched concurrently by construction
+/// (armed and fired on the applying thread only).
+struct ApplyOrderHook {
+  uint64_t (*reserve)(void*) = nullptr;  ///< Draws the order key.
+  void* ctx = nullptr;
+  uint64_t key = 0;   ///< The reserved key, valid once `fired`.
+  bool armed = false;
+  bool fired = false;
+};
+
+/// The calling thread's hook slot.
+ApplyOrderHook& ThisThreadApplyOrderHook();
+
+/// Called by an ADT at the linearization point of the operation being
+/// applied (inside the latch that makes the effect visible).  First call
+/// under an armed scope reserves the order key; later calls and unarmed
+/// calls are no-ops.
+inline void StampApplyOrder() {
+  ApplyOrderHook& h = ThisThreadApplyOrderHook();
+  if (h.armed && !h.fired) {
+    h.key = h.reserve(h.ctx);
+    h.fired = true;
+  }
+}
+
+/// RAII arm/disarm around one apply() call.  The controller reads fired()
+/// / key() after apply returns; if the ADT never stamped (defensive — a
+/// concurrent-apply spec that predates the hook), the caller falls back to
+/// reserving after apply.
+class ApplyOrderScope {
+ public:
+  ApplyOrderScope(uint64_t (*reserve)(void*), void* ctx)
+      : hook_(ThisThreadApplyOrderHook()) {
+    hook_.reserve = reserve;
+    hook_.ctx = ctx;
+    hook_.key = 0;
+    hook_.armed = true;
+    hook_.fired = false;
+  }
+  ~ApplyOrderScope() {
+    hook_.armed = false;
+    hook_.reserve = nullptr;
+    hook_.ctx = nullptr;
+  }
+
+  ApplyOrderScope(const ApplyOrderScope&) = delete;
+  ApplyOrderScope& operator=(const ApplyOrderScope&) = delete;
+
+  bool fired() const { return hook_.fired; }
+  uint64_t key() const { return hook_.key; }
+
+ private:
+  ApplyOrderHook& hook_;
+};
+
+}  // namespace objectbase::adt
+
+#endif  // OBJECTBASE_ADT_APPLY_ORDER_H_

@@ -4,6 +4,8 @@
 #include <functional>
 #include <sstream>
 
+#include "src/adt/apply_order.h"
+
 namespace objectbase::adt {
 
 struct BTree::Node {
@@ -63,6 +65,10 @@ std::optional<int64_t> BTree::Lookup(int64_t key) const {
   if (it != node->keys.end() && *it == key) {
     result = node->values[it - node->keys.begin()];
   }
+  // Linearization point: the read is decided while the leaf latch pins the
+  // observed version; reserve the apply-order key here (no-op unless the
+  // runtime armed the hook).
+  StampApplyOrder();
   node->latch.unlock_shared();
   return result;
 }
@@ -139,6 +145,9 @@ std::optional<int64_t> BTree::Insert(int64_t key, int64_t value) {
     node->values.insert(node->values.begin() + i, value);
     size_.fetch_add(1, std::memory_order_relaxed);
   }
+  // Linearization point: the mutation is visible to any later leaf reader
+  // the moment this latch drops; reserve the apply-order key inside it.
+  StampApplyOrder();
   node->latch.unlock();
   return old;
 }
@@ -280,6 +289,8 @@ std::optional<int64_t> BTree::Erase(int64_t key) {
     node->values.erase(node->values.begin() + i);
     size_.fetch_sub(1, std::memory_order_relaxed);
   }
+  // Linearization point (see Insert).
+  StampApplyOrder();
   node->latch.unlock();
   return old;
 }

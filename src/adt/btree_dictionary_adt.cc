@@ -81,6 +81,13 @@ class BTreeDictionarySpec : public SpecBase {
                                            args.at(1).AsInt())),
                 UndoFn()};
           });
+    // Latch-coupled whole-tree scans have no single linearization point
+    // (they observe leaves at different instants), so they cannot stamp an
+    // application order from inside a shared apply: escalate them to the
+    // exclusive latch.  Point ops (get/put/del) linearize at their terminal
+    // leaf latch and stay concurrent.
+    MarkExclusiveApply(count_);
+    MarkExclusiveApply(range_count_);
     // Operation granularity: only get/get and get/count style read pairs
     // commute.
     Conflict("put", "put");

@@ -73,6 +73,13 @@ class SpecBase : public AdtSpec {
     return id;
   }
 
+  /// Marks a registered operation as requiring the exclusive apply latch
+  /// even on a supports_concurrent_apply() spec (non-linearizable scans;
+  /// see OpDescriptor::exclusive_apply).
+  void MarkExclusiveApply(OpId id) {
+    if (id != kNoOp) ops_[id].exclusive_apply = true;
+  }
+
   /// Declares a symmetric operation-level conflict between `a` and `b`
   /// (both must already be registered).
   void Conflict(std::string_view a, std::string_view b) {

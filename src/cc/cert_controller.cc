@@ -2,12 +2,18 @@
 
 #include <algorithm>
 
+#include "src/adt/apply_order.h"
 #include "src/cc/lock_manager.h"
 #include "src/model/serialisation_graph.h"
 #include "src/runtime/apply.h"
 #include "src/runtime/wal.h"
 
 namespace objectbase::cc {
+
+std::atomic<uint64_t>& CertStepExclusiveAcquisitions() {
+  static std::atomic<uint64_t> counter{0};
+  return counter;
+}
 
 CertController::CertController(rt::Recorder& recorder, Granularity granularity,
                                size_t fold_threshold)
@@ -42,15 +48,17 @@ OpOutcome CertController::ExecuteLocal(rt::TxnNode& txn, rt::Object& obj,
   }
 
   // Objects that synchronise internally (the latch-crabbing B-tree) run
-  // their operations concurrently — UNLESS a history is being recorded, in
-  // which case applications are serialised so the recorded application
-  // order is exact (the formal oracle needs it).
-  const bool exclusive = !obj.concurrent_apply() || recorder_.enabled();
+  // their operations concurrently, recorded or not — the application order
+  // the formal oracle needs is the journal position, reserved at the ADT's
+  // internal linearization point via the apply-order hook.  Only ops the
+  // spec marked exclusive_apply (non-linearizable scans) escalate.
+  const bool exclusive = !obj.concurrent_apply() || op.exclusive_apply;
   std::unique_lock<std::shared_mutex> excl_guard(obj.state_mu(),
                                                  std::defer_lock);
   std::shared_lock<std::shared_mutex> shared_guard(obj.state_mu(),
                                                    std::defer_lock);
   if (exclusive) {
+    CertStepExclusiveAcquisitions().fetch_add(1, std::memory_order_relaxed);
     excl_guard.lock();
   } else {
     shared_guard.lock();
@@ -61,13 +69,33 @@ OpOutcome CertController::ExecuteLocal(rt::TxnNode& txn, rt::Object& obj,
   // the one with the larger position is guaranteed to see the other
   // (docs/journal.md), so no conflict edge is ever missed.  Under the
   // exclusive latch the window is exactly the old "everything before me".
-  adt::ApplyResult applied = op.apply(obj.state(), args);
-  uint64_t seq = recorder_.NextSeq();
-  txn.PushUndo(rt::UndoRecord{seq, &obj, std::move(applied.undo)});
-  recorder_.RecordLocalStep(txn.exec_id, txn.NextPo(), obj.id(), op.name,
-                            args, applied.ret, seq, seq);
+  //
+  // Position reservation: under the shared latch two applies race, so the
+  // position must be reserved at the instant the ADT's effect becomes
+  // visible (its internal linearization point) — the armed hook does that
+  // from inside the B-tree's terminal leaf latch.  Under the exclusive
+  // latch reserving after apply is equivalent.  Either way this thread
+  // publishes the reserved slot before scanning, while still inside the
+  // apply critical section (journal.h Reserve/PublishAt contract).
+  adt::ApplyResult applied;
+  uint64_t my_pos;
+  if (exclusive) {
+    applied = op.apply(obj.state(), args);
+    my_pos = obj.journal().Reserve();
+  } else {
+    adt::ApplyOrderScope hook(
+        +[](void* j) { return static_cast<rt::AppliedJournal*>(j)->Reserve(); },
+        &obj.journal());
+    applied = op.apply(obj.state(), args);
+    // Defensive fallback: a concurrent-apply spec that never stamped.
+    my_pos = hook.fired() ? hook.key() : obj.journal().Reserve();
+  }
+  const uint64_t raw = recorder_.NextSeq();  // leased; no global RMW
+  txn.PushUndo(rt::UndoRecord{my_pos, &obj, std::move(applied.undo)});
+  recorder_.RecordLocalStep(txn.exec_id, txn.NextPo(), obj.id(), op.id, args,
+                            applied.ret, my_pos, raw);
   rt::JournalRecord entry;
-  entry.seq = seq;
+  entry.seq = raw;
   entry.exec_uid = txn.uid();
   entry.top_uid = my_top;
   entry.dep = my_ref.raw();
@@ -76,7 +104,7 @@ OpOutcome CertController::ExecuteLocal(rt::TxnNode& txn, rt::Object& obj,
   entry.op_id = op.id;
   entry.args = args;
   entry.ret = applied.ret;
-  const uint64_t my_pos = obj.journal().Append(std::move(entry));
+  obj.journal().PublishAt(my_pos, std::move(entry));
   if (wal_ != nullptr) {
     // Stage the redo right after publication, keyed by the journal
     // position (under concurrent apply the ring order may differ from the

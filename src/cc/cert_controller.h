@@ -18,6 +18,7 @@
 #ifndef OBJECTBASE_CC_CERT_CONTROLLER_H_
 #define OBJECTBASE_CC_CERT_CONTROLLER_H_
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <mutex>
@@ -33,6 +34,15 @@ class Recorder;
 namespace objectbase::cc {
 
 class WaitsForGraph;
+
+/// Process-wide count of EXCLUSIVE state_mu acquisitions on the certifier's
+/// step path (the *MutexAcquisitions invariant-counter style).  Recorded or
+/// not, crabbing B-tree point ops must take the SHARED latch — the apply
+/// order comes from the journal position reserved at the tree's internal
+/// linearization point — so protocol_cert_test pins this counter's delta to
+/// zero across such runs.  Exclusive applies (plain specs, exclusive_apply
+/// scans) bump it.
+std::atomic<uint64_t>& CertStepExclusiveAcquisitions();
 
 class CertController : public Controller {
  public:

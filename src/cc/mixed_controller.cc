@@ -99,8 +99,9 @@ OpOutcome MixedController::ExecuteLocal(rt::TxnNode& txn, rt::Object& obj,
     }
     case IntraPolicy::kOptimistic:
     case IntraPolicy::kCrabbing:
-      // The certifier already runs concurrent-apply objects without the
-      // state mutex (unless recording), so crabbing is pure delegation.
+      // The certifier already runs concurrent-apply objects under the
+      // shared latch (recorded or not — the apply-order hook supplies the
+      // application order), so crabbing is pure delegation.
       return certifier_.ExecuteLocal(txn, obj, op, args);
   }
   return OpOutcome::Abort(AbortReason::kUser);

@@ -53,11 +53,14 @@ OpOutcome N2plController::ExecuteStepMode(rt::TxnNode& txn, rt::Object& obj,
     req.ret = provisional.ret;
     LockManager::TryOutcome attempt = locks_.TryAcquire(txn, obj, req);
     if (attempt == LockManager::TryOutcome::kGranted) {
-      // Keep the provisional effect; record it as the real step.
-      uint64_t seq = recorder_.NextSeq();
-      txn.PushUndo(rt::UndoRecord{seq, &obj, std::move(provisional.undo)});
-      recorder_.RecordLocalStep(txn.exec_id, txn.NextPo(), obj.id(), op.name,
-                                args, provisional.ret, seq, seq);
+      // Keep the provisional effect; record it as the real step.  The
+      // per-object ticket (drawn under this exclusive latch) is the
+      // application-order key; the raw stamp is a leased draw.
+      const uint64_t order = obj.NextApplyStamp();
+      txn.PushUndo(rt::UndoRecord{order, &obj, std::move(provisional.undo)});
+      recorder_.RecordLocalStep(txn.exec_id, txn.NextPo(), obj.id(), op.id,
+                                args, provisional.ret, order,
+                                recorder_.NextSeq());
       if (wal_ != nullptr) {
         // Stage only ACCEPTED steps, inside state_mu (staging order per
         // object = application order; denied provisionals leave no trace).

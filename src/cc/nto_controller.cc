@@ -140,13 +140,17 @@ OpOutcome NtoController::ExecuteLocal(rt::TxnNode& txn, rt::Object& obj,
     return OpOutcome::Abort(ts_reject ? AbortReason::kTimestampOrder
                                       : AbortReason::kDoomed);
   }
-  // Accept the provisional step as real.
-  uint64_t seq = recorder_.NextSeq();
-  txn.PushUndo(rt::UndoRecord{seq, &obj, std::move(provisional.undo)});
-  recorder_.RecordLocalStep(txn.exec_id, txn.NextPo(), obj.id(), op.name,
-                            args, provisional.ret, seq, seq);
+  // Accept the provisional step as real.  The journal position — reserved
+  // under this exclusive latch — is the per-object application order key
+  // (undo ordering and the recorder's per-object merge); the raw recorder
+  // stamp is a leased draw, no global RMW.
+  const uint64_t raw = recorder_.NextSeq();
+  const uint64_t pos = obj.journal().Reserve();
+  txn.PushUndo(rt::UndoRecord{pos, &obj, std::move(provisional.undo)});
+  recorder_.RecordLocalStep(txn.exec_id, txn.NextPo(), obj.id(), op.id, args,
+                            provisional.ret, pos, raw);
   rt::JournalRecord entry;
-  entry.seq = seq;
+  entry.seq = raw;
   entry.exec_uid = txn.uid();
   entry.top_uid = my_top;
   entry.dep = my_ref.raw();
@@ -155,7 +159,7 @@ OpOutcome NtoController::ExecuteLocal(rt::TxnNode& txn, rt::Object& obj,
   entry.op_id = op.id;
   entry.args = args;
   entry.ret = provisional.ret;
-  const uint64_t pos = obj.journal().Append(std::move(entry));
+  obj.journal().PublishAt(pos, std::move(entry));
   if (wal_ != nullptr) {
     // Accepted step: stage the redo under the same exclusive latch, keyed
     // by the journal position (the per-object application order).

@@ -31,26 +31,30 @@ struct AppliedOutcome {
 /// redo record inside the same critical section (write-ahead durability;
 /// the order key is the journal position when one exists, the staging
 /// position otherwise — either is the true per-object application order).
+///
+/// Order keys: the per-object application order — the exact part of the
+/// formal < relation — is the journal position for journaled protocols and
+/// the object's apply-stamp ticket otherwise, both drawn inside this apply
+/// critical section.  The key orders this object's undo records (the abort
+/// path undoes one object's steps newest-first; different objects' undos
+/// commute — disjoint states) and is what Snapshot() merges by.  The raw
+/// recorder stamp (one leased draw, no global RMW) only tie-breaks the
+/// cross-object merge.
 inline AppliedOutcome ApplyLocked(TxnNode& txn, Object& obj,
                                   const adt::OpDescriptor& op,
                                   const Args& args, Recorder& recorder,
                                   bool append_applied_log,
                                   WalWriter* wal = nullptr) {
-  uint64_t start = recorder.NextSeq();
   adt::ApplyResult applied = op.apply(obj.state(), args);
-  uint64_t end = recorder.NextSeq();
-  // Read-only steps get an (empty) undo record too: the abort path uses the
-  // log to know which objects the execution touched.
-  txn.PushUndo(UndoRecord{end, &obj, std::move(applied.undo)});
-  recorder.RecordLocalStep(txn.exec_id, txn.NextPo(), obj.id(), op.name, args,
-                           applied.ret, start, end);
+  const uint64_t raw = recorder.NextSeq();  // leased; 0 when not recording
   uint64_t pos = WalWriter::kOrderByStagePos;
+  uint64_t order;
   if (append_applied_log) {
     // Lock-free: reserve-and-publish inside this apply critical section
     // (the caller holds the object's apply serialisation), so the journal
     // position order is the application order.
     JournalRecord entry;
-    entry.seq = end;
+    entry.seq = raw;
     entry.exec_uid = txn.uid();
     entry.top_uid = txn.top()->uid();
     entry.dep = txn.top()->dep_handle();
@@ -60,12 +64,20 @@ inline AppliedOutcome ApplyLocked(TxnNode& txn, Object& obj,
     entry.args = args;
     entry.ret = applied.ret;
     pos = obj.journal().Append(std::move(entry));
+    order = pos;
+  } else {
+    order = obj.NextApplyStamp();
   }
+  // Read-only steps get an (empty) undo record too: the abort path uses the
+  // log to know which objects the execution touched.
+  txn.PushUndo(UndoRecord{order, &obj, std::move(applied.undo)});
+  recorder.RecordLocalStep(txn.exec_id, txn.NextPo(), obj.id(), op.id, args,
+                           applied.ret, order, raw);
   if (wal != nullptr) {
     wal->StageRedo(obj.id(), pos, txn.top()->uid(), txn.uid(), txn.ChainPtr(),
                    op.id, args, applied.ret);
   }
-  return AppliedOutcome{std::move(applied.ret), end};
+  return AppliedOutcome{std::move(applied.ret), order};
 }
 
 }  // namespace objectbase::rt

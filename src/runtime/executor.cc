@@ -322,10 +322,17 @@ void Executor::AbortSubtree(TxnNode& node, cc::AbortReason reason) {
   // Strict protocols: apply the subtree's undo closures in reverse
   // application order.  Strictness guarantees no incomparable execution
   // interleaved conflicting steps, so subtree-local reverse order suffices.
+  // UndoRecord::seq is the PER-OBJECT apply-order key (docs/recorder.md):
+  // same-object undos must run newest-first, while undos on different
+  // objects act on disjoint states and commute — so group by object and
+  // reverse within each group.
   std::vector<UndoRecord*> undos;
   CollectUndoRecords(node, undos);
   std::sort(undos.begin(), undos.end(),
             [](const UndoRecord* a, const UndoRecord* b) {
+              if (a->object != b->object) {
+                return a->object->id() < b->object->id();
+              }
               return a->seq > b->seq;
             });
   for (UndoRecord* u : undos) {

@@ -133,7 +133,12 @@ AppliedJournal::PosChunk* AppliedJournal::PosChunkFor(PosList& list,
 }
 
 uint64_t AppliedJournal::Append(JournalRecord&& r) {
-  const uint64_t pos = reserved_.fetch_add(1, std::memory_order_acq_rel);
+  const uint64_t pos = Reserve();
+  PublishAt(pos, std::move(r));
+  return pos;
+}
+
+void AppliedJournal::PublishAt(uint64_t pos, JournalRecord&& r) {
   EntryChunk* c = ChunkFor(pos);
   Entry& e = c->entries[pos - c->base];
   e.pos = pos;
@@ -159,7 +164,6 @@ uint64_t AppliedJournal::Append(JournalRecord&& r) {
   // whose chunk may have retired (see PosChunk in the header).
   pc->slot_pos[idx - pc->base].store(pos + 1, std::memory_order_relaxed);
   pc->slots[idx - pc->base].store(&e, std::memory_order_release);
-  return pos;
 }
 
 bool AppliedJournal::MarkSubtreeAborted(uint64_t subtree_root_uid) {

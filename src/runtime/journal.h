@@ -123,8 +123,22 @@ class AppliedJournal {
   /// Appends one applied step; returns its journal position.  Caller must
   /// be inside the object's apply critical section (shared suffices; the
   /// publish protocol handles concurrent appenders from concurrent-apply
-  /// objects).  Lock-free.
+  /// objects).  Lock-free.  Equivalent to Reserve() + PublishAt().
   uint64_t Append(JournalRecord&& r);
+
+  /// Splits Append for callers whose position must be drawn at an earlier
+  /// instant than the record is filled — the apply-order hook reserves the
+  /// position inside the ADT's internal linearization point (the B-tree's
+  /// terminal leaf latch) and the controller publishes after apply()
+  /// returns.  The reserving thread MUST PublishAt(pos) promptly while
+  /// still inside the apply critical section: scanners WaitReady-spin on
+  /// reserved-but-unpublished entries, and exclusive scans (which require
+  /// every entry below reserved_ published) only run once appenders have
+  /// left the critical section.
+  uint64_t Reserve() {
+    return reserved_.fetch_add(1, std::memory_order_acq_rel);
+  }
+  void PublishAt(uint64_t pos, JournalRecord&& r);
 
   /// Live entries: reserved - folded (includes aborted entries, matching
   /// the old deque's size()).  Lock-free; the per-step GC cadence poll.

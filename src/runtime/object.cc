@@ -59,6 +59,7 @@ void Object::CacheLockTable(uint64_t manager_id, void* table) {
 void Object::ResetState() {
   state_ = spec_->MakeInitialState();
   base_state_ = spec_->MakeInitialState();
+  apply_stamp_.store(0, std::memory_order_relaxed);
   journal_->Reset();
 }
 

@@ -43,15 +43,26 @@ class Object {
   void ResetState();
 
   /// The per-object apply latch.  Held EXCLUSIVE around apply for every
-  /// spec that does not support concurrent application (and always while
-  /// recording, so the recorded application order matches the true one).
-  /// Concurrent-apply objects take it SHARED around apply, which lets
-  /// their internal latches provide the synchronisation while still
+  /// spec that does not support concurrent application, and for ops the
+  /// spec marked exclusive_apply (non-linearizable scans).  Concurrent-
+  /// apply objects take it SHARED around apply — recorded or not; the
+  /// application order comes from the journal position reserved at the
+  /// ADT's internal linearization point (src/adt/apply_order.h) — which
+  /// lets their internal latches provide the synchronisation while still
   /// excluding rebuild/fold (which take it exclusive).  It also provides
   /// the journal's append/fold exclusion (journal.h locking contract).
   std::shared_mutex& state_mu() { return state_mu_; }
 
   bool concurrent_apply() const { return spec_->supports_concurrent_apply(); }
+
+  /// Per-object apply-order ticket for the NON-journaled protocols
+  /// (N2PL/GEMSTONE): drawn inside the exclusive apply critical section,
+  /// so ticket order IS the application order — the concrete < on this
+  /// object's local steps — without touching any global counter.  The
+  /// journaled protocols use the journal position instead.
+  uint64_t NextApplyStamp() {
+    return apply_stamp_.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
 
   /// The applied-step journal.  Appends and maintenance go through the
   /// helpers below (they know which latches the contract needs); scans are
@@ -158,6 +169,7 @@ class Object {
   std::unique_ptr<adt::AdtState> state_;
   std::unique_ptr<adt::AdtState> base_state_;  // journal base (see above)
   std::shared_mutex state_mu_;
+  std::atomic<uint64_t> apply_stamp_{0};  // NextApplyStamp ticket source
   std::unique_ptr<AppliedJournal> journal_;
   std::vector<std::vector<adt::OpId>> conflict_rows_;  // by OpId
   // CAS-pushed singly linked list, one node per caching lock manager

@@ -1,6 +1,8 @@
 #include "src/runtime/recorder.h"
 
 #include <algorithm>
+#include <queue>
+#include <thread>
 
 #include "src/common/thread_slot.h"
 
@@ -11,10 +13,58 @@ namespace {
 /// entry (recorder address, ident) can only match a live recorder, even if
 /// a new recorder is allocated at a previous one's address.
 std::atomic<uint64_t> g_recorder_ident{1};
+
+/// The calling thread's current stamp lease.  Valid only while (recorder,
+/// ident, epoch) all match; Reset() bumps the epoch to reclaim the stamp
+/// space, and ident protects against recorder address reuse.
+struct SeqLease {
+  const Recorder* recorder = nullptr;
+  uint64_t ident = 0;
+  uint64_t epoch = 0;
+  uint64_t next = 0;   ///< Last stamp handed out (0 = none yet).
+  uint64_t limit = 0;  ///< Lease end, exclusive.
+};
+thread_local SeqLease tls_lease;
 }  // namespace
+
+std::atomic<uint64_t>& RecorderSeqRmws() {
+  static std::atomic<uint64_t> counter{0};
+  return counter;
+}
 
 Recorder::Recorder(bool enabled)
     : enabled_(enabled), ident_(g_recorder_ident.fetch_add(1)) {}
+
+uint64_t Recorder::NextSeq() {
+  if (!enabled_) return 0;
+  SeqLease& l = tls_lease;
+  if (l.recorder == this && l.ident == ident_ &&
+      l.epoch == epoch_.load(std::memory_order_relaxed) && l.next < l.limit) {
+    return ++l.next;
+  }
+  return RefillLease();
+}
+
+uint64_t Recorder::RefillLease() {
+  // The one global RMW of the recording path, paid once per kSeqLease
+  // stamps.  CAS with bounded-spin backoff (the Snippet-1 contended-RMW
+  // idiom): under a refill storm the losers back off instead of hammering
+  // the line, and every attempt is counted so the pinned-invariant test
+  // sees contention rather than being fooled by it.
+  const uint64_t epoch = epoch_.load(std::memory_order_acquire);
+  uint64_t cur = seq_.load(std::memory_order_relaxed);
+  for (int spins = 0;; ++spins) {
+    RecorderSeqRmws().fetch_add(1, std::memory_order_relaxed);
+    if (seq_.compare_exchange_weak(cur, cur + kSeqLease,
+                                   std::memory_order_acq_rel,
+                                   std::memory_order_relaxed)) {
+      break;
+    }
+    if (spins > 8) std::this_thread::yield();
+  }
+  tls_lease = SeqLease{this, ident_, epoch, cur + 1, cur + kSeqLease};
+  return tls_lease.next;
+}
 
 Recorder::ThreadBuf& Recorder::Buf() {
   struct Cache {
@@ -28,8 +78,9 @@ Recorder::ThreadBuf& Recorder::Buf() {
   // recorders since).  Buffers are keyed by the pooled dense thread slot,
   // so a slot vacated by a finished thread hands its buffer to the next
   // thread that takes the slot — recorded events are position-independent
-  // (ordering comes from the seq stamps), and bufs_ stays bounded by the
-  // peak thread count instead of the total threads ever spawned.
+  // (ordering comes from the stamps and order keys), and bufs_ stays
+  // bounded by the peak thread count instead of the total threads ever
+  // spawned.
   const uint64_t slot = common::DenseThreadSlot();
   std::lock_guard<std::mutex> g(registry_mu_);
   if (slot >= bufs_.size()) bufs_.resize(slot + 1);
@@ -49,6 +100,9 @@ void Recorder::Reset(const ObjectBase& base) {
     buf->aborts.clear();
   }
   seq_.store(0);
+  // Release order: a thread observing the new epoch refills from the
+  // already-reset counter.
+  epoch_.fetch_add(1, std::memory_order_release);
   next_exec_.store(0);
   specs_.clear();
   initial_states_.clear();
@@ -76,12 +130,12 @@ void Recorder::MarkAborted(model::ExecId exec) {
 }
 
 void Recorder::RecordLocalStep(model::ExecId exec, uint32_t po_index,
-                               model::ObjectId object, const std::string& op,
+                               model::ObjectId object, adt::OpId op,
                                const Args& args, const Value& ret,
-                               uint64_t start_seq, uint64_t end_seq) {
+                               uint64_t order_key, uint64_t seq) {
   if (!enabled_ || exec == model::kNoExec) return;
   Buf().locals.push_back(
-      LocalEvent{exec, po_index, object, op, args, ret, start_seq, end_seq});
+      LocalEvent{exec, po_index, object, op, args, ret, order_key, seq});
 }
 
 void Recorder::RecordMessageStep(model::ExecId exec, uint32_t po_index,
@@ -91,6 +145,35 @@ void Recorder::RecordMessageStep(model::ExecId exec, uint32_t po_index,
   Buf().msgs.push_back(MsgEvent{exec, po_index, callee, start_seq, end_seq});
 }
 
+// --- Snapshot: canonical merge ----------------------------------------------
+//
+// Leased raw stamps are unique but not draw-ordered across threads, so they
+// cannot serve as the temporal [start_seq, end_seq] encoding of < directly
+// (a lease drawn early can be spent late).  Snapshot() therefore re-derives
+// CANONICAL times: it builds the event DAG of everything the run actually
+// guarantees about order —
+//
+//   (po)      within one execution, every step at a smaller po_index
+//             precedes every step at a larger one (equal po = parallel
+//             batch, unordered);
+//   (bracket) a message step starts before and ends after every step of
+//             the execution it invokes (transitively, of the whole callee
+//             subtree: the callee's own message steps bracket deeper
+//             levels);
+//   (object)  one object's local steps are totally ordered by their order
+//             keys (drawn inside the apply critical section — the real
+//             application order).
+//
+// — and assigns virtual times 1..K by a Kahn topological sort whose ready
+// queue is keyed by the raw stamps (then buf/index, for hand-fed duplicate
+// stamps in unit tests).  Every edge above reflects a genuine happened-
+// before between instants on one timeline (the apply/reservation instants
+// and the invocation/return instants), so the graph is acyclic and the
+// assignment total; the fallback below only fires on inconsistent hand-fed
+// stamps.  The result: a deterministic history whose interval encoding
+// satisfies exactly the recorded constraints, in which per-object order is
+// the true application order — and which, on a single-threaded run (raw
+// stamps already a linear extension), reproduces the raw stamps unchanged.
 model::History Recorder::Snapshot() const {
   model::History h;
   if (!enabled_) return h;
@@ -124,62 +207,203 @@ model::History Recorder::Snapshot() const {
     for (model::ExecId a : buf->aborts) h.executions[a].aborted = true;
   }
 
-  // Steps: every event carries a unique end-seq stamp (each is a distinct
-  // draw of the atomic counter), so sorting by it yields a deterministic
-  // total order that (a) equals the record-call order on single-threaded
-  // runs and (b) restricted to one object's local steps equals the true
-  // application order (the stamp is drawn inside the apply critical
-  // section).  The (buf, index) tiebreak only matters for hand-fed
-  // duplicate stamps in unit tests.
-  struct Ref {
-    uint64_t end_seq;
+  // --- event nodes: one per local step, two (S/E) per message step -------
+  enum Role : uint8_t { kMsgStart = 0, kLocal = 1, kMsgEnd = 2 };
+  struct Node {
+    uint64_t raw;     // raw stamp (heap key)
     uint32_t buf;
-    uint32_t index;
-    bool is_local;
+    uint32_t index;   // into the buf's locals/msgs vector
+    model::ExecId exec;
+    uint32_t po;
+    Role role;
+    uint64_t vtime = 0;
   };
-  std::vector<Ref> refs;
+  std::vector<Node> nodes;
   for (uint32_t b = 0; b < bufs_.size(); ++b) {
     if (bufs_[b] == nullptr) continue;
     for (uint32_t i = 0; i < bufs_[b]->locals.size(); ++i) {
-      refs.push_back(Ref{bufs_[b]->locals[i].end_seq, b, i, true});
+      const LocalEvent& e = bufs_[b]->locals[i];
+      nodes.push_back(Node{e.seq, b, i, e.exec, e.po_index, kLocal});
     }
     for (uint32_t i = 0; i < bufs_[b]->msgs.size(); ++i) {
-      refs.push_back(Ref{bufs_[b]->msgs[i].end_seq, b, i, false});
+      const MsgEvent& e = bufs_[b]->msgs[i];
+      nodes.push_back(Node{e.start_seq, b, i, e.exec, e.po_index, kMsgStart});
+      nodes.push_back(Node{e.end_seq, b, i, e.exec, e.po_index, kMsgEnd});
     }
   }
-  std::sort(refs.begin(), refs.end(), [](const Ref& a, const Ref& b) {
-    if (a.end_seq != b.end_seq) return a.end_seq < b.end_seq;
-    if (a.buf != b.buf) return a.buf < b.buf;
-    if (a.is_local != b.is_local) return a.is_local && !b.is_local;
-    return a.index < b.index;
-  });
+  const uint32_t n = static_cast<uint32_t>(nodes.size());
 
-  h.steps.reserve(refs.size());
-  for (const Ref& r : refs) {
+  // --- edges -------------------------------------------------------------
+  std::vector<std::vector<uint32_t>> out(n);
+  std::vector<uint32_t> indegree(n, 0);
+  auto add_edge = [&](uint32_t from, uint32_t to) {
+    out[from].push_back(to);
+    ++indegree[to];
+  };
+
+  // Group nodes by execution (for po and bracket edges).
+  std::vector<std::vector<uint32_t>> by_exec(h.executions.size());
+  for (uint32_t i = 0; i < n; ++i) {
+    if (nodes[i].exec < by_exec.size()) by_exec[nodes[i].exec].push_back(i);
+  }
+
+  // (po): sort one execution's nodes by po level; link the "exit" side of
+  // each level (locals and message ENDS) to the "entry" side of the next
+  // distinct level (locals and message STARTS).  Equal po levels — one
+  // InvokeParallel batch — get no internal edges.
+  for (auto& group : by_exec) {
+    std::sort(group.begin(), group.end(), [&](uint32_t a, uint32_t b) {
+      return nodes[a].po < nodes[b].po;
+    });
+    size_t lo = 0;
+    while (lo < group.size()) {
+      size_t hi = lo;
+      while (hi < group.size() && nodes[group[hi]].po == nodes[group[lo]].po) {
+        ++hi;
+      }
+      if (hi == group.size()) break;
+      size_t hi2 = hi;
+      while (hi2 < group.size() &&
+             nodes[group[hi2]].po == nodes[group[hi]].po) {
+        ++hi2;
+      }
+      for (size_t a = lo; a < hi; ++a) {
+        if (nodes[group[a]].role == kMsgStart) continue;  // exit side only
+        for (size_t b = hi; b < hi2; ++b) {
+          if (nodes[group[b]].role == kMsgEnd) continue;  // entry side only
+          add_edge(group[a], group[b]);
+        }
+      }
+      lo = hi;
+    }
+  }
+
+  // (bracket): S(m) precedes every node of the callee execution, which all
+  // precede E(m); plus S(m) -> E(m) for empty callees.  The callee's own
+  // message nodes extend the bracket to deeper descendants transitively.
+  for (uint32_t i = 0; i < n; ++i) {
+    if (nodes[i].role != kMsgStart) continue;
+    const MsgEvent& m = bufs_[nodes[i].buf]->msgs[nodes[i].index];
+    const uint32_t end_node = i + 1;  // pushed right after its start node
+    add_edge(i, end_node);
+    if (m.callee < by_exec.size()) {
+      for (uint32_t c : by_exec[m.callee]) {
+        add_edge(i, c);
+        add_edge(c, end_node);
+      }
+    }
+  }
+
+  // (object): per object, local nodes ordered by order key.
+  {
+    std::vector<std::vector<uint32_t>> by_object(h.object_order.size());
+    for (uint32_t i = 0; i < n; ++i) {
+      if (nodes[i].role != kLocal) continue;
+      const LocalEvent& e = bufs_[nodes[i].buf]->locals[nodes[i].index];
+      if (e.object < by_object.size()) by_object[e.object].push_back(i);
+    }
+    auto order_key = [&](uint32_t i) {
+      return bufs_[nodes[i].buf]->locals[nodes[i].index].order_key;
+    };
+    for (auto& group : by_object) {
+      std::sort(group.begin(), group.end(), [&](uint32_t a, uint32_t b) {
+        if (order_key(a) != order_key(b)) return order_key(a) < order_key(b);
+        if (nodes[a].raw != nodes[b].raw) return nodes[a].raw < nodes[b].raw;
+        if (nodes[a].buf != nodes[b].buf) return nodes[a].buf < nodes[b].buf;
+        return nodes[a].index < nodes[b].index;
+      });
+      for (size_t i = 1; i < group.size(); ++i) {
+        add_edge(group[i - 1], group[i]);
+      }
+    }
+  }
+
+  // --- Kahn with a raw-stamp min-heap -------------------------------------
+  auto heap_after = [&](uint32_t a, uint32_t b) {  // "a pops after b"
+    if (nodes[a].raw != nodes[b].raw) return nodes[a].raw > nodes[b].raw;
+    if (nodes[a].buf != nodes[b].buf) return nodes[a].buf > nodes[b].buf;
+    if (nodes[a].role != nodes[b].role) return nodes[a].role > nodes[b].role;
+    return nodes[a].index > nodes[b].index;
+  };
+  std::priority_queue<uint32_t, std::vector<uint32_t>, decltype(heap_after)>
+      ready(heap_after);
+  for (uint32_t i = 0; i < n; ++i) {
+    if (indegree[i] == 0) ready.push(i);
+  }
+  std::vector<bool> done(n, false);
+  uint64_t clock = 0;
+  uint32_t assigned = 0;
+  while (assigned < n) {
+    if (ready.empty()) {
+      // Inconsistent hand-fed stamps only (real runs are acyclic, see the
+      // function comment): force the smallest-keyed unassigned node.
+      uint32_t best = n;
+      for (uint32_t i = 0; i < n; ++i) {
+        if (!done[i] && (best == n || heap_after(best, i))) best = i;
+      }
+      ready.push(best);
+      indegree[best] = 0;
+    }
+    const uint32_t i = ready.top();
+    ready.pop();
+    if (done[i]) continue;
+    done[i] = true;
+    nodes[i].vtime = ++clock;
+    ++assigned;
+    for (uint32_t s : out[i]) {
+      if (!done[s] && indegree[s] > 0 && --indegree[s] == 0) ready.push(s);
+    }
+  }
+
+  // --- build steps in canonical completion order --------------------------
+  // Completion (end) times: locals complete at their single virtual time;
+  // message steps at their E node's.  Each completing node emits one Step,
+  // so ordering by vtime of the completing node is total and deterministic.
+  std::vector<uint32_t> emit;
+  emit.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    if (nodes[i].role != kMsgStart) emit.push_back(i);
+  }
+  std::sort(emit.begin(), emit.end(), [&](uint32_t a, uint32_t b) {
+    return nodes[a].vtime < nodes[b].vtime;
+  });
+  auto op_name = [&](model::ObjectId object, adt::OpId op) -> std::string {
+    if (object < specs_.size() && specs_[object] != nullptr &&
+        op < specs_[object]->NumOps()) {
+      return std::string(specs_[object]->OpAt(op).name);
+    }
+    return "op#" + std::to_string(op);  // hand-fed tests without a Reset
+  };
+  h.steps.reserve(emit.size());
+  for (const uint32_t i : emit) {
     model::Step s;
     s.id = static_cast<model::StepId>(h.steps.size());
-    if (r.is_local) {
-      const LocalEvent& e = bufs_[r.buf]->locals[r.index];
+    if (nodes[i].role == kLocal) {
+      const LocalEvent& e = bufs_[nodes[i].buf]->locals[nodes[i].index];
       s.kind = model::StepKind::kLocal;
       s.exec = e.exec;
       s.po_index = e.po_index;
       s.object = e.object;
-      s.op = e.op;
+      s.op = op_name(e.object, e.op);
       s.args = e.args;
       s.ret = e.ret;
-      s.start_seq = e.start_seq;
-      s.end_seq = e.end_seq;
-      h.object_order[e.object].push_back(s.id);
-    } else {
-      const MsgEvent& e = bufs_[r.buf]->msgs[r.index];
+      s.start_seq = nodes[i].vtime;
+      s.end_seq = nodes[i].vtime;
+      if (e.object < h.object_order.size()) {
+        h.object_order[e.object].push_back(s.id);
+      }
+    } else {  // kMsgEnd: its start node is at index i - 1 (see node build)
+      const MsgEvent& e = bufs_[nodes[i].buf]->msgs[nodes[i].index];
       s.kind = model::StepKind::kMessage;
       s.exec = e.exec;
       s.po_index = e.po_index;
       s.callee = e.callee;
-      s.start_seq = e.start_seq;
-      s.end_seq = e.end_seq;
+      s.start_seq = nodes[i - 1].vtime;
+      s.end_seq = nodes[i].vtime;
     }
-    h.executions[s.exec].steps.push_back(s.id);
+    if (s.exec < h.executions.size()) {
+      h.executions[s.exec].steps.push_back(s.id);
+    }
     h.steps.push_back(std::move(s));
   }
   return h;

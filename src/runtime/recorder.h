@@ -2,27 +2,33 @@
 //
 // Every execution/step the runtime performs is mirrored into a
 // model::History so that the formal machinery (legality, SG(h), Theorem 2's
-// serialiser, Theorem 5's graphs) can check the run after the fact.  The
-// per-object application order is captured inside each object's apply
-// critical section, so it is exactly the order in which the state
-// transformers composed — the concrete form of the < relation on local
-// steps.
+// serialiser, Theorem 5's graphs) can check the run after the fact.
 //
-// Sharded recording: there is no global recorder lock.  Each worker thread
-// appends events (execution begins, local steps, message steps, abort
-// marks) to its own buffer; identity comes from two atomic counters (the
-// execution-id counter and the global seq stamp).  The paper's model only
-// needs the per-object application order to be exact, and that is captured
-// by the seq stamps drawn inside each object's apply critical section — a
-// global recording lock adds nothing but contention.  Snapshot() merges the
-// buffers deterministically (events sorted by their unique end-seq stamp),
-// which on a single-threaded run reproduces the exact history the previous
-// globally-locked recorder produced.
+// Fully lock-free recording (docs/recorder.md):
+//   * There is no global recorder lock, and — unlike the previous sharded
+//     recorder — no per-step global atomic either.  Each recording thread
+//     LEASES a batch of kSeqLease raw stamps from the global counter and
+//     stamps events locally; the global RMW count scales with lease refills
+//     (steps / kSeqLease per thread), not with steps.  RecorderSeqRmws()
+//     counts the refills so tests can pin the invariant.
+//   * Leased stamps stay unique but are no longer draw-ordered across
+//     threads, so they cannot encode the temporal < relation directly.
+//     The per-object application order — the only part of < the paper's
+//     machinery needs to be EXACT — travels separately: every local step
+//     carries an order key drawn inside its apply critical section (the
+//     journal position for NTO/CERT/MIXED, a per-object ticket for
+//     N2PL/GEMSTONE; see apply.h).  Snapshot() then assigns CANONICAL
+//     virtual times: a deterministic topological order over the recorded
+//     constraints (program order, message brackets, per-object order keys),
+//     tie-broken by the raw stamps.  On a single-threaded run the raw
+//     stamps are already consistent with every constraint, so the virtual
+//     times equal the raw stamps and the snapshot is byte-identical to the
+//     retained reference recorder (tests/reference_recorder.h).
 //
-// Concurrency contract: Record*/BeginExecution/MarkAborted may be called
-// from any number of threads concurrently.  Reset() and Snapshot() require
-// the recording threads to be quiescent (between runs / after joins) —
-// which is when tests and benchmarks call them.
+// Concurrency contract: Record*/BeginExecution/MarkAborted/NextSeq may be
+// called from any number of threads concurrently.  Reset() and Snapshot()
+// require the recording threads to be quiescent (between runs / after
+// joins) — which is when tests and benchmarks call them.
 //
 // Recording is optional (benchmarks disable it); when disabled all methods
 // are cheap no-ops.
@@ -40,18 +46,34 @@
 
 namespace objectbase::rt {
 
+/// Process-wide count of global seq-counter RMWs (lease refills, including
+/// CAS retries under contention).  The lock-free recording invariant —
+/// O(steps / kSeqLease) global RMWs, not O(steps) — is pinned against this
+/// in recorder_mt_test.
+std::atomic<uint64_t>& RecorderSeqRmws();
+
 class Recorder {
  public:
+  /// Raw stamps leased per refill.  Big enough that the global counter
+  /// drops out of the per-step profile; small enough that a short recorded
+  /// run still exercises the refill path.
+  static constexpr uint64_t kSeqLease = 256;
+
   explicit Recorder(bool enabled);
 
   bool enabled() const { return enabled_; }
 
   /// Clears the history and snapshots every object's current state as the
   /// S component.  Call before a recorded run, after objects are created.
+  /// Bumps the lease epoch so stale thread leases from earlier runs are
+  /// invalidated (stamps restart at 1).
   void Reset(const ObjectBase& base);
 
-  /// Global monotonic stamp (also used for undo ordering).
-  uint64_t NextSeq() { return seq_.fetch_add(1) + 1; }
+  /// A unique raw stamp from the calling thread's lease (0 when recording
+  /// is disabled).  Unique across threads but NOT draw-ordered across
+  /// threads; Snapshot() canonicalises (see file comment).  Never touches
+  /// the global counter except to refill the lease.
+  uint64_t NextSeq();
 
   /// Registers a new method execution; returns its model id.
   model::ExecId BeginExecution(model::ExecId parent, model::ObjectId object,
@@ -59,22 +81,26 @@ class Recorder {
 
   void MarkAborted(model::ExecId exec);
 
-  /// Records a local step.  MUST be called while the caller still holds the
-  /// object's apply serialisation (state_mu or equivalent) and `end_seq`
-  /// must have been drawn inside that critical section, so that the merged
-  /// per-object order matches the true application order.
+  /// Records a local step.  `order_key` MUST have been drawn inside the
+  /// object's apply critical section (journal position or per-object
+  /// ticket — see apply.h), so that ordering one object's local steps by
+  /// it yields the true application order.  `seq` is a raw NextSeq stamp
+  /// drawn by the applying thread (merge tiebreak; single-thread
+  /// determinism).  `op` is the dense per-spec operation id; names are
+  /// resolved only at Snapshot().
   void RecordLocalStep(model::ExecId exec, uint32_t po_index,
-                       model::ObjectId object, const std::string& op,
-                       const Args& args, const Value& ret,
-                       uint64_t start_seq, uint64_t end_seq);
+                       model::ObjectId object, adt::OpId op, const Args& args,
+                       const Value& ret, uint64_t order_key, uint64_t seq);
 
   /// Records a message step (the invocation that created `callee`).
+  /// `start_seq`/`end_seq` are raw stamps drawn before the invocation and
+  /// after its return.
   void RecordMessageStep(model::ExecId exec, uint32_t po_index,
                          model::ExecId callee, uint64_t start_seq,
                          uint64_t end_seq);
 
-  /// Merges the per-thread buffers into a model::History.  Deterministic:
-  /// events are ordered by their (unique) end-seq stamps.
+  /// Merges the per-thread buffers into a model::History with canonical
+  /// temporal stamps.  Deterministic for a given set of recorded events.
   model::History Snapshot() const;
 
  private:
@@ -88,11 +114,11 @@ class Recorder {
     model::ExecId exec;
     uint32_t po_index;
     model::ObjectId object;
-    std::string op;
+    adt::OpId op;
     Args args;
     Value ret;
-    uint64_t start_seq;
-    uint64_t end_seq;
+    uint64_t order_key;
+    uint64_t seq;
   };
   struct MsgEvent {
     model::ExecId exec;
@@ -115,10 +141,16 @@ class Recorder {
   /// count stays at the peak number of CONCURRENT threads.
   ThreadBuf& Buf();
 
+  /// Slow path of NextSeq: lease a fresh stamp range from seq_.
+  uint64_t RefillLease();
+
   bool enabled_;
-  /// Unique per recorder instance; guards the thread_local buffer cache
-  /// against address reuse across recorder lifetimes.
+  /// Unique per recorder instance; guards the thread_local buffer/lease
+  /// caches against address reuse across recorder lifetimes.
   const uint64_t ident_;
+  /// Bumped by Reset(): invalidates outstanding thread leases so stamps
+  /// restart from 1 each run (single-thread determinism across runs).
+  std::atomic<uint64_t> epoch_{0};
   std::atomic<uint64_t> seq_{0};
   std::atomic<uint32_t> next_exec_{0};
   mutable std::mutex registry_mu_;  // buffer registration, Reset, Snapshot

@@ -30,7 +30,11 @@ class Object;
 
 /// One undone-able effect: an applied local step's inverse.
 struct UndoRecord {
-  uint64_t seq = 0;  ///< Global apply sequence; undo happens in reverse.
+  /// PER-OBJECT apply-order key (journal position or Object::NextApplyStamp
+  /// ticket): same-object undos run in reverse key order; different
+  /// objects' undos commute (disjoint states), so no global order is
+  /// needed (docs/recorder.md).
+  uint64_t seq = 0;
   Object* object = nullptr;
   adt::UndoFn undo;  ///< Empty for read-only steps.
 };

@@ -2,6 +2,7 @@
 // correctness, plus validation-specific behaviours.
 #include <gtest/gtest.h>
 
+#include "src/adt/btree_dictionary_adt.h"
 #include "src/cc/cert_controller.h"
 #include "src/common/stats.h"
 #include "tests/protocol_harness.h"
@@ -260,6 +261,67 @@ TEST(CertProtocolTest, RebuildExcludesDoomedDependentsEntries) {
               d_result.last_abort == cc::AbortReason::kCascade)
       << cc::AbortReasonName(d_result.last_abort);
   VerifyHistory(exec, "CERT rebuild-soundness scenario");
+}
+
+// Recording exclusivity is gone: recorded point ops on a concurrent-apply
+// B-tree must run under the SHARED apply latch (the apply-order hook, not
+// an exclusive state_mu, supplies the application order).  Pinned by the
+// exclusive-step counter: zero exclusive acquisitions across recorded
+// crabbing put/get/del traffic.
+TEST(CertProtocolTest, RecordedCrabbingTakesSharedLatch) {
+  ObjectBase base;
+  base.CreateObject("d", adt::MakeBTreeDictionarySpec(4));
+  Executor exec(base, {.protocol = kP,
+                       .record = true,
+                       .journal_fold_threshold = 0});
+  MethodRef put = exec.Resolve("d", "put");
+  MethodRef get = exec.Resolve("d", "get");
+  MethodRef del = exec.Resolve("d", "del");
+  ASSERT_TRUE(put.valid() && get.valid() && del.valid());
+  const uint64_t before = cc::CertStepExclusiveAcquisitions().load();
+  for (int i = 0; i < 40; ++i) {
+    TxnResult r = exec.RunTransaction("t", [&](MethodCtx& txn) {
+      txn.Invoke(put, {int64_t{i % 16}, int64_t{i}});
+      txn.Invoke(get, {int64_t{(i + 3) % 16}});
+      if (i % 4 == 0) txn.Invoke(del, {int64_t{(i + 7) % 16}});
+      return Value();
+    });
+    ASSERT_TRUE(r.committed);
+  }
+  EXPECT_EQ(cc::CertStepExclusiveAcquisitions().load() - before, 0u)
+      << "recorded crabbing steps escalated to the exclusive latch";
+  VerifyHistory(exec, "CERT recorded crabbing point ops");
+}
+
+// The escalation counterpart: non-linearizable B-tree scans (count /
+// range_count are latch-coupled whole-tree walks with no single internal
+// linearization point) and steps on exclusive-apply objects must still
+// take the exclusive latch.
+TEST(CertProtocolTest, NonLinearizableScansEscalateToExclusive) {
+  ObjectBase base;
+  base.CreateObject("d", adt::MakeBTreeDictionarySpec(4));
+  base.CreateObject("c", adt::MakeCounterSpec(0));
+  Executor exec(base, {.protocol = kP,
+                       .record = true,
+                       .journal_fold_threshold = 0});
+  MethodRef put = exec.Resolve("d", "put");
+  MethodRef count = exec.Resolve("d", "count");
+  MethodRef add = exec.Resolve("c", "add");
+  ASSERT_TRUE(put.valid() && count.valid() && add.valid());
+  uint64_t before = cc::CertStepExclusiveAcquisitions().load();
+  ASSERT_TRUE(exec.RunTransaction("t", [&](MethodCtx& txn) {
+    txn.Invoke(put, {int64_t{1}, int64_t{2}});
+    return Value();
+  }).committed);
+  EXPECT_EQ(cc::CertStepExclusiveAcquisitions().load() - before, 0u);
+  before = cc::CertStepExclusiveAcquisitions().load();
+  ASSERT_TRUE(exec.RunTransaction("t", [&](MethodCtx& txn) {
+    txn.Invoke(count, {});
+    txn.Invoke(add, {int64_t{1}});  // counters are not concurrent-apply
+    return Value();
+  }).committed);
+  EXPECT_EQ(cc::CertStepExclusiveAcquisitions().load() - before, 2u)
+      << "count and the counter step must both take the exclusive latch";
 }
 
 }  // namespace

@@ -1,0 +1,270 @@
+// Differential harness for the lock-free leased Recorder.
+//
+// Two nets, per the house pattern (tests/journal_equivalence_test.cc):
+//   * randomized SINGLE-THREAD API scripts drive the leased recorder and
+//     the retained global-atomic ReferenceRecorder in lockstep and assert
+//     BYTE-IDENTICAL snapshots — on one thread the leased raw stamps are a
+//     linear extension of every recorded constraint, so the canonical
+//     virtual times must collapse to exactly the reference's global stamps;
+//   * multi-threaded (4/8 workers) executor runs with folding disabled
+//     assert that each object's recorded step order equals its JOURNAL
+//     POSITION order — the per-object order key is the journal position,
+//     so the formal history's object order must reproduce, entry for
+//     entry, what the journal says was applied.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <tuple>
+#include <vector>
+
+#include "src/adt/btree_dictionary_adt.h"
+#include "src/adt/counter_adt.h"
+#include "src/adt/register_adt.h"
+#include "src/common/rng.h"
+#include "src/runtime/executor.h"
+#include "src/runtime/journal.h"
+#include "src/runtime/recorder.h"
+#include "tests/reference_recorder.h"
+
+namespace objectbase::rt {
+namespace {
+
+// --- part 1: randomized single-thread scripts ------------------------------
+
+void ExpectIdentical(const model::History& a, const model::History& b,
+                     uint64_t seed) {
+  ASSERT_EQ(a.executions.size(), b.executions.size()) << "seed " << seed;
+  for (size_t i = 0; i < a.executions.size(); ++i) {
+    EXPECT_EQ(a.executions[i].id, b.executions[i].id) << "seed " << seed;
+    EXPECT_EQ(a.executions[i].parent, b.executions[i].parent);
+    EXPECT_EQ(a.executions[i].object, b.executions[i].object);
+    EXPECT_EQ(a.executions[i].method, b.executions[i].method);
+    EXPECT_EQ(a.executions[i].aborted, b.executions[i].aborted);
+    EXPECT_EQ(a.executions[i].steps, b.executions[i].steps)
+        << "seed " << seed << " exec " << i;
+  }
+  ASSERT_EQ(a.steps.size(), b.steps.size()) << "seed " << seed;
+  for (size_t i = 0; i < a.steps.size(); ++i) {
+    EXPECT_EQ(a.steps[i].kind, b.steps[i].kind) << "seed " << seed;
+    EXPECT_EQ(a.steps[i].exec, b.steps[i].exec);
+    EXPECT_EQ(a.steps[i].po_index, b.steps[i].po_index);
+    EXPECT_EQ(a.steps[i].object, b.steps[i].object);
+    EXPECT_EQ(a.steps[i].op, b.steps[i].op);
+    EXPECT_TRUE(a.steps[i].args == b.steps[i].args);
+    EXPECT_TRUE(a.steps[i].ret == b.steps[i].ret);
+    EXPECT_EQ(a.steps[i].callee, b.steps[i].callee);
+    EXPECT_EQ(a.steps[i].start_seq, b.steps[i].start_seq)
+        << "seed " << seed << " step " << i;
+    EXPECT_EQ(a.steps[i].end_seq, b.steps[i].end_seq)
+        << "seed " << seed << " step " << i;
+  }
+  EXPECT_EQ(a.object_order, b.object_order) << "seed " << seed;
+}
+
+// One open execution: its id (identical in both recorders by construction),
+// the bookkeeping needed to emit its message step at close, and its po
+// counter.
+struct Frame {
+  model::ExecId exec;
+  model::ExecId parent;  // kNoExec for tops (no message step)
+  uint32_t po_in_parent = 0;
+  uint64_t start_seq = 0;
+  uint32_t next_po = 0;
+};
+
+void RunScript(uint64_t seed) {
+  ObjectBase base;
+  base.CreateObject("c", adt::MakeCounterSpec(0));
+  base.CreateObject("r", adt::MakeRegisterSpec(7));
+  const uint32_t kObjects = 2;
+
+  Recorder rec(/*enabled=*/true);
+  ReferenceRecorder ref(/*enabled=*/true);
+  rec.Reset(base);
+  ref.Reset(base);
+
+  Rng rng(seed);
+  // Lockstep draw: both counters must hand out the same stamp — the leased
+  // path's per-thread batching must be invisible on one thread.
+  auto draw = [&]() {
+    const uint64_t a = rec.NextSeq();
+    const uint64_t b = ref.NextSeq();
+    EXPECT_EQ(a, b) << "seed " << seed;
+    return a;
+  };
+  // Per-object apply tickets: drawn in call order, as any real
+  // single-threaded run draws them (order key order == seq order).
+  std::vector<uint64_t> ticket(kObjects, 0);
+
+  std::vector<Frame> stack;
+  auto open_top = [&](int i) {
+    const std::string name = "t" + std::to_string(i);
+    const model::ExecId a =
+        rec.BeginExecution(model::kNoExec, model::kEnvironmentObject, name);
+    const model::ExecId b =
+        ref.BeginExecution(model::kNoExec, model::kEnvironmentObject, name);
+    EXPECT_EQ(a, b);
+    stack.push_back(Frame{a, model::kNoExec});
+  };
+  auto close_frame = [&]() {
+    Frame f = stack.back();
+    stack.pop_back();
+    if (f.parent == model::kNoExec) return;  // top: no message step
+    const uint64_t end = draw();
+    rec.RecordMessageStep(f.parent, f.po_in_parent, f.exec, f.start_seq, end);
+    ref.RecordMessageStep(f.parent, f.po_in_parent, f.exec, f.start_seq, end);
+    if (rng.Bernoulli(0.15)) {
+      rec.MarkAborted(f.exec);
+      ref.MarkAborted(f.exec);
+    }
+  };
+
+  int tops = 0;
+  open_top(tops++);
+  const int kActions = 120;
+  for (int step = 0; step < kActions; ++step) {
+    const uint64_t pick = rng.Uniform(10);
+    if (pick < 3 && stack.size() < 6) {
+      // Open a child of the innermost open execution.
+      Frame& parent = stack.back();
+      const uint32_t obj = static_cast<uint32_t>(rng.Uniform(kObjects));
+      const uint32_t po = parent.next_po++;
+      const uint64_t start = draw();
+      const std::string method = "m" + std::to_string(step);
+      const model::ExecId a = rec.BeginExecution(parent.exec, obj, method);
+      const model::ExecId b = ref.BeginExecution(parent.exec, obj, method);
+      EXPECT_EQ(a, b);
+      stack.push_back(Frame{a, parent.exec, po, start});
+    } else if (pick < 8) {
+      // A local step in the innermost open execution.
+      Frame& f = stack.back();
+      const uint32_t obj = static_cast<uint32_t>(rng.Uniform(kObjects));
+      const auto& spec = *base.Get(obj).spec_ptr();
+      const adt::OpId op =
+          static_cast<adt::OpId>(rng.Uniform(spec.NumOps()));
+      const Args args = {Value(rng.Range(-5, 5))};
+      const Value ret = rng.Bernoulli(0.5) ? Value(rng.Range(0, 9))
+                                           : Value::None();
+      const uint32_t po = f.next_po++;
+      const uint64_t seq = draw();
+      const uint64_t key = ++ticket[obj];
+      rec.RecordLocalStep(f.exec, po, obj, op, args, ret, key, seq);
+      ref.RecordLocalStep(f.exec, po, obj, op, args, ret, key, seq);
+    } else if (stack.size() > 1 || (stack.size() == 1 && tops < 5)) {
+      // Close the innermost execution; reopen a top if we closed the last.
+      close_frame();
+      if (stack.empty()) open_top(tops++);
+    }
+  }
+  while (!stack.empty()) close_frame();
+
+  ExpectIdentical(rec.Snapshot(), ref.Snapshot(), seed);
+}
+
+TEST(RecorderEquivalenceTest, RandomSingleThreadScriptsAreByteIdentical) {
+  for (uint64_t seed = 1; seed <= 40; ++seed) RunScript(seed);
+}
+
+// --- part 2: per-object order == journal position order --------------------
+
+// Runs a conflicting multi-threaded workload (counters + register + a
+// crabbing B-tree dictionary) recorded, with journal folding disabled, and
+// asserts each journaled object's recorded per-object step sequence equals
+// the journal's position-order entry sequence, (op, args, ret) for
+// (op, args, ret) — aborted entries included on both sides (the recorder
+// keeps aborted executions' steps; the journal keeps their marked entries).
+void RunJournalOrderAgreement(Protocol protocol, int threads, uint64_t seed) {
+  ObjectBase base;
+  const int kCounters = 2;
+  for (int i = 0; i < kCounters; ++i) {
+    base.CreateObject("c" + std::to_string(i), adt::MakeCounterSpec(0));
+  }
+  base.CreateObject("r", adt::MakeRegisterSpec(0));
+  base.CreateObject("d", adt::MakeBTreeDictionarySpec(4));
+  Executor exec(base, {.protocol = protocol,
+                       .granularity = cc::Granularity::kStep,
+                       .record = true,
+                       .journal_fold_threshold = 0});
+
+  std::vector<MethodRef> add;
+  for (int i = 0; i < kCounters; ++i) {
+    add.push_back(exec.Resolve("c" + std::to_string(i), "add"));
+    ASSERT_TRUE(add.back().valid());
+  }
+  MethodRef incr = exec.Resolve("r", "increment");
+  MethodRef put = exec.Resolve("d", "put");
+  MethodRef get = exec.Resolve("d", "get");
+  MethodRef del = exec.Resolve("d", "del");
+  ASSERT_TRUE(incr.valid());
+  ASSERT_TRUE(put.valid() && get.valid() && del.valid());
+
+  std::vector<std::thread> workers;
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t]() {
+      Rng rng(seed + t * 977);
+      for (int i = 0; i < 25; ++i) {
+        const int64_t k = rng.Range(0, 31);
+        const int64_t v = rng.Range(0, 99);
+        const int c = static_cast<int>(rng.Uniform(kCounters));
+        exec.RunTransaction("w", [&](MethodCtx& txn) {
+          txn.Invoke(add[c], {int64_t{1}});
+          txn.Invoke(put, {k, v});
+          if (rng.Bernoulli(0.3)) txn.Invoke(del, {k + 1});
+          txn.Invoke(get, {k});
+          if (rng.Bernoulli(0.4)) txn.Invoke(incr, {int64_t{1}});
+          return Value();
+        });
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+
+  model::History h = exec.recorder().Snapshot();
+
+  using Tuple = std::tuple<std::string, Args, Value>;
+  for (uint32_t obj = 0; obj < base.size(); ++obj) {
+    const Object& o = base.Get(obj);
+    std::vector<Tuple> journal_order;
+    {
+      AppliedJournal::Scan scan(o.journal());
+      scan.ForEachLive(scan.end_pos(), [&](const AppliedJournal::Entry& e) {
+        journal_order.emplace_back(std::string(o.spec().OpAt(e.op_id).name),
+                                   e.args, e.ret);
+        return true;
+      });
+    }
+    if (journal_order.empty()) continue;  // non-journaled protocol/object
+    std::vector<Tuple> recorded_order;
+    for (model::StepId s : h.object_order[obj]) {
+      recorded_order.emplace_back(h.steps[s].op, h.steps[s].args,
+                                  h.steps[s].ret);
+    }
+    ASSERT_EQ(recorded_order.size(), journal_order.size())
+        << ProtocolName(protocol) << " object " << o.name();
+    for (size_t i = 0; i < journal_order.size(); ++i) {
+      EXPECT_EQ(std::get<0>(recorded_order[i]), std::get<0>(journal_order[i]))
+          << ProtocolName(protocol) << " " << o.name() << " pos " << i;
+      EXPECT_TRUE(std::get<1>(recorded_order[i]) ==
+                  std::get<1>(journal_order[i]));
+      EXPECT_TRUE(std::get<2>(recorded_order[i]) ==
+                  std::get<2>(journal_order[i]));
+    }
+  }
+}
+
+TEST(RecorderEquivalenceTest, NtoJournalOrder4Threads) {
+  RunJournalOrderAgreement(Protocol::kNto, 4, 11);
+}
+TEST(RecorderEquivalenceTest, NtoJournalOrder8Threads) {
+  RunJournalOrderAgreement(Protocol::kNto, 8, 23);
+}
+TEST(RecorderEquivalenceTest, CertJournalOrder4Threads) {
+  RunJournalOrderAgreement(Protocol::kCert, 4, 37);
+}
+TEST(RecorderEquivalenceTest, CertJournalOrder8Threads) {
+  RunJournalOrderAgreement(Protocol::kCert, 8, 41);
+}
+
+}  // namespace
+}  // namespace objectbase::rt

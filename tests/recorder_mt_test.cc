@@ -1,11 +1,13 @@
-// Sharded-recorder regression net.
+// Lock-free-recorder regression net.
 //
-// The Recorder keeps per-thread append-only buffers and merges them at
-// Snapshot() time.  These tests pin down the two properties the refactor
-// must preserve:
+// The Recorder keeps per-thread append-only buffers, stamps events from
+// per-thread seq leases, and canonicalises at Snapshot() time.  These
+// tests pin down the properties the lock-free path must preserve:
 //   * under genuinely concurrent recording (N worker threads, each issuing
 //     InvokeParallel fan-outs, across ALL FIVE protocols) the merged
 //     history is structurally well-formed, legal and SG-acyclic;
+//   * global seq-counter RMWs scale with lease refills, not steps
+//     (SeqRmwsScaleWithLeasesNotSteps);
 //   * on deterministic single-threaded runs the merge is byte-identical
 //     across repetitions (same E, <, B, S — the old globally-locked
 //     recorder's output).
@@ -19,6 +21,7 @@
 #include "src/model/legality.h"
 #include "src/model/serialiser.h"
 #include "src/runtime/executor.h"
+#include "src/runtime/recorder.h"
 #include "tests/protocol_harness.h"
 
 namespace objectbase::rt {
@@ -139,6 +142,65 @@ TEST(RecorderMtTest, GemstoneRecordedStress) {
 }
 TEST(RecorderMtTest, MixedRecordedStress) {
   RunRecordedStress(Protocol::kMixed, cc::Granularity::kStep);
+}
+
+// --- lock-free invariant: global RMWs scale with leases, not steps --------
+
+// Fixed worker threads on PRIVATE objects (no InvokeParallel — its fan-out
+// threads each take a lease; no conflicts — aborts would retry and blur the
+// draw count).  Each Invoke draws 3 raw stamps (message start/end + the
+// local step), so the per-thread draw count is exact and the refill count
+// must stay within a small multiple of draws/kSeqLease — the old recorder
+// paid one global RMW per draw.
+TEST(RecorderMtTest, SeqRmwsScaleWithLeasesNotSteps) {
+  ObjectBase base;
+  const int kThreads = 4;
+  const int kTxns = 200;
+  const int kInvokesPerTxn = 2;
+  for (int t = 0; t < kThreads; ++t) {
+    base.CreateObject("c" + std::to_string(t), adt::MakeCounterSpec(0));
+  }
+  Executor exec(base, {.protocol = Protocol::kN2pl});
+  std::vector<MethodRef> add;
+  for (int t = 0; t < kThreads; ++t) {
+    add.push_back(exec.Resolve("c" + std::to_string(t), "add"));
+    ASSERT_TRUE(add.back().valid());
+  }
+
+  const uint64_t rmws_before = RecorderSeqRmws().load();
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t]() {
+      for (int i = 0; i < kTxns; ++i) {
+        exec.RunTransaction("pin", [&](MethodCtx& txn) {
+          for (int k = 0; k < kInvokesPerTxn; ++k) {
+            txn.Invoke(add[t], {int64_t{1}});
+          }
+          return Value();
+        });
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  const uint64_t rmws = RecorderSeqRmws().load() - rmws_before;
+
+  const uint64_t draws_per_thread = 3u * kTxns * kInvokesPerTxn;
+  const uint64_t leases_per_thread =
+      draws_per_thread / Recorder::kSeqLease + 1;
+  // 4x headroom for CAS retries under refill contention; still ~60x below
+  // the one-RMW-per-draw regime this test exists to forbid.
+  EXPECT_GT(rmws, 0u);
+  EXPECT_LE(rmws, 4u * kThreads * leases_per_thread);
+
+  // The run really was recorded in full.
+  model::History h = exec.recorder().Snapshot();
+  CheckWellFormed(h);
+  size_t locals = 0;
+  for (const model::Step& s : h.steps) {
+    if (s.kind == model::StepKind::kLocal) ++locals;
+  }
+  EXPECT_EQ(locals,
+            static_cast<size_t>(kThreads) * kTxns * kInvokesPerTxn);
 }
 
 // --- single-thread determinism --------------------------------------------

@@ -1,8 +1,10 @@
 // Recorder unit tests: history structure, ordering guarantees, snapshot
-// isolation, and the disabled mode.
+// isolation, the disabled mode, and the leased sequence counter.
 #include "src/runtime/recorder.h"
 
 #include <gtest/gtest.h>
+
+#include <set>
 
 #include "src/adt/counter_adt.h"
 #include "src/adt/register_adt.h"
@@ -11,20 +13,31 @@
 namespace objectbase::rt {
 namespace {
 
+adt::OpId OpIdOf(const std::shared_ptr<const adt::AdtSpec>& spec,
+                 const char* name) {
+  const adt::OpDescriptor* op = spec->FindOp(name);
+  EXPECT_NE(op, nullptr);
+  return op->id;
+}
+
 TEST(RecorderTest, DisabledRecorderIsCheap) {
   Recorder r(/*enabled=*/false);
   ObjectBase base;
-  base.CreateObject("c", adt::MakeCounterSpec(0));
+  auto spec = adt::MakeCounterSpec(0);
+  base.CreateObject("c", spec);
   r.Reset(base);
   model::ExecId e = r.BeginExecution(model::kNoExec,
                                      model::kEnvironmentObject, "t");
   EXPECT_EQ(e, model::kNoExec);
-  r.RecordLocalStep(e, 0, 0, "add", {Value(1)}, Value::None(), 1, 2);
+  r.RecordLocalStep(e, 0, 0, OpIdOf(spec, "add"), {Value(1)}, Value::None(),
+                    /*order_key=*/1, /*seq=*/2);
   model::History h = r.Snapshot();
   EXPECT_TRUE(h.executions.empty());
   EXPECT_TRUE(h.steps.empty());
-  // The sequence counter still works (undo ordering relies on it).
-  EXPECT_GT(r.NextSeq(), 0u);
+  // Disabled recording draws no stamps at all (the per-object order keys
+  // the runtime needs for undo ordering come from the journal/object, not
+  // from here).
+  EXPECT_EQ(r.NextSeq(), 0u);
 }
 
 TEST(RecorderTest, ResetSnapshotsInitialStates) {
@@ -45,15 +58,18 @@ TEST(RecorderTest, ResetSnapshotsInitialStates) {
 TEST(RecorderTest, RecordsTreeAndSteps) {
   Recorder r(/*enabled=*/true);
   ObjectBase base;
-  base.CreateObject("c", adt::MakeCounterSpec(0));
+  auto spec = adt::MakeCounterSpec(0);
+  base.CreateObject("c", spec);
   r.Reset(base);
   model::ExecId top = r.BeginExecution(model::kNoExec,
                                        model::kEnvironmentObject, "t");
   model::ExecId child = r.BeginExecution(top, 0, "m");
+  uint64_t m_start = r.NextSeq();
   uint64_t s1 = r.NextSeq();
-  r.RecordLocalStep(child, 0, 0, "add", {Value(5)}, Value::None(), s1, s1);
+  r.RecordLocalStep(child, 0, 0, OpIdOf(spec, "add"), {Value(5)},
+                    Value::None(), /*order_key=*/1, s1);
   uint64_t m_end = r.NextSeq();
-  r.RecordMessageStep(top, 0, child, s1 - 1, m_end);
+  r.RecordMessageStep(top, 0, child, m_start, m_end);
   r.MarkAborted(child);
 
   model::History h = r.Snapshot();
@@ -63,13 +79,16 @@ TEST(RecorderTest, RecordsTreeAndSteps) {
   ASSERT_EQ(h.steps.size(), 2u);
   EXPECT_EQ(h.object_order[0].size(), 1u);
   const model::Step& local = h.steps[h.object_order[0][0]];
+  // Op names are resolved from the spec at Snapshot() time.
   EXPECT_EQ(local.op, "add");
   EXPECT_EQ(local.exec, child);
-  // Message step carries B.
+  // Message step carries B, and brackets the local step's stamp.
   bool found_message = false;
   for (const model::Step& s : h.steps) {
     if (s.kind == model::StepKind::kMessage) {
       EXPECT_EQ(s.callee, child);
+      EXPECT_LT(s.start_seq, local.start_seq);
+      EXPECT_GT(s.end_seq, local.end_seq);
       found_message = true;
     }
   }
@@ -79,14 +98,16 @@ TEST(RecorderTest, RecordsTreeAndSteps) {
 TEST(RecorderTest, SnapshotIsIsolatedFromLaterRecording) {
   Recorder r(/*enabled=*/true);
   ObjectBase base;
-  base.CreateObject("c", adt::MakeCounterSpec(0));
+  auto spec = adt::MakeCounterSpec(0);
+  base.CreateObject("c", spec);
   r.Reset(base);
   model::ExecId top = r.BeginExecution(model::kNoExec,
                                        model::kEnvironmentObject, "t");
   model::History before = r.Snapshot();
   model::ExecId child = r.BeginExecution(top, 0, "m");
   uint64_t s = r.NextSeq();
-  r.RecordLocalStep(child, 0, 0, "add", {Value(1)}, Value::None(), s, s);
+  r.RecordLocalStep(child, 0, 0, OpIdOf(spec, "add"), {Value(1)},
+                    Value::None(), /*order_key=*/1, s);
   EXPECT_EQ(before.executions.size(), 1u);
   EXPECT_EQ(before.steps.size(), 0u);
   EXPECT_EQ(r.Snapshot().steps.size(), 1u);
@@ -102,14 +123,44 @@ TEST(RecorderTest, ResetClearsPreviousHistory) {
   EXPECT_TRUE(r.Snapshot().executions.empty());
 }
 
-TEST(RecorderTest, SequenceIsMonotone) {
+TEST(RecorderTest, SequenceIsMonotonePerThread) {
   Recorder r(/*enabled=*/true);
   uint64_t last = 0;
-  for (int i = 0; i < 100; ++i) {
+  // Cross at least one lease refill boundary.
+  for (uint64_t i = 0; i < 3 * Recorder::kSeqLease + 7; ++i) {
     uint64_t s = r.NextSeq();
     EXPECT_GT(s, last);
     last = s;
   }
+}
+
+TEST(RecorderTest, ResetRestartsLeasedStampsAtOne) {
+  Recorder r(/*enabled=*/true);
+  ObjectBase base;
+  base.CreateObject("c", adt::MakeCounterSpec(0));
+  r.Reset(base);
+  EXPECT_EQ(r.NextSeq(), 1u);
+  r.NextSeq();
+  // Reset invalidates the thread's outstanding lease (epoch bump), so a
+  // fresh run's stamps start from 1 again — single-thread runs stay
+  // byte-identical across repetitions.
+  r.Reset(base);
+  EXPECT_EQ(r.NextSeq(), 1u);
+}
+
+TEST(RecorderTest, LeaseRefillsAreCountedAndBounded) {
+  Recorder r(/*enabled=*/true);
+  ObjectBase base;
+  base.CreateObject("c", adt::MakeCounterSpec(0));
+  r.Reset(base);
+  const uint64_t before = RecorderSeqRmws().load();
+  const uint64_t kDraws = 4 * Recorder::kSeqLease;
+  std::set<uint64_t> seen;
+  for (uint64_t i = 0; i < kDraws; ++i) seen.insert(r.NextSeq());
+  EXPECT_EQ(seen.size(), kDraws);  // unique stamps
+  const uint64_t rmws = RecorderSeqRmws().load() - before;
+  // Single thread, no contention: exactly one global RMW per lease.
+  EXPECT_EQ(rmws, kDraws / Recorder::kSeqLease);
 }
 
 }  // namespace

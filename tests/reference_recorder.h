@@ -1,0 +1,203 @@
+// ReferenceRecorder: the retained GLOBAL-ATOMIC recorder, kept as the
+// differential oracle for the lock-free leased Recorder (the house pattern:
+// a slow, obviously-correct twin pinned against the optimised path by
+// randomized scripts — see tests/recorder_equivalence_test.cc).
+//
+// Semantics are the pre-lease recorder's: NextSeq is ONE GLOBAL fetch_add,
+// so raw stamps are draw-ordered across threads and encode < directly;
+// Snapshot() simply orders steps by their end stamps.  Single-threaded, a
+// script driven through both recorders in lockstep must produce
+// byte-identical histories (the leased recorder's canonical virtual times
+// collapse to the raw stamps when the raw order is a linear extension).
+//
+// Test-only: every call takes a global mutex — exactly the serialisation
+// the production recorder exists to avoid.
+#ifndef OBJECTBASE_TESTS_REFERENCE_RECORDER_H_
+#define OBJECTBASE_TESTS_REFERENCE_RECORDER_H_
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/model/history.h"
+#include "src/runtime/object_base.h"
+
+namespace objectbase::rt {
+
+class ReferenceRecorder {
+ public:
+  explicit ReferenceRecorder(bool enabled = true) : enabled_(enabled) {}
+
+  bool enabled() const { return enabled_; }
+
+  void Reset(const ObjectBase& base) {
+    if (!enabled_) return;
+    std::lock_guard<std::mutex> g(mu_);
+    seq_.store(0);
+    execs_.clear();
+    locals_.clear();
+    msgs_.clear();
+    specs_.clear();
+    initial_states_.clear();
+    object_names_.clear();
+    for (uint32_t i = 0; i < base.size(); ++i) {
+      const Object& o = base.Get(i);
+      specs_.push_back(o.spec_ptr());
+      initial_states_.push_back(o.state().Clone());
+      object_names_.push_back(o.name());
+    }
+  }
+
+  /// One global RMW per stamp — the O(steps) global serialisation point
+  /// the leased recorder replaces.
+  uint64_t NextSeq() {
+    if (!enabled_) return 0;
+    return seq_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  }
+
+  model::ExecId BeginExecution(model::ExecId parent, model::ObjectId object,
+                               const std::string& method) {
+    if (!enabled_) return model::kNoExec;
+    std::lock_guard<std::mutex> g(mu_);
+    model::ExecId id = static_cast<model::ExecId>(execs_.size());
+    execs_.push_back(Exec{id, parent, object, method, false});
+    return id;
+  }
+
+  void MarkAborted(model::ExecId exec) {
+    if (!enabled_ || exec == model::kNoExec) return;
+    std::lock_guard<std::mutex> g(mu_);
+    execs_[exec].aborted = true;
+  }
+
+  /// Same signature as Recorder::RecordLocalStep so scripts can drive both
+  /// in lockstep; `order_key` is carried for the per-object order (which,
+  /// under global stamps, must agree with seq order anyway).
+  void RecordLocalStep(model::ExecId exec, uint32_t po_index,
+                       model::ObjectId object, adt::OpId op, const Args& args,
+                       const Value& ret, uint64_t order_key, uint64_t seq) {
+    if (!enabled_ || exec == model::kNoExec) return;
+    std::lock_guard<std::mutex> g(mu_);
+    locals_.push_back(Local{exec, po_index, object, op, args, ret, order_key,
+                            seq});
+  }
+
+  void RecordMessageStep(model::ExecId exec, uint32_t po_index,
+                         model::ExecId callee, uint64_t start_seq,
+                         uint64_t end_seq) {
+    if (!enabled_ || exec == model::kNoExec || callee == model::kNoExec) {
+      return;
+    }
+    std::lock_guard<std::mutex> g(mu_);
+    msgs_.push_back(Msg{exec, po_index, callee, start_seq, end_seq});
+  }
+
+  /// Steps ordered by their (globally draw-ordered) end stamps; raw stamps
+  /// pass through unchanged.
+  model::History Snapshot() const {
+    model::History h;
+    if (!enabled_) return h;
+    std::lock_guard<std::mutex> g(mu_);
+    for (size_t i = 0; i < specs_.size(); ++i) {
+      h.specs.push_back(specs_[i]);
+      h.initial_states.push_back(initial_states_[i]->Clone());
+      h.object_names.push_back(object_names_[i]);
+      h.object_order.emplace_back();
+    }
+    h.executions.resize(execs_.size());
+    for (const Exec& e : execs_) {
+      model::MethodExecution& me = h.executions[e.id];
+      me.id = e.id;
+      me.parent = e.parent;
+      me.object = e.object;
+      me.method = e.method;
+      me.aborted = e.aborted;
+    }
+    // (kind, index) pairs sorted by end stamp.
+    std::vector<std::pair<uint64_t, std::pair<bool, size_t>>> order;
+    for (size_t i = 0; i < locals_.size(); ++i) {
+      order.push_back({locals_[i].seq, {true, i}});
+    }
+    for (size_t i = 0; i < msgs_.size(); ++i) {
+      order.push_back({msgs_[i].end_seq, {false, i}});
+    }
+    std::sort(order.begin(), order.end());
+    for (const auto& [end, which] : order) {
+      model::Step s;
+      s.id = static_cast<model::StepId>(h.steps.size());
+      if (which.first) {
+        const Local& e = locals_[which.second];
+        s.kind = model::StepKind::kLocal;
+        s.exec = e.exec;
+        s.po_index = e.po_index;
+        s.object = e.object;
+        s.op = e.object < specs_.size() && e.op < specs_[e.object]->NumOps()
+                   ? std::string(specs_[e.object]->OpAt(e.op).name)
+                   : "op#" + std::to_string(e.op);
+        s.args = e.args;
+        s.ret = e.ret;
+        s.start_seq = e.seq;
+        s.end_seq = e.seq;
+        if (e.object < h.object_order.size()) {
+          h.object_order[e.object].push_back(s.id);
+        }
+      } else {
+        const Msg& e = msgs_[which.second];
+        s.kind = model::StepKind::kMessage;
+        s.exec = e.exec;
+        s.po_index = e.po_index;
+        s.callee = e.callee;
+        s.start_seq = e.start_seq;
+        s.end_seq = e.end_seq;
+      }
+      if (s.exec < h.executions.size()) {
+        h.executions[s.exec].steps.push_back(s.id);
+      }
+      h.steps.push_back(std::move(s));
+    }
+    return h;
+  }
+
+ private:
+  struct Exec {
+    model::ExecId id;
+    model::ExecId parent;
+    model::ObjectId object;
+    std::string method;
+    bool aborted;
+  };
+  struct Local {
+    model::ExecId exec;
+    uint32_t po_index;
+    model::ObjectId object;
+    adt::OpId op;
+    Args args;
+    Value ret;
+    uint64_t order_key;
+    uint64_t seq;
+  };
+  struct Msg {
+    model::ExecId exec;
+    uint32_t po_index;
+    model::ExecId callee;
+    uint64_t start_seq;
+    uint64_t end_seq;
+  };
+
+  const bool enabled_;
+  mutable std::mutex mu_;
+  std::atomic<uint64_t> seq_{0};
+  std::vector<Exec> execs_;
+  std::vector<Local> locals_;
+  std::vector<Msg> msgs_;
+  std::vector<std::shared_ptr<const adt::AdtSpec>> specs_;
+  std::vector<std::unique_ptr<adt::AdtState>> initial_states_;
+  std::vector<std::string> object_names_;
+};
+
+}  // namespace objectbase::rt
+
+#endif  // OBJECTBASE_TESTS_REFERENCE_RECORDER_H_

@@ -146,6 +146,11 @@ INSTANTIATE_TEST_SUITE_P(Sweep, SerialisabilityPropertyTest,
 //   OBJECTBASE_FUZZ_SEED   — base seed; DEFAULTS TO RANDOM, and is printed
 //                            at the start of the run — copy it into the
 //                            env to reproduce a failure.
+//   OBJECTBASE_FUZZ_BTREE  — "1" forces the crabbing B-tree dictionary
+//                            into every round and widens the op mix with
+//                            dict get/del: recorded shared-latch appends
+//                            (the apply-order hook path) in every round
+//                            (the nightly recorded-crabbing pass).
 
 int FuzzRounds() {
   const char* s = std::getenv("OBJECTBASE_FUZZ_ROUNDS");
@@ -158,6 +163,11 @@ uint64_t FuzzBaseSeed() {
   const char* s = std::getenv("OBJECTBASE_FUZZ_SEED");
   if (s != nullptr) return std::strtoull(s, nullptr, 0);
   return std::random_device{}();
+}
+
+bool FuzzForceBtree() {
+  const char* s = std::getenv("OBJECTBASE_FUZZ_BTREE");
+  return s != nullptr && s[0] == '1';
 }
 
 void RunFuzzRound(uint64_t seed) {
@@ -175,7 +185,9 @@ void RunFuzzRound(uint64_t seed) {
   // racing scans; 0 stresses long lock-free windows.
   const size_t fold_thresholds[] = {0, 8, 64};
   const size_t fold_threshold = fold_thresholds[rng.Uniform(3)];
-  const bool with_btree = rng.Bernoulli(0.5);
+  // The draw always happens so pinned seeds replay identically whether or
+  // not the btree override is set.
+  const bool with_btree = rng.Bernoulli(0.5) || FuzzForceBtree();
 
   ObjectBase base;
   base.CreateObject("r0", adt::MakeRegisterSpec(0));
@@ -205,7 +217,10 @@ void RunFuzzRound(uint64_t seed) {
               txns, fold_threshold, with_btree ? 1 : 0);
   std::fflush(stdout);
 
-  const int kinds = with_btree ? 8 : 7;
+  // Forced-btree rounds widen the mix with dict get/del (kinds 8/9) so
+  // most steps ride the shared-latch crabbing path; the default mix is
+  // unchanged so pinned seeds replay identically.
+  const int kinds = with_btree ? (FuzzForceBtree() ? 10 : 8) : 7;
   std::vector<std::thread> workers;
   for (int t = 0; t < threads; ++t) {
     workers.emplace_back([&, t]() {
@@ -238,11 +253,13 @@ void RunFuzzRound(uint64_t seed) {
                 txn.InvokeParallel({{"q", "enqueue", {key}},
                                     {"ctr", "add", {1}}});
                 break;
-              default:
+              case 7:
                 if (txn.Invoke("dict", "put", {key, key}).is_none()) {
                   txn.Invoke("ctr", "add", {1});
                 }
                 break;
+              case 8: txn.Invoke("dict", "get", {key}); break;
+              default: txn.Invoke("dict", "del", {key}); break;
             }
           }
           if (user_abort) txn.Abort();
