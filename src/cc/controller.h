@@ -40,7 +40,12 @@ enum class AbortReason {
   kDoomed,          ///< Marked for death by a cascading abort mid-run.
   kUser,            ///< Application-requested Abort (Section 3).
   kInjected,        ///< Fault injection in tests/benches (E7).
+  kWounded,         ///< Wound–wait: an older transaction claimed our lock.
 };
+
+/// Number of AbortReason values (sizes per-reason stat arrays).
+inline constexpr size_t kNumAbortReasons =
+    static_cast<size_t>(AbortReason::kWounded) + 1;
 
 const char* AbortReasonName(AbortReason r);
 

@@ -24,9 +24,16 @@ OpOutcome GemstoneController::ExecuteLocal(rt::TxnNode& txn, rt::Object& obj,
   } else {
     req.exclusive = true;
   }
-  if (locks_.Acquire(*txn.top(), obj, std::move(req)) ==
-      LockManager::Outcome::kDeadlock) {
-    return OpOutcome::Abort(AbortReason::kDeadlock);
+  switch (locks_.Acquire(*txn.top(), obj, std::move(req))) {
+    case LockManager::Outcome::kGranted:
+      break;
+    case LockManager::Outcome::kDeadlock:
+      return OpOutcome::Abort(AbortReason::kDeadlock);
+    case LockManager::Outcome::kWounded:
+      // Whole-object locks are owned by the top, so a GEMSTONE wound is
+      // always a whole-top abort (the reduction has no inner subtree that
+      // could absorb it).
+      return OpOutcome::Abort(AbortReason::kWounded);
   }
   std::lock_guard<std::shared_mutex> g(obj.state_mu());
   rt::AppliedOutcome out = rt::ApplyLocked(txn, obj, op, args, recorder_,

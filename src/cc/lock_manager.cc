@@ -1,5 +1,6 @@
 #include "src/cc/lock_manager.h"
 
+#include <algorithm>
 #include <chrono>
 #include <functional>
 #include <thread>
@@ -27,9 +28,55 @@ std::atomic<uint64_t>& LockParkTimeouts() {
   return count;
 }
 
+std::atomic<uint64_t>& DeadlockVictimBackoffs() {
+  static std::atomic<uint64_t> count{0};
+  return count;
+}
+
+std::atomic<uint64_t>& WoundsIssued() {
+  static std::atomic<uint64_t> count{0};
+  return count;
+}
+
+const char* ContentionPolicyName(ContentionPolicy p) {
+  switch (p) {
+    case ContentionPolicy::kDetect: return "detect";
+    case ContentionPolicy::kBackoff: return "backoff";
+    case ContentionPolicy::kWoundWait: return "wound-wait";
+  }
+  return "?";
+}
+
 namespace {
 
 std::atomic<uint64_t> next_manager_id{1};
+
+// Capped exponential jitter for deadlock-victim backoff, from a cheap
+// thread-local xorshift (no shared RNG state on this path).  Round r sleeps
+// a uniform draw from [span/2, span] where span = min(32 << r, 256) µs —
+// the same shape as the workload runner's top-level retry backoff, but at
+// lock-request granularity.  The cap is deliberately tight: a backoff
+// victim sleeps while still HOLDING its other locks, so long sleeps
+// convert one detected cycle into a convoy behind the sleeper.
+constexpr int kMaxBackoffRounds = 6;
+
+void BackoffSleep(int round) {
+  static thread_local uint64_t rng_state = 0;
+  if (rng_state == 0) {
+    rng_state = 0x9e3779b97f4a7c15ULL ^
+                ((ThisThreadKey() + 1) * 0xbf58476d1ce4e5b9ULL);
+  }
+  uint64_t x = rng_state;
+  x ^= x >> 12;
+  x ^= x << 25;
+  x ^= x >> 27;
+  rng_state = x;
+  const uint64_t r = x * 0x2545F4914F6CDD1DULL;
+  const uint64_t span =
+      std::min<uint64_t>(256, uint64_t{32} << std::min(round, 6));
+  const uint64_t us = span / 2 + r % (span / 2 + 1);
+  std::this_thread::sleep_for(std::chrono::microseconds(us));
+}
 
 inline void CpuRelax() {
 #if defined(__x86_64__) || defined(__i386__)
@@ -347,10 +394,72 @@ std::vector<uint64_t> LockManager::BlockersLocked(const ObjTable& table,
   return blockers;
 }
 
+void LockManager::RegisterParked(Waiter& w) {
+  std::lock_guard<std::mutex> g(parked_mu_);
+  parked_.push_back(&w);
+}
+
+void LockManager::UnregisterParked(Waiter& w) {
+  std::lock_guard<std::mutex> g(parked_mu_);
+  for (auto it = parked_.begin(); it != parked_.end(); ++it) {
+    if (*it == &w) {
+      parked_.erase(it);
+      return;
+    }
+  }
+}
+
+void LockManager::WoundYoungerHoldersLocked(ObjTable& table, rt::TxnNode& txn,
+                                            rt::Object& obj,
+                                            const Request& req) {
+  // Age = the top-level serial number (hts top component): strictly
+  // monotone across top-level attempts, so "smaller = started earlier".
+  // Only strictly younger TOPS are wounded — same-top holders are
+  // siblings/relatives whose commit will unblock us (rule 5), and wounding
+  // an older or equal transaction would invert the age order wound–wait's
+  // progress argument rests on.
+  const uint64_t my_age = txn.top()->hts().top_component();
+  bool wounded_any = false;
+  for (Entry& e : table.entries) {
+    if (txn.HasAncestorOrSelf(e.owner)) continue;
+    if (!EntryBlocks(obj.spec(), e.req, req)) continue;
+    rt::TxnNode* holder_top = e.owner->top();
+    if (holder_top->hts().top_component() <= my_age) continue;
+    if (e.owner->wounded()) continue;  // idempotent per victim node
+    e.owner->Wound();
+    WoundsIssued().fetch_add(1, std::memory_order_relaxed);
+    if (wound_hook_) wound_hook_(*holder_top);
+    wounded_any = true;
+  }
+  if (!wounded_any) return;
+  // Victims observe wounds at their next lock-manager interaction; one
+  // parked ANYWHERE in this manager would otherwise ride its next signal
+  // or the 250 ms safety net — poke it now.  Waiter lifetime is safe: a
+  // waiter leaves parked_ (under parked_mu_) before its stack frame can
+  // unwind, so every pointer seen here is live while we hold the mutex.
+  std::lock_guard<std::mutex> pg(parked_mu_);
+  for (Waiter* w : parked_) {
+    if (w->signal.load(std::memory_order_relaxed) != 0) continue;
+    if (w->txn->WoundedHereOrAbove()) SignalWaiter(*w);
+  }
+}
+
+bool LockManager::AnyWoundedBlockerLocked(const ObjTable& table,
+                                          rt::TxnNode& txn, rt::Object& obj,
+                                          const Request& req) {
+  for (const Entry& e : table.entries) {
+    if (txn.HasAncestorOrSelf(e.owner)) continue;
+    if (!EntryBlocks(obj.spec(), e.req, req)) continue;
+    if (e.owner->WoundedHereOrAbove()) return true;
+  }
+  return false;
+}
+
 LockManager::Outcome LockManager::WaitForGrantLocked(
     ObjTable& table, std::unique_lock<std::mutex>& g, rt::TxnNode& txn,
     rt::Object& obj, const Request& req, bool register_immediately) {
   const uint64_t thread_key = ThisThreadKey();
+  const ContentionPolicy policy = contention_policy();
   Waiter waiter;
   waiter.txn = &txn;
   waiter.req = &req;
@@ -364,23 +473,128 @@ LockManager::Outcome LockManager::WaitForGrantLocked(
     registered = true;
   };
   if (register_immediately) register_waiter();
+  // Contention telemetry: one conflict per blocked request, wait time
+  // charged on exit.  Bumped only on the blocked path — the uncontended
+  // grant never touches the clock.
+  bool counted_block = false;
+  std::chrono::steady_clock::time_point blocked_at;
+  auto charge_wait = [&] {
+    if (!counted_block) return;
+    const auto waited = std::chrono::steady_clock::now() - blocked_at;
+    obj.contention().wait_ns.fetch_add(
+        static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(waited)
+                .count()),
+        std::memory_order_relaxed);
+  };
+  int backoff_rounds = 0;
+  // Transient-cycle parks are bounded: with the wound hook in place every
+  // wounded member eventually unwinds and signals us, so the bound is a
+  // liveness backstop (wake-rule gap, not an expected path), after which
+  // the detection abort below proceeds.
+  constexpr int kMaxTransientParks = 32;
+  int transient_parks = 0;
   for (;;) {
+    if (policy == ContentionPolicy::kWoundWait && txn.WoundedHereOrAbove()) {
+      // We are (inside) a wound victim: stop competing and unwind.  Our
+      // departure may unblock waiters queued behind us.
+      if (registered) UnregisterWaiterLocked(table, waiter);
+      WakeWaitersLocked(table, /*wake_all=*/false, nullptr);
+      charge_wait();
+      return Outcome::kWounded;
+    }
     std::vector<uint64_t> blockers = BlockersLocked(
         table, txn, obj, req, registered ? waiter.seq : UINT64_MAX);
     if (blockers.empty()) {
       if (registered) UnregisterWaiterLocked(table, waiter);
+      charge_wait();
       return Outcome::kGranted;
     }
+    if (!counted_block) {
+      counted_block = true;
+      blocked_at = std::chrono::steady_clock::now();
+      obj.contention().lock_conflicts.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (policy == ContentionPolicy::kWoundWait) {
+      WoundYoungerHoldersLocked(table, txn, obj, req);
+    }
     if (!registered) register_waiter();
-    if (wfg_.SetWaitingWouldDeadlock(thread_key, blockers)) {
+    // Wound–wait progress rule: if a conflicting holder is already a wound
+    // victim, any cycle the detector would report through it is TRANSIENT —
+    // the victim is on its way out and its release recomputes our blockers.
+    // Waiting is what wound–wait prescribes here (all surviving waits run
+    // young→old, so real lock cycles cannot persist); aborting would
+    // re-introduce the very age-blind victim selection the policy removes.
+    // Cycles with NO wounded holder still fall through to detection — the
+    // safety net for composite lock/commit-wait cycles wounds cannot break.
+    if (policy == ContentionPolicy::kWoundWait &&
+        transient_parks < kMaxTransientParks &&
+        AnyWoundedBlockerLocked(table, txn, obj, req)) {
+      ++transient_parks;
+      waiter.signal.store(0, std::memory_order_relaxed);
+      g.unlock();
+      RegisterParked(waiter);
+      if (!txn.WoundedHereOrAbove()) ParkWaiter(waiter);
+      UnregisterParked(waiter);
+      g.lock();
+      continue;
+    }
+    bool cycle_has_wounded = false;
+    if (wfg_.SetWaitingWouldDeadlock(
+            thread_key, blockers,
+            policy == ContentionPolicy::kWoundWait ? &cycle_has_wounded
+                                                   : nullptr)) {
+      if (policy == ContentionPolicy::kWoundWait && cycle_has_wounded &&
+          transient_parks < kMaxTransientParks) {
+        ++transient_parks;
+        // Same transient-cycle rule as the direct-blocker check above,
+        // for cycles whose wound victim sits deeper than our immediate
+        // blockers: a member is mid-unwind, so park and re-probe instead
+        // of aborting.  Cycles that persist with no wounded member fall
+        // through to the abort below on a later iteration.
+        waiter.signal.store(0, std::memory_order_relaxed);
+        g.unlock();
+        RegisterParked(waiter);
+        if (!txn.WoundedHereOrAbove()) ParkWaiter(waiter);
+        UnregisterParked(waiter);
+        g.lock();
+        continue;
+      }
       UnregisterWaiterLocked(table, waiter);
+      registered = false;
       // Our departure may unblock waiters queued behind us.
       WakeWaitersLocked(table, /*wake_all=*/false, nullptr);
+      if (policy == ContentionPolicy::kBackoff &&
+          backoff_rounds < kMaxBackoffRounds) {
+        // Victim backoff: most detected cycles are transient (fairness-
+        // queue edges, in-flight releases).  Leave the queue, sleep a
+        // jittered interval, re-request from the BACK of the fairness
+        // queue (a fresh seq) — re-queueing is what dissolves
+        // fairness-edge cycles.  A real lock cycle survives every round
+        // and aborts below, so detection is delayed, never disabled.
+        ++backoff_rounds;
+        DeadlockVictimBackoffs().fetch_add(1, std::memory_order_relaxed);
+        g.unlock();
+        BackoffSleep(backoff_rounds - 1);
+        g.lock();
+        continue;
+      }
+      charge_wait();
       return Outcome::kDeadlock;
     }
     waiter.signal.store(0, std::memory_order_relaxed);
     g.unlock();
-    ParkWaiter(waiter);
+    if (policy == ContentionPolicy::kWoundWait) {
+      // Enlist in the parked registry so a wounder on ANOTHER object's
+      // table can signal us (see WoundYoungerHoldersLocked).  The
+      // re-check between enlisting and parking closes the race with a
+      // wounder that scanned the registry before we appeared.
+      RegisterParked(waiter);
+      if (!txn.WoundedHereOrAbove()) ParkWaiter(waiter);
+      UnregisterParked(waiter);
+    } else {
+      ParkWaiter(waiter);
+    }
     g.lock();
     wfg_.ClearWaiting(thread_key);
   }
@@ -388,6 +602,10 @@ LockManager::Outcome LockManager::WaitForGrantLocked(
 
 LockManager::Outcome LockManager::Acquire(rt::TxnNode& txn, rt::Object& obj,
                                           Request req) {
+  if (contention_policy() == ContentionPolicy::kWoundWait &&
+      txn.WoundedHereOrAbove()) {
+    return Outcome::kWounded;
+  }
   ObjTable& table = TableFor(obj);
   std::unique_lock<std::mutex> g(table.mu);
   EnsureTableInitLocked(table, obj.spec());
@@ -395,11 +613,9 @@ LockManager::Outcome LockManager::Acquire(rt::TxnNode& txn, rt::Object& obj,
     return Outcome::kGranted;
   }
   if (!FastGrantableLocked(table, req)) {
-    if (WaitForGrantLocked(table, g, txn, obj, req,
-                           /*register_immediately=*/false) ==
-        Outcome::kDeadlock) {
-      return Outcome::kDeadlock;
-    }
+    Outcome waited = WaitForGrantLocked(table, g, txn, obj, req,
+                                        /*register_immediately=*/false);
+    if (waited != Outcome::kGranted) return waited;
   }
   // Grant: insert the entry.  On the fast path there is nobody to wake; on
   // the waited path the grant is itself a mutation later waiters may care
@@ -418,6 +634,10 @@ LockManager::Outcome LockManager::Acquire(rt::TxnNode& txn, rt::Object& obj,
 LockManager::TryOutcome LockManager::TryAcquire(rt::TxnNode& txn,
                                                 rt::Object& obj,
                                                 const Request& req) {
+  if (contention_policy() == ContentionPolicy::kWoundWait &&
+      txn.WoundedHereOrAbove()) {
+    return TryOutcome::kWounded;
+  }
   ObjTable& table = TableFor(obj);
   std::lock_guard<std::mutex> g(table.mu);
   EnsureTableInitLocked(table, obj.spec());

@@ -70,12 +70,69 @@ std::atomic<uint64_t>& LockWaiterWakeups();
 /// covered scenarios).
 std::atomic<uint64_t>& LockParkTimeouts();
 
+/// Process-wide count of deadlock-victim backoff rounds taken under
+/// ContentionPolicy::kBackoff (each round: leave the wait queue, sleep a
+/// capped jittered interval, re-request).  A `detect` run must not move it.
+std::atomic<uint64_t>& DeadlockVictimBackoffs();
+
+/// Process-wide count of wounds issued under ContentionPolicy::kWoundWait
+/// (an older requester marking a younger lock holder for abort).  At most
+/// one per (wounder, victim-node) pair — the flag is idempotent.
+std::atomic<uint64_t>& WoundsIssued();
+
+/// How a blocking lock request behaves when waiting turns dangerous.
+///
+///   kDetect    — PR-3 behaviour: a waits-for cycle aborts the requester
+///                (AbortReason::kDeadlock), retried from the top.
+///   kBackoff   — deadlock victims first leave the wait queue, back off
+///                with capped exponential jitter, and re-request (the
+///                `backoff/` parking-mutex idiom).  Many detected "cycles"
+///                are transient — fairness-queue edges and in-flight
+///                releases — and dissolve on retry; a real 2PL cycle still
+///                aborts once the bounded round budget is spent, so the
+///                waits-for safety net is never disabled.
+///   kWoundWait — age ordering by hierarchical timestamp: when an OLDER
+///                top-level transaction (smaller hts top component) blocks
+///                on a lock held by a YOUNGER one, the younger holder is
+///                wounded — its owning method execution is marked for
+///                abort (AbortReason::kWounded) and the wound is routed
+///                through the runtime's partial-abort path, so under N2PL
+///                a wound kills only the holding subtree, not its whole
+///                top.  Younger requesters wait as usual.  Cycle detection
+///                stays on as a safety net (wounds are observed lazily;
+///                MIXED's cross-layer commit-waits still need it).
+enum class ContentionPolicy { kDetect, kBackoff, kWoundWait };
+
+const char* ContentionPolicyName(ContentionPolicy p);
+
 class LockManager {
  public:
   LockManager();
   ~LockManager();
 
-  enum class Outcome { kGranted, kDeadlock };
+  enum class Outcome { kGranted, kDeadlock, kWounded };
+
+  /// Selects the blocking-request behaviour (default kDetect).  Set at
+  /// executor construction, before any transaction runs; the slot is
+  /// atomic so tests may flip it between (not during) runs.
+  void SetContentionPolicy(ContentionPolicy p) {
+    contention_policy_.store(p, std::memory_order_relaxed);
+  }
+  ContentionPolicy contention_policy() const {
+    return contention_policy_.load(std::memory_order_relaxed);
+  }
+
+  /// Invoked (under the wounded object's table mutex) with the TOP of each
+  /// transaction this manager wounds.  A composing layer whose commits can
+  /// block OUTSIDE the lock manager (MIXED's certifier commit-waits) uses
+  /// it to doom the victim in its dependency registry — a wound victim
+  /// parked in a commit-wait never reaches a lock-manager observation
+  /// point, so without this hook a composite cycle through it would only
+  /// dissolve via the bounded transient-park safety net.  Set at
+  /// construction, before any transaction runs.
+  void SetWoundHook(std::function<void(rt::TxnNode&)> hook) {
+    wound_hook_ = std::move(hook);
+  }
 
   /// A lock request; `ret` present means step granularity.  `op` is the
   /// resolved descriptor (nullptr for whole-object locks), so conflict
@@ -101,9 +158,10 @@ class LockManager {
   Outcome Acquire(rt::TxnNode& txn, rt::Object& obj, Request req);
 
   /// Non-blocking variant for the provisional-execution loop: returns
-  /// kGranted and inserts the entry, or kWouldBlock/kDeadlock without
-  /// inserting.
-  enum class TryOutcome { kGranted, kWouldBlock, kDeadlock };
+  /// kGranted and inserts the entry, or kWouldBlock/kDeadlock/kWounded
+  /// without inserting (kWounded: the REQUESTER was wounded by an older
+  /// transaction and must abort its wounded subtree).
+  enum class TryOutcome { kGranted, kWouldBlock, kDeadlock, kWounded };
   TryOutcome TryAcquire(rt::TxnNode& txn, rt::Object& obj, const Request& req);
 
   /// Blocks until the table changes in a way that could make `req`
@@ -260,6 +318,28 @@ class LockManager {
                                               const Request& req,
                                               uint64_t my_wait_seq);
 
+  /// Wound–wait aggression: marks every holder of a conflicting entry whose
+  /// TOP is strictly younger than `txn`'s top for abort, then signals any
+  /// parked waiter serving a wounded subtree so victims observe the wound
+  /// promptly instead of riding the 250 ms safety net.  Requires table.mu
+  /// held (entry owner pointers are stable under it).
+  void WoundYoungerHoldersLocked(ObjTable& table, rt::TxnNode& txn,
+                                 rt::Object& obj, const Request& req);
+
+  /// True if a conflicting holder is (inside) a wound victim: a detected
+  /// cycle through it is transient (the victim is unwinding), so wound–wait
+  /// parks instead of taking the deadlock-detection abort.  Requires
+  /// table.mu held.
+  bool AnyWoundedBlockerLocked(const ObjTable& table, rt::TxnNode& txn,
+                               rt::Object& obj, const Request& req);
+
+  /// Parked-waiter registry bookkeeping (kWoundWait only): waiters enlist
+  /// before parking so a wounder can signal victims parked on OTHER
+  /// objects' tables.  Lock order: table.mu before parked_mu_, never
+  /// reversed (the parking thread holds no table mutex here).
+  void RegisterParked(Waiter& w);
+  void UnregisterParked(Waiter& w);
+
   // True if `txn` (or an ancestor) holds ANY lock on the object: such a
   // transaction is in progress there and bypasses the fairness queue.
   // Requires table.mu held.
@@ -284,6 +364,11 @@ class LockManager {
   // chunk_alloc_mu_; node-based, so table addresses are stable).
   mutable std::map<uint32_t, ObjTable> overflow_tables_;
   WaitsForGraph wfg_;
+  std::atomic<ContentionPolicy> contention_policy_{ContentionPolicy::kDetect};
+  std::function<void(rt::TxnNode&)> wound_hook_;
+  // Waiters currently parked (kWoundWait only; see RegisterParked).
+  std::mutex parked_mu_;
+  std::vector<Waiter*> parked_;
 };
 
 /// Key identifying the calling thread in the waits-for graph: a DENSE slot

@@ -23,6 +23,14 @@ MixedController::MixedController(rt::Recorder& recorder, size_t num_objects,
   for (size_t i = 0; i < policy_count_; ++i) {
     policies_[i].store(kUnsetPolicy, std::memory_order_relaxed);
   }
+  // A wound victim can be blocked outside the lock manager entirely — parked
+  // in the certifier's commit-wait (`ValidateAndWait`), where it never passes
+  // a wound observation point.  Dooming the victim's top in the dependency
+  // registry makes that wait unwind with kDoomed, so the wound is observed on
+  // whichever side of MIXED the victim happens to be sleeping.
+  locks_.SetWoundHook([this](rt::TxnNode& top) {
+    certifier_.deps().Doom(DepRef::FromRaw(top.dep_handle()));
+  });
 }
 
 bool MixedController::SetPolicy(uint32_t object_id, IntraPolicy policy) {
@@ -63,9 +71,13 @@ OpOutcome MixedController::ExecuteLocal(rt::TxnNode& txn, rt::Object& obj,
       LockManager::Request req;
       req.op = &op;
       req.args = args;
-      if (locks_.Acquire(txn, obj, std::move(req)) ==
-          LockManager::Outcome::kDeadlock) {
-        return OpOutcome::Abort(AbortReason::kDeadlock);
+      switch (locks_.Acquire(txn, obj, std::move(req))) {
+        case LockManager::Outcome::kGranted:
+          break;
+        case LockManager::Outcome::kDeadlock:
+          return OpOutcome::Abort(AbortReason::kDeadlock);
+        case LockManager::Outcome::kWounded:
+          return OpOutcome::Abort(AbortReason::kWounded);
       }
       return certifier_.ExecuteLocal(txn, obj, op, args);
     }
@@ -93,6 +105,10 @@ OpOutcome MixedController::ExecuteLocal(rt::TxnNode& txn, rt::Object& obj,
             });
       }
       if (ts_reject) {
+        // Telemetry: the certifier below never sees this admission reject,
+        // so charge the journal conflict here (relaxed, abort path only).
+        obj.contention().journal_conflicts.fetch_add(
+            1, std::memory_order_relaxed);
         return OpOutcome::Abort(AbortReason::kTimestampOrder);
       }
       return certifier_.ExecuteLocal(txn, obj, op, args);

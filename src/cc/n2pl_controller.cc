@@ -27,9 +27,13 @@ OpOutcome N2plController::ExecuteOperationMode(rt::TxnNode& txn,
   LockManager::Request req;
   req.op = &op;
   req.args = args;
-  if (locks_.Acquire(txn, obj, std::move(req)) ==
-      LockManager::Outcome::kDeadlock) {
-    return OpOutcome::Abort(AbortReason::kDeadlock);
+  switch (locks_.Acquire(txn, obj, std::move(req))) {
+    case LockManager::Outcome::kGranted:
+      break;
+    case LockManager::Outcome::kDeadlock:
+      return OpOutcome::Abort(AbortReason::kDeadlock);
+    case LockManager::Outcome::kWounded:
+      return OpOutcome::Abort(AbortReason::kWounded);
   }
   std::lock_guard<std::shared_mutex> g(obj.state_mu());
   rt::AppliedOutcome out = rt::ApplyLocked(txn, obj, op, args, recorder_,
@@ -73,9 +77,16 @@ OpOutcome N2plController::ExecuteStepMode(rt::TxnNode& txn, rt::Object& obj,
     // Undo the provisional effect before letting anyone else in.
     if (provisional.undo) provisional.undo(obj.state());
     state_guard.unlock();
-    if (locks_.WaitWhileBlocked(txn, obj, req) ==
-        LockManager::Outcome::kDeadlock) {
-      return OpOutcome::Abort(AbortReason::kDeadlock);
+    if (attempt == LockManager::TryOutcome::kWounded) {
+      return OpOutcome::Abort(AbortReason::kWounded);
+    }
+    switch (locks_.WaitWhileBlocked(txn, obj, req)) {
+      case LockManager::Outcome::kGranted:
+        break;
+      case LockManager::Outcome::kDeadlock:
+        return OpOutcome::Abort(AbortReason::kDeadlock);
+      case LockManager::Outcome::kWounded:
+        return OpOutcome::Abort(AbortReason::kWounded);
     }
     // Lock table changed; retry the provisional execution (the return
     // value, and hence the required lock, may differ now).

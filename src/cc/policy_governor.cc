@@ -1,0 +1,112 @@
+#include "src/cc/policy_governor.h"
+
+#include <chrono>
+
+namespace objectbase::cc {
+
+int PolicyGovernor::Decide(ObjState& st, uint64_t d_steps,
+                           uint64_t d_conflicts, const GovernorOptions& opts) {
+  // Pressure of the window just sampled.  An idle window (no steps) carries
+  // no information: keep the EWMA, but let the dwell clock tick so a
+  // hot-flipped object whose load vanished can eventually cool down once
+  // traffic (and thus evidence) returns.
+  if (d_steps != 0) {
+    const double pressure =
+        static_cast<double>(d_conflicts) / static_cast<double>(d_steps);
+    st.ewma = opts.ewma_alpha * pressure + (1.0 - opts.ewma_alpha) * st.ewma;
+  }
+  if (st.dwell < opts.min_dwell_samples) {
+    ++st.dwell;
+    return 0;
+  }
+  if (!st.hot && st.ewma >= opts.high_watermark) {
+    st.hot = true;
+    st.dwell = 0;
+    return +1;
+  }
+  if (st.hot && st.ewma <= opts.low_watermark) {
+    st.hot = false;
+    st.dwell = 0;
+    return -1;
+  }
+  return 0;
+}
+
+PolicyGovernor::PolicyGovernor(MixedController& mixed,
+                               std::vector<rt::Object*> objects,
+                               GovernorOptions opts)
+    : mixed_(mixed),
+      objects_(std::move(objects)),
+      opts_(opts),
+      states_(objects_.size()) {}
+
+PolicyGovernor::~PolicyGovernor() { Stop(); }
+
+void PolicyGovernor::Start() {
+  if (running_) return;
+  {
+    std::lock_guard<std::mutex> g(wake_mu_);
+    stop_requested_ = false;
+  }
+  thread_ = std::thread([this] { Run(); });
+  running_ = true;
+}
+
+void PolicyGovernor::Stop() {
+  if (!running_) return;
+  {
+    std::lock_guard<std::mutex> g(wake_mu_);
+    stop_requested_ = true;
+  }
+  wake_cv_.notify_all();
+  thread_.join();
+  running_ = false;
+}
+
+void PolicyGovernor::Run() {
+  std::unique_lock<std::mutex> g(wake_mu_);
+  while (!stop_requested_) {
+    g.unlock();
+    SampleOnce();
+    g.lock();
+    wake_cv_.wait_for(g, std::chrono::microseconds(opts_.sample_interval_us),
+                      [this] { return stop_requested_; });
+  }
+}
+
+void PolicyGovernor::SampleOnce() {
+  for (size_t i = 0; i < objects_.size(); ++i) {
+    rt::Object& obj = *objects_[i];
+    ObjState& st = states_[i];
+    const rt::ContentionTelemetry& t = obj.contention();
+    const uint64_t steps = t.steps.load(std::memory_order_relaxed);
+    // Lock conflicts, journal conflicts and aborts all count as pressure:
+    // whichever policy the object is currently under produces one of the
+    // three flavours, so the signal stays comparable across a flip.
+    const uint64_t conflicts =
+        t.lock_conflicts.load(std::memory_order_relaxed) +
+        t.journal_conflicts.load(std::memory_order_relaxed) +
+        t.aborts.load(std::memory_order_relaxed);
+    const uint64_t d_steps = steps - st.steps;
+    const uint64_t d_conflicts = conflicts - st.conflicts;
+    st.steps = steps;
+    st.conflicts = conflicts;
+    const int flip = Decide(st, d_steps, d_conflicts, opts_);
+    if (flip == 0) continue;
+    const IntraPolicy target =
+        flip > 0 ? opts_.hot_policy
+                 : (obj.concurrent_apply() ? IntraPolicy::kCrabbing
+                                           : IntraPolicy::kOptimistic);
+    if (mixed_.SetPolicy(obj.id(), target)) {
+      flips_.fetch_add(1, std::memory_order_relaxed);
+      if (flip > 0) {
+        hot_count_.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        hot_count_.fetch_sub(1, std::memory_order_relaxed);
+      }
+    }
+  }
+  samples_.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace objectbase::cc

@@ -58,13 +58,29 @@ bool WaitsForGraph::CycleBackToLocked(uint64_t start_thread,
 }
 
 bool WaitsForGraph::SetWaitingWouldDeadlock(
-    uint64_t thread_key, const std::vector<uint64_t>& holder_uids) {
+    uint64_t thread_key, const std::vector<uint64_t>& holder_uids,
+    bool* cycle_has_wounded) {
   std::shared_lock<std::shared_mutex> rg(running_mu_);
   std::lock_guard<std::mutex> g(wait_mu_);
   if (thread_key >= waiting_.size()) waiting_.resize(thread_key + 1);
   waiting_[thread_key] = holder_uids;
   std::vector<uint64_t> visited;
   if (CycleBackToLocked(thread_key, thread_key, visited)) {
+    if (cycle_has_wounded != nullptr) {
+      // `visited` is a superset of the cycle's intermediate threads; an
+      // over-approximation only ever classifies a cycle as transient,
+      // which the caller handles by re-probing, never by hanging.
+      *cycle_has_wounded = false;
+      for (uint64_t t : visited) {
+        rt::TxnNode* n = t < running_.size()
+                             ? running_[t].load(std::memory_order_acquire)
+                             : nullptr;
+        if (n != nullptr && n->WoundedHereOrAbove()) {
+          *cycle_has_wounded = true;
+          break;
+        }
+      }
+    }
     waiting_[thread_key].clear();
     return true;
   }

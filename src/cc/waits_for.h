@@ -47,9 +47,16 @@ class WaitsForGraph {
   /// Declares that `thread_key` is about to block waiting for the given
   /// holder executions (must be non-empty).  Returns true if blocking would
   /// close a cycle of blocked threads (deadlock); in that case the wait is
-  /// NOT registered.
+  /// NOT registered.  When `cycle_has_wounded` is non-null and a cycle is
+  /// found, it is set to whether any thread examined by the cycle walk is
+  /// running (inside) a wound victim — checked under the graph's mutexes,
+  /// where the running-slot pointers are safe to inspect.  Wound–wait uses
+  /// this to classify the cycle as transient (a victim is mid-unwind and
+  /// its release will recompute the caller's blockers) versus persistent
+  /// (no wound can break it: composite lock/commit-wait cycles).
   bool SetWaitingWouldDeadlock(uint64_t thread_key,
-                               const std::vector<uint64_t>& holder_uids);
+                               const std::vector<uint64_t>& holder_uids,
+                               bool* cycle_has_wounded = nullptr);
 
   /// Clears the waiting state of `thread_key` (lock granted or aborted).
   void ClearWaiting(uint64_t thread_key);

@@ -59,6 +59,9 @@ Executor::Executor(ObjectBase& base, ExecutorOptions options)
     }
   }
   supports_partial_abort_ = controller_->SupportsPartialAbort();
+  if (lock_manager_ != nullptr) {
+    lock_manager_->SetContentionPolicy(options_.contention_policy);
+  }
   if (options_.durability != Durability::kNone && !options_.wal_path.empty()) {
     wal_ = std::make_unique<WalWriter>(WalOptions{
         options_.wal_path, options_.durability, options_.wal_group_window_us,
@@ -156,6 +159,11 @@ bool Executor::SetIntraPolicy(const std::string& object,
   return mixed_->SetPolicy(obj->id(), policy);
 }
 
+bool Executor::SetIntraPolicy(uint32_t object_id, cc::IntraPolicy policy) {
+  if (mixed_ == nullptr) return false;
+  return mixed_->SetPolicy(object_id, policy);
+}
+
 void Executor::ResetStats() {
   stats_.committed.store(0);
   stats_.aborted.store(0);
@@ -177,8 +185,10 @@ void Executor::NoteThreadFinished() { NoteThreadRunning(nullptr); }
 
 TxnResult Executor::RunTransaction(const std::string& name, MethodFn body) {
   TxnResult result;
+  uint64_t age_token = 0;  // non-zero only after a wounded attempt
   for (int attempt = 1; attempt <= options_.max_top_retries; ++attempt) {
-    TxnResult r = RunAttempt(name, body);
+    TxnResult r = RunAttempt(name, body, age_token);
+    age_token = r.last_abort == cc::AbortReason::kWounded ? r.age_token : 0;
     result = r;
     result.attempts = attempt;
     if (r.committed) return result;
@@ -194,15 +204,18 @@ TxnResult Executor::RunTransaction(const std::string& name, MethodFn body) {
 }
 
 TxnResult Executor::RunTransactionOnce(const std::string& name,
-                                       MethodFn body) {
-  TxnResult r = RunAttempt(name, body);
+                                       MethodFn body, uint64_t age_token) {
+  TxnResult r = RunAttempt(name, body, age_token);
   r.attempts = 1;
   return r;
 }
 
-TxnResult Executor::RunAttempt(const std::string& name, const MethodFn& body) {
+TxnResult Executor::RunAttempt(const std::string& name, const MethodFn& body,
+                               uint64_t age_token) {
   TxnResult result;
-  uint64_t counter = next_top_counter_.fetch_add(1) + 1;
+  const uint64_t counter =
+      age_token != 0 ? age_token : next_top_counter_.fetch_add(1) + 1;
+  result.age_token = counter;
   auto top = std::make_unique<TxnNode>(next_uid_.fetch_add(1) + 1, nullptr,
                                        UINT32_MAX, name);
   top->hts() = cc::Hts::TopLevel(counter);
@@ -335,8 +348,15 @@ void Executor::AbortSubtree(TxnNode& node, cc::AbortReason reason) {
               }
               return a->seq > b->seq;
             });
+  Object* last_charged = nullptr;
   for (UndoRecord* u : undos) {
     if (!u->undo) continue;
+    if (u->object != last_charged) {
+      // Contention telemetry: one abort per (subtree, object) touched —
+      // records are sorted by object, so the boundary test suffices.
+      u->object->contention().aborts.fetch_add(1, std::memory_order_relaxed);
+      last_charged = u->object;
+    }
     std::lock_guard<std::shared_mutex> g(u->object->state_mu());
     u->undo(u->object->state());
     u->undo = nullptr;  // idempotence if the subtree aborts again
@@ -366,9 +386,13 @@ MethodCtx::InvokeOutcome MethodCtx::TryInvoke(const MethodRef& m, Args args) {
     Value v = exec_.InvokeChild(node_, m, std::move(args), po, &node_);
     return InvokeOutcome{true, std::move(v), cc::AbortReason::kNone};
   } catch (Executor::AbortSignal& s) {
-    if (exec_.supports_partial_abort_) {
+    if (exec_.supports_partial_abort_ && !node_.WoundedHereOrAbove()) {
       // The child (and its descendents) aborted; this execution survives
-      // and may try an alternative (Section 3).
+      // and may try an alternative (Section 3).  A wound whose root is
+      // this node or an ancestor must keep unwinding — the wounded
+      // subtree is larger than the child we just aborted; a wound rooted
+      // INSIDE the child is already fully handled and is survivable like
+      // any other child abort (wound–wait's partial-abort payoff).
       return InvokeOutcome{false, Value::None(), s.reason};
     }
     throw;
@@ -413,6 +437,10 @@ std::vector<MethodCtx::InvokeOutcome> MethodCtx::InvokeParallel(
     for (const InvokeOutcome& o : outcomes) {
       if (!o.ok) throw Executor::AbortSignal{o.reason};
     }
+  } else if (node_.WoundedHereOrAbove()) {
+    // A branch was wounded with the wound rooted at this node or above:
+    // the whole wounded subtree must unwind, not just the branch.
+    throw Executor::AbortSignal{cc::AbortReason::kWounded};
   }
   return outcomes;
 }
@@ -433,6 +461,9 @@ Value MethodCtx::Local(const adt::OpDescriptor& op, Args args) {
     // The environment has no variables (Definition 1).
     throw Executor::AbortSignal{cc::AbortReason::kUser};
   }
+  // Contention telemetry: attempted local steps (the governor's rate
+  // denominator).  Relaxed add — no ordering, no mutex.
+  object_->contention().steps.fetch_add(1, std::memory_order_relaxed);
   cc::OpOutcome out =
       exec_.controller_->ExecuteLocal(node_, *object_, op, args);
   if (!out.ok) throw Executor::AbortSignal{out.reason};

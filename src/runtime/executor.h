@@ -87,6 +87,11 @@ struct ExecutorOptions {
   /// conventional read lock of the reduction); off = the old
   /// exclusive-only baseline (E1d ablation).
   bool gemstone_shared_reads = true;
+  /// Blocking-request behaviour for the locking protocols
+  /// (N2PL/GEMSTONE/MIXED-kLocal2pl): abort deadlock victims (kDetect),
+  /// back off and retry (kBackoff), or wound younger holders (kWoundWait).
+  /// See cc::ContentionPolicy.
+  cc::ContentionPolicy contention_policy = cc::ContentionPolicy::kDetect;
   /// Write-ahead durability (docs/durability.md).  kGroup/kPerCommit
   /// require `wal_path`; kNone creates no WAL at all — the step and commit
   /// paths are byte-for-byte the PR-5 behaviour.
@@ -144,6 +149,13 @@ struct TxnResult {
   Value ret;
   cc::AbortReason last_abort = cc::AbortReason::kNone;
   int attempts = 0;
+  /// The environment serial this attempt's top-level hts was built from
+  /// (wound-wait's age).  Pass it back as `age_token` on the retry of a
+  /// WOUNDED transaction: classic wound-wait liveness requires the victim
+  /// to keep its original timestamp across restarts, so it ages toward
+  /// oldest instead of re-entering ever younger (and ever more woundable —
+  /// fresh-stamped retries livelock under a sustained storm).
+  uint64_t age_token = 0;
 };
 
 class Executor {
@@ -184,11 +196,26 @@ class Executor {
   /// or the protocol is not kMixed.
   bool SetIntraPolicy(const std::string& object, cc::IntraPolicy policy);
 
-  /// Runs a top-level transaction (with retries on abort).
+  /// By-id overload for the policy governor's sampling loop (no name
+  /// lookup); same mid-run safety as the by-name form.
+  bool SetIntraPolicy(uint32_t object_id, cc::IntraPolicy policy);
+
+  /// The MIXED controller, or nullptr for other protocols (lets the
+  /// policy governor read current policies and count flips).
+  cc::MixedController* mixed() { return mixed_; }
+
+  /// Runs a top-level transaction (with retries on abort).  Retries after
+  /// a wound reuse the first attempt's age (see TxnResult::age_token).
   TxnResult RunTransaction(const std::string& name, MethodFn body);
 
-  /// Single attempt, no retry (tests that assert on specific aborts).
-  TxnResult RunTransactionOnce(const std::string& name, MethodFn body);
+  /// Single attempt, no retry (tests that assert on specific aborts, and
+  /// callers owning their own retry loop — the workload runner).  A
+  /// non-zero `age_token` pins the top's environment serial instead of
+  /// drawing a fresh one; pass a previous result's token only when that
+  /// attempt was wounded (timestamp-ordering aborts want a FRESH stamp —
+  /// an old stamp re-offered to NTO is rejected forever).
+  TxnResult RunTransactionOnce(const std::string& name, MethodFn body,
+                               uint64_t age_token = 0);
 
   Recorder& recorder() { return recorder_; }
   /// Clears the recorded history and re-snapshots initial states.
@@ -213,7 +240,7 @@ class Executor {
     std::atomic<uint64_t> committed{0};
     std::atomic<uint64_t> aborted{0};   ///< Top-level aborts (incl. retried).
     std::atomic<uint64_t> retries{0};
-    std::array<std::atomic<uint64_t>, 8> aborts_by_reason{};
+    std::array<std::atomic<uint64_t>, cc::kNumAbortReasons> aborts_by_reason{};
 
     uint64_t AbortsFor(cc::AbortReason r) const {
       return aborts_by_reason[static_cast<size_t>(r)].load();
@@ -241,7 +268,8 @@ class Executor {
     std::map<std::string, uint32_t, std::less<>> index;
   };
 
-  TxnResult RunAttempt(const std::string& name, const MethodFn& body);
+  TxnResult RunAttempt(const std::string& name, const MethodFn& body,
+                       uint64_t age_token = 0);
 
   /// Runs the method `m` refers to as a child of `parent`; `po` is the
   /// message's program-order index (shared within a parallel batch).

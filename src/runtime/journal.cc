@@ -9,8 +9,37 @@ std::atomic<uint64_t>& JournalMutexAcquisitions() {
   return acquisitions;
 }
 
+std::atomic<uint64_t>& JournalKinChainWalks() {
+  static std::atomic<uint64_t> walks{0};
+  return walks;
+}
+
 bool AppliedJournal::Entry::IncomparableWith(
     const std::vector<uint64_t>& other_chain) const {
+  // O(1) kin test via the packed ancestor stamps every entry already
+  // carries (top_uid + the chain length, which encodes depth).  The
+  // overwhelmingly common case — different top-level transactions — is a
+  // single compare; the conflict scans call this per candidate entry, so
+  // the old two-sided std::find walk was O(depth) on the hottest loop of
+  // the optimistic protocols (kept as IncomparableWithChainWalk, pinned
+  // unused on the step path by JournalKinChainWalks()).
+  if (other_chain.empty()) return true;
+  if (top_uid != other_chain.back()) return true;
+  // Same top: comparable iff the shallower execution is an ancestor of (or
+  // is) the deeper one.  A chain lists self..top, so the ancestor of the
+  // deeper execution at the shallower one's depth sits at a fixed index —
+  // one probe replaces the walk.
+  const size_t mine = chain->size();
+  const size_t theirs = other_chain.size();
+  if (mine <= theirs) {
+    return other_chain[theirs - mine] != exec_uid;
+  }
+  return (*chain)[mine - theirs] != other_chain.front();
+}
+
+bool AppliedJournal::Entry::IncomparableWithChainWalk(
+    const std::vector<uint64_t>& other_chain) const {
+  JournalKinChainWalks().fetch_add(1, std::memory_order_relaxed);
   // Comparable iff one execution's uid appears in the other's chain.
   if (std::find(other_chain.begin(), other_chain.end(), exec_uid) !=
       other_chain.end()) {
@@ -297,6 +326,8 @@ void AppliedJournal::Reset() {
   tail_hint_.store(fresh, std::memory_order_relaxed);
   reserved_.store(0, std::memory_order_relaxed);
   folded_.store(0, std::memory_order_relaxed);
+  next_fold_at_.store(0, std::memory_order_relaxed);
+  last_fold_reserved_ = 0;
 }
 
 }  // namespace objectbase::rt

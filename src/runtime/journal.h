@@ -67,6 +67,12 @@ namespace objectbase::rt {
 /// the NTO/CERT protocol tests.
 std::atomic<uint64_t>& JournalMutexAcquisitions();
 
+/// Process-wide count of O(depth) ancestor-chain walks taken by the kin
+/// test (Entry::IncomparableWithChainWalk).  The conflict scans use the
+/// O(1) packed-stamp test, so tests pin this to ZERO on the step path; the
+/// walk survives only as the differential-test reference.
+std::atomic<uint64_t>& JournalKinChainWalks();
+
 /// One applied step, built by the protocol and moved into the journal.
 /// (The in-place Entry adds the publication/abort atomics.)
 struct JournalRecord {
@@ -110,8 +116,17 @@ class AppliedJournal {
     bool IsAborted() const { return aborted.load(std::memory_order_acquire); }
 
     /// True iff the recording execution and `other_chain`'s execution are
-    /// incomparable (neither uid appears in the other's chain).
+    /// incomparable (neither uid appears in the other's chain).  O(1): the
+    /// packed ancestor stamps (top_uid + chain length == depth) decide it
+    /// with one compare in the cross-top case and one indexed probe within
+    /// a top — no chain walk on the conflict-scan path.
     bool IncomparableWith(const std::vector<uint64_t>& other_chain) const;
+
+    /// The pre-PR-8 O(depth) reference implementation (two std::find
+    /// walks).  Kept for the differential pin test; every call bumps
+    /// JournalKinChainWalks().
+    bool IncomparableWithChainWalk(
+        const std::vector<uint64_t>& other_chain) const;
   };
 
   explicit AppliedJournal(size_t num_ops);
@@ -148,14 +163,27 @@ class AppliedJournal {
     return static_cast<size_t>(t - f);
   }
 
-  /// The shared fold-cadence poll (NTO/CERT/MIXED): fires once the live
-  /// window reaches `threshold` entries, every threshold/2 after.  0
-  /// disables folding.  Lock-free (two relaxed loads).
+  /// The shared fold-cadence poll (NTO/CERT/MIXED): the first fold fires
+  /// once the live window reaches `threshold` entries; afterwards the poll
+  /// is ADAPTIVE — each Fold with a rearm base schedules the next firing a
+  /// growth-scaled number of APPENDS ahead (see Fold), so a fast-growing
+  /// journal folds in larger batches (fewer fold_mu_ hits per entry) and a
+  /// stuck watermark stops re-firing every threshold/2 steps the way the
+  /// old modulo cadence did.  0 disables folding outright — the poll then
+  /// returns false from the first branch and touches NOTHING else (the
+  /// fold=0 zero-journal-mutex pin relies on this).  Lock-free (at most
+  /// two relaxed loads).
   bool WantsFold(size_t threshold) const {
     if (threshold == 0) return false;
-    const size_t size = LiveCount();
-    const size_t cadence = threshold / 2 == 0 ? 1 : threshold / 2;
-    return size >= threshold && size % cadence == 0;
+    const uint64_t at = next_fold_at_.load(std::memory_order_relaxed);
+    if (at != 0) return reserved_.load(std::memory_order_relaxed) >= at;
+    return LiveCount() >= threshold;
+  }
+
+  /// The append-count target the adaptive cadence armed (0 = not armed
+  /// yet; observability for the cadence tests).
+  uint64_t NextFoldAt() const {
+    return next_fold_at_.load(std::memory_order_relaxed);
   }
 
  private:
@@ -347,8 +375,15 @@ class AppliedJournal {
   /// frees whatever limbo the pinned readers have released.  Returns
   /// entries folded.  Takes fold_mu_ (counted by
   /// JournalMutexAcquisitions) — the journal's only mutex.
+  ///
+  /// `rearm_base` != 0 arms the adaptive cadence: the next WantsFold firing
+  /// is scheduled clamp(growth/2, base/2, 8*base) APPENDS from now, where
+  /// growth is the number of appends since the previous fold.  Arming
+  /// happens even when nothing folded (stuck watermark) — that is exactly
+  /// the case the fixed modulo cadence kept re-locking for.  0 keeps the
+  /// legacy behaviour for direct callers (tests, recovery).
   template <typename Fn>
-  size_t Fold(uint64_t watermark, Fn&& apply) {
+  size_t Fold(uint64_t watermark, Fn&& apply, size_t rearm_base = 0) {
     JournalMutexAcquisitions().fetch_add(1, std::memory_order_relaxed);
     std::lock_guard<std::mutex> g(fold_mu_);
     const uint64_t hi = reserved_.load(std::memory_order_acquire);
@@ -367,6 +402,17 @@ class AppliedJournal {
     }
     if (folded != 0) AdvanceFolded(pos);
     ReleaseLimbo();
+    if (rearm_base != 0) {
+      const uint64_t growth = hi - last_fold_reserved_;
+      last_fold_reserved_ = hi;
+      uint64_t cadence = growth / 2;
+      uint64_t lo_clamp = static_cast<uint64_t>(rearm_base) / 2;
+      if (lo_clamp == 0) lo_clamp = 1;
+      const uint64_t hi_clamp = static_cast<uint64_t>(rearm_base) * 8;
+      if (cadence < lo_clamp) cadence = lo_clamp;
+      if (cadence > hi_clamp) cadence = hi_clamp;
+      next_fold_at_.store(hi + cadence, std::memory_order_relaxed);
+    }
     return folded;
   }
 
@@ -415,6 +461,12 @@ class AppliedJournal {
   std::atomic<EntryChunk*> tail_hint_;  // newest known chunk
 
   mutable std::atomic<uint32_t> readers_{0};  // pinned Scan count
+
+  /// Adaptive fold cadence: the reserved_ value at which WantsFold next
+  /// fires (0 = unarmed, fall back to the live-count threshold test).
+  /// Written under fold_mu_, read relaxed on the step-path poll.
+  std::atomic<uint64_t> next_fold_at_{0};
+  uint64_t last_fold_reserved_ = 0;  // guarded by fold_mu_
 
   /// Fold bookkeeping only — never on the append/scan path.  Counted.
   std::mutex fold_mu_;

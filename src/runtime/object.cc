@@ -68,6 +68,7 @@ void Object::AbortEntriesAndRebuild(
     const std::function<bool(uint64_t dep_raw)>& exclude_dep) {
   std::lock_guard<std::shared_mutex> guard(state_mu_);
   if (!journal_->MarkSubtreeAborted(subtree_root_uid)) return;
+  contention_.aborts.fetch_add(1, std::memory_order_relaxed);
   // Doom every dependent transaction BEFORE replaying (see the header
   // note): the doom pass runs under this object's exclusive latch, so any
   // step that observed the excised effects has already recorded its edge —
@@ -96,11 +97,14 @@ void Object::SealRecoveredState() {
   journal_->Reset();
 }
 
-size_t Object::FoldPrefix(uint64_t watermark) {
+size_t Object::FoldPrefix(uint64_t watermark, size_t rearm_base) {
   std::lock_guard<std::shared_mutex> guard(state_mu_);
-  return journal_->Fold(watermark, [&](const AppliedJournal::Entry& e) {
-    spec_->OpAt(e.op_id).apply(*base_state_, e.args);
-  });
+  return journal_->Fold(
+      watermark,
+      [&](const AppliedJournal::Entry& e) {
+        spec_->OpAt(e.op_id).apply(*base_state_, e.args);
+      },
+      rearm_base);
 }
 
 }  // namespace objectbase::rt

@@ -147,6 +147,36 @@ class TxnNode {
   }
   cc::AbortReason abort_reason() const { return abort_reason_; }
 
+  // --- wound–wait (ContentionPolicy::kWoundWait) ---
+  // An older transaction marks this method execution for abort while it
+  // holds a contested lock.  Set by the wounder's thread under the lock
+  // table's mutex; observed lock-free by the victim at its next
+  // lock-manager interaction (or when signalled out of a park).  Never
+  // cleared — nodes are per-attempt.
+  void Wound() { wounded_.store(true, std::memory_order_release); }
+  bool wounded() const { return wounded_.load(std::memory_order_acquire); }
+
+  /// True when this node or any ancestor carries a wound (the victim must
+  /// unwind at least to the highest wounded ancestor).  Depth-bounded
+  /// pointer walk, no locks.
+  bool WoundedHereOrAbove() const {
+    for (const TxnNode* n = this; n != nullptr; n = n->parent_) {
+      if (n->wounded()) return true;
+    }
+    return false;
+  }
+
+  /// Uid of the HIGHEST wounded node on the self..top path (0 when none):
+  /// the root of the subtree the wound aborts — everything above it may
+  /// survive via partial abort.
+  uint64_t WoundedRootUid() const {
+    uint64_t root = 0;
+    for (const TxnNode* n = this; n != nullptr; n = n->parent_) {
+      if (n->wounded()) root = n->uid_;
+    }
+    return root;
+  }
+
   // --- recorder bookkeeping ---
   model::ExecId exec_id = model::kNoExec;
 
@@ -170,6 +200,7 @@ class TxnNode {
   std::vector<std::unique_ptr<TxnNode>> children_;
   bool aborted_ = false;
   cc::AbortReason abort_reason_ = cc::AbortReason::kNone;
+  std::atomic<bool> wounded_{false};
 };
 
 }  // namespace objectbase::rt

@@ -31,6 +31,14 @@ RunMetrics RunWorkload(rt::Executor& exec, const WorkloadSpec& spec) {
   Stopwatch clock;  // Reset just before release, under latch_mu.
   std::atomic<uint64_t> last_done_ns{0};
 
+  // Admission-gate window: attempts/aborts across ALL workers, decayed by
+  // halving so the ratio tracks the recent past rather than the whole run.
+  // Heuristic counters — relaxed, and the decay may lose a racing
+  // increment, which only nudges the ratio for one window.
+  std::atomic<uint64_t> win_attempts{0};
+  std::atomic<uint64_t> win_aborts{0};
+  constexpr uint64_t kAdmissionWindow = 4096;
+
   std::vector<std::thread> threads;
   threads.reserve(spec.threads);
   for (int t = 0; t < spec.threads; ++t) {
@@ -39,6 +47,7 @@ RunMetrics RunWorkload(rt::Executor& exec, const WorkloadSpec& spec) {
       Histogram local_latency;
       uint64_t local_gave_up = 0;
       uint64_t local_retries = 0;
+      uint64_t local_throttled = 0;
       std::vector<double> w = weights;
       {
         std::unique_lock<std::mutex> l(latch_mu);
@@ -47,6 +56,25 @@ RunMetrics RunWorkload(rt::Executor& exec, const WorkloadSpec& spec) {
         latch_cv.wait(l, [&] { return go; });
       }
       for (uint64_t i = 0; i < spec.txns_per_thread; ++i) {
+        if (spec.admission_abort_ratio > 0) {
+          // Overload gate: shed NEW top-levels while the recent abort
+          // ratio exceeds the bound.  Pauses are bounded per admission —
+          // if every worker gated indefinitely, no attempts would refresh
+          // the window and the high ratio would freeze in place.
+          for (int pause = 0; pause < 8; ++pause) {
+            const uint64_t a = win_attempts.load(std::memory_order_relaxed);
+            if (a < spec.admission_min_samples) break;
+            const uint64_t ab = win_aborts.load(std::memory_order_relaxed);
+            if (static_cast<double>(ab) <=
+                spec.admission_abort_ratio * static_cast<double>(a)) {
+              break;
+            }
+            ++local_throttled;
+            const uint64_t us = spec.admission_pause_us / 2 +
+                                rng.Uniform(spec.admission_pause_us / 2 + 1);
+            std::this_thread::sleep_for(std::chrono::microseconds(us));
+          }
+        }
         const TxnTemplate& tmpl = spec.mix[rng.WeightedIndex(w)];
         rt::MethodFn body = tmpl.make(rng);
         Stopwatch txn_clock;
@@ -58,9 +86,31 @@ RunMetrics RunWorkload(rt::Executor& exec, const WorkloadSpec& spec) {
         rt::TxnResult r;
         const int budget = std::max(1, exec.options().max_top_retries);
         uint64_t backoff_us = spec.backoff_base_us;
+        uint64_t age_token = 0;  // wound-wait: wounded retries keep their age
         for (int attempt = 1; attempt <= budget; ++attempt) {
-          r = exec.RunTransactionOnce(tmpl.name, body);
+          r = exec.RunTransactionOnce(tmpl.name, body, age_token);
+          age_token =
+              r.last_abort == cc::AbortReason::kWounded ? r.age_token : 0;
           r.attempts = attempt;
+          if (spec.admission_abort_ratio > 0) {
+            const uint64_t a =
+                win_attempts.fetch_add(1, std::memory_order_relaxed) + 1;
+            if (!r.committed) {
+              win_aborts.fetch_add(1, std::memory_order_relaxed);
+            }
+            if (a >= kAdmissionWindow) {
+              // Halve the window (ratio-preserving decay): one racing
+              // winner performs it, losers see the shrunk window.
+              uint64_t cur = win_attempts.load(std::memory_order_relaxed);
+              if (cur >= kAdmissionWindow &&
+                  win_attempts.compare_exchange_strong(
+                      cur, cur / 2, std::memory_order_relaxed)) {
+                win_aborts.store(
+                    win_aborts.load(std::memory_order_relaxed) / 2,
+                    std::memory_order_relaxed);
+              }
+            }
+          }
           if (r.committed) break;
           if (attempt == budget) break;
           ++local_retries;
@@ -86,6 +136,7 @@ RunMetrics RunWorkload(rt::Executor& exec, const WorkloadSpec& spec) {
       metrics.latency_ns.Merge(local_latency);
       metrics.gave_up += local_gave_up;
       metrics.retries += local_retries;
+      metrics.admission_throttled += local_throttled;
     });
   }
   {
@@ -102,6 +153,7 @@ RunMetrics RunWorkload(rt::Executor& exec, const WorkloadSpec& spec) {
   metrics.committed = s.committed.load();
   metrics.aborted_attempts = s.aborted.load();
   metrics.deadlocks = s.AbortsFor(cc::AbortReason::kDeadlock);
+  metrics.wounds = s.AbortsFor(cc::AbortReason::kWounded);
   metrics.ts_rejects = s.AbortsFor(cc::AbortReason::kTimestampOrder);
   metrics.validation_fails = s.AbortsFor(cc::AbortReason::kValidation);
   metrics.cascades = s.AbortsFor(cc::AbortReason::kCascade) +

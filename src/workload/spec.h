@@ -40,6 +40,18 @@ struct WorkloadSpec {
   /// the sleep (retries stay immediate).
   uint32_t backoff_base_us = 16;
   uint32_t backoff_cap_us = 2000;
+  /// Overload-graceful degradation: when > 0, a worker about to ADMIT a
+  /// new top-level transaction first checks the recent per-attempt abort
+  /// ratio across all workers; while it exceeds this bound the worker
+  /// pauses (jittered admission_pause_us sleeps, bounded per admission so
+  /// the gate can never livelock) instead of adding fuel to the conflict
+  /// storm.  In-flight retries are never gated — the gate sheds NEW work,
+  /// which is what actually lowers the multiprogramming level.  0 disables.
+  double admission_abort_ratio = 0;
+  uint32_t admission_pause_us = 200;
+  /// Minimum attempts in the sampling window before the gate may engage
+  /// (prevents a cold-start handful of aborts from throttling everyone).
+  uint64_t admission_min_samples = 64;
   /// Optional hook run once before the workers start (e.g. DefineMethod
   /// registrations, prefilling objects).
   std::function<void(rt::Executor&)> prepare;
@@ -58,9 +70,12 @@ struct RunMetrics {
   uint64_t retries = 0;           ///< Re-attempts after an aborted attempt.
   uint64_t gave_up = 0;           ///< Transactions that exhausted retries.
   uint64_t deadlocks = 0;
+  uint64_t wounds = 0;  ///< kWounded aborts (wound–wait victims).
   uint64_t ts_rejects = 0;
   uint64_t validation_fails = 0;
   uint64_t cascades = 0;  ///< kCascade + kDoomed.
+  /// Admission-gate pauses taken (load shedding engaged this many times).
+  uint64_t admission_throttled = 0;
   /// Wall clock from "every worker released from the start latch" to the
   /// LAST transaction completion — thread spawn/join and metric merging
   /// are excluded (they skewed short sweeps low).

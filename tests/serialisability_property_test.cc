@@ -11,6 +11,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <random>
 #include <thread>
 
@@ -20,6 +21,7 @@
 #include "src/adt/queue_adt.h"
 #include "src/adt/register_adt.h"
 #include "src/adt/set_adt.h"
+#include "src/cc/policy_governor.h"
 #include "src/common/rng.h"
 #include "src/model/legality.h"
 #include "src/model/local_graphs.h"
@@ -188,6 +190,10 @@ void RunFuzzRound(uint64_t seed) {
   // The draw always happens so pinned seeds replay identically whether or
   // not the btree override is set.
   const bool with_btree = rng.Bernoulli(0.5) || FuzzForceBtree();
+  // Governor draw too: ALWAYS performed (same replay-determinism rule),
+  // consumed only by MIXED rounds — the legality/SG oracles then cover
+  // histories whose intra-object policies flipped mid-run under load.
+  const bool with_governor = rng.Bernoulli(0.5);
 
   ObjectBase base;
   base.CreateObject("r0", adt::MakeRegisterSpec(0));
@@ -210,11 +216,25 @@ void RunFuzzRound(uint64_t seed) {
     }
     // The B-tree keeps its default (crabbing) policy when present.
   }
+  std::unique_ptr<cc::PolicyGovernor> governor;
+  if (protocol == Protocol::kMixed && with_governor &&
+      exec.mixed() != nullptr) {
+    // Twitchy settings so flips actually happen inside a short round.
+    cc::GovernorOptions gopts;
+    gopts.sample_interval_us = 300;
+    gopts.high_watermark = 0.05;
+    gopts.low_watermark = 0.01;
+    gopts.min_dwell_samples = 1;
+    governor = std::make_unique<cc::PolicyGovernor>(
+        *exec.mixed(), cc::PolicyGovernor::AllObjects(base), gopts);
+    governor->Start();
+  }
 
-  std::printf("[fuzz]   %s %s threads=%d txns=%d fold=%zu btree=%d\n",
+  std::printf("[fuzz]   %s %s threads=%d txns=%d fold=%zu btree=%d gov=%d\n",
               ProtocolName(protocol),
               granularity == cc::Granularity::kStep ? "step" : "op", threads,
-              txns, fold_threshold, with_btree ? 1 : 0);
+              txns, fold_threshold, with_btree ? 1 : 0,
+              governor != nullptr ? 1 : 0);
   std::fflush(stdout);
 
   // Forced-btree rounds widen the mix with dict get/del (kinds 8/9) so
@@ -269,6 +289,12 @@ void RunFuzzRound(uint64_t seed) {
     });
   }
   for (auto& w : workers) w.join();
+  if (governor != nullptr) {
+    governor->Stop();
+    std::printf("[fuzz]   governor flips=%llu\n",
+                static_cast<unsigned long long>(governor->flips()));
+    std::fflush(stdout);
+  }
 
   model::History h = exec.recorder().Snapshot();
   model::LegalityResult legal = model::CheckLegal(h, /*committed_only=*/true);
