@@ -23,16 +23,17 @@ CertController::CertController(rt::Recorder& recorder, Granularity granularity,
 
 void CertController::OnTopBegin(rt::TxnNode& top) {
   // Cache the packed slot handle on the node: every per-step doom poll and
-  // recorded journal entry addresses the registry slot directly.
-  top.set_dep_handle(
-      deps_.Register(top.uid(), top.hts().top_component()).raw());
+  // recorded journal entry addresses the registry slot directly.  (Under a
+  // sharded topology the handle lands in this shard's slot of the node's
+  // handle array — see Controller::BindShardSlot.)
+  SetDepHandle(top, deps_.Register(top.uid(), top.hts().top_component()).raw());
 }
 
 OpOutcome CertController::ExecuteLocal(rt::TxnNode& txn, rt::Object& obj,
                                        const adt::OpDescriptor& op,
                                        const Args& args) {
   const uint64_t my_top = txn.top()->uid();
-  const DepRef my_ref = DepRef::FromRaw(txn.top()->dep_handle());
+  const DepRef my_ref = DepRef::FromRaw(DepHandleOf(*txn.top()));
   // One relaxed atomic load; the conflict-free step path takes no
   // DependencyGraph mutex.
   if (deps_.IsDoomed(my_ref)) return OpOutcome::Abort(AbortReason::kDoomed);
@@ -151,8 +152,9 @@ OpOutcome CertController::ExecuteLocal(rt::TxnNode& txn, rt::Object& obj,
             // Parallel siblings of one transaction racing on the object:
             // genuine intra-transaction contention.
             saw_conflict = true;
-            std::lock_guard<std::mutex> sg(sibling_mu_);
-            sibling_edges_[my_top].push_back(SiblingEdge{*e.chain, chain});
+            SiblingStripe& stripe = StripeFor(my_top);
+            std::lock_guard<std::mutex> sg(stripe.mu);
+            stripe.edges[my_top].push_back(SiblingEdge{*e.chain, chain});
           }
           return true;
         });
@@ -169,14 +171,23 @@ OpOutcome CertController::ExecuteLocal(rt::TxnNode& txn, rt::Object& obj,
 
 void CertController::OnChildCommit(rt::TxnNode&) {}
 
+void CertController::AppendSiblingEdges(uint64_t top_uid,
+                                        std::vector<SiblingEdge>& out) {
+  SiblingStripe& stripe = StripeFor(top_uid);
+  std::lock_guard<std::mutex> g(stripe.mu);
+  auto it = stripe.edges.find(top_uid);
+  if (it == stripe.edges.end()) return;
+  out.insert(out.end(), it->second.begin(), it->second.end());
+}
+
 bool CertController::SiblingGraphAcyclic(uint64_t top_uid) {
   std::vector<SiblingEdge> edges;
-  {
-    std::lock_guard<std::mutex> g(sibling_mu_);
-    auto it = sibling_edges_.find(top_uid);
-    if (it == sibling_edges_.end()) return true;
-    edges = it->second;
-  }
+  AppendSiblingEdges(top_uid, edges);
+  if (edges.empty()) return true;
+  return EdgesAcyclic(edges);
+}
+
+bool CertController::EdgesAcyclic(const std::vector<SiblingEdge>& edges) {
   // Lift each observation to the pair of executions just below the least
   // common ancestor (chains are self..top, so compare from the back).
   std::vector<std::pair<uint64_t, uint64_t>> lifted;
@@ -217,7 +228,7 @@ bool CertController::OnTopCommit(rt::TxnNode& top, AbortReason* reason) {
     *reason = AbortReason::kValidation;
     return false;
   }
-  const DepRef ref = DepRef::FromRaw(top.dep_handle());
+  const DepRef ref = DepRef::FromRaw(DepHandleOf(top));
   if (!deps_.ValidateAndWait(ref, reason)) return false;
   if (wal_ == nullptr) {
     deps_.MarkCommitted(ref);
@@ -252,7 +263,7 @@ void CertController::OnAbort(rt::TxnNode& node) {
   // — see Object::AbortEntriesAndRebuild and docs/journal.md).
   std::vector<rt::Object*> touched;
   CollectObjects(node, touched);
-  const DepRef top_ref = DepRef::FromRaw(node.top()->dep_handle());
+  const DepRef top_ref = DepRef::FromRaw(DepHandleOf(*node.top()));
   for (rt::Object* obj : touched) {
     obj->AbortEntriesAndRebuild(
         node.uid(), [&] { deps_.DoomSuccessorsTransitively(top_ref); },
@@ -261,15 +272,16 @@ void CertController::OnAbort(rt::TxnNode& node) {
         });
   }
   if (node.parent() == nullptr) {
-    deps_.MarkAborted(DepRef::FromRaw(node.dep_handle()));
+    deps_.MarkAborted(DepRef::FromRaw(DepHandleOf(node)));
   }
 }
 
 void CertController::OnTopFinished(rt::TxnNode& top) {
   // Settled registry slots retire incrementally inside MarkCommitted /
   // MarkAborted; only the sibling-edge buffer needs explicit cleanup.
-  std::lock_guard<std::mutex> g(sibling_mu_);
-  sibling_edges_.erase(top.uid());
+  SiblingStripe& stripe = StripeFor(top.uid());
+  std::lock_guard<std::mutex> g(stripe.mu);
+  stripe.edges.erase(top.uid());
 }
 
 }  // namespace objectbase::cc

@@ -74,23 +74,45 @@ class CertController : public Controller {
   /// CERT has no lock waits to compose with and leaves this null.
   void SetDurabilityWaitGraph(WaitsForGraph* wfg) { durability_wfg_ = wfg; }
 
- private:
-  // One intra-top conflict observation: the earlier and later execution's
-  // ancestor chains (self first).  Lifted to sibling edges at commit.
+  /// One intra-top conflict observation: the earlier and later execution's
+  /// ancestor chains (self first).  Lifted to sibling edges at commit.
   struct SiblingEdge {
     std::vector<uint64_t> from_chain;
     std::vector<uint64_t> to_chain;
   };
 
+  /// Appends `top_uid`'s buffered sibling observations to `out`.  The
+  /// sharded commit path uses this to certify the UNION of a cross-shard
+  /// top's per-shard sibling graphs (Theorem 5 condition (b) is a property
+  /// of the whole transaction, not of any one shard's slice).
+  void AppendSiblingEdges(uint64_t top_uid, std::vector<SiblingEdge>& out);
+
+  /// Theorem 5 condition (b): lifts each observation to the pair of
+  /// executions just below their least common ancestor and cycle-checks
+  /// the resulting sibling graph.  Pure function of the edge list.
+  static bool EdgesAcyclic(const std::vector<SiblingEdge>& edges);
+
+ private:
   bool SiblingGraphAcyclic(uint64_t top_uid);
+
+  // The sibling-edge buffer is striped by top uid so the certifier's last
+  // global mutex scales with the topology: two tops only contend when they
+  // hash to the same stripe, and a top's own appends are uncontended.
+  static constexpr size_t kSiblingStripes = 16;
+  struct SiblingStripe {
+    std::mutex mu;
+    std::map<uint64_t, std::vector<SiblingEdge>> edges;  // by top uid
+  };
+  SiblingStripe& StripeFor(uint64_t top_uid) {
+    return sibling_stripes_[top_uid & (kSiblingStripes - 1)];
+  }
 
   rt::Recorder& recorder_;
   Granularity granularity_;
   size_t fold_threshold_;
   WaitsForGraph* durability_wfg_ = nullptr;
   DependencyGraph deps_;
-  std::mutex sibling_mu_;
-  std::map<uint64_t, std::vector<SiblingEdge>> sibling_edges_;  // by top uid
+  SiblingStripe sibling_stripes_[kSiblingStripes];
 };
 
 }  // namespace objectbase::cc

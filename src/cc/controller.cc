@@ -1,0 +1,20 @@
+#include "src/cc/controller.h"
+
+#include "src/runtime/txn.h"
+
+namespace objectbase::cc {
+
+uint64_t Controller::DepHandleOf(const rt::TxnNode& top) const {
+  return shard_slot_ < 0 ? top.dep_handle()
+                         : top.dep_handle_for(static_cast<uint32_t>(shard_slot_));
+}
+
+void Controller::SetDepHandle(rt::TxnNode& top, uint64_t raw) const {
+  if (shard_slot_ < 0) {
+    top.set_dep_handle(raw);
+  } else {
+    top.set_dep_handle_for(static_cast<uint32_t>(shard_slot_), raw);
+  }
+}
+
+}  // namespace objectbase::cc

@@ -121,8 +121,25 @@ class Controller {
   /// inner certifier.
   virtual void AttachWal(rt::WalWriter* wal) { wal_ = wal; }
 
+  /// Under a sharded topology each shard's controller instance is told its
+  /// shard index once at construction, before any transaction runs.  The
+  /// controller then addresses its top-level registry handle through
+  /// DepHandleOf/SetDepHandle below, which pick the per-shard slot of the
+  /// TxnNode instead of the single dep_handle.  MIXED forwards to its
+  /// inner certifier.  Never called in the classic single-controller
+  /// wiring — shard_slot_ stays -1 and the helpers reduce to the plain
+  /// handle, so shards=1 runs byte-identically.
+  virtual void BindShardSlot(uint32_t shard) {
+    shard_slot_ = static_cast<int32_t>(shard);
+  }
+
  protected:
+  /// This controller's registry handle for `top` (see BindShardSlot).
+  uint64_t DepHandleOf(const rt::TxnNode& top) const;
+  void SetDepHandle(rt::TxnNode& top, uint64_t raw) const;
+
   rt::WalWriter* wal_ = nullptr;  ///< Null iff durability == kNone.
+  int32_t shard_slot_ = -1;       ///< -1 = unsharded wiring.
 };
 
 }  // namespace objectbase::cc

@@ -540,7 +540,7 @@ LockManager::Outcome LockManager::WaitForGrantLocked(
       continue;
     }
     bool cycle_has_wounded = false;
-    if (wfg_.SetWaitingWouldDeadlock(
+    if (wfg_->SetWaitingWouldDeadlock(
             thread_key, blockers,
             policy == ContentionPolicy::kWoundWait ? &cycle_has_wounded
                                                    : nullptr)) {
@@ -596,7 +596,7 @@ LockManager::Outcome LockManager::WaitForGrantLocked(
       ParkWaiter(waiter);
     }
     g.lock();
-    wfg_.ClearWaiting(thread_key);
+    wfg_->ClearWaiting(thread_key);
   }
 }
 
@@ -681,14 +681,21 @@ void LockManager::TransferToParent(rt::TxnNode& child) {
   // Only the tables of objects the child actually locked are touched (rule
   // 5's inheritance); the set then belongs to the parent.
   std::vector<uint32_t> touched = child.TakeLockedObjects();
-  for (uint32_t obj_id : touched) {
+  TransferToParentObjects(child, *parent, touched);
+  parent->MergeLockedObjects(touched);
+}
+
+void LockManager::TransferToParentObjects(rt::TxnNode& child,
+                                          rt::TxnNode& parent,
+                                          const std::vector<uint32_t>& objects) {
+  for (uint32_t obj_id : objects) {
     ObjTable* table = FindTable(obj_id);
     if (table == nullptr) continue;
     std::lock_guard<std::mutex> g(table->mu);
     bool changed = false;
     for (Entry& e : table->entries) {
       if (e.owner == &child) {
-        e.owner = parent;
+        e.owner = &parent;
         changed = true;
       }
     }
@@ -700,7 +707,6 @@ void LockManager::TransferToParent(rt::TxnNode& child) {
       WakeWaitersLocked(*table, /*wake_all=*/true, nullptr);
     }
   }
-  parent->MergeLockedObjects(touched);
 }
 
 namespace {

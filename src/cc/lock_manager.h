@@ -172,6 +172,17 @@ class LockManager {
   /// Rule 5: every lock owned by `child` transfers to its parent.
   void TransferToParent(rt::TxnNode& child);
 
+  /// Table-side half of TransferToParent, restricted to `objects`: walks
+  /// only the named tables, reassigning `child`-subtree entries to
+  /// `parent`, without touching the nodes' locked-object bookkeeping.  The
+  /// sharded topology fans a child commit out over several managers — each
+  /// sees the same snapshot, and the CALLER clears the child's list and
+  /// merges it into the parent exactly once (TakeLockedObjects is
+  /// destructive, so per-manager TransferToParent would lose the list for
+  /// every manager after the first).
+  void TransferToParentObjects(rt::TxnNode& child, rt::TxnNode& parent,
+                               const std::vector<uint32_t>& objects);
+
   /// Releases every lock owned by any execution in the subtree rooted at
   /// `root` (abort path) or by the top-level execution (commit path —
   /// after inheritance all live locks have bubbled up to it).
@@ -179,9 +190,9 @@ class LockManager {
 
   /// Thread registry hooks for deadlock detection (see WaitsForGraph).
   void NoteRunning(uint64_t thread_key, rt::TxnNode* node) {
-    wfg_.SetRunning(thread_key, node);
+    wfg_->SetRunning(thread_key, node);
   }
-  void NoteFinished(uint64_t thread_key) { wfg_.ClearRunning(thread_key); }
+  void NoteFinished(uint64_t thread_key) { wfg_->ClearRunning(thread_key); }
 
   /// The thread-level waits-for registry.  Exposed so a composing layer
   /// can declare NON-lock waits that hold locks across them — MIXED's
@@ -189,7 +200,15 @@ class LockManager {
   /// graph otherwise, which turns a lock/commit-wait cycle into an
   /// undetected cross-layer deadlock (found by the cross-protocol fuzz;
   /// see MixedController::OnTopCommit).
-  WaitsForGraph& waits_for() { return wfg_; }
+  WaitsForGraph& waits_for() { return *wfg_; }
+
+  /// Sharded topology: every shard's manager declares its waits in ONE
+  /// graph so lock cycles spanning shards stay detectable (a per-shard
+  /// graph would see only its own fragment of the cycle).  Call before any
+  /// transaction runs; `wfg` must outlive this manager.  Note the parked-
+  /// waiter registry stays per-manager: a cross-manager wound reaches a
+  /// parked victim via the bounded park timeout rather than a signal.
+  void ShareWaitsForGraph(WaitsForGraph* wfg) { wfg_ = wfg; }
 
   size_t LockCount();
 
@@ -363,7 +382,8 @@ class LockManager {
   // Tables for object ids >= kMaxChunks * kChunkSize (guarded by
   // chunk_alloc_mu_; node-based, so table addresses are stable).
   mutable std::map<uint32_t, ObjTable> overflow_tables_;
-  WaitsForGraph wfg_;
+  WaitsForGraph owned_wfg_;
+  WaitsForGraph* wfg_ = &owned_wfg_;  // see ShareWaitsForGraph
   std::atomic<ContentionPolicy> contention_policy_{ContentionPolicy::kDetect};
   std::function<void(rt::TxnNode&)> wound_hook_;
   // Waiters currently parked (kWoundWait only; see RegisterParked).

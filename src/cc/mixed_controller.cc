@@ -29,7 +29,7 @@ MixedController::MixedController(rt::Recorder& recorder, size_t num_objects,
   // registry makes that wait unwind with kDoomed, so the wound is observed on
   // whichever side of MIXED the victim happens to be sleeping.
   locks_.SetWoundHook([this](rt::TxnNode& top) {
-    certifier_.deps().Doom(DepRef::FromRaw(top.dep_handle()));
+    certifier_.deps().Doom(DepRef::FromRaw(DepHandleOf(top)));
   });
 }
 
@@ -139,7 +139,7 @@ bool MixedController::OnTopCommit(rt::TxnNode& top, AbortReason* reason) {
   // makes the composite cycle visible: whichever side registers second
   // detects it, and a kDeadlock abort here cascades into the predecessor's
   // waiter the usual way.
-  const DepRef ref = DepRef::FromRaw(top.dep_handle());
+  const DepRef ref = DepRef::FromRaw(DepHandleOf(top));
   const std::vector<uint64_t> preds =
       certifier_.deps().UnfinishedPredecessorUids(ref);
   if (preds.empty()) return certifier_.OnTopCommit(top, reason);

@@ -83,7 +83,18 @@ class MixedController : public Controller {
   bool SupportsPartialAbort() const override { return false; }
   bool RollbackByRebuild() const override { return true; }
 
+  /// The per-shard handle slot must bind on the DELEGATED certifier too —
+  /// it owns the DependencyGraph this controller registers tops in.
+  void BindShardSlot(uint32_t shard) override {
+    Controller::BindShardSlot(shard);
+    certifier_.BindShardSlot(shard);
+  }
+
   LockManager& lock_manager() { return locks_; }
+
+  /// The delegated inter-object certifier (sharded commit path: sibling
+  /// union + per-shard registry access go through here).
+  CertController& certifier() { return certifier_; }
 
  private:
   rt::Recorder& recorder_;

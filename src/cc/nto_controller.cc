@@ -17,9 +17,10 @@ NtoController::NtoController(rt::Recorder& recorder, Granularity granularity,
 
 void NtoController::OnTopBegin(rt::TxnNode& top) {
   // Cache the packed slot handle on the node: every per-step doom poll and
-  // recorded journal entry addresses the registry slot directly.
-  top.set_dep_handle(
-      deps_.Register(top.uid(), top.hts().top_component()).raw());
+  // recorded journal entry addresses the registry slot directly.  (Under a
+  // sharded topology the handle lands in this shard's slot of the node's
+  // handle array — see Controller::BindShardSlot.)
+  SetDepHandle(top, deps_.Register(top.uid(), top.hts().top_component()).raw());
 }
 
 namespace {
@@ -43,7 +44,7 @@ void MaybeGc(rt::Object& obj, DependencyGraph& deps, size_t threshold) {
 OpOutcome NtoController::ExecuteLocal(rt::TxnNode& txn, rt::Object& obj,
                                       const adt::OpDescriptor& op,
                                       const Args& args) {
-  const DepRef my_ref = DepRef::FromRaw(txn.top()->dep_handle());
+  const DepRef my_ref = DepRef::FromRaw(DepHandleOf(*txn.top()));
   // One relaxed atomic load — the conflict-free step path takes no
   // DependencyGraph mutex at all (doom is monotonic, so a stale false
   // only delays the abort by one step).
@@ -111,7 +112,7 @@ OpOutcome NtoController::ExecuteLocal(rt::TxnNode& txn, rt::Object& obj,
     if (doomed) return OpOutcome::Abort(AbortReason::kDoomed);
     rt::AppliedOutcome out = rt::ApplyLocked(txn, obj, op, args, recorder_,
                                              /*append_applied_log=*/true,
-                                             wal_);
+                                             wal_, my_ref.raw());
     return OpOutcome::Ok(std::move(out.ret));
   }
 
@@ -196,7 +197,7 @@ OpOutcome NtoController::ExecuteLocal(rt::TxnNode& txn, rt::Object& obj,
 void NtoController::OnChildCommit(rt::TxnNode&) {}
 
 bool NtoController::OnTopCommit(rt::TxnNode& top, AbortReason* reason) {
-  const DepRef ref = DepRef::FromRaw(top.dep_handle());
+  const DepRef ref = DepRef::FromRaw(DepHandleOf(top));
   if (!deps_.ValidateAndWait(ref, reason)) return false;
   if (wal_ == nullptr) {
     deps_.MarkCommitted(ref);
@@ -236,7 +237,7 @@ void NtoController::OnAbort(rt::TxnNode& node) {
   // Object::AbortEntriesAndRebuild and docs/journal.md).
   std::vector<rt::Object*> touched;
   CollectObjects(node, touched);
-  const DepRef top_ref = DepRef::FromRaw(node.top()->dep_handle());
+  const DepRef top_ref = DepRef::FromRaw(DepHandleOf(*node.top()));
   for (rt::Object* obj : touched) {
     obj->AbortEntriesAndRebuild(
         node.uid(), [&] { deps_.DoomSuccessorsTransitively(top_ref); },
@@ -245,7 +246,7 @@ void NtoController::OnAbort(rt::TxnNode& node) {
         });
   }
   if (node.parent() == nullptr) {
-    deps_.MarkAborted(DepRef::FromRaw(node.dep_handle()));
+    deps_.MarkAborted(DepRef::FromRaw(DepHandleOf(node)));
   }
 }
 

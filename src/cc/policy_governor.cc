@@ -38,7 +38,24 @@ PolicyGovernor::PolicyGovernor(MixedController& mixed,
     : mixed_(mixed),
       objects_(std::move(objects)),
       opts_(opts),
-      states_(objects_.size()) {}
+      states_(objects_.size()),
+      hot_flags_(objects_.size()) {}
+
+std::vector<uint32_t> PolicyGovernor::HotObjectIds() const {
+  std::vector<uint32_t> out;
+  for (size_t i = 0; i < objects_.size(); ++i) {
+    if (hot_flags_[i].load(std::memory_order_relaxed) != 0) {
+      out.push_back(objects_[i]->id());
+    }
+  }
+  return out;
+}
+
+size_t PolicyGovernor::PinHotTo(rt::ShardedBase& base, uint32_t shard) const {
+  const std::vector<uint32_t> hot = HotObjectIds();
+  for (uint32_t id : hot) base.PinObject(id, shard);
+  return hot.size();
+}
 
 PolicyGovernor::~PolicyGovernor() { Stop(); }
 
@@ -97,8 +114,11 @@ void PolicyGovernor::SampleOnce() {
         flip > 0 ? opts_.hot_policy
                  : (obj.concurrent_apply() ? IntraPolicy::kCrabbing
                                            : IntraPolicy::kOptimistic);
-    if (mixed_.SetPolicy(obj.id(), target)) {
+    const bool applied = apply_ ? apply_(obj.id(), target)
+                                : mixed_.SetPolicy(obj.id(), target);
+    if (applied) {
       flips_.fetch_add(1, std::memory_order_relaxed);
+      hot_flags_[i].store(flip > 0 ? 1 : 0, std::memory_order_relaxed);
       if (flip > 0) {
         hot_count_.fetch_add(1, std::memory_order_relaxed);
       } else {

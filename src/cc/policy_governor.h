@@ -29,6 +29,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -97,6 +98,25 @@ class PolicyGovernor {
   PolicyGovernor(const PolicyGovernor&) = delete;
   PolicyGovernor& operator=(const PolicyGovernor&) = delete;
 
+  /// Routes policy flips somewhere other than the constructor's
+  /// controller.  The sharded executor installs Executor::SetIntraPolicy
+  /// here so a flip reaches the object's home-shard MIXED instance (the
+  /// constructor's controller is just shard 0's).  Call before Start().
+  void SetApplyHook(std::function<bool(uint32_t, IntraPolicy)> fn) {
+    apply_ = std::move(fn);
+  }
+
+  /// Ids of the objects currently assigned the hot policy (atomic flags —
+  /// safe to sample while the loop runs).
+  std::vector<uint32_t> HotObjectIds() const;
+
+  /// Shard-router feed: re-homes every currently-hot object onto `shard`
+  /// of `base`, so the next executor built over it isolates the identified
+  /// hot set on a dedicated shard.  Placement is only mutable while the
+  /// base is quiescent — call between runs, never mid-run.  Returns how
+  /// many objects were pinned.
+  size_t PinHotTo(rt::ShardedBase& base, uint32_t shard) const;
+
   void Start();
   void Stop();
 
@@ -118,6 +138,10 @@ class PolicyGovernor {
   const std::vector<rt::Object*> objects_;
   const GovernorOptions opts_;
   std::vector<ObjState> states_;  // governor-thread private after Start()
+  std::function<bool(uint32_t, IntraPolicy)> apply_;  // empty: mixed_ direct
+  // Parallel to objects_: 1 while the object holds the hot policy (the
+  // cross-thread mirror of ObjState::hot that HotObjectIds reads).
+  std::vector<std::atomic<uint8_t>> hot_flags_;
 
   std::atomic<uint64_t> flips_{0};
   std::atomic<uint64_t> hot_count_{0};

@@ -1,0 +1,332 @@
+#include "src/cc/sharded_controller.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "src/runtime/object.h"
+#include "src/runtime/txn.h"
+#include "src/runtime/wal.h"
+
+namespace objectbase::cc {
+
+ShardedController::ShardedController(ShardedKind kind,
+                                     std::vector<Shard> shards)
+    : kind_(kind), shards_(std::move(shards)) {
+  if (kind_ == ShardedKind::kMixed) {
+    // Replace each shard's wound hook (MixedController installed one that
+    // dooms only its own registry): a cross-shard victim may be parked in
+    // ANY shard's commit-wait or in the cross-shard poll, so the wound must
+    // doom every registration.  Stale/zero handles make Doom a no-op, so a
+    // top wounded before its first step on some shard is still safe.
+    for (Shard& sh : shards_) {
+      sh.locks->SetWoundHook([this](rt::TxnNode& top) {
+        for (uint32_t s = 0; s < num_shards(); ++s) {
+          shards_[s].deps->Doom(DepRef::FromRaw(top.dep_handle_for(s)));
+        }
+      });
+    }
+  }
+}
+
+void ShardedController::OnTopBegin(rt::TxnNode& top) {
+  // Eager registration: every shard's registry tracks every top, so each
+  // shard's MinActiveCounter watermark (journal-fold / NTO-GC cadence) is
+  // globally correct, and single-shard commits need no cross-shard
+  // handshake — the foreign slots are settled edge-free at the end.
+  top.EnableShardHandles(num_shards());
+  for (Shard& sh : shards_) sh.controller->OnTopBegin(top);
+}
+
+OpOutcome ShardedController::ExecuteLocal(rt::TxnNode& txn, rt::Object& obj,
+                                          const adt::OpDescriptor& op,
+                                          const Args& args) {
+  const uint32_t s = obj.shard();
+  txn.top()->NoteTouchedShard(s);
+  return shards_[s].controller->ExecuteLocal(txn, obj, op, args);
+}
+
+void ShardedController::OnChildCommit(rt::TxnNode& child) {
+  if (shards_[0].locks == nullptr) {
+    // NTO/CERT: OnChildCommit is protocol-free bookkeeping (none today).
+    shards_[0].controller->OnChildCommit(child);
+    return;
+  }
+  rt::TxnNode* parent = child.parent();
+  if (parent == nullptr) return;
+  // Rule 5 fanned out: every shard's manager reassigns the child's entries
+  // in ITS tables; the destructive locked-object bookkeeping runs exactly
+  // once here (see LockManager::TransferToParentObjects).
+  const std::vector<uint32_t> objects = child.SnapshotLockedObjects();
+  if (!objects.empty()) {
+    for (Shard& sh : shards_) {
+      sh.locks->TransferToParentObjects(child, *parent, objects);
+    }
+  }
+  child.TakeLockedObjects();
+  parent->MergeLockedObjects(objects);
+}
+
+void ShardedController::FinishOthers(rt::TxnNode& top, uint32_t home) {
+  for (uint32_t s = 0; s < num_shards(); ++s) {
+    if (s == home || shards_[s].deps == nullptr) continue;
+    // No step of this top ran on shard s, so its slot has no edges:
+    // MarkCommitted settles it without validation.
+    shards_[s].deps->MarkCommitted(DepRef::FromRaw(top.dep_handle_for(s)));
+  }
+}
+
+bool ShardedController::OnTopCommit(rt::TxnNode& top, AbortReason* reason) {
+  const uint64_t touched = top.touched_shards();
+  if (__builtin_popcountll(touched) <= 1) {
+    // Single-shard (or step-free) top: the home shard's controller commits
+    // it exactly as the classic wiring would.
+    const uint32_t home =
+        touched == 0 ? 0 : static_cast<uint32_t>(__builtin_ctzll(touched));
+    if (!shards_[home].controller->OnTopCommit(top, reason)) return false;
+    FinishOthers(top, home);
+    return true;
+  }
+  return CommitCrossShard(top, touched, reason);
+}
+
+bool ShardedController::CommitRegistry::RegisterAndCheck(
+    uint64_t uid, const std::vector<uint64_t>& preds) {
+  std::lock_guard<std::mutex> g(mu);
+  waits[uid] = preds;
+  // DFS over registered members only: an edge uid -> pred means "uid's
+  // commit waits for pred"; a path back to uid is a mutual-wait cycle.
+  std::vector<uint64_t> stack(preds.begin(), preds.end());
+  std::vector<uint64_t> seen;
+  while (!stack.empty()) {
+    const uint64_t v = stack.back();
+    stack.pop_back();
+    if (v == uid) return false;
+    if (std::find(seen.begin(), seen.end(), v) != seen.end()) continue;
+    seen.push_back(v);
+    auto it = waits.find(v);
+    if (it == waits.end()) continue;  // not a cross-shard committer
+    stack.insert(stack.end(), it->second.begin(), it->second.end());
+  }
+  return true;
+}
+
+void ShardedController::CommitRegistry::Unregister(uint64_t uid) {
+  std::lock_guard<std::mutex> g(mu);
+  waits.erase(uid);
+}
+
+bool ShardedController::CommitCrossShard(rt::TxnNode& top, uint64_t touched,
+                                         AbortReason* reason) {
+  const uint64_t uid = top.uid();
+  auto for_each_touched = [&](auto&& fn) {
+    for (uint32_t s = 0; s < num_shards(); ++s) {
+      if ((touched >> s) & 1) fn(s);
+    }
+  };
+
+  // Phase 0 — Theorem 5 condition (b) on the WHOLE transaction: certify
+  // the union of the per-shard sibling graphs (each shard buffered only
+  // the conflicts it observed).
+  if (shards_[0].cert != nullptr) {
+    std::vector<CertController::SiblingEdge> edges;
+    for_each_touched(
+        [&](uint32_t s) { shards_[s].cert->AppendSiblingEdges(uid, edges); });
+    if (!edges.empty() && !CertController::EdgesAcyclic(edges)) {
+      *reason = AbortReason::kValidation;
+      return false;
+    }
+  }
+
+  if (shards_[0].deps == nullptr) {
+    // Locking kinds (N2PL/GEMSTONE): strict two-phase locks — already held
+    // across every touched shard until OnTopFinished — ARE the
+    // serialisation order; cross-shard deadlocks were handled at acquire
+    // time by the shared waits-for graph.  Only durability remains.
+    if (shards_[0].wal != nullptr) {
+      std::vector<std::pair<rt::WalWriter*, uint64_t>> staged;
+      for_each_touched([&](uint32_t s) {
+        staged.emplace_back(shards_[s].wal,
+                            shards_[s].wal->StageCommit(uid, touched));
+      });
+      for (auto& [wal, pos] : staged) {
+        wal->WaitDurable(pos, &shards_[0].locks->waits_for(), ThisThreadKey());
+      }
+    }
+    cross_shard_commits_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+
+  auto ref_for = [&](uint32_t s) {
+    return DepRef::FromRaw(top.dep_handle_for(s));
+  };
+
+  // Phase 1 — publish the union of unfinished predecessors.
+  std::vector<uint64_t> preds;
+  for_each_touched([&](uint32_t s) {
+    std::vector<uint64_t> p =
+        shards_[s].deps->UnfinishedPredecessorUids(ref_for(s));
+    preds.insert(preds.end(), p.begin(), p.end());
+  });
+  std::sort(preds.begin(), preds.end());
+  preds.erase(std::unique(preds.begin(), preds.end()), preds.end());
+
+  // kMixed: this commit-wait happens while the top still holds its strict
+  // local-2pl locks; declare it in the (shared) waits-for graph so a
+  // composite lock/commit-wait cycle is visible to whichever side
+  // registers second (the unsharded MixedController::OnTopCommit guard).
+  const uint64_t thread_key =
+      shards_[0].locks != nullptr ? ThisThreadKey() : 0;
+  bool declared = false;
+  if (shards_[0].locks != nullptr && !preds.empty()) {
+    if (shards_[0].locks->waits_for().SetWaitingWouldDeadlock(thread_key,
+                                                              preds)) {
+      *reason = AbortReason::kDeadlock;
+      return false;
+    }
+    declared = true;
+  }
+  auto fail = [&](AbortReason r) {
+    registry_.Unregister(uid);
+    if (declared) shards_[0].locks->waits_for().ClearWaiting(thread_key);
+    *reason = r;
+    return false;
+  };
+
+  // Phase 2 — structural cycle check among cross-shard committers.
+  if (!registry_.RegisterAndCheck(uid, preds)) {
+    cross_cycle_aborts_.fetch_add(1, std::memory_order_relaxed);
+    return fail(AbortReason::kDeadlock);
+  }
+
+  // Phase 3 — poll every touched shard until each certifies.  Predecessor
+  // sets only shrink (edges into this top are frozen once its body is
+  // done), so kOk per shard is stable modulo new dooms/cycles — which the
+  // next phase re-checks anyway.
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::microseconds(poll_budget_us_);
+  for (;;) {
+    bool all_ok = true;
+    AbortReason veto = AbortReason::kNone;
+    for_each_touched([&](uint32_t s) {
+      if (veto != AbortReason::kNone || !all_ok) return;
+      switch (shards_[s].deps->TryValidate(ref_for(s))) {
+        case DependencyGraph::ProbeResult::kOk:
+          break;
+        case DependencyGraph::ProbeResult::kWouldWait:
+          all_ok = false;
+          break;
+        case DependencyGraph::ProbeResult::kDoomedVeto:
+          veto = AbortReason::kDoomed;
+          break;
+        case DependencyGraph::ProbeResult::kCycleVeto:
+          veto = AbortReason::kValidation;
+          break;
+      }
+    });
+    if (veto != AbortReason::kNone) return fail(veto);
+    if (all_ok) break;
+    if (std::chrono::steady_clock::now() >= deadline) {
+      // Conservative resolution of multi-hop cycles threading through
+      // single-shard tops (see the header): abort, never commit.
+      poll_timeouts_.fetch_add(1, std::memory_order_relaxed);
+      return fail(AbortReason::kDeadlock);
+    }
+    std::this_thread::sleep_for(std::chrono::microseconds(20));
+  }
+
+  // Phase 4 — the real per-shard validation (kActive -> kCommitting plus
+  // the final doom/cycle check); non-blocking now that every shard
+  // answered kOk.  A failure here unwinds through the normal abort path,
+  // which settles every shard's slot (MarkAborted is valid from
+  // kCommitting).
+  {
+    AbortReason r = AbortReason::kNone;
+    bool ok = true;
+    for_each_touched([&](uint32_t s) {
+      if (!ok) return;
+      ok = shards_[s].deps->ValidateAndWait(ref_for(s), &r);
+    });
+    if (!ok) return fail(r);
+  }
+
+  // Phase 5 — durability: one masked marker per touched shard's log, and
+  // MarkCommitted DELAYED until all are durable, extending per-log prefix
+  // closure to the cross-log atomicity rule (a successor anywhere can pass
+  // its commit-wait only after our markers are all on disk).
+  if (shards_[0].wal != nullptr) {
+    std::vector<std::pair<rt::WalWriter*, uint64_t>> staged;
+    for_each_touched([&](uint32_t s) {
+      staged.emplace_back(shards_[s].wal,
+                          shards_[s].wal->StageCommit(uid, touched));
+    });
+    WaitsForGraph* wfg = shards_[0].locks != nullptr
+                             ? &shards_[0].locks->waits_for()
+                             : nullptr;
+    for (auto& [wal, pos] : staged) {
+      wal->WaitDurable(pos, wfg, thread_key);
+    }
+  }
+
+  // Phase 6 — settle every shard (touched slots carry the real edges; the
+  // untouched ones are edge-free eager registrations).
+  for (uint32_t s = 0; s < num_shards(); ++s) {
+    shards_[s].deps->MarkCommitted(ref_for(s));
+  }
+  registry_.Unregister(uid);
+  if (declared) shards_[0].locks->waits_for().ClearWaiting(thread_key);
+  cross_shard_commits_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+namespace {
+
+void CollectObjects(rt::TxnNode& node, std::vector<rt::Object*>& out) {
+  for (const rt::UndoRecord& u : node.undo_log()) {
+    if (std::find(out.begin(), out.end(), u.object) == out.end()) {
+      out.push_back(u.object);
+    }
+  }
+  for (auto& child : node.children()) CollectObjects(*child, out);
+}
+
+}  // namespace
+
+void ShardedController::OnAbort(rt::TxnNode& node) {
+  // Lock release mirrors the per-kind inner semantics: N2PL/MIXED release
+  // the subtree's locks on any abort; GEMSTONE's whole-object locks are
+  // owned by the TOP, so a child abort must not release them.
+  if (shards_[0].locks != nullptr &&
+      (kind_ != ShardedKind::kGemstone || node.parent() == nullptr)) {
+    for (Shard& sh : shards_) sh.locks->ReleaseSubtree(node);
+  }
+  if (RollbackByRebuild()) {
+    // Rebuild each touched object against ITS shard's registry: the
+    // object's journal entries carry that shard's DepRefs, and the doom
+    // cascade must run where the successors' edges live.
+    std::vector<rt::Object*> touched;
+    CollectObjects(node, touched);
+    rt::TxnNode& top = *node.top();
+    for (rt::Object* obj : touched) {
+      DependencyGraph* deps = shards_[obj->shard()].deps;
+      const DepRef top_ref =
+          DepRef::FromRaw(top.dep_handle_for(obj->shard()));
+      obj->AbortEntriesAndRebuild(
+          node.uid(), [&] { deps->DoomSuccessorsTransitively(top_ref); },
+          [&](uint64_t dep_raw) {
+            return deps->IsDoomed(DepRef::FromRaw(dep_raw));
+          });
+    }
+  }
+  if (node.parent() == nullptr && shards_[0].deps != nullptr) {
+    for (uint32_t s = 0; s < num_shards(); ++s) {
+      shards_[s].deps->MarkAborted(DepRef::FromRaw(node.dep_handle_for(s)));
+    }
+  }
+}
+
+void ShardedController::OnTopFinished(rt::TxnNode& top) {
+  for (Shard& sh : shards_) sh.controller->OnTopFinished(top);
+}
+
+}  // namespace objectbase::cc

@@ -44,7 +44,8 @@ inline AppliedOutcome ApplyLocked(TxnNode& txn, Object& obj,
                                   const adt::OpDescriptor& op,
                                   const Args& args, Recorder& recorder,
                                   bool append_applied_log,
-                                  WalWriter* wal = nullptr) {
+                                  WalWriter* wal = nullptr,
+                                  uint64_t dep_raw = 0) {
   adt::ApplyResult applied = op.apply(obj.state(), args);
   const uint64_t raw = recorder.NextSeq();  // leased; 0 when not recording
   uint64_t pos = WalWriter::kOrderByStagePos;
@@ -57,7 +58,9 @@ inline AppliedOutcome ApplyLocked(TxnNode& txn, Object& obj,
     entry.seq = raw;
     entry.exec_uid = txn.uid();
     entry.top_uid = txn.top()->uid();
-    entry.dep = txn.top()->dep_handle();
+    // `dep_raw` lets a shard-bound caller pass its per-shard registry
+    // handle; 0 falls back to the classic single-registry handle.
+    entry.dep = dep_raw != 0 ? dep_raw : txn.top()->dep_handle();
     entry.chain = txn.ChainPtr();
     entry.hts = txn.HtsSnapshot();
     entry.op_id = op.id;

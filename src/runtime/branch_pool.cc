@@ -1,0 +1,109 @@
+#include "src/runtime/branch_pool.h"
+
+namespace objectbase::rt {
+
+BranchPool::~BranchPool() {
+  std::vector<std::thread> workers;
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    stop_ = true;
+    workers.swap(workers_);
+  }
+  cv_.notify_all();
+  for (std::thread& w : workers) w.join();
+}
+
+void BranchPool::EnsureWorkers(size_t n) {
+  std::lock_guard<std::mutex> g(mu_);
+  if (stop_) return;
+  while (workers_.size() < n) {
+    const uint32_t index = static_cast<uint32_t>(workers_.size());
+    workers_.emplace_back([this, index] { WorkerLoop(index); });
+  }
+}
+
+size_t BranchPool::workers() const {
+  std::lock_guard<std::mutex> g(mu_);
+  return workers_.size();
+}
+
+bool BranchPool::PopTaskLocked(uint32_t prefer_shard, Batch* only_batch,
+                               Task* out) {
+  if (queue_.empty()) return false;
+  if (only_batch != nullptr) {
+    for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+      if (it->batch == only_batch) {
+        *out = *it;
+        queue_.erase(it);
+        return true;
+      }
+    }
+    return false;
+  }
+  if (prefer_shard != kAnyShard) {
+    for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+      if (it->shard == prefer_shard || it->shard == kAnyShard) {
+        *out = *it;
+        queue_.erase(it);
+        return true;
+      }
+    }
+  }
+  *out = queue_.front();
+  queue_.pop_front();
+  return true;
+}
+
+void BranchPool::FinishTask(Batch* batch) {
+  std::lock_guard<std::mutex> g(batch->done_mu_);
+  if (--batch->pending_ == 0) batch->done_cv_.notify_all();
+}
+
+void BranchPool::WorkerLoop(uint32_t index) {
+  const uint32_t my_shard = index % num_shards_;
+  std::unique_lock<std::mutex> l(mu_);
+  for (;;) {
+    cv_.wait(l, [&] { return stop_ || !queue_.empty(); });
+    if (stop_) return;  // batches are drained before destruction
+    Task t;
+    if (!PopTaskLocked(my_shard, nullptr, &t)) continue;
+    l.unlock();
+    (*t.fn)(/*on_caller=*/false);
+    FinishTask(t.batch);
+    l.lock();
+  }
+}
+
+void BranchPool::Batch::RunAndWait(bool caller_inline) {
+  if (staged_.empty()) return;
+  {
+    std::lock_guard<std::mutex> g(done_mu_);
+    pending_ = staged_.size();
+  }
+  {
+    std::lock_guard<std::mutex> g(pool_.mu_);
+    for (auto& [shard, fn] : staged_) {
+      pool_.queue_.push_back(Task{&fn, shard, this});
+    }
+  }
+  pool_.cv_.notify_all();
+  if (caller_inline) {
+    // Work the batch from the invoking thread until no task of ours is
+    // left unclaimed.  This is what makes the pool deadlock-free with any
+    // worker count (including zero): the caller itself is always a live
+    // thread for its own branches.
+    for (;;) {
+      Task t;
+      {
+        std::lock_guard<std::mutex> g(pool_.mu_);
+        if (!pool_.PopTaskLocked(kAnyShard, this, &t)) break;
+      }
+      (*t.fn)(/*on_caller=*/true);
+      FinishTask(this);
+    }
+  }
+  std::unique_lock<std::mutex> l(done_mu_);
+  done_cv_.wait(l, [&] { return pending_ == 0; });
+}
+
+}  // namespace objectbase::rt

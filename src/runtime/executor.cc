@@ -9,6 +9,8 @@
 #include "src/cc/lock_manager.h"
 #include "src/cc/n2pl_controller.h"
 #include "src/cc/nto_controller.h"
+#include "src/cc/sharded_controller.h"
+#include "src/cc/waits_for.h"
 
 namespace objectbase::rt {
 
@@ -23,51 +25,140 @@ const char* ProtocolName(Protocol p) {
   return "?";
 }
 
-Executor::Executor(ObjectBase& base, ExecutorOptions options)
-    : base_(base), options_(options), recorder_(options.record) {
-  switch (options_.protocol) {
+namespace {
+
+/// One protocol instance plus non-owning views into its components — the
+/// factored body of the old constructor switch, built once for the classic
+/// wiring and once PER SHARD for the sharded one.
+struct BuiltController {
+  std::unique_ptr<cc::Controller> controller;
+  cc::MixedController* mixed = nullptr;
+  cc::LockManager* locks = nullptr;
+  cc::DependencyGraph* deps = nullptr;
+  cc::CertController* cert = nullptr;
+};
+
+BuiltController BuildController(const ExecutorOptions& o, Recorder& recorder,
+                                size_t num_objects) {
+  BuiltController b;
+  switch (o.protocol) {
     case Protocol::kN2pl: {
-      auto n2pl = std::make_unique<cc::N2plController>(
-          recorder_, options_.granularity);
-      lock_manager_ = &n2pl->lock_manager();
-      controller_ = std::move(n2pl);
+      auto c = std::make_unique<cc::N2plController>(recorder, o.granularity);
+      b.locks = &c->lock_manager();
+      b.controller = std::move(c);
       break;
     }
-    case Protocol::kNto:
-      controller_ = std::make_unique<cc::NtoController>(
-          recorder_, options_.granularity, options_.nto_gc,
-          options_.journal_fold_threshold);
+    case Protocol::kNto: {
+      auto c = std::make_unique<cc::NtoController>(
+          recorder, o.granularity, o.nto_gc, o.journal_fold_threshold);
+      b.deps = &c->deps();
+      b.controller = std::move(c);
       break;
-    case Protocol::kCert:
-      controller_ = std::make_unique<cc::CertController>(
-          recorder_, options_.granularity, options_.journal_fold_threshold);
+    }
+    case Protocol::kCert: {
+      auto c = std::make_unique<cc::CertController>(
+          recorder, o.granularity, o.journal_fold_threshold);
+      b.cert = c.get();
+      b.deps = &c->deps();
+      b.controller = std::move(c);
       break;
+    }
     case Protocol::kGemstone: {
-      auto gem = std::make_unique<cc::GemstoneController>(
-          recorder_, options_.gemstone_shared_reads);
-      lock_manager_ = &gem->lock_manager();
-      controller_ = std::move(gem);
+      auto c = std::make_unique<cc::GemstoneController>(
+          recorder, o.gemstone_shared_reads);
+      b.locks = &c->lock_manager();
+      b.controller = std::move(c);
       break;
     }
     case Protocol::kMixed: {
-      auto mixed = std::make_unique<cc::MixedController>(
-          recorder_, base_.size(), options_.journal_fold_threshold);
-      mixed_ = mixed.get();
-      lock_manager_ = &mixed->lock_manager();
-      controller_ = std::move(mixed);
+      auto c = std::make_unique<cc::MixedController>(
+          recorder, num_objects, o.journal_fold_threshold);
+      b.mixed = c.get();
+      b.locks = &c->lock_manager();
+      b.cert = &c->certifier();
+      b.deps = &c->certifier().deps();
+      b.controller = std::move(c);
       break;
     }
   }
+  if (b.locks != nullptr) b.locks->SetContentionPolicy(o.contention_policy);
+  return b;
+}
+
+cc::ShardedKind KindOf(Protocol p) {
+  switch (p) {
+    case Protocol::kN2pl: return cc::ShardedKind::kN2pl;
+    case Protocol::kNto: return cc::ShardedKind::kNto;
+    case Protocol::kCert: return cc::ShardedKind::kCert;
+    case Protocol::kGemstone: return cc::ShardedKind::kGemstone;
+    case Protocol::kMixed: return cc::ShardedKind::kMixed;
+  }
+  return cc::ShardedKind::kN2pl;
+}
+
+}  // namespace
+
+Executor::Executor(ObjectBase& base, ExecutorOptions options)
+    : base_(base),
+      options_(options),
+      recorder_(options.record),
+      branch_pool_(base.num_shards()) {
+  const uint32_t shards = base_.num_shards();
+  const bool durable =
+      options_.durability != Durability::kNone && !options_.wal_path.empty();
+  if (shards > 1) {
+    // Sharded wiring (the base is a rt::ShardedBase): one complete
+    // controller stack per shard, composed under the routing layer.
+    std::vector<cc::ShardedController::Shard> built;
+    built.reserve(shards);
+    for (uint32_t s = 0; s < shards; ++s) {
+      BuiltController b = BuildController(options_, recorder_, base_.size());
+      b.controller->BindShardSlot(s);
+      if (b.locks != nullptr) {
+        // All shards declare lock waits in ONE graph; a cross-shard lock
+        // cycle is invisible to any per-shard fragment.
+        if (!shared_wfg_) shared_wfg_ = std::make_unique<cc::WaitsForGraph>();
+        b.locks->ShareWaitsForGraph(shared_wfg_.get());
+        if (lock_manager_ == nullptr) lock_manager_ = b.locks;
+      }
+      if (b.mixed != nullptr) {
+        shard_mixeds_.push_back(b.mixed);
+        if (mixed_ == nullptr) mixed_ = b.mixed;
+      }
+      cc::ShardedController::Shard sh;
+      if (durable) {
+        // Per-shard logs (shard 0 keeps the configured path, so shards=1
+        // stays file-compatible).  Attach AFTER ShareWaitsForGraph: MIXED
+        // routes durability waits into its manager's CURRENT graph.
+        shard_wals_.push_back(std::make_unique<WalWriter>(WalOptions{
+            ShardWalPath(options_.wal_path, s), options_.durability,
+            options_.wal_group_window_us, /*ring_capacity=*/size_t{1} << 14}));
+        b.controller->AttachWal(shard_wals_.back().get());
+        sh.wal = shard_wals_.back().get();
+      }
+      sh.cert = b.cert;
+      sh.deps = b.deps;
+      sh.locks = b.locks;
+      sh.controller = std::move(b.controller);
+      built.push_back(std::move(sh));
+    }
+    auto sharded = std::make_unique<cc::ShardedController>(
+        KindOf(options_.protocol), std::move(built));
+    sharded_ = sharded.get();
+    controller_ = std::move(sharded);
+  } else {
+    BuiltController b = BuildController(options_, recorder_, base_.size());
+    mixed_ = b.mixed;
+    lock_manager_ = b.locks;
+    controller_ = std::move(b.controller);
+    if (durable) {
+      wal_ = std::make_unique<WalWriter>(WalOptions{
+          options_.wal_path, options_.durability, options_.wal_group_window_us,
+          /*ring_capacity=*/size_t{1} << 14});
+      controller_->AttachWal(wal_.get());
+    }
+  }
   supports_partial_abort_ = controller_->SupportsPartialAbort();
-  if (lock_manager_ != nullptr) {
-    lock_manager_->SetContentionPolicy(options_.contention_policy);
-  }
-  if (options_.durability != Durability::kNone && !options_.wal_path.empty()) {
-    wal_ = std::make_unique<WalWriter>(WalOptions{
-        options_.wal_path, options_.durability, options_.wal_group_window_us,
-        /*ring_capacity=*/size_t{1} << 14});
-    controller_->AttachWal(wal_.get());
-  }
   method_tables_.resize(base_.size());
   recorder_.Reset(base_);
 }
@@ -75,7 +166,12 @@ Executor::Executor(ObjectBase& base, ExecutorOptions options)
 Executor::~Executor() = default;
 
 WalRecoveryResult Executor::Recover(const std::string& log_path) {
-  WalRecoveryResult result = RecoverWalInto(log_path, base_);
+  // A sharded base recovers from the matching family of per-shard logs
+  // (the cross-log atomicity rule lives in RecoverShardedWalInto).
+  WalRecoveryResult result =
+      base_.num_shards() > 1
+          ? RecoverShardedWalInto(log_path, base_.num_shards(), base_)
+          : RecoverWalInto(log_path, base_);
   // Re-snapshot initial states so recorded histories (and their oracles)
   // start from the recovered baseline.
   recorder_.Reset(base_);
@@ -155,12 +251,22 @@ MethodRef Executor::Resolve(ObjectHandle object, const std::string& method) {
 bool Executor::SetIntraPolicy(const std::string& object,
                               cc::IntraPolicy policy) {
   Object* obj = base_.Find(object);
-  if (obj == nullptr || mixed_ == nullptr) return false;
-  return mixed_->SetPolicy(obj->id(), policy);
+  if (obj == nullptr) return false;
+  return SetIntraPolicy(obj->id(), policy);
 }
 
 bool Executor::SetIntraPolicy(uint32_t object_id, cc::IntraPolicy policy) {
   if (mixed_ == nullptr) return false;
+  if (!shard_mixeds_.empty()) {
+    // Sharded MIXED: the object lives on exactly one shard, but policy maps
+    // are per-instance and cheap — keep them all in agreement so routing
+    // changes (pinning) can never observe a stale policy.
+    bool ok = true;
+    for (cc::MixedController* m : shard_mixeds_) {
+      ok = m->SetPolicy(object_id, policy) && ok;
+    }
+    return ok;
+  }
   return mixed_->SetPolicy(object_id, policy);
 }
 
@@ -169,6 +275,7 @@ void Executor::ResetStats() {
   stats_.aborted.store(0);
   stats_.retries.store(0);
   for (auto& a : stats_.aborts_by_reason) a.store(0);
+  for (auto& c : stats_.committed_by_shard) c.store(0);
 }
 
 void Executor::NoteThreadRunning(TxnNode* node) {
@@ -233,6 +340,15 @@ TxnResult Executor::RunAttempt(const std::string& name, const MethodFn& body,
     controller_->OnTopFinished(*top);
     NoteThreadFinished();
     stats_.committed.fetch_add(1);
+    if (sharded_ != nullptr) {
+      const uint64_t touched = top->touched_shards();
+      const size_t slot =
+          __builtin_popcountll(touched) > 1
+              ? Stats::kCrossShardSlot
+              : (touched == 0 ? 0 : static_cast<size_t>(
+                                        __builtin_ctzll(touched)));
+      stats_.committed_by_shard[slot].fetch_add(1, std::memory_order_relaxed);
+    }
     result.committed = true;
     result.ret = std::move(v);
     return result;
@@ -318,14 +434,17 @@ void MarkSubtreeAborted(Recorder& recorder, TxnNode& node,
 void Executor::AbortSubtree(TxnNode& node, cc::AbortReason reason) {
   // Semantics (b): the abort of a method execution aborts its descendents.
   MarkSubtreeAborted(recorder_, node, reason);
-  if (wal_ != nullptr && node.parent() != nullptr) {
+  if (node.parent() != nullptr) {
     // Partial abort under a still-live top: recovery must excise the
     // subtree's redo records even if that top later commits.  Staged here
     // — before the aborting child's parent can resume — so the abort
     // marker always precedes the top's commit marker in the log.
     // Top-level aborts need no marker: a commit record for that attempt's
-    // uid can never exist.
-    wal_->StageAbort(node.uid());
+    // uid can never exist.  Sharded: staged on every shard's log (abort
+    // markers on logs the subtree never wrote to are harmless no-ops at
+    // recovery).
+    if (wal_ != nullptr) wal_->StageAbort(node.uid());
+    for (auto& w : shard_wals_) w->StageAbort(node.uid());
   }
   if (controller_->RollbackByRebuild()) {
     // The controller rebuilds object states from their journals in OnAbort.
@@ -412,10 +531,21 @@ std::vector<MethodCtx::InvokeOutcome> MethodCtx::InvokeParallel(
   // All messages of the batch share one program-order index: they are
   // ◁-unordered (Definition 4 allows it; condition 2c imposes nothing).
   uint32_t po = node_.NextPo();
-  std::vector<std::thread> threads;
-  threads.reserve(calls.size());
+  // Branches run on the shared pool instead of a thread per branch.  Shard
+  // affinity is a routing hint: a branch whose target object is known lands
+  // on a worker pinned to that object's shard when one is free.  The caller
+  // drains its own batch too (RunAndWait(caller_inline=true)), so a nest of
+  // InvokeParallel calls can never deadlock on pool capacity.
+  BranchPool& pool = exec_.branch_pool_;
+  pool.EnsureWorkers(std::min<size_t>(calls.size(), 16));
+  BranchPool::Batch batch(pool);
   for (size_t i = 0; i < calls.size(); ++i) {
-    threads.emplace_back([this, &calls, &outcomes, i, po]() {
+    const MethodRef& m = calls[i].method;
+    const uint32_t shard =
+        (m.object != nullptr && exec_.base_.num_shards() > 1)
+            ? m.object->shard()
+            : BranchPool::kAnyShard;
+    batch.Add(shard, [this, &calls, &outcomes, i, po](bool on_caller) {
       const MethodRef& m = calls[i].method;
       if (m.object == nullptr) {
         outcomes[i] = InvokeOutcome{false, Value::None(),
@@ -423,8 +553,11 @@ std::vector<MethodCtx::InvokeOutcome> MethodCtx::InvokeParallel(
         return;
       }
       try {
+        // A branch run inline on the caller's thread must restore the
+        // caller's running-node registration afterwards; a pool worker has
+        // none to restore.
         Value v = exec_.InvokeChild(node_, m, std::move(calls[i].args), po,
-                                    /*restore=*/nullptr);
+                                    /*restore=*/on_caller ? &node_ : nullptr);
         outcomes[i] = InvokeOutcome{true, std::move(v),
                                     cc::AbortReason::kNone};
       } catch (Executor::AbortSignal& s) {
@@ -432,7 +565,7 @@ std::vector<MethodCtx::InvokeOutcome> MethodCtx::InvokeParallel(
       }
     });
   }
-  for (auto& t : threads) t.join();
+  batch.RunAndWait(/*caller_inline=*/true);
   if (!exec_.supports_partial_abort_) {
     for (const InvokeOutcome& o : outcomes) {
       if (!o.ok) throw Executor::AbortSignal{o.reason};

@@ -50,6 +50,7 @@
 
 #include "src/cc/controller.h"
 #include "src/cc/mixed_controller.h"
+#include "src/runtime/branch_pool.h"
 #include "src/runtime/object_base.h"
 #include "src/runtime/recorder.h"
 #include "src/runtime/txn.h"
@@ -57,6 +58,8 @@
 
 namespace objectbase::cc {
 class LockManager;
+class ShardedController;
+class WaitsForGraph;
 }  // namespace objectbase::cc
 
 namespace objectbase::rt {
@@ -201,8 +204,20 @@ class Executor {
   bool SetIntraPolicy(uint32_t object_id, cc::IntraPolicy policy);
 
   /// The MIXED controller, or nullptr for other protocols (lets the
-  /// policy governor read current policies and count flips).
+  /// policy governor read current policies and count flips).  Under a
+  /// sharded topology this is shard 0's instance; SetIntraPolicy fans a
+  /// policy change out to every shard.
   cc::MixedController* mixed() { return mixed_; }
+
+  /// The sharded routing layer, or nullptr when the base has one shard
+  /// (the classic wiring).  Built automatically when the ObjectBase was
+  /// constructed as a rt::ShardedBase with more than one shard.
+  cc::ShardedController* sharded() { return sharded_; }
+
+  /// The pooled branch scheduler (MethodCtx::InvokeParallel and the
+  /// workload runner's dedicated worker mode share it).  Owns no threads
+  /// until the first parallel batch.
+  BranchPool& branch_pool() { return branch_pool_; }
 
   /// Runs a top-level transaction (with retries on abort).  Retries after
   /// a wound reuse the first attempt's age (see TxnResult::age_token).
@@ -225,8 +240,18 @@ class Executor {
   ObjectBase& base() { return base_; }
   const ExecutorOptions& options() const { return options_; }
 
-  /// The write-ahead log, or nullptr when durability == kNone.
-  WalWriter* wal() { return wal_.get(); }
+  /// The write-ahead log, or nullptr when durability == kNone.  Under a
+  /// sharded topology, shard 0's log (whose path is the configured
+  /// wal_path; see ShardWalPath).
+  WalWriter* wal() {
+    if (wal_ != nullptr) return wal_.get();
+    return shard_wals_.empty() ? nullptr : shard_wals_[0].get();
+  }
+
+  /// Shard `s`'s write-ahead log (sharded topologies), or nullptr.
+  WalWriter* shard_wal(uint32_t s) {
+    return s < shard_wals_.size() ? shard_wals_[s].get() : nullptr;
+  }
 
   /// Restart recovery: replays the committed transactions of `log_path`
   /// into this executor's object base (RecoverWalInto) and re-snapshots
@@ -241,6 +266,14 @@ class Executor {
     std::atomic<uint64_t> aborted{0};   ///< Top-level aborts (incl. retried).
     std::atomic<uint64_t> retries{0};
     std::array<std::atomic<uint64_t>, cc::kNumAbortReasons> aborts_by_reason{};
+
+    /// Sharded topologies only: commits by home shard, with cross-shard
+    /// tops counted in the kCrossShardSlot bucket (the per-shard
+    /// throughput the workload runner reports).  Never stamped in the
+    /// classic wiring — the single-shard commit path stays untouched.
+    static constexpr size_t kCrossShardSlot = 64;
+    std::array<std::atomic<uint64_t>, kCrossShardSlot + 1>
+        committed_by_shard{};
 
     uint64_t AbortsFor(cc::AbortReason r) const {
       return aborts_by_reason[static_cast<size_t>(r)].load();
@@ -295,13 +328,23 @@ class Executor {
   ObjectBase& base_;
   ExecutorOptions options_;
   Recorder recorder_;
+  // Sharded wiring only: the one waits-for graph every shard's lock
+  // manager declares into (cross-shard lock cycles are invisible to
+  // per-shard graphs).  Declared before controller_ so it outlives the
+  // managers that point at it.
+  std::unique_ptr<cc::WaitsForGraph> shared_wfg_;
   std::unique_ptr<cc::Controller> controller_;
   // Declared after controller_ (destroyed first): the writer drains and
   // stops while the controller — which only holds a raw pointer — is
   // still alive.  Null iff durability == kNone.
   std::unique_ptr<WalWriter> wal_;
+  // Sharded wiring: one WAL per shard (wal_ stays null); same destruction
+  // ordering rationale as wal_.
+  std::vector<std::unique_ptr<WalWriter>> shard_wals_;
   cc::MixedController* mixed_ = nullptr;  // non-null iff protocol == kMixed
   cc::LockManager* lock_manager_ = nullptr;  // non-null for locking protocols
+  cc::ShardedController* sharded_ = nullptr;  // non-null iff num_shards > 1
+  std::vector<cc::MixedController*> shard_mixeds_;  // sharded kMixed only
   bool supports_partial_abort_ = false;
   std::atomic<uint64_t> next_uid_{0};
   std::atomic<uint64_t> next_top_counter_{0};
@@ -309,6 +352,9 @@ class Executor {
   std::deque<MethodTable> method_tables_;  // indexed by object id
   std::mutex intern_mu_;
   std::set<std::string, std::less<>> interned_names_;
+  // Declared LAST (destroyed first): pool workers may still be draining a
+  // batch that touches everything above.
+  BranchPool branch_pool_;
 };
 
 /// Handle passed to method bodies; all interaction with the object base

@@ -83,6 +83,12 @@ class Object {
 
   bool concurrent_apply() const { return spec_->supports_concurrent_apply(); }
 
+  /// Home shard under a sharded base (0 when unsharded).  Assigned at
+  /// creation / pin time, before execution starts; steady-state reads are
+  /// plain loads on the routing path.
+  uint32_t shard() const { return shard_; }
+  void set_shard(uint32_t s) { shard_ = s; }
+
   /// Per-object apply-order ticket for the NON-journaled protocols
   /// (N2PL/GEMSTONE): drawn inside the exclusive apply critical section,
   /// so ticket order IS the application order — the concrete < on this
@@ -198,6 +204,7 @@ class Object {
   };
 
   uint32_t id_;
+  uint32_t shard_ = 0;  // home shard (see shard())
   std::string name_;
   std::shared_ptr<const adt::AdtSpec> spec_;
   std::unique_ptr<adt::AdtState> state_;

@@ -13,6 +13,7 @@ uint32_t ObjectBase::CreateObject(std::string name,
   by_name_[name] = id;
   objects_.push_back(std::make_unique<Object>(id, std::move(name),
                                               std::move(spec)));
+  objects_.back()->set_shard(id % num_shards_);
   return id;
 }
 

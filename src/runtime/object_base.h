@@ -35,12 +35,44 @@ class ObjectBase {
 
   size_t size() const { return objects_.size(); }
 
+  /// Shard count of the partition (1 for a plain, unsharded base).  The
+  /// Executor reads this once at construction to pick between the classic
+  /// single-controller wiring and the sharded topology.
+  uint32_t num_shards() const { return num_shards_; }
+
   /// Resets every object to its initial state (between benchmark runs).
   void ResetAll();
+
+ protected:
+  void set_num_shards(uint32_t n) { num_shards_ = n; }
 
  private:
   std::vector<std::unique_ptr<Object>> objects_;
   std::unordered_map<std::string, uint32_t> by_name_;  // resolve-time index
+  uint32_t num_shards_ = 1;
+};
+
+/// ObjectBase partitioned across N shards (docs/sharding.md).  Placement is
+/// `id % shards` by default — CreateObject stamps each object's home shard
+/// as it is created — with per-object overrides via PinObject (the policy
+/// governor's hot-object pinning uses this).  Placement is fixed before
+/// execution starts; nothing here is thread-safe, matching CreateObject.
+class ShardedBase : public ObjectBase {
+ public:
+  /// `shards` is clamped to [1, kMaxShards].
+  static constexpr uint32_t kMaxShards = 64;
+  explicit ShardedBase(uint32_t shards) {
+    if (shards < 1) shards = 1;
+    if (shards > kMaxShards) shards = kMaxShards;
+    set_num_shards(shards);
+  }
+
+  uint32_t ShardOf(uint32_t id) const { return Get(id).shard(); }
+
+  /// Re-homes one object (before execution starts).
+  void PinObject(uint32_t id, uint32_t shard) {
+    Get(id).set_shard(shard % num_shards());
+  }
 };
 
 }  // namespace objectbase::rt

@@ -98,6 +98,37 @@ class TxnNode {
   void set_dep_handle(uint64_t raw) { dep_handle_ = raw; }
   uint64_t dep_handle() const { return dep_handle_; }
 
+  // --- per-shard registry handles (sharded topology, top-level only) ---
+  // Under a sharded executor each shard keeps its own DependencyGraph, so a
+  // top carries one handle per shard.  The array is allocated and every
+  // slot written by ShardedController::OnTopBegin, before the body runs
+  // and before any child thread is spawned — the same publication argument
+  // as dep_handle_, so plain reads are safe.
+  void EnableShardHandles(uint32_t n) {
+    shard_handles_ = std::make_unique<uint64_t[]>(n);
+    for (uint32_t i = 0; i < n; ++i) shard_handles_[i] = 0;
+  }
+  uint64_t dep_handle_for(uint32_t shard) const {
+    return shard_handles_ ? shard_handles_[shard] : dep_handle_;
+  }
+  void set_dep_handle_for(uint32_t shard, uint64_t raw) {
+    shard_handles_[shard] = raw;
+  }
+  bool has_shard_handles() const { return shard_handles_ != nullptr; }
+
+  /// Shards this top's steps have touched (bitmask; top-level only).  The
+  /// steady-state step path pays one relaxed load — the fetch_or runs only
+  /// the first time a shard joins the footprint.
+  void NoteTouchedShard(uint32_t shard) {
+    const uint64_t bit = uint64_t{1} << shard;
+    if ((touched_shards_.load(std::memory_order_relaxed) & bit) == 0) {
+      touched_shards_.fetch_or(bit, std::memory_order_relaxed);
+    }
+  }
+  uint64_t touched_shards() const {
+    return touched_shards_.load(std::memory_order_relaxed);
+  }
+
   // --- undo log (appended only by the node's own thread) ---
   void PushUndo(UndoRecord r) { undo_log_.push_back(std::move(r)); }
   std::vector<UndoRecord>& undo_log() { return undo_log_; }
@@ -190,6 +221,8 @@ class TxnNode {
   // self..top uids (see AncestorChain); shared with journal entries.
   std::shared_ptr<const std::vector<uint64_t>> chain_;
   uint64_t dep_handle_ = 0;      // packed DepRef of top's registry slot
+  std::unique_ptr<uint64_t[]> shard_handles_;  // per-shard DepRefs (sharded)
+  std::atomic<uint64_t> touched_shards_{0};    // shard footprint bitmask
   cc::Hts hts_;
   std::shared_ptr<const cc::Hts> hts_snapshot_;  // see HtsSnapshot()
   std::atomic<uint64_t> child_counter_{0};

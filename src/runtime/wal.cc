@@ -163,6 +163,7 @@ bool DecodeRecord(Cursor& c, WalRecord* out) {
     case WalRecordKind::kCommit:
       out->kind = WalRecordKind::kCommit;
       out->top_uid = c.U64();
+      out->order_key = c.U64();  // touched-shard mask (0 = single-log)
       return !c.fail;
     case WalRecordKind::kAbort:
       out->kind = WalRecordKind::kAbort;
@@ -256,11 +257,12 @@ uint64_t WalWriter::StageRedo(
   return pos;
 }
 
-uint64_t WalWriter::StageCommit(uint64_t top_uid) {
+uint64_t WalWriter::StageCommit(uint64_t top_uid, uint64_t shard_mask) {
   uint64_t pos;
   Slot& s = Claim(&pos);
   s.kind = WalRecordKind::kCommit;
   s.top_uid = top_uid;
+  s.order_key = shard_mask;  // see the header: mask rides order_key
   Publish(s, pos);
   return pos;
 }
@@ -353,6 +355,7 @@ void WalWriter::DrainAndSync() {
       }
       case WalRecordKind::kCommit:
         AppendU64(batch_buf_, s.top_uid);
+        AppendU64(batch_buf_, s.order_key);  // touched-shard mask
         break;
       case WalRecordKind::kAbort:
         AppendU64(batch_buf_, s.exec_uid);
@@ -450,21 +453,16 @@ WalScanResult ScanWal(const std::string& path) {
   return result;
 }
 
-WalRecoveryResult RecoverWalInto(const std::string& path, ObjectBase& base) {
-  WalRecoveryResult result;
-  WalScanResult scan = ScanWal(path);
-  result.ok = scan.ok;
-  result.torn = scan.torn;
-  result.valid_bytes = scan.valid_bytes;
-  result.frames = scan.frames;
-  if (!scan.ok) return result;
+namespace {
 
-  const std::unordered_set<uint64_t> committed(scan.committed_tops.begin(),
-                                               scan.committed_tops.end());
-  const std::unordered_set<uint64_t> aborted(scan.aborted_subtrees.begin(),
-                                             scan.aborted_subtrees.end());
-  result.committed_tops = committed.size();
-
+// The replay half shared by single-log and sharded recovery: partitions
+// `scan`'s surviving redo records per object and replays them onto `base`,
+// accumulating counters into `result`.  The caller decides which tops are
+// committed — that is the only part that differs across the topologies.
+void ReplayScan(const WalScanResult& scan,
+                const std::unordered_set<uint64_t>& committed,
+                const std::unordered_set<uint64_t>& aborted, ObjectBase& base,
+                WalRecoveryResult& result) {
   // Partition surviving redo records per object.  A record survives iff
   // its top committed durably AND no execution on its ancestor chain was
   // partially aborted (the kAbort excision rule).
@@ -516,6 +514,95 @@ WalRecoveryResult RecoverWalInto(const std::string& path, ObjectBase& base) {
       ++result.applied;
     }
     obj.SealRecoveredState();
+  }
+}
+
+}  // namespace
+
+WalRecoveryResult RecoverWalInto(const std::string& path, ObjectBase& base) {
+  WalRecoveryResult result;
+  WalScanResult scan = ScanWal(path);
+  result.ok = scan.ok;
+  result.torn = scan.torn;
+  result.valid_bytes = scan.valid_bytes;
+  result.frames = scan.frames;
+  if (!scan.ok) return result;
+
+  const std::unordered_set<uint64_t> committed(scan.committed_tops.begin(),
+                                               scan.committed_tops.end());
+  const std::unordered_set<uint64_t> aborted(scan.aborted_subtrees.begin(),
+                                             scan.aborted_subtrees.end());
+  result.committed_tops = committed.size();
+  ReplayScan(scan, committed, aborted, base, result);
+  return result;
+}
+
+std::string ShardWalPath(const std::string& base_path, uint32_t shard) {
+  if (shard == 0) return base_path;
+  return base_path + ".s" + std::to_string(shard);
+}
+
+WalRecoveryResult RecoverShardedWalInto(const std::string& base_path,
+                                        uint32_t num_shards, ObjectBase& base) {
+  WalRecoveryResult result;
+  if (num_shards < 1) num_shards = 1;
+  std::vector<WalScanResult> scans;
+  scans.reserve(num_shards);
+  for (uint32_t s = 0; s < num_shards; ++s) {
+    scans.push_back(ScanWal(ShardWalPath(base_path, s)));
+  }
+  // A missing/unreadable shard-0 log is the single-log failure mode; a
+  // missing higher shard's log just contributes nothing (a shard that never
+  // staged a record may have an empty or absent file after a crash).
+  result.ok = scans[0].ok;
+  for (const WalScanResult& s : scans) {
+    result.torn = result.torn || s.torn;
+    result.valid_bytes += s.valid_bytes;
+    result.frames += s.frames;
+  }
+  if (!result.ok) return result;
+
+  // Commit rule (cross-log atomicity): a mask-0 marker commits its top by
+  // itself; a masked marker commits only if EVERY log named by the mask
+  // holds a marker for the same top.  A crash between the per-shard marker
+  // syncs of a cross-shard commit therefore recovers as an abort — which is
+  // sound, because commit was never acknowledged (the committer waits for
+  // ALL touched shards' durability before MarkCommitted / returning).
+  std::unordered_map<uint64_t, uint64_t> mask_of;  // top uid -> union mask
+  std::vector<std::unordered_set<uint64_t>> present(num_shards);
+  std::unordered_set<uint64_t> committed;
+  for (uint32_t s = 0; s < num_shards; ++s) {
+    for (const WalRecord& r : scans[s].records) {
+      if (r.kind != WalRecordKind::kCommit) continue;
+      present[s].insert(r.top_uid);
+      if (r.order_key == 0) {
+        committed.insert(r.top_uid);
+      } else {
+        mask_of[r.top_uid] |= r.order_key;
+      }
+    }
+  }
+  for (const auto& [uid, mask] : mask_of) {
+    bool all = true;
+    for (uint32_t s = 0; s < num_shards && all; ++s) {
+      if ((mask >> s) & 1) all = present[s].count(uid) != 0;
+    }
+    if (all) committed.insert(uid);
+  }
+  result.committed_tops = committed.size();
+
+  // Aborted subtrees union over logs (the abort path stages its marker on
+  // every shard's log, but a crash can leave only some of them).
+  std::unordered_set<uint64_t> aborted;
+  for (const WalScanResult& s : scans) {
+    aborted.insert(s.aborted_subtrees.begin(), s.aborted_subtrees.end());
+  }
+
+  // Objects are partitioned across shards, so each object's redos live in
+  // exactly one log and per-log replay order is the true per-object
+  // application order.
+  for (const WalScanResult& s : scans) {
+    ReplayScan(s, committed, aborted, base, result);
   }
   return result;
 }

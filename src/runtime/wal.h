@@ -142,7 +142,13 @@ class WalWriter {
 
   /// Stages the commit marker for a top-level transaction.  Stage BEFORE
   /// DependencyGraph::MarkCommitted (see the watermark-soundness note).
-  uint64_t StageCommit(uint64_t top_uid);
+  /// `shard_mask`: 0 for a single-log commit; under a sharded topology a
+  /// cross-shard top stages one marker per touched shard's log, each
+  /// carrying the full touched-shard bitmask — recovery then treats the
+  /// top as committed only if EVERY named log contains its marker (the
+  /// cross-log atomicity rule; see RecoverShardedWalInto).  The mask rides
+  /// the record's order_key field, unused by kCommit otherwise.
+  uint64_t StageCommit(uint64_t top_uid, uint64_t shard_mask = 0);
 
   /// Stages a subtree-abort marker (partial aborts under a top that may
   /// still commit); recovery drops redo records of the subtree.
@@ -254,6 +260,25 @@ struct WalRecoveryResult {
 /// objects get their base state resynchronised (Object::SealRecoveredState),
 /// so the rebuild/fold machinery starts from the recovered state.
 WalRecoveryResult RecoverWalInto(const std::string& path, ObjectBase& base);
+
+/// Log path of shard `shard` under base path `base_path`: the base path
+/// itself for shard 0, `<base_path>.s<k>` otherwise — shard 0's log is the
+/// classic single log, so shards=1 topologies are file-compatible with
+/// unsharded runs.
+std::string ShardWalPath(const std::string& base_path, uint32_t shard);
+
+/// Sharded recovery: scans every shard's log and replays onto `base`.
+/// A top-level transaction counts as committed iff
+///   * some log holds its marker with mask 0 (single-shard commit), or
+///   * for a masked marker, EVERY log named by the mask holds its marker
+///     (a crash between the per-shard marker syncs of a cross-shard commit
+///     must not surface a partial commit).
+/// Aborted subtrees are the union over logs.  Redos replay per log
+/// independently: objects are partitioned, so each object's redo records
+/// live in exactly one shard's log and per-log order_key order is the true
+/// per-object application order.  Aggregates the per-log counters.
+WalRecoveryResult RecoverShardedWalInto(const std::string& base_path,
+                                        uint32_t num_shards, ObjectBase& base);
 
 /// CRC32 (IEEE 802.3, reflected); exposed for the torn-write tests.
 uint32_t WalCrc32(const uint8_t* data, size_t n);

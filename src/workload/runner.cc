@@ -19,11 +19,12 @@ RunMetrics RunWorkload(rt::Executor& exec, const WorkloadSpec& spec) {
   weights.reserve(spec.mix.size());
   for (const TxnTemplate& t : spec.mix) weights.push_back(t.weight);
 
-  // Start latch: workers are spawned first and parked; the clock starts
+  // Start latch: workers are dispatched first and parked; the clock starts
   // only once every worker is ready, and stops at the LAST transaction
   // completion (not after join + histogram merges).  Without this, short
   // sweeps charge thread-spawn and teardown time to the measured interval
-  // and under-report throughput.
+  // and under-report throughput.  The LAST worker to arrive releases the
+  // latch (the dispatching thread is already blocked in the batch wait).
   std::mutex latch_mu;
   std::condition_variable latch_cv;
   int ready = 0;
@@ -39,10 +40,15 @@ RunMetrics RunWorkload(rt::Executor& exec, const WorkloadSpec& spec) {
   std::atomic<uint64_t> win_aborts{0};
   constexpr uint64_t kAdmissionWindow = 4096;
 
-  std::vector<std::thread> threads;
-  threads.reserve(spec.threads);
+  // Workers run on the executor's branch pool (dedicated mode: one
+  // whole-run task per worker, the dispatching thread only waits).
+  // EnsureWorkers guarantees a free pool thread per worker task, so every
+  // task reaches the latch and the release below cannot deadlock.
+  rt::BranchPool& pool = exec.branch_pool();
+  pool.EnsureWorkers(static_cast<size_t>(spec.threads));
+  rt::BranchPool::Batch batch(pool);
   for (int t = 0; t < spec.threads; ++t) {
-    threads.emplace_back([&, t]() {
+    batch.Add(rt::BranchPool::kAnyShard, [&, t](bool /*on_caller*/) {
       Rng rng(spec.seed * 1315423911u + t * 2654435761u + 1);
       Histogram local_latency;
       uint64_t local_gave_up = 0;
@@ -52,8 +58,13 @@ RunMetrics RunWorkload(rt::Executor& exec, const WorkloadSpec& spec) {
       {
         std::unique_lock<std::mutex> l(latch_mu);
         ++ready;
-        latch_cv.notify_all();
-        latch_cv.wait(l, [&] { return go; });
+        if (ready == spec.threads) {
+          clock.Reset();
+          go = true;
+          latch_cv.notify_all();
+        } else {
+          latch_cv.wait(l, [&] { return go; });
+        }
       }
       for (uint64_t i = 0; i < spec.txns_per_thread; ++i) {
         if (spec.admission_abort_ratio > 0) {
@@ -139,14 +150,10 @@ RunMetrics RunWorkload(rt::Executor& exec, const WorkloadSpec& spec) {
       metrics.admission_throttled += local_throttled;
     });
   }
-  {
-    std::unique_lock<std::mutex> l(latch_mu);
-    latch_cv.wait(l, [&] { return ready == spec.threads; });
-    clock.Reset();
-    go = true;
-  }
-  latch_cv.notify_all();
-  for (auto& th : threads) th.join();
+  // Dedicated mode: the dispatcher never inlines worker tasks — each task
+  // is a whole worker loop, and inlining one would park this thread behind
+  // the latch with the batch only partially dispatched.
+  batch.RunAndWait(/*caller_inline=*/false);
   metrics.seconds = last_done_ns.load(std::memory_order_relaxed) / 1e9;
 
   const rt::Executor::Stats& s = exec.stats();
@@ -158,6 +165,14 @@ RunMetrics RunWorkload(rt::Executor& exec, const WorkloadSpec& spec) {
   metrics.validation_fails = s.AbortsFor(cc::AbortReason::kValidation);
   metrics.cascades = s.AbortsFor(cc::AbortReason::kCascade) +
                      s.AbortsFor(cc::AbortReason::kDoomed);
+  if (const uint32_t shards = exec.base().num_shards(); shards > 1) {
+    metrics.committed_by_shard.resize(shards);
+    for (uint32_t k = 0; k < shards; ++k) {
+      metrics.committed_by_shard[k] = s.committed_by_shard[k].load();
+    }
+    metrics.cross_shard_committed =
+        s.committed_by_shard[rt::Executor::Stats::kCrossShardSlot].load();
+  }
   return metrics;
 }
 

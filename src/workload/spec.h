@@ -76,6 +76,13 @@ struct RunMetrics {
   uint64_t cascades = 0;  ///< kCascade + kDoomed.
   /// Admission-gate pauses taken (load shedding engaged this many times).
   uint64_t admission_throttled = 0;
+  /// Sharded topologies only: commits whose footprint stayed on a single
+  /// shard, indexed by that shard (size = num_shards; empty under the
+  /// classic single-shard wiring).
+  std::vector<uint64_t> committed_by_shard;
+  /// Sharded topologies only: commits that spanned >1 shard (the two-phase
+  /// commit-wait path).
+  uint64_t cross_shard_committed = 0;
   /// Wall clock from "every worker released from the start latch" to the
   /// LAST transaction completion — thread spawn/join and metric merging
   /// are excluded (they skewed short sweeps low).

@@ -194,8 +194,19 @@ void RunFuzzRound(uint64_t seed) {
   // consumed only by MIXED rounds — the legality/SG oracles then cover
   // histories whose intra-object policies flipped mid-run under load.
   const bool with_governor = rng.Bernoulli(0.5);
+  // Sharding draws (all unconditional, same replay rule): shard count —
+  // 1 exercises the classic wiring, >1 the sharded topology with eager
+  // registration and cross-shard commit-wait; cross_ratio biases how often
+  // a transaction's footprint spans objects (and thus shards); governor
+  // watermarks vary per round so the hysteresis band itself is fuzzed.
+  const uint32_t shard_counts[] = {1, 2, 4, 8};
+  const uint32_t nshards = shard_counts[rng.Uniform(4)];
+  const double cross_ratios[] = {0.0, 0.5, 1.0};
+  const double cross_ratio = cross_ratios[rng.Uniform(3)];
+  const double g_high = 0.02 + 0.02 * static_cast<double>(rng.Uniform(4));
+  const double g_low = g_high / 4.0;
 
-  ObjectBase base;
+  ShardedBase base(nshards);
   base.CreateObject("r0", adt::MakeRegisterSpec(0));
   base.CreateObject("ctr", adt::MakeCounterSpec(0));
   base.CreateObject("set", adt::MakeSetSpec());
@@ -219,22 +230,30 @@ void RunFuzzRound(uint64_t seed) {
   std::unique_ptr<cc::PolicyGovernor> governor;
   if (protocol == Protocol::kMixed && with_governor &&
       exec.mixed() != nullptr) {
-    // Twitchy settings so flips actually happen inside a short round.
+    // Twitchy settings so flips actually happen inside a short round;
+    // watermarks come from the per-round draw above.
     cc::GovernorOptions gopts;
     gopts.sample_interval_us = 300;
-    gopts.high_watermark = 0.05;
-    gopts.low_watermark = 0.01;
+    gopts.high_watermark = g_high;
+    gopts.low_watermark = g_low;
     gopts.min_dwell_samples = 1;
     governor = std::make_unique<cc::PolicyGovernor>(
         *exec.mixed(), cc::PolicyGovernor::AllObjects(base), gopts);
+    // Sharded MIXED: flips must land on the object's home-shard instance,
+    // not just shard 0's — route them through the executor's fan-out.
+    governor->SetApplyHook([&exec](uint32_t id, cc::IntraPolicy p) {
+      return exec.SetIntraPolicy(id, p);
+    });
     governor->Start();
   }
 
-  std::printf("[fuzz]   %s %s threads=%d txns=%d fold=%zu btree=%d gov=%d\n",
-              ProtocolName(protocol),
-              granularity == cc::Granularity::kStep ? "step" : "op", threads,
-              txns, fold_threshold, with_btree ? 1 : 0,
-              governor != nullptr ? 1 : 0);
+  std::printf(
+      "[fuzz]   %s %s threads=%d txns=%d fold=%zu btree=%d gov=%d "
+      "shards=%u xratio=%.1f\n",
+      ProtocolName(protocol),
+      granularity == cc::Granularity::kStep ? "step" : "op", threads, txns,
+      fold_threshold, with_btree ? 1 : 0, governor != nullptr ? 1 : 0,
+      nshards, cross_ratio);
   std::fflush(stdout);
 
   // Forced-btree rounds widen the mix with dict get/del (kinds 8/9) so
@@ -247,10 +266,17 @@ void RunFuzzRound(uint64_t seed) {
       Rng trng(seed * 101 + t);
       for (int i = 0; i < txns; ++i) {
         const int n_ops = 1 + static_cast<int>(trng.Uniform(4));
+        // Footprint shape: a spanning transaction draws from the whole op
+        // mix (multi-object kinds included — under sharding its footprint
+        // usually crosses shards); a confined one repeats a single-object
+        // kind, staying on one object and therefore one shard.
+        const bool spanning = trng.Bernoulli(cross_ratio);
+        const int confined_kind = static_cast<int>(trng.Uniform(5));
         std::vector<int> ops;
         std::vector<int64_t> keys;
         for (int k = 0; k < n_ops; ++k) {
-          ops.push_back(static_cast<int>(trng.Uniform(kinds)));
+          ops.push_back(spanning ? static_cast<int>(trng.Uniform(kinds))
+                                 : confined_kind);
           keys.push_back(trng.Range(0, 7));
         }
         const bool user_abort = trng.Bernoulli(0.08);

@@ -1,0 +1,478 @@
+// Sharded topology tests: routing, the single-shard fast path, cross-shard
+// two-phase commit-wait, the pinned cross-shard cycle, partial-abort unwind
+// across shards, wound-wait fan-out, the governor→router feed, and the
+// pooled branch scheduler.
+//
+// The headline pinned regression is CrossShardCycleDoomedNotCommitted: two
+// transactions are forced (by an interleaving latch) into a serialisation
+// cycle whose two edges live on DIFFERENT shards — invisible to either
+// per-shard DependencyGraph alone.  The cross-shard commit registry must
+// detect it (or the poll budget must time it out); committing both would be
+// a Theorem 5 violation.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/adt/bank_account_adt.h"
+#include "src/adt/counter_adt.h"
+#include "src/adt/queue_adt.h"
+#include "src/adt/register_adt.h"
+#include "src/adt/set_adt.h"
+#include "src/cc/policy_governor.h"
+#include "src/cc/sharded_controller.h"
+#include "src/common/rng.h"
+#include "src/model/legality.h"
+#include "src/model/local_graphs.h"
+#include "src/model/serialiser.h"
+#include "src/runtime/executor.h"
+#include "src/runtime/object_base.h"
+
+namespace objectbase::rt {
+namespace {
+
+void VerifyOracles(Executor& exec, const char* context) {
+  model::History h = exec.recorder().Snapshot();
+  model::LegalityResult legal = model::CheckLegal(h, /*committed_only=*/true);
+  EXPECT_TRUE(legal.legal) << context << ": " << legal.error;
+  model::SerialisabilityCheck check = model::CheckSerialisable(h);
+  EXPECT_TRUE(check.serialisable) << context << ": " << check.detail;
+  model::Theorem5Result t5 = model::CheckTheorem5(h);
+  EXPECT_TRUE(t5.holds) << context << ": " << t5.detail;
+}
+
+// --- wiring ------------------------------------------------------------------
+
+TEST(ShardedExecutor, SingleShardBaseUsesClassicWiring) {
+  // shards=1 must build the exact classic topology: no routing layer, no
+  // per-shard WALs, so every PR 3–8 step-path invariant holds verbatim.
+  ShardedBase base(1);
+  base.CreateObject("r", adt::MakeRegisterSpec(0));
+  Executor exec(base, {.protocol = Protocol::kMixed});
+  EXPECT_EQ(exec.sharded(), nullptr);
+  EXPECT_NE(exec.mixed(), nullptr);
+  EXPECT_EQ(base.num_shards(), 1u);
+}
+
+TEST(ShardedExecutor, ObjectsArePartitionedRoundRobin) {
+  ShardedBase base(4);
+  for (int i = 0; i < 10; ++i) {
+    base.CreateObject("o" + std::to_string(i), adt::MakeCounterSpec(0));
+  }
+  for (uint32_t id = 0; id < 10; ++id) {
+    EXPECT_EQ(base.ShardOf(id), id % 4);
+  }
+  base.PinObject(2, 3);
+  EXPECT_EQ(base.ShardOf(2), 3u);
+}
+
+TEST(ShardedExecutor, ShardedWiringIsBuiltForEveryProtocol) {
+  for (Protocol p : {Protocol::kN2pl, Protocol::kNto, Protocol::kCert,
+                     Protocol::kGemstone, Protocol::kMixed}) {
+    ShardedBase base(4);
+    base.CreateObject("a", adt::MakeCounterSpec(0));
+    base.CreateObject("b", adt::MakeCounterSpec(0));
+    Executor exec(base, {.protocol = p});
+    ASSERT_NE(exec.sharded(), nullptr) << ProtocolName(p);
+    EXPECT_EQ(exec.sharded()->num_shards(), 4u) << ProtocolName(p);
+    // The routing layer is transparent: it reports the inner protocol.
+    EXPECT_STREQ(exec.controller().name(), ProtocolName(p));
+  }
+}
+
+// --- single-shard and cross-shard commits ------------------------------------
+
+TEST(ShardedExecutor, SingleShardTopsCommitOnHomeShard) {
+  ShardedBase base(2);
+  base.CreateObject("a", adt::MakeCounterSpec(0));  // shard 0
+  base.CreateObject("b", adt::MakeCounterSpec(0));  // shard 1
+  Executor exec(base, {.protocol = Protocol::kNto});
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_TRUE(exec.RunTransaction("t0", [](MethodCtx& txn) {
+                      txn.Invoke("a", "add", {1});
+                      return Value();
+                    }).committed);
+    EXPECT_TRUE(exec.RunTransaction("t1", [](MethodCtx& txn) {
+                      txn.Invoke("b", "add", {1});
+                      return Value();
+                    }).committed);
+  }
+  EXPECT_EQ(exec.sharded()->cross_shard_commits(), 0u);
+  EXPECT_EQ(exec.stats().committed_by_shard[0].load(), 5u);
+  EXPECT_EQ(exec.stats().committed_by_shard[1].load(), 5u);
+  EXPECT_EQ(
+      exec.stats().committed_by_shard[Executor::Stats::kCrossShardSlot].load(),
+      0u);
+  VerifyOracles(exec, "single-shard tops");
+}
+
+TEST(ShardedExecutor, CrossShardTopsCommitThroughCommitWait) {
+  ShardedBase base(2);
+  base.CreateObject("a", adt::MakeCounterSpec(0));
+  base.CreateObject("b", adt::MakeCounterSpec(0));
+  Executor exec(base, {.protocol = Protocol::kCert});
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_TRUE(exec.RunTransaction("x", [](MethodCtx& txn) {
+                      txn.Invoke("a", "add", {1});
+                      txn.Invoke("b", "add", {1});
+                      return Value();
+                    }).committed);
+  }
+  EXPECT_EQ(exec.sharded()->cross_shard_commits(), 8u);
+  EXPECT_EQ(
+      exec.stats().committed_by_shard[Executor::Stats::kCrossShardSlot].load(),
+      8u);
+  // Both counters saw every increment.
+  Value a = exec.RunTransaction("read", [](MethodCtx& txn) {
+                  return txn.Invoke("a", "get");
+                }).ret;
+  Value b = exec.RunTransaction("read", [](MethodCtx& txn) {
+                  return txn.Invoke("b", "get");
+                }).ret;
+  EXPECT_EQ(a.AsInt(), 8);
+  EXPECT_EQ(b.AsInt(), 8);
+  VerifyOracles(exec, "cross-shard tops");
+}
+
+// --- the pinned cross-shard cycle -------------------------------------------
+
+TEST(ShardedExecutor, CrossShardCycleDoomedNotCommitted) {
+  // a lives on shard 0, b on shard 1.  The latch forces
+  //   on a: T1's write applied before T2's  (edge T1 -> T2 on shard 0)
+  //   on b: T2's write applied before T1's  (edge T2 -> T1 on shard 1)
+  // — a two-edge serialisation cycle with NO edge visible whole to either
+  // shard.  Under the optimistic certifier both transactions reach their
+  // cross-shard commit-wait; the commit registry (or, conservatively, the
+  // poll budget) must abort at least one.  Committing both is the bug this
+  // test pins against.
+  ShardedBase base(2);
+  base.CreateObject("a", adt::MakeRegisterSpec(0));
+  base.CreateObject("b", adt::MakeRegisterSpec(0));
+  Executor exec(base, {.protocol = Protocol::kCert});
+  ASSERT_NE(exec.sharded(), nullptr);
+  exec.sharded()->SetCommitPollBudgetUs(200'000);  // fast fallback if needed
+
+  std::atomic<int> stage{0};
+  auto wait_for = [&stage](int n) {
+    while (stage.load(std::memory_order_acquire) < n) {
+      std::this_thread::yield();
+    }
+  };
+
+  TxnResult r1, r2;
+  std::thread w1([&] {
+    r1 = exec.RunTransactionOnce("T1", [&](MethodCtx& txn) {
+      txn.Invoke("a", "write", {1});
+      stage.fetch_add(1, std::memory_order_acq_rel);
+      wait_for(2);
+      txn.Invoke("b", "write", {1});
+      return Value();
+    });
+  });
+  std::thread w2([&] {
+    r2 = exec.RunTransactionOnce("T2", [&](MethodCtx& txn) {
+      txn.Invoke("b", "write", {2});
+      stage.fetch_add(1, std::memory_order_acq_rel);
+      wait_for(2);
+      txn.Invoke("a", "write", {2});
+      return Value();
+    });
+  });
+  w1.join();
+  w2.join();
+
+  // Committing BOTH would certify a cyclic serialisation graph.
+  EXPECT_FALSE(r1.committed && r2.committed)
+      << "cross-shard cycle committed on both sides";
+  // The cycle was resolved by detection (registry / per-shard veto) or by
+  // the conservative poll timeout — either way at least one abort happened.
+  EXPECT_GE(exec.stats().aborted.load(), 1u);
+  VerifyOracles(exec, "pinned cross-shard cycle");
+}
+
+// --- abort paths across shards ----------------------------------------------
+
+TEST(ShardedExecutor, PartialAbortUnwindsEveryTouchedShard) {
+  // N2PL supports partial aborts: a child that wrote on BOTH shards aborts
+  // (undo must run on both), while the surviving parent commits its own
+  // writes.  A missed per-shard unwind would leave key 7's effects behind.
+  ShardedBase base(2);
+  base.CreateObject("a", adt::MakeCounterSpec(0));  // shard 0
+  base.CreateObject("b", adt::MakeCounterSpec(0));  // shard 1
+  Executor exec(base, {.protocol = Protocol::kN2pl});
+  TxnResult r = exec.RunTransaction("t", [](MethodCtx& txn) {
+    txn.Invoke("a", "add", {1});
+    auto out = txn.TryInvoke("doomed", "child", {});  // unknown object
+    EXPECT_FALSE(out.ok);
+    auto out2 = txn.TryInvoke("a", "poison", {});  // unknown method: kUser
+    EXPECT_FALSE(out2.ok);
+    txn.Invoke("b", "add", {10});
+    return Value();
+  });
+  ASSERT_TRUE(r.committed);
+
+  // A child that touched both shards, then aborted.
+  TxnResult r2 = exec.RunTransaction("t2", [&exec](MethodCtx& txn) {
+    auto out = txn.TryInvoke("spanning", "child", {});
+    (void)out;
+    return Value();
+  });
+  ASSERT_TRUE(r2.committed);
+
+  // Register a genuinely spanning child body and abort it mid-flight.
+  ASSERT_TRUE(exec.DefineMethod("a", "span_then_abort", [](MethodCtx& txn) {
+    txn.Local("add", {100});
+    txn.Invoke("b", "add", {100});
+    txn.Abort();
+    return Value();
+  }));
+  TxnResult r3 = exec.RunTransaction("t3", [](MethodCtx& txn) {
+    auto out = txn.TryInvoke("a", "span_then_abort", {});
+    EXPECT_FALSE(out.ok);  // child aborted...
+    return Value();        // ...parent survives and commits
+  });
+  ASSERT_TRUE(r3.committed);
+
+  Value a = exec.RunTransaction("read", [](MethodCtx& txn) {
+                  return txn.Invoke("a", "get");
+                }).ret;
+  Value b = exec.RunTransaction("read", [](MethodCtx& txn) {
+                  return txn.Invoke("b", "get");
+                }).ret;
+  EXPECT_EQ(a.AsInt(), 1) << "aborted child's shard-0 effect survived";
+  EXPECT_EQ(b.AsInt(), 10) << "aborted child's shard-1 effect survived";
+  VerifyOracles(exec, "partial abort across shards");
+}
+
+TEST(ShardedExecutor, RebuildProtocolEscalatedAbortUnwindsBothShards) {
+  // CERT escalates a child abort to the top (the pinned
+  // NonStrictProtocolsEscalateChildAborts semantics) — here the escalated
+  // TOP abort must unwind by per-shard journal REBUILD on every shard the
+  // subtree touched, not just the child's home shard.
+  ShardedBase base(2);
+  base.CreateObject("a", adt::MakeCounterSpec(0));
+  base.CreateObject("b", adt::MakeCounterSpec(0));
+  Executor exec(base, {.protocol = Protocol::kCert, .max_top_retries = 1});
+  // Committed baseline the rebuilds must preserve.
+  ASSERT_TRUE(exec.RunTransaction("seed", [](MethodCtx& txn) {
+                    txn.Invoke("a", "add", {1});
+                    txn.Invoke("b", "add", {10});
+                    return Value();
+                  }).committed);
+  ASSERT_TRUE(exec.DefineMethod("a", "span_then_abort", [](MethodCtx& txn) {
+    txn.Local("add", {100});
+    txn.Invoke("b", "add", {100});
+    txn.Abort();
+    return Value();
+  }));
+  TxnResult r = exec.RunTransaction("t", [](MethodCtx& txn) -> Value {
+    txn.Invoke("a", "add", {7});           // top's own shard-0 effect
+    txn.Invoke("a", "span_then_abort", {});  // child spans both shards
+    return Value();
+  });
+  EXPECT_FALSE(r.committed);  // escalated, as in the classic wiring
+  Value a = exec.RunTransaction("read", [](MethodCtx& txn) {
+                  return txn.Invoke("a", "get");
+                }).ret;
+  Value b = exec.RunTransaction("read", [](MethodCtx& txn) {
+                  return txn.Invoke("b", "get");
+                }).ret;
+  EXPECT_EQ(a.AsInt(), 1) << "shard-0 rebuild kept the aborted top's writes";
+  EXPECT_EQ(b.AsInt(), 10) << "shard-1 rebuild kept the aborted child's write";
+  VerifyOracles(exec, "rebuild escalated abort across shards");
+}
+
+TEST(ShardedExecutor, WoundWaitAcrossShardsStaysSerialisable) {
+  // MIXED + wound-wait on 2 shards: transfers span shards, so wounds cross
+  // them (the all-shards doom hook).  The oracles certify no wound ever
+  // half-unwound a victim.
+  ShardedBase base(2);
+  const int accounts = 4;
+  for (int i = 0; i < accounts; ++i) {
+    base.CreateObject("acct:" + std::to_string(i),
+                      adt::MakeBankAccountSpec(1000));
+  }
+  Executor exec(base, {.protocol = Protocol::kMixed,
+                       .contention_policy = cc::ContentionPolicy::kWoundWait});
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 4; ++t) {
+    workers.emplace_back([&, t] {
+      Rng rng(991 + t * 7919);
+      for (int i = 0; i < 40; ++i) {
+        int from = static_cast<int>(rng.Uniform(accounts));
+        int to = static_cast<int>(rng.Uniform(accounts));
+        if (to == from) to = (to + 1) % accounts;
+        const int64_t amount = rng.Range(1, 50);
+        std::string from_name = "acct:" + std::to_string(from);
+        std::string to_name = "acct:" + std::to_string(to);
+        exec.RunTransaction("transfer", [&, amount](MethodCtx& txn) -> Value {
+          if (!txn.Invoke(from_name, "withdraw", {amount}).AsBool()) {
+            return Value(false);
+          }
+          txn.Invoke(to_name, "deposit", {amount});
+          return Value(true);
+        });
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  int64_t total = 0;
+  for (int i = 0; i < accounts; ++i) {
+    total += exec.RunTransaction("read", [&, i](MethodCtx& txn) {
+                   return txn.Invoke("acct:" + std::to_string(i), "balance");
+                 }).ret.AsInt();
+  }
+  EXPECT_EQ(total, accounts * 1000) << "money not conserved across shards";
+  VerifyOracles(exec, "wound-wait across shards");
+}
+
+// --- contended multi-shard sweep --------------------------------------------
+
+TEST(ShardedExecutor, ContendedFourShardSweepAllProtocols) {
+  for (Protocol p : {Protocol::kN2pl, Protocol::kNto, Protocol::kCert,
+                     Protocol::kGemstone, Protocol::kMixed}) {
+    ShardedBase base(4);
+    base.CreateObject("r0", adt::MakeRegisterSpec(0));
+    base.CreateObject("ctr", adt::MakeCounterSpec(0));
+    base.CreateObject("set", adt::MakeSetSpec());
+    base.CreateObject("q", adt::MakeQueueSpec());
+    Executor exec(base, {.protocol = p, .max_top_retries = 50});
+    std::vector<std::thread> workers;
+    for (int t = 0; t < 4; ++t) {
+      workers.emplace_back([&, t] {
+        Rng rng(31 + t);
+        for (int i = 0; i < 25; ++i) {
+          const int64_t key = rng.Range(0, 5);
+          exec.RunTransaction("mix", [&, key](MethodCtx& txn) {
+            switch (rng.Uniform(4)) {
+              case 0: txn.Invoke("r0", "write", {key}); break;
+              case 1:
+                txn.Invoke("ctr", "add", {1});
+                txn.Invoke("set", "insert", {key});
+                break;
+              case 2:
+                txn.InvokeParallel({{"q", "enqueue", {key}},
+                                    {"ctr", "add", {1}}});
+                break;
+              default:
+                txn.Invoke("r0", "read");
+                txn.Invoke("q", "length");
+                break;
+            }
+            return Value();
+          });
+        }
+      });
+    }
+    for (auto& w : workers) w.join();
+    EXPECT_GT(exec.stats().committed.load(), 0u) << ProtocolName(p);
+    VerifyOracles(exec, ProtocolName(p));
+  }
+}
+
+// --- governor → shard router feed -------------------------------------------
+
+TEST(ShardedExecutor, GovernorFlagsHotObjectAndRouterPinsIt) {
+  ShardedBase base(4);
+  base.CreateObject("hot", adt::MakeRegisterSpec(0));   // shard 0
+  base.CreateObject("cold", adt::MakeCounterSpec(0));   // shard 1
+  Executor exec(base, {.protocol = Protocol::kMixed, .max_top_retries = 50});
+  ASSERT_TRUE(exec.SetIntraPolicy("hot", cc::IntraPolicy::kOptimistic));
+
+  cc::GovernorOptions gopts;
+  gopts.sample_interval_us = 200;
+  gopts.high_watermark = 1e-6;  // any conflict pressure at all flips
+  gopts.low_watermark = 0.0;
+  gopts.min_dwell_samples = 1;
+  cc::PolicyGovernor governor(*exec.mixed(),
+                              cc::PolicyGovernor::AllObjects(base), gopts);
+  governor.SetApplyHook([&exec](uint32_t id, cc::IntraPolicy p) {
+    return exec.SetIntraPolicy(id, p);
+  });
+  governor.Start();
+
+  // Conflict storm on "hot" (register writes do not commute) until the
+  // governor flags it.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 3; ++t) {
+    workers.emplace_back([&, t] {
+      Rng rng(17 + t);
+      while (!stop.load(std::memory_order_relaxed)) {
+        const int64_t v = rng.Range(0, 100);
+        exec.RunTransaction("storm", [&, v](MethodCtx& txn) {
+          txn.Invoke("hot", "write", {v});
+          return Value();
+        });
+      }
+    });
+  }
+  while (governor.hot_objects() == 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& w : workers) w.join();
+  governor.Stop();
+
+  ASSERT_GT(governor.hot_objects(), 0u) << "storm never flagged the object";
+  const std::vector<uint32_t> hot = governor.HotObjectIds();
+  ASSERT_FALSE(hot.empty());
+  EXPECT_EQ(hot[0], base.Find("hot")->id());
+
+  // Router feed: pin the flagged set to a dedicated shard while quiescent.
+  const size_t pinned = governor.PinHotTo(base, 3);
+  EXPECT_EQ(pinned, hot.size());
+  EXPECT_EQ(base.ShardOf(base.Find("hot")->id()), 3u);
+  EXPECT_EQ(base.ShardOf(base.Find("cold")->id()), 1u) << "cold re-homed";
+
+  // A fresh executor over the re-homed base routes the hot object to its
+  // dedicated shard.
+  Executor exec2(base, {.protocol = Protocol::kMixed});
+  ASSERT_TRUE(exec2.RunTransaction("after", [](MethodCtx& txn) {
+                    txn.Invoke("hot", "write", {7});
+                    return Value();
+                  }).committed);
+  EXPECT_EQ(exec2.stats().committed_by_shard[3].load(), 1u);
+  VerifyOracles(exec, "governor pinning storm");
+}
+
+// --- branch pool -------------------------------------------------------------
+
+TEST(ShardedExecutor, BranchPoolRunsWideAndNestedBatches) {
+  // More branches than the pool's per-batch worker request, plus a nested
+  // parallel batch inside a branch: the caller-inline drain guarantees
+  // progress regardless of worker availability.
+  ShardedBase base(2);
+  base.CreateObject("ctr", adt::MakeCounterSpec(0));
+  base.CreateObject("q", adt::MakeQueueSpec());
+  Executor exec(base, {.protocol = Protocol::kNto});
+  ASSERT_TRUE(exec.DefineMethod("ctr", "fan", [](MethodCtx& txn) {
+    txn.Local("add", {1});
+    txn.InvokeParallel({{"q", "enqueue", {1}}, {"q", "enqueue", {2}}});
+    return Value();
+  }));
+  TxnResult r = exec.RunTransaction("wide", [](MethodCtx& txn) {
+    std::vector<MethodCtx::Call> calls;
+    for (int i = 0; i < 24; ++i) calls.push_back({"ctr", "fan", {}});
+    auto outcomes = txn.InvokeParallel(std::move(calls));
+    for (const auto& o : outcomes) EXPECT_TRUE(o.ok);
+    return Value();
+  });
+  ASSERT_TRUE(r.committed);
+  EXPECT_GT(exec.branch_pool().workers(), 0u);
+  Value ctr = exec.RunTransaction("read", [](MethodCtx& txn) {
+                    return txn.Invoke("ctr", "get");
+                  }).ret;
+  EXPECT_EQ(ctr.AsInt(), 24);
+  VerifyOracles(exec, "wide nested pool batches");
+}
+
+}  // namespace
+}  // namespace objectbase::rt
