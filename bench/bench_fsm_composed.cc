@@ -1,0 +1,108 @@
+// E6b — FSM-composed workloads: mode x protocol x shards.
+//
+// Runs the three seeded FSM scenarios (secondary-index maintenance, bounded
+// queue pipeline, read-mostly catalogue) through the FsmRunner in each of
+// its three modes, under every protocol, on 1-shard (classic wiring) and
+// 4-shard bases.  Recording is off — this measures the runtime, not the
+// oracle — but the scenarios' own post-commit invariant checks stay live,
+// so the bench doubles as a smoke test: any invariant failure makes the
+// binary exit non-zero.
+//
+// Output: a human-readable table plus one JSON line per cell
+// (`grep '^{"bench"'`).
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_json.h"
+#include "src/runtime/executor.h"
+#include "src/runtime/object_base.h"
+#include "src/workload/fsm.h"
+#include "src/workload/fsm_scenarios.h"
+
+namespace objectbase {
+namespace {
+
+using workload::FsmMode;
+
+int RunSweep() {
+  int invariant_failures = 0;
+  std::printf("%-10s %-9s %-7s %10s %10s %8s %12s\n", "protocol", "mode",
+              "shards", "visits", "committed", "gave_up", "visits/s");
+
+  for (uint32_t nshards : {1u, 4u}) {
+    for (rt::Protocol protocol :
+         {rt::Protocol::kN2pl, rt::Protocol::kNto, rt::Protocol::kCert,
+          rt::Protocol::kGemstone, rt::Protocol::kMixed}) {
+      for (FsmMode mode :
+           {FsmMode::kSerial, FsmMode::kParallel, FsmMode::kComposed}) {
+        workload::SecondaryIndexParams si;
+        si.threads = 3;
+        si.iterations = 150;
+        workload::QueuePipelineParams qp;
+        qp.threads = 3;
+        qp.iterations = 150;
+        workload::CatalogueParams cat;
+        cat.threads = 4;
+        cat.iterations = 150;
+
+        rt::ShardedBase base(nshards);
+        workload::SetupSecondaryIndex(base, si);
+        workload::SetupQueuePipeline(base, qp);
+        workload::SetupCatalogue(base, cat);
+        workload::FsmWorkload w_si = workload::MakeSecondaryIndexFsm(si);
+        workload::FsmWorkload w_qp = workload::MakeQueuePipelineFsm(qp);
+        workload::FsmWorkload w_cat = workload::MakeCatalogueFsm(cat);
+
+        rt::Executor exec(base, {.protocol = protocol,
+                                 .record = false,
+                                 .max_top_retries = 100});
+        workload::FsmRunner runner(
+            exec, {.mode = mode, .seed = 42, .composed_threads = 4});
+        workload::FsmRunResult res = runner.Run({&w_si, &w_qp, &w_cat});
+
+        for (const std::string& f : res.failures) {
+          std::fprintf(stderr, "INVARIANT FAILURE: %s\n", f.c_str());
+          ++invariant_failures;
+        }
+
+        std::printf("%-10s %-9s %-7u %10llu %10llu %8llu %12.0f\n",
+                    rt::ProtocolName(protocol), workload::FsmModeName(mode),
+                    nshards,
+                    static_cast<unsigned long long>(res.visits),
+                    static_cast<unsigned long long>(res.committed),
+                    static_cast<unsigned long long>(res.gave_up),
+                    res.VisitsPerSecond());
+
+        bench::JsonLine("fsm_composed")
+            .Field("name", std::string(rt::ProtocolName(protocol)) + "/" +
+                               workload::FsmModeName(mode) + "/s" +
+                               std::to_string(nshards))
+            .Field("protocol", rt::ProtocolName(protocol))
+            .Field("mode", workload::FsmModeName(mode))
+            .Field("shards", static_cast<uint64_t>(nshards))
+            .Field("visits", res.visits)
+            .Field("committed", res.committed)
+            .Field("gave_up", res.gave_up)
+            .Field("checks_run", res.checks_run)
+            .Field("failures", static_cast<uint64_t>(res.failures.size()))
+            .Field("seconds", res.seconds)
+            .Field("throughput", res.VisitsPerSecond())
+            .Emit();
+      }
+    }
+  }
+  return invariant_failures;
+}
+
+}  // namespace
+}  // namespace objectbase
+
+int main() {
+  const int failures = objectbase::RunSweep();
+  if (failures > 0) {
+    std::fprintf(stderr, "%d invariant failure(s)\n", failures);
+    return 1;
+  }
+  return 0;
+}

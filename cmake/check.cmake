@@ -41,6 +41,15 @@ foreach(config Release Debug)
   endif()
 endforeach()
 
+message(STATUS "==== fsm label: ctest -L fsm (Release) ====")
+execute_process(
+  COMMAND ctest --output-on-failure -L fsm -j ${NPROC}
+  WORKING_DIRECTORY ${BINARY_ROOT}/Release
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "fsm-labelled tests failed")
+endif()
+
 message(STATUS "==== bench smoke: bench_sg_checker (Release) ====")
 execute_process(
   COMMAND ${BINARY_ROOT}/Release/bench_sg_checker

@@ -27,6 +27,8 @@
 #include "src/model/local_graphs.h"
 #include "src/model/serialiser.h"
 #include "src/runtime/executor.h"
+#include "src/workload/fsm.h"
+#include "src/workload/fsm_scenarios.h"
 
 namespace objectbase::rt {
 namespace {
@@ -362,6 +364,152 @@ TEST(CrossProtocolFuzz, RandomisedRunsAreSerialisable) {
     SCOPED_TRACE("round=" + std::to_string(round) +
                  " seed=" + std::to_string(seed));
     RunFuzzRound(seed);
+    if (::testing::Test::HasFailure()) break;
+  }
+}
+
+// --- FSM-scenario fuzz -------------------------------------------------------
+//
+// The same oracle block, fed by the FSM workload framework instead of the
+// flat op mix: every round randomises protocol, granularity, shard count,
+// runner mode (serial / parallel / composed) and the governor draw, then
+// runs ALL THREE seeded scenarios (secondary-index maintenance, bounded
+// queue pipeline, read-mostly catalogue) through an FsmRunner.  Each
+// scenario carries its own cross-object invariants (checked post-commit at
+// fresh serialisation points), so a round asserts BOTH the scenario
+// invariants (res.failures empty) and the model oracles over the recorded
+// history.  Tunables: OBJECTBASE_FSM_FUZZ_ROUNDS (default 2) and the shared
+// OBJECTBASE_FUZZ_SEED.
+
+int FsmFuzzRounds() {
+  const char* s = std::getenv("OBJECTBASE_FSM_FUZZ_ROUNDS");
+  if (s == nullptr) return 2;
+  const int v = std::atoi(s);
+  return v > 0 ? v : 2;
+}
+
+void RunFsmFuzzRound(uint64_t seed) {
+  Rng rng(seed);
+  const Protocol protocols[] = {Protocol::kN2pl, Protocol::kNto,
+                                Protocol::kCert, Protocol::kGemstone,
+                                Protocol::kMixed};
+  const Protocol protocol = protocols[rng.Uniform(5)];
+  const cc::Granularity granularity = rng.Bernoulli(0.5)
+                                          ? cc::Granularity::kStep
+                                          : cc::Granularity::kOperation;
+  const workload::FsmMode modes[] = {workload::FsmMode::kSerial,
+                                     workload::FsmMode::kParallel,
+                                     workload::FsmMode::kComposed};
+  const workload::FsmMode mode = modes[rng.Uniform(3)];
+  const uint32_t shard_counts[] = {1, 2, 4};
+  const uint32_t nshards = shard_counts[rng.Uniform(3)];
+  const size_t fold_thresholds[] = {0, 8, 64};
+  const size_t fold_threshold = fold_thresholds[rng.Uniform(3)];
+  const int composed_threads = 2 + static_cast<int>(rng.Uniform(3));  // 2..4
+  const int iterations = 15 + static_cast<int>(rng.Uniform(16));      // 15..30
+  // Governor and per-object policy draws are ALWAYS performed (replay
+  // determinism: a pinned seed replays identically whatever the protocol
+  // draw was); only MIXED rounds consume them.
+  const bool with_governor = rng.Bernoulli(0.5);
+  const double g_high = 0.02 + 0.02 * static_cast<double>(rng.Uniform(4));
+  const cc::IntraPolicy intra_policies[] = {cc::IntraPolicy::kLocal2pl,
+                                            cc::IntraPolicy::kTimestamp,
+                                            cc::IntraPolicy::kOptimistic};
+  const char* objects[] = {"si:dict", "si:index",   "qp:q0",
+                           "qp:q1",   "qp:q2",      "qp:produced",
+                           "qp:consumed", "cat:cat", "cat:version"};
+  cc::IntraPolicy drawn[9];
+  for (size_t i = 0; i < 9; ++i) drawn[i] = intra_policies[rng.Uniform(3)];
+
+  workload::SecondaryIndexParams si;
+  si.keyspace = 32;
+  si.prefill = 8;
+  si.threads = 2;
+  si.iterations = iterations;
+  workload::QueuePipelineParams qp;
+  qp.stages = 3;
+  qp.bound = 4;
+  qp.threads = 2;
+  qp.iterations = iterations;
+  workload::CatalogueParams cat;
+  cat.keyspace = 64;
+  cat.prefill = 16;
+  cat.threads = 2;
+  cat.iterations = iterations;
+
+  ShardedBase base(nshards);
+  workload::SetupSecondaryIndex(base, si);
+  workload::SetupQueuePipeline(base, qp);
+  workload::SetupCatalogue(base, cat);
+  workload::FsmWorkload w_si = workload::MakeSecondaryIndexFsm(si);
+  workload::FsmWorkload w_qp = workload::MakeQueuePipelineFsm(qp);
+  workload::FsmWorkload w_cat = workload::MakeCatalogueFsm(cat);
+  const std::vector<const workload::FsmWorkload*> all = {&w_si, &w_qp, &w_cat};
+
+  Executor exec(base, {.protocol = protocol,
+                       .granularity = granularity,
+                       .max_top_retries = 50,
+                       .journal_fold_threshold = fold_threshold});
+  if (protocol == Protocol::kMixed) {
+    for (size_t i = 0; i < 9; ++i) {
+      ASSERT_TRUE(exec.SetIntraPolicy(objects[i], drawn[i])) << objects[i];
+    }
+  }
+  std::unique_ptr<cc::PolicyGovernor> governor;
+  if (protocol == Protocol::kMixed && with_governor &&
+      exec.mixed() != nullptr) {
+    cc::GovernorOptions gopts;
+    gopts.sample_interval_us = 300;
+    gopts.high_watermark = g_high;
+    gopts.low_watermark = g_high / 4.0;
+    gopts.min_dwell_samples = 1;
+    governor = std::make_unique<cc::PolicyGovernor>(
+        *exec.mixed(), cc::PolicyGovernor::AllObjects(base), gopts);
+    governor->SetApplyHook([&exec](uint32_t id, cc::IntraPolicy p) {
+      return exec.SetIntraPolicy(id, p);
+    });
+    governor->Start();
+  }
+
+  std::printf("[fsm-fuzz] %s %s mode=%s shards=%u fold=%zu walkers=%d "
+              "iters=%d gov=%d\n",
+              ProtocolName(protocol),
+              granularity == cc::Granularity::kStep ? "step" : "op",
+              workload::FsmModeName(mode), nshards, fold_threshold,
+              composed_threads, iterations, governor != nullptr ? 1 : 0);
+  std::fflush(stdout);
+
+  workload::FsmRunner runner(exec, {.mode = mode, .seed = seed,
+                                    .composed_threads = composed_threads});
+  workload::FsmRunResult res = runner.Run(all);
+  if (governor != nullptr) governor->Stop();
+
+  std::string failures;
+  for (const std::string& f : res.failures) failures += f + "\n";
+  ASSERT_TRUE(res.failures.empty()) << failures;
+  EXPECT_GT(res.committed, 0u);
+
+  model::History h = exec.recorder().Snapshot();
+  model::LegalityResult legal = model::CheckLegal(h, /*committed_only=*/true);
+  ASSERT_TRUE(legal.legal) << legal.error;
+  model::SerialisabilityCheck check = model::CheckSerialisable(h);
+  ASSERT_TRUE(check.serialisable) << check.detail;
+  model::Theorem5Result t5 = model::CheckTheorem5(h);
+  ASSERT_TRUE(t5.holds) << t5.detail;
+}
+
+TEST(FsmFuzz, ScenarioRoundsAreSerialisable) {
+  const int rounds = FsmFuzzRounds();
+  const uint64_t base_seed = FuzzBaseSeed();
+  std::printf(
+      "[fsm-fuzz] OBJECTBASE_FUZZ_SEED=%llu OBJECTBASE_FSM_FUZZ_ROUNDS=%d\n",
+      static_cast<unsigned long long>(base_seed), rounds);
+  std::fflush(stdout);
+  for (int round = 0; round < rounds; ++round) {
+    const uint64_t seed = base_seed + uint64_t{1000033} * round;
+    SCOPED_TRACE("round=" + std::to_string(round) +
+                 " seed=" + std::to_string(seed));
+    RunFsmFuzzRound(seed);
     if (::testing::Test::HasFailure()) break;
   }
 }
